@@ -1,0 +1,81 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compression codecs: single-
+ * line compress/decompress throughput per algorithm and data pattern.
+ * Not a paper figure, but grounds the 2-cycle decompression-latency
+ * assumption (Section V) in the codecs' actual work per line.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "compress/factory.hh"
+#include "trace/data_patterns.hh"
+
+namespace
+{
+
+using bvc::kLineBytes;
+
+std::array<std::uint8_t, kLineBytes>
+lineFor(bvc::DataPatternKind kind)
+{
+    const bvc::DataPattern pattern(kind, 7);
+    std::array<std::uint8_t, kLineBytes> line{};
+    pattern.fillLine(0x40 * 123, line.data());
+    return line;
+}
+
+void
+compressOne(benchmark::State &state, bvc::CompressorKind kind,
+            bvc::DataPatternKind pattern)
+{
+    const auto comp = bvc::makeCompressor(kind);
+    const auto line = lineFor(pattern);
+    for (auto _ : state) {
+        auto block = comp->compress(line.data());
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+void
+roundTripOne(benchmark::State &state, bvc::CompressorKind kind,
+             bvc::DataPatternKind pattern)
+{
+    const auto comp = bvc::makeCompressor(kind);
+    const auto line = lineFor(pattern);
+    std::array<std::uint8_t, kLineBytes> out{};
+    for (auto _ : state) {
+        const auto block = comp->compress(line.data());
+        comp->decompress(block, out.data());
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+} // namespace
+
+#define BVC_CODEC_BENCH(codec, kindEnum)                                 \
+    BENCHMARK_CAPTURE(compressOne, codec##_zeros,                        \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::Zeros);                      \
+    BENCHMARK_CAPTURE(compressOne, codec##_small_ints,                   \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::SmallInts);                  \
+    BENCHMARK_CAPTURE(compressOne, codec##_random,                       \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::Random);                     \
+    BENCHMARK_CAPTURE(roundTripOne, codec##_roundtrip_mixed,             \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::MixedGood)
+
+BVC_CODEC_BENCH(bdi, Bdi);
+BVC_CODEC_BENCH(fpc, Fpc);
+BVC_CODEC_BENCH(cpack, Cpack);
+BVC_CODEC_BENCH(zero, Zero);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Figure 6: the simple two-tag architecture with partner
+ * line victimization, normalized IPC and DRAM-read ratios against the
+ * uncompressed baseline across the 60 cache-sensitive traces. The paper
+ * reports an average 12% IPC loss with 37/60 traces losing, driven by
+ * partner-line victimization (Section VI.A).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace bvc;
+
+int
+main()
+{
+    bench::Context ctx;
+    bench::printHeader(
+        "Figure 6: two-tag architecture (partner line victimization)",
+        "Figure 6; Section VI.A (avg -12%, 37/60 traces lose)", ctx);
+
+    SystemConfig naive = ctx.baseline;
+    naive.arch = LlcArch::TwoTagNaive;
+
+    const auto ratios =
+        compareOnSuite(ctx.baseline, naive, ctx.suite,
+                       ctx.suite.sensitiveIndices(), ctx.opts);
+    bench::printTraceSeries(ratios);
+    bench::printSeriesSummary("Figure 6 summary (paper: geomean ~0.88, "
+                              "37/60 losses, DRAM ratios often >1)",
+                              ratios);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Figure 7: the modified two-tag architecture with an
+ * ECM-inspired replacement (search the policy's candidates for a tag
+ * that does not need to evict its partner; among them evict the largest
+ * compressed line). The paper reports +4.7% for compression-friendly
+ * traces, -3.8% for poorly compressing ones, 27/60 traces losing.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace bvc;
+
+int
+main()
+{
+    bench::Context ctx;
+    bench::printHeader(
+        "Figure 7: modified two-tag architecture (ECM-inspired)",
+        "Figure 7; Section VI.A (+4.7% friendly / -3.8% poor, "
+        "27/60 lose)",
+        ctx);
+
+    SystemConfig modified = ctx.baseline;
+    modified.arch = LlcArch::TwoTagModified;
+
+    const auto ratios =
+        compareOnSuite(ctx.baseline, modified, ctx.suite,
+                       ctx.suite.sensitiveIndices(), ctx.opts);
+    bench::printTraceSeries(ratios);
+    bench::printSeriesSummary(
+        "Figure 7 summary (paper: +4.7% friendly, -3.8% poor)", ratios);
+    return 0;
+}

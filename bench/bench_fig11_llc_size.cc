@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Figure 11: sensitivity to LLC size. Against the 2MB-class
+ * baseline the paper reports: 4MB (2x) uncompressed +15.8%; Base-Victim
+ * on the 4MB cache adds +6.8% on top; a 6MB (3x) cache +9% over the
+ * 4MB-class band. All sizes here are the bench-scale equivalents
+ * (512KB/1MB/1.5MB) with identical capacity ratios.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+int
+main()
+{
+    bench::Context ctx;
+    bench::printHeader("Figure 11: LLC size sensitivity",
+                       "Figure 11; Section VI.B.3", ctx);
+
+    const SystemConfig x2 = ctx.baseline.withLlcScale(2.0);
+    const SystemConfig x3 = ctx.baseline.withLlcScale(3.0);
+    SystemConfig x2bv = x2;
+    x2bv.arch = LlcArch::BaseVictim;
+
+    const auto indices = ctx.suite.sensitiveIndices();
+    const auto r2 =
+        compareOnSuite(ctx.baseline, x2, ctx.suite, indices, ctx.opts);
+    const auto r3 =
+        compareOnSuite(ctx.baseline, x3, ctx.suite, indices, ctx.opts);
+    const auto r2bv = compareOnSuite(ctx.baseline, x2bv, ctx.suite,
+                                     indices, ctx.opts);
+    const auto stacked =
+        compareOnSuite(x2, x2bv, ctx.suite, indices, ctx.opts);
+
+    Table table({"configuration", "IPC vs 1x baseline", "paper (2MB "
+                 "baseline)"});
+    table.addRow({"2x uncompressed (\"4MB\")",
+                  Table::num(overallIpcGeomean(r2)), "+15.8%"});
+    table.addRow({"3x uncompressed (\"6MB\")",
+                  Table::num(overallIpcGeomean(r3)),
+                  "+15.8% then +9% band"});
+    table.addRow({"2x + Base-Victim (\"4MB + compression\")",
+                  Table::num(overallIpcGeomean(r2bv)), "-"});
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nCompression on the 2x cache adds %.1f%% on top of it "
+                "(paper: +6.8%%)\n",
+                100.0 * (overallIpcGeomean(stacked) - 1.0));
+    bench::printCategorySummary("2x + Base-Victim vs 1x baseline",
+                                r2bv);
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Reproduces the Section V functional-capacity comparison: "Earlier
+ * proposals like VSC-2X [1] and DCC [32] ... When simulated on
+ * functional cache models, these policies come close to an 80%
+ * increase in cache capacity. This is significantly higher than our
+ * opportunistic Base-Victim architecture" (~1.5x, Section VI.B.4).
+ *
+ * Exactly as the paper describes, the models are driven functionally:
+ * the raw memory-reference stream of each compression-friendly trace
+ * feeds each LLC organization until well past saturation, and
+ * effective capacity is the resident-line count normalized to the
+ * uncompressed cache under the same stream. VSC's per-fill multi-line
+ * eviction count — the replacement-complexity drawback that motivates
+ * Base-Victim — is reported alongside.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/vsc_cache.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+/** Drive one LLC with a trace's memory references, functionally. */
+std::size_t
+saturate(Llc &llc, const TraceParams &params, std::uint64_t accesses)
+{
+    SyntheticTrace trace(params);
+    const DataPattern &pattern = trace.dataPattern();
+    FunctionalMemory mem([&pattern](Addr blk, std::uint8_t *out) {
+        pattern.fillLine(blk, out);
+    });
+
+    TraceRecord record;
+    std::uint64_t done = 0;
+    while (done < accesses) {
+        trace.next(record);
+        if (record.kind == InstrKind::NonMem)
+            continue;
+        const Addr blk = blockAddr(record.addr);
+        if (record.kind == InstrKind::Store)
+            mem.store64(record.addr, record.value);
+        // Stores are modeled as dirtying writebacks once the line is
+        // resident, read-allocations otherwise.
+        const AccessType type =
+            record.kind == InstrKind::Store && llc.probeBase(blk)
+            ? AccessType::Writeback
+            : AccessType::Read;
+        llc.access(blk, type, mem.line(blk));
+        ++done;
+    }
+    return llc.validLines();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Context ctx;
+    bench::printHeader(
+        "Section V: VSC-2X / DCC / Base-Victim effective capacity "
+        "(functional models)",
+        "Section V discussion + VI.B.4 (VSC/DCC ~1.8x, Base-Victim "
+        "~1.5x)",
+        ctx);
+
+    const std::uint64_t accesses =
+        std::max<std::uint64_t>(600'000, ctx.opts.measure);
+
+    Table table({"trace", "VSC-2X", "DCC", "Base-Victim",
+                 "VSC multi-evict fills"});
+    std::vector<double> vscOcc, dccOcc, bvOcc;
+    std::vector<double> vscMixed, bvMixed;
+    std::uint64_t multiEvicts = 0, vscFills = 0;
+
+    std::size_t count = 0;
+    for (const std::size_t idx : ctx.suite.friendlyIndices()) {
+        const TraceParams &params = ctx.suite.all()[idx].params;
+        const auto compressor = makeCompressor(ctx.baseline.compressor);
+
+        SystemConfig uncCfg = ctx.baseline;
+        auto unc = makeLlc(uncCfg, *compressor);
+        SystemConfig vscCfg = ctx.baseline;
+        vscCfg.arch = LlcArch::Vsc;
+        auto vsc = makeLlc(vscCfg, *compressor);
+        SystemConfig dccCfg = ctx.baseline;
+        dccCfg.arch = LlcArch::Dcc;
+        auto dcc = makeLlc(dccCfg, *compressor);
+        SystemConfig bvCfg = ctx.baseline;
+        bvCfg.arch = LlcArch::BaseVictim;
+        auto bv = makeLlc(bvCfg, *compressor);
+
+        const double baseLines = static_cast<double>(
+            saturate(*unc, params, accesses));
+        const double v =
+            static_cast<double>(saturate(*vsc, params, accesses)) /
+            baseLines;
+        const double d =
+            static_cast<double>(saturate(*dcc, params, accesses)) /
+            baseLines;
+        const double b =
+            static_cast<double>(saturate(*bv, params, accesses)) /
+            baseLines;
+
+        vscOcc.push_back(v);
+        dccOcc.push_back(d);
+        bvOcc.push_back(b);
+        if (params.pattern == DataPatternKind::MixedGood ||
+            params.pattern == DataPatternKind::PointerHeap) {
+            vscMixed.push_back(v);
+            bvMixed.push_back(b);
+        }
+        multiEvicts += vsc->stats().get("multi_evict_fills");
+        vscFills += vsc->stats().get("fills");
+        table.addRow({params.name, Table::num(v, 2), Table::num(d, 2),
+                      Table::num(b, 2),
+                      std::to_string(
+                          vsc->stats().get("multi_evict_fills"))});
+        if (++count >= 15)
+            break; // representative friendly sample
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\n[Section V summary, %zu friendly traces, resident "
+                "lines vs uncompressed]\n", count);
+    std::printf("  VSC-2X effective capacity       : %.2fx "
+                "(paper: ~1.8x)\n", geomean(vscOcc));
+    std::printf("  DCC effective capacity          : %.2fx "
+                "(paper: close to VSC-2X)\n", geomean(dccOcc));
+    std::printf("  Base-Victim effective capacity  : %.2fx "
+                "(paper: ~1.5x)\n", geomean(bvOcc));
+    std::printf("  VSC fills evicting >1 line      : %.1f%% of fills "
+                "(the replacement-complexity drawback)\n",
+                100.0 * static_cast<double>(multiEvicts) /
+                    static_cast<double>(vscFills ? vscFills : 1));
+    std::printf("\nOn heterogeneous (mixed-size) data, where pairing "
+                "two lines into one way fails more often:\n");
+    std::printf("  VSC-2X (mixed data)             : %.2fx\n",
+                geomean(vscMixed));
+    std::printf("  Base-Victim (mixed data)        : %.2fx\n",
+                geomean(bvMixed));
+    std::printf("\nNote: these are RESIDENT-LINE counts. The paper's "
+                "'~1.5x' for Base-Victim is performance-equivalent "
+                "capacity (2MB + compression ~= 3MB, Figure 9 / "
+                "VI.B.4): parked victim lines are only worth capacity "
+                "when they get re-referenced, so occupancy overstates "
+                "useful capacity. bench_fig09_category reproduces the "
+                "performance-equivalence measurement.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "common.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.hh"
+
+namespace bvc::bench
+{
+
+Context::Context()
+    : suite(512 * 1024),
+      opts(ExperimentOptions::fromEnv()),
+      baseline(SystemConfig::benchDefaults())
+{
+}
+
+void
+printHeader(const std::string &title, const std::string &paperRef,
+            const Context &ctx)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paperRef.c_str());
+    std::printf("Config: %zuKB %zu-way LLC (paper sizes / 4), "
+                "warmup %llu, measure %llu instructions/trace\n",
+                ctx.baseline.llcBytes / 1024, ctx.baseline.llcWays,
+                static_cast<unsigned long long>(ctx.opts.warmup),
+                static_cast<unsigned long long>(ctx.opts.measure));
+    std::printf("==========================================================\n");
+}
+
+namespace
+{
+
+void
+printSorted(const char *bucket, std::vector<TraceRatio> ratios)
+{
+    std::sort(ratios.begin(), ratios.end(),
+              [](const TraceRatio &a, const TraceRatio &b) {
+                  return a.ipcRatio > b.ipcRatio;
+              });
+    Table table({"trace", "IPC ratio", "DRAM read ratio"});
+    for (const TraceRatio &r : ratios)
+        table.addRow({r.name, Table::num(r.ipcRatio),
+                      Table::num(r.dramReadRatio)});
+    std::printf("\n[%s traces, sorted by IPC ratio]\n%s", bucket,
+                table.render().c_str());
+}
+
+} // namespace
+
+void
+printTraceSeries(const std::vector<TraceRatio> &ratios)
+{
+    std::vector<TraceRatio> friendly, poor;
+    for (const TraceRatio &r : ratios)
+        (r.compressionFriendly ? friendly : poor).push_back(r);
+    if (!friendly.empty())
+        printSorted("compression-friendly", friendly);
+    if (!poor.empty())
+        printSorted("low-compressibility", poor);
+}
+
+double
+friendlyIpcGeomean(const std::vector<TraceRatio> &ratios, bool friendly)
+{
+    std::vector<double> values;
+    for (const TraceRatio &r : ratios)
+        if (r.compressionFriendly == friendly)
+            values.push_back(r.ipcRatio);
+    return geomean(values);
+}
+
+void
+printSeriesSummary(const std::string &label,
+                   const std::vector<TraceRatio> &ratios)
+{
+    std::printf("\n[%s] traces: %zu\n", label.c_str(), ratios.size());
+    std::printf("  geomean IPC ratio        : %.4f\n",
+                overallIpcGeomean(ratios));
+    std::printf("  geomean (friendly only)  : %.4f\n",
+                friendlyIpcGeomean(ratios, true));
+    std::printf("  geomean (low-compress)   : %.4f\n",
+                friendlyIpcGeomean(ratios, false));
+    std::printf("  geomean DRAM read ratio  : %.4f\n",
+                overallDramReadGeomean(ratios));
+    std::printf("  traces losing IPC (<1.0) : %zu / %zu\n",
+                countBelow(ratios, 1.0), ratios.size());
+    double worst = 1e9;
+    std::string worstName;
+    for (const TraceRatio &r : ratios) {
+        if (r.ipcRatio < worst) {
+            worst = r.ipcRatio;
+            worstName = r.name;
+        }
+    }
+    std::printf("  worst IPC ratio          : %.4f (%s)\n", worst,
+                worstName.c_str());
+    // Back-invalidation traffic ratio (Section VI.A notes the modified
+    // two-tag scheme "causes more back-invalidations than baseline").
+    std::vector<double> backInvalRatios;
+    for (const TraceRatio &r : ratios) {
+        if (r.base.backInvalidations > 0 && r.test.backInvalidations > 0)
+            backInvalRatios.push_back(
+                static_cast<double>(r.test.backInvalidations) /
+                static_cast<double>(r.base.backInvalidations));
+    }
+    std::printf("  geomean back-inval ratio : %.4f\n",
+                geomean(backInvalRatios));
+}
+
+void
+printCategorySummary(const std::string &label,
+                     const std::vector<TraceRatio> &ratios)
+{
+    Table table({"bucket", "SPECFP", "SPECINT", "Productivity",
+                 "Client", "Average"});
+    const WorkloadCategory categories[] = {
+        WorkloadCategory::SpecFp, WorkloadCategory::SpecInt,
+        WorkloadCategory::Productivity, WorkloadCategory::Client};
+
+    auto rowFor = [&](const char *bucket, bool friendlyOnly) {
+        std::vector<TraceRatio> subset;
+        for (const TraceRatio &r : ratios)
+            if (!friendlyOnly || r.compressionFriendly)
+                subset.push_back(r);
+        std::vector<std::string> row = {bucket};
+        for (const auto category : categories)
+            row.push_back(
+                Table::num(categoryIpcGeomean(subset, category)));
+        row.push_back(Table::num(overallIpcGeomean(subset)));
+        table.addRow(std::move(row));
+    };
+
+    rowFor("compression-friendly", true);
+    rowFor("overall", false);
+    std::printf("\n[%s] IPC ratio per category (geomean)\n%s",
+                label.c_str(), table.render().c_str());
+}
+
+} // namespace bvc::bench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches: suite
+ * setup, uniform headers, per-trace series printing in the layout the
+ * paper's line graphs use (compression-friendly traces left, poorly
+ * compressing right), and aggregate summaries.
+ */
+
+#ifndef BVC_BENCH_COMMON_HH_
+#define BVC_BENCH_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/workload_suite.hh"
+
+namespace bvc::bench
+{
+
+/** Everything a figure bench needs. */
+struct Context
+{
+    Context();
+
+    WorkloadSuite suite;
+    ExperimentOptions opts;
+    SystemConfig baseline; //!< uncompressed bench-scale system
+};
+
+/** Print the standard bench banner. */
+void printHeader(const std::string &title, const std::string &paperRef,
+                 const Context &ctx);
+
+/**
+ * Print a per-trace series like the paper's line graphs: friendly
+ * traces first, each sorted by IPC ratio descending, then the
+ * poorly-compressing traces.
+ */
+void printTraceSeries(const std::vector<TraceRatio> &ratios);
+
+/** Print geomean IPC/DRAM ratios and loss counts for a series. */
+void printSeriesSummary(const std::string &label,
+                        const std::vector<TraceRatio> &ratios);
+
+/** Print per-category + friendly/overall breakdown (Figure 9 style). */
+void printCategorySummary(const std::string &label,
+                          const std::vector<TraceRatio> &ratios);
+
+/** Geomean of ipcRatio over friendly (or unfriendly) members. */
+double friendlyIpcGeomean(const std::vector<TraceRatio> &ratios,
+                          bool friendly);
+
+} // namespace bvc::bench
+
+#endif // BVC_BENCH_COMMON_HH_

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Step-by-step reconstruction of the paper's worked examples, printing
+ * the cache state after each event:
+ *
+ *   Part 1 — Figure 2 / Section III: the two-tag pathology. The MRU
+ *            line shares a physical way with the LRU line; filling a
+ *            6-segment line victimizes the MRU partner.
+ *   Part 2 — Figure 4 / Section IV.B.1: a compressed LLC miss in the
+ *            Base-Victim cache. Victim B moves to the Victim Cache;
+ *            incoming Z displaces victim-partner Y.
+ *   Part 3 — Figure 5 / Section IV.B.2: a read hit on victim line E,
+ *            promoted to the Baseline Cache; displaced base line B
+ *            parks beside it.
+ *
+ * Run it next to the paper — the states printed here track the figures
+ * (with our deterministic LRU/ECM policies standing in for the
+ * figures' random victim choices).
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "compress/bdi.hh"
+#include "core/base_victim_cache.hh"
+#include "core/two_tag_array.hh"
+#include "util/logging.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+constexpr std::size_t kWays = 4;
+// 16KB 4-way -> 64 sets; the demo plays out entirely in set 0.
+constexpr std::size_t kCacheBytes = 16 * 1024;
+constexpr Addr kSetStride = 64 * kLineBytes;
+
+std::map<Addr, std::string> gNames;
+
+Addr
+line(char name, unsigned index)
+{
+    const Addr addr = 0x100000 + static_cast<Addr>(index) * kSetStride;
+    gNames[addr] = std::string(1, name);
+    return addr;
+}
+
+std::string
+nameOf(Addr addr)
+{
+    auto it = gNames.find(addr);
+    return it == gNames.end() ? "?" : it->second;
+}
+
+/** Craft a line whose BDI size is exactly `segments` 4B segments. */
+std::array<std::uint8_t, kLineBytes>
+lineOfSegments(unsigned segments, std::uint64_t salt)
+{
+    std::array<std::uint8_t, kLineBytes> data{};
+    switch (segments) {
+      case 2: { // Rep8: repeated 8-byte value -> 8 bytes
+        std::uint64_t v = 0xABCD0000 + salt;
+        for (unsigned i = 0; i < 8; ++i)
+            std::memcpy(data.data() + 8 * i, &v, 8);
+        break;
+      }
+      case 5: { // B8D1 -> 17 bytes
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t v = (salt + i * 7) & 0x7f;
+            std::memcpy(data.data() + 8 * i, &v, 8);
+        }
+        break;
+      }
+      case 7: { // B8D2 -> 25 bytes
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t v = 1000 + salt + i * 991;
+            std::memcpy(data.data() + 8 * i, &v, 8);
+        }
+        break;
+      }
+      case 11: { // B8D4 -> 41 bytes
+        const std::uint64_t base = 0x00007f0000000000ULL + salt;
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t v =
+                base + 0x10000000ULL + 0x100000ULL * i;
+            std::memcpy(data.data() + 8 * i, &v, 8);
+        }
+        break;
+      }
+      case 16:
+      default: { // incompressible
+        std::uint64_t state = salt * 0x9e3779b97f4a7c15ULL + 1;
+        for (unsigned i = 0; i < 8; ++i) {
+            state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+            std::memcpy(data.data() + 8 * i, &state, 8);
+        }
+        break;
+      }
+    }
+    const BdiCompressor bdi;
+    const unsigned actual = compressedSegmentsFor(bdi, data.data());
+    panicIf(actual != segments, "walkthrough: crafted size mismatch");
+    return data;
+}
+
+void
+printBaseVictimSet(const BaseVictimLlc &llc, const char *caption)
+{
+    std::printf("%s\n", caption);
+    // List every named line and which section it lives in now.
+    for (const auto &[addr, name] : gNames) {
+        const char *where = llc.probeBase(addr) ? "Baseline"
+            : llc.probeVictim(addr)             ? "Victim"
+                                                : nullptr;
+        if (where != nullptr)
+            std::printf("    line %-2s in %s cache\n", name.c_str(),
+                        where);
+    }
+}
+
+void
+part1TwoTagPathology()
+{
+    std::printf("==============================================\n");
+    std::printf("Part 1 - Figure 2: partner line victimization\n");
+    std::printf("==============================================\n");
+    gNames.clear();
+
+    const BdiCompressor bdi;
+    TwoTagNaiveLlc llc(kCacheBytes, kWays, ReplacementKind::Lru, bdi);
+
+    // Build Figure 2's flavor of state: a 6-segment MRU line paired
+    // with a small LRU line in physical way 0, other ways occupied.
+    const auto mruData = lineOfSegments(7, 1);  // "MRU" line, sizeable
+    const auto lruData = lineOfSegments(5, 2);  // its small partner
+    const auto fillData = lineOfSegments(11, 3); // incoming, won't fit
+
+    const Addr mru = line('M', 1);
+    const Addr lru = line('L', 2);
+    const Addr fill = line('Z', 3);
+
+    // LRU-order fills: L first (oldest) into way 0 tag 0, M next into
+    // way 0 tag 1 (5+7 <= 16, so they share the physical way), then
+    // six pair-fitting fillers occupy every remaining logical slot.
+    llc.access(lru, AccessType::Read, lruData.data());
+    llc.access(mru, AccessType::Read, mruData.data());
+    for (unsigned i = 0; i < 6; ++i) {
+        const Addr filler = line(static_cast<char>('a' + i), 4 + i);
+        llc.access(filler, AccessType::Read,
+                   lineOfSegments(7, 40 + i).data());
+    }
+    // Touch M again: it is now the MRU line, sharing way 0 with L.
+    llc.access(mru, AccessType::Read, mruData.data());
+
+    std::printf("\nBefore the fill: M (MRU, 7 segs) and L (LRU, 5 "
+                "segs) share physical way 0.\n");
+    std::printf("M resident: %s, L resident: %s\n",
+                llc.probe(mru) ? "yes" : "no",
+                llc.probe(lru) ? "yes" : "no");
+
+    // Fill Z (11 segments): LRU replacement names L, but Z does not
+    // fit beside M (11 + 7 > 16): the MRU partner M is victimized.
+    const LlcResult r = llc.access(fill, AccessType::Read,
+                                   fillData.data());
+    std::printf("\nFill Z (11 segs): policy victim is L; Z does not "
+                "fit with M (11+7 > 16 segments).\n");
+    std::printf("Back-invalidated lines:");
+    for (const Addr addr : r.backInvalidations)
+        std::printf(" %s", nameOf(addr).c_str());
+    std::printf("\nM resident after fill: %s  <- the MRU line was "
+                "evicted to make room (the Section III pathology)\n",
+                llc.probe(mru) ? "yes" : "NO");
+}
+
+void
+part2CompressedMiss()
+{
+    std::printf("\n==============================================\n");
+    std::printf("Part 2 - Figure 4: compressed LLC miss\n");
+    std::printf("==============================================\n");
+    gNames.clear();
+
+    const BdiCompressor bdi;
+    BaseVictimLlc llc(kCacheBytes, kWays, ReplacementKind::Lru,
+                      VictimReplKind::Ecm, bdi);
+
+    // Base lines A(2), C(5), D(7), B(5) with B the LRU victim-to-be;
+    // victim lines F, X, E parked beforehand.
+    const Addr b = line('B', 1);
+    const Addr a = line('A', 2);
+    const Addr c = line('C', 3);
+    const Addr d = line('D', 4);
+    const Addr e = line('E', 5);
+    const Addr f = line('F', 6);
+    const Addr z = line('Z', 7);
+
+    // Fill the base ways; B goes first so it ends up LRU.
+    llc.access(b, AccessType::Read, lineOfSegments(5, 11).data());
+    llc.access(a, AccessType::Read, lineOfSegments(2, 12).data());
+    llc.access(c, AccessType::Read, lineOfSegments(5, 13).data());
+    llc.access(d, AccessType::Read, lineOfSegments(7, 14).data());
+    // Park E and F: fill and immediately evict them via extra misses.
+    llc.access(e, AccessType::Read, lineOfSegments(7, 15).data());
+    llc.access(f, AccessType::Read, lineOfSegments(5, 16).data());
+    // E and F displaced B..D from base; re-read the base four so the
+    // base content is {A, C, D, B-ish}; E/F fall to the victim cache.
+    llc.access(b, AccessType::Read, lineOfSegments(5, 11).data());
+    llc.access(a, AccessType::Read, lineOfSegments(2, 12).data());
+    llc.access(c, AccessType::Read, lineOfSegments(5, 13).data());
+    llc.access(d, AccessType::Read, lineOfSegments(7, 14).data());
+    // B is LRU again after touching a, c, d.
+    llc.access(a, AccessType::Read, lineOfSegments(2, 12).data());
+    llc.access(c, AccessType::Read, lineOfSegments(5, 13).data());
+    llc.access(d, AccessType::Read, lineOfSegments(7, 14).data());
+
+    printBaseVictimSet(llc, "\nState before the miss (B is the LRU "
+                            "base line; E/F parked if they fit):");
+
+    const LlcResult r =
+        llc.access(z, AccessType::Read, lineOfSegments(11, 17).data());
+    std::printf("\nMiss on Z (11 segs): LRU victim B leaves the "
+                "Baseline Cache, Z takes its way.\n");
+    std::printf("Z hit: %s (a miss, as expected). Writebacks: %zu "
+                "(B was clean).\n",
+                r.hit ? "yes" : "no", r.memWritebacks.size());
+    printBaseVictimSet(llc, "\nState after inserting Z (B now lives "
+                            "in the Victim Cache, Figure 4 right):");
+}
+
+void
+part3VictimHit()
+{
+    std::printf("\n==============================================\n");
+    std::printf("Part 3 - Figure 5: read hit in the Victim Cache\n");
+    std::printf("==============================================\n");
+    gNames.clear();
+
+    const BdiCompressor bdi;
+    BaseVictimLlc llc(kCacheBytes, kWays, ReplacementKind::Lru,
+                      VictimReplKind::Ecm, bdi);
+
+    const Addr b = line('B', 1);
+    const Addr a = line('A', 2);
+    const Addr c = line('C', 3);
+    const Addr d = line('D', 4);
+    const Addr e = line('E', 5);
+
+    for (const auto &[addr, segs, salt] :
+         {std::tuple{b, 5u, 21u}, {a, 5u, 22u}, {c, 7u, 23u},
+          {d, 7u, 24u}}) {
+        llc.access(addr, AccessType::Read,
+                   lineOfSegments(segs, salt).data());
+    }
+    // Miss on E: the LRU line B parks in the victim cache.
+    llc.access(e, AccessType::Read, lineOfSegments(5, 25).data());
+    // Rotate recency so E is LRU... (touch a, c, d).
+    llc.access(a, AccessType::Read, lineOfSegments(5, 22).data());
+    llc.access(c, AccessType::Read, lineOfSegments(7, 23).data());
+    llc.access(d, AccessType::Read, lineOfSegments(7, 24).data());
+    // Park E too: miss on B? No - B is IN the victim cache. Read B:
+    printBaseVictimSet(llc, "\nState before the victim hit (B parked "
+                            "in the Victim Cache):");
+
+    const LlcResult r =
+        llc.access(b, AccessType::Read, lineOfSegments(5, 21).data());
+    std::printf("\nRead B: %s, served from the %s cache.\n",
+                r.hit ? "HIT" : "miss",
+                r.victimHit ? "Victim" : "Baseline");
+    std::printf("The uncompressed cache would have missed here — this "
+                "is the opportunistic win.\n");
+    printBaseVictimSet(llc, "\nState after promotion (B back in the "
+                            "Baseline Cache; the displaced LRU base "
+                            "line parked in turn, Figure 5 right):");
+}
+
+} // namespace
+
+int
+main()
+{
+    part1TwoTagPathology();
+    part2CompressedMiss();
+    part3VictimHit();
+    std::printf("\nDone. Compare each part against Figures 2, 4 and 5 "
+                "of the paper.\n");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A hands-on reconstruction of Section III: how compression interacts
+ * negatively with replacement. Drives the three compressed LLC
+ * organizations directly (no core model) with a workload that has a
+ * hot, recency-protected set of lines plus a compressible scan, and
+ * shows:
+ *
+ *   - the naive two-tag cache victimizes hot lines' partners and loses
+ *     hits the baseline kept (the Figure 2 pathology, at scale);
+ *   - the modified (ECM-style) policy avoids most partner evictions
+ *     but breaks the replacement order;
+ *   - Base-Victim keeps every baseline hit and adds victim hits.
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "compress/bdi.hh"
+#include "core/base_victim_cache.hh"
+#include "core/two_tag_array.hh"
+#include "core/uncompressed_llc.hh"
+#include "trace/data_patterns.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+struct Outcome
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t backInvals = 0;
+};
+
+/** Hot lines re-touched regularly + a scan of compressible lines. */
+Outcome
+drive(Llc &llc, const DataPattern &pattern)
+{
+    constexpr unsigned kHotLines = 2048;   // ~half the LLC
+    constexpr unsigned kScanLines = 65536; // 16x the LLC
+    const Addr hotBase = 0x1000'0000;
+    const Addr scanBase = 0x9000'0000;
+
+    Rng rng(4242);
+    std::array<std::uint8_t, kLineBytes> line{};
+    Outcome outcome;
+    Addr scanNext = 0;
+
+    for (unsigned step = 0; step < 400'000; ++step) {
+        Addr blk;
+        if (rng.chance(0.7)) {
+            blk = hotBase + rng.range(kHotLines) * kLineBytes;
+        } else {
+            blk = scanBase + (scanNext++ % kScanLines) * kLineBytes;
+        }
+        pattern.fillLine(blk, line.data());
+        const LlcResult r = llc.access(blk, AccessType::Read,
+                                       line.data());
+        outcome.hits += r.hit;
+        outcome.misses += !r.hit;
+        outcome.backInvals += r.backInvalidations.size();
+    }
+    return outcome;
+}
+
+} // namespace
+
+void
+runScenario(const char *title, DataPatternKind patternKind)
+{
+    const BdiCompressor bdi;
+    const DataPattern pattern(patternKind, 99);
+    constexpr std::size_t kLlcBytes = 256 * 1024;
+    constexpr std::size_t kWays = 16;
+
+    UncompressedLlc baseline(kLlcBytes, kWays, ReplacementKind::Nru);
+    TwoTagNaiveLlc naive(kLlcBytes, kWays, ReplacementKind::Nru, bdi);
+    TwoTagModifiedLlc modified(kLlcBytes, kWays, ReplacementKind::Nru,
+                               bdi);
+    BaseVictimLlc baseVictim(kLlcBytes, kWays, ReplacementKind::Nru,
+                             VictimReplKind::Ecm, bdi);
+
+    struct Row
+    {
+        const char *name;
+        Llc *llc;
+    };
+    const Row rows[] = {{"two-tag naive (Sec III opt 1)", &naive},
+                        {"two-tag modified (ECM)", &modified},
+                        {"Base-Victim (Sec IV)", &baseVictim}};
+
+    const Outcome ref = drive(baseline, pattern);
+    Table table({"LLC organization", "hit rate", "misses vs baseline",
+                 "back-invalidations"});
+    table.addRow({"uncompressed baseline",
+                  Table::num(100.0 * ref.hits /
+                                 (ref.hits + ref.misses), 1) + "%",
+                  "1.000",
+                  std::to_string(ref.backInvals)});
+
+    for (const Row &row : rows) {
+        const Outcome o = drive(*row.llc, pattern);
+        table.addRow({row.name,
+                      Table::num(100.0 * o.hits / (o.hits + o.misses),
+                                 1) + "%",
+                      Table::num(static_cast<double>(o.misses) /
+                                 ref.misses),
+                      std::to_string(o.backInvals)});
+    }
+
+    std::printf("\n=== %s ===\n%s", title, table.render().c_str());
+    std::printf("Base-Victim victim-cache hits: %llu\n",
+                static_cast<unsigned long long>(
+                    baseVictim.stats().get("victim_hits")));
+}
+
+int
+main()
+{
+    std::printf("Hot-set + scan workload, 256KB 16-way LLC, NRU "
+                "baseline policy.\n"
+                "What to look for (Sections III/IV):\n"
+                "  - with well-compressing data, the two-tag schemes "
+                "gain capacity;\n"
+                "  - with poorly compressing data, partner-line "
+                "victimization makes\n"
+                "    the naive scheme LOSE hits the baseline kept "
+                "(misses > 1.0);\n"
+                "  - Base-Victim's misses are never above baseline, "
+                "in either case.\n");
+
+    runScenario("compression-friendly data (MixedGood)",
+                DataPatternKind::MixedGood);
+    runScenario("poorly compressing data (MixedPoor)",
+                DataPatternKind::MixedPoor);
+    return 0;
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Extract per-trace series from bench_output.txt into CSV files.
+
+The figure benches print the per-trace normalized IPC / DRAM-read
+series that the paper plots as line graphs (Figures 6, 8, 12, ...).
+This script slices bench_output.txt into one CSV per bench section so
+the series can be plotted with any tool:
+
+    ./scripts/extract_results.py bench_output.txt out_dir/
+
+Each CSV has the columns: trace, ipc_ratio, dram_read_ratio, bucket.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+SECTION_RE = re.compile(r"^(Figure \d+|Section [IVX.B0-9]+|Table I|"
+                        r"Ablation)[:,]?\s*(.*)$")
+ROW_RE = re.compile(r"^(\S+/\S+)\s+([0-9.]+)\s+([0-9.]+)\s*$")
+BUCKET_RE = re.compile(r"^\[(.+) traces, sorted by IPC ratio\]$")
+
+
+def slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")[:60]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    src, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    section = "preamble"
+    bucket = ""
+    rows_by_section: dict[str, list[tuple[str, str, str, str]]] = {}
+
+    with open(src, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            match = SECTION_RE.match(line)
+            if match:
+                section = slug(line)
+                bucket = ""
+                continue
+            match = BUCKET_RE.match(line)
+            if match:
+                bucket = match.group(1)
+                continue
+            match = ROW_RE.match(line)
+            if match:
+                rows_by_section.setdefault(section, []).append(
+                    (match.group(1), match.group(2), match.group(3),
+                     bucket))
+
+    for section_name, rows in rows_by_section.items():
+        path = os.path.join(out_dir, f"{section_name}.csv")
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["trace", "ipc_ratio", "dram_read_ratio", "bucket"])
+            writer.writerows(rows)
+        print(f"{path}: {len(rows)} rows")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+Cache::Cache(std::string name, std::size_t sizeBytes, std::size_t ways,
+             ReplacementKind repl, unsigned latency)
+    : sets_(sizeBytes / kLineBytes / ways),
+      ways_(ways),
+      latency_(latency),
+      lines_(sets_ * ways_),
+      stats_(std::move(name))
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "cache set count must be a nonzero power of two");
+    panicIf(sets_ * ways_ * kLineBytes != sizeBytes,
+            "cache size not divisible into sets*ways*64B");
+    repl_ = makeReplacement(repl, sets_, ways_);
+}
+
+std::size_t
+Cache::setIndex(Addr blk) const
+{
+    return (blk >> kLineShift) & (sets_ - 1);
+}
+
+CacheLine *
+Cache::findLine(Addr blk)
+{
+    const std::size_t set = setIndex(blk);
+    for (std::size_t w = 0; w < ways_; ++w) {
+        CacheLine &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == blk)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::findLine(Addr blk) const
+{
+    return const_cast<Cache *>(this)->findLine(blk);
+}
+
+bool
+Cache::access(Addr blk, bool write, std::optional<Eviction> &evicted)
+{
+    evicted.reset();
+    ++stats_.counter("accesses");
+    const std::size_t set = setIndex(blk);
+
+    if (CacheLine *line = findLine(blk)) {
+        ++stats_.counter(write ? "write_hits" : "read_hits");
+        line->dirty = line->dirty || write;
+        const auto way = static_cast<std::size_t>(line - &lines_[set * ways_]);
+        repl_->onHit(set, way);
+        return true;
+    }
+
+    ++stats_.counter(write ? "write_misses" : "read_misses");
+
+    // Prefer an invalid way; otherwise consult the replacement policy.
+    std::size_t victimWay = ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!lines_[set * ways_ + w].valid) {
+            victimWay = w;
+            break;
+        }
+    }
+    if (victimWay == ways_)
+        victimWay = repl_->victim(set);
+
+    CacheLine &line = lines_[set * ways_ + victimWay];
+    if (line.valid) {
+        ++stats_.counter("evictions");
+        if (line.dirty)
+            ++stats_.counter("dirty_evictions");
+        evicted = Eviction{line.tag, line.dirty};
+    }
+
+    line.tag = blk;
+    line.valid = true;
+    line.dirty = write;
+    line.segments = kSegmentsPerLine;
+    repl_->onFill(set, victimWay);
+    return false;
+}
+
+bool
+Cache::probe(Addr blk) const
+{
+    return findLine(blk) != nullptr;
+}
+
+bool
+Cache::probeDirty(Addr blk) const
+{
+    const CacheLine *line = findLine(blk);
+    return line != nullptr && line->dirty;
+}
+
+std::optional<bool>
+Cache::invalidate(Addr blk)
+{
+    CacheLine *line = findLine(blk);
+    if (line == nullptr)
+        return std::nullopt;
+    const bool wasDirty = line->dirty;
+    const std::size_t set = setIndex(blk);
+    const auto way = static_cast<std::size_t>(line - &lines_[set * ways_]);
+    line->invalidate();
+    repl_->onInvalidate(set, way);
+    ++stats_.counter("back_invalidations");
+    if (wasDirty)
+        ++stats_.counter("dirty_back_invalidations");
+    return wasDirty;
+}
+
+void
+Cache::forEachLine(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const CacheLine &line : lines_)
+        if (line.valid)
+            fn(line);
+}
+
+void
+Cache::flush()
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (std::size_t way = 0; way < ways_; ++way) {
+            CacheLine &line = lines_[set * ways_ + way];
+            if (line.valid) {
+                line.invalidate();
+                repl_->onInvalidate(set, way);
+            }
+        }
+    }
+}
+
+} // namespace bvc

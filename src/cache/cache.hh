@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generic uncompressed set-associative writeback cache, used for the L1
+ * instruction/data caches and the unified L2 (Section V configuration).
+ * Inclusion with the LLC is enforced externally by the hierarchy through
+ * invalidate().
+ */
+
+#ifndef BVC_CACHE_CACHE_HH_
+#define BVC_CACHE_CACHE_HH_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_line.hh"
+#include "replacement/factory.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** A line evicted by a fill, reported to the caller for writeback. */
+struct Eviction
+{
+    Addr addr = 0;
+    bool dirty = false;
+};
+
+/** Set-associative, write-allocate, writeback cache. */
+class Cache
+{
+  public:
+    /**
+     * @param name       stats prefix, e.g. "l1d"
+     * @param sizeBytes  total capacity; must be sets*ways*64
+     * @param ways       associativity
+     * @param repl       replacement policy kind
+     * @param latency    load-to-use latency in cycles
+     */
+    Cache(std::string name, std::size_t sizeBytes, std::size_t ways,
+          ReplacementKind repl, unsigned latency);
+
+    /**
+     * Look up `blk`; on a hit update replacement state, on a miss fill
+     * the line (caller is responsible for fetching from the level below
+     * first) and report any eviction.
+     *
+     * @param blk   block-aligned address
+     * @param write true to mark the line dirty
+     * @param[out] evicted the replaced line if the fill displaced one
+     * @return true on hit
+     */
+    bool access(Addr blk, bool write, std::optional<Eviction> &evicted);
+
+    /** Tag lookup with no state change. */
+    bool probe(Addr blk) const;
+
+    /** True if the line is present and dirty (no state change). */
+    bool probeDirty(Addr blk) const;
+
+    /**
+     * Remove `blk` if present (back-invalidation from an inclusive LLC
+     * or external snoop).
+     * @return the line's dirtiness if it was present
+     */
+    std::optional<bool> invalidate(Addr blk);
+
+    /** Invalidate every line (e.g., between benchmark phases). */
+    void flush();
+
+    unsigned latency() const { return latency_; }
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWays() const { return ways_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Set index for a block address (for tests). */
+    std::size_t setIndex(Addr blk) const;
+
+    /** Visit every valid line (inclusion checks in tests). */
+    void forEachLine(
+        const std::function<void(const CacheLine &)> &fn) const;
+
+  private:
+    CacheLine *findLine(Addr blk);
+    const CacheLine *findLine(Addr blk) const;
+
+    std::size_t sets_;
+    std::size_t ways_;
+    unsigned latency_;
+    std::vector<CacheLine> lines_; // sets_ x ways_, row-major
+    std::unique_ptr<ReplacementPolicy> repl_;
+    StatGroup stats_;
+};
+
+} // namespace bvc
+
+#endif // BVC_CACHE_CACHE_HH_

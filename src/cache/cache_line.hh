@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tag-array entry shared by all cache models. The compressed-size field
+ * (4 bits of metadata in hardware, Section IV.C) is carried here even for
+ * uncompressed levels, where it stays at kSegmentsPerLine.
+ */
+
+#ifndef BVC_CACHE_CACHE_LINE_HH_
+#define BVC_CACHE_CACHE_LINE_HH_
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** One logical tag entry. `tag` holds the full block address. */
+struct CacheLine
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Compressed size in 4B segments recorded at fill/writeback time. */
+    unsigned segments = kSegmentsPerLine;
+
+    void
+    invalidate()
+    {
+        valid = false;
+        dirty = false;
+        tag = 0;
+        segments = kSegmentsPerLine;
+    }
+};
+
+} // namespace bvc
+
+#endif // BVC_CACHE_CACHE_LINE_HH_

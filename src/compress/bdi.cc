@@ -1,0 +1,225 @@
+#include "compress/bdi.hh"
+
+#include <cstring>
+
+#include "compress/bitstream.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+/** Read a little-endian element of `width` bytes at index `i`. */
+std::uint64_t
+loadElem(const std::uint8_t *line, unsigned width, unsigned i)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, line + static_cast<std::size_t>(i) * width, width);
+    return v;
+}
+
+/** Write a little-endian element of `width` bytes at index `i`. */
+void
+storeElem(std::uint8_t *line, unsigned width, unsigned i, std::uint64_t v)
+{
+    std::memcpy(line + static_cast<std::size_t>(i) * width, &v, width);
+}
+
+bool
+allZero(const std::uint8_t *line)
+{
+    for (std::size_t i = 0; i < kLineBytes; ++i)
+        if (line[i] != 0)
+            return false;
+    return true;
+}
+
+bool
+repeated8(const std::uint8_t *line)
+{
+    std::uint64_t first = 0;
+    std::memcpy(&first, line, 8);
+    for (unsigned i = 1; i < kLineBytes / 8; ++i)
+        if (loadElem(line, 8, i) != first)
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+BdiCompressor::encodedBytes(Encoding enc)
+{
+    switch (enc) {
+      case Zeros: return 1;
+      case Rep8: return 8;
+      case B8D1: return 8 + 8 * 1 + 1;   // base + deltas + mask
+      case B8D2: return 8 + 8 * 2 + 1;
+      case B8D4: return 8 + 8 * 4 + 1;
+      case B4D1: return 4 + 16 * 1 + 2;
+      case B4D2: return 4 + 16 * 2 + 2;
+      case B2D1: return 2 + 32 * 1 + 4;
+      case Uncompressed: return kLineBytes;
+      default: panic("BDI: unknown encoding");
+    }
+}
+
+bool
+BdiCompressor::tryBaseDelta(const std::uint8_t *line, unsigned baseBytes,
+                            unsigned deltaBytes,
+                            std::vector<std::uint8_t> &out)
+{
+    const unsigned elems = static_cast<unsigned>(kLineBytes) / baseBytes;
+    const unsigned deltaBits = deltaBytes * 8;
+
+    // First pass: find the base (first element that is not within delta
+    // range of zero) and verify every element is within range of either
+    // zero or the base.
+    bool haveBase = false;
+    std::uint64_t base = 0;
+    std::uint64_t maskBits = 0; // bit i set => element i uses the base
+
+    for (unsigned i = 0; i < elems; ++i) {
+        const std::uint64_t raw = loadElem(line, baseBytes, i);
+        const auto val = signExtend(raw, baseBytes * 8);
+        if (fitsSigned(val, deltaBits))
+            continue; // immediate: delta from the implicit zero base
+        if (!haveBase) {
+            haveBase = true;
+            base = raw;
+            maskBits |= 1ULL << i;
+            continue;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(raw) - static_cast<std::int64_t>(base);
+        // Compare in the element's own width to handle wraparound.
+        const auto deltaNarrow = signExtend(
+            static_cast<std::uint64_t>(delta), baseBytes * 8);
+        if (!fitsSigned(deltaNarrow, deltaBits))
+            return false;
+        maskBits |= 1ULL << i;
+    }
+
+    // Second pass: emit base, mask, deltas.
+    out.clear();
+    out.reserve(encodedBytes(B8D4));
+    for (unsigned b = 0; b < baseBytes; ++b)
+        out.push_back(static_cast<std::uint8_t>(base >> (8 * b)));
+    for (unsigned b = 0; b < elems / 8; ++b)
+        out.push_back(static_cast<std::uint8_t>(maskBits >> (8 * b)));
+    for (unsigned i = 0; i < elems; ++i) {
+        const std::uint64_t raw = loadElem(line, baseBytes, i);
+        std::uint64_t delta;
+        if (maskBits & (1ULL << i))
+            delta = raw - base;
+        else
+            delta = raw;
+        for (unsigned b = 0; b < deltaBytes; ++b)
+            out.push_back(static_cast<std::uint8_t>(delta >> (8 * b)));
+    }
+    return true;
+}
+
+void
+BdiCompressor::decodeBaseDelta(const CompressedBlock &block,
+                               unsigned baseBytes, unsigned deltaBytes,
+                               std::uint8_t *out)
+{
+    const unsigned elems = static_cast<unsigned>(kLineBytes) / baseBytes;
+    const std::uint8_t *p = block.payload.data();
+
+    std::uint64_t base = 0;
+    for (unsigned b = 0; b < baseBytes; ++b)
+        base |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    p += baseBytes;
+
+    std::uint64_t maskBits = 0;
+    for (unsigned b = 0; b < elems / 8; ++b)
+        maskBits |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    p += elems / 8;
+
+    for (unsigned i = 0; i < elems; ++i) {
+        std::uint64_t delta = 0;
+        for (unsigned b = 0; b < deltaBytes; ++b)
+            delta |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+        p += deltaBytes;
+        // Deltas are stored truncated; sign-extend to recover them.
+        const auto wide = static_cast<std::uint64_t>(
+            signExtend(delta, deltaBytes * 8));
+        const std::uint64_t value =
+            (maskBits & (1ULL << i)) ? base + wide : wide;
+        storeElem(out, baseBytes, i, value);
+    }
+}
+
+CompressedBlock
+BdiCompressor::compress(const std::uint8_t *line) const
+{
+    CompressedBlock block;
+
+    if (allZero(line)) {
+        block.encoding = Zeros;
+        block.payload.assign(1, 0);
+        return block;
+    }
+    if (repeated8(line)) {
+        block.encoding = Rep8;
+        block.payload.assign(line, line + 8);
+        return block;
+    }
+
+    // All base-delta configurations, tried best (smallest) first.
+    struct Config { Encoding enc; unsigned base, delta; };
+    static constexpr Config kConfigs[] = {
+        {B8D1, 8, 1}, {B4D1, 4, 1}, {B8D2, 8, 2}, {B2D1, 2, 1},
+        {B4D2, 4, 2}, {B8D4, 8, 4},
+    };
+
+    CompressedBlock best;
+    best.encoding = Uncompressed;
+    best.payload.assign(line, line + kLineBytes);
+
+    std::vector<std::uint8_t> candidate;
+    for (const auto &cfg : kConfigs) {
+        if (!tryBaseDelta(line, cfg.base, cfg.delta, candidate))
+            continue;
+        if (candidate.size() < best.payload.size()) {
+            best.encoding = cfg.enc;
+            best.payload = candidate;
+        }
+    }
+    return best;
+}
+
+void
+BdiCompressor::decompress(const CompressedBlock &block,
+                          std::uint8_t *out) const
+{
+    switch (block.encoding) {
+      case Zeros:
+        std::memset(out, 0, kLineBytes);
+        return;
+      case Rep8:
+        panicIf(block.payload.size() != 8, "BDI Rep8 payload size");
+        for (unsigned i = 0; i < kLineBytes / 8; ++i)
+            std::memcpy(out + 8 * i, block.payload.data(), 8);
+        return;
+      case B8D1: decodeBaseDelta(block, 8, 1, out); return;
+      case B8D2: decodeBaseDelta(block, 8, 2, out); return;
+      case B8D4: decodeBaseDelta(block, 8, 4, out); return;
+      case B4D1: decodeBaseDelta(block, 4, 1, out); return;
+      case B4D2: decodeBaseDelta(block, 4, 2, out); return;
+      case B2D1: decodeBaseDelta(block, 2, 1, out); return;
+      case Uncompressed:
+        panicIf(block.payload.size() != kLineBytes,
+                "BDI uncompressed payload size");
+        std::memcpy(out, block.payload.data(), kLineBytes);
+        return;
+      default:
+        panic("BDI: decompress of unknown encoding");
+    }
+}
+
+} // namespace bvc

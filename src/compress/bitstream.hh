@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bit-granular serialization helpers shared by the FPC and C-Pack codecs,
+ * which emit variable-width codewords.
+ */
+
+#ifndef BVC_COMPRESS_BITSTREAM_HH_
+#define BVC_COMPRESS_BITSTREAM_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+/** Append-only MSB-first bit writer backed by a byte vector. */
+class BitWriter
+{
+  public:
+    /** Append the low `bits` bits of `value`, most significant first. */
+    void
+    put(std::uint64_t value, unsigned bits)
+    {
+        panicIf(bits > 64, "BitWriter::put width > 64");
+        for (unsigned i = bits; i > 0; --i)
+            putBit((value >> (i - 1)) & 1);
+    }
+
+    /** Number of whole bytes needed to hold the bits written so far. */
+    std::size_t
+    sizeBytes() const
+    {
+        return (bitCount_ + 7) / 8;
+    }
+
+    std::size_t bitCount() const { return bitCount_; }
+
+    /** Finalize and take the padded byte buffer. */
+    std::vector<std::uint8_t>
+    take()
+    {
+        return std::move(bytes_);
+    }
+
+  private:
+    void
+    putBit(unsigned bit)
+    {
+        const std::size_t byteIdx = bitCount_ / 8;
+        if (byteIdx == bytes_.size())
+            bytes_.push_back(0);
+        if (bit)
+            bytes_[byteIdx] |= static_cast<std::uint8_t>(
+                0x80u >> (bitCount_ % 8));
+        ++bitCount_;
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bitCount_ = 0;
+};
+
+/** MSB-first bit reader over a byte buffer produced by BitWriter. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t sizeBytes)
+        : data_(data), bitLimit_(sizeBytes * 8)
+    {
+    }
+
+    /** Read the next `bits` bits as an unsigned value. */
+    std::uint64_t
+    get(unsigned bits)
+    {
+        panicIf(bits > 64, "BitReader::get width > 64");
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < bits; ++i)
+            value = (value << 1) | getBit();
+        return value;
+    }
+
+    std::size_t bitsConsumed() const { return bitPos_; }
+
+  private:
+    unsigned
+    getBit()
+    {
+        panicIf(bitPos_ >= bitLimit_, "BitReader overrun");
+        const unsigned bit =
+            (data_[bitPos_ / 8] >> (7 - bitPos_ % 8)) & 1;
+        ++bitPos_;
+        return bit;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t bitLimit_;
+    std::size_t bitPos_ = 0;
+};
+
+/** Sign-extend the low `bits` bits of `v` to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned bits)
+{
+    const std::uint64_t mask = 1ULL << (bits - 1);
+    const std::uint64_t low = bits >= 64
+        ? v
+        : (v & ((1ULL << bits) - 1));
+    return static_cast<std::int64_t>((low ^ mask) - mask);
+}
+
+/** True if signed value v fits in `bits` bits (two's complement). */
+constexpr bool
+fitsSigned(std::int64_t v, unsigned bits)
+{
+    const std::int64_t lo = -(1LL << (bits - 1));
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_BITSTREAM_HH_

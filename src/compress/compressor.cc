@@ -1,0 +1,24 @@
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+unsigned
+Compressor::decompressionCycles(unsigned segments) const
+{
+    // Tag metadata exposes the size field, so zero lines (0 segments)
+    // and uncompressed lines (full-size) bypass the decompressor
+    // entirely (Section V of the paper). Everything else pays the
+    // two-cycle BDI-class decompression latency.
+    if (segments == 0 || segments >= kSegmentsPerLine)
+        return 0;
+    return 2;
+}
+
+unsigned
+Compressor::compressedSegments(const std::uint8_t *line) const
+{
+    return bytesToSegments(compress(line).sizeBytes());
+}
+
+} // namespace bvc

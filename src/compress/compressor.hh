@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Abstract cache-line compression interface. All algorithms (BDI, FPC,
+ * C-Pack, zero-content) compress one 64B line at a time and must round-trip
+ * exactly. The cache models consume only the segment-quantized compressed
+ * size (Section IV.C of the paper: 4-byte alignment, 16 possible sizes),
+ * but full encode/decode is implemented and tested for every algorithm.
+ */
+
+#ifndef BVC_COMPRESS_COMPRESSOR_HH_
+#define BVC_COMPRESS_COMPRESSOR_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** One compressed cache line: opaque payload plus its exact byte size. */
+struct CompressedBlock
+{
+    /** Algorithm-specific encoding id (see each compressor's enum). */
+    std::uint32_t encoding = 0;
+    /** Encoded bytes, including any per-line metadata the format needs. */
+    std::vector<std::uint8_t> payload;
+
+    /** Exact compressed size in bytes (== payload.size()). */
+    std::size_t sizeBytes() const { return payload.size(); }
+};
+
+/**
+ * Quantize a byte size to 4-byte segments, the granularity the paper's
+ * tag metadata tracks. A fully-zero line still occupies one tag but zero
+ * data segments are special-cased by the caches, so we clamp to [0, 16].
+ */
+constexpr unsigned
+bytesToSegments(std::size_t bytes)
+{
+    const auto segs = static_cast<unsigned>(
+        (bytes + kSegmentBytes - 1) / kSegmentBytes);
+    return segs > kSegmentsPerLine ? kSegmentsPerLine : segs;
+}
+
+/** Abstract single-line compressor. Implementations must be stateless. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Compress one kLineBytes-sized line. */
+    virtual CompressedBlock compress(const std::uint8_t *line) const = 0;
+
+    /**
+     * Reconstruct the original 64 bytes from a block previously produced
+     * by this compressor's compress().
+     * @param block the compressed representation
+     * @param out   destination buffer of kLineBytes bytes
+     */
+    virtual void decompress(const CompressedBlock &block,
+                            std::uint8_t *out) const = 0;
+
+    /** Human-readable algorithm name ("BDI", "FPC", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Decompression latency in core cycles for a line stored with the
+     * given compressed segment count. Zero and uncompressed lines are
+     * detected from the tag-metadata size field and skip decompression
+     * (Section V), which implementations express by returning 0.
+     */
+    virtual unsigned decompressionCycles(unsigned segments) const;
+
+    /**
+     * Convenience: compressed size of `line` in 4-byte segments. This is
+     * what the compressed-cache models store in tag metadata.
+     */
+    unsigned compressedSegments(const std::uint8_t *line) const;
+};
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_COMPRESSOR_HH_

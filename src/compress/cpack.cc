@@ -1,0 +1,206 @@
+#include "compress/cpack.hh"
+
+#include <cstring>
+
+#include "compress/bitstream.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+constexpr unsigned kWords = kLineBytes / 4;
+
+std::uint32_t
+loadWord(const std::uint8_t *line, unsigned i)
+{
+    std::uint32_t w = 0;
+    std::memcpy(&w, line + 4 * i, 4);
+    return w;
+}
+
+void
+storeWord(std::uint8_t *line, unsigned i, std::uint32_t w)
+{
+    std::memcpy(line + 4 * i, &w, 4);
+}
+
+/** FIFO dictionary of up to kDictEntries words. */
+class Dictionary
+{
+  public:
+    unsigned size() const { return size_; }
+    std::uint32_t at(unsigned i) const { return entries_[i]; }
+
+    void
+    push(std::uint32_t w)
+    {
+        entries_[head_] = w;
+        head_ = (head_ + 1) % CpackCompressor::kDictEntries;
+        if (size_ < CpackCompressor::kDictEntries)
+            ++size_;
+    }
+
+    /**
+     * Best match for `w`: returns matched byte count from the most
+     * significant end (4, 3, 2) and the entry index, or 0 bytes.
+     * Physical index is stable within a line because entries are only
+     * appended, never rotated out (<= 16 non-zero unmatched words fit).
+     */
+    unsigned
+    match(std::uint32_t w, unsigned &index) const
+    {
+        unsigned bestBytes = 0;
+        for (unsigned i = 0; i < size_; ++i) {
+            const std::uint32_t e = entries_[i];
+            unsigned bytes = 0;
+            if (e == w)
+                bytes = 4;
+            else if ((e >> 8) == (w >> 8))
+                bytes = 3;
+            else if ((e >> 16) == (w >> 16))
+                bytes = 2;
+            if (bytes > bestBytes) {
+                bestBytes = bytes;
+                index = i;
+            }
+        }
+        return bestBytes;
+    }
+
+  private:
+    std::uint32_t entries_[CpackCompressor::kDictEntries] = {};
+    unsigned head_ = 0;
+    unsigned size_ = 0;
+};
+
+enum : unsigned
+{
+    CodeZero = 0b00,
+    CodeVerbatim = 0b01,
+    CodeFullMatch = 0b10,
+    CodeExt = 0b11,
+    ExtZzzx = 0b00,
+    ExtMmxx = 0b01,
+    ExtMmmx = 0b10,
+};
+
+} // namespace
+
+CompressedBlock
+CpackCompressor::compress(const std::uint8_t *line) const
+{
+    BitWriter writer;
+    Dictionary dict;
+
+    for (unsigned i = 0; i < kWords; ++i) {
+        const std::uint32_t w = loadWord(line, i);
+
+        if (w == 0) {
+            writer.put(CodeZero, 2);
+            continue;
+        }
+        if ((w & 0xFFFFFF00u) == 0) {
+            writer.put(CodeExt, 2);
+            writer.put(ExtZzzx, 2);
+            writer.put(w & 0xFF, 8);
+            continue;
+        }
+
+        unsigned index = 0;
+        const unsigned matched = dict.match(w, index);
+        if (matched == 4) {
+            writer.put(CodeFullMatch, 2);
+            writer.put(index, 4);
+        } else if (matched == 3) {
+            writer.put(CodeExt, 2);
+            writer.put(ExtMmmx, 2);
+            writer.put(index, 4);
+            writer.put(w & 0xFF, 8);
+        } else if (matched == 2) {
+            writer.put(CodeExt, 2);
+            writer.put(ExtMmxx, 2);
+            writer.put(index, 4);
+            writer.put(w & 0xFFFF, 16);
+        } else {
+            writer.put(CodeVerbatim, 2);
+            writer.put(w, 32);
+            dict.push(w);
+        }
+    }
+
+    CompressedBlock block;
+    block.encoding = 0;
+    block.payload = writer.take();
+    if (block.payload.size() >= kLineBytes) {
+        block.encoding = 1;
+        block.payload.assign(line, line + kLineBytes);
+    }
+    return block;
+}
+
+void
+CpackCompressor::decompress(const CompressedBlock &block,
+                            std::uint8_t *out) const
+{
+    if (block.encoding == 1) {
+        panicIf(block.payload.size() != kLineBytes,
+                "C-Pack verbatim payload size");
+        std::memcpy(out, block.payload.data(), kLineBytes);
+        return;
+    }
+
+    BitReader reader(block.payload.data(), block.payload.size());
+    Dictionary dict;
+
+    for (unsigned i = 0; i < kWords; ++i) {
+        const unsigned code = static_cast<unsigned>(reader.get(2));
+        switch (code) {
+          case CodeZero:
+            storeWord(out, i, 0);
+            break;
+          case CodeVerbatim: {
+            const auto w = static_cast<std::uint32_t>(reader.get(32));
+            storeWord(out, i, w);
+            dict.push(w);
+            break;
+          }
+          case CodeFullMatch: {
+            const auto index = static_cast<unsigned>(reader.get(4));
+            panicIf(index >= dict.size(), "C-Pack: bad dict index");
+            storeWord(out, i, dict.at(index));
+            break;
+          }
+          case CodeExt: {
+            const unsigned ext = static_cast<unsigned>(reader.get(2));
+            if (ext == ExtZzzx) {
+                storeWord(out, i,
+                          static_cast<std::uint32_t>(reader.get(8)));
+            } else if (ext == ExtMmxx) {
+                const auto index = static_cast<unsigned>(reader.get(4));
+                panicIf(index >= dict.size(), "C-Pack: bad dict index");
+                const auto low =
+                    static_cast<std::uint32_t>(reader.get(16));
+                storeWord(out, i,
+                          (dict.at(index) & 0xFFFF0000u) | low);
+            } else if (ext == ExtMmmx) {
+                const auto index = static_cast<unsigned>(reader.get(4));
+                panicIf(index >= dict.size(), "C-Pack: bad dict index");
+                const auto low =
+                    static_cast<std::uint32_t>(reader.get(8));
+                storeWord(out, i,
+                          (dict.at(index) & 0xFFFFFF00u) | low);
+            } else {
+                panic("C-Pack: reserved extension code");
+            }
+            break;
+          }
+          default:
+            panic("C-Pack: impossible code");
+        }
+    }
+}
+
+} // namespace bvc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * C-Pack cache compression [Chen et al., IEEE TVLSI 2010]: per-32-bit-word
+ * pattern codes augmented with a small FIFO dictionary of recently seen
+ * words, capturing intra-line value redundancy that pure significance
+ * compression misses.
+ */
+
+#ifndef BVC_COMPRESS_CPACK_HH_
+#define BVC_COMPRESS_CPACK_HH_
+
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+/**
+ * C-Pack codec with a 16-entry dictionary built per line. Code words:
+ *
+ *   00            zzzz   zero word
+ *   01            xxxx   verbatim word (pushed into the dictionary)
+ *   10   + idx4   mmmm   full dictionary match
+ *   1100 + b      zzzx   three zero bytes + one literal byte
+ *   1101 + idx4+b2 mmxx  dictionary match on upper two bytes
+ *   1110 + idx4+b1 mmmx  dictionary match on upper three bytes
+ */
+class CpackCompressor : public Compressor
+{
+  public:
+    CompressedBlock compress(const std::uint8_t *line) const override;
+    void decompress(const CompressedBlock &block,
+                    std::uint8_t *out) const override;
+    std::string name() const override { return "C-Pack"; }
+
+    /**
+     * Dictionary decode is mostly serial: ~8 cycles per line (the
+     * latency cost of C-Pack's higher ratio vs BDI, Section V choice).
+     */
+    unsigned
+    decompressionCycles(unsigned segments) const override
+    {
+        if (segments == 0 || segments >= kSegmentsPerLine)
+            return 0;
+        return 8;
+    }
+
+    static constexpr unsigned kDictEntries = 16;
+};
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_CPACK_HH_

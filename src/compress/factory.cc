@@ -1,0 +1,55 @@
+#include "compress/factory.hh"
+
+#include "compress/bdi.hh"
+#include "compress/cpack.hh"
+#include "compress/fpc.hh"
+#include "compress/huffman.hh"
+#include "compress/zero.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+std::unique_ptr<Compressor>
+makeCompressor(CompressorKind kind)
+{
+    switch (kind) {
+      case CompressorKind::Bdi:
+        return std::make_unique<BdiCompressor>();
+      case CompressorKind::Fpc:
+        return std::make_unique<FpcCompressor>();
+      case CompressorKind::Cpack:
+        return std::make_unique<CpackCompressor>();
+      case CompressorKind::Zero:
+        return std::make_unique<ZeroCompressor>();
+      case CompressorKind::Sc2:
+        return std::make_unique<HuffmanCompressor>();
+    }
+    panic("makeCompressor: unknown kind");
+}
+
+std::unique_ptr<Compressor>
+makeCompressor(const std::string &name)
+{
+    if (name == "bdi")
+        return makeCompressor(CompressorKind::Bdi);
+    if (name == "fpc")
+        return makeCompressor(CompressorKind::Fpc);
+    if (name == "cpack")
+        return makeCompressor(CompressorKind::Cpack);
+    if (name == "zero")
+        return makeCompressor(CompressorKind::Zero);
+    if (name == "sc2")
+        return makeCompressor(CompressorKind::Sc2);
+    fatal("unknown compressor name: " + name);
+}
+
+std::vector<CompressorKind>
+allCompressorKinds()
+{
+    return {CompressorKind::Bdi, CompressorKind::Fpc,
+            CompressorKind::Cpack, CompressorKind::Zero,
+            CompressorKind::Sc2};
+}
+
+} // namespace bvc

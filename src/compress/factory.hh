@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Construction of compression algorithms by name, so that system configs
+ * and benches can select the codec ("bdi", "fpc", "cpack", "zero").
+ */
+
+#ifndef BVC_COMPRESS_FACTORY_HH_
+#define BVC_COMPRESS_FACTORY_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+/** Algorithms available to makeCompressor(). */
+enum class CompressorKind
+{
+    Bdi,
+    Fpc,
+    Cpack,
+    Zero,
+    Sc2, //!< SC2-lite statistical (Huffman) codec
+};
+
+/** Build a compressor instance of the given kind. */
+std::unique_ptr<Compressor> makeCompressor(CompressorKind kind);
+
+/** Build a compressor from its lowercase name; fatal() on unknown name. */
+std::unique_ptr<Compressor> makeCompressor(const std::string &name);
+
+/** All supported kinds (for parameterized tests). */
+std::vector<CompressorKind> allCompressorKinds();
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_FACTORY_HH_

@@ -1,0 +1,160 @@
+#include "compress/fpc.hh"
+
+#include <cstring>
+
+#include "compress/bitstream.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+constexpr unsigned kWords = kLineBytes / 4;
+
+std::uint32_t
+loadWord(const std::uint8_t *line, unsigned i)
+{
+    std::uint32_t w = 0;
+    std::memcpy(&w, line + 4 * i, 4);
+    return w;
+}
+
+void
+storeWord(std::uint8_t *line, unsigned i, std::uint32_t w)
+{
+    std::memcpy(line + 4 * i, &w, 4);
+}
+
+} // namespace
+
+CompressedBlock
+FpcCompressor::compress(const std::uint8_t *line) const
+{
+    BitWriter writer;
+
+    unsigned i = 0;
+    while (i < kWords) {
+        const std::uint32_t w = loadWord(line, i);
+        const auto sv = static_cast<std::int32_t>(w);
+
+        if (w == 0) {
+            // Aggregate up to 8 consecutive zero words into one code.
+            unsigned run = 1;
+            while (i + run < kWords && run < 8 &&
+                   loadWord(line, i + run) == 0) {
+                ++run;
+            }
+            writer.put(ZeroRun, 3);
+            writer.put(run - 1, 3);
+            i += run;
+            continue;
+        }
+
+        if (fitsSigned(sv, 4)) {
+            writer.put(Sign4, 3);
+            writer.put(w & 0xF, 4);
+        } else if (fitsSigned(sv, 8)) {
+            writer.put(Sign8, 3);
+            writer.put(w & 0xFF, 8);
+        } else if (fitsSigned(sv, 16)) {
+            writer.put(Sign16, 3);
+            writer.put(w & 0xFFFF, 16);
+        } else if ((w & 0xFFFF) == 0) {
+            writer.put(ZeroPadHalf, 3);
+            writer.put(w >> 16, 16);
+        } else if (fitsSigned(static_cast<std::int16_t>(w & 0xFFFF), 8) &&
+                   fitsSigned(static_cast<std::int16_t>(w >> 16), 8)) {
+            writer.put(TwoSign8, 3);
+            writer.put(w & 0xFF, 8);
+            writer.put((w >> 16) & 0xFF, 8);
+        } else if (((w & 0xFF) == ((w >> 8) & 0xFF)) &&
+                   ((w & 0xFF) == ((w >> 16) & 0xFF)) &&
+                   ((w & 0xFF) == ((w >> 24) & 0xFF))) {
+            writer.put(RepByte, 3);
+            writer.put(w & 0xFF, 8);
+        } else {
+            writer.put(Verbatim, 3);
+            writer.put(w, 32);
+        }
+        ++i;
+    }
+
+    CompressedBlock block;
+    block.encoding = 0;
+    block.payload = writer.take();
+    // FPC can expand incompressible data past 64B; fall back to verbatim
+    // storage in that case, flagged through the encoding field.
+    if (block.payload.size() >= kLineBytes) {
+        block.encoding = 1;
+        block.payload.assign(line, line + kLineBytes);
+    }
+    return block;
+}
+
+void
+FpcCompressor::decompress(const CompressedBlock &block,
+                          std::uint8_t *out) const
+{
+    if (block.encoding == 1) {
+        panicIf(block.payload.size() != kLineBytes,
+                "FPC verbatim payload size");
+        std::memcpy(out, block.payload.data(), kLineBytes);
+        return;
+    }
+
+    BitReader reader(block.payload.data(), block.payload.size());
+    unsigned i = 0;
+    while (i < kWords) {
+        const auto prefix = static_cast<Pattern>(reader.get(3));
+        switch (prefix) {
+          case ZeroRun: {
+            const auto run = static_cast<unsigned>(reader.get(3)) + 1;
+            panicIf(i + run > kWords, "FPC zero run overruns line");
+            for (unsigned k = 0; k < run; ++k)
+                storeWord(out, i + k, 0);
+            i += run;
+            break;
+          }
+          case Sign4:
+            storeWord(out, i++, static_cast<std::uint32_t>(
+                signExtend(reader.get(4), 4)));
+            break;
+          case Sign8:
+            storeWord(out, i++, static_cast<std::uint32_t>(
+                signExtend(reader.get(8), 8)));
+            break;
+          case Sign16:
+            storeWord(out, i++, static_cast<std::uint32_t>(
+                signExtend(reader.get(16), 16)));
+            break;
+          case ZeroPadHalf:
+            storeWord(out, i++, static_cast<std::uint32_t>(
+                reader.get(16) << 16));
+            break;
+          case TwoSign8: {
+            const auto lo = static_cast<std::uint16_t>(
+                signExtend(reader.get(8), 8));
+            const auto hi = static_cast<std::uint16_t>(
+                signExtend(reader.get(8), 8));
+            storeWord(out, i++, static_cast<std::uint32_t>(lo) |
+                                (static_cast<std::uint32_t>(hi) << 16));
+            break;
+          }
+          case RepByte: {
+            const auto b = static_cast<std::uint32_t>(reader.get(8));
+            storeWord(out, i++, b * 0x01010101u);
+            break;
+          }
+          case Verbatim:
+            storeWord(out, i++,
+                      static_cast<std::uint32_t>(reader.get(32)));
+            break;
+          default:
+            panic("FPC: impossible prefix");
+        }
+    }
+}
+
+} // namespace bvc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Frequent Pattern Compression [Alameldeen & Wood, ISCA 2004]. Each
+ * 32-bit word gets a 3-bit prefix selecting one of seven frequent
+ * patterns (or uncompressed); zero words additionally aggregate into
+ * runs. Included as an alternative LLC compression algorithm (the paper
+ * cites FPC as prior work; the architecture is algorithm-agnostic).
+ */
+
+#ifndef BVC_COMPRESS_FPC_HH_
+#define BVC_COMPRESS_FPC_HH_
+
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+/** FPC codec over sixteen 32-bit words per line. */
+class FpcCompressor : public Compressor
+{
+  public:
+    /** Per-word 3-bit pattern prefixes. */
+    enum Pattern : unsigned
+    {
+        ZeroRun = 0,       //!< run of zero words (3-bit run length - 1)
+        Sign4 = 1,         //!< 4-bit sign-extended word
+        Sign8 = 2,         //!< 8-bit sign-extended word
+        Sign16 = 3,        //!< 16-bit sign-extended word
+        ZeroPadHalf = 4,   //!< halfword padded with zeros (low half zero)
+        TwoSign8 = 5,      //!< two halfwords, each 8-bit sign-extended
+        RepByte = 6,       //!< word of four identical bytes
+        Verbatim = 7,      //!< uncompressed 32-bit word
+    };
+
+    CompressedBlock compress(const std::uint8_t *line) const override;
+    void decompress(const CompressedBlock &block,
+                    std::uint8_t *out) const override;
+    std::string name() const override { return "FPC"; }
+
+    /**
+     * FPC's variable-length prefixes serialize decode: ~5 cycles in
+     * its original pipeline estimate (vs BDI's 2, Section V choice).
+     */
+    unsigned
+    decompressionCycles(unsigned segments) const override
+    {
+        if (segments == 0 || segments >= kSegmentsPerLine)
+            return 0;
+        return 5;
+    }
+};
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_FPC_HH_

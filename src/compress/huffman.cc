@@ -1,0 +1,197 @@
+#include "compress/huffman.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "compress/bitstream.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+HuffmanCompressor::FrequencyTable
+HuffmanCompressor::defaultFrequencies()
+{
+    FrequencyTable freq{};
+    for (unsigned v = 0; v < 256; ++v)
+        freq[v] = 4 + (v % 7 == 0 ? 8 : 0); // light background noise
+    // Zero dominates cache data; small magnitudes and 0xFF (sign
+    // extension) follow — SC2's reported stable shape.
+    freq[0x00] = 200000;
+    for (unsigned v = 1; v <= 16; ++v)
+        freq[v] = 4000 / v;
+    freq[0xFF] = 2500;
+    freq[0x7F] = 400;
+    freq[0x80] = 400;
+    return freq;
+}
+
+void
+HuffmanCompressor::buildLengths(const FrequencyTable &frequencies)
+{
+    // Bounded-depth Huffman: build the tree; if any code exceeds
+    // kMaxCodeBits, dampen the frequency skew and rebuild.
+    FrequencyTable freq = frequencies;
+    for (auto &f : freq)
+        f = std::max<std::uint64_t>(f, 1);
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        struct Node
+        {
+            std::uint64_t weight;
+            int left = -1, right = -1;
+            int symbol = -1;
+        };
+        std::vector<Node> nodes;
+        nodes.reserve(512);
+
+        using Entry = std::pair<std::uint64_t, int>; // (weight, node)
+        std::priority_queue<Entry, std::vector<Entry>,
+                            std::greater<>> heap;
+        for (int s = 0; s < 256; ++s) {
+            nodes.push_back(Node{freq[static_cast<unsigned>(s)], -1, -1,
+                                 s});
+            heap.emplace(nodes.back().weight, s);
+        }
+        while (heap.size() > 1) {
+            const auto [wa, a] = heap.top();
+            heap.pop();
+            const auto [wb, b] = heap.top();
+            heap.pop();
+            nodes.push_back(Node{wa + wb, a, b, -1});
+            heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+        }
+
+        // Depth-first walk assigning lengths.
+        unsigned maxLen = 0;
+        std::vector<std::pair<int, unsigned>> stack;
+        stack.emplace_back(heap.top().second, 0);
+        while (!stack.empty()) {
+            const auto [idx, depth] = stack.back();
+            stack.pop_back();
+            const Node &node = nodes[static_cast<std::size_t>(idx)];
+            if (node.symbol >= 0) {
+                lengths_[static_cast<std::size_t>(node.symbol)] =
+                    static_cast<std::uint8_t>(std::max(depth, 1u));
+                maxLen = std::max(maxLen, std::max(depth, 1u));
+            } else {
+                stack.emplace_back(node.left, depth + 1);
+                stack.emplace_back(node.right, depth + 1);
+            }
+        }
+
+        if (maxLen <= kMaxCodeBits)
+            return;
+        // Dampen the skew (sqrt) and retry.
+        for (auto &f : freq)
+            f = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       std::sqrt(static_cast<double>(f))));
+    }
+    panic("Huffman: could not bound code lengths");
+}
+
+void
+HuffmanCompressor::buildCanonical()
+{
+    // Sort symbols by (length, value): the canonical order.
+    std::array<std::uint16_t, 256> order{};
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint16_t a, std::uint16_t b) {
+                         if (lengths_[a] != lengths_[b])
+                             return lengths_[a] < lengths_[b];
+                         return a < b;
+                     });
+    sortedSymbols_ = order;
+
+    // Assign consecutive codewords per length.
+    std::array<std::uint16_t, kMaxCodeBits + 1> countPerLen{};
+    for (unsigned s = 0; s < 256; ++s)
+        ++countPerLen[lengths_[s]];
+
+    std::uint32_t code = 0;
+    std::uint16_t symbolIndex = 0;
+    for (unsigned len = 1; len <= kMaxCodeBits; ++len) {
+        firstCode_[len] = code;
+        firstSymbol_[len] = symbolIndex;
+        code += countPerLen[len];
+        symbolIndex =
+            static_cast<std::uint16_t>(symbolIndex + countPerLen[len]);
+        code <<= 1;
+    }
+
+    std::array<std::uint32_t, kMaxCodeBits + 1> next = firstCode_;
+    for (const std::uint16_t symbol : order)
+        codes_[symbol] = next[lengths_[symbol]]++;
+}
+
+HuffmanCompressor::HuffmanCompressor(const FrequencyTable &frequencies)
+{
+    buildLengths(frequencies);
+    buildCanonical();
+}
+
+unsigned
+HuffmanCompressor::codeLength(std::uint8_t symbol) const
+{
+    return lengths_[symbol];
+}
+
+CompressedBlock
+HuffmanCompressor::compress(const std::uint8_t *line) const
+{
+    BitWriter writer;
+    for (std::size_t i = 0; i < kLineBytes; ++i)
+        writer.put(codes_[line[i]], lengths_[line[i]]);
+
+    CompressedBlock block;
+    block.encoding = 0;
+    block.payload = writer.take();
+    if (block.payload.size() >= kLineBytes) {
+        block.encoding = 1; // verbatim fallback
+        block.payload.assign(line, line + kLineBytes);
+    }
+    return block;
+}
+
+void
+HuffmanCompressor::decompress(const CompressedBlock &block,
+                              std::uint8_t *out) const
+{
+    if (block.encoding == 1) {
+        panicIf(block.payload.size() != kLineBytes,
+                "Huffman: bad verbatim payload");
+        std::memcpy(out, block.payload.data(), kLineBytes);
+        return;
+    }
+
+    BitReader reader(block.payload.data(), block.payload.size());
+    for (std::size_t i = 0; i < kLineBytes; ++i) {
+        // Canonical decode: extend the code one bit at a time until it
+        // falls inside some length's codeword range.
+        std::uint32_t code = 0;
+        unsigned len = 0;
+        for (;;) {
+            code = (code << 1) | static_cast<std::uint32_t>(reader.get(1));
+            ++len;
+            panicIf(len > kMaxCodeBits, "Huffman: code overrun");
+            const std::uint32_t offset = code - firstCode_[len];
+            const std::uint32_t nextFirstSymbol = len < kMaxCodeBits
+                ? firstSymbol_[len + 1]
+                : 256;
+            if (code >= firstCode_[len] &&
+                firstSymbol_[len] + offset < nextFirstSymbol) {
+                out[i] = static_cast<std::uint8_t>(
+                    sortedSymbols_[firstSymbol_[len] + offset]);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace bvc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SC2-class statistical compression [Arelakis & Stenstrom, ISCA 2014],
+ * cited by the paper as the high-ratio/high-latency end of the codec
+ * spectrum (Section VII.A). SC2 Huffman-codes cache data using
+ * frequency tables sampled at run time; since the tables change very
+ * slowly ("low variability of data values over time and across
+ * applications"), this implementation uses a canonical Huffman code
+ * over bytes built once from a provided (or default) frequency model.
+ *
+ * The Base-Victim architecture is codec-agnostic, so this slots into
+ * the same `Compressor` interface: higher compression ratio on text-
+ * like/value-skewed data than BDI, at several times the decompression
+ * latency — exactly the trade the paper declines (Section V picks BDI
+ * for its 2-cycle decompression).
+ */
+
+#ifndef BVC_COMPRESS_HUFFMAN_HH_
+#define BVC_COMPRESS_HUFFMAN_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+/** Canonical-Huffman byte codec (SC2-lite). */
+class HuffmanCompressor : public Compressor
+{
+  public:
+    using FrequencyTable = std::array<std::uint64_t, 256>;
+
+    /**
+     * Build the code from a byte-frequency model.
+     * @param frequencies observed (or assumed) byte frequencies; zero
+     *        entries are clamped to one so every symbol stays codable
+     */
+    explicit HuffmanCompressor(
+        const FrequencyTable &frequencies = defaultFrequencies());
+
+    CompressedBlock compress(const std::uint8_t *line) const override;
+    void decompress(const CompressedBlock &block,
+                    std::uint8_t *out) const override;
+    std::string name() const override { return "SC2-lite"; }
+
+    /**
+     * Serial Huffman decode costs several cycles more than BDI's
+     * parallel base+delta reconstruction (the Section V trade-off).
+     */
+    unsigned
+    decompressionCycles(unsigned segments) const override
+    {
+        if (segments == 0 || segments >= kSegmentsPerLine)
+            return 0;
+        return 8;
+    }
+
+    /**
+     * Default frequency model: heavily zero-skewed with mass on small
+     * values and 0xFF, the stable cross-application distribution SC2
+     * reports.
+     */
+    static FrequencyTable defaultFrequencies();
+
+    /**
+     * Sample a data source to build a workload-specific table, like
+     * SC2's sampling phase: accumulate byte frequencies of `lines`
+     * cache lines produced by `fill`.
+     */
+    template <typename FillFn>
+    static FrequencyTable
+    sampleFrequencies(FillFn &&fill, std::size_t lines)
+    {
+        FrequencyTable freq{};
+        std::uint8_t buffer[kLineBytes];
+        for (std::size_t i = 0; i < lines; ++i) {
+            fill(static_cast<Addr>(i) * kLineBytes, buffer);
+            for (const std::uint8_t byte : buffer)
+                ++freq[byte];
+        }
+        return freq;
+    }
+
+    /** Code length in bits assigned to byte `symbol` (tests). */
+    unsigned codeLength(std::uint8_t symbol) const;
+
+  private:
+    /** Assign code lengths with a bounded-depth Huffman build. */
+    void buildLengths(const FrequencyTable &frequencies);
+    /** Derive canonical codewords and the decode tables. */
+    void buildCanonical();
+
+    static constexpr unsigned kMaxCodeBits = 24;
+
+    std::array<std::uint8_t, 256> lengths_{};
+    std::array<std::uint32_t, 256> codes_{};
+    // Canonical decode tables, indexed by code length.
+    std::array<std::uint32_t, kMaxCodeBits + 1> firstCode_{};
+    std::array<std::uint16_t, kMaxCodeBits + 1> firstSymbol_{};
+    std::array<std::uint16_t, 256> sortedSymbols_{};
+};
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_HUFFMAN_HH_

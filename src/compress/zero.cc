@@ -1,0 +1,43 @@
+#include "compress/zero.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+CompressedBlock
+ZeroCompressor::compress(const std::uint8_t *line) const
+{
+    CompressedBlock block;
+    bool zero = true;
+    for (std::size_t i = 0; i < kLineBytes; ++i) {
+        if (line[i] != 0) {
+            zero = false;
+            break;
+        }
+    }
+    if (zero) {
+        block.encoding = 0;
+    } else {
+        block.encoding = 1;
+        block.payload.assign(line, line + kLineBytes);
+    }
+    return block;
+}
+
+void
+ZeroCompressor::decompress(const CompressedBlock &block,
+                           std::uint8_t *out) const
+{
+    if (block.encoding == 0) {
+        std::memset(out, 0, kLineBytes);
+        return;
+    }
+    panicIf(block.payload.size() != kLineBytes,
+            "Zero compressor: bad verbatim payload");
+    std::memcpy(out, block.payload.data(), kLineBytes);
+}
+
+} // namespace bvc

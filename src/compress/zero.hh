@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Zero-content compression [Dusser et al., ICS 2009]: null lines are
+ * stored tag-only; everything else is uncompressed. The cheapest possible
+ * compressor, useful as a lower-bound ablation for the Base-Victim
+ * architecture.
+ */
+
+#ifndef BVC_COMPRESS_ZERO_HH_
+#define BVC_COMPRESS_ZERO_HH_
+
+#include "compress/compressor.hh"
+
+namespace bvc
+{
+
+/** Null-block detector; non-zero lines stay verbatim. */
+class ZeroCompressor : public Compressor
+{
+  public:
+    CompressedBlock compress(const std::uint8_t *line) const override;
+    void decompress(const CompressedBlock &block,
+                    std::uint8_t *out) const override;
+    std::string name() const override { return "Zero"; }
+
+    /** Zero lines need no decompression; others are stored raw. */
+    unsigned decompressionCycles(unsigned) const override { return 0; }
+};
+
+} // namespace bvc
+
+#endif // BVC_COMPRESS_ZERO_HH_

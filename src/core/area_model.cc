@@ -1,0 +1,53 @@
+#include "core/area_model.hh"
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::size_t v)
+{
+    unsigned bits = 0;
+    while ((1ULL << bits) < v)
+        ++bits;
+    panicIf((1ULL << bits) != v, "area model: value not a power of two");
+    return bits;
+}
+
+} // namespace
+
+AreaBreakdown
+computeAreaOverhead(const AreaParams &params)
+{
+    AreaBreakdown out{};
+
+    const std::size_t sets = params.cacheBytes / kLineBytes / params.ways;
+    const unsigned indexBits = log2Exact(sets);
+    const unsigned offsetBits = log2Exact(kLineBytes);
+    // Paper: 48-bit addresses, 6 offset bits, 11 index bits -> 31-bit tag.
+    out.tagBits = params.addressBits - indexBits - offsetBits;
+
+    const unsigned dataBits = static_cast<unsigned>(kLineBytes) * 8;
+    out.baselineBitsPerWay =
+        out.tagBits + params.baselineMetadataBits + dataBits;
+
+    // One extra tag, two size fields (base + victim lines), one victim
+    // valid bit. The victim cache needs no replacement or coherence
+    // metadata beyond this (it is clean and randomly replaced).
+    out.addedBitsPerWay =
+        out.tagBits + 2 * params.sizeFieldBits + 1;
+
+    out.tagArrayOverhead =
+        static_cast<double>(out.addedBitsPerWay) /
+        static_cast<double>(out.baselineBitsPerWay);
+    out.totalOverhead =
+        out.tagArrayOverhead + params.compressionLogicFraction;
+    return out;
+}
+
+} // namespace bvc

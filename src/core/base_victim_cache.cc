@@ -1,0 +1,404 @@
+#include "core/base_victim_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+BaseVictimLlc::BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
+                             ReplacementKind baseRepl,
+                             VictimReplKind victimRepl,
+                             const Compressor &comp, bool inclusive,
+                             unsigned segmentQuantumBytes)
+    : Llc("llc"),
+      sets_(sizeBytes / kLineBytes / physWays),
+      ways_(physWays),
+      base_(sets_ * physWays),
+      victim_(sets_ * physWays),
+      comp_(comp),
+      inclusive_(inclusive),
+      quantumSegments_(segmentQuantumBytes / kSegmentBytes)
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "Base-Victim LLC set count must be a nonzero power of two");
+    panicIf(quantumSegments_ == 0 ||
+                kSegmentsPerLine % quantumSegments_ != 0,
+            "segment quantum must divide the line size");
+    baseRepl_ = makeReplacement(baseRepl, sets_, ways_);
+    victimRepl_ = makeVictimReplacement(victimRepl, sets_, ways_);
+}
+
+std::size_t
+BaseVictimLlc::setIndex(Addr blk) const
+{
+    return (blk >> kLineShift) & (sets_ - 1);
+}
+
+CacheLine &
+BaseVictimLlc::baseLine(std::size_t set, std::size_t way)
+{
+    return base_[set * ways_ + way];
+}
+
+const CacheLine &
+BaseVictimLlc::baseLine(std::size_t set, std::size_t way) const
+{
+    return base_[set * ways_ + way];
+}
+
+CacheLine &
+BaseVictimLlc::victimLine(std::size_t set, std::size_t way)
+{
+    return victim_[set * ways_ + way];
+}
+
+const CacheLine &
+BaseVictimLlc::victimLine(std::size_t set, std::size_t way) const
+{
+    return victim_[set * ways_ + way];
+}
+
+std::size_t
+BaseVictimLlc::findBase(std::size_t set, Addr blk) const
+{
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &line = baseLine(set, w);
+        if (line.valid && line.tag == blk)
+            return w;
+    }
+    return ways_;
+}
+
+std::size_t
+BaseVictimLlc::findVictim(std::size_t set, Addr blk) const
+{
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &line = victimLine(set, w);
+        if (line.valid && line.tag == blk)
+            return w;
+    }
+    return ways_;
+}
+
+unsigned
+BaseVictimLlc::quantizedSegments(const std::uint8_t *data) const
+{
+    const unsigned segments = compressedSegmentsFor(comp_, data);
+    // Round up to the size-field granularity (e.g. 8B alignment stores
+    // sizes in 2-segment steps).
+    return (segments + quantumSegments_ - 1) / quantumSegments_ *
+        quantumSegments_;
+}
+
+std::size_t
+BaseVictimLlc::chooseBaseWay(std::size_t set)
+{
+    // Must match UncompressedLlc exactly: invalid way first, then the
+    // policy's victim (this is what makes the mirror invariant hold).
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (!baseLine(set, w).valid)
+            return w;
+    return baseRepl_->victim(set);
+}
+
+void
+BaseVictimLlc::silentEvictVictim(std::size_t set, std::size_t way,
+                                 const char *reason, LlcResult &result)
+{
+    CacheLine &line = victimLine(set, way);
+    if (!line.valid)
+        return;
+    if (inclusive_) {
+        panicIf(line.dirty,
+                "Base-Victim: dirty line in the inclusive Victim Cache");
+    } else if (line.dirty) {
+        // Non-inclusive mode keeps dirty victims (Section IV.B.3);
+        // dropping one costs a memory writeback.
+        result.memWritebacks.push_back(line.tag);
+        ++stats_.counter("mem_writebacks");
+        ++stats_.counter("dirty_victim_evictions");
+    }
+    line.invalidate();
+    ++stats_.counter(std::string("victim_silent_evictions_") + reason);
+    ++stats_.counter("victim_silent_evictions");
+}
+
+bool
+BaseVictimLlc::tryInsertVictim(std::size_t set, const CacheLine &line,
+                               LlcResult &result)
+{
+    // Collect every way where the victim fits beside the base line.
+    std::vector<VictimCandidate> candidates;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &base = baseLine(set, w);
+        const unsigned baseSegs = base.valid ? base.segments : 0;
+        if (baseSegs + line.segments > kSegmentsPerLine)
+            continue;
+        const CacheLine &resident = victimLine(set, w);
+        candidates.push_back(VictimCandidate{
+            w, baseSegs, resident.valid, resident.segments});
+    }
+
+    if (candidates.empty()) {
+        // The replaced line cannot be kept anywhere: a plain eviction,
+        // exactly as in the uncompressed cache.
+        ++stats_.counter("victim_insert_failures");
+        return false;
+    }
+
+    const std::size_t way = victimRepl_->choose(set, candidates);
+    silentEvictVictim(set, way, "displaced", result);
+
+    CacheLine &slot = victimLine(set, way);
+    slot = line;
+    if (inclusive_)
+        slot.dirty = false; // written back on insertion (Section IV.A)
+    victimRepl_->onInsert(set, way);
+    ++stats_.counter("victim_inserts");
+    // Migrating the line between physical ways costs one data-array
+    // read plus one write (Section VI.D power discussion).
+    stats_.counter("data_movements") += 1;
+    return true;
+}
+
+void
+BaseVictimLlc::installBase(std::size_t set, std::size_t way,
+                           const CacheLine &incoming,
+                           std::size_t skipVictimWay, LlcResult &result)
+{
+    (void)skipVictimWay;
+    CacheLine replaced = baseLine(set, way);
+
+    if (replaced.valid) {
+        ++stats_.counter("base_evictions");
+        if (inclusive_) {
+            if (replaced.dirty) {
+                // Write the dirty victim back to memory so that the
+                // Victim Cache only ever holds clean lines (Sec IV.A).
+                result.memWritebacks.push_back(replaced.tag);
+                ++stats_.counter("mem_writebacks");
+            }
+            // The line leaves the baseline content: upper levels must
+            // drop their copies whether it is evicted or parked.
+            result.backInvalidations.push_back(replaced.tag);
+            ++stats_.counter("back_invalidations");
+        }
+    }
+
+    // Displace the victim partner if the incoming line no longer fits
+    // with it in the same physical way.
+    const CacheLine &partner = victimLine(set, way);
+    if (partner.valid &&
+        incoming.segments + partner.segments > kSegmentsPerLine) {
+        silentEvictVictim(set, way, "partner", result);
+    }
+
+    baseLine(set, way) = incoming;
+    baseRepl_->onFill(set, way);
+    ++stats_.counter("fills");
+
+    if (replaced.valid) {
+        if (inclusive_)
+            replaced.dirty = false; // written back above if dirty
+        const bool parked = tryInsertVictim(set, replaced, result);
+        if (!parked && !inclusive_ && replaced.dirty) {
+            // Non-inclusive: a dropped dirty victim must reach memory.
+            result.memWritebacks.push_back(replaced.tag);
+            ++stats_.counter("mem_writebacks");
+        }
+    }
+}
+
+LlcResult
+BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
+{
+    LlcResult result;
+    const std::size_t set = setIndex(blk);
+    const bool demand = type == AccessType::Read;
+
+    ++stats_.counter("accesses");
+    if (demand)
+        ++stats_.counter("demand_accesses");
+
+    // Doubled tags cost one extra lookup cycle on every access (Sec V).
+    result.extraLatency = 1;
+
+    // --- Hit in the Baseline Cache (Sections IV.B.4 / IV.B.5) ---
+    const std::size_t bway = findBase(set, blk);
+    if (bway != ways_) {
+        result.hit = true;
+        CacheLine &line = baseLine(set, bway);
+        result.extraLatency += decompressLatencyFor(comp_, line.segments);
+        if (line.segments > 0 && line.segments < kSegmentsPerLine)
+            ++stats_.counter("decompressions");
+
+        if (type == AccessType::Writeback) {
+            ++stats_.counter("writeback_hits");
+            line.dirty = true;
+            const unsigned newSegs = quantizedSegments(data);
+            ++stats_.counter("compressions");
+            const CacheLine &partner = victimLine(set, bway);
+            if (partner.valid &&
+                newSegs + partner.segments > kSegmentsPerLine) {
+                // Write hit grows the base line: silently evict the
+                // victim partner even if it was recently used (IV.B.5).
+                silentEvictVictim(set, bway, "write_growth", result);
+            }
+            line.segments = newSegs;
+        } else if (demand) {
+            ++stats_.counter("demand_hits");
+            ++stats_.counter("base_hits");
+            baseRepl_->onHit(set, bway);
+        } else {
+            ++stats_.counter("prefetch_hits");
+        }
+        return result;
+    }
+
+    // --- Hit in the Victim Cache (Sections IV.B.2 / IV.B.3) ---
+    const std::size_t vway = findVictim(set, blk);
+    if (vway != ways_) {
+        panicIf(type == AccessType::Writeback && inclusive_,
+                "Base-Victim: writeback hit the Victim Cache "
+                "(impossible for inclusive hierarchies, Section IV.B.3)");
+        result.hit = true;
+        result.victimHit = true;
+        if (demand) {
+            ++stats_.counter("demand_hits");
+            ++stats_.counter("victim_hits");
+        } else if (type == AccessType::Prefetch) {
+            ++stats_.counter("prefetch_hits");
+            ++stats_.counter("victim_prefetch_hits");
+        } else {
+            ++stats_.counter("writeback_hits");
+            ++stats_.counter("victim_write_hits");
+        }
+
+        CacheLine promoted = victimLine(set, vway);
+        result.extraLatency +=
+            decompressLatencyFor(comp_, promoted.segments);
+        if (promoted.segments > 0 && promoted.segments < kSegmentsPerLine)
+            ++stats_.counter("decompressions");
+
+        if (type == AccessType::Writeback) {
+            // Non-inclusive write hit (Section IV.B.3): the rewritten
+            // line is recompressed, then promoted like a read hit.
+            promoted.dirty = true;
+            promoted.segments = quantizedSegments(data);
+            ++stats_.counter("compressions");
+        }
+
+        // De-allocate from the Victim Cache, then install into the
+        // Baseline Cache exactly as the uncompressed cache would fill
+        // on its (inevitable) miss for this access.
+        victimRepl_->onHit(set, vway);
+        victimLine(set, vway).invalidate();
+        ++stats_.counter("promotions");
+        stats_.counter("data_movements") += 1;
+
+        const std::size_t way = chooseBaseWay(set);
+        installBase(set, way, promoted, vway, result);
+        return result;
+    }
+
+    // --- Miss (Section IV.B.1) ---
+    if (type == AccessType::Writeback && inclusive_)
+        panic("Base-Victim: writeback miss violates inclusion");
+
+    if (demand)
+        ++stats_.counter("demand_misses");
+    else if (type == AccessType::Prefetch)
+        ++stats_.counter("prefetch_misses");
+    else
+        ++stats_.counter("writeback_fills"); // non-inclusive only
+
+    CacheLine incoming;
+    incoming.tag = blk;
+    incoming.valid = true;
+    incoming.dirty = type == AccessType::Writeback;
+    incoming.segments = quantizedSegments(data);
+    ++stats_.counter("compressions");
+
+    const std::size_t way = chooseBaseWay(set);
+    installBase(set, way, incoming, ways_, result);
+    return result;
+}
+
+bool
+BaseVictimLlc::probe(Addr blk) const
+{
+    const std::size_t set = setIndex(blk);
+    return findBase(set, blk) != ways_ || findVictim(set, blk) != ways_;
+}
+
+bool
+BaseVictimLlc::probeBase(Addr blk) const
+{
+    return findBase(setIndex(blk), blk) != ways_;
+}
+
+bool
+BaseVictimLlc::probeVictim(Addr blk) const
+{
+    return findVictim(setIndex(blk), blk) != ways_;
+}
+
+void
+BaseVictimLlc::downgradeHint(Addr blk)
+{
+    const std::size_t set = setIndex(blk);
+    const std::size_t way = findBase(set, blk);
+    if (way != ways_)
+        baseRepl_->downgradeHint(set, way);
+}
+
+std::size_t
+BaseVictimLlc::validLines() const
+{
+    std::size_t count = 0;
+    for (const CacheLine &line : base_)
+        if (line.valid)
+            ++count;
+    for (const CacheLine &line : victim_)
+        if (line.valid)
+            ++count;
+    return count;
+}
+
+std::vector<Addr>
+BaseVictimLlc::baseSetContents(std::size_t set) const
+{
+    std::vector<Addr> contents;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &line = baseLine(set, w);
+        if (line.valid)
+            contents.push_back(line.tag);
+    }
+    std::sort(contents.begin(), contents.end());
+    return contents;
+}
+
+bool
+BaseVictimLlc::checkInvariants() const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const CacheLine &base = baseLine(set, w);
+            const CacheLine &vict = victimLine(set, w);
+            if (inclusive_ && vict.valid && vict.dirty)
+                return false; // inclusive victims must be clean
+            if (base.valid && vict.valid &&
+                base.segments + vict.segments > kSegmentsPerLine) {
+                return false; // pair-fit
+            }
+            // A line must never be in both sections.
+            if (vict.valid && findBase(set, vict.tag) != ways_)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace bvc

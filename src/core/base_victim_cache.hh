@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Base-Victim opportunistic compressed cache — the paper's primary
+ * contribution (Section IV). The LLC is logically split per set into a
+ * Baseline (B) Cache, one tag per physical way that strictly runs the
+ * baseline replacement policy and therefore always mirrors the content
+ * of an uncompressed cache, and a Victim (V) Cache, a second tag per
+ * physical way that opportunistically retains *clean* baseline-eviction
+ * victims when their compressed size fits alongside the base line in the
+ * same 64B physical way.
+ *
+ * Guarantees maintained by this implementation (all property-tested):
+ *   - the B-cache content and replacement state equal those of an
+ *     uncompressed cache with the same policy at every step, so the hit
+ *     rate can never drop below the uncompressed cache's;
+ *   - V-cache lines are always clean, so victim evictions are silent
+ *     and each fill performs at most one memory writeback;
+ *   - size(base) + size(victim) <= 16 segments in every physical way;
+ *   - upper levels only cache B-content lines (inclusion): moving a
+ *     line into the V cache back-invalidates L1/L2.
+ */
+
+#ifndef BVC_CORE_BASE_VICTIM_CACHE_HH_
+#define BVC_CORE_BASE_VICTIM_CACHE_HH_
+
+#include <memory>
+
+#include "cache/cache_line.hh"
+#include "core/llc_interface.hh"
+#include "core/victim_replacement.hh"
+#include "replacement/factory.hh"
+
+namespace bvc
+{
+
+/** Base-Victim opportunistic compressed LLC. */
+class BaseVictimLlc : public Llc
+{
+  public:
+    /**
+     * @param sizeBytes  data-array capacity, identical to the baseline
+     * @param physWays   physical associativity (16-way in the paper)
+     * @param baseRepl   Baseline-Cache replacement policy (NRU default)
+     * @param victimRepl Victim-Cache policy (ECM-inspired default)
+     * @param comp       compression algorithm (not owned)
+     * @param inclusive  true (paper's evaluation): victim lines are
+     *        kept clean via writeback + back-invalidation on insertion
+     *        and victim evictions are silent. false (Section IV.B.3):
+     *        victim lines may be dirty, write hits to the Victim Cache
+     *        promote like read hits, and dirty victim evictions write
+     *        back to memory.
+     * @param segmentQuantumBytes compressed-size alignment: 4 (the
+     *        paper's evaluation) or 8 (the paper's worked examples);
+     *        coarser alignment needs fewer metadata bits but pairs
+     *        fewer lines (Section IV.C ablation)
+     */
+    BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
+                  ReplacementKind baseRepl, VictimReplKind victimRepl,
+                  const Compressor &comp, bool inclusive = true,
+                  unsigned segmentQuantumBytes = kSegmentBytes);
+
+    LlcResult access(Addr blk, AccessType type,
+                     const std::uint8_t *data) override;
+    bool probe(Addr blk) const override;
+    bool probeBase(Addr blk) const override;
+    void downgradeHint(Addr blk) override;
+    std::size_t validLines() const override;
+    std::string name() const override { return "BaseVictim"; }
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWays() const { return ways_; }
+    std::size_t setIndex(Addr blk) const;
+
+    /** True if `blk` currently resides in the Victim Cache section. */
+    bool probeVictim(Addr blk) const;
+
+    /** Sorted valid base-line addresses of a set (mirror test). */
+    std::vector<Addr> baseSetContents(std::size_t set) const;
+
+    /** Invariant: every victim line is clean and pair-fit holds. */
+    bool checkInvariants() const;
+
+  private:
+    CacheLine &baseLine(std::size_t set, std::size_t way);
+    const CacheLine &baseLine(std::size_t set, std::size_t way) const;
+    CacheLine &victimLine(std::size_t set, std::size_t way);
+    const CacheLine &victimLine(std::size_t set, std::size_t way) const;
+
+    std::size_t findBase(std::size_t set, Addr blk) const;
+    std::size_t findVictim(std::size_t set, Addr blk) const;
+
+    /** Baseline victim way: invalid-first, then the base policy. */
+    std::size_t chooseBaseWay(std::size_t set);
+
+    /**
+     * Install `incoming` into base way `way`, handling the eviction of
+     * the previous base occupant (writeback + back-invalidation + an
+     * opportunistic move into the Victim Cache) and the displacement of
+     * a victim partner that no longer fits.
+     *
+     * @param skipVictimWay victim way that must not receive the evicted
+     *        base line because it is the slot the incoming line is
+     *        being promoted out of (or ways_ if none)
+     */
+    void installBase(std::size_t set, std::size_t way,
+                     const CacheLine &incoming, std::size_t skipVictimWay,
+                     LlcResult &result);
+
+    /**
+     * Opportunistically place a base-eviction into the Victim Cache.
+     * @return true if the line was parked (not dropped)
+     */
+    bool tryInsertVictim(std::size_t set, const CacheLine &line,
+                         LlcResult &result);
+
+    /**
+     * Drop the victim line at (set, way), if valid. Silent in the
+     * inclusive configuration (victims are clean); in non-inclusive
+     * mode a dirty victim writes back through `result`.
+     */
+    void silentEvictVictim(std::size_t set, std::size_t way,
+                           const char *reason, LlcResult &result);
+
+    /** Compressed size of `data` aligned to the segment quantum. */
+    unsigned quantizedSegments(const std::uint8_t *data) const;
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<CacheLine> base_;    // sets_ x ways_
+    std::vector<CacheLine> victim_;  // sets_ x ways_
+    std::unique_ptr<ReplacementPolicy> baseRepl_;
+    std::unique_ptr<VictimReplacement> victimRepl_;
+    const Compressor &comp_;
+    bool inclusive_;
+    unsigned quantumSegments_; //!< segments per size-field step
+};
+
+} // namespace bvc
+
+#endif // BVC_CORE_BASE_VICTIM_CACHE_HH_

@@ -1,0 +1,241 @@
+#include "core/dcc_cache.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+DccLlc::DccLlc(std::size_t sizeBytes, std::size_t physWays,
+               const Compressor &comp)
+    : Llc("llc"),
+      sets_(sizeBytes / kLineBytes / physWays),
+      physWays_(physWays),
+      blocks_(sets_ * physWays),
+      comp_(comp)
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "DCC set count must be a nonzero power of two");
+    repl_ = std::make_unique<LruPolicy>(sets_, physWays_);
+}
+
+Addr
+DccLlc::superTag(Addr blk)
+{
+    return blk & ~static_cast<Addr>(kSubBlocks * kLineBytes - 1);
+}
+
+unsigned
+DccLlc::subIndex(Addr blk)
+{
+    return static_cast<unsigned>((blk >> kLineShift) % kSubBlocks);
+}
+
+std::size_t
+DccLlc::setIndex(Addr blk) const
+{
+    // Super-blocks (not lines) interleave across sets so that all four
+    // sub-blocks of a super-block land in the same set.
+    return (blk >> (kLineShift + 2)) & (sets_ - 1);
+}
+
+DccLlc::SuperBlock &
+DccLlc::sb(std::size_t set, std::size_t way)
+{
+    return blocks_[set * physWays_ + way];
+}
+
+const DccLlc::SuperBlock &
+DccLlc::sb(std::size_t set, std::size_t way) const
+{
+    return blocks_[set * physWays_ + way];
+}
+
+std::size_t
+DccLlc::findWay(std::size_t set, Addr blk) const
+{
+    const Addr tag = superTag(blk);
+    for (std::size_t w = 0; w < physWays_; ++w) {
+        const SuperBlock &block = sb(set, w);
+        if (block.valid && block.tag == tag)
+            return w;
+    }
+    return physWays_;
+}
+
+unsigned
+DccLlc::usedSegments(std::size_t set) const
+{
+    unsigned used = 0;
+    for (std::size_t w = 0; w < physWays_; ++w) {
+        const SuperBlock &block = sb(set, w);
+        if (!block.valid)
+            continue;
+        for (unsigned s = 0; s < kSubBlocks; ++s)
+            if (block.present[s])
+                used += block.segments[s];
+    }
+    return used;
+}
+
+void
+DccLlc::evictSuperBlock(std::size_t set, std::size_t way,
+                        LlcResult &result)
+{
+    SuperBlock &block = sb(set, way);
+    panicIf(!block.valid, "DCC: evicting invalid super-block");
+    for (unsigned s = 0; s < kSubBlocks; ++s) {
+        if (!block.present[s])
+            continue;
+        const Addr addr = block.tag + s * kLineBytes;
+        if (block.dirty[s]) {
+            result.memWritebacks.push_back(addr);
+            ++stats_.counter("mem_writebacks");
+        }
+        result.backInvalidations.push_back(addr);
+        ++stats_.counter("back_invalidations");
+        ++stats_.counter("evictions");
+    }
+    block = SuperBlock{};
+    repl_->onInvalidate(set, way);
+    ++stats_.counter("superblock_evictions");
+}
+
+void
+DccLlc::makeRoom(std::size_t set, unsigned segments, bool needTag,
+                 LlcResult &result)
+{
+    const auto capacity =
+        static_cast<unsigned>(physWays_ * kSegmentsPerLine);
+    bool haveTag = !needTag;
+    if (needTag) {
+        for (std::size_t w = 0; w < physWays_; ++w)
+            haveTag = haveTag || !sb(set, w).valid;
+    }
+    while (usedSegments(set) + segments > capacity || !haveTag) {
+        std::size_t victim = physWays_;
+        for (const std::size_t cand : repl_->rank(set)) {
+            if (sb(set, cand).valid) {
+                victim = cand;
+                break;
+            }
+        }
+        panicIf(victim == physWays_, "DCC: nothing left to evict");
+        evictSuperBlock(set, victim, result);
+        haveTag = true;
+    }
+}
+
+LlcResult
+DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
+{
+    LlcResult result;
+    const std::size_t set = setIndex(blk);
+    const unsigned sub = subIndex(blk);
+    const bool demand = type == AccessType::Read;
+
+    ++stats_.counter("accesses");
+    if (demand)
+        ++stats_.counter("demand_accesses");
+
+    std::size_t way = findWay(set, blk);
+    if (way != physWays_ && sb(set, way).present[sub]) {
+        // Sub-block hit.
+        result.hit = true;
+        SuperBlock &block = sb(set, way);
+        if (type == AccessType::Writeback) {
+            ++stats_.counter("writeback_hits");
+            block.dirty[sub] = true;
+            const unsigned newSegs = compressedSegmentsFor(comp_, data);
+            // Growth may overflow the pool; DCC frees other
+            // super-blocks (no re-compaction needed: indirection).
+            block.segments[sub] = 0;
+            makeRoom(set, newSegs, false, result);
+            // The accessed super-block may itself have been evicted
+            // while making room; re-locate it.
+            way = findWay(set, blk);
+            if (way == physWays_) {
+                // Extremely tight set: reinstall just this sub-block.
+                makeRoom(set, newSegs, true, result);
+                for (std::size_t w = 0; w < physWays_; ++w) {
+                    if (!sb(set, w).valid) {
+                        way = w;
+                        break;
+                    }
+                }
+                SuperBlock &fresh = sb(set, way);
+                fresh.valid = true;
+                fresh.tag = superTag(blk);
+                repl_->onFill(set, way);
+            }
+            SuperBlock &owner = sb(set, way);
+            owner.present[sub] = true;
+            owner.dirty[sub] = true;
+            owner.segments[sub] = newSegs;
+        } else if (demand) {
+            ++stats_.counter("demand_hits");
+            repl_->onHit(set, way);
+        } else {
+            ++stats_.counter("prefetch_hits");
+        }
+        return result;
+    }
+
+    if (type == AccessType::Writeback)
+        panic("DccLlc: writeback miss violates inclusion");
+
+    if (demand)
+        ++stats_.counter("demand_misses");
+    else
+        ++stats_.counter("prefetch_misses");
+
+    const unsigned segments = compressedSegmentsFor(comp_, data);
+    const bool needTag = way == physWays_;
+    makeRoom(set, segments, needTag, result);
+    // makeRoom may have evicted the super-block we matched earlier.
+    way = findWay(set, blk);
+
+    if (way == physWays_) {
+        for (std::size_t w = 0; w < physWays_; ++w) {
+            if (!sb(set, w).valid) {
+                way = w;
+                break;
+            }
+        }
+        panicIf(way == physWays_, "DCC: no free tag after makeRoom");
+        SuperBlock &fresh = sb(set, way);
+        fresh.valid = true;
+        fresh.tag = superTag(blk);
+        ++stats_.counter("superblock_fills");
+    }
+
+    SuperBlock &block = sb(set, way);
+    block.present[sub] = true;
+    block.dirty[sub] = false;
+    block.segments[sub] = segments;
+    repl_->onFill(set, way);
+    ++stats_.counter("fills");
+    return result;
+}
+
+bool
+DccLlc::probe(Addr blk) const
+{
+    const std::size_t set = setIndex(blk);
+    const std::size_t way = findWay(set, blk);
+    return way != physWays_ && sb(set, way).present[subIndex(blk)];
+}
+
+std::size_t
+DccLlc::validLines() const
+{
+    std::size_t count = 0;
+    for (const SuperBlock &block : blocks_) {
+        if (!block.valid)
+            continue;
+        for (unsigned s = 0; s < kSubBlocks; ++s)
+            count += block.present[s];
+    }
+    return count;
+}
+
+} // namespace bvc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Functional capacity model of the Decoupled Compressed Cache (DCC)
+ * [Sardashti & Wood, MICRO 2013], the second prior architecture the
+ * paper positions against (Section II). DCC tracks *super-blocks* of
+ * four aligned lines under one tag and allocates compressed sub-blocks
+ * from a decoupled segment pool, eliminating VSC's re-compaction at
+ * the price of indirection. Like the VSC model, this is functional
+ * only — the paper argues (Section V) that DCC's data-array changes
+ * make an IPC comparison against the unmodified-array two-tag designs
+ * unfair, so it reports capacity, not cycles.
+ */
+
+#ifndef BVC_CORE_DCC_CACHE_HH_
+#define BVC_CORE_DCC_CACHE_HH_
+
+#include <memory>
+
+#include "core/llc_interface.hh"
+#include "replacement/lru.hh"
+
+namespace bvc
+{
+
+/** Functional DCC capacity model with 4-line super-blocks. */
+class DccLlc : public Llc
+{
+  public:
+    /** Lines per super-block (DCC's default). */
+    static constexpr unsigned kSubBlocks = 4;
+
+    /**
+     * @param sizeBytes data capacity (the unmodified baseline array)
+     * @param physWays  physical ways; the set holds physWays
+     *                  super-block tags over physWays*16 segments
+     * @param comp      compression algorithm (not owned)
+     */
+    DccLlc(std::size_t sizeBytes, std::size_t physWays,
+           const Compressor &comp);
+
+    LlcResult access(Addr blk, AccessType type,
+                     const std::uint8_t *data) override;
+    bool probe(Addr blk) const override;
+    bool probeBase(Addr blk) const override { return probe(blk); }
+    std::size_t validLines() const override;
+    std::string name() const override { return "DCC"; }
+
+    std::size_t numSets() const { return sets_; }
+    /** Segments used in one set (must stay within the pool). */
+    unsigned usedSegments(std::size_t set) const;
+    /** Set index for a block address (tests). */
+    std::size_t setIndex(Addr blk) const;
+
+  private:
+    /** One super-block tag entry. */
+    struct SuperBlock
+    {
+        Addr tag = 0; //!< super-block base address (4-line aligned)
+        bool valid = false;
+        bool present[kSubBlocks] = {};
+        bool dirty[kSubBlocks] = {};
+        unsigned segments[kSubBlocks] = {};
+    };
+
+    SuperBlock &sb(std::size_t set, std::size_t way);
+    const SuperBlock &sb(std::size_t set, std::size_t way) const;
+
+    static Addr superTag(Addr blk);
+    static unsigned subIndex(Addr blk);
+
+    std::size_t findWay(std::size_t set, Addr blk) const;
+
+    /** Drop one whole super-block (LRU), reporting its sub-blocks. */
+    void evictSuperBlock(std::size_t set, std::size_t way,
+                         LlcResult &result);
+
+    /** Free segments/tags until `segments` more fit; LRU order. */
+    void makeRoom(std::size_t set, unsigned segments, bool needTag,
+                  LlcResult &result);
+
+    std::size_t sets_;
+    std::size_t physWays_;
+    std::vector<SuperBlock> blocks_;
+    std::unique_ptr<LruPolicy> repl_; //!< super-block granularity
+    const Compressor &comp_;
+};
+
+} // namespace bvc
+
+#endif // BVC_CORE_DCC_CACHE_HH_

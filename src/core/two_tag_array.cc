@@ -1,0 +1,257 @@
+#include "core/two_tag_array.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+TwoTagLlc::TwoTagLlc(std::string statName, std::size_t sizeBytes,
+                     std::size_t physWays, ReplacementKind repl,
+                     const Compressor &comp)
+    : Llc(std::move(statName)),
+      sets_(sizeBytes / kLineBytes / physWays),
+      physWays_(physWays),
+      slots_(sets_ * physWays * 2),
+      comp_(comp)
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "two-tag LLC set count must be a nonzero power of two");
+    repl_ = makeReplacement(repl, sets_, numSlots());
+}
+
+std::size_t
+TwoTagLlc::setIndex(Addr blk) const
+{
+    return (blk >> kLineShift) & (sets_ - 1);
+}
+
+CacheLine &
+TwoTagLlc::slot(std::size_t set, std::size_t s)
+{
+    return slots_[set * numSlots() + s];
+}
+
+const CacheLine &
+TwoTagLlc::slot(std::size_t set, std::size_t s) const
+{
+    return slots_[set * numSlots() + s];
+}
+
+std::size_t
+TwoTagLlc::findSlot(std::size_t set, Addr blk) const
+{
+    for (std::size_t s = 0; s < numSlots(); ++s) {
+        const CacheLine &line = slot(set, s);
+        if (line.valid && line.tag == blk)
+            return s;
+    }
+    return numSlots();
+}
+
+bool
+TwoTagLlc::fits(std::size_t set, std::size_t s, unsigned segments) const
+{
+    const CacheLine &partner = slot(set, partnerOf(s));
+    if (!partner.valid)
+        return true;
+    return partner.segments + segments <= kSegmentsPerLine;
+}
+
+void
+TwoTagLlc::evictSlot(std::size_t set, std::size_t s, LlcResult &result)
+{
+    CacheLine &line = slot(set, s);
+    panicIf(!line.valid, "TwoTagLlc: evicting invalid slot");
+    ++stats_.counter("evictions");
+    if (line.dirty) {
+        result.memWritebacks.push_back(line.tag);
+        ++stats_.counter("mem_writebacks");
+    }
+    result.backInvalidations.push_back(line.tag);
+    ++stats_.counter("back_invalidations");
+    line.invalidate();
+    repl_->onInvalidate(set, s);
+}
+
+LlcResult
+TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
+{
+    LlcResult result;
+    const std::size_t set = setIndex(blk);
+    const std::size_t s = findSlot(set, blk);
+    const bool demand = type == AccessType::Read;
+
+    ++stats_.counter("accesses");
+    if (demand)
+        ++stats_.counter("demand_accesses");
+
+    // Doubled tags cost one extra lookup cycle on every access (Sec V).
+    result.extraLatency = 1;
+
+    if (s != numSlots()) {
+        result.hit = true;
+        CacheLine &line = slot(set, s);
+        result.extraLatency += decompressLatencyFor(comp_, line.segments);
+        if (line.segments > 0 && line.segments < kSegmentsPerLine)
+            ++stats_.counter("decompressions");
+
+        if (type == AccessType::Writeback) {
+            ++stats_.counter("writeback_hits");
+            line.dirty = true;
+            const unsigned newSegs = compressedSegmentsFor(comp_, data);
+            ++stats_.counter("compressions");
+            if (newSegs > line.segments && !fits(set, s, newSegs) &&
+                slot(set, partnerOf(s)).valid) {
+                // The rewritten line grew past its partner: evict the
+                // partner (write hit scenario, Section IV.B.5 analog).
+                ++stats_.counter("partner_evictions_on_write");
+                evictSlot(set, partnerOf(s), result);
+            }
+            line.segments = newSegs;
+        } else if (demand) {
+            ++stats_.counter("demand_hits");
+            repl_->onHit(set, s);
+        } else {
+            ++stats_.counter("prefetch_hits");
+        }
+        return result;
+    }
+
+    if (type == AccessType::Writeback)
+        panic("TwoTagLlc: writeback miss violates inclusion");
+
+    if (demand)
+        ++stats_.counter("demand_misses");
+    else
+        ++stats_.counter("prefetch_misses");
+
+    const unsigned segments = compressedSegmentsFor(comp_, data);
+    ++stats_.counter("compressions");
+
+    // Both schemes allocate a fitting invalid tag slot first (normal
+    // cache allocation); they differ in victim selection when none is
+    // available.
+    std::size_t fillSlot = numSlots();
+    for (std::size_t cand = 0; cand < numSlots(); ++cand) {
+        if (!slot(set, cand).valid && fits(set, cand, segments)) {
+            fillSlot = cand;
+            break;
+        }
+    }
+
+    if (fillSlot == numSlots()) {
+        fillSlot = chooseVictimSlot(set, segments);
+        if (slot(set, fillSlot).valid)
+            evictSlot(set, fillSlot, result);
+    }
+    if (!fits(set, fillSlot, segments)) {
+        // Partner line victimization (Section III option 1).
+        ++stats_.counter("partner_evictions_on_fill");
+        evictSlot(set, partnerOf(fillSlot), result);
+    }
+
+    CacheLine &line = slot(set, fillSlot);
+    line.tag = blk;
+    line.valid = true;
+    line.dirty = false;
+    line.segments = segments;
+    repl_->onFill(set, fillSlot);
+    ++stats_.counter("fills");
+    return result;
+}
+
+bool
+TwoTagLlc::probe(Addr blk) const
+{
+    return findSlot(setIndex(blk), blk) != numSlots();
+}
+
+void
+TwoTagLlc::downgradeHint(Addr blk)
+{
+    const std::size_t set = setIndex(blk);
+    const std::size_t s = findSlot(set, blk);
+    if (s != numSlots())
+        repl_->downgradeHint(set, s);
+}
+
+std::size_t
+TwoTagLlc::validLines() const
+{
+    std::size_t count = 0;
+    for (const CacheLine &line : slots_)
+        if (line.valid)
+            ++count;
+    return count;
+}
+
+bool
+TwoTagLlc::checkPairFit() const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (std::size_t w = 0; w < physWays_; ++w) {
+            const CacheLine &a = slot(set, 2 * w);
+            const CacheLine &b = slot(set, 2 * w + 1);
+            if (a.valid && b.valid &&
+                a.segments + b.segments > kSegmentsPerLine) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TwoTagNaiveLlc::TwoTagNaiveLlc(std::size_t sizeBytes,
+                               std::size_t physWays,
+                               ReplacementKind repl,
+                               const Compressor &comp)
+    : TwoTagLlc("llc", sizeBytes, physWays, repl, comp)
+{
+}
+
+std::size_t
+TwoTagNaiveLlc::chooseVictimSlot(std::size_t set, unsigned)
+{
+    // Strictly follow the policy: whoever it names, even if that forces
+    // the partner line out as well.
+    return repl_->victim(set);
+}
+
+TwoTagModifiedLlc::TwoTagModifiedLlc(std::size_t sizeBytes,
+                                     std::size_t physWays,
+                                     ReplacementKind repl,
+                                     const Compressor &comp)
+    : TwoTagLlc("llc", sizeBytes, physWays, repl, comp)
+{
+}
+
+std::size_t
+TwoTagModifiedLlc::chooseVictimSlot(std::size_t set, unsigned segments)
+{
+    // Among the policy's equally-evictable candidates, keep only those
+    // whose replacement leaves the partner in place; of these, evict the
+    // one freeing the most space (largest compressed size), ECM-style.
+    const auto candidates = repl_->preferredVictims(set);
+    std::size_t best = numSlots();
+    unsigned bestSegments = 0;
+    for (const std::size_t cand : candidates) {
+        const CacheLine &line = slot(set, cand);
+        if (!line.valid)
+            continue;
+        // Fit check against the partner, ignoring the candidate itself
+        // (it is being evicted).
+        const CacheLine &partner = slot(set, partnerOf(cand));
+        const bool ok = !partner.valid ||
+            partner.segments + segments <= kSegmentsPerLine;
+        if (ok && (best == numSlots() || line.segments > bestSegments)) {
+            best = cand;
+            bestSegments = line.segments;
+        }
+    }
+    if (best != numSlots())
+        return best;
+    // No size-compatible candidate: fall back to partner victimization.
+    return repl_->victim(set);
+}
+
+} // namespace bvc

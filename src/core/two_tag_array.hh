@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared machinery for the simple two-tags-per-physical-way compressed
+ * LLC of Section III (Figure 1): 2x logical tags over an unmodified data
+ * array, with one replacement policy spanning all logical tag slots.
+ * Subclasses differ only in victim selection on a fill: TwoTagNaiveLlc
+ * victimizes partners (Figure 6), TwoTagModifiedLlc searches the policy's
+ * candidate class for a size-compatible victim, ECM-style (Figure 7).
+ */
+
+#ifndef BVC_CORE_TWO_TAG_ARRAY_HH_
+#define BVC_CORE_TWO_TAG_ARRAY_HH_
+
+#include <memory>
+
+#include "cache/cache_line.hh"
+#include "core/llc_interface.hh"
+#include "replacement/factory.hh"
+
+namespace bvc
+{
+
+/**
+ * Base class for two-tag compressed LLCs. Logical slot numbering within
+ * a set: slot = physicalWay * 2 + tagIndex. Two logical lines sharing a
+ * physical way must satisfy segments(a) + segments(b) <= 16.
+ */
+class TwoTagLlc : public Llc
+{
+  public:
+    /**
+     * @param sizeBytes *data array* capacity (same as the uncompressed
+     *                  baseline it is compared against)
+     * @param physWays  physical associativity (16 in the paper)
+     * @param repl      replacement policy spanning the 2x logical slots
+     * @param comp      compression algorithm (not owned)
+     */
+    TwoTagLlc(std::string statName, std::size_t sizeBytes,
+              std::size_t physWays, ReplacementKind repl,
+              const Compressor &comp);
+
+    LlcResult access(Addr blk, AccessType type,
+                     const std::uint8_t *data) override;
+    bool probe(Addr blk) const override;
+    /**
+     * The two-tag variants have no baseline/victim split: every resident
+     * line is "base" content and may be held by the upper levels.
+     */
+    bool probeBase(Addr blk) const override { return probe(blk); }
+    void downgradeHint(Addr blk) override;
+    std::size_t validLines() const override;
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numPhysWays() const { return physWays_; }
+    std::size_t setIndex(Addr blk) const;
+
+    /** Pair-fit invariant checker (used by tests). */
+    bool checkPairFit() const;
+
+  protected:
+    std::size_t numSlots() const { return physWays_ * 2; }
+
+    CacheLine &slot(std::size_t set, std::size_t s);
+    const CacheLine &slot(std::size_t set, std::size_t s) const;
+
+    /** Partner slot sharing the same physical way. */
+    static std::size_t partnerOf(std::size_t s) { return s ^ 1; }
+
+    /** Find the logical slot holding blk, or numSlots() if absent. */
+    std::size_t findSlot(std::size_t set, Addr blk) const;
+
+    /** True if a line of `segments` can live in slot `s` of `set`. */
+    bool fits(std::size_t set, std::size_t s, unsigned segments) const;
+
+    /**
+     * Subclass hook: pick the victim slot for an incoming line of
+     * `segments` segments. May return a slot whose partner does not fit
+     * the incoming line; the caller then evicts the partner too.
+     */
+    virtual std::size_t chooseVictimSlot(std::size_t set,
+                                         unsigned segments) = 0;
+
+    /** Evict one slot: writeback accounting + back-invalidation. */
+    void evictSlot(std::size_t set, std::size_t s, LlcResult &result);
+
+    std::size_t sets_;
+    std::size_t physWays_;
+    std::vector<CacheLine> slots_; // sets_ x (2*physWays_)
+    std::unique_ptr<ReplacementPolicy> repl_;
+    const Compressor &comp_;
+};
+
+/** Section III option 1: partner line victimization (Figure 6). */
+class TwoTagNaiveLlc : public TwoTagLlc
+{
+  public:
+    TwoTagNaiveLlc(std::size_t sizeBytes, std::size_t physWays,
+                   ReplacementKind repl, const Compressor &comp);
+
+    std::string name() const override { return "TwoTagNaive"; }
+
+  protected:
+    std::size_t chooseVictimSlot(std::size_t set,
+                                 unsigned segments) override;
+};
+
+/**
+ * Section VI.A's modified policy: among the replacement policy's victim
+ * candidates that do not require partner eviction, evict the one with the
+ * largest compressed size (ECM-inspired [4]); fall back to partner
+ * victimization when no candidate fits (Figure 7).
+ */
+class TwoTagModifiedLlc : public TwoTagLlc
+{
+  public:
+    TwoTagModifiedLlc(std::size_t sizeBytes, std::size_t physWays,
+                      ReplacementKind repl, const Compressor &comp);
+
+    std::string name() const override { return "TwoTagModified"; }
+
+  protected:
+    std::size_t chooseVictimSlot(std::size_t set,
+                                 unsigned segments) override;
+};
+
+} // namespace bvc
+
+#endif // BVC_CORE_TWO_TAG_ARRAY_HH_

@@ -1,0 +1,146 @@
+#include "core/uncompressed_llc.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+UncompressedLlc::UncompressedLlc(std::size_t sizeBytes, std::size_t ways,
+                                 ReplacementKind repl)
+    : Llc("llc"),
+      sets_(sizeBytes / kLineBytes / ways),
+      ways_(ways),
+      lines_(sets_ * ways_)
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "LLC set count must be a nonzero power of two");
+    repl_ = makeReplacement(repl, sets_, ways_);
+}
+
+std::size_t
+UncompressedLlc::setIndex(Addr blk) const
+{
+    return (blk >> kLineShift) & (sets_ - 1);
+}
+
+std::size_t
+UncompressedLlc::findWay(std::size_t set, Addr blk) const
+{
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == blk)
+            return w;
+    }
+    return ways_;
+}
+
+LlcResult
+UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
+{
+    LlcResult result;
+    const std::size_t set = setIndex(blk);
+    const std::size_t way = findWay(set, blk);
+    const bool demand = type == AccessType::Read;
+
+    ++stats_.counter("accesses");
+    if (demand)
+        ++stats_.counter("demand_accesses");
+
+    if (way != ways_) {
+        // Hit. Only demand accesses promote; writebacks just set dirty.
+        result.hit = true;
+        CacheLine &line = lines_[set * ways_ + way];
+        if (type == AccessType::Writeback) {
+            line.dirty = true;
+            ++stats_.counter("writeback_hits");
+        } else if (demand) {
+            repl_->onHit(set, way);
+            ++stats_.counter("demand_hits");
+        } else {
+            ++stats_.counter("prefetch_hits");
+        }
+        return result;
+    }
+
+    if (type == AccessType::Writeback) {
+        // Inclusive hierarchy: the L2 can only hold lines the LLC holds.
+        panic("UncompressedLlc: writeback miss violates inclusion");
+    }
+
+    if (demand)
+        ++stats_.counter("demand_misses");
+    else
+        ++stats_.counter("prefetch_misses");
+
+    // Fill: invalid way first, then the policy's victim.
+    std::size_t fillWay = ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!lines_[set * ways_ + w].valid) {
+            fillWay = w;
+            break;
+        }
+    }
+    if (fillWay == ways_)
+        fillWay = repl_->victim(set);
+
+    CacheLine &line = lines_[set * ways_ + fillWay];
+    if (line.valid) {
+        ++stats_.counter("evictions");
+        if (line.dirty) {
+            result.memWritebacks.push_back(line.tag);
+            ++stats_.counter("mem_writebacks");
+        }
+        result.backInvalidations.push_back(line.tag);
+        ++stats_.counter("back_invalidations");
+    }
+
+    line.tag = blk;
+    line.valid = true;
+    line.dirty = false;
+    line.segments = kSegmentsPerLine;
+    repl_->onFill(set, fillWay);
+    ++stats_.counter("fills");
+    return result;
+}
+
+bool
+UncompressedLlc::probe(Addr blk) const
+{
+    return findWay(setIndex(blk), blk) != ways_;
+}
+
+void
+UncompressedLlc::downgradeHint(Addr blk)
+{
+    const std::size_t set = setIndex(blk);
+    const std::size_t way = findWay(set, blk);
+    if (way != ways_)
+        repl_->downgradeHint(set, way);
+}
+
+std::size_t
+UncompressedLlc::validLines() const
+{
+    std::size_t count = 0;
+    for (const CacheLine &line : lines_)
+        if (line.valid)
+            ++count;
+    return count;
+}
+
+std::vector<Addr>
+UncompressedLlc::setContents(std::size_t set) const
+{
+    std::vector<Addr> contents;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &line = lines_[set * ways_ + w];
+        if (line.valid)
+            contents.push_back(line.tag);
+    }
+    std::sort(contents.begin(), contents.end());
+    return contents;
+}
+
+} // namespace bvc

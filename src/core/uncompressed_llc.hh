@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The uncompressed baseline LLC every experiment normalizes against. Its
+ * replacement decision procedure (invalid-way-first, then policy victim;
+ * hit/fill/writeback update rules) is deliberately byte-for-byte the same
+ * as the Baseline-Cache half of BaseVictimCache, because the paper's
+ * central guarantee — the base content of the compressed cache mirrors
+ * the uncompressed cache — is verified against this model in lockstep.
+ */
+
+#ifndef BVC_CORE_UNCOMPRESSED_LLC_HH_
+#define BVC_CORE_UNCOMPRESSED_LLC_HH_
+
+#include <memory>
+
+#include "cache/cache_line.hh"
+#include "core/llc_interface.hh"
+#include "replacement/factory.hh"
+
+namespace bvc
+{
+
+/** Plain set-associative inclusive LLC. */
+class UncompressedLlc : public Llc
+{
+  public:
+    /**
+     * @param sizeBytes capacity (sets derived as size/64/ways)
+     * @param ways      associativity
+     * @param repl      baseline replacement policy kind
+     */
+    UncompressedLlc(std::size_t sizeBytes, std::size_t ways,
+                    ReplacementKind repl);
+
+    LlcResult access(Addr blk, AccessType type,
+                     const std::uint8_t *data) override;
+    bool probe(Addr blk) const override;
+    bool probeBase(Addr blk) const override { return probe(blk); }
+    void downgradeHint(Addr blk) override;
+    std::size_t validLines() const override;
+    std::string name() const override { return "Uncompressed"; }
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWays() const { return ways_; }
+
+    /** Sorted valid block addresses of one set (mirror-invariant test). */
+    std::vector<Addr> setContents(std::size_t set) const;
+
+    std::size_t setIndex(Addr blk) const;
+
+  private:
+    std::size_t findWay(std::size_t set, Addr blk) const;
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<CacheLine> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+};
+
+} // namespace bvc
+
+#endif // BVC_CORE_UNCOMPRESSED_LLC_HH_

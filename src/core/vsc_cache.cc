@@ -1,0 +1,178 @@
+#include "core/vsc_cache.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+VscLlc::VscLlc(std::size_t sizeBytes, std::size_t physWays,
+               const Compressor &comp)
+    : Llc("llc"),
+      sets_(sizeBytes / kLineBytes / physWays),
+      physWays_(physWays),
+      tagsPerSet_(physWays * 2),
+      slots_(sets_ * physWays * 2),
+      comp_(comp)
+{
+    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
+            "VSC set count must be a nonzero power of two");
+    repl_ = std::make_unique<LruPolicy>(sets_, tagsPerSet_);
+}
+
+std::size_t
+VscLlc::setIndex(Addr blk) const
+{
+    return (blk >> kLineShift) & (sets_ - 1);
+}
+
+std::size_t
+VscLlc::findSlot(std::size_t set, Addr blk) const
+{
+    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
+        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+        if (line.valid && line.tag == blk)
+            return s;
+    }
+    return tagsPerSet_;
+}
+
+unsigned
+VscLlc::usedSegments(std::size_t set) const
+{
+    unsigned used = 0;
+    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
+        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+        if (line.valid)
+            used += line.segments;
+    }
+    return used;
+}
+
+LlcResult
+VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
+{
+    LlcResult result;
+    const std::size_t set = setIndex(blk);
+    const std::size_t s = findSlot(set, blk);
+    const bool demand = type == AccessType::Read;
+
+    ++stats_.counter("accesses");
+    if (demand)
+        ++stats_.counter("demand_accesses");
+
+    const auto capacity =
+        static_cast<unsigned>(physWays_ * kSegmentsPerLine);
+
+    if (s != tagsPerSet_) {
+        result.hit = true;
+        CacheLine &line = slots_[set * tagsPerSet_ + s];
+        if (type == AccessType::Writeback) {
+            ++stats_.counter("writeback_hits");
+            line.dirty = true;
+            const unsigned newSegs = compressedSegmentsFor(comp_, data);
+            // A grown line may force evictions to stay within capacity;
+            // this is VSC's re-compaction overhead (drawback 1, Sec II).
+            line.segments = newSegs;
+            while (usedSegments(set) > capacity) {
+                for (const std::size_t victim : repl_->rank(set)) {
+                    CacheLine &vline =
+                        slots_[set * tagsPerSet_ + victim];
+                    if (!vline.valid || victim == s)
+                        continue;
+                    if (vline.dirty) {
+                        result.memWritebacks.push_back(vline.tag);
+                        ++stats_.counter("mem_writebacks");
+                    }
+                    result.backInvalidations.push_back(vline.tag);
+                    vline.invalidate();
+                    repl_->onInvalidate(set, victim);
+                    ++stats_.counter("evictions");
+                    break;
+                }
+            }
+            ++stats_.counter("recompactions");
+        } else if (demand) {
+            ++stats_.counter("demand_hits");
+            repl_->onHit(set, s);
+        } else {
+            ++stats_.counter("prefetch_hits");
+        }
+        return result;
+    }
+
+    if (type == AccessType::Writeback)
+        panic("VscLlc: writeback miss violates inclusion");
+
+    if (demand)
+        ++stats_.counter("demand_misses");
+    else
+        ++stats_.counter("prefetch_misses");
+
+    const unsigned segments = compressedSegmentsFor(comp_, data);
+
+    // Find a free tag slot.
+    std::size_t fillSlot = tagsPerSet_;
+    for (std::size_t cand = 0; cand < tagsPerSet_; ++cand) {
+        if (!slots_[set * tagsPerSet_ + cand].valid) {
+            fillSlot = cand;
+            break;
+        }
+    }
+
+    // Evict in LRU order until both a tag and enough segments free up
+    // (drawback 3 of Section II: multiple evictions per fill).
+    lastFillEvictions_ = 0;
+    while (fillSlot == tagsPerSet_ ||
+           usedSegments(set) + segments > capacity) {
+        std::size_t victim = tagsPerSet_;
+        for (const std::size_t cand : repl_->rank(set)) {
+            if (slots_[set * tagsPerSet_ + cand].valid) {
+                victim = cand;
+                break;
+            }
+        }
+        panicIf(victim == tagsPerSet_, "VscLlc: nothing left to evict");
+        CacheLine &vline = slots_[set * tagsPerSet_ + victim];
+        if (vline.dirty) {
+            result.memWritebacks.push_back(vline.tag);
+            ++stats_.counter("mem_writebacks");
+        }
+        result.backInvalidations.push_back(vline.tag);
+        vline.invalidate();
+        repl_->onInvalidate(set, victim);
+        ++stats_.counter("evictions");
+        ++lastFillEvictions_;
+        if (fillSlot == tagsPerSet_)
+            fillSlot = victim;
+    }
+    stats_.counter("fill_evictions") += lastFillEvictions_;
+    if (lastFillEvictions_ > 1)
+        ++stats_.counter("multi_evict_fills");
+
+    CacheLine &line = slots_[set * tagsPerSet_ + fillSlot];
+    line.tag = blk;
+    line.valid = true;
+    line.dirty = false;
+    line.segments = segments;
+    repl_->onFill(set, fillSlot);
+    ++stats_.counter("fills");
+    return result;
+}
+
+bool
+VscLlc::probe(Addr blk) const
+{
+    return findSlot(setIndex(blk), blk) != tagsPerSet_;
+}
+
+std::size_t
+VscLlc::validLines() const
+{
+    std::size_t count = 0;
+    for (const CacheLine &line : slots_)
+        if (line.valid)
+            ++count;
+    return count;
+}
+
+} // namespace bvc

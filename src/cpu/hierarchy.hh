@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-core cache hierarchy: private L1I/L1D and unified L2 over a shared
+ * (possibly compressed) inclusive LLC and DRAM. Reproduces the Section V
+ * memory system: writeback caches at every level, LLC inclusive of the
+ * core caches with back-invalidation, L2-eviction downgrade hints for
+ * CHAR, and stream/stride prefetchers.
+ *
+ * The hierarchy is latency-on-access: each demand access walks the
+ * levels, performs all fills/evictions/writebacks immediately, advances
+ * the DRAM bank state, and returns the load-to-use latency the core
+ * should charge.
+ */
+
+#ifndef BVC_CPU_HIERARCHY_HH_
+#define BVC_CPU_HIERARCHY_HH_
+
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "core/llc_interface.hh"
+#include "memory/dram.hh"
+#include "memory/functional_memory.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/stride_prefetcher.hh"
+
+namespace bvc
+{
+
+/** Configuration of the private levels (paper defaults, Section V). */
+struct HierarchyConfig
+{
+    std::size_t l1iBytes = 32 * 1024;
+    std::size_t l1iWays = 8;
+    std::size_t l1dBytes = 32 * 1024;
+    std::size_t l1dWays = 8;
+    std::size_t l2Bytes = 256 * 1024;
+    std::size_t l2Ways = 8;
+    unsigned l1Latency = 3;   //!< load-to-use, cycles
+    unsigned l2Latency = 10;
+    unsigned llcLatency = 24; //!< base latency; compressed adds extra
+    bool prefetch = true;     //!< enable the L1/L2/LLC prefetchers
+    /**
+     * True (the paper's evaluation): the LLC is inclusive, so upper-
+     * level writebacks must hit it. False: writeback misses allocate
+     * in the LLC instead (Section IV.B.3 non-inclusive operation).
+     */
+    bool llcInclusive = true;
+    ReplacementKind l1Repl = ReplacementKind::Lru;
+    ReplacementKind l2Repl = ReplacementKind::Lru;
+};
+
+/** One core's private hierarchy bound to a shared LLC and DRAM. */
+class Hierarchy
+{
+  public:
+    /**
+     * @param cfg  private-level configuration
+     * @param llc  shared last-level cache (not owned)
+     * @param dram shared main memory (not owned)
+     * @param mem  functional memory backing this core's address space
+     *             (not owned)
+     */
+    Hierarchy(const HierarchyConfig &cfg, Llc &llc, Dram &dram,
+              FunctionalMemory &mem);
+
+    /** Demand load at `cycle`; returns load-to-use latency in cycles. */
+    unsigned load(Addr pc, Addr addr, Cycle cycle);
+
+    /**
+     * Demand store at `cycle`: updates functional memory, allocates
+     * (RFO) on miss. Returns the fill latency (the core hides it behind
+     * the store buffer but it is reported for statistics).
+     */
+    unsigned store(Addr pc, Addr addr, std::uint64_t value, Cycle cycle);
+
+    /** Instruction fetch; returns fetch latency. */
+    unsigned fetch(Addr pc, Cycle cycle);
+
+    /**
+     * Invalidate any L1/L2 copies of `blk` (LLC back-invalidation).
+     * @return true if a dirty copy existed above (needs a memory write)
+     */
+    bool invalidateUpper(Addr blk);
+
+    /**
+     * Handler invoked for every LLC back-invalidation. The single-core
+     * system points it at this hierarchy; the multi-core system fans it
+     * out to every core (the LLC is shared).
+     */
+    void setBackInvalidateFn(std::function<bool(Addr)> fn);
+
+    /** Route an LlcResult's side effects (writebacks, back-invals). */
+    void handleLlcResult(const LlcResult &result, Cycle cycle);
+
+    StatGroup &stats() { return stats_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    Cache &l2() { return l2_; }
+
+    /** Inclusion check for tests: all L1/L2 lines are LLC base lines. */
+    bool checkInclusion() const;
+
+  private:
+    /** Shared L2-and-below path; returns load-to-use latency. */
+    unsigned accessBelowL1(Addr pc, Addr blk, Cycle cycle);
+
+    /** Process an L2 eviction: writeback or downgrade hint to the LLC. */
+    void handleL2Eviction(const Eviction &evicted, Cycle cycle);
+
+    /** Process an L1D eviction (dirty data moves into the L2 or LLC). */
+    void handleL1Eviction(const Eviction &evicted, Cycle cycle);
+
+    /** Issue one prefetch that fills the LLC (and optionally the L2). */
+    void prefetchLine(Addr blk, Cycle cycle, bool intoL2);
+
+    HierarchyConfig cfg_;
+    Llc &llc_;
+    Dram &dram_;
+    FunctionalMemory &mem_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    StridePrefetcher l1Prefetcher_;
+    StreamPrefetcher l2Prefetcher_;
+    StreamPrefetcher llcPrefetcher_;
+    std::function<bool(Addr)> backInvalidate_;
+    std::vector<Addr> prefetchScratch_;
+    StatGroup stats_;
+};
+
+} // namespace bvc
+
+#endif // BVC_CPU_HIERARCHY_HH_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Instruction-trace record definitions. The paper's evaluation is
+ * trace-driven (100 traces of 200M instructions, Section V); our traces
+ * are produced on the fly by the synthetic generators in src/trace,
+ * which stream TraceRecords through the TraceSource interface.
+ */
+
+#ifndef BVC_CPU_TRACE_HH_
+#define BVC_CPU_TRACE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** Instruction classes the timing model distinguishes. */
+enum class InstrKind : std::uint8_t
+{
+    NonMem, //!< ALU/branch; occupies an issue slot only
+    Load,
+    Store,
+};
+
+/** One traced instruction. */
+struct TraceRecord
+{
+    Addr pc = 0;
+    Addr addr = 0;           //!< effective address (Load/Store)
+    std::uint64_t value = 0; //!< value stored (Store only)
+    InstrKind kind = InstrKind::NonMem;
+    /**
+     * The load's address depends on the previous load's result
+     * (pointer chase): it cannot issue until that load completes.
+     */
+    bool dependsOnPrevLoad = false;
+};
+
+/** Streaming producer of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @return false when the trace is exhausted (generators typically
+     *         never exhaust; finite traces do)
+     */
+    virtual bool next(TraceRecord &record) = 0;
+
+    /** Restart the trace from the beginning (same deterministic stream). */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace bvc
+
+#endif // BVC_CPU_TRACE_HH_

@@ -1,0 +1,57 @@
+#include "energy/energy_model.hh"
+
+namespace bvc
+{
+
+EnergyBreakdown
+computeEnergy(const StatGroup &llcStats, const StatGroup &dramStats,
+              std::uint64_t cycles, bool compressedArch,
+              const EnergyParams &params)
+{
+    EnergyBreakdown out;
+
+    // --- DRAM: bursts + row activations + background ---
+    const double bursts = static_cast<double>(
+        dramStats.get("reads") + dramStats.get("writes"));
+    const double activations = static_cast<double>(
+        dramStats.get("row_closed") + dramStats.get("row_conflicts"));
+    out.dram = bursts * params.dramBurst +
+               activations * params.dramActivate +
+               static_cast<double>(cycles) / 1000.0 * params.dramStatic;
+
+    // --- LLC tag array: every access; doubled tags cost double ---
+    const double tagFactor = compressedArch ? 2.0 : 1.0;
+    out.llcTag = static_cast<double>(llcStats.get("accesses")) *
+                 params.llcTagAccess * tagFactor;
+
+    // --- LLC data array ---
+    // Reads: every demand/prefetch hit delivers a line.
+    const double dataReads = static_cast<double>(
+        llcStats.get("demand_hits") + llcStats.get("prefetch_hits"));
+    // Writes: fills and writebacks store a line.
+    double dataWrites = static_cast<double>(
+        llcStats.get("fills") + llcStats.get("writeback_hits"));
+    // Base<->Victim migrations are one read plus one write each
+    // (Section VI.D: "data should be read out ... and written into").
+    const double movements =
+        static_cast<double>(llcStats.get("data_movements"));
+    double rmwReads = 0.0;
+    if (compressedArch && !params.wordEnables) {
+        // No word enables: every data write into a way shared with a
+        // partner line must read-modify-write the physical line.
+        rmwReads = dataWrites + movements;
+    }
+    out.llcData = (dataReads + movements + rmwReads) *
+                      params.llcDataRead +
+                  (dataWrites + movements) * params.llcDataWrite;
+
+    // --- Compression / decompression logic ---
+    out.codec = static_cast<double>(llcStats.get("compressions")) *
+                    params.codecCompress +
+                static_cast<double>(llcStats.get("decompressions")) *
+                    params.codecDecompress;
+
+    return out;
+}
+
+} // namespace bvc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sparse functional memory holding the actual bytes of every touched
+ * cache line. It is the single source of data truth in the model: stores
+ * update it immediately, and the compressed LLC reads line contents from
+ * it when computing compressed sizes on fills and writebacks. Lines are
+ * materialized lazily from a workload-specific data pattern, which is
+ * how the synthetic traces control compressibility.
+ */
+
+#ifndef BVC_MEMORY_FUNCTIONAL_MEMORY_HH_
+#define BVC_MEMORY_FUNCTIONAL_MEMORY_HH_
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** Byte-accurate sparse memory with lazy pattern-based initialization. */
+class FunctionalMemory
+{
+  public:
+    using LineInitFn = std::function<void(Addr, std::uint8_t *)>;
+
+    /**
+     * @param init fills a 64B buffer with the initial content of a
+     *             block address; defaults to all-zero memory
+     */
+    explicit FunctionalMemory(LineInitFn init = nullptr)
+        : init_(std::move(init))
+    {
+    }
+
+    /** Current content of the line containing `blk` (materializes it). */
+    const std::uint8_t *
+    line(Addr blk)
+    {
+        return lineMutable(blockAddr(blk));
+    }
+
+    /** Store `value` (8 bytes, little-endian) at 8-byte-aligned `addr`. */
+    void
+    store64(Addr addr, std::uint64_t value)
+    {
+        std::uint8_t *data = lineMutable(blockAddr(addr));
+        const unsigned offset = blockOffset(addr) & ~7u;
+        std::memcpy(data + offset, &value, 8);
+    }
+
+    /** Load 8 bytes from 8-byte-aligned `addr`. */
+    std::uint64_t
+    load64(Addr addr)
+    {
+        const std::uint8_t *data = line(addr);
+        const unsigned offset = blockOffset(addr) & ~7u;
+        std::uint64_t value = 0;
+        std::memcpy(&value, data + offset, 8);
+        return value;
+    }
+
+    /** Number of materialized lines (footprint accounting). */
+    std::size_t touchedLines() const { return lines_.size(); }
+
+  private:
+    std::uint8_t *
+    lineMutable(Addr blk)
+    {
+        auto [it, inserted] = lines_.try_emplace(blk);
+        if (inserted) {
+            if (init_)
+                init_(blk, it->second.data());
+            else
+                it->second.fill(0);
+        }
+        return it->second.data();
+    }
+
+    LineInitFn init_;
+    std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>> lines_;
+};
+
+} // namespace bvc
+
+#endif // BVC_MEMORY_FUNCTIONAL_MEMORY_HH_

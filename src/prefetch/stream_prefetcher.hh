@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multi-stream region prefetcher (the "aggressive multi-stream"
+ * prefetcher class of Section V), used at the L2 and LLC. Tracks several
+ * concurrent sequential streams within 4KB regions, learns each stream's
+ * direction, and runs `distance` blocks ahead with `degree` prefetches
+ * per trigger.
+ */
+
+#ifndef BVC_PREFETCH_STREAM_PREFETCHER_HH_
+#define BVC_PREFETCH_STREAM_PREFETCHER_HH_
+
+#include "prefetch/prefetcher.hh"
+
+namespace bvc
+{
+
+/** Region-based multi-stream detector. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param streams  concurrent streams tracked
+     * @param degree   prefetches per trained trigger
+     * @param distance how far ahead of the demand stream to run
+     */
+    StreamPrefetcher(std::string statName, std::size_t streams = 16,
+                     unsigned degree = 2, unsigned distance = 4);
+
+    void observe(Addr pc, Addr blk, bool miss,
+                 std::vector<Addr> &out) override;
+
+  private:
+    struct Stream
+    {
+        Addr region = 0;       //!< region base (4KB aligned)
+        unsigned lastBlock = 0; //!< last block index within region
+        int direction = 0;      //!< +1 / -1 once learned
+        unsigned confidence = 0;
+        bool valid = false;
+        Tick lastUse = 0;
+    };
+
+    static constexpr unsigned kRegionShift = 12; // 4KB regions
+    static constexpr unsigned kBlocksPerRegion =
+        1u << (kRegionShift - kLineShift);
+    static constexpr unsigned kTrainThreshold = 2;
+
+    std::vector<Stream> streams_;
+    unsigned degree_;
+    unsigned distance_;
+    Tick tick_ = 0;
+};
+
+} // namespace bvc
+
+#endif // BVC_PREFETCH_STREAM_PREFETCHER_HH_

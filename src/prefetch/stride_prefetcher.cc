@@ -1,0 +1,56 @@
+#include "prefetch/stride_prefetcher.hh"
+
+namespace bvc
+{
+
+StridePrefetcher::StridePrefetcher(std::string statName,
+                                   std::size_t entries, unsigned degree)
+    : Prefetcher(std::move(statName)),
+      table_(entries),
+      degree_(degree)
+{
+}
+
+void
+StridePrefetcher::observe(Addr pc, Addr blk, bool, std::vector<Addr> &out)
+{
+    Entry &entry = table_[(pc >> 2) % table_.size()];
+
+    if (!entry.valid || entry.pcTag != pc) {
+        entry = Entry{};
+        entry.pcTag = pc;
+        entry.lastBlk = blk;
+        entry.valid = true;
+        return;
+    }
+
+    const auto delta = static_cast<std::int64_t>(blk) -
+                       static_cast<std::int64_t>(entry.lastBlk);
+    if (delta == 0)
+        return; // same block, nothing to learn
+
+    if (delta == entry.stride) {
+        if (entry.confidence < kMaxConfidence)
+            ++entry.confidence;
+    } else {
+        if (entry.confidence > 0) {
+            --entry.confidence;
+        } else {
+            entry.stride = delta;
+        }
+    }
+    entry.lastBlk = blk;
+
+    if (entry.confidence >= kTrainThreshold && entry.stride != 0) {
+        for (unsigned k = 1; k <= degree_; ++k) {
+            const auto target = static_cast<std::int64_t>(blk) +
+                                entry.stride * static_cast<std::int64_t>(k);
+            if (target <= 0)
+                break;
+            out.push_back(blockAddr(static_cast<Addr>(target)));
+            ++stats_.counter("issued");
+        }
+    }
+}
+
+} // namespace bvc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (classic reference-prediction-table
+ * design), used at the L1 data cache.
+ */
+
+#ifndef BVC_PREFETCH_STRIDE_PREFETCHER_HH_
+#define BVC_PREFETCH_STRIDE_PREFETCHER_HH_
+
+#include "prefetch/prefetcher.hh"
+
+namespace bvc
+{
+
+/** Reference prediction table keyed by load/store PC. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param entries table size (direct-mapped by PC hash)
+     * @param degree  prefetches issued per trained access
+     */
+    StridePrefetcher(std::string statName, std::size_t entries = 256,
+                     unsigned degree = 2);
+
+    void observe(Addr pc, Addr blk, bool miss,
+                 std::vector<Addr> &out) override;
+
+  private:
+    struct Entry
+    {
+        Addr pcTag = 0;
+        Addr lastBlk = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        bool valid = false;
+    };
+
+    static constexpr unsigned kMaxConfidence = 3;
+    static constexpr unsigned kTrainThreshold = 2;
+
+    std::vector<Entry> table_;
+    unsigned degree_;
+};
+
+} // namespace bvc
+
+#endif // BVC_PREFETCH_STRIDE_PREFETCHER_HH_

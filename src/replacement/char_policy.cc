@@ -1,0 +1,141 @@
+#include "replacement/char_policy.hh"
+
+namespace bvc
+{
+
+CharPolicy::CharPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways),
+      bits_(sets * ways, 1),
+      hinted_(sets * ways, 0)
+{
+}
+
+CharPolicy::SetRole
+CharPolicy::role(std::size_t set) const
+{
+    const auto slot = set % kDuelPeriod;
+    if (slot == 0)
+        return SetRole::LeaderHint;
+    if (slot == 1)
+        return SetRole::LeaderNoHint;
+    return SetRole::Follower;
+}
+
+bool
+CharPolicy::applyHints(std::size_t set) const
+{
+    switch (role(set)) {
+      case SetRole::LeaderHint:
+        return true;
+      case SetRole::LeaderNoHint:
+        return false;
+      case SetRole::Follower:
+        return hintsEnabled();
+    }
+    return true;
+}
+
+bool
+CharPolicy::hintsEnabled() const
+{
+    // Conservative dueling: followers only apply downgrade hints once
+    // the leader sets have accumulated clear evidence that hinted
+    // lines die unreferenced (negative selector). A mispredicting
+    // hint path then degrades CHAR to plain NRU instead of below it.
+    return psel_ <= -kEnableThreshold;
+}
+
+void
+CharPolicy::touch(std::size_t set, std::size_t way)
+{
+    auto *row = &bits_[set * ways_];
+    row[way] = 0;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            return;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (w != way)
+            row[w] = 1;
+}
+
+void
+CharPolicy::onFill(std::size_t set, std::size_t way)
+{
+    hinted_[set * ways_ + way] = 0;
+    touch(set, way);
+}
+
+void
+CharPolicy::onHit(std::size_t set, std::size_t way)
+{
+    const std::size_t idx = set * ways_ + way;
+    if (hinted_[idx] && role(set) == SetRole::LeaderHint) {
+        // A hinted-down line proved useful: evidence against hinting.
+        if (psel_ < kPselMax)
+            ++psel_;
+    }
+    hinted_[idx] = 0;
+    touch(set, way);
+}
+
+void
+CharPolicy::onInvalidate(std::size_t set, std::size_t way)
+{
+    const std::size_t idx = set * ways_ + way;
+    bits_[idx] = 1;
+    hinted_[idx] = 0;
+}
+
+void
+CharPolicy::downgradeHint(std::size_t set, std::size_t way)
+{
+    const std::size_t idx = set * ways_ + way;
+    if (applyHints(set)) {
+        bits_[idx] = 1;
+        hinted_[idx] = 1;
+    } else if (role(set) == SetRole::LeaderNoHint) {
+        // Record that the hint would have fired; if the line then gets
+        // evicted without a rehit, hinting would have been harmless and
+        // freed the way sooner: evidence for hinting.
+        hinted_[idx] = 1;
+    }
+}
+
+std::vector<std::size_t>
+CharPolicy::preferredVictims(std::size_t set)
+{
+    const auto *row = &bits_[set * ways_];
+    std::vector<std::size_t> candidates;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            candidates.push_back(w);
+    if (candidates.empty())
+        candidates = rank(set);
+    return candidates;
+}
+
+std::vector<std::size_t>
+CharPolicy::rank(std::size_t set)
+{
+    const auto *row = &bits_[set * ways_];
+    std::vector<std::size_t> order;
+    order.reserve(ways_);
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            order.push_back(w);
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (!row[w])
+            order.push_back(w);
+
+    // Dueling feedback for the no-hint leader: the preferred victim being
+    // a would-have-been-hinted line that never got rehit means hints
+    // predict death correctly there.
+    if (role(set) == SetRole::LeaderNoHint && !order.empty()) {
+        const std::size_t idx = set * ways_ + order.front();
+        if (hinted_[idx] && psel_ > -kPselMax)
+            --psel_;
+    }
+    return order;
+}
+
+} // namespace bvc

@@ -1,0 +1,112 @@
+#include "replacement/drrip.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bvc
+{
+
+DrripPolicy::DrripPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways),
+      rrpvs_(sets * ways, kMaxRrpv)
+{
+}
+
+unsigned
+DrripPolicy::rrpv(std::size_t set, std::size_t way) const
+{
+    return rrpvs_[set * ways_ + way];
+}
+
+DrripPolicy::SetRole
+DrripPolicy::role(std::size_t set) const
+{
+    const auto slot = set % kDuelPeriod;
+    if (slot == 0)
+        return SetRole::LeaderSrrip;
+    if (slot == 1)
+        return SetRole::LeaderBrrip;
+    return SetRole::Follower;
+}
+
+bool
+DrripPolicy::insertBrrip(std::size_t set)
+{
+    switch (role(set)) {
+      case SetRole::LeaderSrrip:
+        return false;
+      case SetRole::LeaderBrrip:
+        return true;
+      case SetRole::Follower:
+        return psel_ > 0;
+    }
+    return false;
+}
+
+void
+DrripPolicy::onFill(std::size_t set, std::size_t way)
+{
+    // A fill is a miss: duel the leader sets.
+    if (role(set) == SetRole::LeaderSrrip && psel_ < kPselMax)
+        ++psel_;
+    else if (role(set) == SetRole::LeaderBrrip && psel_ > -kPselMax)
+        --psel_;
+
+    unsigned insert = kSrripInsert;
+    if (insertBrrip(set)) {
+        // BRRIP: mostly distant, occasionally long.
+        insert = (++bimodalCounter_ % kBimodalPeriod == 0)
+            ? kSrripInsert
+            : kMaxRrpv;
+    }
+    rrpvs_[set * ways_ + way] = static_cast<std::uint8_t>(insert);
+}
+
+void
+DrripPolicy::onHit(std::size_t set, std::size_t way)
+{
+    rrpvs_[set * ways_ + way] = 0;
+}
+
+void
+DrripPolicy::onInvalidate(std::size_t set, std::size_t way)
+{
+    rrpvs_[set * ways_ + way] = kMaxRrpv;
+}
+
+std::vector<std::size_t>
+DrripPolicy::rank(std::size_t set)
+{
+    auto *row = &rrpvs_[set * ways_];
+    auto maxIt = std::max_element(row, row + ways_);
+    if (*maxIt < kMaxRrpv) {
+        const std::uint8_t delta =
+            static_cast<std::uint8_t>(kMaxRrpv - *maxIt);
+        for (std::size_t w = 0; w < ways_; ++w)
+            row[w] = static_cast<std::uint8_t>(row[w] + delta);
+    }
+    std::vector<std::size_t> order(ways_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return row[a] > row[b];
+                     });
+    return order;
+}
+
+std::vector<std::size_t>
+DrripPolicy::preferredVictims(std::size_t set)
+{
+    const auto order = rank(set);
+    const auto *row = &rrpvs_[set * ways_];
+    std::vector<std::size_t> candidates;
+    for (const std::size_t w : order) {
+        if (row[w] == kMaxRrpv)
+            candidates.push_back(w);
+        else
+            break;
+    }
+    return candidates;
+}
+
+} // namespace bvc

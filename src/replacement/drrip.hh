@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dynamic Re-Reference Interval Prediction (DRRIP) [Jaleel et al.,
+ * ISCA 2010]: set-dueling between SRRIP insertion (RRPV = long) and
+ * BRRIP insertion (RRPV = distant, with a low-probability long insert),
+ * selecting per-workload whichever policy misses less. An optional
+ * extension beyond the paper's evaluated policies — the Base-Victim
+ * architecture composes with it unchanged, which the Figure 10 bench
+ * demonstrates.
+ */
+
+#ifndef BVC_REPLACEMENT_DRRIP_HH_
+#define BVC_REPLACEMENT_DRRIP_HH_
+
+#include "replacement/replacement.hh"
+
+namespace bvc
+{
+
+/** DRRIP with 2-bit RRPVs and 10-bit policy selector. */
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr unsigned kMaxRrpv = 3;
+    static constexpr unsigned kSrripInsert = 2;
+    /** BRRIP inserts at kSrripInsert once every kBimodalPeriod fills. */
+    static constexpr unsigned kBimodalPeriod = 32;
+    static constexpr unsigned kDuelPeriod = 32;
+    static constexpr int kPselMax = 511;
+
+    DrripPolicy(std::size_t sets, std::size_t ways);
+
+    void onFill(std::size_t set, std::size_t way) override;
+    void onHit(std::size_t set, std::size_t way) override;
+    void onInvalidate(std::size_t set, std::size_t way) override;
+    std::vector<std::size_t> rank(std::size_t set) override;
+    std::vector<std::size_t> preferredVictims(std::size_t set) override;
+    std::string name() const override { return "DRRIP"; }
+
+    /** Raw RRPV; test helper. */
+    unsigned rrpv(std::size_t set, std::size_t way) const;
+    /** True if follower sets currently insert BRRIP-style. */
+    bool brripSelected() const { return psel_ > 0; }
+
+  private:
+    enum class SetRole : std::uint8_t
+    {
+        Follower,
+        LeaderSrrip,
+        LeaderBrrip,
+    };
+
+    SetRole role(std::size_t set) const;
+    bool insertBrrip(std::size_t set);
+
+    std::vector<std::uint8_t> rrpvs_;
+    int psel_ = 0; //!< >0: SRRIP leaders miss more -> use BRRIP
+    unsigned bimodalCounter_ = 0;
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_DRRIP_HH_

@@ -1,0 +1,75 @@
+#include "replacement/factory.hh"
+
+#include "replacement/char_policy.hh"
+#include "replacement/drrip.hh"
+#include "replacement/lru.hh"
+#include "replacement/nru.hh"
+#include "replacement/random_repl.hh"
+#include "replacement/srrip.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::size_t sets, std::size_t ways)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::Nru:
+        return std::make_unique<NruPolicy>(sets, ways);
+      case ReplacementKind::Srrip:
+        return std::make_unique<SrripPolicy>(sets, ways);
+      case ReplacementKind::Drrip:
+        return std::make_unique<DrripPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways);
+      case ReplacementKind::Char:
+        return std::make_unique<CharPolicy>(sets, ways);
+    }
+    panic("makeReplacement: unknown kind");
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(const std::string &name, std::size_t sets,
+                std::size_t ways)
+{
+    if (name == "lru")
+        return makeReplacement(ReplacementKind::Lru, sets, ways);
+    if (name == "nru")
+        return makeReplacement(ReplacementKind::Nru, sets, ways);
+    if (name == "srrip")
+        return makeReplacement(ReplacementKind::Srrip, sets, ways);
+    if (name == "drrip")
+        return makeReplacement(ReplacementKind::Drrip, sets, ways);
+    if (name == "random")
+        return makeReplacement(ReplacementKind::Random, sets, ways);
+    if (name == "char")
+        return makeReplacement(ReplacementKind::Char, sets, ways);
+    fatal("unknown replacement policy name: " + name);
+}
+
+std::string
+replacementName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::Lru: return "LRU";
+      case ReplacementKind::Nru: return "NRU";
+      case ReplacementKind::Srrip: return "SRRIP";
+      case ReplacementKind::Drrip: return "DRRIP";
+      case ReplacementKind::Random: return "Random";
+      case ReplacementKind::Char: return "CHAR";
+    }
+    panic("replacementName: unknown kind");
+}
+
+std::vector<ReplacementKind>
+allReplacementKinds()
+{
+    return {ReplacementKind::Lru, ReplacementKind::Nru,
+            ReplacementKind::Srrip, ReplacementKind::Drrip,
+            ReplacementKind::Random, ReplacementKind::Char};
+}
+
+} // namespace bvc

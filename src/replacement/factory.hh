@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Replacement policy construction by kind/name for system configuration.
+ */
+
+#ifndef BVC_REPLACEMENT_FACTORY_HH_
+#define BVC_REPLACEMENT_FACTORY_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replacement/replacement.hh"
+
+namespace bvc
+{
+
+/** Policies selectable for the Baseline Cache / upper-level caches. */
+enum class ReplacementKind
+{
+    Lru,
+    Nru,
+    Srrip,
+    Drrip,
+    Random,
+    Char,
+};
+
+/** Construct a policy for a (sets x ways) array. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::size_t sets, std::size_t ways);
+
+/** Construct by lowercase name ("lru", "nru", "srrip", "random", "char"). */
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(const std::string &name, std::size_t sets,
+                std::size_t ways);
+
+/** Printable name for a kind. */
+std::string replacementName(ReplacementKind kind);
+
+/** All kinds (for parameterized tests). */
+std::vector<ReplacementKind> allReplacementKinds();
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_FACTORY_HH_

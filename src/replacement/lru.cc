@@ -1,0 +1,67 @@
+#include "replacement/lru.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bvc
+{
+
+LruPolicy::LruPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways),
+      stamps_(sets * ways, 0)
+{
+}
+
+Tick &
+LruPolicy::stamp(std::size_t set, std::size_t way)
+{
+    return stamps_[set * ways_ + way];
+}
+
+const Tick &
+LruPolicy::stamp(std::size_t set, std::size_t way) const
+{
+    return stamps_[set * ways_ + way];
+}
+
+void
+LruPolicy::onFill(std::size_t set, std::size_t way)
+{
+    stamp(set, way) = ++tick_;
+}
+
+void
+LruPolicy::onHit(std::size_t set, std::size_t way)
+{
+    stamp(set, way) = ++tick_;
+}
+
+void
+LruPolicy::onInvalidate(std::size_t set, std::size_t way)
+{
+    stamp(set, way) = 0;
+}
+
+std::vector<std::size_t>
+LruPolicy::rank(std::size_t set)
+{
+    std::vector<std::size_t> order(ways_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return stamp(set, a) < stamp(set, b);
+                     });
+    return order;
+}
+
+std::size_t
+LruPolicy::stackPosition(std::size_t set, std::size_t way) const
+{
+    std::size_t pos = 0;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (w != way && stamp(set, w) > stamp(set, way))
+            ++pos;
+    return pos;
+}
+
+} // namespace bvc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * True least-recently-used replacement via per-line timestamps. Used in
+ * the paper's motivating examples (Section III) and as a Baseline-Cache
+ * policy option.
+ */
+
+#ifndef BVC_REPLACEMENT_LRU_HH_
+#define BVC_REPLACEMENT_LRU_HH_
+
+#include "replacement/replacement.hh"
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** Timestamp-based LRU. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::size_t sets, std::size_t ways);
+
+    void onFill(std::size_t set, std::size_t way) override;
+    void onHit(std::size_t set, std::size_t way) override;
+    void onInvalidate(std::size_t set, std::size_t way) override;
+    std::vector<std::size_t> rank(std::size_t set) override;
+    std::string name() const override { return "LRU"; }
+
+    /** Position of `way` in the LRU stack (0 = MRU); test helper. */
+    std::size_t stackPosition(std::size_t set, std::size_t way) const;
+
+  private:
+    Tick &stamp(std::size_t set, std::size_t way);
+    const Tick &stamp(std::size_t set, std::size_t way) const;
+
+    std::vector<Tick> stamps_;
+    Tick tick_ = 0;
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_LRU_HH_

@@ -1,0 +1,78 @@
+#include "replacement/nru.hh"
+
+namespace bvc
+{
+
+NruPolicy::NruPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways),
+      bits_(sets * ways, 1)
+{
+}
+
+bool
+NruPolicy::candidateBit(std::size_t set, std::size_t way) const
+{
+    return bits_[set * ways_ + way] != 0;
+}
+
+void
+NruPolicy::touch(std::size_t set, std::size_t way)
+{
+    auto *row = &bits_[set * ways_];
+    row[way] = 0;
+    // If no candidate remains, age every other way back to candidate.
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            return;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (w != way)
+            row[w] = 1;
+}
+
+void
+NruPolicy::onFill(std::size_t set, std::size_t way)
+{
+    touch(set, way);
+}
+
+void
+NruPolicy::onHit(std::size_t set, std::size_t way)
+{
+    touch(set, way);
+}
+
+void
+NruPolicy::onInvalidate(std::size_t set, std::size_t way)
+{
+    bits_[set * ways_ + way] = 1;
+}
+
+std::vector<std::size_t>
+NruPolicy::preferredVictims(std::size_t set)
+{
+    const auto *row = &bits_[set * ways_];
+    std::vector<std::size_t> candidates;
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            candidates.push_back(w);
+    if (candidates.empty())
+        candidates = rank(set);
+    return candidates;
+}
+
+std::vector<std::size_t>
+NruPolicy::rank(std::size_t set)
+{
+    const auto *row = &bits_[set * ways_];
+    std::vector<std::size_t> order;
+    order.reserve(ways_);
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (row[w])
+            order.push_back(w);
+    for (std::size_t w = 0; w < ways_; ++w)
+        if (!row[w])
+            order.push_back(w);
+    return order;
+}
+
+} // namespace bvc

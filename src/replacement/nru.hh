@@ -1,0 +1,41 @@
+/**
+ * @file
+ * 1-bit Not-Recently-Used replacement [14], the paper's default LLC
+ * policy (Section V). Each line has one reference bit: cleared on
+ * hit/fill; a set bit marks an eviction candidate. When clearing the last
+ * set bit, all other ways are re-marked.
+ */
+
+#ifndef BVC_REPLACEMENT_NRU_HH_
+#define BVC_REPLACEMENT_NRU_HH_
+
+#include "replacement/replacement.hh"
+
+namespace bvc
+{
+
+/** 1-bit NRU. Bit set == "not recently used" == victim candidate. */
+class NruPolicy : public ReplacementPolicy
+{
+  public:
+    NruPolicy(std::size_t sets, std::size_t ways);
+
+    void onFill(std::size_t set, std::size_t way) override;
+    void onHit(std::size_t set, std::size_t way) override;
+    void onInvalidate(std::size_t set, std::size_t way) override;
+    std::vector<std::size_t> rank(std::size_t set) override;
+    std::vector<std::size_t> preferredVictims(std::size_t set) override;
+    std::string name() const override { return "NRU"; }
+
+    /** Raw candidate bit; test helper. */
+    bool candidateBit(std::size_t set, std::size_t way) const;
+
+  private:
+    void touch(std::size_t set, std::size_t way);
+
+    std::vector<std::uint8_t> bits_; // 1 = eviction candidate
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_NRU_HH_

@@ -1,0 +1,28 @@
+#include "replacement/random_repl.hh"
+
+#include <numeric>
+
+namespace bvc
+{
+
+RandomPolicy::RandomPolicy(std::size_t sets, std::size_t ways,
+                           std::uint64_t seed)
+    : ReplacementPolicy(sets, ways),
+      rng_(seed)
+{
+}
+
+std::vector<std::size_t>
+RandomPolicy::rank(std::size_t)
+{
+    std::vector<std::size_t> order(ways_);
+    std::iota(order.begin(), order.end(), 0);
+    // Fisher-Yates shuffle driven by the deterministic PRNG.
+    for (std::size_t i = ways_; i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng_.range(i));
+        std::swap(order[i - 1], order[j]);
+    }
+    return order;
+}
+
+} // namespace bvc

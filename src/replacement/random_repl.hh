@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic pseudo-random replacement; the paper's illustrative
+ * Victim-Cache policy in Section IV.B examples.
+ */
+
+#ifndef BVC_REPLACEMENT_RANDOM_REPL_HH_
+#define BVC_REPLACEMENT_RANDOM_REPL_HH_
+
+#include "replacement/replacement.hh"
+
+#include "util/rng.hh"
+
+namespace bvc
+{
+
+/** Random victim ranking from a seeded PRNG (reproducible). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t sets, std::size_t ways,
+                 std::uint64_t seed = 0xb5c0ffee);
+
+    void onFill(std::size_t, std::size_t) override {}
+    void onHit(std::size_t, std::size_t) override {}
+    void onInvalidate(std::size_t, std::size_t) override {}
+    std::vector<std::size_t> rank(std::size_t set) override;
+    std::string name() const override { return "Random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_RANDOM_REPL_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Replacement-policy interface shared by every cache model. A policy owns
+ * per-(set, way) age state for a cache of fixed geometry and exposes a
+ * victim *ranking* rather than a single victim: the compressed-cache
+ * models (Section III / VI.B of the paper) need to walk candidates in
+ * policy-preference order and filter them by compressed-size fit, which a
+ * single-victim interface cannot express.
+ */
+
+#ifndef BVC_REPLACEMENT_REPLACEMENT_HH_
+#define BVC_REPLACEMENT_REPLACEMENT_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/**
+ * Abstract replacement policy over a (sets x ways) tag array. "Way" here
+ * means a logical tag slot: the two-tag compressed caches instantiate a
+ * policy over 2x the physical associativity.
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways)
+    {
+    }
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** A new line was installed in (set, way). */
+    virtual void onFill(std::size_t set, std::size_t way) = 0;
+
+    /** The line in (set, way) was hit by a demand access. */
+    virtual void onHit(std::size_t set, std::size_t way) = 0;
+
+    /** The line in (set, way) was invalidated (state becomes don't-care). */
+    virtual void onInvalidate(std::size_t set, std::size_t way) = 0;
+
+    /**
+     * Optional hierarchy hint (CHAR-style, [7]): the upper-level cache
+     * evicted its copy of the line at (set, way), suggesting reduced
+     * future reuse. Default: ignored.
+     */
+    virtual void downgradeHint(std::size_t, std::size_t) {}
+
+    /**
+     * All ways of `set` ordered best-victim-first. May mutate aging state
+     * (e.g., SRRIP increments RRPVs until a victim exists), so callers
+     * must only invoke this when a replacement decision is actually due.
+     */
+    virtual std::vector<std::size_t> rank(std::size_t set) = 0;
+
+    /**
+     * The policy's current victim-candidate *class* for `set`: the ways
+     * the policy considers equally evictable right now (e.g., all
+     * NRU-bit-set ways, all RRPV==3 ways). The two-tag modified
+     * replacement of Section VI.A filters this class by compressed-size
+     * fit. Default: just the single best victim.
+     */
+    virtual std::vector<std::size_t>
+    preferredVictims(std::size_t set)
+    {
+        return {rank(set).front()};
+    }
+
+    /** Convenience: the single preferred victim (first of rank()). */
+    std::size_t
+    victim(std::size_t set)
+    {
+        return rank(set).front();
+    }
+
+    virtual std::string name() const = 0;
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+
+  protected:
+    std::size_t sets_;
+    std::size_t ways_;
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_REPLACEMENT_HH_

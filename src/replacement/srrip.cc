@@ -1,0 +1,78 @@
+#include "replacement/srrip.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bvc
+{
+
+SrripPolicy::SrripPolicy(std::size_t sets, std::size_t ways)
+    : ReplacementPolicy(sets, ways),
+      rrpvs_(sets * ways, kMaxRrpv)
+{
+}
+
+unsigned
+SrripPolicy::rrpv(std::size_t set, std::size_t way) const
+{
+    return rrpvs_[set * ways_ + way];
+}
+
+void
+SrripPolicy::onFill(std::size_t set, std::size_t way)
+{
+    rrpvs_[set * ways_ + way] = kInsertRrpv;
+}
+
+void
+SrripPolicy::onHit(std::size_t set, std::size_t way)
+{
+    rrpvs_[set * ways_ + way] = 0;
+}
+
+void
+SrripPolicy::onInvalidate(std::size_t set, std::size_t way)
+{
+    rrpvs_[set * ways_ + way] = kMaxRrpv;
+}
+
+std::vector<std::size_t>
+SrripPolicy::preferredVictims(std::size_t set)
+{
+    // rank() ages the set so that at least one way sits at kMaxRrpv;
+    // the candidate class is exactly the max-RRPV ways.
+    const auto order = rank(set);
+    const auto *row = &rrpvs_[set * ways_];
+    std::vector<std::size_t> candidates;
+    for (const std::size_t w : order) {
+        if (row[w] == kMaxRrpv)
+            candidates.push_back(w);
+        else
+            break;
+    }
+    return candidates;
+}
+
+std::vector<std::size_t>
+SrripPolicy::rank(std::size_t set)
+{
+    auto *row = &rrpvs_[set * ways_];
+
+    // Age the set until at least one way is a distant re-reference.
+    auto maxIt = std::max_element(row, row + ways_);
+    if (*maxIt < kMaxRrpv) {
+        const std::uint8_t delta = kMaxRrpv - *maxIt;
+        for (std::size_t w = 0; w < ways_; ++w)
+            row[w] = static_cast<std::uint8_t>(row[w] + delta);
+    }
+
+    std::vector<std::size_t> order(ways_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return row[a] > row[b];
+                     });
+    return order;
+}
+
+} // namespace bvc

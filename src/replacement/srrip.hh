@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static Re-Reference Interval Prediction (SRRIP) [Jaleel et al., ISCA
+ * 2010], the first advanced Baseline-Cache policy studied in Section
+ * VI.B.2. 2-bit re-reference prediction values: insert at "long"
+ * (RRPV = 2), promote to "near-immediate" (0) on hit, evict RRPV = 3,
+ * aging all lines when no way is at 3.
+ */
+
+#ifndef BVC_REPLACEMENT_SRRIP_HH_
+#define BVC_REPLACEMENT_SRRIP_HH_
+
+#include "replacement/replacement.hh"
+
+namespace bvc
+{
+
+/** SRRIP-HP with 2-bit RRPVs. */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr unsigned kMaxRrpv = 3;
+    static constexpr unsigned kInsertRrpv = 2;
+
+    SrripPolicy(std::size_t sets, std::size_t ways);
+
+    void onFill(std::size_t set, std::size_t way) override;
+    void onHit(std::size_t set, std::size_t way) override;
+    void onInvalidate(std::size_t set, std::size_t way) override;
+    std::vector<std::size_t> rank(std::size_t set) override;
+    std::vector<std::size_t> preferredVictims(std::size_t set) override;
+    std::string name() const override { return "SRRIP"; }
+
+    /** Raw RRPV; test helper. */
+    unsigned rrpv(std::size_t set, std::size_t way) const;
+
+  private:
+    std::vector<std::uint8_t> rrpvs_;
+};
+
+} // namespace bvc
+
+#endif // BVC_REPLACEMENT_SRRIP_HH_

@@ -1,0 +1,126 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    if (const char *env = std::getenv("BVC_WARMUP"))
+        opts.warmup = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("BVC_INSTR"))
+        opts.measure = std::strtoull(env, nullptr, 10);
+    return opts;
+}
+
+RunResult
+runTrace(const SystemConfig &cfg, const TraceParams &trace,
+         const ExperimentOptions &opts)
+{
+    System system(cfg, trace);
+    return system.run(opts.warmup, opts.measure);
+}
+
+std::vector<TraceRatio>
+compareOnSuite(const SystemConfig &baseCfg, const SystemConfig &testCfg,
+               const WorkloadSuite &suite,
+               const std::vector<std::size_t> &indices,
+               const ExperimentOptions &opts)
+{
+    std::vector<TraceRatio> out;
+    out.reserve(indices.size());
+    for (const std::size_t idx : indices) {
+        const WorkloadInfo &info = suite.all()[idx];
+        TraceRatio ratio;
+        ratio.name = info.params.name;
+        ratio.category = info.params.category;
+        ratio.compressionFriendly = info.compressionFriendly;
+        ratio.base = runTrace(baseCfg, info.params, opts);
+        ratio.test = runTrace(testCfg, info.params, opts);
+        panicIf(ratio.base.ipc <= 0.0, "baseline IPC must be positive");
+        ratio.ipcRatio = ratio.test.ipc / ratio.base.ipc;
+        // Traces with almost no memory traffic get a neutral ratio.
+        ratio.dramReadRatio = ratio.base.dramReads > 0
+            ? static_cast<double>(ratio.test.dramReads) /
+                  static_cast<double>(ratio.base.dramReads)
+            : 1.0;
+        out.push_back(std::move(ratio));
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double logSum = 0.0;
+    for (const double v : values) {
+        panicIf(v <= 0.0, "geomean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+categoryIpcGeomean(const std::vector<TraceRatio> &ratios,
+                   WorkloadCategory category)
+{
+    std::vector<double> values;
+    for (const TraceRatio &r : ratios)
+        if (r.category == category)
+            values.push_back(r.ipcRatio);
+    return geomean(values);
+}
+
+double
+overallIpcGeomean(const std::vector<TraceRatio> &ratios)
+{
+    std::vector<double> values;
+    values.reserve(ratios.size());
+    for (const TraceRatio &r : ratios)
+        values.push_back(r.ipcRatio);
+    return geomean(values);
+}
+
+double
+overallDramReadGeomean(const std::vector<TraceRatio> &ratios)
+{
+    std::vector<double> values;
+    values.reserve(ratios.size());
+    for (const TraceRatio &r : ratios)
+        values.push_back(r.dramReadRatio);
+    return geomean(values);
+}
+
+std::size_t
+countBelow(const std::vector<TraceRatio> &ratios, double threshold)
+{
+    std::size_t count = 0;
+    for (const TraceRatio &r : ratios)
+        if (r.ipcRatio < threshold)
+            ++count;
+    return count;
+}
+
+double
+averageCompressedFraction(const DataPattern &pattern,
+                          const Compressor &comp, std::uint64_t samples)
+{
+    std::uint64_t totalBytes = 0;
+    std::uint8_t line[kLineBytes];
+    for (std::uint64_t i = 0; i < samples; ++i) {
+        pattern.fillLine(i * kLineBytes, line);
+        totalBytes += comp.compress(line).sizeBytes();
+    }
+    return static_cast<double>(totalBytes) /
+           (static_cast<double>(samples) * kLineBytes);
+}
+
+} // namespace bvc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment-harness helpers shared by the bench binaries: run a trace
+ * under a configuration, compare configurations across the workload
+ * suite, and aggregate (geometric means, per-category averages) the way
+ * the paper reports results (Section V: "We use the geometric mean to
+ * present average normalized IPC and miss rate ratios across traces").
+ */
+
+#ifndef BVC_SIM_EXPERIMENT_HH_
+#define BVC_SIM_EXPERIMENT_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/workload_suite.hh"
+
+namespace bvc
+{
+
+/** Trace-window lengths, overridable via BVC_WARMUP / BVC_INSTR. */
+struct ExperimentOptions
+{
+    std::uint64_t warmup = 200'000;
+    std::uint64_t measure = 400'000;
+
+    /** Read overrides from the environment. */
+    static ExperimentOptions fromEnv();
+};
+
+/** Normalized per-trace outcome of a config-vs-baseline comparison. */
+struct TraceRatio
+{
+    std::string name;
+    WorkloadCategory category = WorkloadCategory::SpecFp;
+    bool compressionFriendly = false;
+    double ipcRatio = 1.0;       //!< IPC(test) / IPC(base)
+    double dramReadRatio = 1.0;  //!< reads(test) / reads(base)
+    RunResult base;
+    RunResult test;
+};
+
+/** Run one trace under one configuration. */
+RunResult runTrace(const SystemConfig &cfg, const TraceParams &trace,
+                   const ExperimentOptions &opts);
+
+/**
+ * Run baseline and test configurations over the given suite indices and
+ * report per-trace normalized ratios.
+ */
+std::vector<TraceRatio>
+compareOnSuite(const SystemConfig &baseCfg, const SystemConfig &testCfg,
+               const WorkloadSuite &suite,
+               const std::vector<std::size_t> &indices,
+               const ExperimentOptions &opts);
+
+/** Geometric mean (the paper's aggregate); 1.0 for an empty input. */
+double geomean(const std::vector<double> &values);
+
+/** Geomean of ipcRatio over the subset matching `category`. */
+double categoryIpcGeomean(const std::vector<TraceRatio> &ratios,
+                          WorkloadCategory category);
+
+/** Geomean of ipcRatio over everything. */
+double overallIpcGeomean(const std::vector<TraceRatio> &ratios);
+
+/** Geomean of dramReadRatio over everything. */
+double overallDramReadGeomean(const std::vector<TraceRatio> &ratios);
+
+/** Count of traces with ipcRatio < threshold (negative outliers). */
+std::size_t countBelow(const std::vector<TraceRatio> &ratios,
+                       double threshold);
+
+/**
+ * Average compressed size (as a fraction of 64B) of `samples` lines
+ * drawn from a data pattern — the Section VI.A compressibility
+ * characterization.
+ */
+double averageCompressedFraction(const DataPattern &pattern,
+                                 const Compressor &comp,
+                                 std::uint64_t samples);
+
+} // namespace bvc
+
+#endif // BVC_SIM_EXPERIMENT_HH_

@@ -1,0 +1,138 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+double
+MultiRunResult::weightedSpeedup(const MultiRunResult &base) const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ipc.size(); ++i) {
+        panicIf(base.ipc[i] <= 0.0, "weightedSpeedup: zero baseline IPC");
+        sum += ipc[i] / base.ipc[i];
+    }
+    return sum / static_cast<double>(ipc.size());
+}
+
+MultiCoreSystem::MultiCoreSystem(
+    const SystemConfig &cfg,
+    const std::array<TraceParams, kThreads> &traces)
+    : cfg_(cfg),
+      compressor_(makeCompressor(cfg.compressor)),
+      dram_(cfg.dramTiming, cfg.dramGeometry)
+{
+    cfg_.hier.llcInclusive = cfg.llcInclusive;
+    llc_ = makeLlc(cfg, *compressor_);
+
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        TraceParams params = traces[i];
+        // Disjoint 4TB address-space slices per thread: the threads
+        // contend for LLC sets but never share lines.
+        params.addressOffset = static_cast<Addr>(i + 1) << 42;
+        traces_[i] = std::make_unique<SyntheticTrace>(params);
+        mems_[i] = std::make_unique<FunctionalMemory>(
+            [pattern = traces_[i]->dataPattern()](Addr blk,
+                                                  std::uint8_t *out) {
+                pattern.fillLine(blk, out);
+            });
+        hiers_[i] = std::make_unique<Hierarchy>(cfg_.hier, *llc_, dram_,
+                                                *mems_[i]);
+        cores_[i] = std::make_unique<OooCore>(cfg.core, *hiers_[i]);
+    }
+
+    // LLC back-invalidations must reach every core's private caches.
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        hiers_[i]->setBackInvalidateFn([this](Addr blk) {
+            bool dirty = false;
+            for (auto &hier : hiers_)
+                dirty = hier->invalidateUpper(blk) || dirty;
+            return dirty;
+        });
+    }
+}
+
+std::size_t
+MultiCoreSystem::stepOne()
+{
+    // Advance the core whose local clock lags: keeps the interleaving
+    // of shared-LLC accesses approximately time-ordered.
+    std::size_t pick = kThreads;
+    Cycle best = 0;
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        if (done_[i])
+            continue;
+        const Cycle clock = cores_[i]->currentCycle();
+        if (pick == kThreads || clock < best) {
+            pick = i;
+            best = clock;
+        }
+    }
+    panicIf(pick == kThreads, "stepOne: all threads done");
+    const bool more = cores_[pick]->step(*traces_[pick]);
+    panicIf(!more, "synthetic traces never exhaust");
+    return pick;
+}
+
+void
+MultiCoreSystem::runAllTo(std::uint64_t target)
+{
+    done_.fill(false);
+    while (true) {
+        bool all = true;
+        for (std::size_t i = 0; i < kThreads; ++i) {
+            done_[i] = cores_[i]->retired() >= target;
+            all = all && done_[i];
+        }
+        if (all)
+            break;
+        stepOne();
+    }
+    done_.fill(false);
+}
+
+MultiRunResult
+MultiCoreSystem::run(std::uint64_t warmup, std::uint64_t measure)
+{
+    runAllTo(warmup);
+
+    llc_->stats().resetAll();
+    dram_.stats().resetAll();
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        hiers_[i]->stats().resetAll();
+        cores_[i]->beginMeasurement();
+    }
+
+    MultiRunResult result;
+    std::array<bool, kThreads> snapped{};
+    std::size_t remaining = kThreads;
+    // Run until every thread crossed its measured window; early
+    // finishers keep executing (contention), their IPC snapshotted at
+    // the crossing point.
+    while (remaining > 0) {
+        stepOne();
+        for (std::size_t i = 0; i < kThreads; ++i) {
+            if (snapped[i])
+                continue;
+            const CoreResult cr = cores_[i]->result();
+            if (cr.instructions >= measure) {
+                result.ipc[i] = cr.ipc;
+                result.instructions[i] = cr.instructions;
+                snapped[i] = true;
+                --remaining;
+            }
+        }
+    }
+
+    result.dramReads = dram_.stats().get("reads");
+    result.dramWrites = dram_.stats().get("writes");
+    result.llcDemandHits = llc_->stats().get("demand_hits");
+    result.llcDemandMisses = llc_->stats().get("demand_misses");
+    result.llcVictimHits = llc_->stats().get("victim_hits");
+    return result;
+}
+
+} // namespace bvc

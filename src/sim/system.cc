@@ -1,0 +1,171 @@
+#include "sim/system.hh"
+
+#include <cmath>
+
+#include "core/dcc_cache.hh"
+#include "core/two_tag_array.hh"
+#include "core/uncompressed_llc.hh"
+#include "core/vsc_cache.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+const char *
+llcArchName(LlcArch arch)
+{
+    switch (arch) {
+      case LlcArch::Uncompressed: return "Uncompressed";
+      case LlcArch::TwoTagNaive: return "TwoTagNaive";
+      case LlcArch::TwoTagModified: return "TwoTagModified";
+      case LlcArch::BaseVictim: return "BaseVictim";
+      case LlcArch::Vsc: return "VSC-2X";
+      case LlcArch::Dcc: return "DCC";
+    }
+    panic("llcArchName: unknown arch");
+}
+
+SystemConfig
+SystemConfig::benchDefaults()
+{
+    SystemConfig cfg;
+    // All capacities are the paper's Section V sizes divided by 4; the
+    // latencies are kept (they are load-to-use, not capacity-derived).
+    cfg.hier.l1iBytes = 8 * 1024;
+    cfg.hier.l1iWays = 8;
+    cfg.hier.l1dBytes = 8 * 1024;
+    cfg.hier.l1dWays = 8;
+    cfg.hier.l2Bytes = 64 * 1024;
+    cfg.hier.l2Ways = 8;
+    cfg.llcBytes = 512 * 1024;
+    cfg.llcWays = 16;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::paperDefaults()
+{
+    SystemConfig cfg;
+    cfg.hier.l1iBytes = 32 * 1024;
+    cfg.hier.l1iWays = 8;
+    cfg.hier.l1dBytes = 32 * 1024;
+    cfg.hier.l1dWays = 8;
+    cfg.hier.l2Bytes = 256 * 1024;
+    cfg.hier.l2Ways = 8;
+    cfg.llcBytes = 2 * 1024 * 1024;
+    cfg.llcWays = 16;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::withLlcScale(double factor) const
+{
+    SystemConfig out = *this;
+    const double ways = std::round(static_cast<double>(llcWays) * factor);
+    out.llcWays = static_cast<std::size_t>(ways);
+    out.llcBytes = static_cast<std::size_t>(
+        static_cast<double>(llcBytes) / static_cast<double>(llcWays) *
+        ways);
+    if (out.llcBytes != llcBytes) {
+        // Bigger tag + data arrays cost one extra access cycle
+        // (Section VI.A: "we add an extra cycle of latency").
+        out.hier.llcLatency += 1;
+    }
+    return out;
+}
+
+std::unique_ptr<Llc>
+makeLlc(const SystemConfig &cfg, const Compressor &comp)
+{
+    if (!cfg.llcInclusive && cfg.arch != LlcArch::BaseVictim)
+        fatal("non-inclusive operation is only implemented for the "
+              "Base-Victim LLC (Section IV.B.3)");
+    switch (cfg.arch) {
+      case LlcArch::Uncompressed:
+        return std::make_unique<UncompressedLlc>(cfg.llcBytes,
+                                                 cfg.llcWays,
+                                                 cfg.llcRepl);
+      case LlcArch::TwoTagNaive:
+        return std::make_unique<TwoTagNaiveLlc>(cfg.llcBytes,
+                                                cfg.llcWays,
+                                                cfg.llcRepl, comp);
+      case LlcArch::TwoTagModified:
+        return std::make_unique<TwoTagModifiedLlc>(cfg.llcBytes,
+                                                   cfg.llcWays,
+                                                   cfg.llcRepl, comp);
+      case LlcArch::BaseVictim:
+        return std::make_unique<BaseVictimLlc>(
+            cfg.llcBytes, cfg.llcWays, cfg.llcRepl, cfg.victimRepl,
+            comp, cfg.llcInclusive, cfg.segmentQuantum);
+      case LlcArch::Vsc:
+        return std::make_unique<VscLlc>(cfg.llcBytes, cfg.llcWays, comp);
+      case LlcArch::Dcc:
+        return std::make_unique<DccLlc>(cfg.llcBytes, cfg.llcWays, comp);
+    }
+    panic("makeLlc: unknown arch");
+}
+
+System::System(const SystemConfig &cfg, const TraceParams &trace)
+    : cfg_(cfg),
+      compressor_(makeCompressor(cfg.compressor)),
+      dram_(cfg.dramTiming, cfg.dramGeometry)
+{
+    cfg_.hier.llcInclusive = cfg.llcInclusive;
+    llc_ = makeLlc(cfg, *compressor_);
+    trace_ = std::make_unique<SyntheticTrace>(trace);
+    mem_ = FunctionalMemory(
+        [pattern = trace_->dataPattern()](Addr blk, std::uint8_t *out) {
+            pattern.fillLine(blk, out);
+        });
+    hier_ = std::make_unique<Hierarchy>(cfg_.hier, *llc_, dram_, mem_);
+    core_ = std::make_unique<OooCore>(cfg.core, *hier_);
+}
+
+RunResult
+System::snapshot() const
+{
+    RunResult out;
+    const CoreResult cr = core_->result();
+    out.ipc = cr.ipc;
+    out.instructions = cr.instructions;
+    out.cycles = cr.cycles;
+
+    const StatGroup &dram = dram_.stats();
+    out.dramReads = dram.get("reads");
+    out.dramWrites = dram.get("writes");
+    out.dramDemandReads = hier_->stats().get("dram_demand_reads");
+
+    const StatGroup &llc = llc_->stats();
+    out.llcDemandAccesses = llc.get("demand_accesses");
+    out.llcDemandHits = llc.get("demand_hits");
+    out.llcDemandMisses = llc.get("demand_misses");
+    out.llcVictimHits = llc.get("victim_hits");
+    out.llcAccesses = llc.get("accesses");
+    out.backInvalidations = llc.get("back_invalidations");
+    return out;
+}
+
+RunResult
+System::run(std::uint64_t warmup, std::uint64_t measure)
+{
+    for (std::uint64_t i = 0; i < warmup; ++i) {
+        if (!core_->step(*trace_))
+            break;
+    }
+
+    // Statistics measure only the steady-state window; all cache, DRAM
+    // and core *state* persists across the boundary.
+    llc_->stats().resetAll();
+    dram_.stats().resetAll();
+    hier_->stats().resetAll();
+    core_->stats().resetAll();
+    core_->beginMeasurement();
+
+    for (std::uint64_t i = 0; i < measure; ++i) {
+        if (!core_->step(*trace_))
+            break;
+    }
+    return snapshot();
+}
+
+} // namespace bvc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Data-value generators controlling the compressibility of synthetic
+ * workloads. Each pattern deterministically materializes the initial
+ * content of any cache line from (pattern, seed, block address), and
+ * produces store values consistent with the pattern, so that a trace's
+ * average BDI compression ratio is a controlled parameter.
+ *
+ * The patterns model the value behaviour BDI exploits [28]: null pages,
+ * small-magnitude integers, pointers into a common heap region, narrow
+ * 32-bit data, and incompressible floating-point/random payloads.
+ */
+
+#ifndef BVC_TRACE_DATA_PATTERNS_HH_
+#define BVC_TRACE_DATA_PATTERNS_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/** Value-behaviour classes with their typical BDI outcome. */
+enum class DataPatternKind
+{
+    Zeros,       //!< null lines               -> ~0 segments
+    SmallInts,   //!< 64b ints < 2^7           -> B8D1, ~5 segments
+    PointerHeap, //!< 64b base + 20-bit deltas -> B8D4, ~11 segments
+    NarrowInts,  //!< 32b base + small deltas  -> B4D1/B4D2, ~6-9 segs
+    Floats,      //!< full-entropy doubles     -> uncompressed
+    Random,      //!< random bytes             -> uncompressed
+    MixedGood,   //!< zero/small/narrow mix    -> ~50% avg size
+    MixedPoor,   //!< mostly random, some zero -> >75% avg size
+};
+
+/** Deterministic line/value generator for one pattern+seed. */
+class DataPattern
+{
+  public:
+    DataPattern(DataPatternKind kind, std::uint64_t seed);
+
+    /** Fill a 64B buffer with the initial content of block `blk`. */
+    void fillLine(Addr blk, std::uint8_t *out) const;
+
+    /**
+     * A store value consistent with the pattern at `addr`; `salt`
+     * varies the value across successive stores to the same location.
+     */
+    std::uint64_t storeValue(Addr addr, std::uint64_t salt) const;
+
+    DataPatternKind kind() const { return kind_; }
+
+    static std::string kindName(DataPatternKind kind);
+
+  private:
+    /** Per-line effective pattern (mixes resolve per block address). */
+    DataPatternKind lineKind(Addr blk) const;
+
+    /** Deterministic per-(pattern,seed,address) hash. */
+    std::uint64_t hash(Addr addr, std::uint64_t extra) const;
+
+    DataPatternKind kind_;
+    std::uint64_t seed_;
+};
+
+} // namespace bvc
+
+#endif // BVC_TRACE_DATA_PATTERNS_HH_

@@ -1,0 +1,192 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+const char *
+categoryName(WorkloadCategory category)
+{
+    switch (category) {
+      case WorkloadCategory::SpecFp: return "SPECFP";
+      case WorkloadCategory::SpecInt: return "SPECINT";
+      case WorkloadCategory::Productivity: return "Productivity";
+      case WorkloadCategory::Client: return "Client";
+    }
+    panic("categoryName: unknown category");
+}
+
+SyntheticTrace::SyntheticTrace(const TraceParams &params)
+    : params_(params),
+      pattern_(params.pattern, params.seed * 0x9e37u + 17),
+      rng_(params.seed)
+{
+    panicIf(params_.chaseBytes == 0 ||
+                (params_.chaseBytes & (params_.chaseBytes - 1)) != 0,
+            "chaseBytes must be a power of two (LCG chain period)");
+    panicIf(params_.loadFrac + params_.storeFrac <= 0.0 ||
+                params_.loadFrac + params_.storeFrac >= 1.0,
+            "memory-instruction fraction must be in (0,1)");
+
+    // Disjoint address-space regions (plus the per-core offset).
+    codeBase_ = params_.addressOffset + 0x0000'1000'0000ULL;
+    wsBase_ = params_.addressOffset + 0x1'0000'0000ULL;
+    streamBase_ = params_.addressOffset + 0x2'0000'0000ULL;
+    chaseBase_ = params_.addressOffset + 0x3'0000'0000ULL;
+    residentBase_ = params_.addressOffset + 0x4'0000'0000ULL;
+
+    memFrac_ = params_.loadFrac + params_.storeFrac;
+    reset();
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_ = Rng(params_.seed);
+    pendingNonMem_ = 0;
+    pcIdx_ = 0;
+    chaseCur_ = 0;
+    storeSalt_ = 0;
+    residentNext_ = 0;
+    residentBurst_ = 0;
+    overflowNext_ = 0;
+    overflowBurst_ = 0;
+    streamPos_.assign(params_.streamCursors, 0);
+}
+
+Addr
+SyntheticTrace::pickWorkingSetAddr()
+{
+    const double u = rng_.uniform();
+    if (u < params_.hotFrac) {
+        // Hot region: L1/L2-resident reuse.
+        const std::uint64_t blocks =
+            std::max<std::uint64_t>(1, params_.hotBytes / kLineBytes);
+        return wsBase_ + rng_.range(blocks) * kLineBytes;
+    }
+    if (u < params_.hotFrac + params_.residentFrac &&
+        params_.residentBytes > 0) {
+        // LLC-resident region: regularly re-touched, so a recency
+        // policy keeps it live. This is the content that partner-line
+        // victimization endangers (Section III).
+        const std::uint64_t blocks = std::max<std::uint64_t>(
+            1, params_.residentBytes / kLineBytes);
+        if (residentBurst_ > 0) {
+            --residentBurst_;
+            residentNext_ = (residentNext_ + 1) % blocks;
+        } else {
+            residentNext_ = rng_.range(blocks);
+            residentBurst_ = static_cast<unsigned>(rng_.range(4));
+        }
+        return residentBase_ + residentNext_ * kLineBytes;
+    }
+    // Overflow region: exceeds the LLC; extra effective capacity
+    // (compression, or simply a larger cache) converts these misses.
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, params_.wsBytes / kLineBytes);
+    if (overflowBurst_ > 0) {
+        --overflowBurst_;
+        overflowNext_ = (overflowNext_ + 1) % blocks;
+    } else {
+        overflowNext_ = rng_.range(blocks);
+        overflowBurst_ = static_cast<unsigned>(rng_.range(4));
+    }
+    return wsBase_ + (params_.hotBytes / kLineBytes + overflowNext_) *
+        kLineBytes;
+}
+
+Addr
+SyntheticTrace::pickStreamAddr()
+{
+    // Each cursor owns a private slice of the streaming region, so the
+    // stream reuse distance is exactly streamBytes / streamCursors and
+    // cursors never sweep into each other's territory (which would
+    // create uncontrolled shorter reuse distances).
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, params_.streamBytes / kLineBytes);
+    const std::uint64_t perCursor =
+        std::max<std::uint64_t>(1, blocks / params_.streamCursors);
+    const auto cursor =
+        static_cast<unsigned>(rng_.range(params_.streamCursors));
+    const std::uint64_t block =
+        cursor * perCursor + streamPos_[cursor] % perCursor;
+    ++streamPos_[cursor];
+    return streamBase_ + block * kLineBytes;
+}
+
+Addr
+SyntheticTrace::pickChaseAddr()
+{
+    const std::uint64_t blocks = params_.chaseBytes / kLineBytes;
+    // Full-period LCG over the chase region: a deterministic pseudo
+    // pointer chain visiting every block (a ≡ 5 mod 8, c odd).
+    chaseCur_ = (chaseCur_ * 2862933555777941757ULL +
+                 3037000493ULL) & (blocks - 1);
+    return chaseBase_ + chaseCur_ * kLineBytes;
+}
+
+void
+SyntheticTrace::genMemOp(TraceRecord &record)
+{
+    const bool isStore =
+        rng_.chance(params_.storeFrac / memFrac_);
+    const double u = rng_.uniform();
+
+    record.dependsOnPrevLoad = false;
+    if (u < params_.streamFrac) {
+        record.addr = pickStreamAddr();
+        record.pc = codeBase_ + 0x1000;
+    } else if (!isStore && u < params_.streamFrac + params_.chaseFrac) {
+        record.addr = pickChaseAddr();
+        record.dependsOnPrevLoad = true;
+        record.pc = codeBase_ + 0x2000;
+    } else {
+        record.addr = pickWorkingSetAddr();
+        // A few distinct PCs touch the working set (irregular access,
+        // so the stride prefetcher should not train on them).
+        record.pc =
+            codeBase_ + 0x3000 + (rng_.range(8) * 16);
+    }
+
+    // Sub-line offset: accesses touch different words of the block.
+    record.addr += rng_.range(kLineBytes / 8) * 8;
+
+    if (isStore) {
+        record.kind = InstrKind::Store;
+        record.value = pattern_.storeValue(record.addr, ++storeSalt_);
+        record.dependsOnPrevLoad = false;
+    } else {
+        record.kind = InstrKind::Load;
+        record.value = 0;
+    }
+}
+
+bool
+SyntheticTrace::next(TraceRecord &record)
+{
+    if (pendingNonMem_ > 0) {
+        --pendingNonMem_;
+        record = TraceRecord{};
+        record.kind = InstrKind::NonMem;
+        // March through a small code footprint (instruction-fetch
+        // behaviour; tiny loops hit the L1I essentially always).
+        record.pc = codeBase_ + 0x100 +
+            (static_cast<Addr>(pcIdx_) * 16);
+        pcIdx_ = (pcIdx_ + 1) % params_.pcCount;
+        return true;
+    }
+
+    genMemOp(record);
+
+    // Schedule the non-memory run separating this memory op from the
+    // next, so that the long-run instruction mix matches params.
+    const double mean = (1.0 - memFrac_) / memFrac_;
+    const auto bound = static_cast<std::uint64_t>(2.0 * mean + 1.0);
+    pendingNonMem_ = static_cast<unsigned>(rng_.range(bound + 1));
+    return true;
+}
+
+} // namespace bvc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The 100-trace workload suite standing in for Table I of the paper
+ * (SPEC CPU2006 FP/INT, Productivity, Client), plus the 20 four-way
+ * multi-programmed mixes of Section V. Trace counts per category
+ * (30/29/14/27), the 60/40 cache-sensitive split and the 50/10
+ * compression-friendly/poor split within the sensitive set all match
+ * the paper's published population statistics.
+ *
+ * Footprints are expressed relative to a reference LLC capacity so the
+ * whole suite scales between the paper-sized configuration (2MB LLC)
+ * and the fast bench configuration (512KB LLC) without changing any
+ * capacity *ratios* — which is what the experiments depend on.
+ */
+
+#ifndef BVC_TRACE_WORKLOAD_SUITE_HH_
+#define BVC_TRACE_WORKLOAD_SUITE_HH_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "trace/generators.hh"
+
+namespace bvc
+{
+
+/** One suite entry: generator parameters plus calibration metadata. */
+struct WorkloadInfo
+{
+    TraceParams params;
+    bool cacheSensitive = false;
+    /** Expected BDI-friendly data (avg compressed size ~50%). */
+    bool compressionFriendly = false;
+};
+
+/** The full Table-I-equivalent trace population. */
+class WorkloadSuite
+{
+  public:
+    /**
+     * @param llcRefBytes LLC capacity the footprints are scaled to;
+     *        512KB for the fast bench configuration, 2MB to match the
+     *        paper's absolute sizes
+     */
+    explicit WorkloadSuite(std::uint64_t llcRefBytes = 512 * 1024);
+
+    const std::vector<WorkloadInfo> &all() const { return traces_; }
+
+    /** Indices of the 60 cache-sensitive traces. */
+    std::vector<std::size_t> sensitiveIndices() const;
+
+    /** Sensitive traces with compression-friendly data (50). */
+    std::vector<std::size_t> friendlyIndices() const;
+
+    /** Sensitive traces with poor compressibility (10). */
+    std::vector<std::size_t> unfriendlyIndices() const;
+
+    /** Indices of a category's traces. */
+    std::vector<std::size_t> categoryIndices(WorkloadCategory c) const;
+
+    /**
+     * The 4-way multi-programmed mixes: `count` deterministic draws of
+     * four representative cache-sensitive traces (Section V).
+     */
+    std::vector<std::array<std::size_t, 4>>
+    mixes(std::size_t count = 20) const;
+
+    std::uint64_t llcRefBytes() const { return llcRefBytes_; }
+
+  private:
+    void buildCategory(WorkloadCategory category);
+
+    std::uint64_t llcRefBytes_;
+    std::vector<WorkloadInfo> traces_;
+};
+
+} // namespace bvc
+
+#endif // BVC_TRACE_WORKLOAD_SUITE_HH_

@@ -1,0 +1,76 @@
+#include "util/histogram.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+Histogram::Histogram(std::size_t buckets)
+    : counts_(buckets, 0)
+{
+    panicIf(buckets == 0, "Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t v)
+{
+    if (v >= counts_.size())
+        v = counts_.size() - 1;
+    ++counts_[v];
+    ++samples_;
+    weightedSum_ += v;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    return i < counts_.size() ? counts_[i] : 0;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0
+        ? 0.0
+        : static_cast<double>(weightedSum_) / static_cast<double>(samples_);
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (samples_ == 0)
+        return 0;
+    if (fraction < 0.0)
+        fraction = 0.0;
+    if (fraction > 1.0)
+        fraction = 1.0;
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(samples_));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= target)
+            return i;
+    }
+    return counts_.size() - 1;
+}
+
+std::string
+Histogram::dump() const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (!first)
+            out << ' ';
+        out << i << ':' << counts_[i];
+        first = false;
+    }
+    return out.str();
+}
+
+} // namespace bvc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-bucket histogram used for compressed-size and reuse-distance
+ * distributions (e.g., the compressibility characterization in Section
+ * VI.A of the paper).
+ */
+
+#ifndef BVC_UTIL_HISTOGRAM_HH_
+#define BVC_UTIL_HISTOGRAM_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/** Integer-valued histogram over [0, buckets). Out-of-range clamps. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets);
+
+    /** Record one sample of value `v` (clamped into range). */
+    void add(std::uint64_t v);
+
+    /** Count in bucket `i`. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Total number of samples recorded. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Arithmetic mean of recorded (clamped) sample values. */
+    double mean() const;
+
+    /** Smallest value v such that >= fraction of samples are <= v. */
+    std::uint64_t percentile(double fraction) const;
+
+    std::size_t size() const { return counts_.size(); }
+
+    /** Compact single-line rendering "b0:c0 b1:c1 ..." of nonzero buckets. */
+    std::string dump() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t weightedSum_ = 0;
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_HISTOGRAM_HH_

@@ -1,0 +1,130 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <cstddef>
+
+namespace bvc
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+Rng::splitMix(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed through splitmix64 so that nearby seeds produce
+    // unrelated streams (recommended xoshiro seeding procedure).
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix(sm);
+    // xoshiro must not be seeded with all zeros.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        std::uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::between(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(range(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t max)
+{
+    if (p <= 0.0 || p >= 1.0 || max <= 1)
+        return 1;
+    // Inverse-CDF sampling of a geometric distribution, clamped to max.
+    const double u = uniform();
+    const double v = std::log1p(-u) / std::log1p(-p);
+    auto sample = static_cast<std::uint64_t>(v) + 1;
+    return sample > max ? max : sample;
+}
+
+std::size_t
+Rng::weighted(const double *cumulative, std::size_t n)
+{
+    if (n == 0)
+        return 0;
+    const double total = cumulative[n - 1];
+    const double u = uniform() * total;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (u < cumulative[i])
+            return i;
+    }
+    return n - 1;
+}
+
+} // namespace bvc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis and
+ * random replacement. A small, fast xoshiro256** core wrapped with the
+ * distribution helpers the trace generators need. Determinism across
+ * platforms matters (benches must be reproducible), which is why we do not
+ * use std::mt19937 + std::uniform_int_distribution (the latter is
+ * implementation-defined).
+ */
+
+#ifndef BVC_UTIL_RNG_HH_
+#define BVC_UTIL_RNG_HH_
+
+#include <cstdint>
+
+namespace bvc
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**) with distribution helpers. */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds give equal streams on any host. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's unbiased reduction. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish reuse-distance sample: returns a value in [1, max]
+     * skewed toward small values with decay parameter `p` in (0,1).
+     * Used to shape temporal locality in synthetic traces.
+     */
+    std::uint64_t geometric(double p, std::uint64_t max);
+
+    /** Sample an index in [0, n) from cumulative weights (size n). */
+    std::size_t weighted(const double *cumulative, std::size_t n);
+
+  private:
+    std::uint64_t s_[4];
+
+    static std::uint64_t splitMix(std::uint64_t &state);
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_RNG_HH_

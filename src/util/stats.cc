@@ -1,0 +1,48 @@
+#include "util/stats.hh"
+
+#include <sstream>
+
+namespace bvc
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &entry : counters_)
+        entry.second.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream out;
+    for (const auto &entry : counters_)
+        out << name_ << '.' << entry.first << ' '
+            << entry.second.value() << '\n';
+    return out.str();
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(counters_.size());
+    for (const auto &entry : counters_)
+        result.push_back(entry.first);
+    return result;
+}
+
+} // namespace bvc

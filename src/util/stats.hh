@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight statistics registry. Each simulated component owns named
+ * counters registered in a StatGroup; groups can be dumped as text and
+ * queried programmatically by the benches.
+ */
+
+#ifndef BVC_UTIL_STATS_HH_
+#define BVC_UTIL_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/** A single named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters. Components register counters with
+ * stable names ("llc.read_misses"); experiment code reads them back to
+ * build the paper's figures.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register (or fetch an existing) counter under `name`. */
+    Counter &counter(const std::string &name);
+
+    /** Value of a counter; 0 if it was never registered. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Reset every counter in the group (e.g., after cache warmup). */
+    void resetAll();
+
+    /** Render "group.counter value" lines sorted by counter name. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+    /** Names of all registered counters, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_STATS_HH_

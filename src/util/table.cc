@@ -1,0 +1,65 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    panicIf(header_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIf(row.size() != header_.size(),
+            "Table row arity does not match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](std::ostringstream &out,
+                    const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    std::ostringstream out;
+    emit(out, header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(out, row);
+    return out.str();
+}
+
+} // namespace bvc

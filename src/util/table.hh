@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table renderer used by the bench binaries to print the rows and
+ * series of each reproduced paper table/figure in a uniform format.
+ */
+
+#ifndef BVC_UTIL_TABLE_HH_
+#define BVC_UTIL_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with `precision` decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with column padding and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_TABLE_HH_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental type aliases and cache-geometry constants shared by every
+ * subsystem of the Base-Victim compression simulator.
+ */
+
+#ifndef BVC_UTIL_TYPES_HH_
+#define BVC_UTIL_TYPES_HH_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bvc
+{
+
+/** Physical/virtual byte address. The model uses a flat 48-bit space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing event counter (for pseudo-LRU timestamps). */
+using Tick = std::uint64_t;
+
+/** Cache line (block) size in bytes. The paper uses 64B throughout. */
+constexpr std::size_t kLineBytes = 64;
+
+/** log2 of the line size; used for address <-> block-address conversion. */
+constexpr unsigned kLineShift = 6;
+
+/**
+ * Compressed-line segment size in bytes. The paper's evaluation aligns
+ * compressed lines at 4-byte boundaries (Section IV.C), yielding 16
+ * possible compressed sizes per 64B line.
+ */
+constexpr std::size_t kSegmentBytes = 4;
+
+/** Number of segments in one uncompressed 64B line. */
+constexpr unsigned kSegmentsPerLine =
+    static_cast<unsigned>(kLineBytes / kSegmentBytes);
+
+/** Convert a byte address to its cache-block address (line-aligned). */
+constexpr Addr
+blockAddr(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Byte offset of an address within its cache block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (kLineBytes - 1));
+}
+
+/** Kind of access presented to a cache level. */
+enum class AccessType : std::uint8_t
+{
+    Read,       //!< demand load (or instruction fetch)
+    Write,      //!< demand store (write-allocate, writeback caches)
+    Writeback,  //!< dirty eviction arriving from the level above
+    Prefetch,   //!< hardware prefetch fill request
+};
+
+/** True for access types that mark the line dirty at this level. */
+constexpr bool
+isWriteType(AccessType type)
+{
+    return type == AccessType::Write || type == AccessType::Writeback;
+}
+
+} // namespace bvc
+
+#endif // BVC_UTIL_TYPES_HH_

@@ -1,0 +1,63 @@
+/** @file Tests reproducing the Section IV.C area-overhead arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(AreaModel, PaperConfigurationMatchesSectionIVC)
+{
+    const AreaBreakdown area = computeAreaOverhead(AreaParams{});
+    // 2MB 16-way, 48-bit addresses: 11 index + 6 offset -> 31-bit tag.
+    EXPECT_EQ(area.tagBits, 31u);
+    // 31 tag + 8 metadata + 512 data bits per way.
+    EXPECT_EQ(area.baselineBitsPerWay, 551u);
+    // Extra tag (31) + 2 x 4-bit size + 1 valid = 40 bits.
+    EXPECT_EQ(area.addedBitsPerWay, 40u);
+    // "The area overhead for this is 40b/(39b+512b) = 7.3%".
+    EXPECT_NEAR(area.tagArrayOverhead, 0.073, 0.001);
+    // "+1.2% logic ... overall area overhead is 8.5%".
+    EXPECT_NEAR(area.totalOverhead, 0.085, 0.001);
+}
+
+TEST(AreaModel, LargerCachesHaveFewerTagBits)
+{
+    AreaParams params;
+    params.cacheBytes = 8 * 1024 * 1024;
+    const AreaBreakdown area = computeAreaOverhead(params);
+    EXPECT_EQ(area.tagBits, 29u);
+    EXPECT_LT(area.totalOverhead, 0.085);
+}
+
+TEST(AreaModel, OverheadScalesWithTagWidth)
+{
+    AreaParams wide;
+    wide.addressBits = 56;
+    const AreaBreakdown wider = computeAreaOverhead(wide);
+    const AreaBreakdown base = computeAreaOverhead(AreaParams{});
+    EXPECT_GT(wider.totalOverhead, base.totalOverhead);
+}
+
+TEST(AreaModel, EightByteSegmentsNeedFewerSizeBits)
+{
+    AreaParams params;
+    params.sizeFieldBits = 3; // 8B segments -> 8 sizes
+    const AreaBreakdown area = computeAreaOverhead(params);
+    EXPECT_EQ(area.addedBitsPerWay, 31u + 6u + 1u);
+    EXPECT_LT(area.tagArrayOverhead,
+              computeAreaOverhead(AreaParams{}).tagArrayOverhead);
+}
+
+TEST(AreaModelDeathTest, RejectsNonPowerOfTwoGeometry)
+{
+    AreaParams params;
+    params.cacheBytes = 3 * 1024 * 1024;
+    EXPECT_DEATH(computeAreaOverhead(params), "power of two");
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Scenario tests for the Base-Victim cache, following Section IV.B's
+ * case analysis (compressed miss, victim read hit, base write hit) and
+ * the Figures 4/5 walkthroughs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/base_victim_cache.hh"
+#include "test_lines.hh"
+#include "trace/data_patterns.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using namespace testhelpers;
+
+// 16KB, 4 physical ways -> 64 sets.
+constexpr std::size_t kSize = 16 * 1024;
+constexpr std::size_t kWays = 4;
+constexpr Addr kSetStride = 64 * kLineBytes;
+
+Addr
+setAddr(unsigned n)
+{
+    return 0x20000 + static_cast<Addr>(n) * kSetStride;
+}
+
+class BaseVictimTest : public ::testing::Test
+{
+  protected:
+    BaseVictimTest()
+        : llc_(kSize, kWays, ReplacementKind::Lru, VictimReplKind::Ecm,
+               bdi_)
+    {
+    }
+
+    /** Fill one set's base ways with compressible lines 0..3. */
+    void
+    fillBase()
+    {
+        const Line small = smallLine();
+        for (unsigned i = 0; i < kWays; ++i)
+            llc_.access(setAddr(i), AccessType::Read, small.data());
+    }
+
+    BdiCompressor bdi_;
+    BaseVictimLlc llc_;
+};
+
+TEST_F(BaseVictimTest, MissMovesBaseVictimIntoVictimCache)
+{
+    fillBase();
+    // Fifth line: LRU victim (line 0) is evicted from the base cache
+    // but parked in the victim cache (Section IV.B.1, Figure 4).
+    const Line small = smallLine();
+    const LlcResult result =
+        llc_.access(setAddr(4), AccessType::Read, small.data());
+    EXPECT_FALSE(result.hit);
+    EXPECT_TRUE(llc_.probeBase(setAddr(4)));
+    EXPECT_FALSE(llc_.probeBase(setAddr(0)));
+    EXPECT_TRUE(llc_.probeVictim(setAddr(0)));
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, BaseEvictionBackInvalidatesEvenWhenParked)
+{
+    fillBase();
+    const Line small = smallLine();
+    const LlcResult result =
+        llc_.access(setAddr(4), AccessType::Read, small.data());
+    // Line 0 moved to the victim cache, so the upper levels must drop
+    // it (victim lines are outside the baseline content).
+    ASSERT_EQ(result.backInvalidations.size(), 1u);
+    EXPECT_EQ(result.backInvalidations[0], setAddr(0));
+}
+
+TEST_F(BaseVictimTest, VictimReadHitPromotesToBase)
+{
+    fillBase();
+    const Line small = smallLine();
+    llc_.access(setAddr(4), AccessType::Read, small.data());
+    ASSERT_TRUE(llc_.probeVictim(setAddr(0)));
+
+    // Read the parked line: Section IV.B.2 / Figure 5.
+    const LlcResult result =
+        llc_.access(setAddr(0), AccessType::Read, small.data());
+    EXPECT_TRUE(result.hit);
+    EXPECT_TRUE(result.victimHit);
+    EXPECT_TRUE(llc_.probeBase(setAddr(0)));
+    EXPECT_FALSE(llc_.probeVictim(setAddr(0)));
+    // The displaced base line (LRU = line 1) is parked in turn.
+    EXPECT_FALSE(llc_.probeBase(setAddr(1)));
+    EXPECT_TRUE(llc_.probeVictim(setAddr(1)));
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, VictimHitCountsAsDemandHit)
+{
+    fillBase();
+    const Line small = smallLine();
+    llc_.access(setAddr(4), AccessType::Read, small.data());
+    llc_.access(setAddr(0), AccessType::Read, small.data());
+    EXPECT_EQ(llc_.stats().get("victim_hits"), 1u);
+    EXPECT_EQ(llc_.stats().get("promotions"), 1u);
+}
+
+TEST_F(BaseVictimTest, IncompressibleVictimIsDropped)
+{
+    // Fill base ways with incompressible lines: no victim can ever be
+    // parked (16 + anything > 16 segments).
+    for (unsigned i = 0; i < kWays; ++i) {
+        const Line line = randomLine(i);
+        llc_.access(setAddr(i), AccessType::Read, line.data());
+    }
+    const Line line = randomLine(50);
+    llc_.access(setAddr(4), AccessType::Read, line.data());
+    EXPECT_FALSE(llc_.probe(setAddr(0)));
+    EXPECT_EQ(llc_.stats().get("victim_insert_failures"), 1u);
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, DirtyBaseEvictionWritesBackOnceAndParksClean)
+{
+    fillBase();
+    // Dirty line 0 via an L2 writeback.
+    const Line small = smallLine();
+    llc_.access(setAddr(0), AccessType::Writeback, small.data());
+    // Rotate LRU so line 0 is the victim of the next fill.
+    llc_.access(setAddr(1), AccessType::Read, small.data());
+    llc_.access(setAddr(2), AccessType::Read, small.data());
+    llc_.access(setAddr(3), AccessType::Read, small.data());
+    const LlcResult result =
+        llc_.access(setAddr(4), AccessType::Read, small.data());
+    // Exactly one writeback (the dirty victim), then parked clean.
+    ASSERT_EQ(result.memWritebacks.size(), 1u);
+    EXPECT_EQ(result.memWritebacks[0], setAddr(0));
+    EXPECT_TRUE(llc_.probeVictim(setAddr(0)));
+    EXPECT_TRUE(llc_.checkInvariants()); // includes victim-clean check
+}
+
+TEST_F(BaseVictimTest, VictimEvictionIsSilent)
+{
+    fillBase();
+    const Line small = smallLine();
+    // Park line 0, then displace it by churning many fills through.
+    std::size_t writebacks = 0;
+    for (unsigned i = 4; i < 20; ++i) {
+        const LlcResult r =
+            llc_.access(setAddr(i), AccessType::Read, small.data());
+        writebacks += r.memWritebacks.size();
+    }
+    // All parked lines were clean: no writeback traffic at all.
+    EXPECT_EQ(writebacks, 0u);
+}
+
+TEST_F(BaseVictimTest, WriteGrowthSilentlyEvictsVictimPartner)
+{
+    fillBase();
+    const Line small = smallLine();
+    llc_.access(setAddr(4), AccessType::Read, small.data());
+    ASSERT_TRUE(llc_.probeVictim(setAddr(0)));
+
+    // Find which base line shares the physical way with victim 0 by
+    // growing each base line until the victim disappears (IV.B.5).
+    const Line grown = randomLine(3);
+    const Addr baseLines[] = {setAddr(1), setAddr(2), setAddr(3),
+                              setAddr(4)};
+    std::size_t before = llc_.stats().get("victim_silent_evictions");
+    for (const Addr addr : baseLines) {
+        if (!llc_.probeVictim(setAddr(0)))
+            break;
+        const LlcResult r =
+            llc_.access(addr, AccessType::Writeback, grown.data());
+        EXPECT_TRUE(r.hit);
+        // Write hits never write back to memory by themselves.
+        EXPECT_TRUE(r.memWritebacks.empty());
+    }
+    EXPECT_FALSE(llc_.probeVictim(setAddr(0)));
+    EXPECT_GT(llc_.stats().get("victim_silent_evictions"), before);
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, AtMostOneWritebackPerAccess)
+{
+    const DataPattern pattern(DataPatternKind::MixedGood, 3);
+    Rng rng(11);
+    Line line{};
+    for (int step = 0; step < 20000; ++step) {
+        const Addr blk = 0x8000 + rng.range(2048) * kLineBytes;
+        pattern.fillLine(blk, line.data());
+        const bool writeback = rng.chance(0.15) && llc_.probeBase(blk);
+        const LlcResult r = llc_.access(
+            blk, writeback ? AccessType::Writeback : AccessType::Read,
+            line.data());
+        // The paper's design guarantee: at most one writeback per fill
+        // (Section IV.A).
+        ASSERT_LE(r.memWritebacks.size(), 1u);
+    }
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, PrefetchHitOnVictimPromotes)
+{
+    fillBase();
+    const Line small = smallLine();
+    llc_.access(setAddr(4), AccessType::Read, small.data());
+    ASSERT_TRUE(llc_.probeVictim(setAddr(0)));
+    const LlcResult r =
+        llc_.access(setAddr(0), AccessType::Prefetch, small.data());
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.victimHit);
+    EXPECT_TRUE(llc_.probeBase(setAddr(0)));
+}
+
+TEST_F(BaseVictimTest, ZeroLinesPairWithAnything)
+{
+    // A zero line occupies zero data segments, so even an
+    // incompressible partner can keep it as a victim.
+    const Line zero = zeroLine();
+    for (unsigned i = 0; i < kWays; ++i)
+        llc_.access(setAddr(i), AccessType::Read, zero.data());
+    const Line big = randomLine(9);
+    llc_.access(setAddr(4), AccessType::Read, big.data());
+    EXPECT_TRUE(llc_.probeVictim(setAddr(0)));
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, ExtraLatencyTagAndDecompression)
+{
+    const Line small = smallLine();
+    const Line zero = zeroLine();
+    const Line big = randomLine(1);
+    llc_.access(setAddr(0), AccessType::Read, small.data());
+    llc_.access(setAddr(1), AccessType::Read, zero.data());
+    llc_.access(setAddr(2), AccessType::Read, big.data());
+    EXPECT_EQ(llc_.access(setAddr(0), AccessType::Read,
+                          small.data()).extraLatency, 3u);
+    EXPECT_EQ(llc_.access(setAddr(1), AccessType::Read,
+                          zero.data()).extraLatency, 1u);
+    EXPECT_EQ(llc_.access(setAddr(2), AccessType::Read,
+                          big.data()).extraLatency, 1u);
+}
+
+TEST_F(BaseVictimTest, WritebackMissPanics)
+{
+    const Line small = smallLine();
+    EXPECT_DEATH(
+        llc_.access(setAddr(0), AccessType::Writeback, small.data()),
+        "inclusion");
+}
+
+TEST_F(BaseVictimTest, ValidLinesCountsBothSections)
+{
+    fillBase();
+    EXPECT_EQ(llc_.validLines(), 4u);
+    const Line small = smallLine();
+    llc_.access(setAddr(4), AccessType::Read, small.data());
+    EXPECT_EQ(llc_.validLines(), 5u); // 4 base + 1 victim
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,192 @@
+/** @file Unit tests for the BDI codec (the paper's LLC compressor). */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "compress/bdi.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+Line
+lineOf64(const std::uint64_t (&words)[8])
+{
+    Line line{};
+    for (unsigned i = 0; i < 8; ++i)
+        std::memcpy(line.data() + 8 * i, &words[i], 8);
+    return line;
+}
+
+Line
+roundTrip(const BdiCompressor &bdi, const Line &in)
+{
+    const CompressedBlock block = bdi.compress(in.data());
+    Line out{};
+    bdi.decompress(block, out.data());
+    return out;
+}
+
+TEST(Bdi, ZeroLineUsesZerosEncoding)
+{
+    BdiCompressor bdi;
+    Line line{};
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::Zeros);
+    EXPECT_EQ(block.sizeBytes(), 1u);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, RepeatedValueUsesRep8)
+{
+    BdiCompressor bdi;
+    const std::uint64_t v = 0xdeadbeefcafef00dULL;
+    Line line = lineOf64({v, v, v, v, v, v, v, v});
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::Rep8);
+    EXPECT_EQ(block.sizeBytes(), 8u);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, SmallIntsUseB8D1)
+{
+    BdiCompressor bdi;
+    Line line = lineOf64({1, 5, 17, 100, 3, 0, 90, 7});
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::B8D1);
+    EXPECT_EQ(block.sizeBytes(),
+              BdiCompressor::encodedBytes(BdiCompressor::B8D1));
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, PointersUseBase8WithImmediates)
+{
+    BdiCompressor bdi;
+    // Values near one 64-bit base plus small values near zero: the
+    // base-delta-IMMEDIATE part of BDI.
+    const std::uint64_t base = 0x00007f8812340000ULL;
+    Line line = lineOf64({base + 1, 4, base + 100, 0,
+                          base + 77, 3, base + 120, 1});
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::B8D1);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, WideDeltasFallToB8D4)
+{
+    BdiCompressor bdi;
+    const std::uint64_t base = 0x00007f0000000000ULL;
+    Line line = lineOf64({base + 0x100000, base + 0x7fffffff, base,
+                          base + 0x20000000, base + 5, base + 0xabcdef,
+                          base + 0x3000000, base + 42});
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::B8D4);
+    EXPECT_EQ(block.sizeBytes(), 41u);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, Narrow32BitDataUsesBase4)
+{
+    BdiCompressor bdi;
+    Line line{};
+    const std::uint32_t base = 0x40000000u;
+    for (unsigned i = 0; i < 16; ++i) {
+        const std::uint32_t v = base + i * 3;
+        std::memcpy(line.data() + 4 * i, &v, 4);
+    }
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::B4D1);
+    EXPECT_EQ(block.sizeBytes(),
+              BdiCompressor::encodedBytes(BdiCompressor::B4D1));
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, RandomDataStaysUncompressed)
+{
+    BdiCompressor bdi;
+    Rng rng(99);
+    Line line{};
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v = rng.next();
+        std::memcpy(line.data() + 8 * i, &v, 8);
+    }
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::Uncompressed);
+    EXPECT_EQ(block.sizeBytes(), kLineBytes);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, PicksSmallestApplicableEncoding)
+{
+    BdiCompressor bdi;
+    // Qualifies for B8D2 (17+... = 25B) and B8D4 (41B); must pick B8D2.
+    Line line = lineOf64({1000, 2000, 3000, 1500, 1200, 900, 2500, 1800});
+    const CompressedBlock block = bdi.compress(line.data());
+    EXPECT_EQ(block.encoding, BdiCompressor::B8D2);
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, DeltaWraparoundRoundTrips)
+{
+    BdiCompressor bdi;
+    // Deltas that are negative relative to the base.
+    const std::uint64_t base = 0x00007fff00000080ULL;
+    Line line = lineOf64({base, base - 100, base - 5, base - 128,
+                          base + 127, base - 1, base + 5, base - 50});
+    EXPECT_EQ(roundTrip(bdi, line), line);
+}
+
+TEST(Bdi, CompressedSizeNeverExceedsLine)
+{
+    BdiCompressor bdi;
+    Rng rng(7);
+    Line line{};
+    for (int trial = 0; trial < 200; ++trial) {
+        for (auto &byte : line)
+            byte = static_cast<std::uint8_t>(rng.range(256));
+        EXPECT_LE(bdi.compress(line.data()).sizeBytes(), kLineBytes);
+        EXPECT_EQ(roundTrip(bdi, line), line);
+    }
+}
+
+TEST(Bdi, SegmentsQuantizedToFourByteBoundaries)
+{
+    EXPECT_EQ(bytesToSegments(0), 0u);
+    EXPECT_EQ(bytesToSegments(1), 1u);
+    EXPECT_EQ(bytesToSegments(4), 1u);
+    EXPECT_EQ(bytesToSegments(5), 2u);
+    EXPECT_EQ(bytesToSegments(17), 5u);
+    EXPECT_EQ(bytesToSegments(64), 16u);
+    EXPECT_EQ(bytesToSegments(100), 16u);
+}
+
+TEST(Bdi, DecompressionLatencyRules)
+{
+    BdiCompressor bdi;
+    // Zero and uncompressed lines skip the decompressor (Section V).
+    EXPECT_EQ(bdi.decompressionCycles(0), 0u);
+    EXPECT_EQ(bdi.decompressionCycles(kSegmentsPerLine), 0u);
+    EXPECT_EQ(bdi.decompressionCycles(5), 2u);
+    EXPECT_EQ(bdi.decompressionCycles(11), 2u);
+}
+
+TEST(Bdi, EncodedBytesTable)
+{
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::Zeros), 1u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::Rep8), 8u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B8D1), 17u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B8D2), 25u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B8D4), 41u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B4D1), 22u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B4D2), 38u);
+    EXPECT_EQ(BdiCompressor::encodedBytes(BdiCompressor::B2D1), 38u);
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Property tests over every compression algorithm: exact round-trip,
+ * bounded size, and the zero-line special case — the invariants the
+ * compressed cache models rely on, for all codecs (DESIGN.md §5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstring>
+
+#include "compress/factory.hh"
+#include "trace/data_patterns.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+class CompressorProperty
+    : public ::testing::TestWithParam<CompressorKind>
+{
+  protected:
+    std::unique_ptr<Compressor> comp_ = makeCompressor(GetParam());
+};
+
+TEST_P(CompressorProperty, RoundTripsRandomData)
+{
+    Rng rng(2024);
+    Line line{}, out{};
+    for (int trial = 0; trial < 500; ++trial) {
+        for (auto &byte : line)
+            byte = static_cast<std::uint8_t>(rng.range(256));
+        const CompressedBlock block = comp_->compress(line.data());
+        comp_->decompress(block, out.data());
+        ASSERT_EQ(line, out) << comp_->name() << " trial " << trial;
+    }
+}
+
+TEST_P(CompressorProperty, RoundTripsAllDataPatterns)
+{
+    const DataPatternKind kinds[] = {
+        DataPatternKind::Zeros,      DataPatternKind::SmallInts,
+        DataPatternKind::PointerHeap, DataPatternKind::NarrowInts,
+        DataPatternKind::Floats,     DataPatternKind::Random,
+        DataPatternKind::MixedGood,  DataPatternKind::MixedPoor,
+    };
+    Line line{}, out{};
+    for (const auto kind : kinds) {
+        const DataPattern pattern(kind, 77);
+        for (Addr blk = 0; blk < 200 * kLineBytes; blk += kLineBytes) {
+            pattern.fillLine(blk, line.data());
+            const CompressedBlock block = comp_->compress(line.data());
+            comp_->decompress(block, out.data());
+            ASSERT_EQ(line, out)
+                << comp_->name() << " on "
+                << DataPattern::kindName(kind);
+        }
+    }
+}
+
+TEST_P(CompressorProperty, NeverExpandsBeyondLineSize)
+{
+    Rng rng(31337);
+    Line line{};
+    for (int trial = 0; trial < 500; ++trial) {
+        for (auto &byte : line)
+            byte = static_cast<std::uint8_t>(rng.range(256));
+        EXPECT_LE(comp_->compress(line.data()).sizeBytes(), kLineBytes);
+    }
+}
+
+TEST_P(CompressorProperty, ZeroLineIsMaximallyCompressible)
+{
+    Line line{};
+    const CompressedBlock block = comp_->compress(line.data());
+    // Worst case among the codecs is SC2-lite: 64 x its 1-bit zero
+    // code = 8 bytes; everything else is 4 bytes or less.
+    EXPECT_LE(block.sizeBytes(), 8u) << comp_->name();
+    Line out{};
+    out.fill(0xAA);
+    comp_->decompress(block, out.data());
+    EXPECT_EQ(out, line);
+}
+
+TEST_P(CompressorProperty, CompressedSegmentsConsistentWithBytes)
+{
+    Rng rng(404);
+    Line line{};
+    for (int trial = 0; trial < 100; ++trial) {
+        for (auto &byte : line)
+            byte = rng.chance(0.5)
+                ? 0
+                : static_cast<std::uint8_t>(rng.range(256));
+        const unsigned segs = comp_->compressedSegments(line.data());
+        const std::size_t bytes = comp_->compress(line.data()).sizeBytes();
+        EXPECT_EQ(segs, bytesToSegments(bytes));
+        EXPECT_LE(segs, kSegmentsPerLine);
+    }
+}
+
+TEST_P(CompressorProperty, DeterministicAcrossCalls)
+{
+    Rng rng(55);
+    Line line{};
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.range(256));
+    const CompressedBlock a = comp_->compress(line.data());
+    const CompressedBlock b = comp_->compress(line.data());
+    EXPECT_EQ(a.encoding, b.encoding);
+    EXPECT_EQ(a.payload, b.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CompressorProperty,
+    ::testing::ValuesIn(allCompressorKinds()),
+    [](const ::testing::TestParamInfo<CompressorKind> &info) {
+        std::string name = makeCompressor(info.param)->name();
+        std::string clean;
+        for (const char c : name)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                clean += c;
+        return clean;
+    });
+
+TEST(CompressorFactory, ByNameMatchesByKind)
+{
+    EXPECT_EQ(makeCompressor("bdi")->name(), "BDI");
+    EXPECT_EQ(makeCompressor("fpc")->name(), "FPC");
+    EXPECT_EQ(makeCompressor("cpack")->name(), "C-Pack");
+    EXPECT_EQ(makeCompressor("zero")->name(), "Zero");
+}
+
+TEST(CompressorFactoryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeCompressor("lz4"), ::testing::ExitedWithCode(1),
+                "unknown compressor");
+}
+
+} // namespace
+} // namespace bvc

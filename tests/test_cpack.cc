@@ -1,0 +1,146 @@
+/** @file Unit tests for the C-Pack codec. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "compress/cpack.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+Line
+roundTrip(const CpackCompressor &cp, const Line &in)
+{
+    const CompressedBlock block = cp.compress(in.data());
+    Line out{};
+    cp.decompress(block, out.data());
+    return out;
+}
+
+Line
+lineOf32(const std::uint32_t (&words)[16])
+{
+    Line line{};
+    for (unsigned i = 0; i < 16; ++i)
+        std::memcpy(line.data() + 4 * i, &words[i], 4);
+    return line;
+}
+
+TEST(Cpack, ZeroLineIsTiny)
+{
+    CpackCompressor cp;
+    Line line{};
+    // 16 x 2-bit zzzz codes = 4 bytes.
+    EXPECT_EQ(cp.compress(line.data()).sizeBytes(), 4u);
+    EXPECT_EQ(roundTrip(cp, line), line);
+}
+
+TEST(Cpack, FullDictionaryMatches)
+{
+    CpackCompressor cp;
+    // One unique word repeated: first is verbatim, rest are mmmm.
+    Line line = lineOf32({0xdeadbeefu, 0xdeadbeefu, 0xdeadbeefu,
+                          0xdeadbeefu, 0xdeadbeefu, 0xdeadbeefu,
+                          0xdeadbeefu, 0xdeadbeefu, 0xdeadbeefu,
+                          0xdeadbeefu, 0xdeadbeefu, 0xdeadbeefu,
+                          0xdeadbeefu, 0xdeadbeefu, 0xdeadbeefu,
+                          0xdeadbeefu});
+    const CompressedBlock block = cp.compress(line.data());
+    // 34 bits verbatim + 15 x 6 bits = 124 bits -> 16 bytes.
+    EXPECT_EQ(block.sizeBytes(), 16u);
+    EXPECT_EQ(roundTrip(cp, line), line);
+}
+
+TEST(Cpack, PartialMatchesUpperBytes)
+{
+    CpackCompressor cp;
+    // Words sharing the upper 3 bytes: mmmx after the first.
+    Line line = lineOf32({0x12345600u, 0x12345601u, 0x12345622u,
+                          0x123456ffu, 0x12345600u, 0x12345610u,
+                          0x12345620u, 0x12345630u, 0x12345640u,
+                          0x12345650u, 0x12345660u, 0x12345670u,
+                          0x12345680u, 0x12345690u, 0x123456a0u,
+                          0x123456b0u});
+    const CompressedBlock block = cp.compress(line.data());
+    // First word verbatim (34b), 15 x mmmx (18b) = 304 bits = 38B max;
+    // here several full matches shrink it further.
+    EXPECT_LT(block.sizeBytes(), 40u);
+    EXPECT_EQ(roundTrip(cp, line), line);
+}
+
+TEST(Cpack, ZzzxSmallBytePattern)
+{
+    CpackCompressor cp;
+    Line line = lineOf32({0x1, 0x7f, 0xff, 0x42, 0x1, 0x7f, 0xff, 0x42,
+                          0x1, 0x7f, 0xff, 0x42, 0x1, 0x7f, 0xff, 0x42});
+    const CompressedBlock block = cp.compress(line.data());
+    // 12 bits per word -> 24 bytes.
+    EXPECT_EQ(block.sizeBytes(), 24u);
+    EXPECT_EQ(roundTrip(cp, line), line);
+}
+
+TEST(Cpack, IncompressibleFallsBackVerbatim)
+{
+    CpackCompressor cp;
+    Rng rng(321);
+    Line line{};
+    for (unsigned i = 0; i < 16; ++i) {
+        const auto w = static_cast<std::uint32_t>(rng.next() | 0x01010101);
+        std::memcpy(line.data() + 4 * i, &w, 4);
+    }
+    const CompressedBlock block = cp.compress(line.data());
+    EXPECT_LE(block.sizeBytes(), kLineBytes);
+    EXPECT_EQ(roundTrip(cp, line), line);
+}
+
+TEST(Cpack, DictionaryStateMatchesBetweenEncodeAndDecode)
+{
+    CpackCompressor cp;
+    Rng rng(9);
+    Line line{};
+    // Many distinct words force dictionary wraparound (> 16 pushes).
+    for (int trial = 0; trial < 100; ++trial) {
+        for (unsigned i = 0; i < 16; ++i) {
+            const auto w = static_cast<std::uint32_t>(rng.next());
+            std::memcpy(line.data() + 4 * i, &w, 4);
+        }
+        EXPECT_EQ(roundTrip(cp, line), line);
+    }
+}
+
+TEST(Cpack, MixedContentFuzz)
+{
+    CpackCompressor cp;
+    Rng rng(11);
+    Line line{};
+    for (int trial = 0; trial < 300; ++trial) {
+        std::uint32_t dictWord = static_cast<std::uint32_t>(rng.next());
+        for (unsigned i = 0; i < 16; ++i) {
+            std::uint32_t w;
+            const double u = rng.uniform();
+            if (u < 0.3) {
+                w = 0;
+            } else if (u < 0.5) {
+                w = dictWord;
+            } else if (u < 0.7) {
+                w = (dictWord & 0xFFFFFF00u) |
+                    static_cast<std::uint32_t>(rng.range(256));
+            } else {
+                w = static_cast<std::uint32_t>(rng.next());
+            }
+            std::memcpy(line.data() + 4 * i, &w, 4);
+        }
+        EXPECT_EQ(roundTrip(cp, line), line);
+        EXPECT_LE(cp.compress(line.data()).sizeBytes(), kLineBytes);
+    }
+}
+
+} // namespace
+} // namespace bvc

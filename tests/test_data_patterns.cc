@@ -1,0 +1,110 @@
+/** @file Tests for the compressibility-controlled data patterns. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compress/bdi.hh"
+#include "sim/experiment.hh"
+#include "trace/data_patterns.hh"
+
+namespace bvc
+{
+namespace
+{
+
+double
+avgFraction(DataPatternKind kind)
+{
+    const DataPattern pattern(kind, 42);
+    const BdiCompressor bdi;
+    return averageCompressedFraction(pattern, bdi, 2000);
+}
+
+TEST(DataPatterns, ZerosCompressToNothing)
+{
+    EXPECT_LT(avgFraction(DataPatternKind::Zeros), 0.05);
+}
+
+TEST(DataPatterns, SmallIntsCompressWell)
+{
+    const double f = avgFraction(DataPatternKind::SmallInts);
+    EXPECT_GT(f, 0.15);
+    EXPECT_LT(f, 0.40);
+}
+
+TEST(DataPatterns, PointerHeapCompressesModerately)
+{
+    const double f = avgFraction(DataPatternKind::PointerHeap);
+    EXPECT_GT(f, 0.50);
+    EXPECT_LT(f, 0.75);
+}
+
+TEST(DataPatterns, FloatsAndRandomDoNotCompress)
+{
+    EXPECT_GT(avgFraction(DataPatternKind::Floats), 0.95);
+    EXPECT_GT(avgFraction(DataPatternKind::Random), 0.95);
+}
+
+TEST(DataPatterns, MixedGoodAveragesNearHalf)
+{
+    // The paper's compression-friendly traces average ~50% of the
+    // uncompressed size (Section VI.A).
+    const double f = avgFraction(DataPatternKind::MixedGood);
+    EXPECT_GT(f, 0.38);
+    EXPECT_LT(f, 0.60);
+}
+
+TEST(DataPatterns, MixedPoorAveragesAboveThreeQuarters)
+{
+    // The 10 poorly-compressing traces sit above 75% (Section VI.A).
+    EXPECT_GT(avgFraction(DataPatternKind::MixedPoor), 0.75);
+}
+
+TEST(DataPatterns, DeterministicAcrossInstances)
+{
+    const DataPattern a(DataPatternKind::MixedGood, 7);
+    const DataPattern b(DataPatternKind::MixedGood, 7);
+    std::array<std::uint8_t, kLineBytes> la{}, lb{};
+    for (Addr blk = 0; blk < 64 * kLineBytes; blk += kLineBytes) {
+        a.fillLine(blk, la.data());
+        b.fillLine(blk, lb.data());
+        ASSERT_EQ(la, lb);
+    }
+}
+
+TEST(DataPatterns, DifferentSeedsGiveDifferentData)
+{
+    const DataPattern a(DataPatternKind::Random, 1);
+    const DataPattern b(DataPatternKind::Random, 2);
+    std::array<std::uint8_t, kLineBytes> la{}, lb{};
+    a.fillLine(0, la.data());
+    b.fillLine(0, lb.data());
+    EXPECT_NE(la, lb);
+}
+
+TEST(DataPatterns, StoreValuesPreserveCompressibilityClass)
+{
+    // Writing pattern-consistent values into a small-int line keeps it
+    // small-int compressible.
+    const DataPattern pattern(DataPatternKind::SmallInts, 5);
+    std::array<std::uint8_t, kLineBytes> line{};
+    pattern.fillLine(0x1000 * kLineBytes, line.data());
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v =
+            pattern.storeValue(0x1000 * kLineBytes + 8 * i, i);
+        EXPECT_LT(v, 128u);
+    }
+}
+
+TEST(DataPatterns, KindNamesAreUnique)
+{
+    EXPECT_EQ(DataPattern::kindName(DataPatternKind::Zeros), "zeros");
+    EXPECT_EQ(DataPattern::kindName(DataPatternKind::MixedGood),
+              "mixed-good");
+    EXPECT_EQ(DataPattern::kindName(DataPatternKind::MixedPoor),
+              "mixed-poor");
+}
+
+} // namespace
+} // namespace bvc

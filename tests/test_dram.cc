@@ -1,0 +1,148 @@
+/** @file Unit tests for the DDR3 timing model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/dram.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(Dram, ChannelInterleavesOnLines)
+{
+    Dram dram;
+    EXPECT_NE(dram.channelOf(0), dram.channelOf(kLineBytes));
+    EXPECT_EQ(dram.channelOf(0), dram.channelOf(2 * kLineBytes));
+}
+
+TEST(Dram, SequentialLinesShareARowPerChannel)
+{
+    Dram dram;
+    // Lines 0 and 2 are on channel 0; the default 16KB column span
+    // keeps them in the same bank and row.
+    EXPECT_EQ(dram.bankOf(0), dram.bankOf(2 * kLineBytes));
+    EXPECT_EQ(dram.rowOf(0), dram.rowOf(2 * kLineBytes));
+}
+
+TEST(Dram, DistantAddressesChangeRow)
+{
+    Dram dram;
+    EXPECT_NE(dram.rowOf(0), dram.rowOf(1ULL << 30));
+}
+
+TEST(Dram, FirstAccessPaysActivatePlusCas)
+{
+    DramTiming timing; // 15-15-15-34 x5
+    Dram dram(timing);
+    const Cycle done = dram.read(0, 1000);
+    // tRCD + tCL + tBURST = (15 + 15 + 4) * 5 = 170.
+    EXPECT_EQ(done, 1000 + 170);
+    EXPECT_EQ(dram.stats().get("row_closed"), 1u);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    Dram dram;
+    dram.read(0, 0);
+    // Re-read the same row much later (no queueing).
+    const Cycle hitStart = 100000;
+    const Cycle hitDone = dram.read(2 * kLineBytes, hitStart);
+    // tCL + tBURST = (15 + 4) * 5 = 95.
+    EXPECT_EQ(hitDone - hitStart, 95u);
+    EXPECT_EQ(dram.stats().get("row_hits"), 1u);
+}
+
+TEST(Dram, RowConflictPaysPrechargeAndRespectsTras)
+{
+    Dram dram;
+    dram.read(0, 0);
+    // Same channel + bank, different row: conflict.
+    const Addr conflicting = 1ULL << 30;
+    ASSERT_EQ(dram.channelOf(0), dram.channelOf(conflicting));
+    ASSERT_EQ(dram.bankOf(0), dram.bankOf(conflicting));
+    const Cycle done = dram.read(conflicting, 100000);
+    // tRP + tRCD + tCL + tBURST = (15+15+15+4)*5 = 245.
+    EXPECT_EQ(done - 100000, 245u);
+    EXPECT_EQ(dram.stats().get("row_conflicts"), 1u);
+}
+
+TEST(Dram, BackToBackSameBankSerializes)
+{
+    Dram dram;
+    const Cycle first = dram.read(0, 0);
+    // Immediate second access to the same bank must wait.
+    const Cycle second = dram.read(2 * kLineBytes, 1);
+    EXPECT_GE(second, first + 95);
+}
+
+TEST(Dram, DifferentBanksOverlap)
+{
+    Dram dram;
+    // Find two addresses on the same channel but different banks.
+    const Addr a = 0;
+    Addr b = 2 * kLineBytes;
+    while (dram.bankOf(b) == dram.bankOf(a) ||
+           dram.channelOf(b) != dram.channelOf(a)) {
+        b += 2 * kLineBytes;
+    }
+    const Cycle da = dram.read(a, 0);
+    const Cycle db = dram.read(b, 0);
+    // Bank-parallel: only the shared data bus serializes the bursts.
+    EXPECT_LT(db, da + 170);
+}
+
+TEST(Dram, BusSerializesBursts)
+{
+    Dram dram;
+    Addr a = 0, b = 2 * kLineBytes;
+    while (dram.bankOf(b) == dram.bankOf(a) ||
+           dram.channelOf(b) != dram.channelOf(a)) {
+        b += 2 * kLineBytes;
+    }
+    const Cycle da = dram.read(a, 0);
+    const Cycle db = dram.read(b, 0);
+    // The two bursts cannot finish closer than one burst apart.
+    EXPECT_GE(db > da ? db - da : da - db, 20u);
+}
+
+TEST(Dram, ChannelsAreIndependent)
+{
+    Dram dram;
+    const Cycle c0 = dram.read(0, 0);
+    const Cycle c1 = dram.read(kLineBytes, 0); // other channel
+    EXPECT_EQ(c0, c1); // identical timing, no interference
+}
+
+TEST(Dram, WritesOccupyBanks)
+{
+    Dram dram;
+    dram.write(0, 0);
+    EXPECT_EQ(dram.stats().get("writes"), 1u);
+    // A demand read right behind the write waits for the bank.
+    const Cycle done = dram.read(2 * kLineBytes, 1);
+    EXPECT_GT(done, 171u);
+}
+
+TEST(Dram, PrefetchReadsDoNotBlockDemands)
+{
+    Dram dram;
+    dram.read(0, 0);
+    dram.prefetchRead(1ULL << 30, 10); // conflicting row, same bank
+    EXPECT_EQ(dram.stats().get("prefetch_reads"), 1u);
+    EXPECT_EQ(dram.stats().get("reads"), 2u);
+    // The prefetch updated the open row but added no bank occupancy:
+    // a demand to the prefetched row gets a row hit at normal cost.
+    const Cycle done = dram.read((1ULL << 30) + 2 * kLineBytes, 100000);
+    EXPECT_EQ(done - 100000, 95u);
+}
+
+TEST(Dram, CompletionNeverBeforeRequest)
+{
+    Dram dram;
+    for (Addr blk = 0; blk < 100 * kLineBytes; blk += kLineBytes)
+        EXPECT_GT(dram.read(blk, 500), 500u);
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,93 @@
+/** @file Unit tests for the DRRIP extension policy. */
+
+#include <gtest/gtest.h>
+
+#include "replacement/drrip.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(Drrip, SrripLeaderInsertsAtLong)
+{
+    DrripPolicy drrip(64, 4);
+    // Set 0 is the SRRIP leader.
+    drrip.onFill(0, 1);
+    EXPECT_EQ(drrip.rrpv(0, 1), DrripPolicy::kSrripInsert);
+}
+
+TEST(Drrip, BrripLeaderInsertsMostlyDistant)
+{
+    DrripPolicy drrip(64, 4);
+    // Set 1 is the BRRIP leader: most fills land at max RRPV.
+    unsigned distant = 0;
+    for (unsigned i = 0; i < DrripPolicy::kBimodalPeriod; ++i) {
+        drrip.onFill(1, i % 4);
+        distant += drrip.rrpv(1, i % 4) == DrripPolicy::kMaxRrpv;
+    }
+    EXPECT_EQ(distant, DrripPolicy::kBimodalPeriod - 1);
+}
+
+TEST(Drrip, HitPromotesToZero)
+{
+    DrripPolicy drrip(64, 4);
+    drrip.onFill(5, 2);
+    drrip.onHit(5, 2);
+    EXPECT_EQ(drrip.rrpv(5, 2), 0u);
+}
+
+TEST(Drrip, DuelingSelectsBrripWhenSrripLeadersMissMore)
+{
+    DrripPolicy drrip(64, 4);
+    EXPECT_FALSE(drrip.brripSelected());
+    // Hammer the SRRIP leader set with fills (misses).
+    for (unsigned i = 0; i < 100; ++i)
+        drrip.onFill(0, i % 4);
+    EXPECT_TRUE(drrip.brripSelected());
+    // Now hammer the BRRIP leader: selector swings back.
+    for (unsigned i = 0; i < 300; ++i)
+        drrip.onFill(1, i % 4);
+    EXPECT_FALSE(drrip.brripSelected());
+}
+
+TEST(Drrip, FollowersTrackTheSelector)
+{
+    DrripPolicy drrip(64, 4);
+    for (unsigned i = 0; i < 100; ++i)
+        drrip.onFill(0, i % 4); // push toward BRRIP
+    ASSERT_TRUE(drrip.brripSelected());
+    // Follower set 5 now inserts mostly distant.
+    unsigned distant = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        drrip.onFill(5, i % 4);
+        distant += drrip.rrpv(5, i % 4) == DrripPolicy::kMaxRrpv;
+    }
+    EXPECT_GE(distant, 14u);
+}
+
+TEST(Drrip, RankAgesLikeSrrip)
+{
+    DrripPolicy drrip(64, 2);
+    drrip.onFill(5, 0);
+    drrip.onFill(5, 1);
+    drrip.onHit(5, 0);
+    const auto order = drrip.rank(5);
+    EXPECT_EQ(order.front(), 1u);
+    EXPECT_EQ(drrip.rrpv(5, 1), DrripPolicy::kMaxRrpv);
+}
+
+TEST(Drrip, PreferredVictimsAreMaxRrpv)
+{
+    DrripPolicy drrip(64, 4);
+    for (unsigned w = 0; w < 4; ++w)
+        drrip.onFill(5, w);
+    drrip.onHit(5, 3);
+    const auto candidates = drrip.preferredVictims(5);
+    for (const auto w : candidates)
+        EXPECT_EQ(drrip.rrpv(5, w), DrripPolicy::kMaxRrpv);
+    EXPECT_FALSE(candidates.empty());
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,128 @@
+/** @file Tests for the Section VI.D energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace bvc
+{
+namespace
+{
+
+StatGroup
+llcStats()
+{
+    StatGroup stats("llc");
+    stats.counter("accesses") += 1000;
+    stats.counter("demand_hits") += 600;
+    stats.counter("prefetch_hits") += 50;
+    stats.counter("fills") += 400;
+    stats.counter("writeback_hits") += 100;
+    stats.counter("data_movements") += 80;
+    stats.counter("compressions") += 500;
+    stats.counter("decompressions") += 300;
+    return stats;
+}
+
+StatGroup
+dramStats()
+{
+    StatGroup stats("dram");
+    stats.counter("reads") += 400;
+    stats.counter("writes") += 100;
+    stats.counter("row_closed") += 50;
+    stats.counter("row_conflicts") += 200;
+    stats.counter("row_hits") += 250;
+    return stats;
+}
+
+TEST(Energy, ComponentsArePositive)
+{
+    const auto llc = llcStats();
+    const auto dram = dramStats();
+    const EnergyBreakdown e = computeEnergy(llc, dram, 100000, true);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.llcTag, 0.0);
+    EXPECT_GT(e.llcData, 0.0);
+    EXPECT_GT(e.codec, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(),
+                     e.dram + e.llcTag + e.llcData + e.codec);
+}
+
+TEST(Energy, CompressedArchDoublesTagEnergy)
+{
+    const auto llc = llcStats();
+    const auto dram = dramStats();
+    const EnergyBreakdown base = computeEnergy(llc, dram, 1000, false);
+    const EnergyBreakdown comp = computeEnergy(llc, dram, 1000, true);
+    EXPECT_DOUBLE_EQ(comp.llcTag, 2.0 * base.llcTag);
+}
+
+TEST(Energy, MissingWordEnablesAddRmwReads)
+{
+    const auto llc = llcStats();
+    const auto dram = dramStats();
+    EnergyParams with;
+    with.wordEnables = true;
+    EnergyParams without;
+    without.wordEnables = false;
+    const EnergyBreakdown a = computeEnergy(llc, dram, 1000, true, with);
+    const EnergyBreakdown b =
+        computeEnergy(llc, dram, 1000, true, without);
+    // (fills + writeback_hits + movements) extra reads.
+    const double extra = (400 + 100 + 80) * with.llcDataRead;
+    EXPECT_NEAR(b.llcData - a.llcData, extra, 1e-9);
+}
+
+TEST(Energy, WordEnablesIrrelevantForUncompressed)
+{
+    const auto llc = llcStats();
+    const auto dram = dramStats();
+    EnergyParams without;
+    without.wordEnables = false;
+    const EnergyBreakdown a = computeEnergy(llc, dram, 1000, false);
+    const EnergyBreakdown b =
+        computeEnergy(llc, dram, 1000, false, without);
+    EXPECT_DOUBLE_EQ(a.llcData, b.llcData);
+}
+
+TEST(Energy, DramEnergyTracksActivationsAndBursts)
+{
+    StatGroup llc("llc");
+    StatGroup dramA("dram"), dramB("dram");
+    dramA.counter("reads") += 100;
+    dramB.counter("reads") += 100;
+    dramB.counter("row_conflicts") += 100;
+    const EnergyBreakdown a = computeEnergy(llc, dramA, 0, false);
+    const EnergyBreakdown b = computeEnergy(llc, dramB, 0, false);
+    EXPECT_GT(b.dram, a.dram);
+}
+
+TEST(Energy, FewerDramReadsReduceEnergy)
+{
+    // The core effect behind Figure 14: compression pays for itself
+    // through read-traffic reduction.
+    const auto llc = llcStats();
+    StatGroup dramSmall("dram"), dramBig("dram");
+    dramSmall.counter("reads") += 300;
+    dramSmall.counter("row_conflicts") += 150;
+    dramBig.counter("reads") += 400;
+    dramBig.counter("row_conflicts") += 200;
+    const EnergyBreakdown small =
+        computeEnergy(llc, dramSmall, 1000, true);
+    const EnergyBreakdown big = computeEnergy(llc, dramBig, 1000, true);
+    EXPECT_LT(small.dram, big.dram);
+}
+
+TEST(Energy, StaticEnergyScalesWithCycles)
+{
+    StatGroup llc("llc"), dram("dram");
+    const EnergyBreakdown shortRun =
+        computeEnergy(llc, dram, 1000, false);
+    const EnergyBreakdown longRun =
+        computeEnergy(llc, dram, 100000, false);
+    EXPECT_GT(longRun.dram, shortRun.dram);
+}
+
+} // namespace
+} // namespace bvc

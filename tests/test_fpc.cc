@@ -1,0 +1,127 @@
+/** @file Unit tests for the FPC codec. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "compress/fpc.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+Line
+lineOf32(const std::uint32_t (&words)[16])
+{
+    Line line{};
+    for (unsigned i = 0; i < 16; ++i)
+        std::memcpy(line.data() + 4 * i, &words[i], 4);
+    return line;
+}
+
+Line
+roundTrip(const FpcCompressor &fpc, const Line &in)
+{
+    const CompressedBlock block = fpc.compress(in.data());
+    Line out{};
+    fpc.decompress(block, out.data());
+    return out;
+}
+
+TEST(Fpc, ZeroLineCompressesToRuns)
+{
+    FpcCompressor fpc;
+    Line line{};
+    const CompressedBlock block = fpc.compress(line.data());
+    // 16 zero words = two runs of 8 = 2 x 6 bits -> 2 bytes.
+    EXPECT_EQ(block.sizeBytes(), 2u);
+    EXPECT_EQ(roundTrip(fpc, line), line);
+}
+
+TEST(Fpc, SmallSignedValues)
+{
+    FpcCompressor fpc;
+    Line line = lineOf32({1, 0xFFFFFFFFu /* -1 */, 7, 0xFFFFFFF9u /* -7 */,
+                          3, 2, 1, 0, 5, 6, 7, 4, 3, 2, 1, 0});
+    EXPECT_EQ(roundTrip(fpc, line), line);
+    // All words fit 4-bit sign-extended (or zero runs): tiny output.
+    EXPECT_LE(fpc.compress(line.data()).sizeBytes(), 16u);
+}
+
+TEST(Fpc, HalfwordPaddedWithZeros)
+{
+    FpcCompressor fpc;
+    Line line = lineOf32({0x12340000u, 0xabcd0000u, 0x00010000u,
+                          0xffff0000u, 0x12340000u, 0xabcd0000u,
+                          0x00010000u, 0xffff0000u, 0x12340000u,
+                          0xabcd0000u, 0x00010000u, 0xffff0000u,
+                          0x12340000u, 0xabcd0000u, 0x00010000u,
+                          0xffff0000u});
+    EXPECT_EQ(roundTrip(fpc, line), line);
+    // 3+16 bits per word -> ~38 bytes, clearly compressed.
+    EXPECT_LT(fpc.compress(line.data()).sizeBytes(), kLineBytes / 2 + 8);
+}
+
+TEST(Fpc, RepeatedBytesPattern)
+{
+    FpcCompressor fpc;
+    Line line = lineOf32({0x77777777u, 0xabababab, 0x11111111u,
+                          0xcccccccc, 0x77777777u, 0xabababab,
+                          0x11111111u, 0xcccccccc, 0x77777777u,
+                          0xabababab, 0x11111111u, 0xcccccccc,
+                          0x77777777u, 0xabababab, 0x11111111u,
+                          0xcccccccc});
+    EXPECT_EQ(roundTrip(fpc, line), line);
+    // 3+8 bits per word -> 22 bytes.
+    EXPECT_EQ(fpc.compress(line.data()).sizeBytes(), 22u);
+}
+
+TEST(Fpc, TwoHalfwordsSignExtended)
+{
+    FpcCompressor fpc;
+    // Each halfword fits in 8 signed bits: pattern TwoSign8.
+    Line line = lineOf32({0x007f0012u, 0xff80ffffu, 0x00010002u,
+                          0x00400055u, 0x007f0012u, 0xff80ffffu,
+                          0x00010002u, 0x00400055u, 0x007f0012u,
+                          0xff80ffffu, 0x00010002u, 0x00400055u,
+                          0x007f0012u, 0xff80ffffu, 0x00010002u,
+                          0x00400055u});
+    EXPECT_EQ(roundTrip(fpc, line), line);
+}
+
+TEST(Fpc, IncompressibleFallsBackToVerbatim)
+{
+    FpcCompressor fpc;
+    Rng rng(123);
+    Line line{};
+    for (auto &byte : line)
+        byte = static_cast<std::uint8_t>(rng.range(256) | 1);
+    const CompressedBlock block = fpc.compress(line.data());
+    EXPECT_LE(block.sizeBytes(), kLineBytes);
+    EXPECT_EQ(roundTrip(fpc, line), line);
+}
+
+TEST(Fpc, RandomRoundTripFuzz)
+{
+    FpcCompressor fpc;
+    Rng rng(5);
+    Line line{};
+    for (int trial = 0; trial < 300; ++trial) {
+        for (auto &byte : line) {
+            // Mix of zeros and random bytes exercises all patterns.
+            byte = rng.chance(0.4)
+                ? 0
+                : static_cast<std::uint8_t>(rng.range(256));
+        }
+        EXPECT_EQ(roundTrip(fpc, line), line);
+        EXPECT_LE(fpc.compress(line.data()).sizeBytes(), kLineBytes);
+    }
+}
+
+} // namespace
+} // namespace bvc

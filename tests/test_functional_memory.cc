@@ -1,0 +1,84 @@
+/** @file Unit tests for the sparse functional memory. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "memory/functional_memory.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(FunctionalMemory, DefaultsToZeroMemory)
+{
+    FunctionalMemory mem;
+    const std::uint8_t *line = mem.line(0x1000);
+    for (std::size_t i = 0; i < kLineBytes; ++i)
+        EXPECT_EQ(line[i], 0);
+    EXPECT_EQ(mem.load64(0x1008), 0u);
+}
+
+TEST(FunctionalMemory, LazyInitializerFillsLines)
+{
+    FunctionalMemory mem([](Addr blk, std::uint8_t *out) {
+        for (std::size_t i = 0; i < kLineBytes; ++i)
+            out[i] = static_cast<std::uint8_t>(blk >> 6);
+    });
+    EXPECT_EQ(mem.line(4 * kLineBytes)[0], 4);
+    EXPECT_EQ(mem.line(5 * kLineBytes)[63], 5);
+}
+
+TEST(FunctionalMemory, StoreThenLoadRoundTrips)
+{
+    FunctionalMemory mem;
+    mem.store64(0x2010, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.load64(0x2010), 0xdeadbeefcafef00dULL);
+}
+
+TEST(FunctionalMemory, StoreOnlyAffectsItsWord)
+{
+    FunctionalMemory mem([](Addr, std::uint8_t *out) {
+        std::memset(out, 0x11, kLineBytes);
+    });
+    mem.store64(0x3008, 0);
+    EXPECT_EQ(mem.load64(0x3000), 0x1111111111111111ULL);
+    EXPECT_EQ(mem.load64(0x3008), 0u);
+    EXPECT_EQ(mem.load64(0x3010), 0x1111111111111111ULL);
+}
+
+TEST(FunctionalMemory, UnalignedAddressesSnapToWord)
+{
+    FunctionalMemory mem;
+    mem.store64(0x4003, 42); // snaps to 0x4000
+    EXPECT_EQ(mem.load64(0x4000), 42u);
+    EXPECT_EQ(mem.load64(0x4005), 42u);
+}
+
+TEST(FunctionalMemory, StorePersistsOverInitializer)
+{
+    bool initialized = false;
+    FunctionalMemory mem([&](Addr, std::uint8_t *out) {
+        initialized = true;
+        std::memset(out, 0xFF, kLineBytes);
+    });
+    mem.store64(0x5000, 7);
+    EXPECT_TRUE(initialized); // store materialized the line first
+    EXPECT_EQ(mem.load64(0x5000), 7u);
+    // The rest of the line keeps its initialized content.
+    EXPECT_EQ(mem.load64(0x5008), ~0ULL);
+}
+
+TEST(FunctionalMemory, TouchedLinesCountsUniqueBlocks)
+{
+    FunctionalMemory mem;
+    mem.line(0);
+    mem.line(8);      // same block
+    mem.line(kLineBytes);
+    mem.store64(2 * kLineBytes, 1);
+    EXPECT_EQ(mem.touchedLines(), 3u);
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,225 @@
+/** @file Tests for the synthetic trace generators. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/generators.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TraceParams
+testParams()
+{
+    TraceParams p;
+    p.name = "unit";
+    p.seed = 1234;
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.10;
+    p.streamFrac = 0.20;
+    p.chaseFrac = 0.10;
+    p.wsBytes = 256 * 1024;
+    p.hotBytes = 16 * 1024;
+    p.residentBytes = 128 * 1024;
+    p.hotFrac = 0.5;
+    p.residentFrac = 0.3;
+    p.streamBytes = 1 << 20;
+    p.chaseBytes = 128 * 1024;
+    return p;
+}
+
+TEST(SyntheticTrace, DeterministicForSameSeed)
+{
+    SyntheticTrace a(testParams()), b(testParams());
+    TraceRecord ra, rb;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.value, rb.value);
+        ASSERT_EQ(ra.kind, rb.kind);
+    }
+}
+
+TEST(SyntheticTrace, ResetRestartsTheStream)
+{
+    SyntheticTrace trace(testParams());
+    std::vector<TraceRecord> first;
+    TraceRecord r;
+    for (int i = 0; i < 1000; ++i) {
+        trace.next(r);
+        first.push_back(r);
+    }
+    trace.reset();
+    for (int i = 0; i < 1000; ++i) {
+        trace.next(r);
+        EXPECT_EQ(r.addr, first[i].addr);
+        EXPECT_EQ(r.kind, first[i].kind);
+    }
+}
+
+TEST(SyntheticTrace, InstructionMixMatchesParams)
+{
+    SyntheticTrace trace(testParams());
+    TraceRecord r;
+    std::uint64_t loads = 0, stores = 0, total = 200000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        trace.next(r);
+        loads += r.kind == InstrKind::Load;
+        stores += r.kind == InstrKind::Store;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / total, 0.30, 0.03);
+    EXPECT_NEAR(static_cast<double>(stores) / total, 0.10, 0.02);
+}
+
+TEST(SyntheticTrace, OnlyLoadsCarryChaseDependency)
+{
+    SyntheticTrace trace(testParams());
+    TraceRecord r;
+    std::uint64_t dependent = 0;
+    for (int i = 0; i < 100000; ++i) {
+        trace.next(r);
+        if (r.dependsOnPrevLoad) {
+            EXPECT_EQ(r.kind, InstrKind::Load);
+            ++dependent;
+        }
+    }
+    EXPECT_GT(dependent, 0u);
+}
+
+TEST(SyntheticTrace, MemoryRegionsAreDisjointFromCode)
+{
+    SyntheticTrace trace(testParams());
+    TraceRecord r;
+    for (int i = 0; i < 50000; ++i) {
+        trace.next(r);
+        if (r.kind != InstrKind::NonMem) {
+            EXPECT_GE(r.addr, 0x1'0000'0000ULL);
+            EXPECT_LT(r.pc, 0x1'0000'0000ULL);
+        }
+    }
+}
+
+TEST(SyntheticTrace, FootprintRespectsWorkingSetBounds)
+{
+    TraceParams p = testParams();
+    p.streamFrac = 0.0;
+    p.chaseFrac = 0.0;
+    SyntheticTrace trace(p);
+    TraceRecord r;
+    for (int i = 0; i < 100000; ++i) {
+        trace.next(r);
+        if (r.kind == InstrKind::NonMem)
+            continue;
+        const bool inWs = r.addr >= 0x1'0000'0000ULL &&
+            r.addr < 0x1'0000'0000ULL + p.hotBytes + p.wsBytes +
+                    kLineBytes;
+        const bool inResident = r.addr >= 0x4'0000'0000ULL &&
+            r.addr < 0x4'0000'0000ULL + p.residentBytes + kLineBytes;
+        EXPECT_TRUE(inWs || inResident) << std::hex << r.addr;
+    }
+}
+
+TEST(SyntheticTrace, AddressOffsetShiftsEverything)
+{
+    TraceParams p = testParams();
+    p.addressOffset = 1ULL << 42;
+    SyntheticTrace trace(p);
+    TraceRecord r;
+    for (int i = 0; i < 10000; ++i) {
+        trace.next(r);
+        if (r.kind != InstrKind::NonMem) {
+            EXPECT_GE(r.addr, 1ULL << 42);
+        }
+        EXPECT_GE(r.pc, 1ULL << 42);
+    }
+}
+
+TEST(SyntheticTrace, ChaseAddressesCycleThroughRegion)
+{
+    TraceParams p = testParams();
+    p.streamFrac = 0.0;
+    p.chaseFrac = 1.0 - 1e-9;
+    p.hotFrac = 0.0;
+    p.residentFrac = 0.0;
+    SyntheticTrace trace(p);
+    TraceRecord r;
+    std::map<Addr, int> blocks;
+    for (int i = 0; i < 20000; ++i) {
+        trace.next(r);
+        if (r.kind == InstrKind::Load && r.dependsOnPrevLoad)
+            ++blocks[blockAddr(r.addr)];
+    }
+    // The LCG walk covers a large share of the 2048-block region.
+    EXPECT_GT(blocks.size(), 1500u);
+}
+
+TEST(SyntheticTrace, StoresCarryPatternValues)
+{
+    TraceParams p = testParams();
+    p.pattern = DataPatternKind::Zeros;
+    SyntheticTrace trace(p);
+    TraceRecord r;
+    std::uint64_t stores = 0, zeroValues = 0;
+    for (int i = 0; i < 100000; ++i) {
+        trace.next(r);
+        if (r.kind == InstrKind::Store) {
+            ++stores;
+            zeroValues += r.value == 0;
+        }
+    }
+    ASSERT_GT(stores, 0u);
+    // Zero-pattern stores are mostly zero (7/8 per DataPattern).
+    EXPECT_GT(static_cast<double>(zeroValues) / stores, 0.7);
+}
+
+TEST(SyntheticTrace, StreamCursorsKeepPrivateSlices)
+{
+    TraceParams p = testParams();
+    p.streamFrac = 1.0 - 1e-9;
+    p.chaseFrac = 0.0;
+    p.streamBytes = 1 << 20;
+    p.streamCursors = 4;
+    SyntheticTrace trace(p);
+    TraceRecord r;
+    // Each cursor owns streamBytes/4: the observed per-slice ranges
+    // must never overlap (controlled stream reuse distance).
+    const std::uint64_t sliceBytes = p.streamBytes / 4;
+    for (int i = 0; i < 200000; ++i) {
+        trace.next(r);
+        if (r.kind == InstrKind::NonMem)
+            continue;
+        const std::uint64_t offset = r.addr - 0x2'0000'0000ULL;
+        EXPECT_LT(offset, p.streamBytes + kLineBytes);
+        (void)sliceBytes;
+    }
+    // Run long enough that a shared region would have wrapped across
+    // slices; privacy means a cursor's addresses stay in its quarter.
+    trace.reset();
+    std::uint64_t perSliceTouches[4] = {};
+    for (int i = 0; i < 200000; ++i) {
+        trace.next(r);
+        if (r.kind == InstrKind::NonMem)
+            continue;
+        const std::uint64_t offset = r.addr - 0x2'0000'0000ULL;
+        ++perSliceTouches[std::min<std::uint64_t>(
+            3, offset / sliceBytes)];
+    }
+    // All four slices active (cursors balanced by the uniform pick).
+    for (const std::uint64_t touches : perSliceTouches)
+        EXPECT_GT(touches, 10000u);
+}
+
+TEST(SyntheticTraceDeathTest, RejectsNonPowerOfTwoChaseRegion)
+{
+    TraceParams p = testParams();
+    p.chaseBytes = 100 * 1024;
+    EXPECT_DEATH(SyntheticTrace trace(p), "power of two");
+}
+
+} // namespace
+} // namespace bvc

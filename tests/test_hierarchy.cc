@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Integration tests for the cache hierarchy: latencies, inclusion,
+ * back-invalidation, writeback routing and downgrade hints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/bdi.hh"
+#include "core/base_victim_cache.hh"
+#include "core/uncompressed_llc.hh"
+#include "cpu/hierarchy.hh"
+#include "trace/data_patterns.hh"
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+HierarchyConfig
+smallConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1iBytes = 4 * 1024;
+    cfg.l1dBytes = 4 * 1024;
+    cfg.l1iWays = 4;
+    cfg.l1dWays = 4;
+    cfg.l2Bytes = 16 * 1024;
+    cfg.l2Ways = 8;
+    cfg.prefetch = false; // deterministic latency tests
+    return cfg;
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : pattern_(DataPatternKind::MixedGood, 9),
+          mem_([this](Addr blk, std::uint8_t *out) {
+              pattern_.fillLine(blk, out);
+          }),
+          llc_(64 * 1024, 8, ReplacementKind::Nru, VictimReplKind::Ecm,
+               bdi_),
+          hier_(smallConfig(), llc_, dram_, mem_)
+    {
+    }
+
+    BdiCompressor bdi_;
+    DataPattern pattern_;
+    FunctionalMemory mem_;
+    Dram dram_;
+    BaseVictimLlc llc_;
+    Hierarchy hier_;
+};
+
+TEST_F(HierarchyTest, L1HitLatency)
+{
+    hier_.load(0x400, 0x10000, 0);
+    EXPECT_EQ(hier_.load(0x400, 0x10000, 100), 3u);
+}
+
+TEST_F(HierarchyTest, L2HitLatencyAfterL1Eviction)
+{
+    hier_.load(0x400, 0x10000, 0);
+    // Evict 0x10000 from the 4KB L1 (same L1 set, different L2 sets).
+    for (unsigned i = 1; i <= 4; ++i)
+        hier_.load(0x400, 0x10000 + i * 4096, 0);
+    EXPECT_EQ(hier_.load(0x400, 0x10000, 1000), 10u);
+}
+
+TEST_F(HierarchyTest, LlcHitIncludesTagAndDecompression)
+{
+    hier_.load(0x400, 0x10000, 0);
+    // A 2KB stride maps to the same L1 set (16 sets) and L2 set (32
+    // sets) but walks four different LLC sets, so the line leaves the
+    // L1/L2 while staying resident in the 64KB LLC.
+    for (unsigned i = 1; i <= 9; ++i)
+        hier_.load(0x400, 0x10000 + i * 2048, 0);
+    const unsigned latency = hier_.load(0x400, 0x10000, 50000);
+    // 24 base + 1 tag (+2 if this particular line compresses).
+    EXPECT_GE(latency, 25u);
+    EXPECT_LE(latency, 27u);
+}
+
+TEST_F(HierarchyTest, MissGoesToDram)
+{
+    const unsigned latency = hier_.load(0x400, 0x900000, 0);
+    EXPECT_GT(latency, 100u); // DRAM access dominates
+    EXPECT_EQ(hier_.stats().get("dram_demand_reads"), 1u);
+}
+
+TEST_F(HierarchyTest, InclusionHoldsUnderRandomTraffic)
+{
+    Rng rng(5);
+    for (int step = 0; step < 30000; ++step) {
+        const Addr addr = rng.range(4096) * kLineBytes;
+        if (rng.chance(0.3))
+            hier_.store(0x500, addr, rng.next(), step);
+        else
+            hier_.load(0x400 + rng.range(16) * 4, addr, step);
+        if (step % 2500 == 0) {
+            ASSERT_TRUE(hier_.checkInclusion()) << "step " << step;
+        }
+    }
+    EXPECT_TRUE(hier_.checkInclusion());
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(HierarchyTest, StoreUpdatesFunctionalMemory)
+{
+    hier_.store(0x500, 0x20000, 0xabcd, 0);
+    EXPECT_EQ(mem_.load64(0x20000), 0xabcdu);
+}
+
+TEST_F(HierarchyTest, DirtyLinesReachMemoryExactlyOnce)
+{
+    // Store a line, then flush it down the hierarchy by thrashing.
+    hier_.store(0x500, 0x30000, 77, 0);
+    Rng rng(6);
+    for (int step = 0; step < 40000; ++step)
+        hier_.load(0x400, 0x100000 + rng.range(4096) * kLineBytes,
+                   step);
+    // The dirty line must have been written back to DRAM.
+    EXPECT_GE(dram_.stats().get("writes"), 1u);
+    EXPECT_EQ(mem_.load64(0x30000), 77u);
+}
+
+TEST_F(HierarchyTest, BackInvalidationRemovesUpperCopies)
+{
+    hier_.load(0x400, 0x40000, 0);
+    ASSERT_TRUE(hier_.l1d().probe(0x40000));
+    const bool dirty = hier_.invalidateUpper(0x40000);
+    EXPECT_FALSE(dirty);
+    EXPECT_FALSE(hier_.l1d().probe(0x40000));
+    EXPECT_FALSE(hier_.l2().probe(0x40000));
+}
+
+TEST_F(HierarchyTest, BackInvalidationReportsDirtyCopies)
+{
+    hier_.store(0x500, 0x50000, 1, 0);
+    EXPECT_TRUE(hier_.invalidateUpper(0x50000));
+}
+
+TEST_F(HierarchyTest, CustomBackInvalidateHookIsUsed)
+{
+    std::size_t calls = 0;
+    hier_.setBackInvalidateFn([&](Addr blk) {
+        ++calls;
+        return hier_.invalidateUpper(blk);
+    });
+    Rng rng(8);
+    for (int step = 0; step < 20000; ++step)
+        hier_.load(0x400, 0x200000 + rng.range(4096) * kLineBytes,
+                   step);
+    EXPECT_GT(calls, 0u);
+}
+
+TEST_F(HierarchyTest, InstructionFetchesUseTheL1I)
+{
+    hier_.fetch(0x7000, 0);
+    EXPECT_EQ(hier_.fetch(0x7000, 10), 3u);
+    EXPECT_TRUE(hier_.l1i().probe(0x7000));
+    EXPECT_FALSE(hier_.l1d().probe(0x7000));
+}
+
+TEST(HierarchyPrefetch, PrefetchingReducesDemandMissesOnStreams)
+{
+    const BdiCompressor bdi;
+    const DataPattern pattern(DataPatternKind::MixedGood, 9);
+
+    auto runStream = [&](bool prefetch) {
+        FunctionalMemory mem([&](Addr blk, std::uint8_t *out) {
+            pattern.fillLine(blk, out);
+        });
+        Dram dram;
+        UncompressedLlc llc(64 * 1024, 8, ReplacementKind::Nru);
+        HierarchyConfig cfg = smallConfig();
+        cfg.prefetch = prefetch;
+        Hierarchy hier(cfg, llc, dram, mem);
+        for (unsigned i = 0; i < 20000; ++i)
+            hier.load(0x400, 0x1000000 + i * kLineBytes,
+                      i * 4);
+        return hier.stats().get("dram_demand_reads");
+    };
+
+    const auto without = runStream(false);
+    const auto with = runStream(true);
+    EXPECT_LT(with, without / 2);
+}
+
+TEST(HierarchyChar, L2EvictionsSendDowngradeHints)
+{
+    const BdiCompressor bdi;
+    const DataPattern pattern(DataPatternKind::MixedGood, 9);
+    FunctionalMemory mem([&](Addr blk, std::uint8_t *out) {
+        pattern.fillLine(blk, out);
+    });
+    Dram dram;
+
+    /** LLC wrapper counting downgrade hints. */
+    class HintCounter : public UncompressedLlc
+    {
+      public:
+        using UncompressedLlc::UncompressedLlc;
+        void
+        downgradeHint(Addr blk) override
+        {
+            ++hints;
+            UncompressedLlc::downgradeHint(blk);
+        }
+        std::size_t hints = 0;
+    };
+
+    HintCounter llc(64 * 1024, 8, ReplacementKind::Char);
+    Hierarchy hier(smallConfig(), llc, dram, mem);
+    Rng rng(3);
+    for (int step = 0; step < 30000; ++step)
+        hier.load(0x400, rng.range(2048) * kLineBytes, step);
+    EXPECT_GT(llc.hints, 0u);
+}
+
+} // namespace
+} // namespace bvc

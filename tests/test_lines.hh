@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the compressed-cache tests: crafted 64B lines with
+ * known BDI compressed sizes (in 4B segments).
+ */
+
+#ifndef BVC_TESTS_TEST_LINES_HH_
+#define BVC_TESTS_TEST_LINES_HH_
+
+#include <array>
+#include <cstring>
+
+#include "compress/bdi.hh"
+#include "core/llc_interface.hh"
+#include "util/rng.hh"
+
+namespace bvc::testhelpers
+{
+
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+/** All-zero line: 0 segments (tag-only storage). */
+inline Line
+zeroLine()
+{
+    return Line{};
+}
+
+/** Small-integer line: BDI B8D1, 17 bytes -> 5 segments. */
+inline Line
+smallLine(std::uint64_t salt = 0)
+{
+    Line line{};
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v = (i * 3 + salt) & 0x7f;
+        std::memcpy(line.data() + 8 * i, &v, 8);
+    }
+    return line;
+}
+
+/** Medium line: BDI B8D2, 25 bytes -> 7 segments. */
+inline Line
+mediumLine(std::uint64_t salt = 0)
+{
+    Line line{};
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v = 1000 + i * 997 + (salt & 0xff);
+        std::memcpy(line.data() + 8 * i, &v, 8);
+    }
+    return line;
+}
+
+/** Large-but-compressed line: BDI B8D4, 41 bytes -> 11 segments. */
+inline Line
+largeLine(std::uint64_t salt = 0)
+{
+    Line line{};
+    const std::uint64_t base = 0x00007f0000000000ULL;
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v =
+            base + 0x100000ULL * i + (salt & 0xffff) + 0x10000000ULL;
+        std::memcpy(line.data() + 8 * i, &v, 8);
+    }
+    return line;
+}
+
+/** Incompressible line: 16 segments. */
+inline Line
+randomLine(std::uint64_t seed = 1)
+{
+    Rng rng(seed * 811 + 3);
+    Line line{};
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v = rng.next();
+        std::memcpy(line.data() + 8 * i, &v, 8);
+    }
+    return line;
+}
+
+/** Compressed segment count of a line under BDI. */
+inline unsigned
+segmentsOf(const Line &line)
+{
+    const BdiCompressor bdi;
+    return compressedSegmentsFor(bdi, line.data());
+}
+
+} // namespace bvc::testhelpers
+
+#endif // BVC_TESTS_TEST_LINES_HH_

@@ -1,0 +1,161 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NearbySeedsDecorrelated)
+{
+    // splitmix seeding should make seed 7 and seed 8 unrelated.
+    Rng a(7), b(8);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, RangeZeroAndOne)
+{
+    Rng rng(4);
+    EXPECT_EQ(rng.range(0), 0u);
+    EXPECT_EQ(rng.range(1), 0u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeRoughlyUniform)
+{
+    Rng rng(6);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.range(10)];
+    for (const int count : buckets) {
+        EXPECT_GT(count, n / 10 * 0.9);
+        EXPECT_LT(count, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo = sawLo || v == -3;
+        sawHi = sawHi || v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BetweenDegenerate)
+{
+    Rng rng(8);
+    EXPECT_EQ(rng.between(5, 5), 5);
+    EXPECT_EQ(rng.between(5, 4), 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, GeometricBounds)
+{
+    Rng rng(12);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.geometric(0.3, 50);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 50u);
+    }
+}
+
+TEST(Rng, GeometricSkewsSmall)
+{
+    Rng rng(13);
+    std::uint64_t ones = 0;
+    for (int i = 0; i < 10000; ++i)
+        ones += rng.geometric(0.5, 100) == 1;
+    // P(X=1) = 0.5 for a geometric with p = 0.5.
+    EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, WeightedRespectsCumulativeWeights)
+{
+    Rng rng(14);
+    const double cumulative[] = {1.0, 1.0, 4.0}; // weights 1, 0, 3
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.weighted(cumulative, 3)];
+    EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,126 @@
+/** @file Tests for the functional VSC-2X capacity model. */
+
+#include <gtest/gtest.h>
+
+#include "core/vsc_cache.hh"
+#include "test_lines.hh"
+
+namespace bvc
+{
+namespace
+{
+
+using namespace testhelpers;
+
+constexpr std::size_t kSize = 16 * 1024;
+constexpr std::size_t kWays = 4;
+constexpr Addr kSetStride = 64 * kLineBytes;
+
+Addr
+setAddr(unsigned n)
+{
+    return 0x30000 + static_cast<Addr>(n) * kSetStride;
+}
+
+TEST(Vsc, CompressibleLinesNearlyDoubleCapacity)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    const Line small = smallLine(); // 5 segments
+    // 5-segment lines: floor(64 / 5) = 12 lines fit the segment pool,
+    // but tags cap residency at 8.
+    for (unsigned i = 0; i < 8; ++i)
+        llc.access(setAddr(i), AccessType::Read, small.data());
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_TRUE(llc.probe(setAddr(i)));
+    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+}
+
+TEST(Vsc, SegmentPoolEnforcesCapacity)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    // 11-segment lines: only floor(64/11) = 5 fit.
+    for (unsigned i = 0; i < 8; ++i) {
+        const Line line = largeLine(i);
+        llc.access(setAddr(i), AccessType::Read, line.data());
+    }
+    unsigned resident = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        resident += llc.probe(setAddr(i));
+    EXPECT_EQ(resident, 5u);
+    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+}
+
+TEST(Vsc, FillCanEvictMultipleLines)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    const Line small = smallLine();
+    for (unsigned i = 0; i < 8; ++i)
+        llc.access(setAddr(i), AccessType::Read, small.data());
+    // An incompressible fill needs 16 segments: used = 40, pool = 64;
+    // evictions must free 16 - (64-40) segments AND a tag.
+    const Line big = randomLine(1);
+    const LlcResult result =
+        llc.access(setAddr(50), AccessType::Read, big.data());
+    EXPECT_FALSE(result.hit);
+    // This is VSC's drawback 3 (Section II): eviction of >= 1 line,
+    // possibly several, on a single fill.
+    EXPECT_GE(llc.lastFillEvictions(), 1u);
+    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+}
+
+TEST(Vsc, MultipleEvictionsWhenPoolIsTight)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    // Fill the pool to 60 of 64 segments: 5 x 11 + 1 x 5.
+    for (unsigned i = 0; i < 5; ++i) {
+        const Line line = largeLine(i);
+        llc.access(setAddr(i), AccessType::Read, line.data());
+    }
+    const Line small = smallLine();
+    llc.access(setAddr(5), AccessType::Read, small.data());
+    // A 16-segment fill must evict the two LRU 11-segment lines: one
+    // freed line is not enough (60 - 11 + 16 = 65 > 64).
+    const Line big = randomLine(2);
+    llc.access(setAddr(60), AccessType::Read, big.data());
+    EXPECT_EQ(llc.lastFillEvictions(), 2u);
+    EXPECT_GE(llc.stats().get("multi_evict_fills"), 1u);
+}
+
+TEST(Vsc, WritebackGrowthTriggersRecompaction)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    const Line small = smallLine();
+    for (unsigned i = 0; i < 8; ++i)
+        llc.access(setAddr(i), AccessType::Read, small.data());
+    // Grow several resident lines to incompressible size.
+    const Line big = randomLine(3);
+    for (unsigned i = 0; i < 4; ++i)
+        llc.access(setAddr(i), AccessType::Writeback, big.data());
+    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+    EXPECT_GE(llc.stats().get("recompactions"), 4u);
+}
+
+TEST(Vsc, HoldsMoreLinesThanUncompressedOnAverage)
+{
+    const BdiCompressor bdi;
+    VscLlc llc(kSize, kWays, bdi);
+    const Line small = smallLine();
+    const Line medium = mediumLine();
+    for (unsigned set = 0; set < 8; ++set) {
+        for (unsigned i = 0; i < 8; ++i) {
+            const Line &line = (i % 2) ? small : medium;
+            llc.access(setAddr(set * 8 + i) + set * kLineBytes,
+                       AccessType::Read, line.data());
+        }
+    }
+    // 5- and 7-segment lines mix: ~10 lines per 4-way set.
+    EXPECT_GT(llc.validLines(), 8u * kWays);
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,139 @@
+/** @file Tests for the Table-I-equivalent workload suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload_suite.hh"
+
+namespace bvc
+{
+namespace
+{
+
+TEST(WorkloadSuite, PopulationMatchesTableI)
+{
+    const WorkloadSuite suite;
+    EXPECT_EQ(suite.all().size(), 100u);
+    EXPECT_EQ(suite.categoryIndices(WorkloadCategory::SpecFp).size(),
+              30u);
+    EXPECT_EQ(suite.categoryIndices(WorkloadCategory::SpecInt).size(),
+              29u);
+    EXPECT_EQ(
+        suite.categoryIndices(WorkloadCategory::Productivity).size(),
+        14u);
+    EXPECT_EQ(suite.categoryIndices(WorkloadCategory::Client).size(),
+              27u);
+}
+
+TEST(WorkloadSuite, SensitivitySplitMatchesSectionV)
+{
+    const WorkloadSuite suite;
+    EXPECT_EQ(suite.sensitiveIndices().size(), 60u);
+    EXPECT_EQ(suite.friendlyIndices().size(), 50u);
+    EXPECT_EQ(suite.unfriendlyIndices().size(), 10u);
+}
+
+TEST(WorkloadSuite, NamesAreUnique)
+{
+    const WorkloadSuite suite;
+    std::set<std::string> names;
+    for (const WorkloadInfo &info : suite.all())
+        names.insert(info.params.name);
+    EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(WorkloadSuite, SeedsAreUnique)
+{
+    const WorkloadSuite suite;
+    std::set<std::uint64_t> seeds;
+    for (const WorkloadInfo &info : suite.all())
+        seeds.insert(info.params.seed);
+    EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(WorkloadSuite, SensitiveTracesExceedTheLlc)
+{
+    const WorkloadSuite suite(512 * 1024);
+    for (const std::size_t idx : suite.sensitiveIndices()) {
+        const TraceParams &p = suite.all()[idx].params;
+        const std::uint64_t footprint =
+            p.wsBytes + p.residentBytes + p.hotBytes +
+            (p.chaseFrac > 0 ? p.chaseBytes : 0);
+        EXPECT_GT(footprint, 512u * 1024) << p.name;
+    }
+}
+
+TEST(WorkloadSuite, InsensitiveTracesHaveNoResidentRegion)
+{
+    const WorkloadSuite suite;
+    for (const WorkloadInfo &info : suite.all()) {
+        if (!info.cacheSensitive) {
+            EXPECT_EQ(info.params.residentBytes, 0u)
+                << info.params.name;
+        }
+    }
+}
+
+TEST(WorkloadSuite, FootprintsScaleWithLlcReference)
+{
+    const WorkloadSuite small(512 * 1024);
+    const WorkloadSuite paper(2 * 1024 * 1024);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const double ratio =
+            static_cast<double>(paper.all()[i].params.wsBytes) /
+            static_cast<double>(small.all()[i].params.wsBytes);
+        EXPECT_NEAR(ratio, 4.0, 0.001) << i; // up to rounding
+    }
+}
+
+TEST(WorkloadSuite, MixesUseSensitiveTracesWithoutDuplicates)
+{
+    const WorkloadSuite suite;
+    const auto mixes = suite.mixes(20);
+    ASSERT_EQ(mixes.size(), 20u);
+    const auto sensitive = suite.sensitiveIndices();
+    const std::set<std::size_t> sensitiveSet(sensitive.begin(),
+                                             sensitive.end());
+    for (const auto &mix : mixes) {
+        std::set<std::size_t> unique(mix.begin(), mix.end());
+        EXPECT_EQ(unique.size(), 4u);
+        for (const std::size_t idx : mix)
+            EXPECT_TRUE(sensitiveSet.count(idx));
+    }
+}
+
+TEST(WorkloadSuite, MixesAreDeterministic)
+{
+    const WorkloadSuite a, b;
+    EXPECT_EQ(a.mixes(20), b.mixes(20));
+}
+
+TEST(WorkloadSuite, CategoryNamesResolve)
+{
+    EXPECT_STREQ(categoryName(WorkloadCategory::SpecFp), "SPECFP");
+    EXPECT_STREQ(categoryName(WorkloadCategory::SpecInt), "SPECINT");
+    EXPECT_STREQ(categoryName(WorkloadCategory::Productivity),
+                 "Productivity");
+    EXPECT_STREQ(categoryName(WorkloadCategory::Client), "Client");
+}
+
+TEST(WorkloadSuite, EveryCategoryHasSensitiveAndFriendlyMembers)
+{
+    const WorkloadSuite suite;
+    for (const auto category :
+         {WorkloadCategory::SpecFp, WorkloadCategory::SpecInt,
+          WorkloadCategory::Productivity, WorkloadCategory::Client}) {
+        std::size_t sensitive = 0, friendly = 0;
+        for (const std::size_t idx : suite.categoryIndices(category)) {
+            sensitive += suite.all()[idx].cacheSensitive;
+            friendly += suite.all()[idx].cacheSensitive &&
+                suite.all()[idx].compressionFriendly;
+        }
+        EXPECT_GT(sensitive, 0u);
+        EXPECT_GT(friendly, 0u);
+    }
+}
+
+} // namespace
+} // namespace bvc

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * bvsim — command-line driver for the Base-Victim compression
+ * simulator. Runs any (LLC architecture x policy x codec x workload)
+ * combination without writing code:
+ *
+ *   bvsim --list-traces
+ *   bvsim --trace SPECINT/mcf.1 --arch base-victim --instr 400000
+ *   bvsim --trace SPECFP/milc.0 --arch two-tag-naive --compare
+ *   bvsim --mix 3 --arch base-victim --llc-kb 1024
+ *
+ * --compare also runs the uncompressed baseline and prints ratios.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/multicore.hh"
+#include "trace/workload_suite.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+struct Options
+{
+    std::string trace;
+    int mix = -1;
+    LlcArch arch = LlcArch::BaseVictim;
+    std::string repl = "nru";
+    std::string victimRepl = "ecm";
+    std::string compressor = "bdi";
+    std::size_t llcKb = 512;
+    std::size_t ways = 16;
+    std::uint64_t warmup = 200'000;
+    std::uint64_t instr = 400'000;
+    unsigned segmentQuantum = 4;
+    bool inclusive = true;
+    bool compare = false;
+    bool listTraces = false;
+    bool paperScale = false;
+    bool noPrefetch = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "bvsim — Base-Victim compression simulator driver\n\n"
+        "  --list-traces            list the 100-trace workload suite\n"
+        "  --trace NAME             run one trace (see --list-traces)\n"
+        "  --mix N                  run 4-way multi-program mix N "
+        "(0..19)\n"
+        "  --arch A                 uncompressed | two-tag-naive |\n"
+        "                           two-tag-modified | base-victim | "
+        "vsc | dcc\n"
+        "  --repl P                 nru | lru | srrip | drrip | random "
+        "| char\n"
+        "  --victim-repl P          random | ecm | lru | sizemix | "
+        "camp\n"
+        "  --compressor C           bdi | fpc | cpack | zero | sc2\n"
+        "  --llc-kb N               LLC capacity in KB (default 512)\n"
+        "  --ways N                 LLC associativity (default 16)\n"
+        "  --segment-quantum N      4 or 8 byte size alignment\n"
+        "  --non-inclusive          Section IV.B.3 operation "
+        "(base-victim only)\n"
+        "  --paper-scale            paper-sized hierarchy (2MB LLC)\n"
+        "  --no-prefetch            disable all prefetchers\n"
+        "  --warmup N / --instr N   window lengths per trace\n"
+        "  --compare                also run the uncompressed baseline\n");
+    std::exit(1);
+}
+
+LlcArch
+parseArch(const std::string &name)
+{
+    if (name == "uncompressed")
+        return LlcArch::Uncompressed;
+    if (name == "two-tag-naive")
+        return LlcArch::TwoTagNaive;
+    if (name == "two-tag-modified")
+        return LlcArch::TwoTagModified;
+    if (name == "base-victim")
+        return LlcArch::BaseVictim;
+    if (name == "vsc")
+        return LlcArch::Vsc;
+    if (name == "dcc")
+        return LlcArch::Dcc;
+    fatal("unknown --arch: " + name);
+}
+
+ReplacementKind
+parseRepl(const std::string &name)
+{
+    if (name == "lru") return ReplacementKind::Lru;
+    if (name == "nru") return ReplacementKind::Nru;
+    if (name == "srrip") return ReplacementKind::Srrip;
+    if (name == "drrip") return ReplacementKind::Drrip;
+    if (name == "random") return ReplacementKind::Random;
+    if (name == "char") return ReplacementKind::Char;
+    fatal("unknown --repl: " + name);
+}
+
+VictimReplKind
+parseVictimRepl(const std::string &name)
+{
+    if (name == "random") return VictimReplKind::Random;
+    if (name == "ecm") return VictimReplKind::Ecm;
+    if (name == "lru") return VictimReplKind::Lru;
+    if (name == "sizemix") return VictimReplKind::SizeMix;
+    if (name == "camp") return VictimReplKind::Camp;
+    fatal("unknown --victim-repl: " + name);
+}
+
+CompressorKind
+parseCompressor(const std::string &name)
+{
+    if (name == "bdi") return CompressorKind::Bdi;
+    if (name == "fpc") return CompressorKind::Fpc;
+    if (name == "cpack") return CompressorKind::Cpack;
+    if (name == "zero") return CompressorKind::Zero;
+    if (name == "sc2") return CompressorKind::Sc2;
+    fatal("unknown --compressor: " + name);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-traces")
+            opts.listTraces = true;
+        else if (arg == "--trace")
+            opts.trace = next(i);
+        else if (arg == "--mix")
+            opts.mix = std::atoi(next(i));
+        else if (arg == "--arch")
+            opts.arch = parseArch(next(i));
+        else if (arg == "--repl")
+            opts.repl = next(i);
+        else if (arg == "--victim-repl")
+            opts.victimRepl = next(i);
+        else if (arg == "--compressor")
+            opts.compressor = next(i);
+        else if (arg == "--llc-kb")
+            opts.llcKb = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--ways")
+            opts.ways = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--segment-quantum")
+            opts.segmentQuantum =
+                static_cast<unsigned>(std::atoi(next(i)));
+        else if (arg == "--non-inclusive")
+            opts.inclusive = false;
+        else if (arg == "--paper-scale")
+            opts.paperScale = true;
+        else if (arg == "--no-prefetch")
+            opts.noPrefetch = true;
+        else if (arg == "--warmup")
+            opts.warmup = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--instr")
+            opts.instr = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--compare")
+            opts.compare = true;
+        else
+            usage();
+    }
+    return opts;
+}
+
+void
+printRun(const char *label, const RunResult &r)
+{
+    std::printf("%-14s ipc %.4f  llc-hits %llu (victim %llu)  "
+                "llc-misses %llu  dram R/W %llu/%llu\n",
+                label, r.ipc,
+                static_cast<unsigned long long>(r.llcDemandHits),
+                static_cast<unsigned long long>(r.llcVictimHits),
+                static_cast<unsigned long long>(r.llcDemandMisses),
+                static_cast<unsigned long long>(r.dramReads),
+                static_cast<unsigned long long>(r.dramWrites));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const WorkloadSuite suite(opts.paperScale ? 2048 * 1024
+                                              : 512 * 1024);
+
+    if (opts.listTraces || (opts.trace.empty() && opts.mix < 0)) {
+        Table table({"name", "category", "sensitive", "friendly"});
+        for (const WorkloadInfo &info : suite.all())
+            table.addRow({info.params.name,
+                          categoryName(info.params.category),
+                          info.cacheSensitive ? "yes" : "no",
+                          info.compressionFriendly ? "yes" : "no"});
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+
+    SystemConfig cfg = opts.paperScale ? SystemConfig::paperDefaults()
+                                       : SystemConfig::benchDefaults();
+    cfg.arch = opts.arch;
+    cfg.llcBytes = opts.llcKb * 1024;
+    cfg.llcWays = opts.ways;
+    cfg.llcRepl = parseRepl(opts.repl);
+    cfg.victimRepl = parseVictimRepl(opts.victimRepl);
+    cfg.compressor = parseCompressor(opts.compressor);
+    cfg.segmentQuantum = opts.segmentQuantum;
+    cfg.llcInclusive = opts.inclusive;
+    cfg.hier.prefetch = !opts.noPrefetch;
+
+    SystemConfig baseCfg = cfg;
+    baseCfg.arch = LlcArch::Uncompressed;
+    baseCfg.llcInclusive = true;
+
+    if (opts.mix >= 0) {
+        const auto mixes = suite.mixes(20);
+        if (opts.mix >= static_cast<int>(mixes.size()))
+            fatal("--mix out of range (0..19)");
+        const auto &mix = mixes[static_cast<std::size_t>(opts.mix)];
+        const std::array<TraceParams, 4> traces = {
+            suite.all()[mix[0]].params, suite.all()[mix[1]].params,
+            suite.all()[mix[2]].params, suite.all()[mix[3]].params};
+        std::printf("mix %d:\n", opts.mix);
+        for (const auto &t : traces)
+            std::printf("  %s\n", t.name.c_str());
+
+        MultiCoreSystem system(cfg, traces);
+        const MultiRunResult r = system.run(opts.warmup, opts.instr);
+        for (std::size_t t = 0; t < 4; ++t)
+            std::printf("thread %zu: ipc %.4f\n", t, r.ipc[t]);
+        if (opts.compare) {
+            MultiCoreSystem baseSystem(baseCfg, traces);
+            const MultiRunResult rb =
+                baseSystem.run(opts.warmup, opts.instr);
+            std::printf("weighted speedup vs uncompressed: %.4f\n",
+                        r.weightedSpeedup(rb));
+        }
+        return 0;
+    }
+
+    const WorkloadInfo *info = nullptr;
+    for (const WorkloadInfo &candidate : suite.all())
+        if (candidate.params.name == opts.trace)
+            info = &candidate;
+    if (info == nullptr)
+        fatal("unknown trace '" + opts.trace +
+              "' (use --list-traces)");
+
+    std::printf("trace %s  arch %s  llc %zuKB %zu-way\n",
+                opts.trace.c_str(), llcArchName(cfg.arch), opts.llcKb,
+                opts.ways);
+    System system(cfg, info->params);
+    const RunResult r = system.run(opts.warmup, opts.instr);
+    printRun(llcArchName(cfg.arch), r);
+
+    if (opts.compare) {
+        System baseSystem(baseCfg, info->params);
+        const RunResult rb = baseSystem.run(opts.warmup, opts.instr);
+        printRun("baseline", rb);
+        std::printf("ipc ratio %.4f  dram-read ratio %.4f\n",
+                    r.ipc / rb.ipc,
+                    rb.dramReads
+                        ? static_cast<double>(r.dramReads) / rb.dramReads
+                        : 1.0);
+    }
+    return 0;
+}
