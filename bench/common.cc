@@ -1,12 +1,23 @@
 #include "common.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
+#include "runner/thread_pool.hh"
 #include "util/table.hh"
 
 namespace bvc::bench
 {
+
+namespace
+{
+
+/** Start-of-process anchor for the harness wall-clock footer. */
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+} // namespace
 
 Context::Context()
     : suite(512 * 1024),
@@ -108,6 +119,24 @@ printSeriesSummary(const std::string &label,
     }
     std::printf("  geomean back-inval ratio : %.4f\n",
                 geomean(backInvalRatios));
+    // Harness-throughput footer: lets the BENCH_*.json trajectories
+    // track sweep speed across PRs, not just model quality.
+    double jobSeconds = 0.0;
+    for (const TraceRatio &r : ratios)
+        jobSeconds += r.baseSeconds + r.testSeconds;
+    const double wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - kProcessStart).count();
+    const std::size_t jobs = ratios.size() * 2;
+    std::printf("  sweep wall-clock         : %.2f s (%zu jobs, "
+                "%.2f jobs/s, %u threads)\n",
+                wallSeconds, jobs,
+                wallSeconds > 0.0
+                    ? static_cast<double>(jobs) / wallSeconds : 0.0,
+                resolveThreadCount(0));
+    std::printf("  sweep job-seconds        : %.2f s (%.2fx parallel "
+                "utilization)\n",
+                jobSeconds,
+                wallSeconds > 0.0 ? jobSeconds / wallSeconds : 0.0);
 }
 
 void

@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Extract per-trace series from bench_output.txt into CSV files.
+"""Extract per-trace series from bench output into CSV files.
 
-The figure benches print the per-trace normalized IPC / DRAM-read
-series that the paper plots as line graphs (Figures 6, 8, 12, ...).
-This script slices bench_output.txt into one CSV per bench section so
-the series can be plotted with any tool:
+Two input formats are supported:
 
-    ./scripts/extract_results.py bench_output.txt out_dir/
+1. A ``bvc-sweep-v1`` JSON report written by ``bvsweep --json`` or
+   ``bvsim --json`` (preferred — machine-readable, no scraping):
+
+       ./scripts/extract_results.py sweep.json out_dir/
+
+   One CSV is written per swept architecture, named
+   ``sweep_<arch>.csv``, containing the baseline-paired records.
+
+2. Legacy stdout scraping of the figure benches' per-trace series
+   (``bench_output.txt`` sliced into one CSV per bench section):
+
+       ./scripts/extract_results.py bench_output.txt out_dir/
 
 Each CSV has the columns: trace, ipc_ratio, dram_read_ratio, bucket.
 """
 
 import csv
+import json
 import os
 import re
 import sys
@@ -27,16 +36,53 @@ def slug(text: str) -> str:
     return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")[:60]
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 1
-    src, out_dir = sys.argv[1], sys.argv[2]
-    os.makedirs(out_dir, exist_ok=True)
+def write_csv(path: str, rows: list) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["trace", "ipc_ratio", "dram_read_ratio", "bucket"])
+        writer.writerows(rows)
+    print(f"{path}: {len(rows)} rows")
 
+
+def extract_json(src: str, out_dir: str) -> int:
+    """Consume a bvc-sweep-v1 report (see docs/sweep_engine.md)."""
+    with open(src, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != "bvc-sweep-v1":
+        print(f"error: {src} is not a bvc-sweep-v1 report",
+              file=sys.stderr)
+        return 1
+
+    failed = [r for r in report.get("jobs", []) if not r.get("ok")]
+    for record in failed:
+        print(f"warning: failed job #{record.get('index')} "
+              f"({record.get('arch')}, {record.get('trace')}): "
+              f"{record.get('error')}", file=sys.stderr)
+
+    by_arch: dict = {}
+    for record in report.get("jobs", []):
+        if not record.get("ok") or not record.get("has_ratios"):
+            continue
+        by_arch.setdefault(record["arch"], []).append(
+            (record["trace"], record["ipc_ratio"],
+             record["dram_read_ratio"], record.get("bucket", "")))
+
+    if not by_arch:
+        print("error: no baseline-paired records in the report",
+              file=sys.stderr)
+        return 1
+    for arch, rows in by_arch.items():
+        write_csv(os.path.join(out_dir, f"sweep_{slug(arch)}.csv"),
+                  rows)
+    return 0
+
+
+def extract_stdout(src: str, out_dir: str) -> int:
+    """Legacy mode: scrape the figure benches' printed tables."""
     section = "preamble"
     bucket = ""
-    rows_by_section: dict[str, list[tuple[str, str, str, str]]] = {}
+    rows_by_section: dict = {}
 
     with open(src, encoding="utf-8") as handle:
         for line in handle:
@@ -57,14 +103,22 @@ def main() -> int:
                      bucket))
 
     for section_name, rows in rows_by_section.items():
-        path = os.path.join(out_dir, f"{section_name}.csv")
-        with open(path, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(
-                ["trace", "ipc_ratio", "dram_read_ratio", "bucket"])
-            writer.writerows(rows)
-        print(f"{path}: {len(rows)} rows")
+        write_csv(os.path.join(out_dir, f"{section_name}.csv"), rows)
     return 0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    src, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    with open(src, encoding="utf-8") as handle:
+        head = handle.read(1)
+    if src.endswith(".json") or head == "{":
+        return extract_json(src, out_dir)
+    return extract_stdout(src, out_dir)
 
 
 if __name__ == "__main__":

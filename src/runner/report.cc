@@ -1,0 +1,464 @@
+#include "runner/report.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+/** %.17g preserves every double bit-exactly across a round-trip. */
+std::string
+numStr(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s)
+        out += (c == '"') ? "\"\"" : std::string(1, c);
+    return out + "\"";
+}
+
+/**
+ * Minimal recursive-descent JSON reader — just enough for the schema
+ * we emit (objects, arrays, strings, numbers, booleans, null). Kept
+ * private to this file; the public surface is parseJsonReport().
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    /** Skip whitespace and peek the next character (0 at end). */
+    char peek()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("truncated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("truncated \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::strtoul(text_.substr(pos_, 4).c_str(),
+                                     nullptr, 16));
+                    pos_ += 4;
+                    // Schema strings are ASCII; encode low codepoints
+                    // directly and replace anything else with '?'.
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default: fail("unsupported escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    double parseNumber()
+    {
+        peek();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    bool parseBool()
+    {
+        peek(); // position past whitespace
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        fail("expected boolean");
+    }
+
+    /** Skip any JSON value (for unknown keys). */
+    void skipValue()
+    {
+        const char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (!consume('}')) {
+                do {
+                    parseString();
+                    expect(':');
+                    skipValue();
+                } while (consume(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++pos_;
+            if (!consume(']')) {
+                do
+                    skipValue();
+                while (consume(','));
+                expect(']');
+            }
+        } else if (c == 't' || c == 'f') {
+            parseBool();
+        } else if (c == 'n') {
+            if (text_.compare(pos_, 4, "null") != 0)
+                fail("expected null");
+            pos_ += 4;
+        } else {
+            parseNumber();
+        }
+    }
+
+    /**
+     * Iterate an object's keys: calls handler(key) positioned at the
+     * value; the handler must consume exactly that value.
+     */
+    template <typename Handler>
+    void parseObject(Handler &&handler)
+    {
+        expect('{');
+        if (consume('}'))
+            return;
+        do {
+            const std::string key = parseString();
+            expect(':');
+            handler(key);
+        } while (consume(','));
+        expect('}');
+    }
+
+    template <typename Element>
+    void parseArray(Element &&element)
+    {
+        expect('[');
+        if (consume(']'))
+            return;
+        do
+            element();
+        while (consume(','));
+        expect(']');
+    }
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        fatal("sweep JSON parse error at byte " + std::to_string(pos_) +
+              ": " + why);
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::uint64_t
+asU64(double v)
+{
+    return v < 0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+SweepReport
+buildReport(const std::string &tool, const SweepTelemetry &telemetry,
+            const std::vector<SweepJob> &jobs,
+            const std::vector<JobResult> &results)
+{
+    panicIf(jobs.size() != results.size(),
+            "buildReport: jobs/results size mismatch");
+    SweepReport report;
+    report.tool = tool;
+    report.threads = telemetry.threads;
+    report.wallSeconds = telemetry.wallSeconds;
+    report.jobsPerSecond = telemetry.jobsPerSecond();
+    report.records.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        const JobResult &res = results[i];
+        RunRecord rec;
+        rec.index = res.index;
+        rec.arch = res.label;
+        rec.trace = res.trace;
+        rec.category = categoryName(job.trace.category);
+        rec.ok = res.ok;
+        rec.error = res.error;
+        rec.wallSeconds = res.wallSeconds;
+        rec.warmup = job.opts.warmup;
+        rec.measure = job.opts.measure;
+        rec.result = res.result;
+        report.records.push_back(std::move(rec));
+    }
+    return report;
+}
+
+std::string
+toJson(const SweepReport &report)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"" << jsonEscape(report.schema) << "\",\n";
+    out << "  \"tool\": \"" << jsonEscape(report.tool) << "\",\n";
+    out << "  \"threads\": " << report.threads << ",\n";
+    out << "  \"wall_seconds\": " << numStr(report.wallSeconds) << ",\n";
+    out << "  \"jobs_per_second\": " << numStr(report.jobsPerSecond)
+        << ",\n";
+    out << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+        const RunRecord &r = report.records[i];
+        const RunResult &m = r.result;
+        out << "    {\"index\": " << r.index
+            << ", \"arch\": \"" << jsonEscape(r.arch) << "\""
+            << ", \"trace\": \"" << jsonEscape(r.trace) << "\""
+            << ", \"category\": \"" << jsonEscape(r.category) << "\""
+            << ", \"bucket\": \"" << jsonEscape(r.bucket) << "\""
+            << ", \"ok\": " << (r.ok ? "true" : "false")
+            << ", \"error\": \"" << jsonEscape(r.error) << "\""
+            << ", \"wall_seconds\": " << numStr(r.wallSeconds)
+            << ", \"warmup\": " << r.warmup
+            << ", \"measure\": " << r.measure
+            << ", \"ipc\": " << numStr(m.ipc)
+            << ", \"instructions\": " << m.instructions
+            << ", \"cycles\": " << m.cycles
+            << ", \"dram_reads\": " << m.dramReads
+            << ", \"dram_writes\": " << m.dramWrites
+            << ", \"dram_demand_reads\": " << m.dramDemandReads
+            << ", \"llc_demand_accesses\": " << m.llcDemandAccesses
+            << ", \"llc_demand_hits\": " << m.llcDemandHits
+            << ", \"llc_demand_misses\": " << m.llcDemandMisses
+            << ", \"llc_victim_hits\": " << m.llcVictimHits
+            << ", \"llc_accesses\": " << m.llcAccesses
+            << ", \"back_invalidations\": " << m.backInvalidations
+            << ", \"has_ratios\": " << (r.hasRatios ? "true" : "false")
+            << ", \"ipc_ratio\": " << numStr(r.ipcRatio)
+            << ", \"dram_read_ratio\": " << numStr(r.dramReadRatio)
+            << "}" << (i + 1 < report.records.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+std::string
+toCsv(const SweepReport &report)
+{
+    std::ostringstream out;
+    out << "index,arch,trace,category,bucket,ok,error,wall_seconds,"
+           "warmup,measure,ipc,instructions,cycles,dram_reads,"
+           "dram_writes,dram_demand_reads,llc_demand_accesses,"
+           "llc_demand_hits,llc_demand_misses,llc_victim_hits,"
+           "llc_accesses,back_invalidations,ipc_ratio,"
+           "dram_read_ratio\n";
+    for (const RunRecord &r : report.records) {
+        const RunResult &m = r.result;
+        out << r.index << ',' << csvEscape(r.arch) << ','
+            << csvEscape(r.trace) << ',' << csvEscape(r.category) << ','
+            << csvEscape(r.bucket) << ',' << (r.ok ? 1 : 0) << ','
+            << csvEscape(r.error) << ',' << numStr(r.wallSeconds) << ','
+            << r.warmup << ',' << r.measure << ',' << numStr(m.ipc)
+            << ',' << m.instructions << ',' << m.cycles << ','
+            << m.dramReads << ',' << m.dramWrites << ','
+            << m.dramDemandReads << ',' << m.llcDemandAccesses << ','
+            << m.llcDemandHits << ',' << m.llcDemandMisses << ','
+            << m.llcVictimHits << ',' << m.llcAccesses << ','
+            << m.backInvalidations << ','
+            << (r.hasRatios ? numStr(r.ipcRatio) : "") << ','
+            << (r.hasRatios ? numStr(r.dramReadRatio) : "") << '\n';
+    }
+    return out.str();
+}
+
+SweepReport
+parseJsonReport(const std::string &json)
+{
+    SweepReport report;
+    report.schema.clear();
+    JsonReader reader(json);
+    reader.parseObject([&](const std::string &key) {
+        if (key == "schema") {
+            report.schema = reader.parseString();
+        } else if (key == "tool") {
+            report.tool = reader.parseString();
+        } else if (key == "threads") {
+            report.threads =
+                static_cast<unsigned>(reader.parseNumber());
+        } else if (key == "wall_seconds") {
+            report.wallSeconds = reader.parseNumber();
+        } else if (key == "jobs_per_second") {
+            report.jobsPerSecond = reader.parseNumber();
+        } else if (key == "jobs") {
+            reader.parseArray([&] {
+                RunRecord rec;
+                RunResult &m = rec.result;
+                reader.parseObject([&](const std::string &field) {
+                    if (field == "index")
+                        rec.index = asU64(reader.parseNumber());
+                    else if (field == "arch")
+                        rec.arch = reader.parseString();
+                    else if (field == "trace")
+                        rec.trace = reader.parseString();
+                    else if (field == "category")
+                        rec.category = reader.parseString();
+                    else if (field == "bucket")
+                        rec.bucket = reader.parseString();
+                    else if (field == "ok")
+                        rec.ok = reader.parseBool();
+                    else if (field == "error")
+                        rec.error = reader.parseString();
+                    else if (field == "wall_seconds")
+                        rec.wallSeconds = reader.parseNumber();
+                    else if (field == "warmup")
+                        rec.warmup = asU64(reader.parseNumber());
+                    else if (field == "measure")
+                        rec.measure = asU64(reader.parseNumber());
+                    else if (field == "ipc")
+                        m.ipc = reader.parseNumber();
+                    else if (field == "instructions")
+                        m.instructions = asU64(reader.parseNumber());
+                    else if (field == "cycles")
+                        m.cycles = asU64(reader.parseNumber());
+                    else if (field == "dram_reads")
+                        m.dramReads = asU64(reader.parseNumber());
+                    else if (field == "dram_writes")
+                        m.dramWrites = asU64(reader.parseNumber());
+                    else if (field == "dram_demand_reads")
+                        m.dramDemandReads = asU64(reader.parseNumber());
+                    else if (field == "llc_demand_accesses")
+                        m.llcDemandAccesses =
+                            asU64(reader.parseNumber());
+                    else if (field == "llc_demand_hits")
+                        m.llcDemandHits = asU64(reader.parseNumber());
+                    else if (field == "llc_demand_misses")
+                        m.llcDemandMisses = asU64(reader.parseNumber());
+                    else if (field == "llc_victim_hits")
+                        m.llcVictimHits = asU64(reader.parseNumber());
+                    else if (field == "llc_accesses")
+                        m.llcAccesses = asU64(reader.parseNumber());
+                    else if (field == "back_invalidations")
+                        m.backInvalidations =
+                            asU64(reader.parseNumber());
+                    else if (field == "has_ratios")
+                        rec.hasRatios = reader.parseBool();
+                    else if (field == "ipc_ratio")
+                        rec.ipcRatio = reader.parseNumber();
+                    else if (field == "dram_read_ratio")
+                        rec.dramReadRatio = reader.parseNumber();
+                    else
+                        reader.skipValue();
+                });
+                report.records.push_back(std::move(rec));
+            });
+        } else {
+            reader.skipValue();
+        }
+    });
+    if (report.schema != "bvc-sweep-v1")
+        fatal("sweep JSON: unsupported schema '" + report.schema + "'");
+    return report;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '" + path + "' for writing");
+    out << content;
+    if (!out)
+        fatal("write to '" + path + "' failed");
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace bvc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine-readable sweep results: a structured RunRecord per job,
+ * exported as JSON ("bvc-sweep-v1" schema, see docs/sweep_engine.md)
+ * and CSV so scripts/extract_results.py consumes real data instead of
+ * scraping stdout. parseJson() reads the same schema back, both for
+ * round-trip testing and for tools that post-process saved sweeps.
+ */
+
+#ifndef BVC_RUNNER_REPORT_HH_
+#define BVC_RUNNER_REPORT_HH_
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace bvc
+{
+
+/** One exported sweep row: a job's identity, outcome and metrics. */
+struct RunRecord
+{
+    std::size_t index = 0;
+    std::string arch;     //!< job label (usually the LLC architecture)
+    std::string trace;
+    std::string category; //!< workload category name ("SPECFP", ...)
+    std::string bucket;   //!< e.g. "compression-friendly"; free-form
+    bool ok = true;
+    std::string error;
+    double wallSeconds = 0.0;
+    std::uint64_t warmup = 0;
+    std::uint64_t measure = 0;
+    RunResult result;
+    /** Set when the record was paired with an uncompressed baseline. */
+    bool hasRatios = false;
+    double ipcRatio = 1.0;
+    double dramReadRatio = 1.0;
+};
+
+/** A whole sweep: engine telemetry plus one record per job. */
+struct SweepReport
+{
+    std::string schema = "bvc-sweep-v1";
+    std::string tool;     //!< producing binary ("bvsweep", "bvsim")
+    unsigned threads = 1;
+    double wallSeconds = 0.0;
+    double jobsPerSecond = 0.0;
+    std::vector<RunRecord> records;
+};
+
+/**
+ * Build a report skeleton from engine output: one record per job with
+ * identity, windows, timing and raw metrics filled in. Callers add
+ * ratios/buckets afterwards. `jobs` and `results` must be parallel
+ * arrays (as returned by SweepEngine::run on those jobs).
+ */
+SweepReport buildReport(const std::string &tool,
+                        const SweepTelemetry &telemetry,
+                        const std::vector<SweepJob> &jobs,
+                        const std::vector<JobResult> &results);
+
+/** Serialize to pretty-printed JSON (doubles survive round-trips). */
+std::string toJson(const SweepReport &report);
+
+/** Serialize to CSV with a header row. */
+std::string toCsv(const SweepReport &report);
+
+/**
+ * Parse a bvc-sweep-v1 JSON document. Unknown keys are ignored;
+ * malformed JSON or a wrong schema string is a fatal() error.
+ */
+SweepReport parseJsonReport(const std::string &json);
+
+/** Write `content` to `path`; fatal() on I/O failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+/** Read an entire file; fatal() on I/O failure. */
+std::string readFile(const std::string &path);
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_REPORT_HH_

@@ -1,0 +1,171 @@
+#include "runner/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Periodic stderr reporter: jobs done/total, throughput, ETA. Runs on
+ * its own thread so a stuck job cannot silence progress output.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(const std::atomic<std::size_t> &done,
+                     std::size_t total, double intervalSeconds)
+        : done_(done), total_(total), start_(Clock::now()),
+          thread_([this, intervalSeconds] { loop(intervalSeconds); })
+    {
+    }
+
+    ~ProgressReporter()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            finished_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void loop(double intervalSeconds)
+    {
+        const auto interval = std::chrono::duration<double>(
+            intervalSeconds > 0.0 ? intervalSeconds : 2.0);
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!wake_.wait_for(lock, interval,
+                               [this] { return finished_; }))
+            print();
+    }
+
+    void print() const
+    {
+        const std::size_t done = done_.load(std::memory_order_relaxed);
+        const double elapsed = secondsSince(start_);
+        const double rate = elapsed > 0.0
+            ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta = (rate > 0.0 && done < total_)
+            ? static_cast<double>(total_ - done) / rate : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu jobs (%.1f%%), %.2f jobs/s, "
+                     "ETA %.0fs\n",
+                     done, total_,
+                     total_ > 0
+                         ? 100.0 * static_cast<double>(done) /
+                               static_cast<double>(total_)
+                         : 100.0,
+                     rate, eta);
+    }
+
+    const std::atomic<std::size_t> &done_;
+    const std::size_t total_;
+    const Clock::time_point start_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool finished_ = false;
+    std::thread thread_;
+};
+
+} // namespace
+
+SweepEngine::SweepEngine(SweepOptions opts)
+    : opts_(opts), threads_(resolveThreadCount(opts.threads))
+{
+}
+
+std::vector<JobResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs)
+{
+    // Results are slotted by submission index: worker interleaving
+    // cannot affect ordering, which is the determinism guarantee.
+    std::vector<JobResult> results(jobs.size());
+    telemetry_ = SweepTelemetry{};
+    telemetry_.jobs = jobs.size();
+    telemetry_.threads = threads_;
+    if (jobs.empty())
+        return results;
+
+    const auto sweepStart = Clock::now();
+    std::atomic<std::size_t> done{0};
+    std::unique_ptr<ProgressReporter> reporter;
+    if (opts_.progress)
+        reporter = std::make_unique<ProgressReporter>(
+            done, jobs.size(), opts_.progressIntervalSeconds);
+
+    {
+        // Never spawn more workers than there are jobs.
+        const unsigned poolSize = static_cast<unsigned>(
+            std::min<std::size_t>(threads_, jobs.size()));
+        ThreadPool pool(poolSize);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            JobResult &slot = results[i];
+            pool.submit([i, &job, &slot, &done] {
+                slot.index = i;
+                slot.label = job.label;
+                slot.trace = job.trace.name;
+                const auto jobStart = Clock::now();
+                try {
+                    slot.result = job.fn
+                        ? job.fn()
+                        : runTrace(job.config, job.trace, job.opts);
+                    slot.ok = true;
+                } catch (const std::exception &e) {
+                    slot.error = e.what();
+                } catch (...) {
+                    slot.error = "unknown exception";
+                }
+                slot.wallSeconds = secondsSince(jobStart);
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        pool.wait();
+    }
+
+    reporter.reset();
+    telemetry_.wallSeconds = secondsSince(sweepStart);
+    for (const JobResult &r : results)
+        telemetry_.jobSeconds += r.wallSeconds;
+    return results;
+}
+
+void
+failOnJobErrors(const std::vector<JobResult> &results)
+{
+    std::string message;
+    for (const JobResult &r : results) {
+        if (r.ok)
+            continue;
+        if (!message.empty())
+            message += "; ";
+        message += "job #" + std::to_string(r.index) + " (" + r.label +
+                   ", trace " + r.trace + "): " + r.error;
+    }
+    if (!message.empty())
+        fatal("sweep failed: " + message);
+}
+
+} // namespace bvc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel sweep engine: executes (SystemConfig, TraceParams,
+ * ExperimentOptions) jobs across a thread pool and aggregates results
+ * deterministically by job index, so a parallel sweep's output is
+ * bit-identical to the serial one. Layers observability on top:
+ * per-job wall-clock timing, a periodic progress reporter, and
+ * per-worker exception capture so one failing job reports its
+ * configuration and error instead of crashing the whole campaign.
+ * See docs/sweep_engine.md.
+ */
+
+#ifndef BVC_RUNNER_SWEEP_HH_
+#define BVC_RUNNER_SWEEP_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace bvc
+{
+
+/** One unit of sweep work: run `trace` under `config`. */
+struct SweepJob
+{
+    SystemConfig config;
+    TraceParams trace;
+    ExperimentOptions opts;
+    /** Free-form tag carried into the JobResult (e.g. "base-victim"). */
+    std::string label;
+    /**
+     * Testing/extension hook: when set, runs instead of
+     * runTrace(config, trace, opts). Must be safe to call from a
+     * worker thread; exceptions it throws are captured per job.
+     */
+    std::function<RunResult()> fn;
+};
+
+/** Outcome of one job; `index` is the submission position. */
+struct JobResult
+{
+    std::size_t index = 0;
+    std::string label;
+    std::string trace;
+    bool ok = false;
+    std::string error;       //!< what() of the captured failure, if !ok
+    double wallSeconds = 0.0;
+    RunResult result;        //!< valid only when ok
+};
+
+/** Engine knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = resolveThreadCount (BVC_THREADS or cores). */
+    unsigned threads = 0;
+    /** Periodic jobs-done/ETA reporter on stderr. */
+    bool progress = false;
+    double progressIntervalSeconds = 2.0;
+};
+
+/** Aggregate timing of the engine's most recent run. */
+struct SweepTelemetry
+{
+    std::size_t jobs = 0;
+    unsigned threads = 1;
+    double wallSeconds = 0.0;
+    /** Sum of per-job wall times (= serial-equivalent duration). */
+    double jobSeconds = 0.0;
+
+    double jobsPerSecond() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(jobs) / wallSeconds : 0.0;
+    }
+};
+
+/** Thread-pool experiment runner with deterministic aggregation. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {});
+
+    /**
+     * Execute every job and return results in submission order,
+     * regardless of worker interleaving. Failures are captured into
+     * JobResult::error, never thrown; use failOnJobErrors() for the
+     * fail-the-sweep-cleanly policy.
+     */
+    std::vector<JobResult> run(const std::vector<SweepJob> &jobs);
+
+    unsigned resolvedThreads() const { return threads_; }
+
+    /** Timing of the last run() call. */
+    const SweepTelemetry &lastTelemetry() const { return telemetry_; }
+
+  private:
+    SweepOptions opts_;
+    unsigned threads_;
+    SweepTelemetry telemetry_;
+};
+
+/**
+ * fatal() describing every failed job (label, trace, error) if any
+ * result has ok == false; returns normally otherwise.
+ */
+void failOnJobErrors(const std::vector<JobResult> &results);
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_SWEEP_HH_

@@ -1,0 +1,90 @@
+#include "runner/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("BVC_THREADS"))
+        return static_cast<unsigned>(parsePositiveUint("BVC_THREADS", env));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = threads > 0 ? threads : 1;
+    threads_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIf(stopping_, "ThreadPool::submit after shutdown began");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and no work left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            panic("ThreadPool task leaked an exception; sweep jobs "
+                  "must capture their own failures");
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace bvc

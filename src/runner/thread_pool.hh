@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool underpinning the sweep engine. Plain
+ * mutex + condition-variable queue — no work stealing — because sweep
+ * jobs are seconds-long simulations, so queue contention is noise and
+ * simplicity wins (the determinism argument in docs/sweep_engine.md
+ * only has to reason about one queue).
+ */
+
+#ifndef BVC_RUNNER_THREAD_POOL_HH_
+#define BVC_RUNNER_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bvc
+{
+
+/**
+ * Worker count for a request of `requested` threads: the request itself
+ * if positive, else BVC_THREADS from the environment (validated, must
+ * be a positive integer), else std::thread::hardware_concurrency()
+ * (minimum 1).
+ */
+unsigned resolveThreadCount(unsigned requested);
+
+/** Fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains remaining tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task. Tasks should not throw — the sweep engine wraps
+     * each job in its own try/catch; a task that does leak an exception
+     * panics (aborting beats std::terminate with no message).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished running. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0; //!< queued + currently running tasks
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_THREAD_POOL_HH_

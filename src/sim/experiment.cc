@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "runner/sweep.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace bvc
@@ -13,9 +15,12 @@ ExperimentOptions::fromEnv()
 {
     ExperimentOptions opts;
     if (const char *env = std::getenv("BVC_WARMUP"))
-        opts.warmup = std::strtoull(env, nullptr, 10);
+        opts.warmup = parsePositiveUint("BVC_WARMUP", env);
     if (const char *env = std::getenv("BVC_INSTR"))
-        opts.measure = std::strtoull(env, nullptr, 10);
+        opts.measure = parsePositiveUint("BVC_INSTR", env);
+    if (const char *env = std::getenv("BVC_THREADS"))
+        opts.threads = static_cast<unsigned>(
+            parsePositiveUint("BVC_THREADS", env));
     return opts;
 }
 
@@ -33,16 +38,37 @@ compareOnSuite(const SystemConfig &baseCfg, const SystemConfig &testCfg,
                const std::vector<std::size_t> &indices,
                const ExperimentOptions &opts)
 {
-    std::vector<TraceRatio> out;
-    out.reserve(indices.size());
+    // Submit every (config, trace) pair to the sweep engine: jobs
+    // 2i / 2i+1 are trace i's baseline / test runs, and the engine
+    // returns results in submission order, so the aggregation below is
+    // independent of how workers interleave.
+    std::vector<SweepJob> jobs;
+    jobs.reserve(indices.size() * 2);
     for (const std::size_t idx : indices) {
         const WorkloadInfo &info = suite.all()[idx];
+        jobs.push_back({baseCfg, info.params, opts, "base", {}});
+        jobs.push_back({testCfg, info.params, opts, "test", {}});
+    }
+
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    sweepOpts.progress = std::getenv("BVC_PROGRESS") != nullptr;
+    SweepEngine engine(sweepOpts);
+    const std::vector<JobResult> results = engine.run(jobs);
+    failOnJobErrors(results);
+
+    std::vector<TraceRatio> out;
+    out.reserve(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const WorkloadInfo &info = suite.all()[indices[i]];
         TraceRatio ratio;
         ratio.name = info.params.name;
         ratio.category = info.params.category;
         ratio.compressionFriendly = info.compressionFriendly;
-        ratio.base = runTrace(baseCfg, info.params, opts);
-        ratio.test = runTrace(testCfg, info.params, opts);
+        ratio.base = results[2 * i].result;
+        ratio.test = results[2 * i + 1].result;
+        ratio.baseSeconds = results[2 * i].wallSeconds;
+        ratio.testSeconds = results[2 * i + 1].wallSeconds;
         panicIf(ratio.base.ipc <= 0.0, "baseline IPC must be positive");
         ratio.ipcRatio = ratio.test.ipc / ratio.base.ipc;
         // Traces with almost no memory traffic get a neutral ratio.

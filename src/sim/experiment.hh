@@ -19,11 +19,18 @@
 namespace bvc
 {
 
-/** Trace-window lengths, overridable via BVC_WARMUP / BVC_INSTR. */
+/**
+ * Trace-window lengths and sweep parallelism, overridable via
+ * BVC_WARMUP / BVC_INSTR / BVC_THREADS. Malformed or zero values are
+ * rejected with fatal() — strtoull's silent garbage-to-0 mapping once
+ * turned BVC_INSTR=abc into a zero-length measurement.
+ */
 struct ExperimentOptions
 {
     std::uint64_t warmup = 200'000;
     std::uint64_t measure = 400'000;
+    /** Sweep worker threads; 0 = auto (BVC_THREADS or core count). */
+    unsigned threads = 0;
 
     /** Read overrides from the environment. */
     static ExperimentOptions fromEnv();
@@ -39,6 +46,8 @@ struct TraceRatio
     double dramReadRatio = 1.0;  //!< reads(test) / reads(base)
     RunResult base;
     RunResult test;
+    double baseSeconds = 0.0;    //!< wall-clock of the baseline run
+    double testSeconds = 0.0;    //!< wall-clock of the test run
 };
 
 /** Run one trace under one configuration. */
@@ -46,8 +55,12 @@ RunResult runTrace(const SystemConfig &cfg, const TraceParams &trace,
                    const ExperimentOptions &opts);
 
 /**
- * Run baseline and test configurations over the given suite indices and
- * report per-trace normalized ratios.
+ * Run baseline and test configurations over the given suite indices
+ * and report per-trace normalized ratios. The (2 x indices) runs are
+ * executed on the parallel sweep engine (src/runner/) with
+ * opts.threads workers; results are aggregated by job index, so the
+ * output is bit-identical for every thread count. Set BVC_PROGRESS=1
+ * for a periodic progress line on stderr.
  */
 std::vector<TraceRatio>
 compareOnSuite(const SystemConfig &baseCfg, const SystemConfig &testCfg,

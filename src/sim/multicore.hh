@@ -37,7 +37,15 @@ struct MultiRunResult
     double weightedSpeedup(const MultiRunResult &base) const;
 };
 
-/** Four cores sharing one LLC and DRAM. */
+/**
+ * Four cores sharing one LLC and DRAM.
+ *
+ * Thread-safety: same contract as System (see sim/system.hh) — the
+ * four simulated cores are stepped by ONE host thread; a
+ * MultiCoreSystem owns all its components and distinct instances may
+ * run concurrently on different host threads, but one instance must
+ * not be shared across threads.
+ */
 class MultiCoreSystem
 {
   public:

@@ -94,7 +94,23 @@ struct RunResult
     std::uint64_t backInvalidations = 0;
 };
 
-/** One assembled single-core system. */
+/**
+ * One assembled single-core system.
+ *
+ * Thread-safety contract (relied on by the sweep engine in
+ * src/runner/): a System exclusively owns every component it wires
+ * together — compressor, LLC, DRAM, trace generator, functional
+ * memory, hierarchy, core — and the library keeps no global mutable
+ * state: no global or static RNG (every generator and random policy
+ * owns an Rng seeded from its parameters), no static counters, no
+ * caches behind the factories. Distinct System instances may therefore
+ * run concurrently on different threads with no synchronization. A
+ * single System is NOT internally synchronized; never share one
+ * instance across threads. Shared inputs (SystemConfig, TraceParams,
+ * WorkloadSuite) are treated as read-only. Any future component that
+ * adds static mutable state breaks this contract and the CI
+ * ThreadSanitizer job (BVC_SANITIZE=thread) is there to catch it.
+ */
 class System
 {
   public:

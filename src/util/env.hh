@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Strict parsing of numeric environment/CLI values. strtoull's default
+ * behaviour silently maps garbage ("abc") to 0, which once turned
+ * BVC_INSTR=abc into a zero-length measurement window — every consumer
+ * of user-supplied counts goes through here instead.
+ */
+
+#ifndef BVC_UTIL_ENV_HH_
+#define BVC_UTIL_ENV_HH_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+/**
+ * Parse `text` as a strictly positive decimal integer; fatal() (a user
+ * configuration error, not an internal bug) naming `what` on anything
+ * else: empty input, trailing junk, overflow, or zero.
+ */
+inline std::uint64_t
+parsePositiveUint(const std::string &what, const char *text)
+{
+    // strtoull accepts whitespace and a sign — and wraps "-3" to a
+    // huge unsigned — so require a bare digit up front.
+    const bool startsWithDigit = text[0] >= '0' && text[0] <= '9';
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (!startsWithDigit || end == text || *end != '\0' ||
+        errno == ERANGE || value == 0)
+        fatal(what + " must be a positive integer, got '" +
+              std::string(text) + "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace bvc
+
+#endif // BVC_UTIL_ENV_HH_

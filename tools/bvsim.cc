@@ -12,14 +12,19 @@
  * --compare also runs the uncompressed baseline and prints ratios.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "runner/report.hh"
+#include "runner/sweep.hh"
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "trace/workload_suite.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -41,6 +46,8 @@ struct Options
     std::uint64_t warmup = 200'000;
     std::uint64_t instr = 400'000;
     unsigned segmentQuantum = 4;
+    unsigned threads = 0; //!< sweep workers; 0 = auto
+    std::string jsonPath;
     bool inclusive = true;
     bool compare = false;
     bool listTraces = false;
@@ -73,7 +80,11 @@ usage()
         "  --paper-scale            paper-sized hierarchy (2MB LLC)\n"
         "  --no-prefetch            disable all prefetchers\n"
         "  --warmup N / --instr N   window lengths per trace\n"
-        "  --compare                also run the uncompressed baseline\n");
+        "  --compare                also run the uncompressed baseline\n"
+        "  --threads N              sweep worker threads (default:\n"
+        "                           BVC_THREADS or hardware cores)\n"
+        "  --json FILE              write a bvc-sweep-v1 JSON report\n"
+        "                           (single-trace runs only)\n");
     std::exit(1);
 }
 
@@ -155,9 +166,9 @@ parseArgs(int argc, char **argv)
         else if (arg == "--compressor")
             opts.compressor = next(i);
         else if (arg == "--llc-kb")
-            opts.llcKb = std::strtoull(next(i), nullptr, 10);
+            opts.llcKb = parsePositiveUint("--llc-kb", next(i));
         else if (arg == "--ways")
-            opts.ways = std::strtoull(next(i), nullptr, 10);
+            opts.ways = parsePositiveUint("--ways", next(i));
         else if (arg == "--segment-quantum")
             opts.segmentQuantum =
                 static_cast<unsigned>(std::atoi(next(i)));
@@ -168,11 +179,16 @@ parseArgs(int argc, char **argv)
         else if (arg == "--no-prefetch")
             opts.noPrefetch = true;
         else if (arg == "--warmup")
-            opts.warmup = std::strtoull(next(i), nullptr, 10);
+            opts.warmup = parsePositiveUint("--warmup", next(i));
         else if (arg == "--instr")
-            opts.instr = std::strtoull(next(i), nullptr, 10);
+            opts.instr = parsePositiveUint("--instr", next(i));
         else if (arg == "--compare")
             opts.compare = true;
+        else if (arg == "--threads")
+            opts.threads = static_cast<unsigned>(
+                parsePositiveUint("--threads", next(i)));
+        else if (arg == "--json")
+            opts.jsonPath = next(i);
         else
             usage();
     }
@@ -228,6 +244,17 @@ main(int argc, char **argv)
     baseCfg.arch = LlcArch::Uncompressed;
     baseCfg.llcInclusive = true;
 
+    const auto wallStart = std::chrono::steady_clock::now();
+    auto printFooter = [&wallStart](std::size_t jobs) {
+        const double wall = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart).count();
+        std::printf("total wall-clock %.2f s  (%zu jobs, %.2f "
+                    "jobs/s)\n",
+                    wall, jobs,
+                    wall > 0.0 ? static_cast<double>(jobs) / wall
+                               : 0.0);
+    };
+
     if (opts.mix >= 0) {
         const auto mixes = suite.mixes(20);
         if (opts.mix >= static_cast<int>(mixes.size()))
@@ -251,6 +278,9 @@ main(int argc, char **argv)
             std::printf("weighted speedup vs uncompressed: %.4f\n",
                         r.weightedSpeedup(rb));
         }
+        if (!opts.jsonPath.empty())
+            warn("--json is only supported for single-trace runs");
+        printFooter(opts.compare ? 2 : 1);
         return 0;
     }
 
@@ -265,19 +295,51 @@ main(int argc, char **argv)
     std::printf("trace %s  arch %s  llc %zuKB %zu-way\n",
                 opts.trace.c_str(), llcArchName(cfg.arch), opts.llcKb,
                 opts.ways);
-    System system(cfg, info->params);
-    const RunResult r = system.run(opts.warmup, opts.instr);
+
+    // Run through the sweep engine: with --compare the test and
+    // baseline runs execute concurrently (given --threads >= 2), and
+    // the JSON report falls out of the same path bvsweep uses.
+    ExperimentOptions runOpts;
+    runOpts.warmup = opts.warmup;
+    runOpts.measure = opts.instr;
+    runOpts.threads = opts.threads;
+    std::vector<SweepJob> jobs;
+    jobs.push_back({cfg, info->params, runOpts,
+                    llcArchName(cfg.arch), {}});
+    if (opts.compare)
+        jobs.push_back({baseCfg, info->params, runOpts,
+                        "uncompressed", {}});
+
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    SweepEngine engine(sweepOpts);
+    const std::vector<JobResult> results = engine.run(jobs);
+    failOnJobErrors(results);
+
+    const RunResult &r = results[0].result;
     printRun(llcArchName(cfg.arch), r);
 
+    SweepReport report = buildReport("bvsim", engine.lastTelemetry(),
+                                     jobs, results);
     if (opts.compare) {
-        System baseSystem(baseCfg, info->params);
-        const RunResult rb = baseSystem.run(opts.warmup, opts.instr);
+        const RunResult &rb = results[1].result;
         printRun("baseline", rb);
         std::printf("ipc ratio %.4f  dram-read ratio %.4f\n",
                     r.ipc / rb.ipc,
                     rb.dramReads
                         ? static_cast<double>(r.dramReads) / rb.dramReads
                         : 1.0);
+        report.records[0].hasRatios = true;
+        report.records[0].ipcRatio = r.ipc / rb.ipc;
+        report.records[0].dramReadRatio = rb.dramReads
+            ? static_cast<double>(r.dramReads) /
+                  static_cast<double>(rb.dramReads)
+            : 1.0;
     }
+    if (!opts.jsonPath.empty()) {
+        writeFile(opts.jsonPath, toJson(report));
+        std::fprintf(stderr, "wrote %s\n", opts.jsonPath.c_str());
+    }
+    printFooter(jobs.size());
     return 0;
 }

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * bvsweep — parallel arch x trace sweep driver on the SweepEngine
+ * (src/runner/). Runs an architecture grid over a suite selection
+ * across worker threads, prints the per-trace ratio tables, and
+ * exports machine-readable results:
+ *
+ *   bvsweep --arch base-victim --threads 8
+ *   bvsweep --arch base-victim,vsc,dcc --traces friendly --limit 10
+ *   bvsweep --arch all --json sweep.json --csv sweep.csv
+ *
+ * Determinism guarantee: stdout (and the JSON/CSV ratio fields) are
+ * byte-identical for every --threads value; progress goes to stderr.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/report.hh"
+#include "runner/sweep.hh"
+#include "sim/experiment.hh"
+#include "trace/workload_suite.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> archNames{"base-victim"};
+    std::string traces = "sensitive";
+    std::size_t limit = 0; //!< 0 = no limit
+    unsigned threads = 0;  //!< 0 = auto
+    std::string jsonPath;
+    std::string csvPath;
+    std::uint64_t warmup = 0;  //!< 0 = ExperimentOptions default
+    std::uint64_t instr = 0;
+    std::size_t llcKb = 512;
+    std::size_t ways = 16;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "bvsweep — parallel arch x trace sweep runner\n\n"
+        "  --arch LIST       comma-separated LLC architectures to\n"
+        "                    sweep against the uncompressed baseline:\n"
+        "                    two-tag-naive | two-tag-modified |\n"
+        "                    base-victim | vsc | dcc, or 'all'\n"
+        "                    (default base-victim)\n"
+        "  --traces SEL      sensitive | friendly | unfriendly | all\n"
+        "                    (default sensitive)\n"
+        "  --limit N         only the first N traces of the selection\n"
+        "  --threads N       worker threads (default: BVC_THREADS or\n"
+        "                    hardware concurrency)\n"
+        "  --json FILE       write the bvc-sweep-v1 JSON report\n"
+        "  --csv FILE        write the CSV report\n"
+        "  --warmup N        warmup instructions per run\n"
+        "  --instr N         measured instructions per run\n"
+        "  --llc-kb N        LLC capacity in KB (default 512)\n"
+        "  --ways N          LLC associativity (default 16)\n"
+        "  --quiet           suppress the stderr progress reporter\n");
+    std::exit(1);
+}
+
+LlcArch
+parseArch(const std::string &name)
+{
+    if (name == "uncompressed")
+        return LlcArch::Uncompressed;
+    if (name == "two-tag-naive")
+        return LlcArch::TwoTagNaive;
+    if (name == "two-tag-modified")
+        return LlcArch::TwoTagModified;
+    if (name == "base-victim")
+        return LlcArch::BaseVictim;
+    if (name == "vsc")
+        return LlcArch::Vsc;
+    if (name == "dcc")
+        return LlcArch::Dcc;
+    fatal("unknown --arch: " + name);
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item = text.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--arch") {
+            const std::string value = next(i);
+            opts.archNames = value == "all"
+                ? std::vector<std::string>{"two-tag-naive",
+                                           "two-tag-modified",
+                                           "base-victim", "vsc", "dcc"}
+                : splitList(value);
+            if (opts.archNames.empty())
+                fatal("--arch needs at least one architecture");
+        } else if (arg == "--traces") {
+            opts.traces = next(i);
+        } else if (arg == "--limit") {
+            opts.limit = parsePositiveUint("--limit", next(i));
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(
+                parsePositiveUint("--threads", next(i)));
+        } else if (arg == "--json") {
+            opts.jsonPath = next(i);
+        } else if (arg == "--csv") {
+            opts.csvPath = next(i);
+        } else if (arg == "--warmup") {
+            opts.warmup = parsePositiveUint("--warmup", next(i));
+        } else if (arg == "--instr") {
+            opts.instr = parsePositiveUint("--instr", next(i));
+        } else if (arg == "--llc-kb") {
+            opts.llcKb = parsePositiveUint("--llc-kb", next(i));
+        } else if (arg == "--ways") {
+            opts.ways = parsePositiveUint("--ways", next(i));
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+std::vector<std::size_t>
+selectTraces(const WorkloadSuite &suite, const Options &opts)
+{
+    std::vector<std::size_t> indices;
+    if (opts.traces == "sensitive") {
+        indices = suite.sensitiveIndices();
+    } else if (opts.traces == "friendly") {
+        indices = suite.friendlyIndices();
+    } else if (opts.traces == "unfriendly") {
+        indices = suite.unfriendlyIndices();
+    } else if (opts.traces == "all") {
+        for (std::size_t i = 0; i < suite.all().size(); ++i)
+            indices.push_back(i);
+    } else {
+        fatal("unknown --traces selection: " + opts.traces);
+    }
+    if (opts.limit > 0 && indices.size() > opts.limit)
+        indices.resize(opts.limit);
+    return indices;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const WorkloadSuite suite(512 * 1024);
+    const std::vector<std::size_t> indices = selectTraces(suite, opts);
+    if (indices.empty())
+        fatal("trace selection is empty");
+
+    ExperimentOptions runOpts = ExperimentOptions::fromEnv();
+    if (opts.warmup > 0)
+        runOpts.warmup = opts.warmup;
+    if (opts.instr > 0)
+        runOpts.measure = opts.instr;
+    runOpts.threads = opts.threads;
+
+    SystemConfig baseCfg = SystemConfig::benchDefaults();
+    baseCfg.arch = LlcArch::Uncompressed;
+    baseCfg.llcBytes = opts.llcKb * 1024;
+    baseCfg.llcWays = opts.ways;
+
+    // Job layout: per trace, one baseline run followed by one run per
+    // swept architecture — (1 + archs) * traces jobs total, aggregated
+    // by index so output is identical for every thread count.
+    const std::size_t stride = 1 + opts.archNames.size();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(indices.size() * stride);
+    for (const std::size_t idx : indices) {
+        const WorkloadInfo &info = suite.all()[idx];
+        jobs.push_back({baseCfg, info.params, runOpts, "uncompressed",
+                        {}});
+        for (const std::string &archName : opts.archNames) {
+            SystemConfig cfg = baseCfg;
+            cfg.arch = parseArch(archName);
+            jobs.push_back({cfg, info.params, runOpts, archName, {}});
+        }
+    }
+
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    sweepOpts.progress = !opts.quiet;
+    SweepEngine engine(sweepOpts);
+    const std::vector<JobResult> results = engine.run(jobs);
+    failOnJobErrors(results);
+    const SweepTelemetry &telemetry = engine.lastTelemetry();
+
+    // Fill ratios vs each trace's paired baseline into the report.
+    SweepReport report =
+        buildReport("bvsweep", telemetry, jobs, results);
+    for (std::size_t t = 0; t < indices.size(); ++t) {
+        const WorkloadInfo &info = suite.all()[indices[t]];
+        const RunResult &base = results[t * stride].result;
+        for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
+            RunRecord &rec = report.records[t * stride + 1 + a];
+            const RunResult &test = rec.result;
+            panicIf(base.ipc <= 0.0, "baseline IPC must be positive");
+            rec.hasRatios = true;
+            rec.ipcRatio = test.ipc / base.ipc;
+            rec.dramReadRatio = base.dramReads > 0
+                ? static_cast<double>(test.dramReads) /
+                      static_cast<double>(base.dramReads)
+                : 1.0;
+        }
+        for (std::size_t j = 0; j < stride; ++j)
+            report.records[t * stride + j].bucket =
+                info.compressionFriendly ? "compression-friendly"
+                                         : "low-compressibility";
+    }
+
+    std::printf("bvsweep: %zu traces x %zu arch(s), llc %zuKB "
+                "%zu-way, warmup %llu, instr %llu\n",
+                indices.size(), opts.archNames.size(), opts.llcKb,
+                opts.ways,
+                static_cast<unsigned long long>(runOpts.warmup),
+                static_cast<unsigned long long>(runOpts.measure));
+
+    for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
+        Table table({"trace", "bucket", "IPC ratio",
+                     "DRAM read ratio"});
+        std::vector<double> ipcRatios, dramRatios;
+        for (std::size_t t = 0; t < indices.size(); ++t) {
+            const RunRecord &rec =
+                report.records[t * stride + 1 + a];
+            table.addRow({rec.trace, rec.bucket,
+                          Table::num(rec.ipcRatio),
+                          Table::num(rec.dramReadRatio)});
+            ipcRatios.push_back(rec.ipcRatio);
+            dramRatios.push_back(rec.dramReadRatio);
+        }
+        std::printf("\n[%s vs uncompressed]\n%s",
+                    opts.archNames[a].c_str(),
+                    table.render().c_str());
+        std::printf("geomean IPC ratio %.4f  geomean DRAM read ratio "
+                    "%.4f\n",
+                    geomean(ipcRatios), geomean(dramRatios));
+    }
+
+    // Throughput footer (wall-clock stats go to stderr so stdout stays
+    // byte-identical across thread counts and machines).
+    std::fprintf(stderr,
+                 "sweep done: %zu jobs in %.2f s (%.2f jobs/s, "
+                 "%u threads, %.2f job-seconds)\n",
+                 telemetry.jobs, telemetry.wallSeconds,
+                 telemetry.jobsPerSecond(), telemetry.threads,
+                 telemetry.jobSeconds);
+
+    if (!opts.jsonPath.empty()) {
+        writeFile(opts.jsonPath, toJson(report));
+        std::fprintf(stderr, "wrote %s\n", opts.jsonPath.c_str());
+    }
+    if (!opts.csvPath.empty()) {
+        writeFile(opts.csvPath, toCsv(report));
+        std::fprintf(stderr, "wrote %s\n", opts.csvPath.c_str());
+    }
+    return 0;
+}
