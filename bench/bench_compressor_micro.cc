@@ -1,14 +1,25 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the compression codecs: single-
- * line compress/decompress throughput per algorithm and data pattern.
- * Not a paper figure, but grounds the 2-cycle decompression-latency
- * assumption (Section V) in the codecs' actual work per line.
+ * line compress/decompress throughput per algorithm and data pattern,
+ * plus the allocation-free size-only path (Compressor::compressedBytes)
+ * the cache models run on. Not a paper figure, but grounds the 2-cycle
+ * decompression-latency assumption (Section V) in the codecs' actual
+ * work per line.
+ *
+ * Run with --smoke for a self-contained encode-path vs size-path
+ * comparison over a mixed corpus (used by CI): prints per-codec
+ * throughput and speedup, and exits non-zero if the two paths ever
+ * disagree on a size.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "compress/factory.hh"
 #include "trace/data_patterns.hh"
@@ -42,6 +53,20 @@ compressOne(benchmark::State &state, bvc::CompressorKind kind,
 }
 
 void
+sizeOne(benchmark::State &state, bvc::CompressorKind kind,
+        bvc::DataPatternKind pattern)
+{
+    const auto comp = bvc::makeCompressor(kind);
+    const auto line = lineFor(pattern);
+    for (auto _ : state) {
+        auto bytes = comp->compressedBytes(line.data());
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+void
 roundTripOne(benchmark::State &state, bvc::CompressorKind kind,
              bvc::DataPatternKind pattern)
 {
@@ -57,6 +82,83 @@ roundTripOne(benchmark::State &state, bvc::CompressorKind kind,
         static_cast<std::int64_t>(state.iterations()) * kLineBytes);
 }
 
+/** Mixed corpus spanning every data pattern (what the traces produce). */
+std::vector<std::array<std::uint8_t, kLineBytes>>
+mixedCorpus()
+{
+    const bvc::DataPatternKind kinds[] = {
+        bvc::DataPatternKind::Zeros,      bvc::DataPatternKind::SmallInts,
+        bvc::DataPatternKind::PointerHeap, bvc::DataPatternKind::NarrowInts,
+        bvc::DataPatternKind::Floats,     bvc::DataPatternKind::Random,
+        bvc::DataPatternKind::MixedGood,  bvc::DataPatternKind::MixedPoor,
+    };
+    std::vector<std::array<std::uint8_t, kLineBytes>> corpus;
+    for (const auto kind : kinds) {
+        const bvc::DataPattern pattern(kind, 42);
+        for (unsigned i = 0; i < 256; ++i) {
+            std::array<std::uint8_t, kLineBytes> line{};
+            pattern.fillLine(static_cast<bvc::Addr>(i) * kLineBytes,
+                             line.data());
+            corpus.push_back(line);
+        }
+    }
+    return corpus;
+}
+
+/**
+ * Encode-path vs size-path comparison over the mixed corpus. Returns
+ * false if compressedBytes() ever disagrees with compress().
+ */
+bool
+runSmoke()
+{
+    using Clock = std::chrono::steady_clock;
+    const auto corpus = mixedCorpus();
+    const int passes = 200;
+    bool ok = true;
+
+    std::printf("%-10s %14s %14s %9s\n", "codec", "encode MB/s",
+                "size MB/s", "speedup");
+    for (const auto kind : bvc::allCompressorKinds()) {
+        const auto comp = bvc::makeCompressor(kind);
+
+        for (const auto &line : corpus) {
+            const std::size_t fast = comp->compressedBytes(line.data());
+            const std::size_t full =
+                comp->compress(line.data()).sizeBytes();
+            if (fast != full) {
+                std::fprintf(stderr,
+                             "%s: size path %zu != encode path %zu\n",
+                             comp->name().c_str(), fast, full);
+                ok = false;
+            }
+        }
+
+        std::size_t sink = 0;
+        const auto t0 = Clock::now();
+        for (int p = 0; p < passes; ++p)
+            for (const auto &line : corpus)
+                sink += comp->compress(line.data()).sizeBytes();
+        const auto t1 = Clock::now();
+        for (int p = 0; p < passes; ++p)
+            for (const auto &line : corpus)
+                sink += comp->compressedBytes(line.data());
+        const auto t2 = Clock::now();
+        benchmark::DoNotOptimize(sink);
+
+        const double bytes =
+            static_cast<double>(passes) * corpus.size() * kLineBytes;
+        const double encodeSec =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double sizeSec =
+            std::chrono::duration<double>(t2 - t1).count();
+        std::printf("%-10s %14.1f %14.1f %8.2fx\n",
+                    comp->name().c_str(), bytes / encodeSec / 1e6,
+                    bytes / sizeSec / 1e6, encodeSec / sizeSec);
+    }
+    return ok;
+}
+
 } // namespace
 
 #define BVC_CODEC_BENCH(codec, kindEnum)                                 \
@@ -69,6 +171,12 @@ roundTripOne(benchmark::State &state, bvc::CompressorKind kind,
     BENCHMARK_CAPTURE(compressOne, codec##_random,                       \
                       bvc::CompressorKind::kindEnum,                     \
                       bvc::DataPatternKind::Random);                     \
+    BENCHMARK_CAPTURE(sizeOne, codec##_size_small_ints,                  \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::SmallInts);                  \
+    BENCHMARK_CAPTURE(sizeOne, codec##_size_random,                      \
+                      bvc::CompressorKind::kindEnum,                     \
+                      bvc::DataPatternKind::Random);                     \
     BENCHMARK_CAPTURE(roundTripOne, codec##_roundtrip_mixed,             \
                       bvc::CompressorKind::kindEnum,                     \
                       bvc::DataPatternKind::MixedGood)
@@ -78,4 +186,15 @@ BVC_CODEC_BENCH(fpc, Fpc);
 BVC_CODEC_BENCH(cpack, Cpack);
 BVC_CODEC_BENCH(zero, Zero);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return runSmoke() ? 0 : 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -47,6 +47,23 @@ repeated8(const std::uint8_t *line)
     return true;
 }
 
+/**
+ * All base-delta configurations, tried best first. The fixed encoded
+ * sizes are non-decreasing in this order (17, 22, 25, 38, 38, 41
+ * bytes), so the first configuration that validates is also a smallest.
+ */
+struct BdiConfig
+{
+    BdiCompressor::Encoding enc;
+    unsigned base, delta;
+};
+
+constexpr BdiConfig kBdiConfigs[] = {
+    {BdiCompressor::B8D1, 8, 1}, {BdiCompressor::B4D1, 4, 1},
+    {BdiCompressor::B8D2, 8, 2}, {BdiCompressor::B2D1, 2, 1},
+    {BdiCompressor::B4D2, 4, 2}, {BdiCompressor::B8D4, 8, 4},
+};
+
 } // namespace
 
 std::size_t
@@ -67,19 +84,20 @@ BdiCompressor::encodedBytes(Encoding enc)
 }
 
 bool
-BdiCompressor::tryBaseDelta(const std::uint8_t *line, unsigned baseBytes,
-                            unsigned deltaBytes,
-                            std::vector<std::uint8_t> &out)
+BdiCompressor::analyzeBaseDelta(const std::uint8_t *line,
+                                unsigned baseBytes, unsigned deltaBytes,
+                                std::uint64_t &base,
+                                std::uint64_t &maskBits)
 {
     const unsigned elems = static_cast<unsigned>(kLineBytes) / baseBytes;
     const unsigned deltaBits = deltaBytes * 8;
 
-    // First pass: find the base (first element that is not within delta
-    // range of zero) and verify every element is within range of either
-    // zero or the base.
+    // Validation pass: find the base (first element that is not within
+    // delta range of zero) and verify every element is within range of
+    // either zero or the base.
     bool haveBase = false;
-    std::uint64_t base = 0;
-    std::uint64_t maskBits = 0; // bit i set => element i uses the base
+    base = 0;
+    maskBits = 0; // bit i set => element i uses the base
 
     for (unsigned i = 0; i < elems; ++i) {
         const std::uint64_t raw = loadElem(line, baseBytes, i);
@@ -101,8 +119,22 @@ BdiCompressor::tryBaseDelta(const std::uint8_t *line, unsigned baseBytes,
             return false;
         maskBits |= 1ULL << i;
     }
+    return true;
+}
 
-    // Second pass: emit base, mask, deltas.
+bool
+BdiCompressor::tryBaseDelta(const std::uint8_t *line, unsigned baseBytes,
+                            unsigned deltaBytes,
+                            std::vector<std::uint8_t> &out)
+{
+    const unsigned elems = static_cast<unsigned>(kLineBytes) / baseBytes;
+
+    std::uint64_t base = 0;
+    std::uint64_t maskBits = 0;
+    if (!analyzeBaseDelta(line, baseBytes, deltaBytes, base, maskBits))
+        return false;
+
+    // Emit pass: base, mask, deltas.
     out.clear();
     out.reserve(encodedBytes(B8D4));
     for (unsigned b = 0; b < baseBytes; ++b)
@@ -170,19 +202,12 @@ BdiCompressor::compress(const std::uint8_t *line) const
         return block;
     }
 
-    // All base-delta configurations, tried best (smallest) first.
-    struct Config { Encoding enc; unsigned base, delta; };
-    static constexpr Config kConfigs[] = {
-        {B8D1, 8, 1}, {B4D1, 4, 1}, {B8D2, 8, 2}, {B2D1, 2, 1},
-        {B4D2, 4, 2}, {B8D4, 8, 4},
-    };
-
     CompressedBlock best;
     best.encoding = Uncompressed;
     best.payload.assign(line, line + kLineBytes);
 
     std::vector<std::uint8_t> candidate;
-    for (const auto &cfg : kConfigs) {
+    for (const auto &cfg : kBdiConfigs) {
         if (!tryBaseDelta(line, cfg.base, cfg.delta, candidate))
             continue;
         if (candidate.size() < best.payload.size()) {
@@ -191,6 +216,25 @@ BdiCompressor::compress(const std::uint8_t *line) const
         }
     }
     return best;
+}
+
+std::size_t
+BdiCompressor::compressedBytes(const std::uint8_t *line) const
+{
+    if (allZero(line))
+        return encodedBytes(Zeros);
+    if (repeated8(line))
+        return encodedBytes(Rep8);
+
+    // Only the validation pass of each configuration runs; the encoded
+    // size is fixed per configuration, and the configurations are tried
+    // in non-decreasing size order, so the first hit is a smallest.
+    std::uint64_t base = 0, maskBits = 0;
+    for (const auto &cfg : kBdiConfigs) {
+        if (analyzeBaseDelta(line, cfg.base, cfg.delta, base, maskBits))
+            return encodedBytes(cfg.enc);
+    }
+    return encodedBytes(Uncompressed);
 }
 
 void

@@ -61,6 +61,29 @@ class BitWriter
     std::size_t bitCount_ = 0;
 };
 
+/**
+ * Size-only drop-in for BitWriter: counts bits without storing them.
+ * The FPC and C-Pack encode loops are templated over the sink, so the
+ * same classification code drives both the encode path (BitWriter) and
+ * the allocation-free Compressor::compressedBytes() path (BitTally).
+ */
+class BitTally
+{
+  public:
+    void put(std::uint64_t, unsigned bits) { bitCount_ += bits; }
+
+    std::size_t
+    sizeBytes() const
+    {
+        return (bitCount_ + 7) / 8;
+    }
+
+    std::size_t bitCount() const { return bitCount_; }
+
+  private:
+    std::size_t bitCount_ = 0;
+};
+
 /** MSB-first bit reader over a byte buffer produced by BitWriter. */
 class BitReader
 {

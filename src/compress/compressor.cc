@@ -15,10 +15,16 @@ Compressor::decompressionCycles(unsigned segments) const
     return 2;
 }
 
+std::size_t
+Compressor::compressedBytes(const std::uint8_t *line) const
+{
+    return compress(line).sizeBytes();
+}
+
 unsigned
 Compressor::compressedSegments(const std::uint8_t *line) const
 {
-    return bytesToSegments(compress(line).sizeBytes());
+    return bytesToSegments(compressedBytes(line));
 }
 
 } // namespace bvc

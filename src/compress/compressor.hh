@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace bvc
@@ -33,25 +34,55 @@ struct CompressedBlock
 
 /**
  * Quantize a byte size to 4-byte segments, the granularity the paper's
- * tag metadata tracks. A fully-zero line still occupies one tag but zero
- * data segments are special-cased by the caches, so we clamp to [0, 16].
+ * tag metadata tracks. Sizes past one line would be recorded as fitting
+ * if they were clamped, so a compressor that violated its <= kLineBytes
+ * contract (see Compressor::compress()) is an internal bug and panics.
  */
 constexpr unsigned
 bytesToSegments(std::size_t bytes)
 {
-    const auto segs = static_cast<unsigned>(
+    if (bytes > kLineBytes)
+        panic("bytesToSegments: compressed size exceeds one line");
+    return static_cast<unsigned>(
         (bytes + kSegmentBytes - 1) / kSegmentBytes);
-    return segs > kSegmentsPerLine ? kSegmentsPerLine : segs;
 }
 
-/** Abstract single-line compressor. Implementations must be stateless. */
+/**
+ * Abstract single-line compressor. Implementations must be stateless.
+ *
+ * There are two paths through every codec (see docs/compression.md):
+ *
+ *   - compress()/decompress(), the encode path: produces the actual
+ *     payload bytes and must round-trip exactly;
+ *   - compressedBytes(), the size-only path: returns the size the
+ *     encode path would produce without materializing the payload.
+ *     The cache models only ever consume the (segment-quantized) size,
+ *     so this path is the per-access hot path and implementations keep
+ *     it allocation-free.
+ *
+ * Contract binding the two paths, enforced by the property tests:
+ *
+ *   compressedBytes(line) == compress(line).sizeBytes() <= kLineBytes
+ *
+ * The size bound is mandatory: a codec whose encoding would expand
+ * past one line must fall back to storing the line verbatim (64 bytes)
+ * rather than report an oversized result.
+ */
 class Compressor
 {
   public:
     virtual ~Compressor() = default;
 
-    /** Compress one kLineBytes-sized line. */
+    /** Compress one kLineBytes-sized line (encode path). */
     virtual CompressedBlock compress(const std::uint8_t *line) const = 0;
+
+    /**
+     * Exact compressed size of `line` in bytes (size-only path), equal
+     * to compress(line).sizeBytes() but without heap allocation. The
+     * base implementation runs the full encode; every bundled codec
+     * overrides it with an allocation-free computation.
+     */
+    virtual std::size_t compressedBytes(const std::uint8_t *line) const;
 
     /**
      * Reconstruct the original 64 bytes from a block previously produced
@@ -75,7 +106,8 @@ class Compressor
 
     /**
      * Convenience: compressed size of `line` in 4-byte segments. This is
-     * what the compressed-cache models store in tag metadata.
+     * what the compressed-cache models store in tag metadata. Runs the
+     * size-only path.
      */
     unsigned compressedSegments(const std::uint8_t *line) const;
 };

@@ -87,49 +87,61 @@ enum : unsigned
     ExtMmmx = 0b10,
 };
 
-} // namespace
-
-CompressedBlock
-CpackCompressor::compress(const std::uint8_t *line) const
+/**
+ * Run the dictionary-coding loop into `sink` (BitWriter on the encode
+ * path, BitTally on the size-only path). The per-line dictionary lives
+ * on the stack, so the size-only instantiation never allocates.
+ */
+template <typename Sink>
+void
+encodeWords(const std::uint8_t *line, Sink &sink)
 {
-    BitWriter writer;
     Dictionary dict;
 
     for (unsigned i = 0; i < kWords; ++i) {
         const std::uint32_t w = loadWord(line, i);
 
         if (w == 0) {
-            writer.put(CodeZero, 2);
+            sink.put(CodeZero, 2);
             continue;
         }
         if ((w & 0xFFFFFF00u) == 0) {
-            writer.put(CodeExt, 2);
-            writer.put(ExtZzzx, 2);
-            writer.put(w & 0xFF, 8);
+            sink.put(CodeExt, 2);
+            sink.put(ExtZzzx, 2);
+            sink.put(w & 0xFF, 8);
             continue;
         }
 
         unsigned index = 0;
         const unsigned matched = dict.match(w, index);
         if (matched == 4) {
-            writer.put(CodeFullMatch, 2);
-            writer.put(index, 4);
+            sink.put(CodeFullMatch, 2);
+            sink.put(index, 4);
         } else if (matched == 3) {
-            writer.put(CodeExt, 2);
-            writer.put(ExtMmmx, 2);
-            writer.put(index, 4);
-            writer.put(w & 0xFF, 8);
+            sink.put(CodeExt, 2);
+            sink.put(ExtMmmx, 2);
+            sink.put(index, 4);
+            sink.put(w & 0xFF, 8);
         } else if (matched == 2) {
-            writer.put(CodeExt, 2);
-            writer.put(ExtMmxx, 2);
-            writer.put(index, 4);
-            writer.put(w & 0xFFFF, 16);
+            sink.put(CodeExt, 2);
+            sink.put(ExtMmxx, 2);
+            sink.put(index, 4);
+            sink.put(w & 0xFFFF, 16);
         } else {
-            writer.put(CodeVerbatim, 2);
-            writer.put(w, 32);
+            sink.put(CodeVerbatim, 2);
+            sink.put(w, 32);
             dict.push(w);
         }
     }
+}
+
+} // namespace
+
+CompressedBlock
+CpackCompressor::compress(const std::uint8_t *line) const
+{
+    BitWriter writer;
+    encodeWords(line, writer);
 
     CompressedBlock block;
     block.encoding = 0;
@@ -139,6 +151,16 @@ CpackCompressor::compress(const std::uint8_t *line) const
         block.payload.assign(line, line + kLineBytes);
     }
     return block;
+}
+
+std::size_t
+CpackCompressor::compressedBytes(const std::uint8_t *line) const
+{
+    BitTally tally;
+    encodeWords(line, tally);
+    // Same verbatim fallback rule as the encode path.
+    return tally.sizeBytes() >= kLineBytes ? kLineBytes
+                                           : tally.sizeBytes();
 }
 
 void

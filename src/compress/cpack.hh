@@ -28,6 +28,8 @@ class CpackCompressor : public Compressor
 {
   public:
     CompressedBlock compress(const std::uint8_t *line) const override;
+    /** Size-only path: bit tally over the same dictionary loop. */
+    std::size_t compressedBytes(const std::uint8_t *line) const override;
     void decompress(const CompressedBlock &block,
                     std::uint8_t *out) const override;
     std::string name() const override { return "C-Pack"; }

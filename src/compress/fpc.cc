@@ -27,12 +27,16 @@ storeWord(std::uint8_t *line, unsigned i, std::uint32_t w)
     std::memcpy(line + 4 * i, &w, 4);
 }
 
-} // namespace
-
-CompressedBlock
-FpcCompressor::compress(const std::uint8_t *line) const
+/**
+ * Pattern-classify every word into `sink`, which is either a BitWriter
+ * (encode path) or a BitTally (size-only path) — one classification
+ * loop serves both, so the two paths cannot drift apart.
+ */
+template <typename Sink>
+void
+encodeWords(const std::uint8_t *line, Sink &sink)
 {
-    BitWriter writer;
+    using Pattern = FpcCompressor::Pattern;
 
     unsigned i = 0;
     while (i < kWords) {
@@ -46,40 +50,49 @@ FpcCompressor::compress(const std::uint8_t *line) const
                    loadWord(line, i + run) == 0) {
                 ++run;
             }
-            writer.put(ZeroRun, 3);
-            writer.put(run - 1, 3);
+            sink.put(Pattern::ZeroRun, 3);
+            sink.put(run - 1, 3);
             i += run;
             continue;
         }
 
         if (fitsSigned(sv, 4)) {
-            writer.put(Sign4, 3);
-            writer.put(w & 0xF, 4);
+            sink.put(Pattern::Sign4, 3);
+            sink.put(w & 0xF, 4);
         } else if (fitsSigned(sv, 8)) {
-            writer.put(Sign8, 3);
-            writer.put(w & 0xFF, 8);
+            sink.put(Pattern::Sign8, 3);
+            sink.put(w & 0xFF, 8);
         } else if (fitsSigned(sv, 16)) {
-            writer.put(Sign16, 3);
-            writer.put(w & 0xFFFF, 16);
+            sink.put(Pattern::Sign16, 3);
+            sink.put(w & 0xFFFF, 16);
         } else if ((w & 0xFFFF) == 0) {
-            writer.put(ZeroPadHalf, 3);
-            writer.put(w >> 16, 16);
+            sink.put(Pattern::ZeroPadHalf, 3);
+            sink.put(w >> 16, 16);
         } else if (fitsSigned(static_cast<std::int16_t>(w & 0xFFFF), 8) &&
                    fitsSigned(static_cast<std::int16_t>(w >> 16), 8)) {
-            writer.put(TwoSign8, 3);
-            writer.put(w & 0xFF, 8);
-            writer.put((w >> 16) & 0xFF, 8);
+            sink.put(Pattern::TwoSign8, 3);
+            sink.put(w & 0xFF, 8);
+            sink.put((w >> 16) & 0xFF, 8);
         } else if (((w & 0xFF) == ((w >> 8) & 0xFF)) &&
                    ((w & 0xFF) == ((w >> 16) & 0xFF)) &&
                    ((w & 0xFF) == ((w >> 24) & 0xFF))) {
-            writer.put(RepByte, 3);
-            writer.put(w & 0xFF, 8);
+            sink.put(Pattern::RepByte, 3);
+            sink.put(w & 0xFF, 8);
         } else {
-            writer.put(Verbatim, 3);
-            writer.put(w, 32);
+            sink.put(Pattern::Verbatim, 3);
+            sink.put(w, 32);
         }
         ++i;
     }
+}
+
+} // namespace
+
+CompressedBlock
+FpcCompressor::compress(const std::uint8_t *line) const
+{
+    BitWriter writer;
+    encodeWords(line, writer);
 
     CompressedBlock block;
     block.encoding = 0;
@@ -91,6 +104,16 @@ FpcCompressor::compress(const std::uint8_t *line) const
         block.payload.assign(line, line + kLineBytes);
     }
     return block;
+}
+
+std::size_t
+FpcCompressor::compressedBytes(const std::uint8_t *line) const
+{
+    BitTally tally;
+    encodeWords(line, tally);
+    // Same verbatim fallback rule as the encode path.
+    return tally.sizeBytes() >= kLineBytes ? kLineBytes
+                                           : tally.sizeBytes();
 }
 
 void

@@ -33,6 +33,8 @@ class FpcCompressor : public Compressor
     };
 
     CompressedBlock compress(const std::uint8_t *line) const override;
+    /** Size-only path: bit tally over the same classification loop. */
+    std::size_t compressedBytes(const std::uint8_t *line) const override;
     void decompress(const CompressedBlock &block,
                     std::uint8_t *out) const override;
     std::string name() const override { return "FPC"; }

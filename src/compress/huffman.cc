@@ -159,6 +159,17 @@ HuffmanCompressor::compress(const std::uint8_t *line) const
     return block;
 }
 
+std::size_t
+HuffmanCompressor::compressedBytes(const std::uint8_t *line) const
+{
+    std::size_t bits = 0;
+    for (std::size_t i = 0; i < kLineBytes; ++i)
+        bits += lengths_[line[i]];
+    const std::size_t bytes = (bits + 7) / 8;
+    // Same verbatim fallback rule as the encode path.
+    return bytes >= kLineBytes ? kLineBytes : bytes;
+}
+
 void
 HuffmanCompressor::decompress(const CompressedBlock &block,
                               std::uint8_t *out) const

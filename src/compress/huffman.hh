@@ -41,6 +41,8 @@ class HuffmanCompressor : public Compressor
         const FrequencyTable &frequencies = defaultFrequencies());
 
     CompressedBlock compress(const std::uint8_t *line) const override;
+    /** Size-only path: sum the per-byte code lengths. */
+    std::size_t compressedBytes(const std::uint8_t *line) const override;
     void decompress(const CompressedBlock &block,
                     std::uint8_t *out) const override;
     std::string name() const override { return "SC2-lite"; }

@@ -27,6 +27,15 @@ ZeroCompressor::compress(const std::uint8_t *line) const
     return block;
 }
 
+std::size_t
+ZeroCompressor::compressedBytes(const std::uint8_t *line) const
+{
+    for (std::size_t i = 0; i < kLineBytes; ++i)
+        if (line[i] != 0)
+            return kLineBytes;
+    return 0;
+}
+
 void
 ZeroCompressor::decompress(const CompressedBlock &block,
                            std::uint8_t *out) const

@@ -19,6 +19,8 @@ class ZeroCompressor : public Compressor
 {
   public:
     CompressedBlock compress(const std::uint8_t *line) const override;
+    /** Size-only path: a zero scan (0 or kLineBytes, nothing else). */
+    std::size_t compressedBytes(const std::uint8_t *line) const override;
     void decompress(const CompressedBlock &block,
                     std::uint8_t *out) const override;
     std::string name() const override { return "Zero"; }

@@ -7,6 +7,51 @@
 namespace bvc
 {
 
+BaseVictimLlc::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      demandAccesses(stats.counter("demand_accesses")),
+      writebackHits(stats.counter("writeback_hits")),
+      compressions(stats.counter("compressions")),
+      decompressions(stats.counter("decompressions")),
+      demandHits(stats.counter("demand_hits")),
+      baseHits(stats.counter("base_hits")),
+      prefetchHits(stats.counter("prefetch_hits")),
+      victimHits(stats.counter("victim_hits")),
+      victimPrefetchHits(stats.counter("victim_prefetch_hits")),
+      victimWriteHits(stats.counter("victim_write_hits")),
+      promotions(stats.counter("promotions")),
+      dataMovements(stats.counter("data_movements")),
+      demandMisses(stats.counter("demand_misses")),
+      prefetchMisses(stats.counter("prefetch_misses")),
+      writebackFills(stats.counter("writeback_fills")),
+      baseEvictions(stats.counter("base_evictions")),
+      memWritebacks(stats.counter("mem_writebacks")),
+      backInvalidations(stats.counter("back_invalidations")),
+      fills(stats.counter("fills")),
+      victimInserts(stats.counter("victim_inserts")),
+      victimInsertFailures(stats.counter("victim_insert_failures")),
+      dirtyVictimEvictions(stats.counter("dirty_victim_evictions")),
+      victimSilentEvictions(stats.counter("victim_silent_evictions")),
+      victimSilentDisplaced(
+          stats.counter("victim_silent_evictions_displaced")),
+      victimSilentPartner(
+          stats.counter("victim_silent_evictions_partner")),
+      victimSilentWriteGrowth(
+          stats.counter("victim_silent_evictions_write_growth"))
+{
+}
+
+Counter &
+BaseVictimLlc::HotCounters::silentEvictions(VictimEvictReason reason)
+{
+    switch (reason) {
+      case VictimEvictReason::Displaced: return victimSilentDisplaced;
+      case VictimEvictReason::Partner: return victimSilentPartner;
+      case VictimEvictReason::WriteGrowth: return victimSilentWriteGrowth;
+    }
+    panic("BaseVictimLlc: unknown victim eviction reason");
+}
+
 BaseVictimLlc::BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
                              ReplacementKind baseRepl,
                              VictimReplKind victimRepl,
@@ -19,7 +64,8 @@ BaseVictimLlc::BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
       victim_(sets_ * physWays),
       comp_(comp),
       inclusive_(inclusive),
-      quantumSegments_(segmentQuantumBytes / kSegmentBytes)
+      quantumSegments_(segmentQuantumBytes / kSegmentBytes),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "Base-Victim LLC set count must be a nonzero power of two");
@@ -105,7 +151,8 @@ BaseVictimLlc::chooseBaseWay(std::size_t set)
 
 void
 BaseVictimLlc::silentEvictVictim(std::size_t set, std::size_t way,
-                                 const char *reason, LlcResult &result)
+                                 VictimEvictReason reason,
+                                 LlcResult &result)
 {
     CacheLine &line = victimLine(set, way);
     if (!line.valid)
@@ -117,12 +164,12 @@ BaseVictimLlc::silentEvictVictim(std::size_t set, std::size_t way,
         // Non-inclusive mode keeps dirty victims (Section IV.B.3);
         // dropping one costs a memory writeback.
         result.memWritebacks.push_back(line.tag);
-        ++stats_.counter("mem_writebacks");
-        ++stats_.counter("dirty_victim_evictions");
+        ++ctr_.memWritebacks;
+        ++ctr_.dirtyVictimEvictions;
     }
     line.invalidate();
-    ++stats_.counter(std::string("victim_silent_evictions_") + reason);
-    ++stats_.counter("victim_silent_evictions");
+    ++ctr_.silentEvictions(reason);
+    ++ctr_.victimSilentEvictions;
 }
 
 bool
@@ -144,46 +191,44 @@ BaseVictimLlc::tryInsertVictim(std::size_t set, const CacheLine &line,
     if (candidates.empty()) {
         // The replaced line cannot be kept anywhere: a plain eviction,
         // exactly as in the uncompressed cache.
-        ++stats_.counter("victim_insert_failures");
+        ++ctr_.victimInsertFailures;
         return false;
     }
 
     const std::size_t way = victimRepl_->choose(set, candidates);
-    silentEvictVictim(set, way, "displaced", result);
+    silentEvictVictim(set, way, VictimEvictReason::Displaced, result);
 
     CacheLine &slot = victimLine(set, way);
     slot = line;
     if (inclusive_)
         slot.dirty = false; // written back on insertion (Section IV.A)
     victimRepl_->onInsert(set, way);
-    ++stats_.counter("victim_inserts");
+    ++ctr_.victimInserts;
     // Migrating the line between physical ways costs one data-array
     // read plus one write (Section VI.D power discussion).
-    stats_.counter("data_movements") += 1;
+    ctr_.dataMovements += 1;
     return true;
 }
 
 void
 BaseVictimLlc::installBase(std::size_t set, std::size_t way,
-                           const CacheLine &incoming,
-                           std::size_t skipVictimWay, LlcResult &result)
+                           const CacheLine &incoming, LlcResult &result)
 {
-    (void)skipVictimWay;
     CacheLine replaced = baseLine(set, way);
 
     if (replaced.valid) {
-        ++stats_.counter("base_evictions");
+        ++ctr_.baseEvictions;
         if (inclusive_) {
             if (replaced.dirty) {
                 // Write the dirty victim back to memory so that the
                 // Victim Cache only ever holds clean lines (Sec IV.A).
                 result.memWritebacks.push_back(replaced.tag);
-                ++stats_.counter("mem_writebacks");
+                ++ctr_.memWritebacks;
             }
             // The line leaves the baseline content: upper levels must
             // drop their copies whether it is evicted or parked.
             result.backInvalidations.push_back(replaced.tag);
-            ++stats_.counter("back_invalidations");
+            ++ctr_.backInvalidations;
         }
     }
 
@@ -192,12 +237,12 @@ BaseVictimLlc::installBase(std::size_t set, std::size_t way,
     const CacheLine &partner = victimLine(set, way);
     if (partner.valid &&
         incoming.segments + partner.segments > kSegmentsPerLine) {
-        silentEvictVictim(set, way, "partner", result);
+        silentEvictVictim(set, way, VictimEvictReason::Partner, result);
     }
 
     baseLine(set, way) = incoming;
     baseRepl_->onFill(set, way);
-    ++stats_.counter("fills");
+    ++ctr_.fills;
 
     if (replaced.valid) {
         if (inclusive_)
@@ -206,7 +251,7 @@ BaseVictimLlc::installBase(std::size_t set, std::size_t way,
         if (!parked && !inclusive_ && replaced.dirty) {
             // Non-inclusive: a dropped dirty victim must reach memory.
             result.memWritebacks.push_back(replaced.tag);
-            ++stats_.counter("mem_writebacks");
+            ++ctr_.memWritebacks;
         }
     }
 }
@@ -218,9 +263,9 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     const std::size_t set = setIndex(blk);
     const bool demand = type == AccessType::Read;
 
-    ++stats_.counter("accesses");
+    ++ctr_.accesses;
     if (demand)
-        ++stats_.counter("demand_accesses");
+        ++ctr_.demandAccesses;
 
     // Doubled tags cost one extra lookup cycle on every access (Sec V).
     result.extraLatency = 1;
@@ -230,29 +275,35 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     if (bway != ways_) {
         result.hit = true;
         CacheLine &line = baseLine(set, bway);
-        result.extraLatency += decompressLatencyFor(comp_, line.segments);
-        if (line.segments > 0 && line.segments < kSegmentsPerLine)
-            ++stats_.counter("decompressions");
+        // A writeback overwrites the whole line, so the stored copy is
+        // never decompressed: no latency charge, no counter bump.
+        if (type != AccessType::Writeback) {
+            result.extraLatency +=
+                decompressLatencyFor(comp_, line.segments);
+            if (line.segments > 0 && line.segments < kSegmentsPerLine)
+                ++ctr_.decompressions;
+        }
 
         if (type == AccessType::Writeback) {
-            ++stats_.counter("writeback_hits");
+            ++ctr_.writebackHits;
             line.dirty = true;
             const unsigned newSegs = quantizedSegments(data);
-            ++stats_.counter("compressions");
+            ++ctr_.compressions;
             const CacheLine &partner = victimLine(set, bway);
             if (partner.valid &&
                 newSegs + partner.segments > kSegmentsPerLine) {
                 // Write hit grows the base line: silently evict the
                 // victim partner even if it was recently used (IV.B.5).
-                silentEvictVictim(set, bway, "write_growth", result);
+                silentEvictVictim(set, bway,
+                                  VictimEvictReason::WriteGrowth, result);
             }
             line.segments = newSegs;
         } else if (demand) {
-            ++stats_.counter("demand_hits");
-            ++stats_.counter("base_hits");
+            ++ctr_.demandHits;
+            ++ctr_.baseHits;
             baseRepl_->onHit(set, bway);
         } else {
-            ++stats_.counter("prefetch_hits");
+            ++ctr_.prefetchHits;
         }
         return result;
     }
@@ -266,40 +317,48 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         result.hit = true;
         result.victimHit = true;
         if (demand) {
-            ++stats_.counter("demand_hits");
-            ++stats_.counter("victim_hits");
+            ++ctr_.demandHits;
+            ++ctr_.victimHits;
         } else if (type == AccessType::Prefetch) {
-            ++stats_.counter("prefetch_hits");
-            ++stats_.counter("victim_prefetch_hits");
+            ++ctr_.prefetchHits;
+            ++ctr_.victimPrefetchHits;
         } else {
-            ++stats_.counter("writeback_hits");
-            ++stats_.counter("victim_write_hits");
+            ++ctr_.writebackHits;
+            ++ctr_.victimWriteHits;
         }
 
         CacheLine promoted = victimLine(set, vway);
-        result.extraLatency +=
-            decompressLatencyFor(comp_, promoted.segments);
-        if (promoted.segments > 0 && promoted.segments < kSegmentsPerLine)
-            ++stats_.counter("decompressions");
+        // Writebacks overwrite the whole line; only reads/prefetches
+        // decompress the stored victim copy.
+        if (type != AccessType::Writeback) {
+            result.extraLatency +=
+                decompressLatencyFor(comp_, promoted.segments);
+            if (promoted.segments > 0 &&
+                promoted.segments < kSegmentsPerLine) {
+                ++ctr_.decompressions;
+            }
+        }
 
         if (type == AccessType::Writeback) {
             // Non-inclusive write hit (Section IV.B.3): the rewritten
             // line is recompressed, then promoted like a read hit.
             promoted.dirty = true;
             promoted.segments = quantizedSegments(data);
-            ++stats_.counter("compressions");
+            ++ctr_.compressions;
         }
 
         // De-allocate from the Victim Cache, then install into the
         // Baseline Cache exactly as the uncompressed cache would fill
-        // on its (inevitable) miss for this access.
+        // on its (inevitable) miss for this access. The vacated victim
+        // slot stays eligible for the displaced base line (see
+        // installBase()).
         victimRepl_->onHit(set, vway);
         victimLine(set, vway).invalidate();
-        ++stats_.counter("promotions");
-        stats_.counter("data_movements") += 1;
+        ++ctr_.promotions;
+        ctr_.dataMovements += 1;
 
         const std::size_t way = chooseBaseWay(set);
-        installBase(set, way, promoted, vway, result);
+        installBase(set, way, promoted, result);
         return result;
     }
 
@@ -308,21 +367,21 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         panic("Base-Victim: writeback miss violates inclusion");
 
     if (demand)
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
     else if (type == AccessType::Prefetch)
-        ++stats_.counter("prefetch_misses");
+        ++ctr_.prefetchMisses;
     else
-        ++stats_.counter("writeback_fills"); // non-inclusive only
+        ++ctr_.writebackFills; // non-inclusive only
 
     CacheLine incoming;
     incoming.tag = blk;
     incoming.valid = true;
     incoming.dirty = type == AccessType::Writeback;
     incoming.segments = quantizedSegments(data);
-    ++stats_.counter("compressions");
+    ++ctr_.compressions;
 
     const std::size_t way = chooseBaseWay(set);
-    installBase(set, way, incoming, ways_, result);
+    installBase(set, way, incoming, result);
     return result;
 }
 

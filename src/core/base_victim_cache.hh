@@ -81,6 +81,39 @@ class BaseVictimLlc : public Llc
     bool checkInvariants() const;
 
   private:
+    /** Why a victim line is silently dropped (per-reason counters). */
+    enum class VictimEvictReason
+    {
+        Displaced,   //!< lost the slot to another inserted victim
+        Partner,     //!< base partner grew on fill, pair no longer fits
+        WriteGrowth, //!< base partner grew on a write hit
+    };
+
+    /**
+     * Counter references resolved once at construction so the
+     * per-access paths never do string-keyed map lookups (the worst
+     * offender was a per-eviction string concatenation for the
+     * victim_silent_evictions_<reason> counters).
+     */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &demandAccesses;
+        Counter &writebackHits, &compressions, &decompressions;
+        Counter &demandHits, &baseHits, &prefetchHits;
+        Counter &victimHits, &victimPrefetchHits, &victimWriteHits;
+        Counter &promotions, &dataMovements;
+        Counter &demandMisses, &prefetchMisses, &writebackFills;
+        Counter &baseEvictions, &memWritebacks, &backInvalidations;
+        Counter &fills, &victimInserts, &victimInsertFailures;
+        Counter &dirtyVictimEvictions, &victimSilentEvictions;
+        Counter &victimSilentDisplaced, &victimSilentPartner;
+        Counter &victimSilentWriteGrowth;
+
+        Counter &silentEvictions(VictimEvictReason reason);
+    };
+
     CacheLine &baseLine(std::size_t set, std::size_t way);
     const CacheLine &baseLine(std::size_t set, std::size_t way) const;
     CacheLine &victimLine(std::size_t set, std::size_t way);
@@ -98,13 +131,14 @@ class BaseVictimLlc : public Llc
      * opportunistic move into the Victim Cache) and the displacement of
      * a victim partner that no longer fits.
      *
-     * @param skipVictimWay victim way that must not receive the evicted
-     *        base line because it is the slot the incoming line is
-     *        being promoted out of (or ways_ if none)
+     * On a promotion the victim way the incoming line just vacated is
+     * deliberately *not* excluded from re-insertion: Section IV.B.2
+     * places the displaced base line anywhere it fits, and the freshly
+     * freed slot is often the best (displace-nothing) candidate — the
+     * default ECM policy prefers it.
      */
     void installBase(std::size_t set, std::size_t way,
-                     const CacheLine &incoming, std::size_t skipVictimWay,
-                     LlcResult &result);
+                     const CacheLine &incoming, LlcResult &result);
 
     /**
      * Opportunistically place a base-eviction into the Victim Cache.
@@ -119,7 +153,7 @@ class BaseVictimLlc : public Llc
      * mode a dirty victim writes back through `result`.
      */
     void silentEvictVictim(std::size_t set, std::size_t way,
-                           const char *reason, LlcResult &result);
+                           VictimEvictReason reason, LlcResult &result);
 
     /** Compressed size of `data` aligned to the segment quantum. */
     unsigned quantizedSegments(const std::uint8_t *data) const;
@@ -133,6 +167,7 @@ class BaseVictimLlc : public Llc
     const Compressor &comp_;
     bool inclusive_;
     unsigned quantumSegments_; //!< segments per size-field step
+    HotCounters ctr_;          //!< must follow stats_ initialization
 };
 
 } // namespace bvc

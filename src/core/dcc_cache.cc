@@ -5,13 +5,31 @@
 namespace bvc
 {
 
+DccLlc::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      demandAccesses(stats.counter("demand_accesses")),
+      writebackHits(stats.counter("writeback_hits")),
+      demandHits(stats.counter("demand_hits")),
+      prefetchHits(stats.counter("prefetch_hits")),
+      demandMisses(stats.counter("demand_misses")),
+      prefetchMisses(stats.counter("prefetch_misses")),
+      fills(stats.counter("fills")),
+      evictions(stats.counter("evictions")),
+      memWritebacks(stats.counter("mem_writebacks")),
+      backInvalidations(stats.counter("back_invalidations")),
+      superblockEvictions(stats.counter("superblock_evictions")),
+      superblockFills(stats.counter("superblock_fills"))
+{
+}
+
 DccLlc::DccLlc(std::size_t sizeBytes, std::size_t physWays,
                const Compressor &comp)
     : Llc("llc"),
       sets_(sizeBytes / kLineBytes / physWays),
       physWays_(physWays),
       blocks_(sets_ * physWays),
-      comp_(comp)
+      comp_(comp),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "DCC set count must be a nonzero power of two");
@@ -89,15 +107,15 @@ DccLlc::evictSuperBlock(std::size_t set, std::size_t way,
         const Addr addr = block.tag + s * kLineBytes;
         if (block.dirty[s]) {
             result.memWritebacks.push_back(addr);
-            ++stats_.counter("mem_writebacks");
+            ++ctr_.memWritebacks;
         }
         result.backInvalidations.push_back(addr);
-        ++stats_.counter("back_invalidations");
-        ++stats_.counter("evictions");
+        ++ctr_.backInvalidations;
+        ++ctr_.evictions;
     }
     block = SuperBlock{};
     repl_->onInvalidate(set, way);
-    ++stats_.counter("superblock_evictions");
+    ++ctr_.superblockEvictions;
 }
 
 void
@@ -133,9 +151,9 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     const unsigned sub = subIndex(blk);
     const bool demand = type == AccessType::Read;
 
-    ++stats_.counter("accesses");
+    ++ctr_.accesses;
     if (demand)
-        ++stats_.counter("demand_accesses");
+        ++ctr_.demandAccesses;
 
     std::size_t way = findWay(set, blk);
     if (way != physWays_ && sb(set, way).present[sub]) {
@@ -143,7 +161,7 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         result.hit = true;
         SuperBlock &block = sb(set, way);
         if (type == AccessType::Writeback) {
-            ++stats_.counter("writeback_hits");
+            ++ctr_.writebackHits;
             block.dirty[sub] = true;
             const unsigned newSegs = compressedSegmentsFor(comp_, data);
             // Growth may overflow the pool; DCC frees other
@@ -172,10 +190,10 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
             owner.dirty[sub] = true;
             owner.segments[sub] = newSegs;
         } else if (demand) {
-            ++stats_.counter("demand_hits");
+            ++ctr_.demandHits;
             repl_->onHit(set, way);
         } else {
-            ++stats_.counter("prefetch_hits");
+            ++ctr_.prefetchHits;
         }
         return result;
     }
@@ -184,9 +202,9 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         panic("DccLlc: writeback miss violates inclusion");
 
     if (demand)
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
     else
-        ++stats_.counter("prefetch_misses");
+        ++ctr_.prefetchMisses;
 
     const unsigned segments = compressedSegmentsFor(comp_, data);
     const bool needTag = way == physWays_;
@@ -205,7 +223,7 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         SuperBlock &fresh = sb(set, way);
         fresh.valid = true;
         fresh.tag = superTag(blk);
-        ++stats_.counter("superblock_fills");
+        ++ctr_.superblockFills;
     }
 
     SuperBlock &block = sb(set, way);
@@ -213,7 +231,7 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     block.dirty[sub] = false;
     block.segments[sub] = segments;
     repl_->onFill(set, way);
-    ++stats_.counter("fills");
+    ++ctr_.fills;
     return result;
 }
 

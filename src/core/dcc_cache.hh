@@ -78,11 +78,24 @@ class DccLlc : public Llc
     void makeRoom(std::size_t set, unsigned segments, bool needTag,
                   LlcResult &result);
 
+    /** Per-access counters resolved once (no string lookups per hit). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &demandAccesses;
+        Counter &writebackHits, &demandHits, &prefetchHits;
+        Counter &demandMisses, &prefetchMisses, &fills;
+        Counter &evictions, &memWritebacks, &backInvalidations;
+        Counter &superblockEvictions, &superblockFills;
+    };
+
     std::size_t sets_;
     std::size_t physWays_;
     std::vector<SuperBlock> blocks_;
     std::unique_ptr<LruPolicy> repl_; //!< super-block granularity
     const Compressor &comp_;
+    HotCounters ctr_;
 };
 
 } // namespace bvc

@@ -106,13 +106,13 @@ class Llc
 inline unsigned
 compressedSegmentsFor(const Compressor &comp, const std::uint8_t *data)
 {
-    const CompressedBlock block = comp.compress(data);
     bool zero = true;
     for (std::size_t i = 0; i < kLineBytes && zero; ++i)
         zero = data[i] == 0;
     if (zero)
         return 0;
-    return bytesToSegments(block.sizeBytes());
+    // Size-only fast path: the models never consume the payload.
+    return bytesToSegments(comp.compressedBytes(data));
 }
 
 /** Decompression cycles implied by a stored segment count. */

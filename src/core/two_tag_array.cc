@@ -5,6 +5,26 @@
 namespace bvc
 {
 
+TwoTagLlc::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      demandAccesses(stats.counter("demand_accesses")),
+      writebackHits(stats.counter("writeback_hits")),
+      compressions(stats.counter("compressions")),
+      decompressions(stats.counter("decompressions")),
+      demandHits(stats.counter("demand_hits")),
+      prefetchHits(stats.counter("prefetch_hits")),
+      demandMisses(stats.counter("demand_misses")),
+      prefetchMisses(stats.counter("prefetch_misses")),
+      fills(stats.counter("fills")),
+      evictions(stats.counter("evictions")),
+      memWritebacks(stats.counter("mem_writebacks")),
+      backInvalidations(stats.counter("back_invalidations")),
+      partnerEvictionsOnWrite(
+          stats.counter("partner_evictions_on_write")),
+      partnerEvictionsOnFill(stats.counter("partner_evictions_on_fill"))
+{
+}
+
 TwoTagLlc::TwoTagLlc(std::string statName, std::size_t sizeBytes,
                      std::size_t physWays, ReplacementKind repl,
                      const Compressor &comp)
@@ -12,7 +32,8 @@ TwoTagLlc::TwoTagLlc(std::string statName, std::size_t sizeBytes,
       sets_(sizeBytes / kLineBytes / physWays),
       physWays_(physWays),
       slots_(sets_ * physWays * 2),
-      comp_(comp)
+      comp_(comp),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "two-tag LLC set count must be a nonzero power of two");
@@ -62,13 +83,13 @@ TwoTagLlc::evictSlot(std::size_t set, std::size_t s, LlcResult &result)
 {
     CacheLine &line = slot(set, s);
     panicIf(!line.valid, "TwoTagLlc: evicting invalid slot");
-    ++stats_.counter("evictions");
+    ++ctr_.evictions;
     if (line.dirty) {
         result.memWritebacks.push_back(line.tag);
-        ++stats_.counter("mem_writebacks");
+        ++ctr_.memWritebacks;
     }
     result.backInvalidations.push_back(line.tag);
-    ++stats_.counter("back_invalidations");
+    ++ctr_.backInvalidations;
     line.invalidate();
     repl_->onInvalidate(set, s);
 }
@@ -81,9 +102,9 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     const std::size_t s = findSlot(set, blk);
     const bool demand = type == AccessType::Read;
 
-    ++stats_.counter("accesses");
+    ++ctr_.accesses;
     if (demand)
-        ++stats_.counter("demand_accesses");
+        ++ctr_.demandAccesses;
 
     // Doubled tags cost one extra lookup cycle on every access (Sec V).
     result.extraLatency = 1;
@@ -91,28 +112,33 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     if (s != numSlots()) {
         result.hit = true;
         CacheLine &line = slot(set, s);
-        result.extraLatency += decompressLatencyFor(comp_, line.segments);
-        if (line.segments > 0 && line.segments < kSegmentsPerLine)
-            ++stats_.counter("decompressions");
+        // A writeback overwrites the whole line, so the stored copy is
+        // never decompressed: no latency charge, no counter bump.
+        if (type != AccessType::Writeback) {
+            result.extraLatency +=
+                decompressLatencyFor(comp_, line.segments);
+            if (line.segments > 0 && line.segments < kSegmentsPerLine)
+                ++ctr_.decompressions;
+        }
 
         if (type == AccessType::Writeback) {
-            ++stats_.counter("writeback_hits");
+            ++ctr_.writebackHits;
             line.dirty = true;
             const unsigned newSegs = compressedSegmentsFor(comp_, data);
-            ++stats_.counter("compressions");
+            ++ctr_.compressions;
             if (newSegs > line.segments && !fits(set, s, newSegs) &&
                 slot(set, partnerOf(s)).valid) {
                 // The rewritten line grew past its partner: evict the
                 // partner (write hit scenario, Section IV.B.5 analog).
-                ++stats_.counter("partner_evictions_on_write");
+                ++ctr_.partnerEvictionsOnWrite;
                 evictSlot(set, partnerOf(s), result);
             }
             line.segments = newSegs;
         } else if (demand) {
-            ++stats_.counter("demand_hits");
+            ++ctr_.demandHits;
             repl_->onHit(set, s);
         } else {
-            ++stats_.counter("prefetch_hits");
+            ++ctr_.prefetchHits;
         }
         return result;
     }
@@ -121,12 +147,12 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         panic("TwoTagLlc: writeback miss violates inclusion");
 
     if (demand)
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
     else
-        ++stats_.counter("prefetch_misses");
+        ++ctr_.prefetchMisses;
 
     const unsigned segments = compressedSegmentsFor(comp_, data);
-    ++stats_.counter("compressions");
+    ++ctr_.compressions;
 
     // Both schemes allocate a fitting invalid tag slot first (normal
     // cache allocation); they differ in victim selection when none is
@@ -146,7 +172,7 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     }
     if (!fits(set, fillSlot, segments)) {
         // Partner line victimization (Section III option 1).
-        ++stats_.counter("partner_evictions_on_fill");
+        ++ctr_.partnerEvictionsOnFill;
         evictSlot(set, partnerOf(fillSlot), result);
     }
 
@@ -156,7 +182,7 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     line.dirty = false;
     line.segments = segments;
     repl_->onFill(set, fillSlot);
-    ++stats_.counter("fills");
+    ++ctr_.fills;
     return result;
 }
 

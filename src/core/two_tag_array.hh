@@ -83,11 +83,25 @@ class TwoTagLlc : public Llc
     /** Evict one slot: writeback accounting + back-invalidation. */
     void evictSlot(std::size_t set, std::size_t s, LlcResult &result);
 
+    /** Per-access counters resolved once (no string lookups per hit). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &demandAccesses;
+        Counter &writebackHits, &compressions, &decompressions;
+        Counter &demandHits, &prefetchHits;
+        Counter &demandMisses, &prefetchMisses, &fills;
+        Counter &evictions, &memWritebacks, &backInvalidations;
+        Counter &partnerEvictionsOnWrite, &partnerEvictionsOnFill;
+    };
+
     std::size_t sets_;
     std::size_t physWays_;
     std::vector<CacheLine> slots_; // sets_ x (2*physWays_)
     std::unique_ptr<ReplacementPolicy> repl_;
     const Compressor &comp_;
+    HotCounters ctr_;
 };
 
 /** Section III option 1: partner line victimization (Figure 6). */

@@ -5,6 +5,23 @@
 namespace bvc
 {
 
+VscLlc::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      demandAccesses(stats.counter("demand_accesses")),
+      writebackHits(stats.counter("writeback_hits")),
+      demandHits(stats.counter("demand_hits")),
+      prefetchHits(stats.counter("prefetch_hits")),
+      demandMisses(stats.counter("demand_misses")),
+      prefetchMisses(stats.counter("prefetch_misses")),
+      fills(stats.counter("fills")),
+      evictions(stats.counter("evictions")),
+      memWritebacks(stats.counter("mem_writebacks")),
+      recompactions(stats.counter("recompactions")),
+      fillEvictions(stats.counter("fill_evictions")),
+      multiEvictFills(stats.counter("multi_evict_fills"))
+{
+}
+
 VscLlc::VscLlc(std::size_t sizeBytes, std::size_t physWays,
                const Compressor &comp)
     : Llc("llc"),
@@ -12,7 +29,8 @@ VscLlc::VscLlc(std::size_t sizeBytes, std::size_t physWays,
       physWays_(physWays),
       tagsPerSet_(physWays * 2),
       slots_(sets_ * physWays * 2),
-      comp_(comp)
+      comp_(comp),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "VSC set count must be a nonzero power of two");
@@ -56,9 +74,9 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     const std::size_t s = findSlot(set, blk);
     const bool demand = type == AccessType::Read;
 
-    ++stats_.counter("accesses");
+    ++ctr_.accesses;
     if (demand)
-        ++stats_.counter("demand_accesses");
+        ++ctr_.demandAccesses;
 
     const auto capacity =
         static_cast<unsigned>(physWays_ * kSegmentsPerLine);
@@ -67,7 +85,7 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         result.hit = true;
         CacheLine &line = slots_[set * tagsPerSet_ + s];
         if (type == AccessType::Writeback) {
-            ++stats_.counter("writeback_hits");
+            ++ctr_.writebackHits;
             line.dirty = true;
             const unsigned newSegs = compressedSegmentsFor(comp_, data);
             // A grown line may force evictions to stay within capacity;
@@ -81,21 +99,21 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
                         continue;
                     if (vline.dirty) {
                         result.memWritebacks.push_back(vline.tag);
-                        ++stats_.counter("mem_writebacks");
+                        ++ctr_.memWritebacks;
                     }
                     result.backInvalidations.push_back(vline.tag);
                     vline.invalidate();
                     repl_->onInvalidate(set, victim);
-                    ++stats_.counter("evictions");
+                    ++ctr_.evictions;
                     break;
                 }
             }
-            ++stats_.counter("recompactions");
+            ++ctr_.recompactions;
         } else if (demand) {
-            ++stats_.counter("demand_hits");
+            ++ctr_.demandHits;
             repl_->onHit(set, s);
         } else {
-            ++stats_.counter("prefetch_hits");
+            ++ctr_.prefetchHits;
         }
         return result;
     }
@@ -104,9 +122,9 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         panic("VscLlc: writeback miss violates inclusion");
 
     if (demand)
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
     else
-        ++stats_.counter("prefetch_misses");
+        ++ctr_.prefetchMisses;
 
     const unsigned segments = compressedSegmentsFor(comp_, data);
 
@@ -135,19 +153,19 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         CacheLine &vline = slots_[set * tagsPerSet_ + victim];
         if (vline.dirty) {
             result.memWritebacks.push_back(vline.tag);
-            ++stats_.counter("mem_writebacks");
+            ++ctr_.memWritebacks;
         }
         result.backInvalidations.push_back(vline.tag);
         vline.invalidate();
         repl_->onInvalidate(set, victim);
-        ++stats_.counter("evictions");
+        ++ctr_.evictions;
         ++lastFillEvictions_;
         if (fillSlot == tagsPerSet_)
             fillSlot = victim;
     }
-    stats_.counter("fill_evictions") += lastFillEvictions_;
+    ctr_.fillEvictions += lastFillEvictions_;
     if (lastFillEvictions_ > 1)
-        ++stats_.counter("multi_evict_fills");
+        ++ctr_.multiEvictFills;
 
     CacheLine &line = slots_[set * tagsPerSet_ + fillSlot];
     line.tag = blk;
@@ -155,7 +173,7 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     line.dirty = false;
     line.segments = segments;
     repl_->onFill(set, fillSlot);
-    ++stats_.counter("fills");
+    ++ctr_.fills;
     return result;
 }
 

@@ -58,6 +58,18 @@ class VscLlc : public Llc
   private:
     std::size_t findSlot(std::size_t set, Addr blk) const;
 
+    /** Per-access counters resolved once (no string lookups per hit). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &demandAccesses;
+        Counter &writebackHits, &demandHits, &prefetchHits;
+        Counter &demandMisses, &prefetchMisses, &fills;
+        Counter &evictions, &memWritebacks, &recompactions;
+        Counter &fillEvictions, &multiEvictFills;
+    };
+
     std::size_t sets_;
     std::size_t physWays_;
     std::size_t tagsPerSet_;
@@ -65,6 +77,7 @@ class VscLlc : public Llc
     std::unique_ptr<LruPolicy> repl_;
     const Compressor &comp_;
     unsigned lastFillEvictions_ = 0;
+    HotCounters ctr_;
 };
 
 } // namespace bvc

@@ -143,7 +143,7 @@ averageCompressedFraction(const DataPattern &pattern,
     std::uint8_t line[kLineBytes];
     for (std::uint64_t i = 0; i < samples; ++i) {
         pattern.fillLine(i * kLineBytes, line);
-        totalBytes += comp.compress(line).sizeBytes();
+        totalBytes += comp.compressedBytes(line);
     }
     return static_cast<double>(totalBytes) /
            (static_cast<double>(samples) * kLineBytes);

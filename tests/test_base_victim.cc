@@ -263,5 +263,79 @@ TEST_F(BaseVictimTest, ValidLinesCountsBothSections)
     EXPECT_EQ(llc_.validLines(), 5u); // 4 base + 1 victim
 }
 
+TEST_F(BaseVictimTest, PromotionReusesVacatedVictimWay)
+{
+    // Fill the base ways (lines 0-3), then stream lines 4-7 so every
+    // replaced base line parks: base = {4,5,6,7}, victims = {0,1,2,3},
+    // all four victim ways occupied.
+    fillBase();
+    const Line small = smallLine();
+    for (unsigned i = 4; i < 8; ++i)
+        llc_.access(setAddr(i), AccessType::Read, small.data());
+    ASSERT_EQ(llc_.validLines(), 8u);
+    ASSERT_EQ(llc_.stats().get("victim_silent_evictions"), 0u);
+
+    // Victim hit on line 0: it is promoted into the base cache and the
+    // displaced base line (LRU: line 4) must be parked in the victim
+    // way line 0 just vacated — the only empty slot. Excluding the
+    // vacated way would force a resident victim out instead.
+    const LlcResult result =
+        llc_.access(setAddr(0), AccessType::Read, small.data());
+    EXPECT_TRUE(result.victimHit);
+    EXPECT_TRUE(llc_.probeBase(setAddr(0)));
+    EXPECT_FALSE(llc_.probeBase(setAddr(4)));
+    EXPECT_TRUE(llc_.probeVictim(setAddr(4)));
+    for (unsigned i = 1; i < 4; ++i)
+        EXPECT_TRUE(llc_.probeVictim(setAddr(i))) << "line " << i;
+    EXPECT_EQ(llc_.stats().get("victim_silent_evictions"), 0u);
+    EXPECT_EQ(llc_.stats().get("victim_insert_failures"), 0u);
+    EXPECT_EQ(llc_.validLines(), 8u);
+    EXPECT_TRUE(llc_.checkInvariants());
+}
+
+TEST_F(BaseVictimTest, WritebackHitDoesNotDecompress)
+{
+    const Line small = smallLine(); // compressible: 5 segments
+    llc_.access(setAddr(0), AccessType::Read, small.data());
+    ASSERT_EQ(llc_.stats().get("decompressions"), 0u);
+
+    // A writeback overwrites the whole line: the stored copy is never
+    // expanded, so neither the counter nor the latency may move.
+    const LlcResult wb =
+        llc_.access(setAddr(0), AccessType::Writeback, small.data());
+    EXPECT_TRUE(wb.hit);
+    EXPECT_EQ(wb.extraLatency, 1u); // tag lookup only
+    EXPECT_EQ(llc_.stats().get("decompressions"), 0u);
+
+    // A read hit on the same compressed line does decompress.
+    const LlcResult rd =
+        llc_.access(setAddr(0), AccessType::Read, small.data());
+    EXPECT_TRUE(rd.hit);
+    EXPECT_GT(rd.extraLatency, 1u);
+    EXPECT_EQ(llc_.stats().get("decompressions"), 1u);
+}
+
+TEST(BaseVictimNonInclusive, VictimWritebackHitDoesNotDecompress)
+{
+    BdiCompressor bdi;
+    BaseVictimLlc llc(kSize, kWays, ReplacementKind::Lru,
+                      VictimReplKind::Ecm, bdi, /*inclusive=*/false);
+    const Line small = smallLine();
+    for (unsigned i = 0; i <= kWays; ++i)
+        llc.access(setAddr(i), AccessType::Read, small.data());
+    ASSERT_TRUE(llc.probeVictim(setAddr(0)));
+    const std::size_t before = llc.stats().get("decompressions");
+
+    // Non-inclusive write hit in the Victim Cache (Section IV.B.3):
+    // the line is recompressed and promoted, never decompressed.
+    const LlcResult wb =
+        llc.access(setAddr(0), AccessType::Writeback, small.data());
+    EXPECT_TRUE(wb.victimHit);
+    EXPECT_EQ(wb.extraLatency, 1u);
+    EXPECT_EQ(llc.stats().get("decompressions"), before);
+    EXPECT_EQ(llc.stats().get("victim_write_hits"), 1u);
+    EXPECT_TRUE(llc.checkInvariants());
+}
+
 } // namespace
 } // namespace bvc

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "compress/factory.hh"
+#include "core/base_victim_cache.hh"
 #include "trace/data_patterns.hh"
 #include "util/rng.hh"
 
@@ -101,6 +102,74 @@ TEST_P(CompressorProperty, CompressedSegmentsConsistentWithBytes)
         const std::size_t bytes = comp_->compress(line.data()).sizeBytes();
         EXPECT_EQ(segs, bytesToSegments(bytes));
         EXPECT_LE(segs, kSegmentsPerLine);
+    }
+}
+
+// The size-only fast path must agree with the encode path on every
+// input: the cache models trust compressedBytes() to predict exactly
+// what compress() would have produced (docs/compression.md).
+TEST_P(CompressorProperty, SizeOnlyPathMatchesEncodePath)
+{
+    const DataPatternKind kinds[] = {
+        DataPatternKind::Zeros,      DataPatternKind::SmallInts,
+        DataPatternKind::PointerHeap, DataPatternKind::NarrowInts,
+        DataPatternKind::Floats,     DataPatternKind::Random,
+        DataPatternKind::MixedGood,  DataPatternKind::MixedPoor,
+    };
+    Line line{};
+    for (const auto kind : kinds) {
+        const DataPattern pattern(kind, 919);
+        for (Addr blk = 0; blk < 200 * kLineBytes; blk += kLineBytes) {
+            pattern.fillLine(blk, line.data());
+            ASSERT_EQ(comp_->compressedBytes(line.data()),
+                      comp_->compress(line.data()).sizeBytes())
+                << comp_->name() << " on "
+                << DataPattern::kindName(kind) << " blk " << blk;
+        }
+    }
+    Rng rng(7777);
+    for (int trial = 0; trial < 500; ++trial) {
+        for (auto &byte : line)
+            byte = rng.chance(0.5)
+                ? 0
+                : static_cast<std::uint8_t>(rng.range(256));
+        ASSERT_EQ(comp_->compressedBytes(line.data()),
+                  comp_->compress(line.data()).sizeBytes())
+            << comp_->name() << " trial " << trial;
+    }
+}
+
+// Randomized Base-Victim workout: a stream of conflicting reads and
+// writebacks with shifting data patterns must keep every structural
+// invariant (pair-fit, no duplicates, victim cleanliness) intact no
+// matter which codec supplies the sizes.
+TEST_P(CompressorProperty, BaseVictimInvariantsHoldUnderFuzz)
+{
+    // 8KB, 4 physical ways -> 32 sets; a 64-line address pool spanning
+    // two sets keeps the sets under constant replacement pressure.
+    BaseVictimLlc llc(8 * 1024, 4, ReplacementKind::Lru,
+                      VictimReplKind::Ecm, *comp_);
+    const DataPatternKind kinds[] = {
+        DataPatternKind::Zeros,     DataPatternKind::SmallInts,
+        DataPatternKind::Random,    DataPatternKind::MixedGood,
+        DataPatternKind::MixedPoor,
+    };
+    Rng rng(GetParam() == CompressorKind::Bdi ? 1 : 2);
+    Line line{};
+    for (int step = 0; step < 2000; ++step) {
+        const Addr blk =
+            0x40000 + rng.range(64) * (llc.numSets() / 2) * kLineBytes;
+        const DataPattern pattern(kinds[step % 5],
+                                  static_cast<unsigned>(step / 5));
+        pattern.fillLine(blk, line.data());
+        // Writebacks must respect inclusion: only lines the baseline
+        // cache holds can be dirtied by the upper levels.
+        const bool writeback = rng.chance(0.3) && llc.probeBase(blk);
+        llc.access(blk,
+                   writeback ? AccessType::Writeback : AccessType::Read,
+                   line.data());
+        ASSERT_TRUE(llc.checkInvariants())
+            << comp_->name() << " step " << step;
     }
 }
 

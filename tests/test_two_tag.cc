@@ -171,6 +171,28 @@ TEST_F(TwoTagTest, ZeroLinesSkipDecompressionLatency)
     EXPECT_EQ(hit.extraLatency, 1u); // tag only
 }
 
+TEST_F(TwoTagTest, WritebackHitDoesNotDecompress)
+{
+    TwoTagNaiveLlc llc(kSize, kWays, ReplacementKind::Nru, bdi_);
+    const Line line = smallLine(); // compressible: 5 segments
+    llc.access(setAddr(0), AccessType::Read, line.data());
+    ASSERT_EQ(llc.stats().get("decompressions"), 0u);
+
+    // A writeback overwrites the whole line: the stored copy is never
+    // expanded, so neither the counter nor the latency may move.
+    const LlcResult wb =
+        llc.access(setAddr(0), AccessType::Writeback, line.data());
+    EXPECT_TRUE(wb.hit);
+    EXPECT_EQ(wb.extraLatency, 1u); // tag lookup only
+    EXPECT_EQ(llc.stats().get("decompressions"), 0u);
+
+    const LlcResult rd =
+        llc.access(setAddr(0), AccessType::Read, line.data());
+    EXPECT_TRUE(rd.hit);
+    EXPECT_GT(rd.extraLatency, 1u);
+    EXPECT_EQ(llc.stats().get("decompressions"), 1u);
+}
+
 TEST_F(TwoTagTest, WritebackMissPanics)
 {
     TwoTagNaiveLlc llc(kSize, kWays, ReplacementKind::Nru, bdi_);
