@@ -439,24 +439,49 @@ BaseVictimLlc::baseSetContents(std::size_t set) const
     return contents;
 }
 
+std::string
+BaseVictimLlc::checkSetInvariants(std::size_t set) const
+{
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const CacheLine &base = baseLine(set, w);
+        const CacheLine &vict = victimLine(set, w);
+        if (base.valid && base.segments > kSegmentsPerLine)
+            return "base line exceeds 16 segments in way " +
+                std::to_string(w);
+        if (!vict.valid)
+            continue;
+        if (vict.segments > kSegmentsPerLine)
+            return "victim line exceeds 16 segments in way " +
+                std::to_string(w);
+        if (inclusive_ && vict.dirty)
+            return "dirty victim line in the inclusive Victim Cache "
+                   "(way " + std::to_string(w) + ")";
+        if (base.valid &&
+            base.segments + vict.segments > kSegmentsPerLine) {
+            return "pair-fit violated in way " + std::to_string(w) +
+                ": " + std::to_string(base.segments) + " + " +
+                std::to_string(vict.segments) + " segments";
+        }
+        if (findBase(set, vict.tag) != ways_)
+            return "tag in both B and V sections (way " +
+                std::to_string(w) + ")";
+        for (std::size_t other = w + 1; other < ways_; ++other) {
+            const CacheLine &dup = victimLine(set, other);
+            if (dup.valid && dup.tag == vict.tag)
+                return "duplicate tag in the Victim Cache (ways " +
+                    std::to_string(w) + " and " + std::to_string(other) +
+                    ")";
+        }
+    }
+    return {};
+}
+
 bool
 BaseVictimLlc::checkInvariants() const
 {
-    for (std::size_t set = 0; set < sets_; ++set) {
-        for (std::size_t w = 0; w < ways_; ++w) {
-            const CacheLine &base = baseLine(set, w);
-            const CacheLine &vict = victimLine(set, w);
-            if (inclusive_ && vict.valid && vict.dirty)
-                return false; // inclusive victims must be clean
-            if (base.valid && vict.valid &&
-                base.segments + vict.segments > kSegmentsPerLine) {
-                return false; // pair-fit
-            }
-            // A line must never be in both sections.
-            if (vict.valid && findBase(set, vict.tag) != ways_)
-                return false;
-        }
-    }
+    for (std::size_t set = 0; set < sets_; ++set)
+        if (!checkSetInvariants(set).empty())
+            return false;
     return true;
 }
 

@@ -80,6 +80,46 @@ class BaseVictimLlc : public Llc
     /** Invariant: every victim line is clean and pair-fit holds. */
     bool checkInvariants() const;
 
+    /**
+     * Structural invariants of one set (Section IV.A): clean-only
+     * victims when inclusive, pair-fit <= 16 segments per physical
+     * way, no line in both sections. Empty string when they hold,
+     * otherwise a description of the first violation.
+     */
+    std::string checkSetInvariants(std::size_t set) const;
+
+    /** True in the paper's inclusive configuration (Section IV.B.3). */
+    bool inclusive() const { return inclusive_; }
+
+    /** Raw Baseline-Cache line (lockstep mirror check). */
+    const CacheLine &baseLineAt(std::size_t set, std::size_t way) const
+    {
+        return baseLine(set, way);
+    }
+
+    /** Raw Victim-Cache line (structural checks, tests). */
+    const CacheLine &victimLineAt(std::size_t set, std::size_t way) const
+    {
+        return victimLine(set, way);
+    }
+
+    /**
+     * Mutable Victim-Cache line, for tests ONLY: lets the checker's
+     * death tests force a corrupted state (dirty inclusive victim,
+     * duplicated tag) that no legal access sequence can produce.
+     */
+    CacheLine &debugVictimLineAt(std::size_t set, std::size_t way)
+    {
+        return victimLine(set, way);
+    }
+
+    /** Baseline replacement state words for `set` (lockstep check). */
+    std::vector<std::uint64_t>
+    baseReplStateSnapshot(std::size_t set) const
+    {
+        return baseRepl_->stateSnapshot(set);
+    }
+
   private:
     /** Why a victim line is silently dropped (per-reason counters). */
     enum class VictimEvictReason

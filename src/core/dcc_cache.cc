@@ -256,4 +256,37 @@ DccLlc::validLines() const
     return count;
 }
 
+std::string
+DccLlc::checkSetInvariants(std::size_t set) const
+{
+    const unsigned capacity =
+        static_cast<unsigned>(physWays_) * kSegmentsPerLine;
+    if (usedSegments(set) > capacity)
+        return "segment pool over budget: " +
+            std::to_string(usedSegments(set)) + " > " +
+            std::to_string(capacity);
+    for (std::size_t w = 0; w < physWays_; ++w) {
+        const SuperBlock &block = sb(set, w);
+        if (!block.valid) {
+            for (unsigned s = 0; s < kSubBlocks; ++s)
+                if (block.present[s])
+                    return "present sub-block under an invalid tag "
+                           "(way " + std::to_string(w) + ")";
+            continue;
+        }
+        for (unsigned s = 0; s < kSubBlocks; ++s)
+            if (block.present[s] &&
+                block.segments[s] > kSegmentsPerLine)
+                return "sub-block exceeds 16 segments (way " +
+                    std::to_string(w) + ")";
+        for (std::size_t other = w + 1; other < physWays_; ++other) {
+            const SuperBlock &dup = sb(set, other);
+            if (dup.valid && dup.tag == block.tag)
+                return "duplicate super-block tag in ways " +
+                    std::to_string(w) + " and " + std::to_string(other);
+        }
+    }
+    return {};
+}
+
 } // namespace bvc

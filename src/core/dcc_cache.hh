@@ -51,6 +51,14 @@ class DccLlc : public Llc
     /** Set index for a block address (tests). */
     std::size_t setIndex(Addr blk) const;
 
+    /**
+     * Structural invariants of one set: segment pool within the
+     * physWays*16 budget, per-sub-block segments <= 16, no duplicate
+     * super-block tags, presence bits only under valid tags. Empty
+     * string when they hold, otherwise the first violation.
+     */
+    std::string checkSetInvariants(std::size_t set) const;
+
   private:
     /** One super-block tag entry. */
     struct SuperBlock

@@ -91,8 +91,14 @@ class Llc
     /** Human-readable architecture name. */
     virtual std::string name() const = 0;
 
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
+    /**
+     * Virtual so that wrappers (the lockstep ShadowChecker in
+     * src/check/) can expose the wrapped model's counters: snapshots
+     * and energy accounting must read identical numbers whether or not
+     * checking is enabled.
+     */
+    virtual StatGroup &stats() { return stats_; }
+    virtual const StatGroup &stats() const { return stats_; }
 
   protected:
     StatGroup stats_;

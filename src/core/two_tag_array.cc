@@ -214,17 +214,38 @@ TwoTagLlc::validLines() const
 bool
 TwoTagLlc::checkPairFit() const
 {
-    for (std::size_t set = 0; set < sets_; ++set) {
-        for (std::size_t w = 0; w < physWays_; ++w) {
-            const CacheLine &a = slot(set, 2 * w);
-            const CacheLine &b = slot(set, 2 * w + 1);
-            if (a.valid && b.valid &&
-                a.segments + b.segments > kSegmentsPerLine) {
-                return false;
-            }
+    for (std::size_t set = 0; set < sets_; ++set)
+        if (!checkSetInvariants(set).empty())
+            return false;
+    return true;
+}
+
+std::string
+TwoTagLlc::checkSetInvariants(std::size_t set) const
+{
+    for (std::size_t s = 0; s < numSlots(); ++s) {
+        const CacheLine &line = slot(set, s);
+        if (!line.valid)
+            continue;
+        if (line.segments > kSegmentsPerLine)
+            return "line exceeds 16 segments in slot " +
+                std::to_string(s);
+        const CacheLine &partner = slot(set, partnerOf(s));
+        if (s < partnerOf(s) && partner.valid &&
+            line.segments + partner.segments > kSegmentsPerLine) {
+            return "pair-fit violated in physical way " +
+                std::to_string(s / 2) + ": " +
+                std::to_string(line.segments) + " + " +
+                std::to_string(partner.segments) + " segments";
+        }
+        for (std::size_t other = s + 1; other < numSlots(); ++other) {
+            const CacheLine &dup = slot(set, other);
+            if (dup.valid && dup.tag == line.tag)
+                return "duplicate tag in slots " + std::to_string(s) +
+                    " and " + std::to_string(other);
         }
     }
-    return true;
+    return {};
 }
 
 TwoTagNaiveLlc::TwoTagNaiveLlc(std::size_t sizeBytes,

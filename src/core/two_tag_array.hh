@@ -57,6 +57,13 @@ class TwoTagLlc : public Llc
     /** Pair-fit invariant checker (used by tests). */
     bool checkPairFit() const;
 
+    /**
+     * Structural invariants of one set: per-line segments <= 16,
+     * partner pair-fit, no duplicate tags across the 2x logical slots.
+     * Empty string when they hold, otherwise the first violation.
+     */
+    std::string checkSetInvariants(std::size_t set) const;
+
   protected:
     std::size_t numSlots() const { return physWays_ * 2; }
 

@@ -48,6 +48,18 @@ class UncompressedLlc : public Llc
 
     std::size_t setIndex(Addr blk) const;
 
+    /** Raw line at (set, way), including dirty state (lockstep check). */
+    const CacheLine &lineAt(std::size_t set, std::size_t way) const
+    {
+        return lines_[set * ways_ + way];
+    }
+
+    /** Replacement-policy state words for `set` (lockstep check). */
+    std::vector<std::uint64_t> replStateSnapshot(std::size_t set) const
+    {
+        return repl_->stateSnapshot(set);
+    }
+
   private:
     std::size_t findWay(std::size_t set, Addr blk) const;
 

@@ -193,4 +193,30 @@ VscLlc::validLines() const
     return count;
 }
 
+std::string
+VscLlc::checkSetInvariants(std::size_t set) const
+{
+    const unsigned capacity =
+        static_cast<unsigned>(physWays_) * kSegmentsPerLine;
+    if (usedSegments(set) > capacity)
+        return "segment pool over budget: " +
+            std::to_string(usedSegments(set)) + " > " +
+            std::to_string(capacity);
+    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
+        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+        if (!line.valid)
+            continue;
+        if (line.segments > kSegmentsPerLine)
+            return "line exceeds 16 segments in slot " +
+                std::to_string(s);
+        for (std::size_t other = s + 1; other < tagsPerSet_; ++other) {
+            const CacheLine &dup = slots_[set * tagsPerSet_ + other];
+            if (dup.valid && dup.tag == line.tag)
+                return "duplicate tag in slots " + std::to_string(s) +
+                    " and " + std::to_string(other);
+        }
+    }
+    return {};
+}
+
 } // namespace bvc

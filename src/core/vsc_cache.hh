@@ -55,6 +55,13 @@ class VscLlc : public Llc
     /** Total segments used in a set (must be <= ways*16). */
     unsigned usedSegments(std::size_t set) const;
 
+    /**
+     * Structural invariants of one set: segment pool within the
+     * physWays*16 budget, per-line segments <= 16, no duplicate tags.
+     * Empty string when they hold, otherwise the first violation.
+     */
+    std::string checkSetInvariants(std::size_t set) const;
+
   private:
     std::size_t findSlot(std::size_t set, Addr blk) const;
 

@@ -138,4 +138,19 @@ CharPolicy::rank(std::size_t set)
     return order;
 }
 
+std::vector<std::uint64_t>
+CharPolicy::stateSnapshot(std::size_t set) const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(2 * ways_ + 1);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(bits_[set * ways_ + w]);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(hinted_[set * ways_ + w]);
+    // The global selector gates whether followers act on hints.
+    out.push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(psel_)));
+    return out;
+}
+
 } // namespace bvc

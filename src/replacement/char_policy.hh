@@ -29,6 +29,8 @@ class CharPolicy : public ReplacementPolicy
     void downgradeHint(std::size_t set, std::size_t way) override;
     std::vector<std::size_t> rank(std::size_t set) override;
     std::vector<std::size_t> preferredVictims(std::size_t set) override;
+    std::vector<std::uint64_t>
+    stateSnapshot(std::size_t set) const override;
     std::string name() const override { return "CHAR"; }
 
     /** True if followers currently apply downgrade hints; test helper. */

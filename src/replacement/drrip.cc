@@ -94,6 +94,20 @@ DrripPolicy::rank(std::size_t set)
     return order;
 }
 
+std::vector<std::uint64_t>
+DrripPolicy::stateSnapshot(std::size_t set) const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(ways_ + 2);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(rrpvs_[set * ways_ + w]);
+    // Set-dueling state is global and decision-relevant everywhere.
+    out.push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(psel_)));
+    out.push_back(bimodalCounter_);
+    return out;
+}
+
 std::vector<std::size_t>
 DrripPolicy::preferredVictims(std::size_t set)
 {

@@ -54,6 +54,18 @@ LruPolicy::rank(std::size_t set)
     return order;
 }
 
+std::vector<std::uint64_t>
+LruPolicy::stateSnapshot(std::size_t set) const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(ways_ + 1);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(stamp(set, w));
+    // The global tick participates: equal call sequences keep it equal.
+    out.push_back(tick_);
+    return out;
+}
+
 std::size_t
 LruPolicy::stackPosition(std::size_t set, std::size_t way) const
 {

@@ -25,6 +25,8 @@ class LruPolicy : public ReplacementPolicy
     void onHit(std::size_t set, std::size_t way) override;
     void onInvalidate(std::size_t set, std::size_t way) override;
     std::vector<std::size_t> rank(std::size_t set) override;
+    std::vector<std::uint64_t>
+    stateSnapshot(std::size_t set) const override;
     std::string name() const override { return "LRU"; }
 
     /** Position of `way` in the LRU stack (0 = MRU); test helper. */

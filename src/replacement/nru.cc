@@ -47,6 +47,16 @@ NruPolicy::onInvalidate(std::size_t set, std::size_t way)
     bits_[set * ways_ + way] = 1;
 }
 
+std::vector<std::uint64_t>
+NruPolicy::stateSnapshot(std::size_t set) const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(ways_);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(bits_[set * ways_ + w]);
+    return out;
+}
+
 std::vector<std::size_t>
 NruPolicy::preferredVictims(std::size_t set)
 {

@@ -25,4 +25,12 @@ RandomPolicy::rank(std::size_t)
     return order;
 }
 
+std::vector<std::uint64_t>
+RandomPolicy::stateSnapshot(std::size_t) const
+{
+    // All decision state is the PRNG stream position, which is global.
+    return {rng_.stateWord(0), rng_.stateWord(1), rng_.stateWord(2),
+            rng_.stateWord(3)};
+}
+
 } // namespace bvc

@@ -25,6 +25,8 @@ class RandomPolicy : public ReplacementPolicy
     void onHit(std::size_t, std::size_t) override {}
     void onInvalidate(std::size_t, std::size_t) override {}
     std::vector<std::size_t> rank(std::size_t set) override;
+    std::vector<std::uint64_t>
+    stateSnapshot(std::size_t set) const override;
     std::string name() const override { return "Random"; }
 
   private:

@@ -76,6 +76,18 @@ class ReplacementPolicy
         return rank(set).front();
     }
 
+    /**
+     * Every word of decision-relevant aging state for `set`, plus any
+     * global state (selector counters, PRNG words) that influences
+     * future decisions. Two policy instances fed identical call
+     * sequences must produce equal snapshots — the lockstep shadow
+     * checker (src/check/) compares the Baseline-Cache policy against
+     * the uncompressed reference with this. Must NOT mutate state
+     * (unlike rank()).
+     */
+    virtual std::vector<std::uint64_t>
+    stateSnapshot(std::size_t set) const = 0;
+
     virtual std::string name() const = 0;
 
     std::size_t sets() const { return sets_; }

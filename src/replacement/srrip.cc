@@ -36,6 +36,16 @@ SrripPolicy::onInvalidate(std::size_t set, std::size_t way)
     rrpvs_[set * ways_ + way] = kMaxRrpv;
 }
 
+std::vector<std::uint64_t>
+SrripPolicy::stateSnapshot(std::size_t set) const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(ways_);
+    for (std::size_t w = 0; w < ways_; ++w)
+        out.push_back(rrpvs_[set * ways_ + w]);
+    return out;
+}
+
 std::vector<std::size_t>
 SrripPolicy::preferredVictims(std::size_t set)
 {

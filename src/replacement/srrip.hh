@@ -29,6 +29,8 @@ class SrripPolicy : public ReplacementPolicy
     void onInvalidate(std::size_t set, std::size_t way) override;
     std::vector<std::size_t> rank(std::size_t set) override;
     std::vector<std::size_t> preferredVictims(std::size_t set) override;
+    std::vector<std::uint64_t>
+    stateSnapshot(std::size_t set) const override;
     std::string name() const override { return "SRRIP"; }
 
     /** Raw RRPV; test helper. */

@@ -1,9 +1,11 @@
 #include "runner/report.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -16,11 +18,25 @@ namespace
 
 /** %.17g preserves every double bit-exactly across a round-trip. */
 std::string
-numStr(double v)
+rawNumStr(double v)
 {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+/**
+ * JSON number. Non-finite metrics (e.g. the IPC of a zero-cycle
+ * window) become null: bare nan/inf tokens are not valid JSON and
+ * break every standard parser, including our own reader. CSV output
+ * keeps the raw spelling (rawNumStr) since nan is conventional there.
+ */
+std::string
+numStr(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return rawNumStr(v);
 }
 
 std::string
@@ -144,6 +160,43 @@ class JsonReader
         return v;
     }
 
+    /**
+     * Double-valued metric field: accepts null (the writer's encoding
+     * of non-finite values) as quiet NaN.
+     */
+    double parseNumberOrNull()
+    {
+        if (peek() == 'n') {
+            if (text_.compare(pos_, 4, "null") != 0)
+                fail("expected number or null");
+            pos_ += 4;
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+        return parseNumber();
+    }
+
+    /**
+     * 64-bit counter field, parsed as an integer directly: routing it
+     * through parseNumber()'s double would corrupt every value above
+     * 2^53 (doubles have 53 bits of mantissa).
+     */
+    std::uint64_t parseU64()
+    {
+        peek();
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            // Counters are unsigned; a negative value is a corrupt
+            // report, not something to wrap around.
+            fail("expected unsigned integer");
+        }
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(start, &end, 10);
+        if (end == start)
+            fail("expected unsigned integer");
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
     bool parseBool()
     {
         peek(); // position past whitespace
@@ -233,12 +286,6 @@ class JsonReader
     const std::string &text_;
     std::size_t pos_ = 0;
 };
-
-std::uint64_t
-asU64(double v)
-{
-    return v < 0 ? 0 : static_cast<std::uint64_t>(v);
-}
 
 } // namespace
 
@@ -336,16 +383,17 @@ toCsv(const SweepReport &report)
         out << r.index << ',' << csvEscape(r.arch) << ','
             << csvEscape(r.trace) << ',' << csvEscape(r.category) << ','
             << csvEscape(r.bucket) << ',' << (r.ok ? 1 : 0) << ','
-            << csvEscape(r.error) << ',' << numStr(r.wallSeconds) << ','
-            << r.warmup << ',' << r.measure << ',' << numStr(m.ipc)
-            << ',' << m.instructions << ',' << m.cycles << ','
+            << csvEscape(r.error) << ',' << rawNumStr(r.wallSeconds)
+            << ',' << r.warmup << ',' << r.measure << ','
+            << rawNumStr(m.ipc) << ',' << m.instructions << ','
+            << m.cycles << ','
             << m.dramReads << ',' << m.dramWrites << ','
             << m.dramDemandReads << ',' << m.llcDemandAccesses << ','
             << m.llcDemandHits << ',' << m.llcDemandMisses << ','
             << m.llcVictimHits << ',' << m.llcAccesses << ','
             << m.backInvalidations << ','
-            << (r.hasRatios ? numStr(r.ipcRatio) : "") << ','
-            << (r.hasRatios ? numStr(r.dramReadRatio) : "") << '\n';
+            << (r.hasRatios ? rawNumStr(r.ipcRatio) : "") << ','
+            << (r.hasRatios ? rawNumStr(r.dramReadRatio) : "") << '\n';
     }
     return out.str();
 }
@@ -363,18 +411,18 @@ parseJsonReport(const std::string &json)
             report.tool = reader.parseString();
         } else if (key == "threads") {
             report.threads =
-                static_cast<unsigned>(reader.parseNumber());
+                static_cast<unsigned>(reader.parseU64());
         } else if (key == "wall_seconds") {
-            report.wallSeconds = reader.parseNumber();
+            report.wallSeconds = reader.parseNumberOrNull();
         } else if (key == "jobs_per_second") {
-            report.jobsPerSecond = reader.parseNumber();
+            report.jobsPerSecond = reader.parseNumberOrNull();
         } else if (key == "jobs") {
             reader.parseArray([&] {
                 RunRecord rec;
                 RunResult &m = rec.result;
                 reader.parseObject([&](const std::string &field) {
                     if (field == "index")
-                        rec.index = asU64(reader.parseNumber());
+                        rec.index = reader.parseU64();
                     else if (field == "arch")
                         rec.arch = reader.parseString();
                     else if (field == "trace")
@@ -388,43 +436,43 @@ parseJsonReport(const std::string &json)
                     else if (field == "error")
                         rec.error = reader.parseString();
                     else if (field == "wall_seconds")
-                        rec.wallSeconds = reader.parseNumber();
+                        rec.wallSeconds = reader.parseNumberOrNull();
                     else if (field == "warmup")
-                        rec.warmup = asU64(reader.parseNumber());
+                        rec.warmup = reader.parseU64();
                     else if (field == "measure")
-                        rec.measure = asU64(reader.parseNumber());
+                        rec.measure = reader.parseU64();
                     else if (field == "ipc")
-                        m.ipc = reader.parseNumber();
+                        m.ipc = reader.parseNumberOrNull();
                     else if (field == "instructions")
-                        m.instructions = asU64(reader.parseNumber());
+                        m.instructions = reader.parseU64();
                     else if (field == "cycles")
-                        m.cycles = asU64(reader.parseNumber());
+                        m.cycles = reader.parseU64();
                     else if (field == "dram_reads")
-                        m.dramReads = asU64(reader.parseNumber());
+                        m.dramReads = reader.parseU64();
                     else if (field == "dram_writes")
-                        m.dramWrites = asU64(reader.parseNumber());
+                        m.dramWrites = reader.parseU64();
                     else if (field == "dram_demand_reads")
-                        m.dramDemandReads = asU64(reader.parseNumber());
+                        m.dramDemandReads = reader.parseU64();
                     else if (field == "llc_demand_accesses")
                         m.llcDemandAccesses =
-                            asU64(reader.parseNumber());
+                            reader.parseU64();
                     else if (field == "llc_demand_hits")
-                        m.llcDemandHits = asU64(reader.parseNumber());
+                        m.llcDemandHits = reader.parseU64();
                     else if (field == "llc_demand_misses")
-                        m.llcDemandMisses = asU64(reader.parseNumber());
+                        m.llcDemandMisses = reader.parseU64();
                     else if (field == "llc_victim_hits")
-                        m.llcVictimHits = asU64(reader.parseNumber());
+                        m.llcVictimHits = reader.parseU64();
                     else if (field == "llc_accesses")
-                        m.llcAccesses = asU64(reader.parseNumber());
+                        m.llcAccesses = reader.parseU64();
                     else if (field == "back_invalidations")
                         m.backInvalidations =
-                            asU64(reader.parseNumber());
+                            reader.parseU64();
                     else if (field == "has_ratios")
                         rec.hasRatios = reader.parseBool();
                     else if (field == "ipc_ratio")
-                        rec.ipcRatio = reader.parseNumber();
+                        rec.ipcRatio = reader.parseNumberOrNull();
                     else if (field == "dram_read_ratio")
-                        rec.dramReadRatio = reader.parseNumber();
+                        rec.dramReadRatio = reader.parseNumberOrNull();
                     else
                         reader.skipValue();
                 });

@@ -103,6 +103,10 @@ MultiCoreSystem::run(std::uint64_t warmup, std::uint64_t measure)
     dram_.stats().resetAll();
     for (std::size_t i = 0; i < kThreads; ++i) {
         hiers_[i]->stats().resetAll();
+        // Mirror System::run: per-core counters (loads, stores,
+        // flushes...) must also restart at the measurement boundary,
+        // or warmup traffic leaks into every per-core group.
+        cores_[i]->stats().resetAll();
         cores_[i]->beginMeasurement();
     }
 

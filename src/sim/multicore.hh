@@ -70,6 +70,7 @@ class MultiCoreSystem
     Llc &llc() { return *llc_; }
     Dram &dram() { return dram_; }
     Hierarchy &hierarchy(std::size_t i) { return *hiers_[i]; }
+    OooCore &core(std::size_t i) { return *cores_[i]; }
 
   private:
     /** Step the lagging core (smallest local clock) once. */

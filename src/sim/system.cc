@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/shadow_checker.hh"
 #include "core/dcc_cache.hh"
 #include "core/two_tag_array.hh"
 #include "core/uncompressed_llc.hh"
@@ -80,29 +81,45 @@ makeLlc(const SystemConfig &cfg, const Compressor &comp)
     if (!cfg.llcInclusive && cfg.arch != LlcArch::BaseVictim)
         fatal("non-inclusive operation is only implemented for the "
               "Base-Victim LLC (Section IV.B.3)");
+    std::unique_ptr<Llc> llc;
     switch (cfg.arch) {
       case LlcArch::Uncompressed:
-        return std::make_unique<UncompressedLlc>(cfg.llcBytes,
-                                                 cfg.llcWays,
-                                                 cfg.llcRepl);
-      case LlcArch::TwoTagNaive:
-        return std::make_unique<TwoTagNaiveLlc>(cfg.llcBytes,
+        llc = std::make_unique<UncompressedLlc>(cfg.llcBytes,
                                                 cfg.llcWays,
-                                                cfg.llcRepl, comp);
+                                                cfg.llcRepl);
+        break;
+      case LlcArch::TwoTagNaive:
+        llc = std::make_unique<TwoTagNaiveLlc>(cfg.llcBytes,
+                                               cfg.llcWays,
+                                               cfg.llcRepl, comp);
+        break;
       case LlcArch::TwoTagModified:
-        return std::make_unique<TwoTagModifiedLlc>(cfg.llcBytes,
-                                                   cfg.llcWays,
-                                                   cfg.llcRepl, comp);
+        llc = std::make_unique<TwoTagModifiedLlc>(cfg.llcBytes,
+                                                  cfg.llcWays,
+                                                  cfg.llcRepl, comp);
+        break;
       case LlcArch::BaseVictim:
-        return std::make_unique<BaseVictimLlc>(
+        llc = std::make_unique<BaseVictimLlc>(
             cfg.llcBytes, cfg.llcWays, cfg.llcRepl, cfg.victimRepl,
             comp, cfg.llcInclusive, cfg.segmentQuantum);
+        break;
       case LlcArch::Vsc:
-        return std::make_unique<VscLlc>(cfg.llcBytes, cfg.llcWays, comp);
+        llc = std::make_unique<VscLlc>(cfg.llcBytes, cfg.llcWays,
+                                       comp);
+        break;
       case LlcArch::Dcc:
-        return std::make_unique<DccLlc>(cfg.llcBytes, cfg.llcWays, comp);
+        llc = std::make_unique<DccLlc>(cfg.llcBytes, cfg.llcWays,
+                                       comp);
+        break;
     }
-    panic("makeLlc: unknown arch");
+    panicIf(llc == nullptr, "makeLlc: unknown arch");
+    // BVC_CHECK=1: every System/MultiCoreSystem run drives the LLC
+    // through the lockstep shadow checker (transparent to callers:
+    // name() and stats() forward to the wrapped model).
+    if (shadowCheckEnabled())
+        return wrapWithShadowChecker(std::move(llc), cfg.llcBytes,
+                                     cfg.llcWays, cfg.llcRepl);
+    return llc;
 }
 
 System::System(const SystemConfig &cfg, const TraceParams &trace)

@@ -48,6 +48,12 @@ class Rng
     /** Sample an index in [0, n) from cumulative weights (size n). */
     std::size_t weighted(const double *cumulative, std::size_t n);
 
+    /**
+     * Raw generator state word i in [0, 4): two generators that drew
+     * the same stream have equal state words (lockstep checking).
+     */
+    std::uint64_t stateWord(unsigned i) const { return s_[i & 3]; }
+
   private:
     std::uint64_t s_[4];
 

@@ -80,6 +80,27 @@ TEST(MultiCore, BaseVictimImprovesWeightedSpeedup)
     EXPECT_LE(rv.llcDemandMisses, rb.llcDemandMisses);
 }
 
+TEST(MultiCore, WarmupResetsPerCoreStatGroups)
+{
+    // run() must reset every per-core StatGroup at the measurement
+    // boundary, exactly like System::run does for its single core.
+    // With warmup >> measure, leaked warmup traffic makes the per-core
+    // loads+stores counters exceed the instructions retired in the
+    // measured window — an impossibility when the reset is in place,
+    // since every load/store is one retired instruction and both
+    // counters restart together at beginMeasurement().
+    MultiCoreSystem system(SystemConfig::benchDefaults(), quickMix());
+    system.run(40000, 10000);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint64_t memOps =
+            system.core(i).stats().get("loads") +
+            system.core(i).stats().get("stores");
+        EXPECT_LE(memOps, system.core(i).result().instructions)
+            << "thread " << i
+            << ": warmup counters leaked into the measured window";
+    }
+}
+
 TEST(MultiCore, ThreadsUseDisjointAddressSlices)
 {
     const auto mix = quickMix();

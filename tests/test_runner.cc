@@ -10,7 +10,10 @@
  */
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -317,6 +320,53 @@ TEST(Report, JsonRoundTripsKeyFields)
     const RunRecord &pb = parsed.records[1];
     EXPECT_FALSE(pb.ok);
     EXPECT_EQ(pb.error, b.error);
+}
+
+TEST(Report, JsonEncodesNonFiniteMetricsAsNull)
+{
+    SweepReport report;
+    report.tool = "test";
+    RunRecord rec;
+    rec.result.ipc = std::numeric_limits<double>::quiet_NaN();
+    rec.hasRatios = true;
+    rec.ipcRatio = std::numeric_limits<double>::infinity();
+    rec.dramReadRatio = 0.5;
+    report.records = {rec};
+
+    // Bare nan/inf tokens are not valid JSON; the writer must emit
+    // null and the reader must accept it back as NaN.
+    const std::string json = toJson(report);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_NE(json.find("null"), std::string::npos);
+
+    const SweepReport parsed = parseJsonReport(json);
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_TRUE(std::isnan(parsed.records[0].result.ipc));
+    EXPECT_TRUE(std::isnan(parsed.records[0].ipcRatio));
+    EXPECT_EQ(parsed.records[0].dramReadRatio, 0.5);
+}
+
+TEST(Report, JsonPreservesCountersAbove53Bits)
+{
+    SweepReport report;
+    report.tool = "test";
+    RunRecord rec;
+    // (2^53)+1 is the first integer a double cannot represent; a
+    // parser that routes counters through double corrupts all three.
+    rec.result.instructions = (std::uint64_t{1} << 53) + 1;
+    rec.result.cycles = std::numeric_limits<std::uint64_t>::max();
+    rec.result.dramReads = (std::uint64_t{1} << 63) + 12345;
+    report.records = {rec};
+
+    const SweepReport parsed = parseJsonReport(toJson(report));
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].result.instructions,
+              (std::uint64_t{1} << 53) + 1);
+    EXPECT_EQ(parsed.records[0].result.cycles,
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(parsed.records[0].result.dramReads,
+              (std::uint64_t{1} << 63) + 12345);
 }
 
 TEST(Report, BuildReportCarriesJobIdentity)

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Differential fuzzer for the LLC organizations: sweeps random
+ * (architecture x codec x replacement x data-pattern x geometry)
+ * tuples, drives each model with a random access stream under the
+ * lockstep ShadowChecker (see src/check/shadow_checker.hh and
+ * docs/invariants.md), and prints a reproducer seed on the first
+ * divergence.
+ *
+ * Usage:
+ *   bvfuzz --smoke                    # fixed tuples, every model, CI
+ *   bvfuzz [--seed S] [--tuples N] [--accesses N]
+ *   bvfuzz --tuple-seed X [--accesses N]   # replay one reproducer
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/shadow_checker.hh"
+#include "compress/factory.hh"
+#include "core/base_victim_cache.hh"
+#include "core/dcc_cache.hh"
+#include "core/two_tag_array.hh"
+#include "core/uncompressed_llc.hh"
+#include "core/vsc_cache.hh"
+#include "replacement/factory.hh"
+#include "trace/data_patterns.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace bvc;
+
+/** Model variants under fuzz; BV appears in both inclusion modes. */
+enum class Model
+{
+    Uncompressed,
+    TwoTagNaive,
+    TwoTagModified,
+    BaseVictim,
+    BaseVictimNonInclusive,
+    Vsc,
+    Dcc,
+};
+
+constexpr std::size_t kModelCount = 7;
+
+const char *
+modelName(Model m)
+{
+    switch (m) {
+      case Model::Uncompressed: return "uncompressed";
+      case Model::TwoTagNaive: return "two-tag-naive";
+      case Model::TwoTagModified: return "two-tag-modified";
+      case Model::BaseVictim: return "base-victim";
+      case Model::BaseVictimNonInclusive: return "base-victim-ni";
+      case Model::Vsc: return "vsc";
+      case Model::Dcc: return "dcc";
+    }
+    return "?";
+}
+
+std::string compressorName(CompressorKind kind);
+
+/** One fuzz case, fully determined by its seed. */
+struct FuzzTuple
+{
+    Model model = Model::BaseVictim;
+    CompressorKind comp = CompressorKind::Bdi;
+    ReplacementKind repl = ReplacementKind::Nru;
+    VictimReplKind victimRepl = VictimReplKind::Ecm;
+    DataPatternKind pattern = DataPatternKind::MixedGood;
+    unsigned quantum = 4;
+    std::size_t ways = 8;
+    std::size_t sets = 64;
+    std::uint64_t seed = 0;
+
+    std::size_t sizeBytes() const { return sets * ways * kLineBytes; }
+
+    std::string describe() const
+    {
+        return std::string(modelName(model)) + " codec=" +
+            compressorName(comp) + " repl=" + replacementName(repl) +
+            " vrepl=" + victimReplName(victimRepl) + " pattern=" +
+            DataPattern::kindName(pattern) + " quantum=" +
+            std::to_string(quantum) + " geometry=" +
+            std::to_string(sets) + "x" + std::to_string(ways);
+    }
+};
+
+std::string
+compressorName(CompressorKind kind)
+{
+    switch (kind) {
+      case CompressorKind::Bdi: return "bdi";
+      case CompressorKind::Fpc: return "fpc";
+      case CompressorKind::Cpack: return "cpack";
+      case CompressorKind::Zero: return "zero";
+      case CompressorKind::Sc2: return "sc2";
+    }
+    return "?";
+}
+
+/** Derive every tuple field from one reproducible seed. */
+FuzzTuple
+makeTuple(std::uint64_t tupleSeed)
+{
+    Rng rng(tupleSeed);
+    FuzzTuple t;
+    t.seed = tupleSeed;
+    t.model = static_cast<Model>(rng.range(kModelCount));
+    const auto comps = allCompressorKinds();
+    t.comp = comps[rng.range(comps.size())];
+    const auto repls = allReplacementKinds();
+    t.repl = repls[rng.range(repls.size())];
+    const auto vrepls = allVictimReplKinds();
+    t.victimRepl = vrepls[rng.range(vrepls.size())];
+    t.pattern = static_cast<DataPatternKind>(rng.range(8));
+    t.quantum = rng.chance(0.5) ? 4 : 8;
+    const std::size_t waysChoices[] = {4, 8, 16};
+    t.ways = waysChoices[rng.range(3)];
+    const std::size_t setChoices[] = {16, 64, 256};
+    t.sets = setChoices[rng.range(3)];
+    return t;
+}
+
+std::unique_ptr<Llc>
+buildInner(const FuzzTuple &t, const Compressor &comp)
+{
+    const std::size_t bytes = t.sizeBytes();
+    switch (t.model) {
+      case Model::Uncompressed:
+        return std::make_unique<UncompressedLlc>(bytes, t.ways, t.repl);
+      case Model::TwoTagNaive:
+        return std::make_unique<TwoTagNaiveLlc>(bytes, t.ways, t.repl,
+                                                comp);
+      case Model::TwoTagModified:
+        return std::make_unique<TwoTagModifiedLlc>(bytes, t.ways,
+                                                   t.repl, comp);
+      case Model::BaseVictim:
+        return std::make_unique<BaseVictimLlc>(bytes, t.ways, t.repl,
+                                               t.victimRepl, comp,
+                                               /*inclusive=*/true,
+                                               t.quantum);
+      case Model::BaseVictimNonInclusive:
+        return std::make_unique<BaseVictimLlc>(bytes, t.ways, t.repl,
+                                               t.victimRepl, comp,
+                                               /*inclusive=*/false,
+                                               t.quantum);
+      case Model::Vsc:
+        return std::make_unique<VscLlc>(bytes, t.ways, comp);
+      case Model::Dcc:
+        return std::make_unique<DccLlc>(bytes, t.ways, comp);
+    }
+    std::abort();
+}
+
+/** Thrown by the checker's fail handler to unwind into main(). */
+struct Divergence : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Drive one tuple for `accesses` checked accesses. Returns the number
+ * of extra (opportunistic) demand hits; throws Divergence on failure.
+ */
+std::uint64_t
+runTuple(const FuzzTuple &t, std::uint64_t accesses, bool verbose)
+{
+    const std::unique_ptr<Compressor> comp = makeCompressor(t.comp);
+    ShadowChecker checker(buildInner(t, *comp), t.sizeBytes(), t.ways,
+                          t.repl);
+    checker.setFailHandler(
+        [](const std::string &msg) { throw Divergence(msg); });
+
+    const DataPattern pattern(t.pattern, t.seed ^ 0x5eedULL);
+    Rng rng(t.seed + 1);
+    // Footprint ~3x the cache keeps both hits and evictions frequent.
+    const std::uint64_t footprint = t.sets * t.ways * 3;
+    std::uint8_t line[kLineBytes];
+
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const Addr blk = rng.range(footprint) * kLineBytes;
+        pattern.fillLine(blk, line);
+
+        AccessType type = AccessType::Read;
+        const double r = rng.uniform();
+        // Writebacks only target resident lines, as a real inclusive
+        // hierarchy's would (the victim section holds no upper-level
+        // copies: victimization back-invalidates them).
+        const bool resident = t.model == Model::BaseVictim ||
+                t.model == Model::BaseVictimNonInclusive
+            ? checker.probeBase(blk)
+            : checker.probe(blk);
+        if (r < 0.05)
+            type = AccessType::Prefetch;
+        else if (r < 0.25 && resident)
+            type = AccessType::Writeback;
+        checker.access(blk, type, line);
+
+        // Exercise the CHAR downgrade-hint path in lockstep too.
+        if (rng.chance(0.02))
+            checker.downgradeHint(blk);
+    }
+
+    if (verbose) {
+        std::printf("  ok: %s | %llu accesses, %llu shadow hits, "
+                    "%llu extra hits\n",
+                    t.describe().c_str(),
+                    static_cast<unsigned long long>(
+                        checker.checkedAccesses()),
+                    static_cast<unsigned long long>(
+                        checker.shadowDemandHits()),
+                    static_cast<unsigned long long>(
+                        checker.extraDemandHits()));
+    }
+    return checker.extraDemandHits();
+}
+
+/** Fixed smoke tuples: every model variant, >= 500 checked accesses. */
+std::vector<FuzzTuple>
+smokeTuples()
+{
+    std::vector<FuzzTuple> out;
+    for (std::size_t m = 0; m < kModelCount; ++m) {
+        FuzzTuple t;
+        t.model = static_cast<Model>(m);
+        t.comp = CompressorKind::Bdi;
+        t.repl = ReplacementKind::Nru;
+        t.victimRepl = VictimReplKind::Ecm;
+        t.pattern = DataPatternKind::MixedGood;
+        t.quantum = 4;
+        t.ways = 8;
+        t.sets = 64;
+        t.seed = 0xb5c0 + m;
+        out.push_back(t);
+    }
+    // A second Base-Victim round on LRU + zeros stresses pair-fit with
+    // maximally compressible lines and the tick-based policy state.
+    FuzzTuple bv;
+    bv.model = Model::BaseVictim;
+    bv.repl = ReplacementKind::Lru;
+    bv.pattern = DataPatternKind::Zeros;
+    bv.seed = 0xb5d0;
+    out.push_back(bv);
+    return out;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--smoke] [--seed S] [--tuples N] [--accesses N]\n"
+        "          [--tuple-seed X] [--quiet]\n"
+        "  --smoke       fixed tuple per model variant (CI gate)\n"
+        "  --seed S      master seed for random tuples (default 1)\n"
+        "  --tuples N    number of random tuples (default 24)\n"
+        "  --accesses N  checked accesses per tuple (default 4000)\n"
+        "  --tuple-seed X  replay exactly one tuple (reproducers)\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool quiet = false;
+    std::uint64_t seed = 1;
+    std::uint64_t tuples = 24;
+    std::uint64_t accesses = 4000;
+    std::uint64_t tupleSeed = 0;
+    bool haveTupleSeed = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--tuples") {
+            tuples = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--accesses") {
+            accesses = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--tuple-seed") {
+            tupleSeed = std::strtoull(value(), nullptr, 0);
+            haveTupleSeed = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::vector<FuzzTuple> cases;
+    if (smoke) {
+        cases = smokeTuples();
+        if (accesses < 500)
+            accesses = 500;
+    } else if (haveTupleSeed) {
+        cases.push_back(makeTuple(tupleSeed));
+    } else {
+        Rng master(seed);
+        for (std::uint64_t i = 0; i < tuples; ++i)
+            cases.push_back(makeTuple(master.next()));
+    }
+
+    std::uint64_t checked = 0;
+    for (const FuzzTuple &t : cases) {
+        try {
+            runTuple(t, accesses, !quiet);
+            checked += accesses;
+        } catch (const Divergence &d) {
+            std::fprintf(stderr,
+                         "bvfuzz: DIVERGENCE in tuple {%s}\n  %s\n",
+                         t.describe().c_str(), d.what());
+            if (smoke) {
+                // Smoke tuples are hand-built, not seed-derived.
+                std::fprintf(stderr, "  reproduce with: %s --smoke\n",
+                             argv[0]);
+            } else {
+                std::fprintf(stderr,
+                             "  reproduce with: %s --tuple-seed 0x%llx "
+                             "--accesses %llu\n",
+                             argv[0],
+                             static_cast<unsigned long long>(t.seed),
+                             static_cast<unsigned long long>(accesses));
+            }
+            return 1;
+        }
+    }
+    std::printf("bvfuzz: %llu tuples, %llu checked accesses, "
+                "0 divergences\n",
+                static_cast<unsigned long long>(cases.size()),
+                static_cast<unsigned long long>(checked));
+    return 0;
+}
