@@ -68,7 +68,7 @@ main()
 
     const auto mixes = ctx.suite.mixes(20);
 
-    for (const auto [label, llcBytes, paperBv, paperBig] :
+    for (const auto &[label, llcBytes, paperBv, paperBig] :
          {std::tuple{"\"4MB\"-class shared LLC (1MB bench scale)",
                      std::size_t{1024 * 1024}, "+8.7%", "+9.0%"},
           std::tuple{"\"8MB\"-class shared LLC (2MB bench scale)",

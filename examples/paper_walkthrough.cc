@@ -102,8 +102,9 @@ lineOfSegments(unsigned segments, std::uint64_t salt)
       }
     }
     const BdiCompressor bdi;
-    const unsigned actual = compressedSegmentsFor(bdi, data.data());
-    panicIf(actual != segments, "walkthrough: crafted size mismatch");
+    const SegCount actual = compressedSegmentsFor(bdi, data.data());
+    panicIf(actual.get() != segments,
+            "walkthrough: crafted size mismatch");
     return data;
 }
 

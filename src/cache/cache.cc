@@ -5,13 +5,27 @@
 namespace bvc
 {
 
+Cache::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      readHits(stats.counter("read_hits")),
+      writeHits(stats.counter("write_hits")),
+      readMisses(stats.counter("read_misses")),
+      writeMisses(stats.counter("write_misses")),
+      evictions(stats.counter("evictions")),
+      dirtyEvictions(stats.counter("dirty_evictions")),
+      backInvalidations(stats.counter("back_invalidations")),
+      dirtyBackInvalidations(stats.counter("dirty_back_invalidations"))
+{
+}
+
 Cache::Cache(std::string name, std::size_t sizeBytes, std::size_t ways,
              ReplacementKind repl, unsigned latency)
     : sets_(sizeBytes / kLineBytes / ways),
       ways_(ways),
       latency_(latency),
       lines_(sets_ * ways_),
-      stats_(std::move(name))
+      stats_(std::move(name)),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "cache set count must be a nonzero power of two");
@@ -20,20 +34,20 @@ Cache::Cache(std::string name, std::size_t sizeBytes, std::size_t ways,
     repl_ = makeReplacement(repl, sets_, ways_);
 }
 
-std::size_t
+SetIdx
 Cache::setIndex(Addr blk) const
 {
-    return (blk >> kLineShift) & (sets_ - 1);
+    return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
 CacheLine *
 Cache::findLine(Addr blk)
 {
-    const std::size_t set = setIndex(blk);
-    for (std::size_t w = 0; w < ways_; ++w) {
-        CacheLine &line = lines_[set * ways_ + w];
-        if (line.valid && line.tag == blk)
-            return &line;
+    const SetIdx set = setIndex(blk);
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
+        CacheLine &candidate = line(set, w);
+        if (candidate.valid && candidate.tag == blk)
+            return &candidate;
     }
     return nullptr;
 }
@@ -48,43 +62,42 @@ bool
 Cache::access(Addr blk, bool write, std::optional<Eviction> &evicted)
 {
     evicted.reset();
-    ++stats_.counter("accesses");
-    const std::size_t set = setIndex(blk);
+    ++ctr_.accesses;
+    const SetIdx set = setIndex(blk);
 
-    if (CacheLine *line = findLine(blk)) {
-        ++stats_.counter(write ? "write_hits" : "read_hits");
-        line->dirty = line->dirty || write;
-        const auto way = static_cast<std::size_t>(line - &lines_[set * ways_]);
-        repl_->onHit(set, way);
+    if (CacheLine *hit = findLine(blk)) {
+        ++(write ? ctr_.writeHits : ctr_.readHits);
+        hit->dirty = hit->dirty || write;
+        repl_->onHit(set, wayOf(set, hit));
         return true;
     }
 
-    ++stats_.counter(write ? "write_misses" : "read_misses");
+    ++(write ? ctr_.writeMisses : ctr_.readMisses);
 
     // Prefer an invalid way; otherwise consult the replacement policy.
-    std::size_t victimWay = ways_;
-    for (std::size_t w = 0; w < ways_; ++w) {
-        if (!lines_[set * ways_ + w].valid) {
+    std::optional<WayIdx> victimWay;
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
+        if (!line(set, w).valid) {
             victimWay = w;
             break;
         }
     }
-    if (victimWay == ways_)
+    if (!victimWay)
         victimWay = repl_->victim(set);
 
-    CacheLine &line = lines_[set * ways_ + victimWay];
-    if (line.valid) {
-        ++stats_.counter("evictions");
-        if (line.dirty)
-            ++stats_.counter("dirty_evictions");
-        evicted = Eviction{line.tag, line.dirty};
+    CacheLine &fill = line(set, *victimWay);
+    if (fill.valid) {
+        ++ctr_.evictions;
+        if (fill.dirty)
+            ++ctr_.dirtyEvictions;
+        evicted = Eviction{fill.tag, fill.dirty};
     }
 
-    line.tag = blk;
-    line.valid = true;
-    line.dirty = write;
-    line.segments = kSegmentsPerLine;
-    repl_->onFill(set, victimWay);
+    fill.tag = blk;
+    fill.valid = true;
+    fill.dirty = write;
+    fill.segments = kFullLineSegments;
+    repl_->onFill(set, *victimWay);
     return false;
 }
 
@@ -108,13 +121,13 @@ Cache::invalidate(Addr blk)
     if (line == nullptr)
         return std::nullopt;
     const bool wasDirty = line->dirty;
-    const std::size_t set = setIndex(blk);
-    const auto way = static_cast<std::size_t>(line - &lines_[set * ways_]);
+    const SetIdx set = setIndex(blk);
+    const WayIdx way = wayOf(set, line);
     line->invalidate();
     repl_->onInvalidate(set, way);
-    ++stats_.counter("back_invalidations");
+    ++ctr_.backInvalidations;
     if (wasDirty)
-        ++stats_.counter("dirty_back_invalidations");
+        ++ctr_.dirtyBackInvalidations;
     return wasDirty;
 }
 
@@ -130,11 +143,11 @@ Cache::forEachLine(
 void
 Cache::flush()
 {
-    for (std::size_t set = 0; set < sets_; ++set) {
-        for (std::size_t way = 0; way < ways_; ++way) {
-            CacheLine &line = lines_[set * ways_ + way];
-            if (line.valid) {
-                line.invalidate();
+    for (const SetIdx set : indexRange<SetIdx>(sets_)) {
+        for (const WayIdx way : indexRange<WayIdx>(ways_)) {
+            CacheLine &entry = line(set, way);
+            if (entry.valid) {
+                entry.invalidate();
                 repl_->onInvalidate(set, way);
             }
         }

@@ -57,10 +57,10 @@ class Cache
     bool access(Addr blk, bool write, std::optional<Eviction> &evicted);
 
     /** Tag lookup with no state change. */
-    bool probe(Addr blk) const;
+    [[nodiscard]] bool probe(Addr blk) const;
 
     /** True if the line is present and dirty (no state change). */
-    bool probeDirty(Addr blk) const;
+    [[nodiscard]] bool probeDirty(Addr blk) const;
 
     /**
      * Remove `blk` if present (back-invalidation from an inclusive LLC
@@ -72,15 +72,15 @@ class Cache
     /** Invalidate every line (e.g., between benchmark phases). */
     void flush();
 
-    unsigned latency() const { return latency_; }
-    std::size_t numSets() const { return sets_; }
-    std::size_t numWays() const { return ways_; }
+    [[nodiscard]] unsigned latency() const { return latency_; }
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
+    [[nodiscard]] std::size_t numWays() const { return ways_; }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
     /** Set index for a block address (for tests). */
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /** Visit every valid line (inclusion checks in tests). */
     void forEachLine(
@@ -90,12 +90,36 @@ class Cache
     CacheLine *findLine(Addr blk);
     const CacheLine *findLine(Addr blk) const;
 
+    [[nodiscard]] CacheLine &line(SetIdx set, WayIdx way)
+    {
+        return lines_[set.get() * ways_ + way.get()];
+    }
+
+    /** Recover the way index of a line found via pointer arithmetic. */
+    [[nodiscard]] WayIdx wayOf(SetIdx set, const CacheLine *line) const
+    {
+        return WayIdx{
+            static_cast<std::size_t>(line - &lines_[set.get() * ways_])};
+    }
+
+    /** Per-access counters resolved once (no string lookups per hit). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &readHits, &writeHits;
+        Counter &readMisses, &writeMisses;
+        Counter &evictions, &dirtyEvictions;
+        Counter &backInvalidations, &dirtyBackInvalidations;
+    };
+
     std::size_t sets_;
     std::size_t ways_;
     unsigned latency_;
     std::vector<CacheLine> lines_; // sets_ x ways_, row-major
     std::unique_ptr<ReplacementPolicy> repl_;
     StatGroup stats_;
+    HotCounters ctr_; //!< must follow stats_ initialization
 };
 
 } // namespace bvc

@@ -2,12 +2,13 @@
  * @file
  * Tag-array entry shared by all cache models. The compressed-size field
  * (4 bits of metadata in hardware, Section IV.C) is carried here even for
- * uncompressed levels, where it stays at kSegmentsPerLine.
+ * uncompressed levels, where it stays at kFullLineSegments.
  */
 
 #ifndef BVC_CACHE_CACHE_LINE_HH_
 #define BVC_CACHE_CACHE_LINE_HH_
 
+#include "util/strong_types.hh"
 #include "util/types.hh"
 
 namespace bvc
@@ -20,7 +21,7 @@ struct CacheLine
     bool valid = false;
     bool dirty = false;
     /** Compressed size in 4B segments recorded at fill/writeback time. */
-    unsigned segments = kSegmentsPerLine;
+    SegCount segments = kFullLineSegments;
 
     void
     invalidate()
@@ -28,7 +29,7 @@ struct CacheLine
         valid = false;
         dirty = false;
         tag = 0;
-        segments = kSegmentsPerLine;
+        segments = kFullLineSegments;
     }
 };
 

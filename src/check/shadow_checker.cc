@@ -21,6 +21,7 @@ accessTypeName(AccessType type)
 {
     switch (type) {
       case AccessType::Read: return "Read";
+      case AccessType::Write: return "Write";
       case AccessType::Prefetch: return "Prefetch";
       case AccessType::Writeback: return "Writeback";
     }
@@ -143,25 +144,27 @@ ShadowChecker::checkMirror(Addr blk, const LlcResult &got,
     // Way-exact tag/valid/dirty mirror of the accessed set. Way-exact
     // (not just same contents) because chooseBaseWay() replicates the
     // uncompressed fill rule: invalid-way-first, then policy victim.
-    const std::size_t set = shadow_->setIndex(blk);
-    for (std::size_t w = 0; w < shadow_->numWays(); ++w) {
+    const SetIdx set = shadow_->setIndex(blk);
+    for (const WayIdx w : indexRange<WayIdx>(shadow_->numWays())) {
         const CacheLine &ref = shadow_->lineAt(set, w);
         const CacheLine &base =
             bv_ != nullptr ? bv_->baseLineAt(set, w)
                            : unc_->lineAt(set, w);
         if (ref.valid != base.valid)
-            fail("valid-bit mismatch in set " + std::to_string(set) +
-                 " way " + std::to_string(w));
+            fail("valid-bit mismatch in set " +
+                 std::to_string(set.get()) + " way " +
+                 std::to_string(w.get()));
         if (!ref.valid)
             continue;
         if (ref.tag != base.tag)
-            fail("tag mismatch in set " + std::to_string(set) +
-                 " way " + std::to_string(w) + ": base " +
+            fail("tag mismatch in set " + std::to_string(set.get()) +
+                 " way " + std::to_string(w.get()) + ": base " +
                  std::to_string(base.tag) + " vs shadow " +
                  std::to_string(ref.tag));
         if (ref.dirty != base.dirty)
-            fail("dirty-bit mismatch in set " + std::to_string(set) +
-                 " way " + std::to_string(w) + " (blk " +
+            fail("dirty-bit mismatch in set " +
+                 std::to_string(set.get()) + " way " +
+                 std::to_string(w.get()) + " (blk " +
                  std::to_string(ref.tag) + ")");
     }
 
@@ -174,7 +177,7 @@ ShadowChecker::checkMirror(Addr blk, const LlcResult &got,
                        : unc_->replStateSnapshot(set);
     if (refState != baseState)
         fail("baseline replacement state diverged from the shadow in "
-             "set " + std::to_string(set));
+             "set " + std::to_string(set.get()));
 
     // Memory traffic equivalence: dirty base victims write back at the
     // same points (victim insertions are clean, hence silent), and the

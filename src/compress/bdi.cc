@@ -110,11 +110,9 @@ BdiCompressor::analyzeBaseDelta(const std::uint8_t *line,
             maskBits |= 1ULL << i;
             continue;
         }
-        const std::int64_t delta =
-            static_cast<std::int64_t>(raw) - static_cast<std::int64_t>(base);
-        // Compare in the element's own width to handle wraparound.
-        const auto deltaNarrow = signExtend(
-            static_cast<std::uint64_t>(delta), baseBytes * 8);
+        // Subtract in unsigned (wraps, no overflow UB), then compare
+        // in the element's own width to handle wraparound.
+        const auto deltaNarrow = signExtend(raw - base, baseBytes * 8);
         if (!fitsSigned(deltaNarrow, deltaBits))
             return false;
         maskBits |= 1ULL << i;

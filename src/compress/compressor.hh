@@ -38,7 +38,7 @@ struct CompressedBlock
  * if they were clamped, so a compressor that violated its <= kLineBytes
  * contract (see Compressor::compress()) is an internal bug and panics.
  */
-constexpr unsigned
+[[nodiscard]] constexpr unsigned
 bytesToSegments(std::size_t bytes)
 {
     if (bytes > kLineBytes)
@@ -74,7 +74,8 @@ class Compressor
     virtual ~Compressor() = default;
 
     /** Compress one kLineBytes-sized line (encode path). */
-    virtual CompressedBlock compress(const std::uint8_t *line) const = 0;
+    [[nodiscard]] virtual CompressedBlock
+    compress(const std::uint8_t *line) const = 0;
 
     /**
      * Exact compressed size of `line` in bytes (size-only path), equal
@@ -82,7 +83,8 @@ class Compressor
      * base implementation runs the full encode; every bundled codec
      * overrides it with an allocation-free computation.
      */
-    virtual std::size_t compressedBytes(const std::uint8_t *line) const;
+    [[nodiscard]] virtual std::size_t
+    compressedBytes(const std::uint8_t *line) const;
 
     /**
      * Reconstruct the original 64 bytes from a block previously produced
@@ -94,7 +96,7 @@ class Compressor
                             std::uint8_t *out) const = 0;
 
     /** Human-readable algorithm name ("BDI", "FPC", ...). */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /**
      * Decompression latency in core cycles for a line stored with the
@@ -102,14 +104,16 @@ class Compressor
      * detected from the tag-metadata size field and skip decompression
      * (Section V), which implementations express by returning 0.
      */
-    virtual unsigned decompressionCycles(unsigned segments) const;
+    [[nodiscard]] virtual unsigned
+    decompressionCycles(unsigned segments) const;
 
     /**
      * Convenience: compressed size of `line` in 4-byte segments. This is
      * what the compressed-cache models store in tag metadata. Runs the
      * size-only path.
      */
-    unsigned compressedSegments(const std::uint8_t *line) const;
+    [[nodiscard]] unsigned
+    compressedSegments(const std::uint8_t *line) const;
 };
 
 } // namespace bvc

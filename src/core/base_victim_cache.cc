@@ -76,81 +76,81 @@ BaseVictimLlc::BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
     victimRepl_ = makeVictimReplacement(victimRepl, sets_, ways_);
 }
 
-std::size_t
+SetIdx
 BaseVictimLlc::setIndex(Addr blk) const
 {
-    return (blk >> kLineShift) & (sets_ - 1);
+    return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
 CacheLine &
-BaseVictimLlc::baseLine(std::size_t set, std::size_t way)
+BaseVictimLlc::baseLine(SetIdx set, WayIdx way)
 {
-    return base_[set * ways_ + way];
+    return base_[set.get() * ways_ + way.get()];
 }
 
 const CacheLine &
-BaseVictimLlc::baseLine(std::size_t set, std::size_t way) const
+BaseVictimLlc::baseLine(SetIdx set, WayIdx way) const
 {
-    return base_[set * ways_ + way];
+    return base_[set.get() * ways_ + way.get()];
 }
 
 CacheLine &
-BaseVictimLlc::victimLine(std::size_t set, std::size_t way)
+BaseVictimLlc::victimLine(SetIdx set, WayIdx way)
 {
-    return victim_[set * ways_ + way];
+    return victim_[set.get() * ways_ + way.get()];
 }
 
 const CacheLine &
-BaseVictimLlc::victimLine(std::size_t set, std::size_t way) const
+BaseVictimLlc::victimLine(SetIdx set, WayIdx way) const
 {
-    return victim_[set * ways_ + way];
+    return victim_[set.get() * ways_ + way.get()];
 }
 
-std::size_t
-BaseVictimLlc::findBase(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+BaseVictimLlc::findBase(SetIdx set, Addr blk) const
 {
-    for (std::size_t w = 0; w < ways_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
         const CacheLine &line = baseLine(set, w);
         if (line.valid && line.tag == blk)
             return w;
     }
-    return ways_;
+    return std::nullopt;
 }
 
-std::size_t
-BaseVictimLlc::findVictim(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+BaseVictimLlc::findVictim(SetIdx set, Addr blk) const
 {
-    for (std::size_t w = 0; w < ways_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
         const CacheLine &line = victimLine(set, w);
         if (line.valid && line.tag == blk)
             return w;
     }
-    return ways_;
+    return std::nullopt;
 }
 
-unsigned
+SegCount
 BaseVictimLlc::quantizedSegments(const std::uint8_t *data) const
 {
-    const unsigned segments = compressedSegmentsFor(comp_, data);
+    const unsigned segments = compressedSegmentsFor(comp_, data).get();
     // Round up to the size-field granularity (e.g. 8B alignment stores
     // sizes in 2-segment steps).
-    return (segments + quantumSegments_ - 1) / quantumSegments_ *
-        quantumSegments_;
+    return SegCount{(segments + quantumSegments_ - 1) /
+                    quantumSegments_ * quantumSegments_};
 }
 
-std::size_t
-BaseVictimLlc::chooseBaseWay(std::size_t set)
+WayIdx
+BaseVictimLlc::chooseBaseWay(SetIdx set)
 {
     // Must match UncompressedLlc exactly: invalid way first, then the
     // policy's victim (this is what makes the mirror invariant hold).
-    for (std::size_t w = 0; w < ways_; ++w)
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
         if (!baseLine(set, w).valid)
             return w;
     return baseRepl_->victim(set);
 }
 
 void
-BaseVictimLlc::silentEvictVictim(std::size_t set, std::size_t way,
+BaseVictimLlc::silentEvictVictim(SetIdx set, WayIdx way,
                                  VictimEvictReason reason,
                                  LlcResult &result)
 {
@@ -173,15 +173,16 @@ BaseVictimLlc::silentEvictVictim(std::size_t set, std::size_t way,
 }
 
 bool
-BaseVictimLlc::tryInsertVictim(std::size_t set, const CacheLine &line,
+BaseVictimLlc::tryInsertVictim(SetIdx set, const CacheLine &line,
                                LlcResult &result)
 {
     // Collect every way where the victim fits beside the base line.
     std::vector<VictimCandidate> candidates;
-    for (std::size_t w = 0; w < ways_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
         const CacheLine &base = baseLine(set, w);
-        const unsigned baseSegs = base.valid ? base.segments : 0;
-        if (baseSegs + line.segments > kSegmentsPerLine)
+        const SegCount baseSegs =
+            base.valid ? base.segments : kZeroLineSegments;
+        if (baseSegs + line.segments > kFullLineSegments)
             continue;
         const CacheLine &resident = victimLine(set, w);
         candidates.push_back(VictimCandidate{
@@ -195,7 +196,7 @@ BaseVictimLlc::tryInsertVictim(std::size_t set, const CacheLine &line,
         return false;
     }
 
-    const std::size_t way = victimRepl_->choose(set, candidates);
+    const WayIdx way = victimRepl_->choose(set, candidates);
     silentEvictVictim(set, way, VictimEvictReason::Displaced, result);
 
     CacheLine &slot = victimLine(set, way);
@@ -211,7 +212,7 @@ BaseVictimLlc::tryInsertVictim(std::size_t set, const CacheLine &line,
 }
 
 void
-BaseVictimLlc::installBase(std::size_t set, std::size_t way,
+BaseVictimLlc::installBase(SetIdx set, WayIdx way,
                            const CacheLine &incoming, LlcResult &result)
 {
     CacheLine replaced = baseLine(set, way);
@@ -236,7 +237,7 @@ BaseVictimLlc::installBase(std::size_t set, std::size_t way,
     // with it in the same physical way.
     const CacheLine &partner = victimLine(set, way);
     if (partner.valid &&
-        incoming.segments + partner.segments > kSegmentsPerLine) {
+        incoming.segments + partner.segments > kFullLineSegments) {
         silentEvictVictim(set, way, VictimEvictReason::Partner, result);
     }
 
@@ -260,7 +261,7 @@ LlcResult
 BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 {
     LlcResult result;
-    const std::size_t set = setIndex(blk);
+    const SetIdx set = setIndex(blk);
     const bool demand = type == AccessType::Read;
 
     ++ctr_.accesses;
@@ -271,37 +272,36 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     result.extraLatency = 1;
 
     // --- Hit in the Baseline Cache (Sections IV.B.4 / IV.B.5) ---
-    const std::size_t bway = findBase(set, blk);
-    if (bway != ways_) {
+    if (const std::optional<WayIdx> bway = findBase(set, blk)) {
         result.hit = true;
-        CacheLine &line = baseLine(set, bway);
+        CacheLine &line = baseLine(set, *bway);
         // A writeback overwrites the whole line, so the stored copy is
         // never decompressed: no latency charge, no counter bump.
         if (type != AccessType::Writeback) {
             result.extraLatency +=
                 decompressLatencyFor(comp_, line.segments);
-            if (line.segments > 0 && line.segments < kSegmentsPerLine)
+            if (needsDecompression(line.segments))
                 ++ctr_.decompressions;
         }
 
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
             line.dirty = true;
-            const unsigned newSegs = quantizedSegments(data);
+            const SegCount newSegs = quantizedSegments(data);
             ++ctr_.compressions;
-            const CacheLine &partner = victimLine(set, bway);
+            const CacheLine &partner = victimLine(set, *bway);
             if (partner.valid &&
-                newSegs + partner.segments > kSegmentsPerLine) {
+                newSegs + partner.segments > kFullLineSegments) {
                 // Write hit grows the base line: silently evict the
                 // victim partner even if it was recently used (IV.B.5).
-                silentEvictVictim(set, bway,
+                silentEvictVictim(set, *bway,
                                   VictimEvictReason::WriteGrowth, result);
             }
             line.segments = newSegs;
         } else if (demand) {
             ++ctr_.demandHits;
             ++ctr_.baseHits;
-            baseRepl_->onHit(set, bway);
+            baseRepl_->onHit(set, *bway);
         } else {
             ++ctr_.prefetchHits;
         }
@@ -309,8 +309,7 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     }
 
     // --- Hit in the Victim Cache (Sections IV.B.2 / IV.B.3) ---
-    const std::size_t vway = findVictim(set, blk);
-    if (vway != ways_) {
+    if (const std::optional<WayIdx> vway = findVictim(set, blk)) {
         panicIf(type == AccessType::Writeback && inclusive_,
                 "Base-Victim: writeback hit the Victim Cache "
                 "(impossible for inclusive hierarchies, Section IV.B.3)");
@@ -327,16 +326,14 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
             ++ctr_.victimWriteHits;
         }
 
-        CacheLine promoted = victimLine(set, vway);
+        CacheLine promoted = victimLine(set, *vway);
         // Writebacks overwrite the whole line; only reads/prefetches
         // decompress the stored victim copy.
         if (type != AccessType::Writeback) {
             result.extraLatency +=
                 decompressLatencyFor(comp_, promoted.segments);
-            if (promoted.segments > 0 &&
-                promoted.segments < kSegmentsPerLine) {
+            if (needsDecompression(promoted.segments))
                 ++ctr_.decompressions;
-            }
         }
 
         if (type == AccessType::Writeback) {
@@ -352,13 +349,12 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         // on its (inevitable) miss for this access. The vacated victim
         // slot stays eligible for the displaced base line (see
         // installBase()).
-        victimRepl_->onHit(set, vway);
-        victimLine(set, vway).invalidate();
+        victimRepl_->onHit(set, *vway);
+        victimLine(set, *vway).invalidate();
         ++ctr_.promotions;
         ctr_.dataMovements += 1;
 
-        const std::size_t way = chooseBaseWay(set);
-        installBase(set, way, promoted, result);
+        installBase(set, chooseBaseWay(set), promoted, result);
         return result;
     }
 
@@ -380,37 +376,36 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     incoming.segments = quantizedSegments(data);
     ++ctr_.compressions;
 
-    const std::size_t way = chooseBaseWay(set);
-    installBase(set, way, incoming, result);
+    installBase(set, chooseBaseWay(set), incoming, result);
     return result;
 }
 
 bool
 BaseVictimLlc::probe(Addr blk) const
 {
-    const std::size_t set = setIndex(blk);
-    return findBase(set, blk) != ways_ || findVictim(set, blk) != ways_;
+    const SetIdx set = setIndex(blk);
+    return findBase(set, blk).has_value() ||
+        findVictim(set, blk).has_value();
 }
 
 bool
 BaseVictimLlc::probeBase(Addr blk) const
 {
-    return findBase(setIndex(blk), blk) != ways_;
+    return findBase(setIndex(blk), blk).has_value();
 }
 
 bool
 BaseVictimLlc::probeVictim(Addr blk) const
 {
-    return findVictim(setIndex(blk), blk) != ways_;
+    return findVictim(setIndex(blk), blk).has_value();
 }
 
 void
 BaseVictimLlc::downgradeHint(Addr blk)
 {
-    const std::size_t set = setIndex(blk);
-    const std::size_t way = findBase(set, blk);
-    if (way != ways_)
-        baseRepl_->downgradeHint(set, way);
+    const SetIdx set = setIndex(blk);
+    if (const std::optional<WayIdx> way = findBase(set, blk))
+        baseRepl_->downgradeHint(set, *way);
 }
 
 std::size_t
@@ -427,10 +422,10 @@ BaseVictimLlc::validLines() const
 }
 
 std::vector<Addr>
-BaseVictimLlc::baseSetContents(std::size_t set) const
+BaseVictimLlc::baseSetContents(SetIdx set) const
 {
     std::vector<Addr> contents;
-    for (std::size_t w = 0; w < ways_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
         const CacheLine &line = baseLine(set, w);
         if (line.valid)
             contents.push_back(line.tag);
@@ -440,37 +435,37 @@ BaseVictimLlc::baseSetContents(std::size_t set) const
 }
 
 std::string
-BaseVictimLlc::checkSetInvariants(std::size_t set) const
+BaseVictimLlc::checkSetInvariants(SetIdx set) const
 {
-    for (std::size_t w = 0; w < ways_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
         const CacheLine &base = baseLine(set, w);
         const CacheLine &vict = victimLine(set, w);
-        if (base.valid && base.segments > kSegmentsPerLine)
+        if (base.valid && base.segments > kFullLineSegments)
             return "base line exceeds 16 segments in way " +
-                std::to_string(w);
+                std::to_string(w.get());
         if (!vict.valid)
             continue;
-        if (vict.segments > kSegmentsPerLine)
+        if (vict.segments > kFullLineSegments)
             return "victim line exceeds 16 segments in way " +
-                std::to_string(w);
+                std::to_string(w.get());
         if (inclusive_ && vict.dirty)
             return "dirty victim line in the inclusive Victim Cache "
-                   "(way " + std::to_string(w) + ")";
+                   "(way " + std::to_string(w.get()) + ")";
         if (base.valid &&
-            base.segments + vict.segments > kSegmentsPerLine) {
-            return "pair-fit violated in way " + std::to_string(w) +
-                ": " + std::to_string(base.segments) + " + " +
-                std::to_string(vict.segments) + " segments";
+            base.segments + vict.segments > kFullLineSegments) {
+            return "pair-fit violated in way " + std::to_string(w.get()) +
+                ": " + std::to_string(base.segments.get()) + " + " +
+                std::to_string(vict.segments.get()) + " segments";
         }
-        if (findBase(set, vict.tag) != ways_)
+        if (findBase(set, vict.tag).has_value())
             return "tag in both B and V sections (way " +
-                std::to_string(w) + ")";
-        for (std::size_t other = w + 1; other < ways_; ++other) {
+                std::to_string(w.get()) + ")";
+        for (WayIdx other{w.get() + 1}; other.get() < ways_; ++other) {
             const CacheLine &dup = victimLine(set, other);
             if (dup.valid && dup.tag == vict.tag)
                 return "duplicate tag in the Victim Cache (ways " +
-                    std::to_string(w) + " and " + std::to_string(other) +
-                    ")";
+                    std::to_string(w.get()) + " and " +
+                    std::to_string(other.get()) + ")";
         }
     }
     return {};
@@ -479,7 +474,7 @@ BaseVictimLlc::checkSetInvariants(std::size_t set) const
 bool
 BaseVictimLlc::checkInvariants() const
 {
-    for (std::size_t set = 0; set < sets_; ++set)
+    for (const SetIdx set : indexRange<SetIdx>(sets_))
         if (!checkSetInvariants(set).empty())
             return false;
     return true;

@@ -24,6 +24,7 @@
 #define BVC_CORE_BASE_VICTIM_CACHE_HH_
 
 #include <memory>
+#include <optional>
 
 #include "cache/cache_line.hh"
 #include "core/llc_interface.hh"
@@ -61,24 +62,27 @@ class BaseVictimLlc : public Llc
 
     LlcResult access(Addr blk, AccessType type,
                      const std::uint8_t *data) override;
-    bool probe(Addr blk) const override;
-    bool probeBase(Addr blk) const override;
+    [[nodiscard]] bool probe(Addr blk) const override;
+    [[nodiscard]] bool probeBase(Addr blk) const override;
     void downgradeHint(Addr blk) override;
-    std::size_t validLines() const override;
-    std::string name() const override { return "BaseVictim"; }
+    [[nodiscard]] std::size_t validLines() const override;
+    [[nodiscard]] std::string name() const override
+    {
+        return "BaseVictim";
+    }
 
-    std::size_t numSets() const { return sets_; }
-    std::size_t numWays() const { return ways_; }
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
+    [[nodiscard]] std::size_t numWays() const { return ways_; }
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /** True if `blk` currently resides in the Victim Cache section. */
-    bool probeVictim(Addr blk) const;
+    [[nodiscard]] bool probeVictim(Addr blk) const;
 
     /** Sorted valid base-line addresses of a set (mirror test). */
-    std::vector<Addr> baseSetContents(std::size_t set) const;
+    [[nodiscard]] std::vector<Addr> baseSetContents(SetIdx set) const;
 
     /** Invariant: every victim line is clean and pair-fit holds. */
-    bool checkInvariants() const;
+    [[nodiscard]] bool checkInvariants() const;
 
     /**
      * Structural invariants of one set (Section IV.A): clean-only
@@ -86,19 +90,21 @@ class BaseVictimLlc : public Llc
      * way, no line in both sections. Empty string when they hold,
      * otherwise a description of the first violation.
      */
-    std::string checkSetInvariants(std::size_t set) const;
+    [[nodiscard]] std::string checkSetInvariants(SetIdx set) const;
 
     /** True in the paper's inclusive configuration (Section IV.B.3). */
-    bool inclusive() const { return inclusive_; }
+    [[nodiscard]] bool inclusive() const { return inclusive_; }
 
     /** Raw Baseline-Cache line (lockstep mirror check). */
-    const CacheLine &baseLineAt(std::size_t set, std::size_t way) const
+    [[nodiscard]] const CacheLine &baseLineAt(SetIdx set,
+                                              WayIdx way) const
     {
         return baseLine(set, way);
     }
 
     /** Raw Victim-Cache line (structural checks, tests). */
-    const CacheLine &victimLineAt(std::size_t set, std::size_t way) const
+    [[nodiscard]] const CacheLine &victimLineAt(SetIdx set,
+                                                WayIdx way) const
     {
         return victimLine(set, way);
     }
@@ -108,14 +114,14 @@ class BaseVictimLlc : public Llc
      * death tests force a corrupted state (dirty inclusive victim,
      * duplicated tag) that no legal access sequence can produce.
      */
-    CacheLine &debugVictimLineAt(std::size_t set, std::size_t way)
+    [[nodiscard]] CacheLine &debugVictimLineAt(SetIdx set, WayIdx way)
     {
         return victimLine(set, way);
     }
 
     /** Baseline replacement state words for `set` (lockstep check). */
-    std::vector<std::uint64_t>
-    baseReplStateSnapshot(std::size_t set) const
+    [[nodiscard]] std::vector<std::uint64_t>
+    baseReplStateSnapshot(SetIdx set) const
     {
         return baseRepl_->stateSnapshot(set);
     }
@@ -154,16 +160,18 @@ class BaseVictimLlc : public Llc
         Counter &silentEvictions(VictimEvictReason reason);
     };
 
-    CacheLine &baseLine(std::size_t set, std::size_t way);
-    const CacheLine &baseLine(std::size_t set, std::size_t way) const;
-    CacheLine &victimLine(std::size_t set, std::size_t way);
-    const CacheLine &victimLine(std::size_t set, std::size_t way) const;
+    CacheLine &baseLine(SetIdx set, WayIdx way);
+    const CacheLine &baseLine(SetIdx set, WayIdx way) const;
+    CacheLine &victimLine(SetIdx set, WayIdx way);
+    const CacheLine &victimLine(SetIdx set, WayIdx way) const;
 
-    std::size_t findBase(std::size_t set, Addr blk) const;
-    std::size_t findVictim(std::size_t set, Addr blk) const;
+    [[nodiscard]] std::optional<WayIdx> findBase(SetIdx set,
+                                                 Addr blk) const;
+    [[nodiscard]] std::optional<WayIdx> findVictim(SetIdx set,
+                                                   Addr blk) const;
 
     /** Baseline victim way: invalid-first, then the base policy. */
-    std::size_t chooseBaseWay(std::size_t set);
+    [[nodiscard]] WayIdx chooseBaseWay(SetIdx set);
 
     /**
      * Install `incoming` into base way `way`, handling the eviction of
@@ -177,14 +185,14 @@ class BaseVictimLlc : public Llc
      * freed slot is often the best (displace-nothing) candidate — the
      * default ECM policy prefers it.
      */
-    void installBase(std::size_t set, std::size_t way,
-                     const CacheLine &incoming, LlcResult &result);
+    void installBase(SetIdx set, WayIdx way, const CacheLine &incoming,
+                     LlcResult &result);
 
     /**
      * Opportunistically place a base-eviction into the Victim Cache.
      * @return true if the line was parked (not dropped)
      */
-    bool tryInsertVictim(std::size_t set, const CacheLine &line,
+    bool tryInsertVictim(SetIdx set, const CacheLine &line,
                          LlcResult &result);
 
     /**
@@ -192,11 +200,12 @@ class BaseVictimLlc : public Llc
      * inclusive configuration (victims are clean); in non-inclusive
      * mode a dirty victim writes back through `result`.
      */
-    void silentEvictVictim(std::size_t set, std::size_t way,
+    void silentEvictVictim(SetIdx set, WayIdx way,
                            VictimEvictReason reason, LlcResult &result);
 
     /** Compressed size of `data` aligned to the segment quantum. */
-    unsigned quantizedSegments(const std::uint8_t *data) const;
+    [[nodiscard]] SegCount quantizedSegments(
+        const std::uint8_t *data) const;
 
     std::size_t sets_;
     std::size_t ways_;

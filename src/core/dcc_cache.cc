@@ -48,43 +48,52 @@ DccLlc::subIndex(Addr blk)
     return static_cast<unsigned>((blk >> kLineShift) % kSubBlocks);
 }
 
-std::size_t
+SetIdx
 DccLlc::setIndex(Addr blk) const
 {
     // Super-blocks (not lines) interleave across sets so that all four
     // sub-blocks of a super-block land in the same set.
-    return (blk >> (kLineShift + 2)) & (sets_ - 1);
+    return SetIdx{(blk >> (kLineShift + 2)) & (sets_ - 1)};
 }
 
 DccLlc::SuperBlock &
-DccLlc::sb(std::size_t set, std::size_t way)
+DccLlc::sb(SetIdx set, WayIdx way)
 {
-    return blocks_[set * physWays_ + way];
+    return blocks_[set.get() * physWays_ + way.get()];
 }
 
 const DccLlc::SuperBlock &
-DccLlc::sb(std::size_t set, std::size_t way) const
+DccLlc::sb(SetIdx set, WayIdx way) const
 {
-    return blocks_[set * physWays_ + way];
+    return blocks_[set.get() * physWays_ + way.get()];
 }
 
-std::size_t
-DccLlc::findWay(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+DccLlc::findWay(SetIdx set, Addr blk) const
 {
     const Addr tag = superTag(blk);
-    for (std::size_t w = 0; w < physWays_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
         const SuperBlock &block = sb(set, w);
         if (block.valid && block.tag == tag)
             return w;
     }
-    return physWays_;
+    return std::nullopt;
 }
 
-unsigned
-DccLlc::usedSegments(std::size_t set) const
+std::optional<WayIdx>
+DccLlc::freeWay(SetIdx set) const
 {
-    unsigned used = 0;
-    for (std::size_t w = 0; w < physWays_; ++w) {
+    for (const WayIdx w : indexRange<WayIdx>(physWays_))
+        if (!sb(set, w).valid)
+            return w;
+    return std::nullopt;
+}
+
+SegCount
+DccLlc::usedSegments(SetIdx set) const
+{
+    SegCount used{0};
+    for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
         const SuperBlock &block = sb(set, w);
         if (!block.valid)
             continue;
@@ -96,8 +105,7 @@ DccLlc::usedSegments(std::size_t set) const
 }
 
 void
-DccLlc::evictSuperBlock(std::size_t set, std::size_t way,
-                        LlcResult &result)
+DccLlc::evictSuperBlock(SetIdx set, WayIdx way, LlcResult &result)
 {
     SuperBlock &block = sb(set, way);
     panicIf(!block.valid, "DCC: evicting invalid super-block");
@@ -119,26 +127,21 @@ DccLlc::evictSuperBlock(std::size_t set, std::size_t way,
 }
 
 void
-DccLlc::makeRoom(std::size_t set, unsigned segments, bool needTag,
+DccLlc::makeRoom(SetIdx set, SegCount segments, bool needTag,
                  LlcResult &result)
 {
-    const auto capacity =
-        static_cast<unsigned>(physWays_ * kSegmentsPerLine);
-    bool haveTag = !needTag;
-    if (needTag) {
-        for (std::size_t w = 0; w < physWays_; ++w)
-            haveTag = haveTag || !sb(set, w).valid;
-    }
+    const SegCount capacity{physWays_ * kSegmentsPerLine};
+    bool haveTag = !needTag || freeWay(set).has_value();
     while (usedSegments(set) + segments > capacity || !haveTag) {
-        std::size_t victim = physWays_;
-        for (const std::size_t cand : repl_->rank(set)) {
+        std::optional<WayIdx> victim;
+        for (const WayIdx cand : repl_->rank(set)) {
             if (sb(set, cand).valid) {
                 victim = cand;
                 break;
             }
         }
-        panicIf(victim == physWays_, "DCC: nothing left to evict");
-        evictSuperBlock(set, victim, result);
+        panicIf(!victim, "DCC: nothing left to evict");
+        evictSuperBlock(set, *victim, result);
         haveTag = true;
     }
 }
@@ -147,7 +150,7 @@ LlcResult
 DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 {
     LlcResult result;
-    const std::size_t set = setIndex(blk);
+    const SetIdx set = setIndex(blk);
     const unsigned sub = subIndex(blk);
     const bool demand = type == AccessType::Read;
 
@@ -155,43 +158,38 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     if (demand)
         ++ctr_.demandAccesses;
 
-    std::size_t way = findWay(set, blk);
-    if (way != physWays_ && sb(set, way).present[sub]) {
+    std::optional<WayIdx> way = findWay(set, blk);
+    if (way && sb(set, *way).present[sub]) {
         // Sub-block hit.
         result.hit = true;
-        SuperBlock &block = sb(set, way);
+        SuperBlock &block = sb(set, *way);
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
             block.dirty[sub] = true;
-            const unsigned newSegs = compressedSegmentsFor(comp_, data);
+            const SegCount newSegs = compressedSegmentsFor(comp_, data);
             // Growth may overflow the pool; DCC frees other
             // super-blocks (no re-compaction needed: indirection).
-            block.segments[sub] = 0;
+            block.segments[sub] = SegCount{0};
             makeRoom(set, newSegs, false, result);
             // The accessed super-block may itself have been evicted
             // while making room; re-locate it.
             way = findWay(set, blk);
-            if (way == physWays_) {
+            if (!way) {
                 // Extremely tight set: reinstall just this sub-block.
                 makeRoom(set, newSegs, true, result);
-                for (std::size_t w = 0; w < physWays_; ++w) {
-                    if (!sb(set, w).valid) {
-                        way = w;
-                        break;
-                    }
-                }
-                SuperBlock &fresh = sb(set, way);
+                way = freeWay(set);
+                SuperBlock &fresh = sb(set, *way);
                 fresh.valid = true;
                 fresh.tag = superTag(blk);
-                repl_->onFill(set, way);
+                repl_->onFill(set, *way);
             }
-            SuperBlock &owner = sb(set, way);
+            SuperBlock &owner = sb(set, *way);
             owner.present[sub] = true;
             owner.dirty[sub] = true;
             owner.segments[sub] = newSegs;
         } else if (demand) {
             ++ctr_.demandHits;
-            repl_->onHit(set, way);
+            repl_->onHit(set, *way);
         } else {
             ++ctr_.prefetchHits;
         }
@@ -206,31 +204,26 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     else
         ++ctr_.prefetchMisses;
 
-    const unsigned segments = compressedSegmentsFor(comp_, data);
-    const bool needTag = way == physWays_;
+    const SegCount segments = compressedSegmentsFor(comp_, data);
+    const bool needTag = !way.has_value();
     makeRoom(set, segments, needTag, result);
     // makeRoom may have evicted the super-block we matched earlier.
     way = findWay(set, blk);
 
-    if (way == physWays_) {
-        for (std::size_t w = 0; w < physWays_; ++w) {
-            if (!sb(set, w).valid) {
-                way = w;
-                break;
-            }
-        }
-        panicIf(way == physWays_, "DCC: no free tag after makeRoom");
-        SuperBlock &fresh = sb(set, way);
+    if (!way) {
+        way = freeWay(set);
+        panicIf(!way, "DCC: no free tag after makeRoom");
+        SuperBlock &fresh = sb(set, *way);
         fresh.valid = true;
         fresh.tag = superTag(blk);
         ++ctr_.superblockFills;
     }
 
-    SuperBlock &block = sb(set, way);
+    SuperBlock &block = sb(set, *way);
     block.present[sub] = true;
     block.dirty[sub] = false;
     block.segments[sub] = segments;
-    repl_->onFill(set, way);
+    repl_->onFill(set, *way);
     ++ctr_.fills;
     return result;
 }
@@ -238,9 +231,9 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 bool
 DccLlc::probe(Addr blk) const
 {
-    const std::size_t set = setIndex(blk);
-    const std::size_t way = findWay(set, blk);
-    return way != physWays_ && sb(set, way).present[subIndex(blk)];
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> way = findWay(set, blk);
+    return way && sb(set, *way).present[subIndex(blk)];
 }
 
 std::size_t
@@ -257,33 +250,34 @@ DccLlc::validLines() const
 }
 
 std::string
-DccLlc::checkSetInvariants(std::size_t set) const
+DccLlc::checkSetInvariants(SetIdx set) const
 {
-    const unsigned capacity =
-        static_cast<unsigned>(physWays_) * kSegmentsPerLine;
+    const SegCount capacity{physWays_ * kSegmentsPerLine};
     if (usedSegments(set) > capacity)
         return "segment pool over budget: " +
-            std::to_string(usedSegments(set)) + " > " +
-            std::to_string(capacity);
-    for (std::size_t w = 0; w < physWays_; ++w) {
+            std::to_string(usedSegments(set).get()) + " > " +
+            std::to_string(capacity.get());
+    for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
         const SuperBlock &block = sb(set, w);
         if (!block.valid) {
             for (unsigned s = 0; s < kSubBlocks; ++s)
                 if (block.present[s])
                     return "present sub-block under an invalid tag "
-                           "(way " + std::to_string(w) + ")";
+                           "(way " + std::to_string(w.get()) + ")";
             continue;
         }
         for (unsigned s = 0; s < kSubBlocks; ++s)
             if (block.present[s] &&
-                block.segments[s] > kSegmentsPerLine)
+                block.segments[s] > kFullLineSegments)
                 return "sub-block exceeds 16 segments (way " +
-                    std::to_string(w) + ")";
-        for (std::size_t other = w + 1; other < physWays_; ++other) {
+                    std::to_string(w.get()) + ")";
+        for (WayIdx other{w.get() + 1}; other.get() < physWays_;
+             ++other) {
             const SuperBlock &dup = sb(set, other);
             if (dup.valid && dup.tag == block.tag)
                 return "duplicate super-block tag in ways " +
-                    std::to_string(w) + " and " + std::to_string(other);
+                    std::to_string(w.get()) + " and " +
+                    std::to_string(other.get());
         }
     }
     return {};

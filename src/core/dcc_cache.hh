@@ -15,6 +15,7 @@
 #define BVC_CORE_DCC_CACHE_HH_
 
 #include <memory>
+#include <optional>
 
 #include "core/llc_interface.hh"
 #include "replacement/lru.hh"
@@ -40,16 +41,19 @@ class DccLlc : public Llc
 
     LlcResult access(Addr blk, AccessType type,
                      const std::uint8_t *data) override;
-    bool probe(Addr blk) const override;
-    bool probeBase(Addr blk) const override { return probe(blk); }
-    std::size_t validLines() const override;
-    std::string name() const override { return "DCC"; }
+    [[nodiscard]] bool probe(Addr blk) const override;
+    [[nodiscard]] bool probeBase(Addr blk) const override
+    {
+        return probe(blk);
+    }
+    [[nodiscard]] std::size_t validLines() const override;
+    [[nodiscard]] std::string name() const override { return "DCC"; }
 
-    std::size_t numSets() const { return sets_; }
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
     /** Segments used in one set (must stay within the pool). */
-    unsigned usedSegments(std::size_t set) const;
+    [[nodiscard]] SegCount usedSegments(SetIdx set) const;
     /** Set index for a block address (tests). */
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /**
      * Structural invariants of one set: segment pool within the
@@ -57,7 +61,7 @@ class DccLlc : public Llc
      * super-block tags, presence bits only under valid tags. Empty
      * string when they hold, otherwise the first violation.
      */
-    std::string checkSetInvariants(std::size_t set) const;
+    [[nodiscard]] std::string checkSetInvariants(SetIdx set) const;
 
   private:
     /** One super-block tag entry. */
@@ -67,24 +71,27 @@ class DccLlc : public Llc
         bool valid = false;
         bool present[kSubBlocks] = {};
         bool dirty[kSubBlocks] = {};
-        unsigned segments[kSubBlocks] = {};
+        SegCount segments[kSubBlocks] = {};
     };
 
-    SuperBlock &sb(std::size_t set, std::size_t way);
-    const SuperBlock &sb(std::size_t set, std::size_t way) const;
+    SuperBlock &sb(SetIdx set, WayIdx way);
+    const SuperBlock &sb(SetIdx set, WayIdx way) const;
 
-    static Addr superTag(Addr blk);
-    static unsigned subIndex(Addr blk);
+    [[nodiscard]] static Addr superTag(Addr blk);
+    [[nodiscard]] static unsigned subIndex(Addr blk);
 
-    std::size_t findWay(std::size_t set, Addr blk) const;
+    [[nodiscard]] std::optional<WayIdx> findWay(SetIdx set,
+                                                Addr blk) const;
 
     /** Drop one whole super-block (LRU), reporting its sub-blocks. */
-    void evictSuperBlock(std::size_t set, std::size_t way,
-                         LlcResult &result);
+    void evictSuperBlock(SetIdx set, WayIdx way, LlcResult &result);
 
     /** Free segments/tags until `segments` more fit; LRU order. */
-    void makeRoom(std::size_t set, unsigned segments, bool needTag,
+    void makeRoom(SetIdx set, SegCount segments, bool needTag,
                   LlcResult &result);
+
+    /** First invalid super-block tag of `set`, if any. */
+    [[nodiscard]] std::optional<WayIdx> freeWay(SetIdx set) const;
 
     /** Per-access counters resolved once (no string lookups per hit). */
     struct HotCounters

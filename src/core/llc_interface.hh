@@ -20,6 +20,7 @@
 
 #include "compress/compressor.hh"
 #include "util/stats.hh"
+#include "util/strong_types.hh"
 #include "util/types.hh"
 
 namespace bvc
@@ -73,23 +74,23 @@ class Llc
                              const std::uint8_t *data) = 0;
 
     /** True if any copy of `blk` is present (base or victim section). */
-    virtual bool probe(Addr blk) const = 0;
+    [[nodiscard]] virtual bool probe(Addr blk) const = 0;
 
     /**
      * True if `blk` is present in the baseline content, i.e., would be
      * present in an uncompressed cache. Upper levels may only hold
      * lines for which this is true (inclusion).
      */
-    virtual bool probeBase(Addr blk) const = 0;
+    [[nodiscard]] virtual bool probeBase(Addr blk) const = 0;
 
     /** CHAR-style downgrade hint from an L2 eviction; default ignored. */
     virtual void downgradeHint(Addr) {}
 
     /** Count of valid logical lines (capacity studies). */
-    virtual std::size_t validLines() const = 0;
+    [[nodiscard]] virtual std::size_t validLines() const = 0;
 
     /** Human-readable architecture name. */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /**
      * Virtual so that wrappers (the lockstep ShadowChecker in
@@ -109,23 +110,34 @@ class Llc
  * (tag-only storage, size field 0): see Section V, "Zero blocks and
  * uncompressed blocks can be detected from the data size field".
  */
-inline unsigned
+[[nodiscard]] inline SegCount
 compressedSegmentsFor(const Compressor &comp, const std::uint8_t *data)
 {
     bool zero = true;
     for (std::size_t i = 0; i < kLineBytes && zero; ++i)
         zero = data[i] == 0;
     if (zero)
-        return 0;
+        return kZeroLineSegments;
     // Size-only fast path: the models never consume the payload.
-    return bytesToSegments(comp.compressedBytes(data));
+    return SegCount{bytesToSegments(comp.compressedBytes(data))};
 }
 
 /** Decompression cycles implied by a stored segment count. */
-inline unsigned
-decompressLatencyFor(const Compressor &comp, unsigned segments)
+[[nodiscard]] inline unsigned
+decompressLatencyFor(const Compressor &comp, SegCount segments)
 {
-    return comp.decompressionCycles(segments);
+    return comp.decompressionCycles(segments.get());
+}
+
+/**
+ * True if a stored size implies a real decompression on a read hit:
+ * zero lines and verbatim (full-size) lines skip the decompressor
+ * (Section V).
+ */
+[[nodiscard]] inline bool
+needsDecompression(SegCount segments)
+{
+    return !segments.isZero() && segments < kFullLineSegments;
 }
 
 } // namespace bvc

@@ -40,46 +40,46 @@ TwoTagLlc::TwoTagLlc(std::string statName, std::size_t sizeBytes,
     repl_ = makeReplacement(repl, sets_, numSlots());
 }
 
-std::size_t
+SetIdx
 TwoTagLlc::setIndex(Addr blk) const
 {
-    return (blk >> kLineShift) & (sets_ - 1);
+    return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
 CacheLine &
-TwoTagLlc::slot(std::size_t set, std::size_t s)
+TwoTagLlc::slot(SetIdx set, WayIdx s)
 {
-    return slots_[set * numSlots() + s];
+    return slots_[set.get() * numSlots() + s.get()];
 }
 
 const CacheLine &
-TwoTagLlc::slot(std::size_t set, std::size_t s) const
+TwoTagLlc::slot(SetIdx set, WayIdx s) const
 {
-    return slots_[set * numSlots() + s];
+    return slots_[set.get() * numSlots() + s.get()];
 }
 
-std::size_t
-TwoTagLlc::findSlot(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+TwoTagLlc::findSlot(SetIdx set, Addr blk) const
 {
-    for (std::size_t s = 0; s < numSlots(); ++s) {
+    for (const WayIdx s : indexRange<WayIdx>(numSlots())) {
         const CacheLine &line = slot(set, s);
         if (line.valid && line.tag == blk)
             return s;
     }
-    return numSlots();
+    return std::nullopt;
 }
 
 bool
-TwoTagLlc::fits(std::size_t set, std::size_t s, unsigned segments) const
+TwoTagLlc::fits(SetIdx set, WayIdx s, SegCount segments) const
 {
     const CacheLine &partner = slot(set, partnerOf(s));
     if (!partner.valid)
         return true;
-    return partner.segments + segments <= kSegmentsPerLine;
+    return partner.segments + segments <= kFullLineSegments;
 }
 
 void
-TwoTagLlc::evictSlot(std::size_t set, std::size_t s, LlcResult &result)
+TwoTagLlc::evictSlot(SetIdx set, WayIdx s, LlcResult &result)
 {
     CacheLine &line = slot(set, s);
     panicIf(!line.valid, "TwoTagLlc: evicting invalid slot");
@@ -98,8 +98,8 @@ LlcResult
 TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 {
     LlcResult result;
-    const std::size_t set = setIndex(blk);
-    const std::size_t s = findSlot(set, blk);
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> s = findSlot(set, blk);
     const bool demand = type == AccessType::Read;
 
     ++ctr_.accesses;
@@ -109,34 +109,34 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     // Doubled tags cost one extra lookup cycle on every access (Sec V).
     result.extraLatency = 1;
 
-    if (s != numSlots()) {
+    if (s) {
         result.hit = true;
-        CacheLine &line = slot(set, s);
+        CacheLine &line = slot(set, *s);
         // A writeback overwrites the whole line, so the stored copy is
         // never decompressed: no latency charge, no counter bump.
         if (type != AccessType::Writeback) {
             result.extraLatency +=
                 decompressLatencyFor(comp_, line.segments);
-            if (line.segments > 0 && line.segments < kSegmentsPerLine)
+            if (needsDecompression(line.segments))
                 ++ctr_.decompressions;
         }
 
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
             line.dirty = true;
-            const unsigned newSegs = compressedSegmentsFor(comp_, data);
+            const SegCount newSegs = compressedSegmentsFor(comp_, data);
             ++ctr_.compressions;
-            if (newSegs > line.segments && !fits(set, s, newSegs) &&
-                slot(set, partnerOf(s)).valid) {
+            if (newSegs > line.segments && !fits(set, *s, newSegs) &&
+                slot(set, partnerOf(*s)).valid) {
                 // The rewritten line grew past its partner: evict the
                 // partner (write hit scenario, Section IV.B.5 analog).
                 ++ctr_.partnerEvictionsOnWrite;
-                evictSlot(set, partnerOf(s), result);
+                evictSlot(set, partnerOf(*s), result);
             }
             line.segments = newSegs;
         } else if (demand) {
             ++ctr_.demandHits;
-            repl_->onHit(set, s);
+            repl_->onHit(set, *s);
         } else {
             ++ctr_.prefetchHits;
         }
@@ -151,37 +151,37 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     else
         ++ctr_.prefetchMisses;
 
-    const unsigned segments = compressedSegmentsFor(comp_, data);
+    const SegCount segments = compressedSegmentsFor(comp_, data);
     ++ctr_.compressions;
 
     // Both schemes allocate a fitting invalid tag slot first (normal
     // cache allocation); they differ in victim selection when none is
     // available.
-    std::size_t fillSlot = numSlots();
-    for (std::size_t cand = 0; cand < numSlots(); ++cand) {
+    std::optional<WayIdx> fillSlot;
+    for (const WayIdx cand : indexRange<WayIdx>(numSlots())) {
         if (!slot(set, cand).valid && fits(set, cand, segments)) {
             fillSlot = cand;
             break;
         }
     }
 
-    if (fillSlot == numSlots()) {
+    if (!fillSlot) {
         fillSlot = chooseVictimSlot(set, segments);
-        if (slot(set, fillSlot).valid)
-            evictSlot(set, fillSlot, result);
+        if (slot(set, *fillSlot).valid)
+            evictSlot(set, *fillSlot, result);
     }
-    if (!fits(set, fillSlot, segments)) {
+    if (!fits(set, *fillSlot, segments)) {
         // Partner line victimization (Section III option 1).
         ++ctr_.partnerEvictionsOnFill;
-        evictSlot(set, partnerOf(fillSlot), result);
+        evictSlot(set, partnerOf(*fillSlot), result);
     }
 
-    CacheLine &line = slot(set, fillSlot);
+    CacheLine &line = slot(set, *fillSlot);
     line.tag = blk;
     line.valid = true;
     line.dirty = false;
     line.segments = segments;
-    repl_->onFill(set, fillSlot);
+    repl_->onFill(set, *fillSlot);
     ++ctr_.fills;
     return result;
 }
@@ -189,16 +189,15 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 bool
 TwoTagLlc::probe(Addr blk) const
 {
-    return findSlot(setIndex(blk), blk) != numSlots();
+    return findSlot(setIndex(blk), blk).has_value();
 }
 
 void
 TwoTagLlc::downgradeHint(Addr blk)
 {
-    const std::size_t set = setIndex(blk);
-    const std::size_t s = findSlot(set, blk);
-    if (s != numSlots())
-        repl_->downgradeHint(set, s);
+    const SetIdx set = setIndex(blk);
+    if (const std::optional<WayIdx> s = findSlot(set, blk))
+        repl_->downgradeHint(set, *s);
 }
 
 std::size_t
@@ -214,35 +213,37 @@ TwoTagLlc::validLines() const
 bool
 TwoTagLlc::checkPairFit() const
 {
-    for (std::size_t set = 0; set < sets_; ++set)
+    for (const SetIdx set : indexRange<SetIdx>(sets_))
         if (!checkSetInvariants(set).empty())
             return false;
     return true;
 }
 
 std::string
-TwoTagLlc::checkSetInvariants(std::size_t set) const
+TwoTagLlc::checkSetInvariants(SetIdx set) const
 {
-    for (std::size_t s = 0; s < numSlots(); ++s) {
+    for (const WayIdx s : indexRange<WayIdx>(numSlots())) {
         const CacheLine &line = slot(set, s);
         if (!line.valid)
             continue;
-        if (line.segments > kSegmentsPerLine)
+        if (line.segments > kFullLineSegments)
             return "line exceeds 16 segments in slot " +
-                std::to_string(s);
+                std::to_string(s.get());
         const CacheLine &partner = slot(set, partnerOf(s));
         if (s < partnerOf(s) && partner.valid &&
-            line.segments + partner.segments > kSegmentsPerLine) {
+            line.segments + partner.segments > kFullLineSegments) {
             return "pair-fit violated in physical way " +
-                std::to_string(s / 2) + ": " +
-                std::to_string(line.segments) + " + " +
-                std::to_string(partner.segments) + " segments";
+                std::to_string(s.get() / 2) + ": " +
+                std::to_string(line.segments.get()) + " + " +
+                std::to_string(partner.segments.get()) + " segments";
         }
-        for (std::size_t other = s + 1; other < numSlots(); ++other) {
+        for (WayIdx other{s.get() + 1}; other.get() < numSlots();
+             ++other) {
             const CacheLine &dup = slot(set, other);
             if (dup.valid && dup.tag == line.tag)
-                return "duplicate tag in slots " + std::to_string(s) +
-                    " and " + std::to_string(other);
+                return "duplicate tag in slots " +
+                    std::to_string(s.get()) + " and " +
+                    std::to_string(other.get());
         }
     }
     return {};
@@ -256,8 +257,8 @@ TwoTagNaiveLlc::TwoTagNaiveLlc(std::size_t sizeBytes,
 {
 }
 
-std::size_t
-TwoTagNaiveLlc::chooseVictimSlot(std::size_t set, unsigned)
+WayIdx
+TwoTagNaiveLlc::chooseVictimSlot(SetIdx set, SegCount)
 {
     // Strictly follow the policy: whoever it names, even if that forces
     // the partner line out as well.
@@ -272,16 +273,16 @@ TwoTagModifiedLlc::TwoTagModifiedLlc(std::size_t sizeBytes,
 {
 }
 
-std::size_t
-TwoTagModifiedLlc::chooseVictimSlot(std::size_t set, unsigned segments)
+WayIdx
+TwoTagModifiedLlc::chooseVictimSlot(SetIdx set, SegCount segments)
 {
     // Among the policy's equally-evictable candidates, keep only those
     // whose replacement leaves the partner in place; of these, evict the
     // one freeing the most space (largest compressed size), ECM-style.
     const auto candidates = repl_->preferredVictims(set);
-    std::size_t best = numSlots();
-    unsigned bestSegments = 0;
-    for (const std::size_t cand : candidates) {
+    std::optional<WayIdx> best;
+    SegCount bestSegments{0};
+    for (const WayIdx cand : candidates) {
         const CacheLine &line = slot(set, cand);
         if (!line.valid)
             continue;
@@ -289,14 +290,14 @@ TwoTagModifiedLlc::chooseVictimSlot(std::size_t set, unsigned segments)
         // (it is being evicted).
         const CacheLine &partner = slot(set, partnerOf(cand));
         const bool ok = !partner.valid ||
-            partner.segments + segments <= kSegmentsPerLine;
-        if (ok && (best == numSlots() || line.segments > bestSegments)) {
+            partner.segments + segments <= kFullLineSegments;
+        if (ok && (!best || line.segments > bestSegments)) {
             best = cand;
             bestSegments = line.segments;
         }
     }
-    if (best != numSlots())
-        return best;
+    if (best)
+        return *best;
     // No size-compatible candidate: fall back to partner victimization.
     return repl_->victim(set);
 }

@@ -12,6 +12,7 @@
 #define BVC_CORE_TWO_TAG_ARRAY_HH_
 
 #include <memory>
+#include <optional>
 
 #include "cache/cache_line.hh"
 #include "core/llc_interface.hh"
@@ -22,8 +23,10 @@ namespace bvc
 
 /**
  * Base class for two-tag compressed LLCs. Logical slot numbering within
- * a set: slot = physicalWay * 2 + tagIndex. Two logical lines sharing a
- * physical way must satisfy segments(a) + segments(b) <= 16.
+ * a set: slot = physicalWay * 2 + tagIndex; slots are the "ways" the
+ * spanning replacement policy sees, so they use WayIdx. Two logical
+ * lines sharing a physical way must satisfy
+ * segments(a) + segments(b) <= 16.
  */
 class TwoTagLlc : public Llc
 {
@@ -41,54 +44,62 @@ class TwoTagLlc : public Llc
 
     LlcResult access(Addr blk, AccessType type,
                      const std::uint8_t *data) override;
-    bool probe(Addr blk) const override;
+    [[nodiscard]] bool probe(Addr blk) const override;
     /**
      * The two-tag variants have no baseline/victim split: every resident
      * line is "base" content and may be held by the upper levels.
      */
-    bool probeBase(Addr blk) const override { return probe(blk); }
+    [[nodiscard]] bool probeBase(Addr blk) const override
+    {
+        return probe(blk);
+    }
     void downgradeHint(Addr blk) override;
-    std::size_t validLines() const override;
+    [[nodiscard]] std::size_t validLines() const override;
 
-    std::size_t numSets() const { return sets_; }
-    std::size_t numPhysWays() const { return physWays_; }
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
+    [[nodiscard]] std::size_t numPhysWays() const { return physWays_; }
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /** Pair-fit invariant checker (used by tests). */
-    bool checkPairFit() const;
+    [[nodiscard]] bool checkPairFit() const;
 
     /**
      * Structural invariants of one set: per-line segments <= 16,
      * partner pair-fit, no duplicate tags across the 2x logical slots.
      * Empty string when they hold, otherwise the first violation.
      */
-    std::string checkSetInvariants(std::size_t set) const;
+    [[nodiscard]] std::string checkSetInvariants(SetIdx set) const;
 
   protected:
-    std::size_t numSlots() const { return physWays_ * 2; }
+    [[nodiscard]] std::size_t numSlots() const { return physWays_ * 2; }
 
-    CacheLine &slot(std::size_t set, std::size_t s);
-    const CacheLine &slot(std::size_t set, std::size_t s) const;
+    CacheLine &slot(SetIdx set, WayIdx s);
+    const CacheLine &slot(SetIdx set, WayIdx s) const;
 
     /** Partner slot sharing the same physical way. */
-    static std::size_t partnerOf(std::size_t s) { return s ^ 1; }
+    [[nodiscard]] static WayIdx partnerOf(WayIdx s)
+    {
+        return WayIdx{s.get() ^ 1};
+    }
 
-    /** Find the logical slot holding blk, or numSlots() if absent. */
-    std::size_t findSlot(std::size_t set, Addr blk) const;
+    /** Find the logical slot holding blk. */
+    [[nodiscard]] std::optional<WayIdx> findSlot(SetIdx set,
+                                                 Addr blk) const;
 
     /** True if a line of `segments` can live in slot `s` of `set`. */
-    bool fits(std::size_t set, std::size_t s, unsigned segments) const;
+    [[nodiscard]] bool fits(SetIdx set, WayIdx s,
+                            SegCount segments) const;
 
     /**
      * Subclass hook: pick the victim slot for an incoming line of
      * `segments` segments. May return a slot whose partner does not fit
      * the incoming line; the caller then evicts the partner too.
      */
-    virtual std::size_t chooseVictimSlot(std::size_t set,
-                                         unsigned segments) = 0;
+    [[nodiscard]] virtual WayIdx chooseVictimSlot(SetIdx set,
+                                                  SegCount segments) = 0;
 
     /** Evict one slot: writeback accounting + back-invalidation. */
-    void evictSlot(std::size_t set, std::size_t s, LlcResult &result);
+    void evictSlot(SetIdx set, WayIdx s, LlcResult &result);
 
     /** Per-access counters resolved once (no string lookups per hit). */
     struct HotCounters
@@ -118,11 +129,14 @@ class TwoTagNaiveLlc : public TwoTagLlc
     TwoTagNaiveLlc(std::size_t sizeBytes, std::size_t physWays,
                    ReplacementKind repl, const Compressor &comp);
 
-    std::string name() const override { return "TwoTagNaive"; }
+    [[nodiscard]] std::string name() const override
+    {
+        return "TwoTagNaive";
+    }
 
   protected:
-    std::size_t chooseVictimSlot(std::size_t set,
-                                 unsigned segments) override;
+    [[nodiscard]] WayIdx chooseVictimSlot(SetIdx set,
+                                          SegCount segments) override;
 };
 
 /**
@@ -137,11 +151,14 @@ class TwoTagModifiedLlc : public TwoTagLlc
     TwoTagModifiedLlc(std::size_t sizeBytes, std::size_t physWays,
                       ReplacementKind repl, const Compressor &comp);
 
-    std::string name() const override { return "TwoTagModified"; }
+    [[nodiscard]] std::string name() const override
+    {
+        return "TwoTagModified";
+    }
 
   protected:
-    std::size_t chooseVictimSlot(std::size_t set,
-                                 unsigned segments) override;
+    [[nodiscard]] WayIdx chooseVictimSlot(SetIdx set,
+                                          SegCount segments) override;
 };
 
 } // namespace bvc

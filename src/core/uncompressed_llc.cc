@@ -7,59 +7,75 @@
 namespace bvc
 {
 
+UncompressedLlc::HotCounters::HotCounters(StatGroup &stats)
+    : accesses(stats.counter("accesses")),
+      demandAccesses(stats.counter("demand_accesses")),
+      writebackHits(stats.counter("writeback_hits")),
+      demandHits(stats.counter("demand_hits")),
+      prefetchHits(stats.counter("prefetch_hits")),
+      demandMisses(stats.counter("demand_misses")),
+      prefetchMisses(stats.counter("prefetch_misses")),
+      evictions(stats.counter("evictions")),
+      memWritebacks(stats.counter("mem_writebacks")),
+      backInvalidations(stats.counter("back_invalidations")),
+      fills(stats.counter("fills"))
+{
+}
+
 UncompressedLlc::UncompressedLlc(std::size_t sizeBytes, std::size_t ways,
                                  ReplacementKind repl)
     : Llc("llc"),
       sets_(sizeBytes / kLineBytes / ways),
       ways_(ways),
-      lines_(sets_ * ways_)
+      lines_(sets_ * ways_),
+      ctr_(stats_)
 {
     panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
             "LLC set count must be a nonzero power of two");
     repl_ = makeReplacement(repl, sets_, ways_);
 }
 
-std::size_t
+SetIdx
 UncompressedLlc::setIndex(Addr blk) const
 {
-    return (blk >> kLineShift) & (sets_ - 1);
+    return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
-std::size_t
-UncompressedLlc::findWay(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+UncompressedLlc::findWay(SetIdx set, Addr blk) const
 {
-    for (std::size_t w = 0; w < ways_; ++w) {
-        const CacheLine &line = lines_[set * ways_ + w];
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
+        const CacheLine &line = lineAt(set, w);
         if (line.valid && line.tag == blk)
             return w;
     }
-    return ways_;
+    return std::nullopt;
 }
 
 LlcResult
 UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
 {
     LlcResult result;
-    const std::size_t set = setIndex(blk);
-    const std::size_t way = findWay(set, blk);
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> way = findWay(set, blk);
     const bool demand = type == AccessType::Read;
 
-    ++stats_.counter("accesses");
+    ++ctr_.accesses;
     if (demand)
-        ++stats_.counter("demand_accesses");
+        ++ctr_.demandAccesses;
 
-    if (way != ways_) {
+    if (way) {
         // Hit. Only demand accesses promote; writebacks just set dirty.
         result.hit = true;
-        CacheLine &line = lines_[set * ways_ + way];
+        CacheLine &hitLine = line(set, *way);
         if (type == AccessType::Writeback) {
-            line.dirty = true;
-            ++stats_.counter("writeback_hits");
+            hitLine.dirty = true;
+            ++ctr_.writebackHits;
         } else if (demand) {
-            repl_->onHit(set, way);
-            ++stats_.counter("demand_hits");
+            repl_->onHit(set, *way);
+            ++ctr_.demandHits;
         } else {
-            ++stats_.counter("prefetch_hits");
+            ++ctr_.prefetchHits;
         }
         return result;
     }
@@ -70,54 +86,53 @@ UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
     }
 
     if (demand)
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
     else
-        ++stats_.counter("prefetch_misses");
+        ++ctr_.prefetchMisses;
 
     // Fill: invalid way first, then the policy's victim.
-    std::size_t fillWay = ways_;
-    for (std::size_t w = 0; w < ways_; ++w) {
-        if (!lines_[set * ways_ + w].valid) {
+    std::optional<WayIdx> fillWay;
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
+        if (!lineAt(set, w).valid) {
             fillWay = w;
             break;
         }
     }
-    if (fillWay == ways_)
+    if (!fillWay)
         fillWay = repl_->victim(set);
 
-    CacheLine &line = lines_[set * ways_ + fillWay];
-    if (line.valid) {
-        ++stats_.counter("evictions");
-        if (line.dirty) {
-            result.memWritebacks.push_back(line.tag);
-            ++stats_.counter("mem_writebacks");
+    CacheLine &fillLine = line(set, *fillWay);
+    if (fillLine.valid) {
+        ++ctr_.evictions;
+        if (fillLine.dirty) {
+            result.memWritebacks.push_back(fillLine.tag);
+            ++ctr_.memWritebacks;
         }
-        result.backInvalidations.push_back(line.tag);
-        ++stats_.counter("back_invalidations");
+        result.backInvalidations.push_back(fillLine.tag);
+        ++ctr_.backInvalidations;
     }
 
-    line.tag = blk;
-    line.valid = true;
-    line.dirty = false;
-    line.segments = kSegmentsPerLine;
-    repl_->onFill(set, fillWay);
-    ++stats_.counter("fills");
+    fillLine.tag = blk;
+    fillLine.valid = true;
+    fillLine.dirty = false;
+    fillLine.segments = kFullLineSegments;
+    repl_->onFill(set, *fillWay);
+    ++ctr_.fills;
     return result;
 }
 
 bool
 UncompressedLlc::probe(Addr blk) const
 {
-    return findWay(setIndex(blk), blk) != ways_;
+    return findWay(setIndex(blk), blk).has_value();
 }
 
 void
 UncompressedLlc::downgradeHint(Addr blk)
 {
-    const std::size_t set = setIndex(blk);
-    const std::size_t way = findWay(set, blk);
-    if (way != ways_)
-        repl_->downgradeHint(set, way);
+    const SetIdx set = setIndex(blk);
+    if (const std::optional<WayIdx> way = findWay(set, blk))
+        repl_->downgradeHint(set, *way);
 }
 
 std::size_t
@@ -131,11 +146,11 @@ UncompressedLlc::validLines() const
 }
 
 std::vector<Addr>
-UncompressedLlc::setContents(std::size_t set) const
+UncompressedLlc::setContents(SetIdx set) const
 {
     std::vector<Addr> contents;
-    for (std::size_t w = 0; w < ways_; ++w) {
-        const CacheLine &line = lines_[set * ways_ + w];
+    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
+        const CacheLine &line = lineAt(set, w);
         if (line.valid)
             contents.push_back(line.tag);
     }

@@ -12,6 +12,7 @@
 #define BVC_CORE_UNCOMPRESSED_LLC_HH_
 
 #include <memory>
+#include <optional>
 
 #include "cache/cache_line.hh"
 #include "core/llc_interface.hh"
@@ -34,39 +35,65 @@ class UncompressedLlc : public Llc
 
     LlcResult access(Addr blk, AccessType type,
                      const std::uint8_t *data) override;
-    bool probe(Addr blk) const override;
-    bool probeBase(Addr blk) const override { return probe(blk); }
+    [[nodiscard]] bool probe(Addr blk) const override;
+    [[nodiscard]] bool probeBase(Addr blk) const override
+    {
+        return probe(blk);
+    }
     void downgradeHint(Addr blk) override;
-    std::size_t validLines() const override;
-    std::string name() const override { return "Uncompressed"; }
+    [[nodiscard]] std::size_t validLines() const override;
+    [[nodiscard]] std::string name() const override
+    {
+        return "Uncompressed";
+    }
 
-    std::size_t numSets() const { return sets_; }
-    std::size_t numWays() const { return ways_; }
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
+    [[nodiscard]] std::size_t numWays() const { return ways_; }
 
     /** Sorted valid block addresses of one set (mirror-invariant test). */
-    std::vector<Addr> setContents(std::size_t set) const;
+    [[nodiscard]] std::vector<Addr> setContents(SetIdx set) const;
 
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /** Raw line at (set, way), including dirty state (lockstep check). */
-    const CacheLine &lineAt(std::size_t set, std::size_t way) const
+    [[nodiscard]] const CacheLine &lineAt(SetIdx set, WayIdx way) const
     {
-        return lines_[set * ways_ + way];
+        return lines_[set.get() * ways_ + way.get()];
     }
 
     /** Replacement-policy state words for `set` (lockstep check). */
-    std::vector<std::uint64_t> replStateSnapshot(std::size_t set) const
+    [[nodiscard]] std::vector<std::uint64_t>
+    replStateSnapshot(SetIdx set) const
     {
         return repl_->stateSnapshot(set);
     }
 
   private:
-    std::size_t findWay(std::size_t set, Addr blk) const;
+    /** Counter references resolved once; no per-access map lookups. */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &accesses, &demandAccesses;
+        Counter &writebackHits, &demandHits, &prefetchHits;
+        Counter &demandMisses, &prefetchMisses;
+        Counter &evictions, &memWritebacks, &backInvalidations;
+        Counter &fills;
+    };
+
+    [[nodiscard]] std::optional<WayIdx> findWay(SetIdx set,
+                                                Addr blk) const;
+
+    [[nodiscard]] CacheLine &line(SetIdx set, WayIdx way)
+    {
+        return lines_[set.get() * ways_ + way.get()];
+    }
 
     std::size_t sets_;
     std::size_t ways_;
     std::vector<CacheLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    HotCounters ctr_; //!< must follow stats_ initialization
 };
 
 } // namespace bvc

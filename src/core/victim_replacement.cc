@@ -18,14 +18,14 @@ class RandomVictimRepl : public VictimReplacement
     {
     }
 
-    std::size_t
-    choose(std::size_t, const std::vector<VictimCandidate> &candidates)
+    [[nodiscard]] WayIdx
+    choose(SetIdx, const std::vector<VictimCandidate> &candidates)
         override
     {
         return candidates[rng_.range(candidates.size())].way;
     }
 
-    std::string name() const override { return "Random"; }
+    [[nodiscard]] std::string name() const override { return "Random"; }
 
   private:
     Rng rng_;
@@ -40,8 +40,8 @@ class EcmVictimRepl : public VictimReplacement
   public:
     using VictimReplacement::VictimReplacement;
 
-    std::size_t
-    choose(std::size_t, const std::vector<VictimCandidate> &candidates)
+    [[nodiscard]] WayIdx
+    choose(SetIdx, const std::vector<VictimCandidate> &candidates)
         override
     {
         const VictimCandidate *best = nullptr;
@@ -63,7 +63,7 @@ class EcmVictimRepl : public VictimReplacement
         return best->way;
     }
 
-    std::string name() const override { return "ECM"; }
+    [[nodiscard]] std::string name() const override { return "ECM"; }
 };
 
 /** Evict the least recently inserted/hit victim line (VI.B.4). */
@@ -76,8 +76,8 @@ class LruVictimRepl : public VictimReplacement
     {
     }
 
-    std::size_t
-    choose(std::size_t set, const std::vector<VictimCandidate> &candidates)
+    [[nodiscard]] WayIdx
+    choose(SetIdx set, const std::vector<VictimCandidate> &candidates)
         override
     {
         const VictimCandidate *best = nullptr;
@@ -85,7 +85,7 @@ class LruVictimRepl : public VictimReplacement
         for (const auto &cand : candidates) {
             if (!cand.victimValid)
                 return cand.way; // free slot: nothing to evict
-            const Tick stamp = stamps_[set * ways_ + cand.way];
+            const Tick stamp = stamps_[idx(set, cand.way)];
             if (best == nullptr || stamp < bestStamp) {
                 best = &cand;
                 bestStamp = stamp;
@@ -95,18 +95,18 @@ class LruVictimRepl : public VictimReplacement
     }
 
     void
-    onInsert(std::size_t set, std::size_t way) override
+    onInsert(SetIdx set, WayIdx way) override
     {
-        stamps_[set * ways_ + way] = ++tick_;
+        stamps_[idx(set, way)] = ++tick_;
     }
 
     void
-    onHit(std::size_t set, std::size_t way) override
+    onHit(SetIdx set, WayIdx way) override
     {
-        stamps_[set * ways_ + way] = ++tick_;
+        stamps_[idx(set, way)] = ++tick_;
     }
 
-    std::string name() const override { return "LRU"; }
+    [[nodiscard]] std::string name() const override { return "LRU"; }
 
   private:
     std::vector<Tick> stamps_;
@@ -119,13 +119,13 @@ class SizeMixVictimRepl : public VictimReplacement
   public:
     using VictimReplacement::VictimReplacement;
 
-    std::size_t
-    choose(std::size_t, const std::vector<VictimCandidate> &candidates)
+    [[nodiscard]] WayIdx
+    choose(SetIdx, const std::vector<VictimCandidate> &candidates)
         override
     {
         const VictimCandidate *best = nullptr;
         bool bestFree = false;
-        unsigned bestBase = 0;
+        SegCount bestBase{0};
         for (const auto &cand : candidates) {
             const bool free = !cand.victimValid;
             // Prefer free slots; among equals prefer the tightest
@@ -140,7 +140,7 @@ class SizeMixVictimRepl : public VictimReplacement
         return best->way;
     }
 
-    std::string name() const override { return "SizeMix"; }
+    [[nodiscard]] std::string name() const override { return "SizeMix"; }
 };
 
 /**
@@ -154,8 +154,8 @@ class CampVictimRepl : public VictimReplacement
   public:
     using VictimReplacement::VictimReplacement;
 
-    std::size_t
-    choose(std::size_t, const std::vector<VictimCandidate> &candidates)
+    [[nodiscard]] WayIdx
+    choose(SetIdx, const std::vector<VictimCandidate> &candidates)
         override
     {
         const VictimCandidate *best = nullptr;
@@ -178,7 +178,7 @@ class CampVictimRepl : public VictimReplacement
         return best->way;
     }
 
-    std::string name() const override { return "CAMP"; }
+    [[nodiscard]] std::string name() const override { return "CAMP"; }
 };
 
 } // namespace

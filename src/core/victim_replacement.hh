@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "util/rng.hh"
+#include "util/strong_types.hh"
 #include "util/types.hh"
 
 namespace bvc
@@ -44,10 +45,10 @@ enum class VictimReplKind
 /** Per-candidate context for victim-way selection. */
 struct VictimCandidate
 {
-    std::size_t way = 0;
-    unsigned baseSegments = 0;    //!< size of the base partner line
-    bool victimValid = false;     //!< a victim line would be displaced
-    unsigned victimSegments = 0;  //!< size of that victim line
+    WayIdx way{0};
+    SegCount baseSegments{0};        //!< size of the base partner line
+    bool victimValid = false;        //!< a victim line would be displaced
+    SegCount victimSegments{0};      //!< size of that victim line
 };
 
 /** Strategy object choosing among fitting victim-cache ways. */
@@ -66,38 +67,44 @@ class VictimReplacement
      * Candidates that displace no valid victim line are presented
      * first-class; policies may prefer them.
      */
-    virtual std::size_t choose(std::size_t set,
-                               const std::vector<VictimCandidate>
-                                   &candidates) = 0;
+    [[nodiscard]] virtual WayIdx
+    choose(SetIdx set,
+           const std::vector<VictimCandidate> &candidates) = 0;
 
     /** A victim line was installed at (set, way). */
-    virtual void onInsert(std::size_t, std::size_t) {}
+    virtual void onInsert(SetIdx, WayIdx) {}
 
     /** The victim line at (set, way) was hit (promoted). */
-    virtual void onHit(std::size_t, std::size_t) {}
+    virtual void onHit(SetIdx, WayIdx) {}
 
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
   protected:
+    /** Row-major flat index into per-line state vectors. */
+    [[nodiscard]] std::size_t idx(SetIdx set, WayIdx way) const
+    {
+        return set.get() * ways_ + way.get();
+    }
+
     std::size_t sets_;
     std::size_t ways_;
 };
 
 /** Construct a victim policy for a (sets x physWays) victim array. */
-std::unique_ptr<VictimReplacement>
+[[nodiscard]] std::unique_ptr<VictimReplacement>
 makeVictimReplacement(VictimReplKind kind, std::size_t sets,
                       std::size_t ways);
 
 /** Construct by name ("random", "ecm", "lru", "sizemix"). */
-std::unique_ptr<VictimReplacement>
+[[nodiscard]] std::unique_ptr<VictimReplacement>
 makeVictimReplacement(const std::string &name, std::size_t sets,
                       std::size_t ways);
 
 /** Printable name. */
-std::string victimReplName(VictimReplKind kind);
+[[nodiscard]] std::string victimReplName(VictimReplKind kind);
 
 /** All kinds (for the VI.B.4 sensitivity bench and tests). */
-std::vector<VictimReplKind> allVictimReplKinds();
+[[nodiscard]] std::vector<VictimReplKind> allVictimReplKinds();
 
 } // namespace bvc
 

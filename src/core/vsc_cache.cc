@@ -37,29 +37,29 @@ VscLlc::VscLlc(std::size_t sizeBytes, std::size_t physWays,
     repl_ = std::make_unique<LruPolicy>(sets_, tagsPerSet_);
 }
 
-std::size_t
+SetIdx
 VscLlc::setIndex(Addr blk) const
 {
-    return (blk >> kLineShift) & (sets_ - 1);
+    return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
-std::size_t
-VscLlc::findSlot(std::size_t set, Addr blk) const
+std::optional<WayIdx>
+VscLlc::findSlot(SetIdx set, Addr blk) const
 {
-    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
-        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+    for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
+        const CacheLine &line = slot(set, s);
         if (line.valid && line.tag == blk)
             return s;
     }
-    return tagsPerSet_;
+    return std::nullopt;
 }
 
-unsigned
-VscLlc::usedSegments(std::size_t set) const
+SegCount
+VscLlc::usedSegments(SetIdx set) const
 {
-    unsigned used = 0;
-    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
-        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+    SegCount used{0};
+    for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
+        const CacheLine &line = slot(set, s);
         if (line.valid)
             used += line.segments;
     }
@@ -70,32 +70,29 @@ LlcResult
 VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 {
     LlcResult result;
-    const std::size_t set = setIndex(blk);
-    const std::size_t s = findSlot(set, blk);
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> s = findSlot(set, blk);
     const bool demand = type == AccessType::Read;
 
     ++ctr_.accesses;
     if (demand)
         ++ctr_.demandAccesses;
 
-    const auto capacity =
-        static_cast<unsigned>(physWays_ * kSegmentsPerLine);
+    const SegCount capacity{physWays_ * kSegmentsPerLine};
 
-    if (s != tagsPerSet_) {
+    if (s) {
         result.hit = true;
-        CacheLine &line = slots_[set * tagsPerSet_ + s];
+        CacheLine &line = slot(set, *s);
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
             line.dirty = true;
-            const unsigned newSegs = compressedSegmentsFor(comp_, data);
             // A grown line may force evictions to stay within capacity;
             // this is VSC's re-compaction overhead (drawback 1, Sec II).
-            line.segments = newSegs;
+            line.segments = compressedSegmentsFor(comp_, data);
             while (usedSegments(set) > capacity) {
-                for (const std::size_t victim : repl_->rank(set)) {
-                    CacheLine &vline =
-                        slots_[set * tagsPerSet_ + victim];
-                    if (!vline.valid || victim == s)
+                for (const WayIdx victim : repl_->rank(set)) {
+                    CacheLine &vline = slot(set, victim);
+                    if (!vline.valid || victim == *s)
                         continue;
                     if (vline.dirty) {
                         result.memWritebacks.push_back(vline.tag);
@@ -111,7 +108,7 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
             ++ctr_.recompactions;
         } else if (demand) {
             ++ctr_.demandHits;
-            repl_->onHit(set, s);
+            repl_->onHit(set, *s);
         } else {
             ++ctr_.prefetchHits;
         }
@@ -126,12 +123,12 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     else
         ++ctr_.prefetchMisses;
 
-    const unsigned segments = compressedSegmentsFor(comp_, data);
+    const SegCount segments = compressedSegmentsFor(comp_, data);
 
     // Find a free tag slot.
-    std::size_t fillSlot = tagsPerSet_;
-    for (std::size_t cand = 0; cand < tagsPerSet_; ++cand) {
-        if (!slots_[set * tagsPerSet_ + cand].valid) {
+    std::optional<WayIdx> fillSlot;
+    for (const WayIdx cand : indexRange<WayIdx>(tagsPerSet_)) {
+        if (!slot(set, cand).valid) {
             fillSlot = cand;
             break;
         }
@@ -140,39 +137,38 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     // Evict in LRU order until both a tag and enough segments free up
     // (drawback 3 of Section II: multiple evictions per fill).
     lastFillEvictions_ = 0;
-    while (fillSlot == tagsPerSet_ ||
-           usedSegments(set) + segments > capacity) {
-        std::size_t victim = tagsPerSet_;
-        for (const std::size_t cand : repl_->rank(set)) {
-            if (slots_[set * tagsPerSet_ + cand].valid) {
+    while (!fillSlot || usedSegments(set) + segments > capacity) {
+        std::optional<WayIdx> victim;
+        for (const WayIdx cand : repl_->rank(set)) {
+            if (slot(set, cand).valid) {
                 victim = cand;
                 break;
             }
         }
-        panicIf(victim == tagsPerSet_, "VscLlc: nothing left to evict");
-        CacheLine &vline = slots_[set * tagsPerSet_ + victim];
+        panicIf(!victim, "VscLlc: nothing left to evict");
+        CacheLine &vline = slot(set, *victim);
         if (vline.dirty) {
             result.memWritebacks.push_back(vline.tag);
             ++ctr_.memWritebacks;
         }
         result.backInvalidations.push_back(vline.tag);
         vline.invalidate();
-        repl_->onInvalidate(set, victim);
+        repl_->onInvalidate(set, *victim);
         ++ctr_.evictions;
         ++lastFillEvictions_;
-        if (fillSlot == tagsPerSet_)
+        if (!fillSlot)
             fillSlot = victim;
     }
     ctr_.fillEvictions += lastFillEvictions_;
     if (lastFillEvictions_ > 1)
         ++ctr_.multiEvictFills;
 
-    CacheLine &line = slots_[set * tagsPerSet_ + fillSlot];
+    CacheLine &line = slot(set, *fillSlot);
     line.tag = blk;
     line.valid = true;
     line.dirty = false;
     line.segments = segments;
-    repl_->onFill(set, fillSlot);
+    repl_->onFill(set, *fillSlot);
     ++ctr_.fills;
     return result;
 }
@@ -180,7 +176,7 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 bool
 VscLlc::probe(Addr blk) const
 {
-    return findSlot(setIndex(blk), blk) != tagsPerSet_;
+    return findSlot(setIndex(blk), blk).has_value();
 }
 
 std::size_t
@@ -194,26 +190,27 @@ VscLlc::validLines() const
 }
 
 std::string
-VscLlc::checkSetInvariants(std::size_t set) const
+VscLlc::checkSetInvariants(SetIdx set) const
 {
-    const unsigned capacity =
-        static_cast<unsigned>(physWays_) * kSegmentsPerLine;
+    const SegCount capacity{physWays_ * kSegmentsPerLine};
     if (usedSegments(set) > capacity)
         return "segment pool over budget: " +
-            std::to_string(usedSegments(set)) + " > " +
-            std::to_string(capacity);
-    for (std::size_t s = 0; s < tagsPerSet_; ++s) {
-        const CacheLine &line = slots_[set * tagsPerSet_ + s];
+            std::to_string(usedSegments(set).get()) + " > " +
+            std::to_string(capacity.get());
+    for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
+        const CacheLine &line = slot(set, s);
         if (!line.valid)
             continue;
-        if (line.segments > kSegmentsPerLine)
+        if (line.segments > kFullLineSegments)
             return "line exceeds 16 segments in slot " +
-                std::to_string(s);
-        for (std::size_t other = s + 1; other < tagsPerSet_; ++other) {
-            const CacheLine &dup = slots_[set * tagsPerSet_ + other];
+                std::to_string(s.get());
+        for (WayIdx other{s.get() + 1}; other.get() < tagsPerSet_;
+             ++other) {
+            const CacheLine &dup = slot(set, other);
             if (dup.valid && dup.tag == line.tag)
-                return "duplicate tag in slots " + std::to_string(s) +
-                    " and " + std::to_string(other);
+                return "duplicate tag in slots " +
+                    std::to_string(s.get()) + " and " +
+                    std::to_string(other.get());
         }
     }
     return {};

@@ -19,6 +19,7 @@
 #define BVC_CORE_VSC_CACHE_HH_
 
 #include <memory>
+#include <optional>
 
 #include "cache/cache_line.hh"
 #include "core/llc_interface.hh"
@@ -41,29 +42,46 @@ class VscLlc : public Llc
 
     LlcResult access(Addr blk, AccessType type,
                      const std::uint8_t *data) override;
-    bool probe(Addr blk) const override;
-    bool probeBase(Addr blk) const override { return probe(blk); }
-    std::size_t validLines() const override;
-    std::string name() const override { return "VSC-2X"; }
+    [[nodiscard]] bool probe(Addr blk) const override;
+    [[nodiscard]] bool probeBase(Addr blk) const override
+    {
+        return probe(blk);
+    }
+    [[nodiscard]] std::size_t validLines() const override;
+    [[nodiscard]] std::string name() const override { return "VSC-2X"; }
 
     /** Lines evicted by the most recent fill (replacement complexity). */
-    unsigned lastFillEvictions() const { return lastFillEvictions_; }
+    [[nodiscard]] unsigned lastFillEvictions() const
+    {
+        return lastFillEvictions_;
+    }
 
-    std::size_t numSets() const { return sets_; }
-    std::size_t setIndex(Addr blk) const;
+    [[nodiscard]] std::size_t numSets() const { return sets_; }
+    [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
     /** Total segments used in a set (must be <= ways*16). */
-    unsigned usedSegments(std::size_t set) const;
+    [[nodiscard]] SegCount usedSegments(SetIdx set) const;
 
     /**
      * Structural invariants of one set: segment pool within the
      * physWays*16 budget, per-line segments <= 16, no duplicate tags.
      * Empty string when they hold, otherwise the first violation.
      */
-    std::string checkSetInvariants(std::size_t set) const;
+    [[nodiscard]] std::string checkSetInvariants(SetIdx set) const;
 
   private:
-    std::size_t findSlot(std::size_t set, Addr blk) const;
+    [[nodiscard]] std::optional<WayIdx> findSlot(SetIdx set,
+                                                 Addr blk) const;
+
+    [[nodiscard]] CacheLine &slot(SetIdx set, WayIdx s)
+    {
+        return slots_[set.get() * tagsPerSet_ + s.get()];
+    }
+
+    [[nodiscard]] const CacheLine &slot(SetIdx set, WayIdx s) const
+    {
+        return slots_[set.get() * tagsPerSet_ + s.get()];
+    }
 
     /** Per-access counters resolved once (no string lookups per hit). */
     struct HotCounters

@@ -7,6 +7,20 @@
 namespace bvc
 {
 
+Hierarchy::HotCounters::HotCounters(StatGroup &stats)
+    : loads(stats.counter("loads")),
+      stores(stats.counter("stores")),
+      fetches(stats.counter("fetches")),
+      llcWritebacks(stats.counter("llc_writebacks")),
+      backInvalWritebacks(stats.counter("back_inval_writebacks")),
+      l1Writebacks(stats.counter("l1_writebacks")),
+      l2Writebacks(stats.counter("l2_writebacks")),
+      dramDemandReads(stats.counter("dram_demand_reads")),
+      dramPrefetchReads(stats.counter("dram_prefetch_reads")),
+      l2PrefetchFills(stats.counter("l2_prefetch_fills"))
+{
+}
+
 Hierarchy::Hierarchy(const HierarchyConfig &cfg, Llc &llc, Dram &dram,
                      FunctionalMemory &mem)
     : cfg_(cfg),
@@ -19,7 +33,8 @@ Hierarchy::Hierarchy(const HierarchyConfig &cfg, Llc &llc, Dram &dram,
       l1Prefetcher_("l1pf"),
       l2Prefetcher_("l2pf"),
       llcPrefetcher_("llcpf"),
-      stats_("hier")
+      stats_("hier"),
+      ctr_(stats_)
 {
     // Single-core default: back-invalidations only concern this core.
     backInvalidate_ = [this](Addr blk) { return invalidateUpper(blk); };
@@ -49,7 +64,7 @@ Hierarchy::handleLlcResult(const LlcResult &result, Cycle cycle)
 {
     for (const Addr wb : result.memWritebacks) {
         dram_.write(wb, cycle);
-        ++stats_.counter("llc_writebacks");
+        ++ctr_.llcWritebacks;
     }
     for (const Addr blk : result.backInvalidations) {
         const bool dirtyAbove = backInvalidate_(blk);
@@ -65,7 +80,7 @@ Hierarchy::handleLlcResult(const LlcResult &result, Cycle cycle)
                       blk) != result.memWritebacks.end();
         if (!alreadyWritten) {
             dram_.write(blk, cycle);
-            ++stats_.counter("back_inval_writebacks");
+            ++ctr_.backInvalWritebacks;
         }
     }
 }
@@ -81,7 +96,7 @@ Hierarchy::handleL2Eviction(const Eviction &evicted, Cycle cycle)
         panicIf(cfg_.llcInclusive && !result.hit,
                 "L2 writeback missed the inclusive LLC");
         handleLlcResult(result, cycle);
-        ++stats_.counter("l2_writebacks");
+        ++ctr_.l2Writebacks;
     }
     // Hierarchy-aware replacement (CHAR) learns from L2 evictions.
     llc_.downgradeHint(evicted.addr);
@@ -92,7 +107,7 @@ Hierarchy::handleL1Eviction(const Eviction &evicted, Cycle cycle)
 {
     if (!evicted.dirty)
         return;
-    ++stats_.counter("l1_writebacks");
+    ++ctr_.l1Writebacks;
     if (l1i_.probe(evicted.addr) || l1d_.probe(evicted.addr))
         return; // another L1 still holds it; keep it simple and rare
     if (l2_.probe(evicted.addr)) {
@@ -125,7 +140,7 @@ Hierarchy::prefetchLine(Addr blk, Cycle cycle, bool intoL2)
         handleLlcResult(result, cycle);
         if (!result.hit) {
             dram_.prefetchRead(blk, cycle);
-            ++stats_.counter("dram_prefetch_reads");
+            ++ctr_.dramPrefetchReads;
         }
     }
 
@@ -134,7 +149,7 @@ Hierarchy::prefetchLine(Addr blk, Cycle cycle, bool intoL2)
         l2_.access(blk, false, evicted);
         if (evicted)
             handleL2Eviction(*evicted, cycle);
-        ++stats_.counter("l2_prefetch_fills");
+        ++ctr_.l2PrefetchFills;
     }
 }
 
@@ -170,7 +185,7 @@ Hierarchy::accessBelowL1(Addr pc, Addr blk, Cycle cycle)
     if (result.hit)
         return cfg_.llcLatency + result.extraLatency;
 
-    ++stats_.counter("dram_demand_reads");
+    ++ctr_.dramDemandReads;
     const Cycle arrival = cycle + cfg_.llcLatency + result.extraLatency;
     const Cycle done = dram_.read(blk, arrival);
     return static_cast<unsigned>(done - cycle);
@@ -180,7 +195,7 @@ unsigned
 Hierarchy::load(Addr pc, Addr addr, Cycle cycle)
 {
     const Addr blk = blockAddr(addr);
-    ++stats_.counter("loads");
+    ++ctr_.loads;
 
     std::optional<Eviction> evicted;
     const bool hit = l1d_.access(blk, false, evicted);
@@ -217,7 +232,7 @@ Hierarchy::store(Addr pc, Addr addr, std::uint64_t value, Cycle cycle)
     mem_.store64(addr, value);
 
     const Addr blk = blockAddr(addr);
-    ++stats_.counter("stores");
+    ++ctr_.stores;
 
     std::optional<Eviction> evicted;
     const bool hit = l1d_.access(blk, true, evicted);
@@ -234,7 +249,7 @@ unsigned
 Hierarchy::fetch(Addr pc, Cycle cycle)
 {
     const Addr blk = blockAddr(pc);
-    ++stats_.counter("fetches");
+    ++ctr_.fetches;
 
     std::optional<Eviction> evicted;
     const bool hit = l1i_.access(blk, false, evicted);

@@ -106,6 +106,17 @@ class Hierarchy
     /** Shared L2-and-below path; returns load-to-use latency. */
     unsigned accessBelowL1(Addr pc, Addr blk, Cycle cycle);
 
+    /** Per-access counters resolved once (no string lookups per access). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &loads, &stores, &fetches;
+        Counter &llcWritebacks, &backInvalWritebacks;
+        Counter &l1Writebacks, &l2Writebacks;
+        Counter &dramDemandReads, &dramPrefetchReads, &l2PrefetchFills;
+    };
+
     /** Process an L2 eviction: writeback or downgrade hint to the LLC. */
     void handleL2Eviction(const Eviction &evicted, Cycle cycle);
 
@@ -128,6 +139,7 @@ class Hierarchy
     std::function<bool(Addr)> backInvalidate_;
     std::vector<Addr> prefetchScratch_;
     StatGroup stats_;
+    HotCounters ctr_; //!< must follow stats_ initialization
 };
 
 } // namespace bvc

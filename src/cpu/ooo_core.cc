@@ -5,11 +5,20 @@
 namespace bvc
 {
 
+OooCore::HotCounters::HotCounters(StatGroup &stats)
+    : robStallEvents(stats.counter("rob_stall_events")),
+      loads(stats.counter("loads")),
+      loadLatencySum(stats.counter("load_latency_sum")),
+      stores(stats.counter("stores"))
+{
+}
+
 OooCore::OooCore(const CoreConfig &cfg, Hierarchy &hierarchy)
     : cfg_(cfg),
       hier_(hierarchy),
       rob_(cfg.robSize, 0),
-      stats_("core")
+      stats_("core"),
+      ctr_(stats_)
 {
 }
 
@@ -29,7 +38,7 @@ OooCore::step(TraceSource &source)
         fetch = rob_[slot];
         fetchCycle_ = fetch;
         slotInCycle_ = 0;
-        ++stats_.counter("rob_stall_events");
+        ++ctr_.robStallEvents;
     }
 
     // Model instruction fetch once per new line of code.
@@ -45,7 +54,7 @@ OooCore::step(TraceSource &source)
         }
     }
 
-    Cycle complete;
+    Cycle complete = fetch + cfg_.nonMemLatency;
     switch (record.kind) {
       case InstrKind::Load: {
         Cycle issue = fetch;
@@ -55,8 +64,8 @@ OooCore::step(TraceSource &source)
                                             issue);
         complete = issue + latency;
         lastLoadComplete_ = complete;
-        ++stats_.counter("loads");
-        stats_.counter("load_latency_sum") += latency;
+        ++ctr_.loads;
+        ctr_.loadLatencySum += latency;
         break;
       }
       case InstrKind::Store:
@@ -64,11 +73,9 @@ OooCore::step(TraceSource &source)
         // the cache access still happens (and has timing side effects).
         hier_.store(record.pc, record.addr, record.value, fetch);
         complete = fetch + 1;
-        ++stats_.counter("stores");
+        ++ctr_.stores;
         break;
       case InstrKind::NonMem:
-      default:
-        complete = fetch + cfg_.nonMemLatency;
         break;
     }
 

@@ -83,6 +83,15 @@ class OooCore
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Per-instruction counters resolved once (no string lookups). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &robStallEvents;
+        Counter &loads, &loadLatencySum, &stores;
+    };
+
     CoreConfig cfg_;
     Hierarchy &hier_;
 
@@ -98,6 +107,7 @@ class OooCore
     Cycle measureStartCycle_ = 0;
 
     StatGroup stats_;
+    HotCounters ctr_; //!< must follow stats_ initialization
 };
 
 } // namespace bvc

@@ -5,12 +5,24 @@
 namespace bvc
 {
 
+Dram::HotCounters::HotCounters(StatGroup &stats)
+    : rowHits(stats.counter("row_hits")),
+      rowClosed(stats.counter("row_closed")),
+      rowConflicts(stats.counter("row_conflicts")),
+      reads(stats.counter("reads")),
+      writes(stats.counter("writes")),
+      prefetchReads(stats.counter("prefetch_reads")),
+      busyCycles(stats.counter("busy_cycles"))
+{
+}
+
 Dram::Dram(const DramTiming &timing, const DramGeometry &geometry)
     : timing_(timing),
       geometry_(geometry),
       banks_(geometry.channels * geometry.banksPerChannel),
       busReady_(geometry.channels, 0),
-      stats_("dram")
+      stats_("dram"),
+      ctr_(stats_)
 {
 }
 
@@ -56,14 +68,14 @@ Dram::service(Addr blk, Cycle cycle, bool isWrite)
 
     unsigned accessMem; // memory-clock cycles until data
     if (bank.rowOpen && bank.openRow == row) {
-        ++stats_.counter("row_hits");
+        ++ctr_.rowHits;
         accessMem = timing_.tCl;
     } else if (!bank.rowOpen) {
-        ++stats_.counter("row_closed");
+        ++ctr_.rowClosed;
         accessMem = timing_.tRcd + timing_.tCl;
         bank.activateCycle = start;
     } else {
-        ++stats_.counter("row_conflicts");
+        ++ctr_.rowConflicts;
         // Precharge may not cut the open row's tRAS short.
         const Cycle rasDone = bank.activateCycle +
             static_cast<Cycle>(timing_.tRas) * mult;
@@ -84,9 +96,8 @@ Dram::service(Addr blk, Cycle cycle, bool isWrite)
     busReady_[channel] = dataDone;
     bank.readyCycle = dataDone;
 
-    ++stats_.counter(isWrite ? "writes" : "reads");
-    stats_.counter("busy_cycles") +=
-        static_cast<Cycle>(timing_.tBurst) * mult;
+    ++(isWrite ? ctr_.writes : ctr_.reads);
+    ctr_.busyCycles += static_cast<Cycle>(timing_.tBurst) * mult;
     return dataDone;
 }
 
@@ -112,14 +123,14 @@ Dram::prefetchRead(Addr blk, Cycle)
     const std::uint64_t row = rowOf(blk);
 
     if (bank.rowOpen && bank.openRow == row) {
-        ++stats_.counter("row_hits");
+        ++ctr_.rowHits;
     } else {
-        ++stats_.counter(bank.rowOpen ? "row_conflicts" : "row_closed");
+        ++(bank.rowOpen ? ctr_.rowConflicts : ctr_.rowClosed);
         bank.rowOpen = true;
         bank.openRow = row;
     }
-    ++stats_.counter("reads");
-    ++stats_.counter("prefetch_reads");
+    ++ctr_.reads;
+    ++ctr_.prefetchReads;
 }
 
 } // namespace bvc

@@ -94,6 +94,15 @@ class Dram
     std::uint64_t rowOf(Addr blk) const;
 
   private:
+    /** Per-request counters resolved once (no string lookups). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup &stats);
+
+        Counter &rowHits, &rowClosed, &rowConflicts;
+        Counter &reads, &writes, &prefetchReads, &busyCycles;
+    };
+
     struct Bank
     {
         bool rowOpen = false;
@@ -110,6 +119,7 @@ class Dram
     std::vector<Bank> banks_;        // channels x banks
     std::vector<Cycle> busReady_;    // per channel
     StatGroup stats_;
+    HotCounters ctr_; //!< must follow stats_ initialization
 };
 
 } // namespace bvc

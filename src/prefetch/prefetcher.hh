@@ -22,7 +22,8 @@ class Prefetcher
 {
   public:
     explicit Prefetcher(std::string statName)
-        : stats_(std::move(statName))
+        : stats_(std::move(statName)),
+          issued_(stats_.counter("issued"))
     {
     }
 
@@ -42,6 +43,7 @@ class Prefetcher
 
   protected:
     StatGroup stats_;
+    Counter &issued_; //!< hot counter resolved once (no string lookups)
 };
 
 } // namespace bvc

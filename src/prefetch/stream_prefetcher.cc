@@ -92,7 +92,7 @@ StreamPrefetcher::observe(Addr, Addr blk, bool, std::vector<Addr> &out)
             if (target <= 0)
                 break;
             out.push_back(blockAddr(static_cast<Addr>(target)));
-            ++stats_.counter("issued");
+            ++issued_;
         }
     }
 }

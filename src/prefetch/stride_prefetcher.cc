@@ -24,8 +24,9 @@ StridePrefetcher::observe(Addr pc, Addr blk, bool, std::vector<Addr> &out)
         return;
     }
 
-    const auto delta = static_cast<std::int64_t>(blk) -
-                       static_cast<std::int64_t>(entry.lastBlk);
+    // Unsigned subtraction wraps; the int64 view of the difference is
+    // the stride without signed-overflow UB on far-apart addresses.
+    const auto delta = static_cast<std::int64_t>(blk - entry.lastBlk);
     if (delta == 0)
         return; // same block, nothing to learn
 
@@ -43,12 +44,12 @@ StridePrefetcher::observe(Addr pc, Addr blk, bool, std::vector<Addr> &out)
 
     if (entry.confidence >= kTrainThreshold && entry.stride != 0) {
         for (unsigned k = 1; k <= degree_; ++k) {
-            const auto target = static_cast<std::int64_t>(blk) +
-                                entry.stride * static_cast<std::int64_t>(k);
+            const auto target = static_cast<std::int64_t>(
+                blk + static_cast<Addr>(entry.stride) * k);
             if (target <= 0)
                 break;
             out.push_back(blockAddr(static_cast<Addr>(target)));
-            ++stats_.counter("issued");
+            ++issued_;
         }
     }
 }

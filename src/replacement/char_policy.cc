@@ -11,9 +11,9 @@ CharPolicy::CharPolicy(std::size_t sets, std::size_t ways)
 }
 
 CharPolicy::SetRole
-CharPolicy::role(std::size_t set) const
+CharPolicy::role(SetIdx set) const
 {
-    const auto slot = set % kDuelPeriod;
+    const auto slot = set.get() % kDuelPeriod;
     if (slot == 0)
         return SetRole::LeaderHint;
     if (slot == 1)
@@ -22,7 +22,7 @@ CharPolicy::role(std::size_t set) const
 }
 
 bool
-CharPolicy::applyHints(std::size_t set) const
+CharPolicy::applyHints(SetIdx set) const
 {
     switch (role(set)) {
       case SetRole::LeaderHint:
@@ -46,107 +46,107 @@ CharPolicy::hintsEnabled() const
 }
 
 void
-CharPolicy::touch(std::size_t set, std::size_t way)
+CharPolicy::touch(SetIdx set, WayIdx way)
 {
-    auto *row = &bits_[set * ways_];
-    row[way] = 0;
+    auto *row = &bits_[idx(set, WayIdx{0})];
+    row[way.get()] = 0;
     for (std::size_t w = 0; w < ways_; ++w)
         if (row[w])
             return;
-    for (std::size_t w = 0; w < ways_; ++w)
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
         if (w != way)
-            row[w] = 1;
+            row[w.get()] = 1;
 }
 
 void
-CharPolicy::onFill(std::size_t set, std::size_t way)
+CharPolicy::onFill(SetIdx set, WayIdx way)
 {
-    hinted_[set * ways_ + way] = 0;
+    hinted_[idx(set, way)] = 0;
     touch(set, way);
 }
 
 void
-CharPolicy::onHit(std::size_t set, std::size_t way)
+CharPolicy::onHit(SetIdx set, WayIdx way)
 {
-    const std::size_t idx = set * ways_ + way;
-    if (hinted_[idx] && role(set) == SetRole::LeaderHint) {
+    const std::size_t at = idx(set, way);
+    if (hinted_[at] && role(set) == SetRole::LeaderHint) {
         // A hinted-down line proved useful: evidence against hinting.
         if (psel_ < kPselMax)
             ++psel_;
     }
-    hinted_[idx] = 0;
+    hinted_[at] = 0;
     touch(set, way);
 }
 
 void
-CharPolicy::onInvalidate(std::size_t set, std::size_t way)
+CharPolicy::onInvalidate(SetIdx set, WayIdx way)
 {
-    const std::size_t idx = set * ways_ + way;
-    bits_[idx] = 1;
-    hinted_[idx] = 0;
+    const std::size_t at = idx(set, way);
+    bits_[at] = 1;
+    hinted_[at] = 0;
 }
 
 void
-CharPolicy::downgradeHint(std::size_t set, std::size_t way)
+CharPolicy::downgradeHint(SetIdx set, WayIdx way)
 {
-    const std::size_t idx = set * ways_ + way;
+    const std::size_t at = idx(set, way);
     if (applyHints(set)) {
-        bits_[idx] = 1;
-        hinted_[idx] = 1;
+        bits_[at] = 1;
+        hinted_[at] = 1;
     } else if (role(set) == SetRole::LeaderNoHint) {
         // Record that the hint would have fired; if the line then gets
         // evicted without a rehit, hinting would have been harmless and
         // freed the way sooner: evidence for hinting.
-        hinted_[idx] = 1;
+        hinted_[at] = 1;
     }
 }
 
-std::vector<std::size_t>
-CharPolicy::preferredVictims(std::size_t set)
+std::vector<WayIdx>
+CharPolicy::preferredVictims(SetIdx set)
 {
-    const auto *row = &bits_[set * ways_];
-    std::vector<std::size_t> candidates;
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (row[w])
+    const auto *row = &bits_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> candidates;
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (row[w.get()])
             candidates.push_back(w);
     if (candidates.empty())
         candidates = rank(set);
     return candidates;
 }
 
-std::vector<std::size_t>
-CharPolicy::rank(std::size_t set)
+std::vector<WayIdx>
+CharPolicy::rank(SetIdx set)
 {
-    const auto *row = &bits_[set * ways_];
-    std::vector<std::size_t> order;
+    const auto *row = &bits_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> order;
     order.reserve(ways_);
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (row[w])
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (row[w.get()])
             order.push_back(w);
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (!row[w])
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (!row[w.get()])
             order.push_back(w);
 
     // Dueling feedback for the no-hint leader: the preferred victim being
     // a would-have-been-hinted line that never got rehit means hints
     // predict death correctly there.
     if (role(set) == SetRole::LeaderNoHint && !order.empty()) {
-        const std::size_t idx = set * ways_ + order.front();
-        if (hinted_[idx] && psel_ > -kPselMax)
+        const std::size_t at = idx(set, order.front());
+        if (hinted_[at] && psel_ > -kPselMax)
             --psel_;
     }
     return order;
 }
 
 std::vector<std::uint64_t>
-CharPolicy::stateSnapshot(std::size_t set) const
+CharPolicy::stateSnapshot(SetIdx set) const
 {
     std::vector<std::uint64_t> out;
     out.reserve(2 * ways_ + 1);
-    for (std::size_t w = 0; w < ways_; ++w)
-        out.push_back(bits_[set * ways_ + w]);
-    for (std::size_t w = 0; w < ways_; ++w)
-        out.push_back(hinted_[set * ways_ + w]);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        out.push_back(bits_[idx(set, w)]);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        out.push_back(hinted_[idx(set, w)]);
     // The global selector gates whether followers act on hints.
     out.push_back(static_cast<std::uint64_t>(
         static_cast<std::int64_t>(psel_)));

@@ -23,18 +23,19 @@ class CharPolicy : public ReplacementPolicy
   public:
     CharPolicy(std::size_t sets, std::size_t ways);
 
-    void onFill(std::size_t set, std::size_t way) override;
-    void onHit(std::size_t set, std::size_t way) override;
-    void onInvalidate(std::size_t set, std::size_t way) override;
-    void downgradeHint(std::size_t set, std::size_t way) override;
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::size_t> preferredVictims(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "CHAR"; }
+    void onFill(SetIdx set, WayIdx way) override;
+    void onHit(SetIdx set, WayIdx way) override;
+    void onInvalidate(SetIdx set, WayIdx way) override;
+    void downgradeHint(SetIdx set, WayIdx way) override;
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<WayIdx>
+    preferredVictims(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "CHAR"; }
 
     /** True if followers currently apply downgrade hints; test helper. */
-    bool hintsEnabled() const;
+    [[nodiscard]] bool hintsEnabled() const;
 
   private:
     enum class SetRole : std::uint8_t
@@ -44,9 +45,9 @@ class CharPolicy : public ReplacementPolicy
         LeaderNoHint, //!< never applies them
     };
 
-    SetRole role(std::size_t set) const;
-    bool applyHints(std::size_t set) const;
-    void touch(std::size_t set, std::size_t way);
+    [[nodiscard]] SetRole role(SetIdx set) const;
+    [[nodiscard]] bool applyHints(SetIdx set) const;
+    void touch(SetIdx set, WayIdx way);
 
     static constexpr unsigned kDuelPeriod = 32;
     static constexpr int kPselMax = 1023;

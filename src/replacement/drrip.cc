@@ -1,7 +1,6 @@
 #include "replacement/drrip.hh"
 
 #include <algorithm>
-#include <numeric>
 
 namespace bvc
 {
@@ -13,15 +12,15 @@ DrripPolicy::DrripPolicy(std::size_t sets, std::size_t ways)
 }
 
 unsigned
-DrripPolicy::rrpv(std::size_t set, std::size_t way) const
+DrripPolicy::rrpv(SetIdx set, WayIdx way) const
 {
-    return rrpvs_[set * ways_ + way];
+    return rrpvs_[idx(set, way)];
 }
 
 DrripPolicy::SetRole
-DrripPolicy::role(std::size_t set) const
+DrripPolicy::role(SetIdx set) const
 {
-    const auto slot = set % kDuelPeriod;
+    const auto slot = set.get() % kDuelPeriod;
     if (slot == 0)
         return SetRole::LeaderSrrip;
     if (slot == 1)
@@ -30,7 +29,7 @@ DrripPolicy::role(std::size_t set) const
 }
 
 bool
-DrripPolicy::insertBrrip(std::size_t set)
+DrripPolicy::insertBrrip(SetIdx set)
 {
     switch (role(set)) {
       case SetRole::LeaderSrrip:
@@ -44,7 +43,7 @@ DrripPolicy::insertBrrip(std::size_t set)
 }
 
 void
-DrripPolicy::onFill(std::size_t set, std::size_t way)
+DrripPolicy::onFill(SetIdx set, WayIdx way)
 {
     // A fill is a miss: duel the leader sets.
     if (role(set) == SetRole::LeaderSrrip && psel_ < kPselMax)
@@ -59,25 +58,25 @@ DrripPolicy::onFill(std::size_t set, std::size_t way)
             ? kSrripInsert
             : kMaxRrpv;
     }
-    rrpvs_[set * ways_ + way] = static_cast<std::uint8_t>(insert);
+    rrpvs_[idx(set, way)] = static_cast<std::uint8_t>(insert);
 }
 
 void
-DrripPolicy::onHit(std::size_t set, std::size_t way)
+DrripPolicy::onHit(SetIdx set, WayIdx way)
 {
-    rrpvs_[set * ways_ + way] = 0;
+    rrpvs_[idx(set, way)] = 0;
 }
 
 void
-DrripPolicy::onInvalidate(std::size_t set, std::size_t way)
+DrripPolicy::onInvalidate(SetIdx set, WayIdx way)
 {
-    rrpvs_[set * ways_ + way] = kMaxRrpv;
+    rrpvs_[idx(set, way)] = kMaxRrpv;
 }
 
-std::vector<std::size_t>
-DrripPolicy::rank(std::size_t set)
+std::vector<WayIdx>
+DrripPolicy::rank(SetIdx set)
 {
-    auto *row = &rrpvs_[set * ways_];
+    auto *row = &rrpvs_[idx(set, WayIdx{0})];
     auto maxIt = std::max_element(row, row + ways_);
     if (*maxIt < kMaxRrpv) {
         const std::uint8_t delta =
@@ -85,22 +84,24 @@ DrripPolicy::rank(std::size_t set)
         for (std::size_t w = 0; w < ways_; ++w)
             row[w] = static_cast<std::uint8_t>(row[w] + delta);
     }
-    std::vector<std::size_t> order(ways_);
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<WayIdx> order;
+    order.reserve(ways_);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        order.push_back(w);
     std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return row[a] > row[b];
+                     [&](WayIdx a, WayIdx b) {
+                         return row[a.get()] > row[b.get()];
                      });
     return order;
 }
 
 std::vector<std::uint64_t>
-DrripPolicy::stateSnapshot(std::size_t set) const
+DrripPolicy::stateSnapshot(SetIdx set) const
 {
     std::vector<std::uint64_t> out;
     out.reserve(ways_ + 2);
-    for (std::size_t w = 0; w < ways_; ++w)
-        out.push_back(rrpvs_[set * ways_ + w]);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        out.push_back(rrpvs_[idx(set, w)]);
     // Set-dueling state is global and decision-relevant everywhere.
     out.push_back(static_cast<std::uint64_t>(
         static_cast<std::int64_t>(psel_)));
@@ -108,14 +109,14 @@ DrripPolicy::stateSnapshot(std::size_t set) const
     return out;
 }
 
-std::vector<std::size_t>
-DrripPolicy::preferredVictims(std::size_t set)
+std::vector<WayIdx>
+DrripPolicy::preferredVictims(SetIdx set)
 {
     const auto order = rank(set);
-    const auto *row = &rrpvs_[set * ways_];
-    std::vector<std::size_t> candidates;
-    for (const std::size_t w : order) {
-        if (row[w] == kMaxRrpv)
+    const auto *row = &rrpvs_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> candidates;
+    for (const WayIdx w : order) {
+        if (row[w.get()] == kMaxRrpv)
             candidates.push_back(w);
         else
             break;

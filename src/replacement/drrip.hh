@@ -30,19 +30,20 @@ class DrripPolicy : public ReplacementPolicy
 
     DrripPolicy(std::size_t sets, std::size_t ways);
 
-    void onFill(std::size_t set, std::size_t way) override;
-    void onHit(std::size_t set, std::size_t way) override;
-    void onInvalidate(std::size_t set, std::size_t way) override;
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::size_t> preferredVictims(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "DRRIP"; }
+    void onFill(SetIdx set, WayIdx way) override;
+    void onHit(SetIdx set, WayIdx way) override;
+    void onInvalidate(SetIdx set, WayIdx way) override;
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<WayIdx>
+    preferredVictims(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "DRRIP"; }
 
     /** Raw RRPV; test helper. */
-    unsigned rrpv(std::size_t set, std::size_t way) const;
+    [[nodiscard]] unsigned rrpv(SetIdx set, WayIdx way) const;
     /** True if follower sets currently insert BRRIP-style. */
-    bool brripSelected() const { return psel_ > 0; }
+    [[nodiscard]] bool brripSelected() const { return psel_ > 0; }
 
   private:
     enum class SetRole : std::uint8_t
@@ -52,8 +53,8 @@ class DrripPolicy : public ReplacementPolicy
         LeaderBrrip,
     };
 
-    SetRole role(std::size_t set) const;
-    bool insertBrrip(std::size_t set);
+    [[nodiscard]] SetRole role(SetIdx set) const;
+    bool insertBrrip(SetIdx set);
 
     std::vector<std::uint8_t> rrpvs_;
     int psel_ = 0; //!< >0: SRRIP leaders miss more -> use BRRIP

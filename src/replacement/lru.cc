@@ -1,7 +1,6 @@
 #include "replacement/lru.hh"
 
 #include <algorithm>
-#include <numeric>
 
 namespace bvc
 {
@@ -13,53 +12,55 @@ LruPolicy::LruPolicy(std::size_t sets, std::size_t ways)
 }
 
 Tick &
-LruPolicy::stamp(std::size_t set, std::size_t way)
+LruPolicy::stamp(SetIdx set, WayIdx way)
 {
-    return stamps_[set * ways_ + way];
+    return stamps_[idx(set, way)];
 }
 
 const Tick &
-LruPolicy::stamp(std::size_t set, std::size_t way) const
+LruPolicy::stamp(SetIdx set, WayIdx way) const
 {
-    return stamps_[set * ways_ + way];
+    return stamps_[idx(set, way)];
 }
 
 void
-LruPolicy::onFill(std::size_t set, std::size_t way)
-{
-    stamp(set, way) = ++tick_;
-}
-
-void
-LruPolicy::onHit(std::size_t set, std::size_t way)
+LruPolicy::onFill(SetIdx set, WayIdx way)
 {
     stamp(set, way) = ++tick_;
 }
 
 void
-LruPolicy::onInvalidate(std::size_t set, std::size_t way)
+LruPolicy::onHit(SetIdx set, WayIdx way)
+{
+    stamp(set, way) = ++tick_;
+}
+
+void
+LruPolicy::onInvalidate(SetIdx set, WayIdx way)
 {
     stamp(set, way) = 0;
 }
 
-std::vector<std::size_t>
-LruPolicy::rank(std::size_t set)
+std::vector<WayIdx>
+LruPolicy::rank(SetIdx set)
 {
-    std::vector<std::size_t> order(ways_);
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<WayIdx> order;
+    order.reserve(ways_);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        order.push_back(w);
     std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
+                     [&](WayIdx a, WayIdx b) {
                          return stamp(set, a) < stamp(set, b);
                      });
     return order;
 }
 
 std::vector<std::uint64_t>
-LruPolicy::stateSnapshot(std::size_t set) const
+LruPolicy::stateSnapshot(SetIdx set) const
 {
     std::vector<std::uint64_t> out;
     out.reserve(ways_ + 1);
-    for (std::size_t w = 0; w < ways_; ++w)
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
         out.push_back(stamp(set, w));
     // The global tick participates: equal call sequences keep it equal.
     out.push_back(tick_);
@@ -67,10 +68,10 @@ LruPolicy::stateSnapshot(std::size_t set) const
 }
 
 std::size_t
-LruPolicy::stackPosition(std::size_t set, std::size_t way) const
+LruPolicy::stackPosition(SetIdx set, WayIdx way) const
 {
     std::size_t pos = 0;
-    for (std::size_t w = 0; w < ways_; ++w)
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
         if (w != way && stamp(set, w) > stamp(set, way))
             ++pos;
     return pos;

@@ -21,20 +21,21 @@ class LruPolicy : public ReplacementPolicy
   public:
     LruPolicy(std::size_t sets, std::size_t ways);
 
-    void onFill(std::size_t set, std::size_t way) override;
-    void onHit(std::size_t set, std::size_t way) override;
-    void onInvalidate(std::size_t set, std::size_t way) override;
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "LRU"; }
+    void onFill(SetIdx set, WayIdx way) override;
+    void onHit(SetIdx set, WayIdx way) override;
+    void onInvalidate(SetIdx set, WayIdx way) override;
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "LRU"; }
 
     /** Position of `way` in the LRU stack (0 = MRU); test helper. */
-    std::size_t stackPosition(std::size_t set, std::size_t way) const;
+    [[nodiscard]] std::size_t
+    stackPosition(SetIdx set, WayIdx way) const;
 
   private:
-    Tick &stamp(std::size_t set, std::size_t way);
-    const Tick &stamp(std::size_t set, std::size_t way) const;
+    Tick &stamp(SetIdx set, WayIdx way);
+    const Tick &stamp(SetIdx set, WayIdx way) const;
 
     std::vector<Tick> stamps_;
     Tick tick_ = 0;

@@ -10,77 +10,77 @@ NruPolicy::NruPolicy(std::size_t sets, std::size_t ways)
 }
 
 bool
-NruPolicy::candidateBit(std::size_t set, std::size_t way) const
+NruPolicy::candidateBit(SetIdx set, WayIdx way) const
 {
-    return bits_[set * ways_ + way] != 0;
+    return bits_[idx(set, way)] != 0;
 }
 
 void
-NruPolicy::touch(std::size_t set, std::size_t way)
+NruPolicy::touch(SetIdx set, WayIdx way)
 {
-    auto *row = &bits_[set * ways_];
-    row[way] = 0;
+    auto *row = &bits_[idx(set, WayIdx{0})];
+    row[way.get()] = 0;
     // If no candidate remains, age every other way back to candidate.
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (row[w])
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (row[w.get()])
             return;
-    for (std::size_t w = 0; w < ways_; ++w)
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
         if (w != way)
-            row[w] = 1;
+            row[w.get()] = 1;
 }
 
 void
-NruPolicy::onFill(std::size_t set, std::size_t way)
+NruPolicy::onFill(SetIdx set, WayIdx way)
 {
     touch(set, way);
 }
 
 void
-NruPolicy::onHit(std::size_t set, std::size_t way)
+NruPolicy::onHit(SetIdx set, WayIdx way)
 {
     touch(set, way);
 }
 
 void
-NruPolicy::onInvalidate(std::size_t set, std::size_t way)
+NruPolicy::onInvalidate(SetIdx set, WayIdx way)
 {
-    bits_[set * ways_ + way] = 1;
+    bits_[idx(set, way)] = 1;
 }
 
 std::vector<std::uint64_t>
-NruPolicy::stateSnapshot(std::size_t set) const
+NruPolicy::stateSnapshot(SetIdx set) const
 {
     std::vector<std::uint64_t> out;
     out.reserve(ways_);
-    for (std::size_t w = 0; w < ways_; ++w)
-        out.push_back(bits_[set * ways_ + w]);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        out.push_back(bits_[idx(set, w)]);
     return out;
 }
 
-std::vector<std::size_t>
-NruPolicy::preferredVictims(std::size_t set)
+std::vector<WayIdx>
+NruPolicy::preferredVictims(SetIdx set)
 {
-    const auto *row = &bits_[set * ways_];
-    std::vector<std::size_t> candidates;
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (row[w])
+    const auto *row = &bits_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> candidates;
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (row[w.get()])
             candidates.push_back(w);
     if (candidates.empty())
         candidates = rank(set);
     return candidates;
 }
 
-std::vector<std::size_t>
-NruPolicy::rank(std::size_t set)
+std::vector<WayIdx>
+NruPolicy::rank(SetIdx set)
 {
-    const auto *row = &bits_[set * ways_];
-    std::vector<std::size_t> order;
+    const auto *row = &bits_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> order;
     order.reserve(ways_);
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (row[w])
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (row[w.get()])
             order.push_back(w);
-    for (std::size_t w = 0; w < ways_; ++w)
-        if (!row[w])
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        if (!row[w.get()])
             order.push_back(w);
     return order;
 }

@@ -20,20 +20,21 @@ class NruPolicy : public ReplacementPolicy
   public:
     NruPolicy(std::size_t sets, std::size_t ways);
 
-    void onFill(std::size_t set, std::size_t way) override;
-    void onHit(std::size_t set, std::size_t way) override;
-    void onInvalidate(std::size_t set, std::size_t way) override;
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::size_t> preferredVictims(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "NRU"; }
+    void onFill(SetIdx set, WayIdx way) override;
+    void onHit(SetIdx set, WayIdx way) override;
+    void onInvalidate(SetIdx set, WayIdx way) override;
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<WayIdx>
+    preferredVictims(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "NRU"; }
 
     /** Raw candidate bit; test helper. */
-    bool candidateBit(std::size_t set, std::size_t way) const;
+    [[nodiscard]] bool candidateBit(SetIdx set, WayIdx way) const;
 
   private:
-    void touch(std::size_t set, std::size_t way);
+    void touch(SetIdx set, WayIdx way);
 
     std::vector<std::uint8_t> bits_; // 1 = eviction candidate
 };

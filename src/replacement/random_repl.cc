@@ -1,7 +1,5 @@
 #include "replacement/random_repl.hh"
 
-#include <numeric>
-
 namespace bvc
 {
 
@@ -12,11 +10,13 @@ RandomPolicy::RandomPolicy(std::size_t sets, std::size_t ways,
 {
 }
 
-std::vector<std::size_t>
-RandomPolicy::rank(std::size_t)
+std::vector<WayIdx>
+RandomPolicy::rank(SetIdx)
 {
-    std::vector<std::size_t> order(ways_);
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<WayIdx> order;
+    order.reserve(ways_);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        order.push_back(w);
     // Fisher-Yates shuffle driven by the deterministic PRNG.
     for (std::size_t i = ways_; i > 1; --i) {
         const auto j = static_cast<std::size_t>(rng_.range(i));
@@ -26,7 +26,7 @@ RandomPolicy::rank(std::size_t)
 }
 
 std::vector<std::uint64_t>
-RandomPolicy::stateSnapshot(std::size_t) const
+RandomPolicy::stateSnapshot(SetIdx) const
 {
     // All decision state is the PRNG stream position, which is global.
     return {rng_.stateWord(0), rng_.stateWord(1), rng_.stateWord(2),

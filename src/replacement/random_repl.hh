@@ -21,13 +21,13 @@ class RandomPolicy : public ReplacementPolicy
     RandomPolicy(std::size_t sets, std::size_t ways,
                  std::uint64_t seed = 0xb5c0ffee);
 
-    void onFill(std::size_t, std::size_t) override {}
-    void onHit(std::size_t, std::size_t) override {}
-    void onInvalidate(std::size_t, std::size_t) override {}
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "Random"; }
+    void onFill(SetIdx, WayIdx) override {}
+    void onHit(SetIdx, WayIdx) override {}
+    void onInvalidate(SetIdx, WayIdx) override {}
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "Random"; }
 
   private:
     Rng rng_;

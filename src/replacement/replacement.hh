@@ -6,14 +6,21 @@
  * models (Section III / VI.B of the paper) need to walk candidates in
  * policy-preference order and filter them by compressed-size fit, which a
  * single-victim interface cannot express.
+ *
+ * Sets and ways are addressed with the strong index types of
+ * util/strong_types.hh: passing a set where a way is expected (or vice
+ * versa) is a compile error.
  */
 
 #ifndef BVC_REPLACEMENT_REPLACEMENT_HH_
 #define BVC_REPLACEMENT_REPLACEMENT_HH_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/strong_types.hh"
 
 namespace bvc
 {
@@ -34,27 +41,27 @@ class ReplacementPolicy
     virtual ~ReplacementPolicy() = default;
 
     /** A new line was installed in (set, way). */
-    virtual void onFill(std::size_t set, std::size_t way) = 0;
+    virtual void onFill(SetIdx set, WayIdx way) = 0;
 
     /** The line in (set, way) was hit by a demand access. */
-    virtual void onHit(std::size_t set, std::size_t way) = 0;
+    virtual void onHit(SetIdx set, WayIdx way) = 0;
 
     /** The line in (set, way) was invalidated (state becomes don't-care). */
-    virtual void onInvalidate(std::size_t set, std::size_t way) = 0;
+    virtual void onInvalidate(SetIdx set, WayIdx way) = 0;
 
     /**
      * Optional hierarchy hint (CHAR-style, [7]): the upper-level cache
      * evicted its copy of the line at (set, way), suggesting reduced
      * future reuse. Default: ignored.
      */
-    virtual void downgradeHint(std::size_t, std::size_t) {}
+    virtual void downgradeHint(SetIdx, WayIdx) {}
 
     /**
      * All ways of `set` ordered best-victim-first. May mutate aging state
      * (e.g., SRRIP increments RRPVs until a victim exists), so callers
      * must only invoke this when a replacement decision is actually due.
      */
-    virtual std::vector<std::size_t> rank(std::size_t set) = 0;
+    [[nodiscard]] virtual std::vector<WayIdx> rank(SetIdx set) = 0;
 
     /**
      * The policy's current victim-candidate *class* for `set`: the ways
@@ -63,15 +70,15 @@ class ReplacementPolicy
      * replacement of Section VI.A filters this class by compressed-size
      * fit. Default: just the single best victim.
      */
-    virtual std::vector<std::size_t>
-    preferredVictims(std::size_t set)
+    [[nodiscard]] virtual std::vector<WayIdx>
+    preferredVictims(SetIdx set)
     {
         return {rank(set).front()};
     }
 
     /** Convenience: the single preferred victim (first of rank()). */
-    std::size_t
-    victim(std::size_t set)
+    [[nodiscard]] WayIdx
+    victim(SetIdx set)
     {
         return rank(set).front();
     }
@@ -85,15 +92,21 @@ class ReplacementPolicy
      * the uncompressed reference with this. Must NOT mutate state
      * (unlike rank()).
      */
-    virtual std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const = 0;
+    [[nodiscard]] virtual std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const = 0;
 
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
-    std::size_t sets() const { return sets_; }
-    std::size_t ways() const { return ways_; }
+    [[nodiscard]] std::size_t sets() const { return sets_; }
+    [[nodiscard]] std::size_t ways() const { return ways_; }
 
   protected:
+    /** Row-major flat index into per-line state vectors. */
+    [[nodiscard]] std::size_t idx(SetIdx set, WayIdx way) const
+    {
+        return set.get() * ways_ + way.get();
+    }
+
     std::size_t sets_;
     std::size_t ways_;
 };

@@ -1,7 +1,6 @@
 #include "replacement/srrip.hh"
 
 #include <algorithm>
-#include <numeric>
 
 namespace bvc
 {
@@ -13,49 +12,49 @@ SrripPolicy::SrripPolicy(std::size_t sets, std::size_t ways)
 }
 
 unsigned
-SrripPolicy::rrpv(std::size_t set, std::size_t way) const
+SrripPolicy::rrpv(SetIdx set, WayIdx way) const
 {
-    return rrpvs_[set * ways_ + way];
+    return rrpvs_[idx(set, way)];
 }
 
 void
-SrripPolicy::onFill(std::size_t set, std::size_t way)
+SrripPolicy::onFill(SetIdx set, WayIdx way)
 {
-    rrpvs_[set * ways_ + way] = kInsertRrpv;
+    rrpvs_[idx(set, way)] = kInsertRrpv;
 }
 
 void
-SrripPolicy::onHit(std::size_t set, std::size_t way)
+SrripPolicy::onHit(SetIdx set, WayIdx way)
 {
-    rrpvs_[set * ways_ + way] = 0;
+    rrpvs_[idx(set, way)] = 0;
 }
 
 void
-SrripPolicy::onInvalidate(std::size_t set, std::size_t way)
+SrripPolicy::onInvalidate(SetIdx set, WayIdx way)
 {
-    rrpvs_[set * ways_ + way] = kMaxRrpv;
+    rrpvs_[idx(set, way)] = kMaxRrpv;
 }
 
 std::vector<std::uint64_t>
-SrripPolicy::stateSnapshot(std::size_t set) const
+SrripPolicy::stateSnapshot(SetIdx set) const
 {
     std::vector<std::uint64_t> out;
     out.reserve(ways_);
-    for (std::size_t w = 0; w < ways_; ++w)
-        out.push_back(rrpvs_[set * ways_ + w]);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        out.push_back(rrpvs_[idx(set, w)]);
     return out;
 }
 
-std::vector<std::size_t>
-SrripPolicy::preferredVictims(std::size_t set)
+std::vector<WayIdx>
+SrripPolicy::preferredVictims(SetIdx set)
 {
     // rank() ages the set so that at least one way sits at kMaxRrpv;
     // the candidate class is exactly the max-RRPV ways.
     const auto order = rank(set);
-    const auto *row = &rrpvs_[set * ways_];
-    std::vector<std::size_t> candidates;
-    for (const std::size_t w : order) {
-        if (row[w] == kMaxRrpv)
+    const auto *row = &rrpvs_[idx(set, WayIdx{0})];
+    std::vector<WayIdx> candidates;
+    for (const WayIdx w : order) {
+        if (row[w.get()] == kMaxRrpv)
             candidates.push_back(w);
         else
             break;
@@ -63,24 +62,27 @@ SrripPolicy::preferredVictims(std::size_t set)
     return candidates;
 }
 
-std::vector<std::size_t>
-SrripPolicy::rank(std::size_t set)
+std::vector<WayIdx>
+SrripPolicy::rank(SetIdx set)
 {
-    auto *row = &rrpvs_[set * ways_];
+    auto *row = &rrpvs_[idx(set, WayIdx{0})];
 
     // Age the set until at least one way is a distant re-reference.
     auto maxIt = std::max_element(row, row + ways_);
     if (*maxIt < kMaxRrpv) {
-        const std::uint8_t delta = kMaxRrpv - *maxIt;
+        const std::uint8_t delta =
+            static_cast<std::uint8_t>(kMaxRrpv - *maxIt);
         for (std::size_t w = 0; w < ways_; ++w)
             row[w] = static_cast<std::uint8_t>(row[w] + delta);
     }
 
-    std::vector<std::size_t> order(ways_);
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<WayIdx> order;
+    order.reserve(ways_);
+    for (const WayIdx w : indexRange<WayIdx>(ways_))
+        order.push_back(w);
     std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return row[a] > row[b];
+                     [&](WayIdx a, WayIdx b) {
+                         return row[a.get()] > row[b.get()];
                      });
     return order;
 }

@@ -24,17 +24,18 @@ class SrripPolicy : public ReplacementPolicy
 
     SrripPolicy(std::size_t sets, std::size_t ways);
 
-    void onFill(std::size_t set, std::size_t way) override;
-    void onHit(std::size_t set, std::size_t way) override;
-    void onInvalidate(std::size_t set, std::size_t way) override;
-    std::vector<std::size_t> rank(std::size_t set) override;
-    std::vector<std::size_t> preferredVictims(std::size_t set) override;
-    std::vector<std::uint64_t>
-    stateSnapshot(std::size_t set) const override;
-    std::string name() const override { return "SRRIP"; }
+    void onFill(SetIdx set, WayIdx way) override;
+    void onHit(SetIdx set, WayIdx way) override;
+    void onInvalidate(SetIdx set, WayIdx way) override;
+    [[nodiscard]] std::vector<WayIdx> rank(SetIdx set) override;
+    [[nodiscard]] std::vector<WayIdx>
+    preferredVictims(SetIdx set) override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    stateSnapshot(SetIdx set) const override;
+    [[nodiscard]] std::string name() const override { return "SRRIP"; }
 
     /** Raw RRPV; test helper. */
-    unsigned rrpv(std::size_t set, std::size_t way) const;
+    [[nodiscard]] unsigned rrpv(SetIdx set, WayIdx way) const;
 
   private:
     std::vector<std::uint8_t> rrpvs_;

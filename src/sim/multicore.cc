@@ -55,7 +55,7 @@ MultiCoreSystem::MultiCoreSystem(
     }
 }
 
-std::size_t
+CoreId
 MultiCoreSystem::stepOne()
 {
     // Advance the core whose local clock lags: keeps the interleaving
@@ -74,7 +74,7 @@ MultiCoreSystem::stepOne()
     panicIf(pick == kThreads, "stepOne: all threads done");
     const bool more = cores_[pick]->step(*traces_[pick]);
     panicIf(!more, "synthetic traces never exhaust");
-    return pick;
+    return CoreId{pick};
 }
 
 void

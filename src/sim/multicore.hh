@@ -69,12 +69,12 @@ class MultiCoreSystem
 
     Llc &llc() { return *llc_; }
     Dram &dram() { return dram_; }
-    Hierarchy &hierarchy(std::size_t i) { return *hiers_[i]; }
-    OooCore &core(std::size_t i) { return *cores_[i]; }
+    Hierarchy &hierarchy(CoreId i) { return *hiers_[i.get()]; }
+    OooCore &core(CoreId i) { return *cores_[i.get()]; }
 
   private:
     /** Step the lagging core (smallest local clock) once. */
-    std::size_t stepOne();
+    CoreId stepOne();
 
     /** Run every thread to at least `target` retired instructions. */
     void runAllTo(std::uint64_t target);

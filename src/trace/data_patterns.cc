@@ -111,15 +111,19 @@ DataPattern::fillLine(Addr blk, std::uint8_t *out) const
         return;
       }
 
-      case DataPatternKind::Random:
-      default: {
+      case DataPatternKind::Random: {
         for (unsigned i = 0; i < 8; ++i) {
             const std::uint64_t v = hash(blk, 0x100 + i);
             std::memcpy(out + 8 * i, &v, 8);
         }
         return;
       }
+
+      case DataPatternKind::MixedGood:
+      case DataPatternKind::MixedPoor:
+        break; // lineKind() resolves mixes to a concrete kind
     }
+    panic("DataPattern::fillLine: unresolved mixed kind");
 }
 
 std::uint64_t
@@ -139,9 +143,12 @@ DataPattern::storeValue(Addr addr, std::uint64_t salt) const
         return hash(addr, salt) & 0xff;
       case DataPatternKind::Floats:
       case DataPatternKind::Random:
-      default:
         return hash(addr, salt);
+      case DataPatternKind::MixedGood:
+      case DataPatternKind::MixedPoor:
+        break; // lineKind() resolves mixes to a concrete kind
     }
+    panic("DataPattern::storeValue: unresolved mixed kind");
 }
 
 std::string

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Strong, zero-cost index and count types for the cache geometry. A
+ * compressed cache lives or dies on its tag/segment bookkeeping (set
+ * index vs way index vs segment count vs byte count), and all of these
+ * are "just integers" — so a swapped argument compiles silently and
+ * corrupts state in ways only the lockstep checker (src/check/) can
+ * catch at runtime. These wrappers reject that class of bug at compile
+ * time instead:
+ *
+ *   SetIdx   index of a set within a cache level
+ *   WayIdx   index of a way / logical tag slot within a set
+ *   CoreId   index of a core in a multi-core system
+ *   SegCount count of 4B compressed-data segments (NOT bytes)
+ *
+ * Conventions (see docs/static_analysis.md):
+ *   - construction is explicit; no implicit conversion from or between
+ *     integer types, so `install(way, set)` is a compile error when the
+ *     signature says `install(SetIdx, WayIdx)`;
+ *   - `.get()` unwraps to std::size_t for array arithmetic at the
+ *     storage boundary (`base_[set.get() * ways_ + way.get()]`) — keep
+ *     unwrapped values as short-lived as possible;
+ *   - counts (numbers of sets/ways/cores) stay std::size_t; iterate
+ *     with `for (WayIdx w : indexRange<WayIdx>(ways))`;
+ *   - "not found" is expressed as std::optional<WayIdx>, never as a
+ *     sentinel index equal to the way count.
+ *
+ * Everything here compiles away: the wrappers hold a single integer,
+ * every member is constexpr, and -O2 emits identical code to raw
+ * size_t indexing.
+ */
+
+#ifndef BVC_UTIL_STRONG_TYPES_HH_
+#define BVC_UTIL_STRONG_TYPES_HH_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/types.hh"
+
+namespace bvc
+{
+
+/**
+ * An integer index distinguished by a tag type. Distinct tags are
+ * distinct, incompatible types; the underlying representation is
+ * std::uint32_t (no cache in this simulator has 2^32 sets or ways).
+ */
+template <class Tag>
+class StrongIndex
+{
+  public:
+    constexpr StrongIndex() = default;
+
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    explicit constexpr StrongIndex(T raw)
+        : v_(static_cast<std::uint32_t>(raw))
+    {
+    }
+
+    /** Unwrap for array arithmetic at the storage boundary. */
+    [[nodiscard]] constexpr std::size_t get() const { return v_; }
+
+    friend constexpr auto operator<=>(StrongIndex, StrongIndex) =
+        default;
+
+    constexpr StrongIndex &operator++()
+    {
+        ++v_;
+        return *this;
+    }
+
+    constexpr StrongIndex operator++(int)
+    {
+        const StrongIndex old = *this;
+        ++v_;
+        return old;
+    }
+
+  private:
+    std::uint32_t v_ = 0;
+};
+
+/** Index of a set within a cache level. */
+using SetIdx = StrongIndex<struct SetIdxTag>;
+
+/** Index of a way (or logical tag slot) within a set. */
+using WayIdx = StrongIndex<struct WayIdxTag>;
+
+/** Index of a core in a multi-core system. */
+using CoreId = StrongIndex<struct CoreIdTag>;
+
+/**
+ * A count of 4-byte compressed-data segments. Deliberately NOT
+ * interchangeable with a byte count: `bytesToSegments()` is the only
+ * sanctioned crossing point (src/compress/compressor.hh), and
+ * quantities like the per-way pair-fit budget compare SegCount against
+ * SegCount only.
+ */
+class SegCount
+{
+  public:
+    constexpr SegCount() = default;
+
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    explicit constexpr SegCount(T raw)
+        : v_(static_cast<std::uint32_t>(raw))
+    {
+    }
+
+    /** Unwrap (e.g., to feed Compressor::decompressionCycles). */
+    [[nodiscard]] constexpr unsigned get() const { return v_; }
+
+    [[nodiscard]] constexpr bool isZero() const { return v_ == 0; }
+
+    friend constexpr auto operator<=>(SegCount, SegCount) = default;
+
+    friend constexpr SegCount operator+(SegCount a, SegCount b)
+    {
+        return SegCount{a.v_ + b.v_};
+    }
+
+    constexpr SegCount &operator+=(SegCount other)
+    {
+        v_ += other.v_;
+        return *this;
+    }
+
+  private:
+    std::uint32_t v_ = 0;
+};
+
+/** A full uncompressed 64B line, as a segment count. */
+inline constexpr SegCount kFullLineSegments{kSegmentsPerLine};
+
+/** A zero (tag-only) line, as a segment count. */
+inline constexpr SegCount kZeroLineSegments{0};
+
+/**
+ * Iterate a strong index over [0, count):
+ *   for (WayIdx w : indexRange<WayIdx>(ways_)) ...
+ */
+template <class Index>
+class IndexRange
+{
+  public:
+    class iterator
+    {
+      public:
+        explicit constexpr iterator(std::size_t v) : v_(v) {}
+        constexpr Index operator*() const { return Index{v_}; }
+        constexpr iterator &operator++()
+        {
+            ++v_;
+            return *this;
+        }
+        constexpr bool operator!=(iterator other) const
+        {
+            return v_ != other.v_;
+        }
+
+      private:
+        std::size_t v_;
+    };
+
+    explicit constexpr IndexRange(std::size_t count) : count_(count) {}
+    [[nodiscard]] constexpr iterator begin() const
+    {
+        return iterator{0};
+    }
+    [[nodiscard]] constexpr iterator end() const
+    {
+        return iterator{count_};
+    }
+
+  private:
+    std::size_t count_;
+};
+
+template <class Index>
+[[nodiscard]] constexpr IndexRange<Index>
+indexRange(std::size_t count)
+{
+    return IndexRange<Index>{count};
+}
+
+// Geometry bounds the strong types (and the 4-bit size-field encoding
+// of Section IV.C) rely on. A change here must be deliberate.
+static_assert(kLineBytes == 64,
+              "the paper's line size is 64B; the size-field encoding "
+              "and the segment quantum assume it");
+static_assert((kLineBytes & (kLineBytes - 1)) == 0,
+              "line size must be a power of two (blockAddr masks)");
+static_assert(kLineBytes == (std::size_t{1} << kLineShift),
+              "kLineShift must be log2(kLineBytes)");
+static_assert(kSegmentBytes == 4,
+              "segments are 4B (Section IV.C alignment)");
+static_assert(kLineBytes % kSegmentBytes == 0,
+              "segment size must divide the line size");
+static_assert(kSegmentsPerLine == 16,
+              "16 segments per line: sizes 1..16 plus the zero-line "
+              "special case fit the 4-bit metadata encoding");
+
+} // namespace bvc
+
+#endif // BVC_UTIL_STRONG_TYPES_HH_

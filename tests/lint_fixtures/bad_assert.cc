@@ -1,0 +1,8 @@
+// bvlint fixture: trips exactly BV004 (bare assert in model code).
+#include <cassert>
+
+void
+checkWays(unsigned ways)
+{
+    assert(ways > 0);
+}

@@ -1,0 +1,18 @@
+// bvlint fixture: trips exactly BV001 (per-access Counter lookup).
+#include <string>
+
+struct StatGroup
+{
+    long &counter(const std::string &name);
+};
+
+struct Model
+{
+    StatGroup stats_;
+
+    void access(bool hit)
+    {
+        if (hit)
+            ++stats_.counter("hits");
+    }
+};

@@ -1,0 +1,12 @@
+// bvlint fixture: trips exactly BV003 (default over a project enum).
+enum class AccessKind { Read, Write };
+
+const char *
+name(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::Read: return "read";
+      case AccessKind::Write: return "write";
+      default: return "?";
+    }
+}

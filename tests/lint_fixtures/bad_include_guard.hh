@@ -1,0 +1,9 @@
+// bvlint fixture: trips exactly BV005 (guard does not match the path).
+#ifndef WRONG_GUARD_HH_
+#define WRONG_GUARD_HH_
+
+namespace bvc
+{
+}
+
+#endif // WRONG_GUARD_HH_

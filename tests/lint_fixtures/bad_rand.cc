@@ -1,0 +1,8 @@
+// bvlint fixture: trips exactly BV002 (nondeterministic primitive).
+#include <cstdlib>
+
+unsigned
+pickVictim(unsigned ways)
+{
+    return static_cast<unsigned>(rand()) % ways;
+}

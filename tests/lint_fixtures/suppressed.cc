@@ -1,0 +1,32 @@
+// bvlint fixture: violates BV001-BV004, every one waived -> clean.
+#include <cassert>
+#include <cstdlib>
+
+struct StatGroup
+{
+    long &counter(const char *name);
+};
+
+enum class Kind { A, B };
+
+struct Model
+{
+    StatGroup stats_;
+
+    void touch()
+    {
+        ++stats_.counter("hits"); // bvlint-allow(BV001)
+        // bvlint-allow(BV002)
+        (void)rand();
+        assert(true); // bvlint-allow(BV004)
+    }
+};
+
+int
+pick(Kind kind)
+{
+    switch (kind) {
+      case Kind::A: return 0;
+      default: return 1; // bvlint-allow(BV003)
+    }
+}

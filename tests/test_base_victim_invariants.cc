@@ -73,16 +73,16 @@ TEST_P(MirrorInvariant, BaseContentMirrorsUncompressedCache)
 
         // Base content mirrors the uncompressed cache, set by set.
         if (step % 2500 == 0) {
-            for (std::size_t set = 0; set < bv.numSets(); ++set) {
+            for (const SetIdx set : indexRange<SetIdx>(bv.numSets())) {
                 ASSERT_EQ(bv.baseSetContents(set),
                           shadow.setContents(set))
-                    << "set " << set << " step " << step;
+                    << "set " << set.get() << " step " << step;
             }
         }
     }
 
     // Full mirror check at the end.
-    for (std::size_t set = 0; set < bv.numSets(); ++set)
+    for (const SetIdx set : indexRange<SetIdx>(bv.numSets()))
         ASSERT_EQ(bv.baseSetContents(set), shadow.setContents(set));
     EXPECT_GE(bvHits, shadowHits);
     EXPECT_TRUE(bv.checkInvariants());

@@ -187,7 +187,7 @@ TEST_F(NonInclusiveTest, MirrorInvariantStillHolds)
             ASSERT_TRUE(rb.hit) << step;
         }
     }
-    for (std::size_t set = 0; set < llc_.numSets(); ++set)
+    for (const SetIdx set : indexRange<SetIdx>(llc_.numSets()))
         ASSERT_EQ(llc_.baseSetContents(set), shadow.setContents(set));
 }
 

@@ -165,8 +165,8 @@ TEST(Bdi, SegmentsQuantizedToFourByteBoundaries)
     EXPECT_EQ(bytesToSegments(64), 16u);
     // Sizes past one line violate the compressor contract: clamping
     // would silently record an over-full line as fitting.
-    EXPECT_DEATH(bytesToSegments(65), "exceeds one line");
-    EXPECT_DEATH(bytesToSegments(100), "exceeds one line");
+    EXPECT_DEATH((void)bytesToSegments(65), "exceeds one line");
+    EXPECT_DEATH((void)bytesToSegments(100), "exceeds one line");
 }
 
 TEST(Bdi, DecompressionLatencyRules)

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the bvlint project linter (tools/bvlint/,
+ * docs/static_analysis.md): each known-bad fixture in
+ * tests/lint_fixtures/ must trip exactly its rule, suppressions must
+ * silence findings, and clean idiomatic code must produce none.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bvlint/lint.hh"
+
+namespace
+{
+
+using bvlint::Finding;
+using bvlint::SourceFile;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(BVC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+SourceFile
+loadFixture(const std::string &name)
+{
+    const std::string path = fixturePath(name);
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return {path, ss.str()};
+}
+
+/** Lint one fixture and return the set of rule ids it trips. */
+std::set<std::string>
+rulesTripped(const std::string &name, std::size_t &count)
+{
+    const std::vector<Finding> findings =
+        bvlint::lintFiles({loadFixture(name)});
+    count = findings.size();
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+TEST(BvlintRules, TableListsFiveUniqueIds)
+{
+    const auto &rules = bvlint::ruleTable();
+    ASSERT_EQ(rules.size(), 5u);
+    std::set<std::string> ids;
+    for (const auto &rule : rules)
+        ids.insert(rule.id);
+    EXPECT_EQ(ids.size(), rules.size());
+    EXPECT_TRUE(ids.count("BV001"));
+    EXPECT_TRUE(ids.count("BV005"));
+}
+
+TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
+{
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"bad_counter.cc", "BV001"},
+        {"bad_rand.cc", "BV002"},
+        {"bad_default.cc", "BV003"},
+        {"bad_assert.cc", "BV004"},
+        {"bad_include_guard.hh", "BV005"},
+    };
+    for (const auto &[fixture, rule] : cases) {
+        std::size_t count = 0;
+        const std::set<std::string> tripped =
+            rulesTripped(fixture, count);
+        EXPECT_EQ(tripped, std::set<std::string>{rule})
+            << fixture << " tripped the wrong rule set";
+        EXPECT_GE(count, 1u) << fixture;
+    }
+}
+
+TEST(BvlintFixtures, SuppressionCommentsSilenceEveryRule)
+{
+    std::size_t count = 0;
+    const std::set<std::string> tripped =
+        rulesTripped("suppressed.cc", count);
+    EXPECT_TRUE(tripped.empty())
+        << "unsuppressed rule: " << *tripped.begin();
+    EXPECT_EQ(count, 0u);
+}
+
+TEST(BvlintCounter, RegistrationFormIsNotFlagged)
+{
+    // Member-init registration (no ';' on the lookup lines) is the
+    // blessed HotCounters idiom and must stay clean, including the
+    // wrapped two-line form used in base_victim_cache.cc.
+    const SourceFile src{"src/cache/demo.cc",
+                         "Demo::HotCounters::HotCounters(StatGroup &s)\n"
+                         "    : hits(s.counter(\"hits\")),\n"
+                         "      misses(s.counter(\n"
+                         "          \"misses\"))\n"
+                         "{\n"
+                         "}\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintCounter, StatementLookupIsFlagged)
+{
+    const SourceFile src{"src/cache/demo.cc",
+                         "void Demo::access() {\n"
+                         "    ++stats_->counter(\"accesses\");\n"
+                         "}\n"};
+    const auto findings = bvlint::lintFiles({src});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "BV001");
+    EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(BvlintSwitch, NonEnumSwitchWithDefaultIsAllowed)
+{
+    // Switches over chars or decoded integer prefixes keep their
+    // defaults (runner/report.cc, compress/fpc.cc).
+    const SourceFile src{"src/runner/demo.cc",
+                         "int classify(char c) {\n"
+                         "    switch (c) {\n"
+                         "      case 'a': return 1;\n"
+                         "      default: return 0;\n"
+                         "    }\n"
+                         "}\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintSwitch, EnumDeclaredInAnotherFileStillCounts)
+{
+    // BV003 collects enum class names across the whole file set, the
+    // way enums in headers are switched over in .cc files.
+    const SourceFile header{"src/util/kinds.hh",
+                            "#ifndef BVC_UTIL_KINDS_HH_\n"
+                            "#define BVC_UTIL_KINDS_HH_\n"
+                            "enum class Kind { A, B };\n"
+                            "#endif // BVC_UTIL_KINDS_HH_\n"};
+    const SourceFile user{"src/util/use.cc",
+                          "int f(Kind k) {\n"
+                          "    switch (k) {\n"
+                          "      case Kind::A: return 0;\n"
+                          "      default: return 1;\n"
+                          "    }\n"
+                          "}\n"};
+    const auto findings = bvlint::lintFiles({header, user});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "BV003");
+    EXPECT_EQ(findings[0].file, "src/util/use.cc");
+    EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(BvlintAssert, StaticAssertAndCommentsAreNotFlagged)
+{
+    const SourceFile src{"src/util/demo.cc",
+                         "// assert() is banned; this comment is not.\n"
+                         "static_assert(sizeof(int) == 4);\n"
+                         "const char *s = \"assert(x)\";\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintGuard, ExpectedGuardMatchesRepoConvention)
+{
+    EXPECT_EQ(bvlint::expectedGuard("src/util/types.hh"),
+              "BVC_UTIL_TYPES_HH_");
+    EXPECT_EQ(bvlint::expectedGuard("/root/repo/src/cache/cache.hh"),
+              "BVC_CACHE_CACHE_HH_");
+    EXPECT_EQ(bvlint::expectedGuard("tests/test_lines.hh"),
+              "BVC_TESTS_TEST_LINES_HH_");
+    EXPECT_EQ(bvlint::expectedGuard("tools/bvlint/lint.hh"),
+              "BVC_TOOLS_BVLINT_LINT_HH_");
+}
+
+TEST(BvlintGuard, MissingGuardAndSuppressionOnIfndefLine)
+{
+    const SourceFile missing{"src/util/a.hh", "namespace bvc {}\n"};
+    auto findings = bvlint::lintFiles({missing});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "BV005");
+
+    const SourceFile waived{
+        "src/util/a.hh",
+        "#ifndef LEGACY_GUARD_ // bvlint-allow(BV005)\n"
+        "#define LEGACY_GUARD_\n"
+        "#endif\n"};
+    EXPECT_TRUE(bvlint::lintFiles({waived}).empty());
+}
+
+} // namespace

@@ -67,9 +67,10 @@ TEST_P(ArchProperty, NoPhantomHits)
         pattern.fillLine(blk, line.data());
         const LlcResult r = llc->access(blk, AccessType::Read,
                                         line.data());
-        if (r.hit)
+        if (r.hit) {
             ASSERT_TRUE(touched.count(blk))
                 << llc->name() << " hit on never-touched line";
+        }
         touched.insert(blk);
     }
 }
@@ -128,8 +129,9 @@ TEST_P(ArchProperty, ValidLinesNeverExceedTagCapacity)
         const Addr blk = rng.range(4096) * kLineBytes;
         pattern.fillLine(blk, line.data());
         llc->access(blk, AccessType::Read, line.data());
-        if (step % 2000 == 0)
+        if (step % 2000 == 0) {
             ASSERT_LE(llc->validLines(), tagLimit) << llc->name();
+        }
     }
 }
 

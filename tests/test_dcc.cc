@@ -59,7 +59,7 @@ TEST(Dcc, CompressibleDataExceedsPhysicalLines)
         for (unsigned s = 0; s < 4; ++s)
             resident += llc.probe(sbAddr(sbIdx, s));
     EXPECT_GT(resident, kWays); // beats the uncompressed capacity
-    EXPECT_LE(llc.usedSegments(llc.setIndex(sbAddr(0))),
+    EXPECT_LE(llc.usedSegments(llc.setIndex(sbAddr(0))).get(),
               kWays * kSegmentsPerLine);
 }
 
@@ -128,7 +128,7 @@ TEST(Dcc, WritebackGrowthStaysWithinPool)
                        small.data());
     const Line big = randomLine(5);
     llc.access(sbAddr(0), AccessType::Writeback, big.data());
-    EXPECT_LE(llc.usedSegments(llc.setIndex(sbAddr(0))),
+    EXPECT_LE(llc.usedSegments(llc.setIndex(sbAddr(0))).get(),
               kWays * kSegmentsPerLine);
     EXPECT_TRUE(llc.probe(sbAddr(0)));
 }
@@ -147,8 +147,8 @@ TEST(Dcc, PoolInvariantUnderRandomTraffic)
         llc.access(blk, wb ? AccessType::Writeback : AccessType::Read,
                    line.data());
         if (step % 1000 == 0) {
-            for (std::size_t set = 0; set < llc.numSets(); ++set)
-                ASSERT_LE(llc.usedSegments(set),
+            for (const SetIdx set : indexRange<SetIdx>(llc.numSets()))
+                ASSERT_LE(llc.usedSegments(set).get(),
                           kWays * kSegmentsPerLine);
         }
     }

@@ -13,8 +13,8 @@ TEST(Drrip, SrripLeaderInsertsAtLong)
 {
     DrripPolicy drrip(64, 4);
     // Set 0 is the SRRIP leader.
-    drrip.onFill(0, 1);
-    EXPECT_EQ(drrip.rrpv(0, 1), DrripPolicy::kSrripInsert);
+    drrip.onFill(SetIdx{0}, WayIdx{1});
+    EXPECT_EQ(drrip.rrpv(SetIdx{0}, WayIdx{1}), DrripPolicy::kSrripInsert);
 }
 
 TEST(Drrip, BrripLeaderInsertsMostlyDistant)
@@ -23,8 +23,8 @@ TEST(Drrip, BrripLeaderInsertsMostlyDistant)
     // Set 1 is the BRRIP leader: most fills land at max RRPV.
     unsigned distant = 0;
     for (unsigned i = 0; i < DrripPolicy::kBimodalPeriod; ++i) {
-        drrip.onFill(1, i % 4);
-        distant += drrip.rrpv(1, i % 4) == DrripPolicy::kMaxRrpv;
+        drrip.onFill(SetIdx{1}, WayIdx{i % 4});
+        distant += drrip.rrpv(SetIdx{1}, WayIdx{i % 4}) == DrripPolicy::kMaxRrpv;
     }
     EXPECT_EQ(distant, DrripPolicy::kBimodalPeriod - 1);
 }
@@ -32,9 +32,9 @@ TEST(Drrip, BrripLeaderInsertsMostlyDistant)
 TEST(Drrip, HitPromotesToZero)
 {
     DrripPolicy drrip(64, 4);
-    drrip.onFill(5, 2);
-    drrip.onHit(5, 2);
-    EXPECT_EQ(drrip.rrpv(5, 2), 0u);
+    drrip.onFill(SetIdx{5}, WayIdx{2});
+    drrip.onHit(SetIdx{5}, WayIdx{2});
+    EXPECT_EQ(drrip.rrpv(SetIdx{5}, WayIdx{2}), 0u);
 }
 
 TEST(Drrip, DuelingSelectsBrripWhenSrripLeadersMissMore)
@@ -43,11 +43,11 @@ TEST(Drrip, DuelingSelectsBrripWhenSrripLeadersMissMore)
     EXPECT_FALSE(drrip.brripSelected());
     // Hammer the SRRIP leader set with fills (misses).
     for (unsigned i = 0; i < 100; ++i)
-        drrip.onFill(0, i % 4);
+        drrip.onFill(SetIdx{0}, WayIdx{i % 4});
     EXPECT_TRUE(drrip.brripSelected());
     // Now hammer the BRRIP leader: selector swings back.
     for (unsigned i = 0; i < 300; ++i)
-        drrip.onFill(1, i % 4);
+        drrip.onFill(SetIdx{1}, WayIdx{i % 4});
     EXPECT_FALSE(drrip.brripSelected());
 }
 
@@ -55,13 +55,13 @@ TEST(Drrip, FollowersTrackTheSelector)
 {
     DrripPolicy drrip(64, 4);
     for (unsigned i = 0; i < 100; ++i)
-        drrip.onFill(0, i % 4); // push toward BRRIP
+        drrip.onFill(SetIdx{0}, WayIdx{i % 4}); // push toward BRRIP
     ASSERT_TRUE(drrip.brripSelected());
     // Follower set 5 now inserts mostly distant.
     unsigned distant = 0;
     for (unsigned i = 0; i < 16; ++i) {
-        drrip.onFill(5, i % 4);
-        distant += drrip.rrpv(5, i % 4) == DrripPolicy::kMaxRrpv;
+        drrip.onFill(SetIdx{5}, WayIdx{i % 4});
+        distant += drrip.rrpv(SetIdx{5}, WayIdx{i % 4}) == DrripPolicy::kMaxRrpv;
     }
     EXPECT_GE(distant, 14u);
 }
@@ -69,23 +69,23 @@ TEST(Drrip, FollowersTrackTheSelector)
 TEST(Drrip, RankAgesLikeSrrip)
 {
     DrripPolicy drrip(64, 2);
-    drrip.onFill(5, 0);
-    drrip.onFill(5, 1);
-    drrip.onHit(5, 0);
-    const auto order = drrip.rank(5);
-    EXPECT_EQ(order.front(), 1u);
-    EXPECT_EQ(drrip.rrpv(5, 1), DrripPolicy::kMaxRrpv);
+    drrip.onFill(SetIdx{5}, WayIdx{0});
+    drrip.onFill(SetIdx{5}, WayIdx{1});
+    drrip.onHit(SetIdx{5}, WayIdx{0});
+    const auto order = drrip.rank(SetIdx{5});
+    EXPECT_EQ(order.front(), WayIdx{1});
+    EXPECT_EQ(drrip.rrpv(SetIdx{5}, WayIdx{1}), DrripPolicy::kMaxRrpv);
 }
 
 TEST(Drrip, PreferredVictimsAreMaxRrpv)
 {
     DrripPolicy drrip(64, 4);
     for (unsigned w = 0; w < 4; ++w)
-        drrip.onFill(5, w);
-    drrip.onHit(5, 3);
-    const auto candidates = drrip.preferredVictims(5);
-    for (const auto w : candidates)
-        EXPECT_EQ(drrip.rrpv(5, w), DrripPolicy::kMaxRrpv);
+        drrip.onFill(SetIdx{5}, WayIdx{w});
+    drrip.onHit(SetIdx{5}, WayIdx{3});
+    const auto candidates = drrip.preferredVictims(SetIdx{5});
+    for (const WayIdx w : candidates)
+        EXPECT_EQ(drrip.rrpv(SetIdx{5}, w), DrripPolicy::kMaxRrpv);
     EXPECT_FALSE(candidates.empty());
 }
 

@@ -78,7 +78,7 @@ randomLine(std::uint64_t seed = 1)
 }
 
 /** Compressed segment count of a line under BDI. */
-inline unsigned
+inline SegCount
 segmentsOf(const Line &line)
 {
     const BdiCompressor bdi;

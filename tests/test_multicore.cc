@@ -93,9 +93,9 @@ TEST(MultiCore, WarmupResetsPerCoreStatGroups)
     system.run(40000, 10000);
     for (std::size_t i = 0; i < 4; ++i) {
         const std::uint64_t memOps =
-            system.core(i).stats().get("loads") +
-            system.core(i).stats().get("stores");
-        EXPECT_LE(memOps, system.core(i).result().instructions)
+            system.core(CoreId{i}).stats().get("loads") +
+            system.core(CoreId{i}).stats().get("stores");
+        EXPECT_LE(memOps, system.core(CoreId{i}).result().instructions)
             << "thread " << i
             << ": warmup counters leaked into the measured window";
     }
@@ -112,7 +112,7 @@ TEST(MultiCore, ThreadsUseDisjointAddressSlices)
     // that per-core L1 contents differ in their slice bits.
     for (std::size_t i = 0; i < 4; ++i) {
         bool sawOwnSlice = false;
-        system.hierarchy(i).l1d().forEachLine(
+        system.hierarchy(CoreId{i}).l1d().forEachLine(
             [&](const CacheLine &line) {
                 if ((line.tag >> 42) == i + 1)
                     sawOwnSlice = true;

@@ -20,152 +20,153 @@ namespace
 TEST(Lru, VictimIsLeastRecentlyUsed)
 {
     LruPolicy lru(1, 4);
-    for (std::size_t w = 0; w < 4; ++w)
-        lru.onFill(0, w);
-    lru.onHit(0, 0); // order now: 1 (oldest), 2, 3, 0
-    EXPECT_EQ(lru.victim(0), 1u);
-    lru.onHit(0, 1);
-    EXPECT_EQ(lru.victim(0), 2u);
+    for (const WayIdx w : indexRange<WayIdx>(4))
+        lru.onFill(SetIdx{0}, w);
+    lru.onHit(SetIdx{0}, WayIdx{0}); // order now: 1 (oldest), 2, 3, 0
+    EXPECT_EQ(lru.victim(SetIdx{0}), WayIdx{1});
+    lru.onHit(SetIdx{0}, WayIdx{1});
+    EXPECT_EQ(lru.victim(SetIdx{0}), WayIdx{2});
 }
 
 TEST(Lru, RankIsFullLruOrder)
 {
     LruPolicy lru(1, 4);
-    lru.onFill(0, 2);
-    lru.onFill(0, 0);
-    lru.onFill(0, 3);
-    lru.onFill(0, 1);
-    const auto order = lru.rank(0);
-    EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 3, 1}));
+    lru.onFill(SetIdx{0}, WayIdx{2});
+    lru.onFill(SetIdx{0}, WayIdx{0});
+    lru.onFill(SetIdx{0}, WayIdx{3});
+    lru.onFill(SetIdx{0}, WayIdx{1});
+    const auto order = lru.rank(SetIdx{0});
+    EXPECT_EQ(order, (std::vector<WayIdx>{WayIdx{2}, WayIdx{0},
+                                          WayIdx{3}, WayIdx{1}}));
 }
 
 TEST(Lru, StackPositionMatchesPaperExample)
 {
     // Section III example: MRU line = stack position 0.
     LruPolicy lru(1, 8);
-    for (std::size_t w = 0; w < 8; ++w)
-        lru.onFill(0, w);
-    EXPECT_EQ(lru.stackPosition(0, 7), 0u); // most recent
-    EXPECT_EQ(lru.stackPosition(0, 0), 7u); // least recent
+    for (const WayIdx w : indexRange<WayIdx>(8))
+        lru.onFill(SetIdx{0}, w);
+    EXPECT_EQ(lru.stackPosition(SetIdx{0}, WayIdx{7}), 0u); // most recent
+    EXPECT_EQ(lru.stackPosition(SetIdx{0}, WayIdx{0}), 7u); // least
 }
 
 TEST(Lru, InvalidateMakesWayPreferredVictim)
 {
     LruPolicy lru(1, 4);
-    for (std::size_t w = 0; w < 4; ++w)
-        lru.onFill(0, w);
-    lru.onInvalidate(0, 3);
-    EXPECT_EQ(lru.victim(0), 3u);
+    for (const WayIdx w : indexRange<WayIdx>(4))
+        lru.onFill(SetIdx{0}, w);
+    lru.onInvalidate(SetIdx{0}, WayIdx{3});
+    EXPECT_EQ(lru.victim(SetIdx{0}), WayIdx{3});
 }
 
 TEST(Lru, SetsAreIndependent)
 {
     LruPolicy lru(2, 2);
-    lru.onFill(0, 0);
-    lru.onFill(0, 1);
-    lru.onFill(1, 1);
-    lru.onFill(1, 0);
-    EXPECT_EQ(lru.victim(0), 0u);
-    EXPECT_EQ(lru.victim(1), 1u);
+    lru.onFill(SetIdx{0}, WayIdx{0});
+    lru.onFill(SetIdx{0}, WayIdx{1});
+    lru.onFill(SetIdx{1}, WayIdx{1});
+    lru.onFill(SetIdx{1}, WayIdx{0});
+    EXPECT_EQ(lru.victim(SetIdx{0}), WayIdx{0});
+    EXPECT_EQ(lru.victim(SetIdx{1}), WayIdx{1});
 }
 
 TEST(Nru, FreshPolicyMarksAllCandidates)
 {
     NruPolicy nru(1, 4);
-    for (std::size_t w = 0; w < 4; ++w)
-        EXPECT_TRUE(nru.candidateBit(0, w));
+    for (const WayIdx w : indexRange<WayIdx>(4))
+        EXPECT_TRUE(nru.candidateBit(SetIdx{0}, w));
 }
 
 TEST(Nru, TouchClearsBit)
 {
     NruPolicy nru(1, 4);
-    nru.onFill(0, 2);
-    EXPECT_FALSE(nru.candidateBit(0, 2));
-    EXPECT_TRUE(nru.candidateBit(0, 0));
+    nru.onFill(SetIdx{0}, WayIdx{2});
+    EXPECT_FALSE(nru.candidateBit(SetIdx{0}, WayIdx{2}));
+    EXPECT_TRUE(nru.candidateBit(SetIdx{0}, WayIdx{0}));
 }
 
 TEST(Nru, LastClearRemarksOthers)
 {
     NruPolicy nru(1, 3);
-    nru.onFill(0, 0);
-    nru.onFill(0, 1);
-    nru.onFill(0, 2); // clears the last candidate -> 0 and 1 re-marked
-    EXPECT_TRUE(nru.candidateBit(0, 0));
-    EXPECT_TRUE(nru.candidateBit(0, 1));
-    EXPECT_FALSE(nru.candidateBit(0, 2));
+    nru.onFill(SetIdx{0}, WayIdx{0});
+    nru.onFill(SetIdx{0}, WayIdx{1});
+    nru.onFill(SetIdx{0}, WayIdx{2}); // last candidate -> 0/1 re-marked
+    EXPECT_TRUE(nru.candidateBit(SetIdx{0}, WayIdx{0}));
+    EXPECT_TRUE(nru.candidateBit(SetIdx{0}, WayIdx{1}));
+    EXPECT_FALSE(nru.candidateBit(SetIdx{0}, WayIdx{2}));
 }
 
 TEST(Nru, VictimIsFirstCandidate)
 {
     NruPolicy nru(1, 4);
-    nru.onFill(0, 0);
-    nru.onFill(0, 1);
-    EXPECT_EQ(nru.victim(0), 2u);
+    nru.onFill(SetIdx{0}, WayIdx{0});
+    nru.onFill(SetIdx{0}, WayIdx{1});
+    EXPECT_EQ(nru.victim(SetIdx{0}), WayIdx{2});
 }
 
 TEST(Nru, PreferredVictimsAreExactlyCandidateBits)
 {
     NruPolicy nru(1, 4);
-    nru.onFill(0, 1);
-    nru.onHit(0, 3);
-    const auto candidates = nru.preferredVictims(0);
-    EXPECT_EQ(candidates, (std::vector<std::size_t>{0, 2}));
+    nru.onFill(SetIdx{0}, WayIdx{1});
+    nru.onHit(SetIdx{0}, WayIdx{3});
+    const auto candidates = nru.preferredVictims(SetIdx{0});
+    EXPECT_EQ(candidates, (std::vector<WayIdx>{WayIdx{0}, WayIdx{2}}));
 }
 
 TEST(Srrip, InsertsAtLongInterval)
 {
     SrripPolicy srrip(1, 4);
-    srrip.onFill(0, 1);
-    EXPECT_EQ(srrip.rrpv(0, 1), SrripPolicy::kInsertRrpv);
+    srrip.onFill(SetIdx{0}, WayIdx{1});
+    EXPECT_EQ(srrip.rrpv(SetIdx{0}, WayIdx{1}), SrripPolicy::kInsertRrpv);
 }
 
 TEST(Srrip, HitPromotesToZero)
 {
     SrripPolicy srrip(1, 4);
-    srrip.onFill(0, 1);
-    srrip.onHit(0, 1);
-    EXPECT_EQ(srrip.rrpv(0, 1), 0u);
+    srrip.onFill(SetIdx{0}, WayIdx{1});
+    srrip.onHit(SetIdx{0}, WayIdx{1});
+    EXPECT_EQ(srrip.rrpv(SetIdx{0}, WayIdx{1}), 0u);
 }
 
 TEST(Srrip, AgingCreatesVictimWhenNoneDistant)
 {
     SrripPolicy srrip(1, 2);
-    srrip.onFill(0, 0);
-    srrip.onFill(0, 1);
-    srrip.onHit(0, 0); // rrpv: 0, 2
-    const auto order = srrip.rank(0);
-    EXPECT_EQ(order.front(), 1u);
+    srrip.onFill(SetIdx{0}, WayIdx{0});
+    srrip.onFill(SetIdx{0}, WayIdx{1});
+    srrip.onHit(SetIdx{0}, WayIdx{0}); // rrpv: 0, 2
+    const auto order = srrip.rank(SetIdx{0});
+    EXPECT_EQ(order.front(), WayIdx{1});
     // Aging raised way 1 to max while keeping relative order.
-    EXPECT_EQ(srrip.rrpv(0, 1), SrripPolicy::kMaxRrpv);
-    EXPECT_EQ(srrip.rrpv(0, 0), 1u);
+    EXPECT_EQ(srrip.rrpv(SetIdx{0}, WayIdx{1}), SrripPolicy::kMaxRrpv);
+    EXPECT_EQ(srrip.rrpv(SetIdx{0}, WayIdx{0}), 1u);
 }
 
 TEST(Srrip, PreferredVictimsAreMaxRrpvOnly)
 {
     SrripPolicy srrip(1, 4);
-    for (std::size_t w = 0; w < 4; ++w)
-        srrip.onFill(0, w);
-    srrip.onHit(0, 2);
-    const auto candidates = srrip.preferredVictims(0);
+    for (const WayIdx w : indexRange<WayIdx>(4))
+        srrip.onFill(SetIdx{0}, w);
+    srrip.onHit(SetIdx{0}, WayIdx{2});
+    const auto candidates = srrip.preferredVictims(SetIdx{0});
     // Fills sit at 2, aged to 3; way 2 at 0 aged to 1 -> not candidate.
     EXPECT_EQ(candidates.size(), 3u);
-    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 2u) ==
-                candidates.end());
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                          WayIdx{2}) == candidates.end());
 }
 
 TEST(Char, DowngradeHintMarksLineInHintLeaderSets)
 {
     CharPolicy policy(64, 4);
     // Set 0 is a LeaderHint set (set % 32 == 0).
-    policy.onFill(0, 0);
-    policy.onFill(0, 1);
-    policy.onFill(0, 2);
-    policy.downgradeHint(0, 1);
-    const auto order = policy.rank(0);
+    policy.onFill(SetIdx{0}, WayIdx{0});
+    policy.onFill(SetIdx{0}, WayIdx{1});
+    policy.onFill(SetIdx{0}, WayIdx{2});
+    policy.downgradeHint(SetIdx{0}, WayIdx{1});
+    const auto order = policy.rank(SetIdx{0});
     // Way 1 was downgraded: it must be in the candidate class.
-    const auto candidates = policy.preferredVictims(0);
-    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 1u) !=
-                candidates.end());
+    const auto candidates = policy.preferredVictims(SetIdx{0});
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                          WayIdx{1}) != candidates.end());
     (void)order;
 }
 
@@ -182,11 +183,11 @@ TEST(Char, DeadHintedLinesEnableHints)
     // then chosen as the natural NRU victim without a rehit — the
     // evidence that hints predict death correctly.
     for (int round = 0; round < 64; ++round) {
-        for (std::size_t w = 0; w < 4; ++w)
-            policy.onFill(1, w);
-        policy.downgradeHint(1, 0);
-        policy.rank(1); // victim scan observes the dead hinted line
-        policy.onInvalidate(1, 0);
+        for (const WayIdx w : indexRange<WayIdx>(4))
+            policy.onFill(SetIdx{1}, w);
+        policy.downgradeHint(SetIdx{1}, WayIdx{0});
+        (void)policy.rank(SetIdx{1}); // victim scan sees the dead line
+        policy.onInvalidate(SetIdx{1}, WayIdx{0});
     }
     EXPECT_TRUE(policy.hintsEnabled());
 }
@@ -196,10 +197,10 @@ TEST(Char, RehitsOnHintedLinesDisableHints)
     CharPolicy policy(64, 16);
     // In the hint-leader set, repeatedly downgrade a line and rehit it:
     // evidence that hints evict useful lines.
-    policy.onFill(0, 3);
+    policy.onFill(SetIdx{0}, WayIdx{3});
     for (int i = 0; i < 10; ++i) {
-        policy.downgradeHint(0, 3);
-        policy.onHit(0, 3);
+        policy.downgradeHint(SetIdx{0}, WayIdx{3});
+        policy.onHit(SetIdx{0}, WayIdx{3});
     }
     EXPECT_FALSE(policy.hintsEnabled());
 }
@@ -208,19 +209,19 @@ TEST(Char, FollowerSetsIgnoreHintsWhenDisabled)
 {
     CharPolicy policy(64, 4);
     // Disable hints via leader-set rehits.
-    policy.onFill(0, 0);
+    policy.onFill(SetIdx{0}, WayIdx{0});
     for (int i = 0; i < 10; ++i) {
-        policy.downgradeHint(0, 0);
-        policy.onHit(0, 0);
+        policy.downgradeHint(SetIdx{0}, WayIdx{0});
+        policy.onHit(SetIdx{0}, WayIdx{0});
     }
     ASSERT_FALSE(policy.hintsEnabled());
     // Set 5 is a follower; hint should not mark the line now.
-    policy.onFill(5, 2);
-    policy.onFill(5, 3);
-    policy.downgradeHint(5, 2);
-    const auto candidates = policy.preferredVictims(5);
-    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 2u) ==
-                candidates.end());
+    policy.onFill(SetIdx{5}, WayIdx{2});
+    policy.onFill(SetIdx{5}, WayIdx{3});
+    policy.downgradeHint(SetIdx{5}, WayIdx{2});
+    const auto candidates = policy.preferredVictims(SetIdx{5});
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                          WayIdx{2}) == candidates.end());
 }
 
 class ReplacementProperty
@@ -233,18 +234,18 @@ TEST_P(ReplacementProperty, RankIsAlwaysAPermutation)
     auto policy = makeReplacement(GetParam(), 4, 8);
     Rng rng(1);
     for (int step = 0; step < 2000; ++step) {
-        const auto set = static_cast<std::size_t>(rng.range(4));
-        const auto way = static_cast<std::size_t>(rng.range(8));
+        const SetIdx set{rng.range(4)};
+        const WayIdx way{rng.range(8)};
         switch (rng.range(4)) {
           case 0: policy->onFill(set, way); break;
           case 1: policy->onHit(set, way); break;
           case 2: policy->onInvalidate(set, way); break;
           default: {
             const auto order = policy->rank(set);
-            std::set<std::size_t> unique(order.begin(), order.end());
+            std::set<WayIdx> unique(order.begin(), order.end());
             ASSERT_EQ(order.size(), 8u);
             ASSERT_EQ(unique.size(), 8u);
-            ASSERT_TRUE(*unique.rbegin() < 8);
+            ASSERT_TRUE(unique.rbegin()->get() < 8);
             break;
           }
         }
@@ -256,12 +257,12 @@ TEST_P(ReplacementProperty, PreferredVictimsAreValidWays)
     auto policy = makeReplacement(GetParam(), 2, 8);
     Rng rng(2);
     for (int step = 0; step < 500; ++step) {
-        const auto set = static_cast<std::size_t>(rng.range(2));
-        policy->onFill(set, rng.range(8));
+        const SetIdx set{rng.range(2)};
+        policy->onFill(set, WayIdx{rng.range(8)});
         const auto candidates = policy->preferredVictims(set);
         ASSERT_FALSE(candidates.empty());
-        for (const auto way : candidates)
-            ASSERT_LT(way, 8u);
+        for (const WayIdx way : candidates)
+            ASSERT_LT(way.get(), 8u);
     }
 }
 
@@ -272,9 +273,9 @@ TEST_P(ReplacementProperty, VictimIsFirstOfRank)
     // stateful policies.
     if (GetParam() == ReplacementKind::Random)
         return;
-    policy->onFill(0, 0);
-    policy->onFill(0, 2);
-    EXPECT_EQ(policy->victim(0), policy->rank(0).front());
+    policy->onFill(SetIdx{0}, WayIdx{0});
+    policy->onFill(SetIdx{0}, WayIdx{2});
+    EXPECT_EQ(policy->victim(SetIdx{0}), policy->rank(SetIdx{0}).front());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -144,8 +144,9 @@ TEST(ShadowCheckerDeathTest, CatchesDirtyInclusiveVictim)
             // Zero lines compress maximally, guaranteeing victims park.
             drive(*c.checker, 2000, 11, DataPatternKind::Zeros);
             bool corrupted = false;
-            for (std::size_t set = 0; set < kSets && !corrupted; ++set) {
-                for (std::size_t w = 0; w < kWays; ++w) {
+            for (std::size_t si = 0; si < kSets && !corrupted; ++si) {
+                const SetIdx set{si};
+                for (const WayIdx w : indexRange<WayIdx>(kWays)) {
                     if (!c.bv->victimLineAt(set, w).valid)
                         continue;
                     c.bv->debugVictimLineAt(set, w).dirty = true;
@@ -153,7 +154,7 @@ TEST(ShadowCheckerDeathTest, CatchesDirtyInclusiveVictim)
                     // pure hit leaves the corrupted victim in place for
                     // the structural check (reading the victim itself
                     // would promote it to the base section first).
-                    for (std::size_t bw = 0; bw < kWays; ++bw) {
+                    for (const WayIdx bw : indexRange<WayIdx>(kWays)) {
                         if (!c.bv->baseLineAt(set, bw).valid)
                             continue;
                         const Addr blk = c.bv->baseLineAt(set, bw).tag;
@@ -184,11 +185,12 @@ TEST(ShadowCheckerDeathTest, CatchesDuplicateTag)
             // sections (Section IV.A tag-lookup uniqueness).
             c.checker->access(set0Blk(1), AccessType::Read, line);
             c.checker->access(set0Blk(2), AccessType::Read, line);
-            CacheLine &slot = c.bv->debugVictimLineAt(0, 0);
+            CacheLine &slot =
+                c.bv->debugVictimLineAt(SetIdx{0}, WayIdx{0});
             slot.valid = true;
             slot.dirty = false;
             slot.tag = set0Blk(1);
-            slot.segments = 0;
+            slot.segments = kZeroLineSegments;
             c.checker->access(set0Blk(2), AccessType::Read, line);
         },
         "tag in both B and V sections");

@@ -33,7 +33,7 @@ TEST(Vsc, CompressibleLinesNearlyDoubleCapacity)
         llc.access(setAddr(i), AccessType::Read, small.data());
     for (unsigned i = 0; i < 8; ++i)
         EXPECT_TRUE(llc.probe(setAddr(i)));
-    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+    EXPECT_LE(llc.usedSegments(SetIdx{0}).get(), kWays * kSegmentsPerLine);
 }
 
 TEST(Vsc, SegmentPoolEnforcesCapacity)
@@ -49,7 +49,7 @@ TEST(Vsc, SegmentPoolEnforcesCapacity)
     for (unsigned i = 0; i < 8; ++i)
         resident += llc.probe(setAddr(i));
     EXPECT_EQ(resident, 5u);
-    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+    EXPECT_LE(llc.usedSegments(SetIdx{0}).get(), kWays * kSegmentsPerLine);
 }
 
 TEST(Vsc, FillCanEvictMultipleLines)
@@ -68,7 +68,7 @@ TEST(Vsc, FillCanEvictMultipleLines)
     // This is VSC's drawback 3 (Section II): eviction of >= 1 line,
     // possibly several, on a single fill.
     EXPECT_GE(llc.lastFillEvictions(), 1u);
-    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+    EXPECT_LE(llc.usedSegments(SetIdx{0}).get(), kWays * kSegmentsPerLine);
 }
 
 TEST(Vsc, MultipleEvictionsWhenPoolIsTight)
@@ -101,7 +101,7 @@ TEST(Vsc, WritebackGrowthTriggersRecompaction)
     const Line big = randomLine(3);
     for (unsigned i = 0; i < 4; ++i)
         llc.access(setAddr(i), AccessType::Writeback, big.data());
-    EXPECT_LE(llc.usedSegments(0), kWays * kSegmentsPerLine);
+    EXPECT_LE(llc.usedSegments(SetIdx{0}).get(), kWays * kSegmentsPerLine);
     EXPECT_GE(llc.stats().get("recompactions"), 4u);
 }
 

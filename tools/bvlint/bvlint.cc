@@ -1,0 +1,141 @@
+/**
+ * @file
+ * bvlint CLI: lint the given files and directories against the project
+ * rules (docs/static_analysis.md) and print findings as
+ * `file:line: BVxxx: message`.
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ *
+ * Directories are walked recursively for .cc/.hh files; directories
+ * named `lint_fixtures` or `build` and hidden directories are skipped
+ * (the fixtures are known-bad by design — lint them by naming the file
+ * explicitly).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bvlint/lint.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+skippedDir(const fs::path &dir)
+{
+    const std::string name = dir.filename().string();
+    return name == "lint_fixtures" || name == "build" ||
+           (name.size() > 1 && name[0] == '.');
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    return p.extension() == ".cc" || p.extension() == ".hh";
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bvlint [--list-rules] <file-or-dir>...\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const bvlint::Rule &rule : bvlint::ruleTable())
+                std::printf("%s  %-20s %s\n", rule.id, rule.name,
+                            rule.description);
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h" || arg[0] == '-')
+            return usage();
+        roots.emplace_back(arg);
+    }
+    if (roots.empty())
+        return usage();
+
+    std::vector<bvlint::SourceFile> files;
+    for (const fs::path &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            auto it = fs::recursive_directory_iterator(root, ec);
+            if (ec) {
+                std::fprintf(stderr, "bvlint: cannot walk %s: %s\n",
+                             root.c_str(), ec.message().c_str());
+                return 2;
+            }
+            for (; it != fs::recursive_directory_iterator();
+                 it.increment(ec)) {
+                if (ec) {
+                    std::fprintf(stderr, "bvlint: walk error under "
+                                 "%s: %s\n",
+                                 root.c_str(), ec.message().c_str());
+                    return 2;
+                }
+                if (it->is_directory() && skippedDir(it->path())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file() &&
+                    lintableExtension(it->path()))
+                    files.push_back(
+                        {it->path().generic_string(), {}});
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back({root.generic_string(), {}});
+        } else {
+            std::fprintf(stderr, "bvlint: no such file or directory: "
+                         "%s\n",
+                         root.c_str());
+            return 2;
+        }
+    }
+
+    for (bvlint::SourceFile &src : files) {
+        if (!readFile(src.path, src.text)) {
+            std::fprintf(stderr, "bvlint: cannot read %s\n",
+                         src.path.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<bvlint::Finding> findings =
+        bvlint::lintFiles(files);
+    for (const bvlint::Finding &f : findings)
+        std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "bvlint: %zu finding(s) across %zu file(s)\n",
+                     findings.size(), files.size());
+        return 1;
+    }
+    return 0;
+}

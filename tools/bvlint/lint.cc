@@ -1,0 +1,436 @@
+#include "bvlint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <unordered_set>
+
+namespace bvlint
+{
+namespace
+{
+
+/**
+ * A file split into lines twice: `raw` keeps the text verbatim (the
+ * suppression comments live there), `code` has comments removed and
+ * string/char literal contents blanked (delimiters kept, so patterns
+ * like `.counter("` still match the call site but never a comment).
+ */
+struct FileView
+{
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+};
+
+FileView
+makeView(const std::string &text)
+{
+    FileView view;
+    enum class State { Normal, InString, InChar, LineComment, BlockComment };
+    State state = State::Normal;
+    std::string raw;
+    std::string code;
+
+    const std::size_t n = text.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = text[i];
+        const char next = i + 1 < n ? text[i + 1] : '\0';
+        if (c == '\r')
+            continue;
+        if (c == '\n') {
+            view.raw.push_back(std::move(raw));
+            view.code.push_back(std::move(code));
+            raw.clear();
+            code.clear();
+            // Unterminated strings only happen in broken input; resync.
+            if (state != State::BlockComment)
+                state = State::Normal;
+            continue;
+        }
+        raw += c;
+        switch (state) {
+          case State::Normal:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                raw += next;
+                ++i;
+            } else if (c == '"') {
+                state = State::InString;
+                code += c;
+            } else if (c == '\'') {
+                state = State::InChar;
+                code += c;
+            } else {
+                code += c;
+            }
+            break;
+          case State::InString:
+            if (c == '\\' && i + 1 < n) {
+                raw += next;
+                ++i;
+            } else if (c == '"') {
+                state = State::Normal;
+                code += c;
+            }
+            break;
+          case State::InChar:
+            if (c == '\\' && i + 1 < n) {
+                raw += next;
+                ++i;
+            } else if (c == '\'') {
+                state = State::Normal;
+                code += c;
+            }
+            break;
+          case State::LineComment:
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Normal;
+                raw += next;
+                ++i;
+            }
+            break;
+        }
+    }
+    if (!raw.empty() || !code.empty()) {
+        view.raw.push_back(std::move(raw));
+        view.code.push_back(std::move(code));
+    }
+    return view;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** `// bvlint-allow(BVxxx)` on the finding line or the line above. */
+bool
+suppressed(const FileView &view, std::size_t line, const std::string &rule)
+{
+    const std::string marker = "bvlint-allow(" + rule + ")";
+    const auto hasMarker = [&](std::size_t ln) {
+        return ln >= 1 && ln <= view.raw.size() &&
+               view.raw[ln - 1].find(marker) != std::string::npos;
+    };
+    return hasMarker(line) || hasMarker(line - 1);
+}
+
+void
+report(std::vector<Finding> &out, const FileView &view,
+       const std::string &file, std::size_t line, const char *rule,
+       std::string message)
+{
+    if (!suppressed(view, line, rule))
+        out.push_back({file, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------- BV001
+
+const std::regex kCounterLookup(R"([.>]counter\s*\(\s*")");
+
+/**
+ * A `.counter("name")` call on a statement line (one containing `;`) is
+ * a per-access string lookup; registration sites live in constructor
+ * member-init lists, which never carry a `;` on the lookup line.
+ */
+void
+lintCounterLookup(std::vector<Finding> &out, const SourceFile &src,
+                  const FileView &view)
+{
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        if (line.find(';') == std::string::npos)
+            continue;
+        if (std::regex_search(line, kCounterLookup))
+            report(out, view, src.path, i + 1, "BV001",
+                   "per-access Counter lookup by name; resolve the "
+                   "reference once in a HotCounters member-init list");
+    }
+}
+
+// ---------------------------------------------------------------- BV002
+
+const std::regex kNondet(
+    R"(\b(rand|srand|time)\s*\(|\brandom_device\b)");
+
+void
+lintNondeterminism(std::vector<Finding> &out, const SourceFile &src,
+                   const FileView &view)
+{
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(view.code[i], m, kNondet))
+            report(out, view, src.path, i + 1, "BV002",
+                   "nondeterministic primitive '" + m.str() +
+                       "'; use the seeded bvc::Rng so runs replay "
+                       "bit-identically");
+    }
+}
+
+// ---------------------------------------------------------------- BV003
+
+const std::regex kEnumClassDecl(R"(\benum\s+(class|struct)\s+(\w+))");
+const std::regex kSwitchKeyword(R"(\bswitch\b)");
+const std::regex kCaseLabel(R"(\bcase\s+(\w+)\s*::)");
+const std::regex kDefaultLabel(R"(\bdefault\s*:)");
+
+void
+collectEnumNames(const FileView &view,
+                 std::unordered_set<std::string> &names)
+{
+    for (const std::string &line : view.code) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          kEnumClassDecl);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            names.insert((*it)[2].str());
+    }
+}
+
+/**
+ * Flag `default:` labels inside switch blocks that also contain a
+ * `case EnumName::` label for a known project enum class. Plain-enum
+ * and integer switches (FPC prefixes, char escapes) are untouched; an
+ * exhaustive enum-class switch with a default silently swallows newly
+ * added enumerators that -Wswitch would otherwise catch.
+ */
+void
+lintEnumSwitchDefault(std::vector<Finding> &out, const SourceFile &src,
+                      const FileView &view,
+                      const std::unordered_set<std::string> &enums)
+{
+    struct SwitchCtx
+    {
+        bool opened = false;
+        int blockDepth = 0;
+        bool enumCase = false;
+        std::vector<std::size_t> defaults;
+    };
+    std::vector<SwitchCtx> stack;
+    int depth = 0;
+
+    const auto flush = [&](const SwitchCtx &ctx) {
+        if (!ctx.enumCase)
+            return;
+        for (const std::size_t line : ctx.defaults)
+            report(out, view, src.path, line, "BV003",
+                   "'default:' in a switch over a project enum class; "
+                   "enumerate every case so -Wswitch flags additions");
+    };
+
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        if (std::regex_search(line, kSwitchKeyword))
+            stack.push_back({});
+        for (const char c : line) {
+            if (c == '{') {
+                ++depth;
+                if (!stack.empty() && !stack.back().opened) {
+                    stack.back().opened = true;
+                    stack.back().blockDepth = depth;
+                }
+            } else if (c == '}') {
+                if (!stack.empty() && stack.back().opened &&
+                    depth == stack.back().blockDepth) {
+                    flush(stack.back());
+                    stack.pop_back();
+                }
+                --depth;
+            }
+        }
+        if (stack.empty() || !stack.back().opened)
+            continue;
+        auto begin =
+            std::sregex_iterator(line.begin(), line.end(), kCaseLabel);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            if (enums.count((*it)[1].str()))
+                stack.back().enumCase = true;
+        }
+        if (std::regex_search(line, kDefaultLabel))
+            stack.back().defaults.push_back(i + 1);
+    }
+    // Broken input can leave contexts open; still report what we saw.
+    for (const SwitchCtx &ctx : stack)
+        flush(ctx);
+}
+
+// ---------------------------------------------------------------- BV004
+
+const std::regex kBareAssert(R"(\bassert\s*\()");
+
+void
+lintBareAssert(std::vector<Finding> &out, const SourceFile &src,
+               const FileView &view)
+{
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        // \b keeps static_assert out ('_' is a word character).
+        if (std::regex_search(view.code[i], kBareAssert))
+            report(out, view, src.path, i + 1, "BV004",
+                   "bare assert() compiles out under NDEBUG; use "
+                   "panic()/panicIf() so invariants hold in release "
+                   "builds");
+    }
+}
+
+// ---------------------------------------------------------------- BV005
+
+const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+))");
+const std::regex kDefine(R"(^\s*#\s*define\s+(\w+))");
+const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+
+void
+lintIncludeGuard(std::vector<Finding> &out, const SourceFile &src,
+                 const FileView &view)
+{
+    if (!endsWith(src.path, ".hh"))
+        return;
+    const std::string expected = expectedGuard(src.path);
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        if (std::regex_search(line, kPragmaOnce)) {
+            report(out, view, src.path, i + 1, "BV005",
+                   "'#pragma once' is not used here; guard with "
+                   "#ifndef " + expected);
+            return;
+        }
+        std::smatch m;
+        if (!std::regex_search(line, m, kIfndef))
+            continue;
+        if (m[1].str() != expected) {
+            report(out, view, src.path, i + 1, "BV005",
+                   "include guard '" + m[1].str() +
+                       "' does not match the path (expected '" +
+                       expected + "')");
+            return;
+        }
+        // The guard must be defined right below the #ifndef.
+        for (std::size_t j = i + 1; j < view.code.size(); ++j) {
+            if (view.code[j].find_first_not_of(" \t") ==
+                std::string::npos)
+                continue;
+            std::smatch d;
+            if (!std::regex_search(view.code[j], d, kDefine) ||
+                d[1].str() != expected)
+                report(out, view, src.path, j + 1, "BV005",
+                       "#ifndef " + expected +
+                           " is not followed by its #define");
+            return;
+        }
+        return;
+    }
+    report(out, view, src.path, 1, "BV005",
+           "missing include guard (expected '#ifndef " + expected +
+               "')");
+}
+
+bool
+lintableSource(const std::string &path)
+{
+    return endsWith(path, ".cc") || endsWith(path, ".hh");
+}
+
+} // namespace
+
+const std::vector<Rule> &
+ruleTable()
+{
+    static const std::vector<Rule> kRules = {
+        {"BV001", "counter-lookup",
+         "No per-access StatGroup::counter(\"name\") lookups outside "
+         "HotCounters registration (member-init lists)."},
+        {"BV002", "nondeterminism",
+         "No rand()/srand()/time()/std::random_device; use the seeded "
+         "bvc::Rng."},
+        {"BV003", "enum-switch-default",
+         "No 'default:' in switches over project enum classes; "
+         "enumerate every case."},
+        {"BV004", "bare-assert",
+         "No bare assert() in model code; use panic()/panicIf()."},
+        {"BV005", "include-guard",
+         "Header guards must be BVC_<PATH>_HH_ derived from the file "
+         "path."},
+    };
+    return kRules;
+}
+
+std::string
+expectedGuard(const std::string &path)
+{
+    // Split into components, dropping "." and empty pieces.
+    std::vector<std::string> parts;
+    std::string part;
+    for (const char c : path + "/") {
+        if (c == '/' || c == '\\') {
+            if (!part.empty() && part != ".")
+                parts.push_back(part);
+            part.clear();
+        } else {
+            part += c;
+        }
+    }
+
+    // Anchor at the last known root component so absolute paths and
+    // repo-relative paths produce the same guard. `src/` is dropped
+    // (matching the existing headers); the other roots are kept.
+    static const std::vector<std::string> kRoots = {
+        "src", "tests", "tools", "bench", "examples"};
+    std::size_t begin = parts.empty() ? 0 : parts.size() - 1;
+    for (std::size_t i = parts.size(); i-- > 0;) {
+        if (std::find(kRoots.begin(), kRoots.end(), parts[i]) !=
+            kRoots.end()) {
+            begin = parts[i] == "src" ? i + 1 : i;
+            break;
+        }
+    }
+
+    std::string guard = "BVC";
+    for (std::size_t i = begin; i < parts.size(); ++i) {
+        guard += '_';
+        for (const char c : parts[i])
+            guard += std::isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(
+                               std::toupper(static_cast<unsigned char>(c)))
+                         : '_';
+    }
+    return guard + '_';
+}
+
+std::vector<Finding>
+lintFiles(const std::vector<SourceFile> &files)
+{
+    std::vector<FileView> views;
+    views.reserve(files.size());
+    std::unordered_set<std::string> enums;
+    for (const SourceFile &src : files) {
+        views.push_back(makeView(src.text));
+        if (lintableSource(src.path))
+            collectEnumNames(views.back(), enums);
+    }
+
+    std::vector<Finding> findings;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (!lintableSource(files[i].path))
+            continue;
+        lintCounterLookup(findings, files[i], views[i]);
+        lintNondeterminism(findings, files[i], views[i]);
+        lintEnumSwitchDefault(findings, files[i], views[i], enums);
+        lintBareAssert(findings, files[i], views[i]);
+        lintIncludeGuard(findings, files[i], views[i]);
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+} // namespace bvlint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * bvlint: the project linter enforcing conventions the compiler cannot
+ * (docs/static_analysis.md). The engine is a plain text scanner — no
+ * libclang dependency — tuned to this codebase's idioms:
+ *
+ *   BV001  per-access Counter lookup by name (use HotCounters)
+ *   BV002  nondeterministic primitive (rand/srand/time/random_device)
+ *   BV003  `default:` label in a switch over a project enum class
+ *   BV004  bare assert() in model code (use panic/panicIf)
+ *   BV005  include-guard name does not match the header path
+ *
+ * Any finding can be waived with a `// bvlint-allow(BVxxx)` comment on
+ * the offending line or the line directly above it.
+ */
+
+#ifndef BVC_TOOLS_BVLINT_LINT_HH_
+#define BVC_TOOLS_BVLINT_LINT_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bvlint
+{
+
+/** One linted translation unit: display path plus full contents. */
+struct SourceFile
+{
+    std::string path;
+    std::string text;
+};
+
+/** One rule violation, ready to print as `file:line: id: message`. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0; //!< 1-based
+    std::string rule;     //!< machine-readable id, e.g. "BV003"
+    std::string message;
+};
+
+/** Static description of a rule for --list-rules and the docs. */
+struct Rule
+{
+    const char *id;
+    const char *name;
+    const char *description;
+};
+
+/** The rule table, in id order. */
+const std::vector<Rule> &ruleTable();
+
+/**
+ * Lint a set of files as one project. The whole set is passed at once
+ * because BV003 first collects every `enum class` name across the set,
+ * then flags `default:` labels in switches over those enums.
+ */
+std::vector<Finding> lintFiles(const std::vector<SourceFile> &files);
+
+/**
+ * The include guard BV005 expects for `path`: the path relative to the
+ * repo root, uppercased, punctuation mapped to '_', wrapped as
+ * `BVC_..._`; the leading `src/` component is dropped (matching the
+ * existing headers), while `tests/`, `tools/`, `bench/` and
+ * `examples/` are kept.
+ */
+std::string expectedGuard(const std::string &path);
+
+} // namespace bvlint
+
+#endif // BVC_TOOLS_BVLINT_LINT_HH_
