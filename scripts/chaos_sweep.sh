@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Chaos smoke for the fault-tolerant sweep harness
+# (docs/robustness.md). Exercises every recovery path end to end with
+# the real bvsweep binary and deterministic BVC_FAULT injection:
+#
+#   1. reference       uninterrupted run, timings normalized
+#   2. retry           an injected throw is absorbed by --retries
+#   3. kill            die:job=2 exits 86 at a checkpoint boundary
+#   4. resume          --resume finishes the killed campaign
+#   5. byte-diff       resumed report == uninterrupted report
+#
+# Usage: chaos_sweep.sh /path/to/bvsweep
+# CI runs it under ASan (the `chaos` job); ctest wires it up as the
+# bvsweep_chaos test.
+set -euo pipefail
+
+bvsweep=${1:?usage: chaos_sweep.sh /path/to/bvsweep}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Thread count is part of the report, so every leg must use the same
+# value for the final byte-diff to be meaningful.
+common=(--arch base-victim --traces sensitive --limit 2
+        --warmup 3000 --instr 10000 --threads 2 --quiet)
+
+echo "chaos: reference run"
+"$bvsweep" "${common[@]}" --stable-json --json "$workdir/ref.json"
+
+echo "chaos: retry absorbs an injected throw"
+BVC_FAULT="throw:job=1:attempt=0" \
+    "$bvsweep" "${common[@]}" --retries 2 --json "$workdir/retry.json"
+if grep -q '"ok": false' "$workdir/retry.json"; then
+    echo "chaos: FAIL: a job stayed failed despite --retries" >&2
+    exit 1
+fi
+
+echo "chaos: kill at the job-2 checkpoint boundary"
+rc=0
+BVC_FAULT="die:job=2" "$bvsweep" "${common[@]}" \
+    --journal "$workdir/kill.journal" || rc=$?
+if [ "$rc" -ne 86 ]; then
+    echo "chaos: FAIL: expected the die fault's exit code 86," \
+         "got $rc" >&2
+    exit 1
+fi
+
+echo "chaos: resume the killed campaign"
+"$bvsweep" "${common[@]}" --resume "$workdir/kill.journal" \
+    --stable-json --json "$workdir/resumed.json"
+
+echo "chaos: resumed report must equal the uninterrupted one"
+diff "$workdir/ref.json" "$workdir/resumed.json"
+
+echo "chaos: OK"

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash-safe sweep journal (docs/robustness.md): an append-only file
+ * the engine writes one fsync'd record to per completed job, so a
+ * campaign killed mid-run can resume with `bvsweep --resume` instead
+ * of recomputing finished work. Every record is CRC-framed:
+ *
+ *   BVCJ1 <crc32:8 hex> <payload JSON>\n
+ *
+ * where the CRC covers the payload bytes. The first record is a header
+ * naming the producing tool, the campaign signature and the job count;
+ * each subsequent record is one JobResult. A truncated final record
+ * (no trailing newline) is the expected artifact of a crash mid-write
+ * and is ignored with a warning; a CRC mismatch or malformed *framed*
+ * record is corruption and throws BvcError{Io}.
+ */
+
+#ifndef BVC_RUNNER_JOURNAL_HH_
+#define BVC_RUNNER_JOURNAL_HH_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace bvc
+{
+
+/**
+ * Identity of a campaign, hashed from each job's label, trace name and
+ * measurement windows. Resume refuses a journal whose signature does
+ * not match the jobs being run: importing results for different work
+ * would silently corrupt the report.
+ */
+std::string campaignSignature(const std::vector<SweepJob> &jobs);
+
+/** Everything recovered from a journal file. */
+struct JournalData
+{
+    std::string tool;
+    std::string signature;
+    std::size_t jobCount = 0;
+    /** Completed jobs in append (not index) order. */
+    std::vector<JobResult> results;
+};
+
+/**
+ * Parse a journal file. Throws BvcError{Io} on a missing/garbled
+ * header, bad framing or CRC mismatch (naming the byte offset);
+ * tolerates a torn final record.
+ */
+JournalData readJournal(const std::string &path);
+
+/**
+ * Throws BvcError{Config} unless `data` was produced by a campaign
+ * with this signature and job count.
+ */
+void checkResumeCompatible(const JournalData &data,
+                           const std::string &path,
+                           const std::string &signature,
+                           std::size_t jobCount);
+
+/**
+ * Append-only journal writer. Thread-safe; every append is written
+ * and fsync'd before returning, so a record's presence in the file is
+ * the checkpoint boundary — a process dying right after append() has
+ * durably completed that job. I/O failures are fatal(): a campaign
+ * whose journal stops persisting cannot keep its resume promise.
+ */
+class JournalWriter
+{
+  public:
+    /** Create/truncate `path` and write the header record. */
+    JournalWriter(const std::string &path, const std::string &tool,
+                  const std::string &signature, std::size_t jobCount);
+
+    /** Re-open an existing journal for appending (resume). */
+    explicit JournalWriter(const std::string &path);
+
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    void append(const JobResult &result);
+
+  private:
+    void appendPayload(const std::string &payload);
+
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mutex_;
+};
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_JOURNAL_HH_

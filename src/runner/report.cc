@@ -1,13 +1,15 @@
 #include "runner/report.hh"
 
-#include <cctype>
-#include <cmath>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <limits>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace bvc
@@ -15,54 +17,6 @@ namespace bvc
 
 namespace
 {
-
-/** %.17g preserves every double bit-exactly across a round-trip. */
-std::string
-rawNumStr(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/**
- * JSON number. Non-finite metrics (e.g. the IPC of a zero-cycle
- * window) become null: bare nan/inf tokens are not valid JSON and
- * break every standard parser, including our own reader. CSV output
- * keeps the raw spelling (rawNumStr) since nan is conventional there.
- */
-std::string
-numStr(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    return rawNumStr(v);
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 std::string
 csvEscape(const std::string &s)
@@ -74,218 +28,6 @@ csvEscape(const std::string &s)
         out += (c == '"') ? "\"\"" : std::string(1, c);
     return out + "\"";
 }
-
-/**
- * Minimal recursive-descent JSON reader — just enough for the schema
- * we emit (objects, arrays, strings, numbers, booleans, null). Kept
- * private to this file; the public surface is parseJsonReport().
- */
-class JsonReader
-{
-  public:
-    explicit JsonReader(const std::string &text) : text_(text) {}
-
-    /** Skip whitespace and peek the next character (0 at end). */
-    char peek()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool consume(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++pos_;
-        return true;
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    fail("truncated escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'u': {
-                    if (pos_ + 4 > text_.size())
-                        fail("truncated \\u escape");
-                    const unsigned code = static_cast<unsigned>(
-                        std::strtoul(text_.substr(pos_, 4).c_str(),
-                                     nullptr, 16));
-                    pos_ += 4;
-                    // Schema strings are ASCII; encode low codepoints
-                    // directly and replace anything else with '?'.
-                    out += code < 0x80 ? static_cast<char>(code) : '?';
-                    break;
-                  }
-                  default: fail("unsupported escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    double parseNumber()
-    {
-        peek();
-        const char *start = text_.c_str() + pos_;
-        char *end = nullptr;
-        const double v = std::strtod(start, &end);
-        if (end == start)
-            fail("expected number");
-        pos_ += static_cast<std::size_t>(end - start);
-        return v;
-    }
-
-    /**
-     * Double-valued metric field: accepts null (the writer's encoding
-     * of non-finite values) as quiet NaN.
-     */
-    double parseNumberOrNull()
-    {
-        if (peek() == 'n') {
-            if (text_.compare(pos_, 4, "null") != 0)
-                fail("expected number or null");
-            pos_ += 4;
-            return std::numeric_limits<double>::quiet_NaN();
-        }
-        return parseNumber();
-    }
-
-    /**
-     * 64-bit counter field, parsed as an integer directly: routing it
-     * through parseNumber()'s double would corrupt every value above
-     * 2^53 (doubles have 53 bits of mantissa).
-     */
-    std::uint64_t parseU64()
-    {
-        peek();
-        if (pos_ < text_.size() && text_[pos_] == '-') {
-            // Counters are unsigned; a negative value is a corrupt
-            // report, not something to wrap around.
-            fail("expected unsigned integer");
-        }
-        const char *start = text_.c_str() + pos_;
-        char *end = nullptr;
-        const std::uint64_t v = std::strtoull(start, &end, 10);
-        if (end == start)
-            fail("expected unsigned integer");
-        pos_ += static_cast<std::size_t>(end - start);
-        return v;
-    }
-
-    bool parseBool()
-    {
-        peek(); // position past whitespace
-        if (text_.compare(pos_, 4, "true") == 0) {
-            pos_ += 4;
-            return true;
-        }
-        if (text_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-            return false;
-        }
-        fail("expected boolean");
-    }
-
-    /** Skip any JSON value (for unknown keys). */
-    void skipValue()
-    {
-        const char c = peek();
-        if (c == '"') {
-            parseString();
-        } else if (c == '{') {
-            ++pos_;
-            if (!consume('}')) {
-                do {
-                    parseString();
-                    expect(':');
-                    skipValue();
-                } while (consume(','));
-                expect('}');
-            }
-        } else if (c == '[') {
-            ++pos_;
-            if (!consume(']')) {
-                do
-                    skipValue();
-                while (consume(','));
-                expect(']');
-            }
-        } else if (c == 't' || c == 'f') {
-            parseBool();
-        } else if (c == 'n') {
-            if (text_.compare(pos_, 4, "null") != 0)
-                fail("expected null");
-            pos_ += 4;
-        } else {
-            parseNumber();
-        }
-    }
-
-    /**
-     * Iterate an object's keys: calls handler(key) positioned at the
-     * value; the handler must consume exactly that value.
-     */
-    template <typename Handler>
-    void parseObject(Handler &&handler)
-    {
-        expect('{');
-        if (consume('}'))
-            return;
-        do {
-            const std::string key = parseString();
-            expect(':');
-            handler(key);
-        } while (consume(','));
-        expect('}');
-    }
-
-    template <typename Element>
-    void parseArray(Element &&element)
-    {
-        expect('[');
-        if (consume(']'))
-            return;
-        do
-            element();
-        while (consume(','));
-        expect(']');
-    }
-
-    [[noreturn]] void fail(const std::string &why) const
-    {
-        fatal("sweep JSON parse error at byte " + std::to_string(pos_) +
-              ": " + why);
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
 
 } // namespace
 
@@ -312,6 +54,8 @@ buildReport(const std::string &tool, const SweepTelemetry &telemetry,
         rec.category = categoryName(job.trace.category);
         rec.ok = res.ok;
         rec.error = res.error;
+        rec.errorCategory = res.errorCategory;
+        rec.attempts = res.attempts;
         rec.wallSeconds = res.wallSeconds;
         rec.warmup = job.opts.warmup;
         rec.measure = job.opts.measure;
@@ -329,8 +73,9 @@ toJson(const SweepReport &report)
     out << "  \"schema\": \"" << jsonEscape(report.schema) << "\",\n";
     out << "  \"tool\": \"" << jsonEscape(report.tool) << "\",\n";
     out << "  \"threads\": " << report.threads << ",\n";
-    out << "  \"wall_seconds\": " << numStr(report.wallSeconds) << ",\n";
-    out << "  \"jobs_per_second\": " << numStr(report.jobsPerSecond)
+    out << "  \"wall_seconds\": " << jsonNum(report.wallSeconds)
+        << ",\n";
+    out << "  \"jobs_per_second\": " << jsonNum(report.jobsPerSecond)
         << ",\n";
     out << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < report.records.size(); ++i) {
@@ -343,10 +88,13 @@ toJson(const SweepReport &report)
             << ", \"bucket\": \"" << jsonEscape(r.bucket) << "\""
             << ", \"ok\": " << (r.ok ? "true" : "false")
             << ", \"error\": \"" << jsonEscape(r.error) << "\""
-            << ", \"wall_seconds\": " << numStr(r.wallSeconds)
+            << ", \"error_category\": \""
+            << errorCategoryName(r.errorCategory) << "\""
+            << ", \"attempts\": " << r.attempts
+            << ", \"wall_seconds\": " << jsonNum(r.wallSeconds)
             << ", \"warmup\": " << r.warmup
             << ", \"measure\": " << r.measure
-            << ", \"ipc\": " << numStr(m.ipc)
+            << ", \"ipc\": " << jsonNum(m.ipc)
             << ", \"instructions\": " << m.instructions
             << ", \"cycles\": " << m.cycles
             << ", \"dram_reads\": " << m.dramReads
@@ -359,8 +107,8 @@ toJson(const SweepReport &report)
             << ", \"llc_accesses\": " << m.llcAccesses
             << ", \"back_invalidations\": " << m.backInvalidations
             << ", \"has_ratios\": " << (r.hasRatios ? "true" : "false")
-            << ", \"ipc_ratio\": " << numStr(r.ipcRatio)
-            << ", \"dram_read_ratio\": " << numStr(r.dramReadRatio)
+            << ", \"ipc_ratio\": " << jsonNum(r.ipcRatio)
+            << ", \"dram_read_ratio\": " << jsonNum(r.dramReadRatio)
             << "}" << (i + 1 < report.records.size() ? "," : "")
             << "\n";
     }
@@ -372,7 +120,8 @@ std::string
 toCsv(const SweepReport &report)
 {
     std::ostringstream out;
-    out << "index,arch,trace,category,bucket,ok,error,wall_seconds,"
+    out << "index,arch,trace,category,bucket,ok,error,error_category,"
+           "attempts,wall_seconds,"
            "warmup,measure,ipc,instructions,cycles,dram_reads,"
            "dram_writes,dram_demand_reads,llc_demand_accesses,"
            "llc_demand_hits,llc_demand_misses,llc_victim_hits,"
@@ -383,17 +132,19 @@ toCsv(const SweepReport &report)
         out << r.index << ',' << csvEscape(r.arch) << ','
             << csvEscape(r.trace) << ',' << csvEscape(r.category) << ','
             << csvEscape(r.bucket) << ',' << (r.ok ? 1 : 0) << ','
-            << csvEscape(r.error) << ',' << rawNumStr(r.wallSeconds)
+            << csvEscape(r.error) << ','
+            << errorCategoryName(r.errorCategory) << ','
+            << r.attempts << ',' << jsonRawNum(r.wallSeconds)
             << ',' << r.warmup << ',' << r.measure << ','
-            << rawNumStr(m.ipc) << ',' << m.instructions << ','
+            << jsonRawNum(m.ipc) << ',' << m.instructions << ','
             << m.cycles << ','
             << m.dramReads << ',' << m.dramWrites << ','
             << m.dramDemandReads << ',' << m.llcDemandAccesses << ','
             << m.llcDemandHits << ',' << m.llcDemandMisses << ','
             << m.llcVictimHits << ',' << m.llcAccesses << ','
             << m.backInvalidations << ','
-            << (r.hasRatios ? rawNumStr(r.ipcRatio) : "") << ','
-            << (r.hasRatios ? rawNumStr(r.dramReadRatio) : "") << '\n';
+            << (r.hasRatios ? jsonRawNum(r.ipcRatio) : "") << ','
+            << (r.hasRatios ? jsonRawNum(r.dramReadRatio) : "") << '\n';
     }
     return out.str();
 }
@@ -435,6 +186,12 @@ parseJsonReport(const std::string &json)
                         rec.ok = reader.parseBool();
                     else if (field == "error")
                         rec.error = reader.parseString();
+                    else if (field == "error_category")
+                        rec.errorCategory =
+                            parseErrorCategory(reader.parseString());
+                    else if (field == "attempts")
+                        rec.attempts = static_cast<unsigned>(
+                            reader.parseU64());
                     else if (field == "wall_seconds")
                         rec.wallSeconds = reader.parseNumberOrNull();
                     else if (field == "warmup")
@@ -482,20 +239,65 @@ parseJsonReport(const std::string &json)
             reader.skipValue();
         }
     });
+    reader.expectEnd();
     if (report.schema != "bvc-sweep-v1")
-        fatal("sweep JSON: unsupported schema '" + report.schema + "'");
+        throw BvcError(ErrorCategory::Io,
+                       "unsupported sweep JSON schema '" +
+                           report.schema + "'");
     return report;
+}
+
+void
+zeroTimings(SweepReport &report)
+{
+    report.wallSeconds = 0.0;
+    report.jobsPerSecond = 0.0;
+    for (RunRecord &rec : report.records)
+        rec.wallSeconds = 0.0;
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("cannot open '" + tmp + "' for writing: " +
+              std::strerror(errno));
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            fatal("write to '" + tmp + "' failed: " +
+                  std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // fsync before rename: otherwise a crash can leave the new name
+    // pointing at un-persisted data, which is exactly the torn state
+    // the tmp+rename dance exists to rule out.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("fsync on '" + tmp + "' failed: " +
+              std::strerror(errno));
+    }
+    if (::close(fd) != 0)
+        fatal("close of '" + tmp + "' failed: " +
+              std::strerror(errno));
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("rename of '" + tmp + "' to '" + path + "' failed: " +
+              std::strerror(errno));
 }
 
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("cannot open '" + path + "' for writing");
-    out << content;
-    if (!out)
-        fatal("write to '" + path + "' failed");
+    writeFileAtomic(path, content);
 }
 
 std::string

@@ -28,6 +28,11 @@ struct RunRecord
     std::string bucket;   //!< e.g. "compression-friendly"; free-form
     bool ok = true;
     std::string error;
+    /** Structured failure kind (None when ok); see util/error.hh. */
+    ErrorCategory errorCategory = ErrorCategory::None;
+    /** Attempts the engine executed for this job (0 in pre-retry
+     *  reports that lack the field). */
+    unsigned attempts = 0;
     double wallSeconds = 0.0;
     std::uint64_t warmup = 0;
     std::uint64_t measure = 0;
@@ -68,11 +73,31 @@ std::string toCsv(const SweepReport &report);
 
 /**
  * Parse a bvc-sweep-v1 JSON document. Unknown keys are ignored;
- * malformed JSON or a wrong schema string is a fatal() error.
+ * malformed/truncated JSON, trailing garbage or a wrong schema string
+ * throws BvcError{Io} naming the byte offset — a damaged report is
+ * rejected outright, never partially imported.
  */
 SweepReport parseJsonReport(const std::string &json);
 
-/** Write `content` to `path`; fatal() on I/O failure. */
+/**
+ * Zero every wall-clock field (report-level wall_seconds and
+ * jobs_per_second, per-record wall_seconds). Timings are the one
+ * nondeterministic part of a report; normalizing them lets two runs of
+ * the same campaign — e.g. a killed-then-resumed sweep against an
+ * uninterrupted one — be compared byte-for-byte (bvsweep
+ * --stable-json).
+ */
+void zeroTimings(SweepReport &report);
+
+/**
+ * Write `content` to `path` atomically: staged to `path`.tmp, fsync'd,
+ * then rename()d into place — readers see the old file or the new one,
+ * never a torn write. fatal() on I/O failure.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+/** Write `content` to `path` (atomically); fatal() on I/O failure. */
 void writeFile(const std::string &path, const std::string &content);
 
 /** Read an entire file; fatal() on I/O failure. */

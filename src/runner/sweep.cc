@@ -5,12 +5,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <thread>
 
+#include "runner/journal.hh"
 #include "runner/thread_pool.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace bvc
 {
@@ -25,6 +29,39 @@ secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+void
+sleepSeconds(double seconds)
+{
+    if (seconds > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+}
+
+/**
+ * Per-job attempt state shared between its worker and the watchdog.
+ * Ownership of the result slot is decided by a single CAS on `state`:
+ * whoever moves a job out of Running (worker -> Done/Pending, watchdog
+ * -> TimedOut) wins; the loser discards its write. That keeps slot
+ * writes single-writer without a lock on the hot path.
+ */
+struct JobTrack
+{
+    enum State : int { Pending = 0, Running = 1, Done = 2,
+                       TimedOut = 3 };
+
+    std::atomic<int> state{Pending};
+    std::atomic<std::int64_t> attemptStartNs{0};
+    std::atomic<unsigned> attempt{0};
+};
 
 /**
  * Periodic stderr reporter: jobs done/total, throughput, ETA. Runs on
@@ -89,7 +126,132 @@ class ProgressReporter
     std::thread thread_;
 };
 
+/**
+ * Wall-clock budget enforcement. Polls every running attempt and, when
+ * one exceeds the budget, takes ownership of the job via the Running ->
+ * TimedOut CAS and commits a timeout JobResult so the campaign moves
+ * on. The over-budget computation itself is cooperative: it keeps
+ * running until it finishes on its own, occupying its worker thread —
+ * we never kill a thread mid-simulation (docs/robustness.md). Timed-out
+ * jobs are terminal: they are not retried, because the stuck attempt
+ * still owns the worker.
+ */
+class Watchdog
+{
+  public:
+    using Commit = std::function<void(std::size_t, JobResult &&)>;
+
+    Watchdog(double budgetSeconds, const std::vector<SweepJob> &jobs,
+             JobTrack *tracks, Commit commit)
+        : budgetNs_(static_cast<std::int64_t>(budgetSeconds * 1e9)),
+          budgetSeconds_(budgetSeconds), jobs_(jobs), tracks_(tracks),
+          commit_(std::move(commit)),
+          thread_([this] { loop(); })
+    {
+    }
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            finished_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+    std::size_t timedOutJobs() const
+    {
+        return timedOut_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void loop()
+    {
+        // Poll at a quarter of the budget, clamped to [1ms, 50ms]:
+        // fine enough that tests with tens-of-ms budgets classify
+        // promptly, coarse enough to be invisible at real scales.
+        const double pollSeconds = std::min(
+            0.05, std::max(0.001, budgetSeconds_ / 4.0));
+        const auto interval =
+            std::chrono::duration<double>(pollSeconds);
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!wake_.wait_for(lock, interval,
+                               [this] { return finished_; }))
+            scan();
+    }
+
+    void scan()
+    {
+        const std::int64_t now = nowNs();
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            JobTrack &track = tracks_[i];
+            if (track.state.load(std::memory_order_acquire) !=
+                JobTrack::Running)
+                continue;
+            const std::int64_t started =
+                track.attemptStartNs.load(std::memory_order_acquire);
+            if (now - started <= budgetNs_)
+                continue;
+            int expected = JobTrack::Running;
+            if (!track.state.compare_exchange_strong(
+                    expected, JobTrack::TimedOut,
+                    std::memory_order_acq_rel))
+                continue; // the worker finished first
+            const unsigned attempt =
+                track.attempt.load(std::memory_order_acquire);
+            JobResult r;
+            r.index = i;
+            r.label = jobs_[i].label;
+            r.trace = jobs_[i].trace.name;
+            r.ok = false;
+            r.errorCategory = ErrorCategory::Timeout;
+            r.attempts = attempt + 1;
+            r.wallSeconds = static_cast<double>(now - started) / 1e9;
+            r.error = BvcError(ErrorCategory::Timeout,
+                               "job exceeded its wall-clock budget "
+                               "of " + std::to_string(budgetSeconds_) +
+                                   "s")
+                          .withJob(i, r.label, r.trace, attempt)
+                          .what();
+            timedOut_.fetch_add(1, std::memory_order_relaxed);
+            commit_(i, std::move(r));
+        }
+    }
+
+    const std::int64_t budgetNs_;
+    const double budgetSeconds_;
+    const std::vector<SweepJob> &jobs_;
+    JobTrack *const tracks_;
+    const Commit commit_;
+    std::atomic<std::size_t> timedOut_{0};
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool finished_ = false;
+    std::thread thread_;
+};
+
 } // namespace
+
+double
+backoffDelaySeconds(std::uint64_t seed, std::size_t job, unsigned retry,
+                    double baseSeconds, double capSeconds)
+{
+    panicIf(retry == 0, "backoffDelaySeconds: retry numbers are "
+                        "1-based");
+    double delay = baseSeconds;
+    for (unsigned i = 1; i < retry && delay < capSeconds; ++i)
+        delay *= 2.0;
+    delay = std::min(delay, capSeconds);
+    // Seeded from (seed, job, retry) only, so the delay schedule is a
+    // pure function of the campaign — reproducible on any host. The
+    // odd multipliers spread adjacent (job, retry) pairs across seed
+    // space (splitmix-style).
+    Rng rng(seed ^
+            (static_cast<std::uint64_t>(job) * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(retry) * 0xbf58476d1ce4e5b9ULL));
+    return delay * (0.5 + 0.5 * rng.uniform());
+}
 
 SweepEngine::SweepEngine(SweepOptions opts)
     : opts_(opts), threads_(resolveThreadCount(opts.threads))
@@ -105,15 +267,76 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     telemetry_ = SweepTelemetry{};
     telemetry_.jobs = jobs.size();
     telemetry_.threads = threads_;
+
+    const FaultPlan faults =
+        opts_.faults.empty() ? FaultPlan::fromEnv() : opts_.faults;
+    if (!faults.empty())
+        inform("sweep: fault injection active: " + faults.describe());
+
+    // Journal / resume setup. skip[i] marks jobs already completed in
+    // a previous (killed) run of the same campaign.
+    std::unique_ptr<JournalWriter> journal;
+    std::vector<char> skip(jobs.size(), 0);
+    if (!opts_.journalPath.empty()) {
+        const std::string signature = campaignSignature(jobs);
+        if (opts_.resume) {
+            const JournalData data = readJournal(opts_.journalPath);
+            checkResumeCompatible(data, opts_.journalPath, signature,
+                                  jobs.size());
+            for (const JobResult &r : data.results) {
+                if (r.index >= jobs.size())
+                    throw BvcError(ErrorCategory::Io,
+                                   "journal record index " +
+                                       std::to_string(r.index) +
+                                       " out of range")
+                        .withContext("reading journal " +
+                                     opts_.journalPath);
+                results[r.index] = r;
+                skip[r.index] = 1;
+            }
+            for (const char s : skip)
+                telemetry_.resumedJobs += s ? 1 : 0;
+            inform("sweep: resuming from '" + opts_.journalPath +
+                   "': " + std::to_string(telemetry_.resumedJobs) +
+                   "/" + std::to_string(jobs.size()) +
+                   " jobs already complete");
+            journal =
+                std::make_unique<JournalWriter>(opts_.journalPath);
+        } else {
+            journal = std::make_unique<JournalWriter>(
+                opts_.journalPath, opts_.tool, signature, jobs.size());
+        }
+    }
     if (jobs.empty())
         return results;
 
     const auto sweepStart = Clock::now();
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{telemetry_.resumedJobs};
     std::unique_ptr<ProgressReporter> reporter;
     if (opts_.progress)
         reporter = std::make_unique<ProgressReporter>(
             done, jobs.size(), opts_.progressIntervalSeconds);
+
+    const auto tracks = std::make_unique<JobTrack[]>(jobs.size());
+
+    // Single commit point for worker and watchdog alike. The caller
+    // must have won the job's Running -> {Done, TimedOut} CAS, which
+    // makes it the sole writer of the slot. The fsync inside
+    // JournalWriter::append defines the checkpoint boundary a die
+    // fault fires at.
+    const auto commit = [&](std::size_t i, JobResult &&r) {
+        results[i] = std::move(r);
+        if (journal)
+            journal->append(results[i]);
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (faults.dieAtBoundary(i))
+            std::_Exit(kFaultDieExitCode);
+    };
+
+    std::unique_ptr<Watchdog> watchdog;
+    if (opts_.jobTimeoutSeconds > 0.0)
+        watchdog = std::make_unique<Watchdog>(
+            opts_.jobTimeoutSeconds, jobs, tracks.get(), commit);
 
     {
         // Never spawn more workers than there are jobs.
@@ -121,30 +344,96 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
             std::min<std::size_t>(threads_, jobs.size()));
         ThreadPool pool(poolSize);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const SweepJob &job = jobs[i];
-            JobResult &slot = results[i];
-            pool.submit([i, &job, &slot, &done] {
-                slot.index = i;
-                slot.label = job.label;
-                slot.trace = job.trace.name;
+            if (skip[i])
+                continue;
+            pool.submit([&, i] {
+                const SweepJob &job = jobs[i];
+                JobTrack &track = tracks[i];
+                JobResult local;
+                local.index = i;
+                local.label = job.label;
+                local.trace = job.trace.name;
                 const auto jobStart = Clock::now();
-                try {
-                    slot.result = job.fn
-                        ? job.fn()
-                        : runTrace(job.config, job.trace, job.opts);
-                    slot.ok = true;
-                } catch (const std::exception &e) {
-                    slot.error = e.what();
-                } catch (...) {
-                    slot.error = "unknown exception";
+                unsigned attempt = 0;
+                for (;;) {
+                    track.attempt.store(attempt,
+                                        std::memory_order_release);
+                    track.attemptStartNs.store(
+                        nowNs(), std::memory_order_release);
+                    int expected = JobTrack::Pending;
+                    if (!track.state.compare_exchange_strong(
+                            expected, JobTrack::Running,
+                            std::memory_order_acq_rel))
+                        return; // timed out; result already committed
+
+                    local.attempts = attempt + 1;
+                    local.ok = false;
+                    local.error.clear();
+                    local.errorCategory = ErrorCategory::None;
+                    unsigned stallMs = 0;
+                    const FaultKind fault =
+                        faults.preAttempt(i, attempt, stallMs);
+                    try {
+                        if (fault == FaultKind::Throw)
+                            throw BvcError(ErrorCategory::Injected,
+                                           "injected fault")
+                                .withJob(i, local.label, local.trace,
+                                         attempt);
+                        if (fault == FaultKind::Stall)
+                            sleepSeconds(stallMs / 1e3);
+                        local.result = job.fn
+                            ? job.fn()
+                            : runTrace(job.config, job.trace,
+                                       job.opts);
+                        local.ok = true;
+                    } catch (const BvcError &e) {
+                        local.error = e.what();
+                        local.errorCategory = e.category();
+                    } catch (const std::exception &e) {
+                        local.error = e.what();
+                        local.errorCategory = ErrorCategory::Model;
+                    } catch (...) {
+                        // The static type is erased here, but the RTTI
+                        // of the in-flight exception is not: name it,
+                        // so "unknown exception" stops being the least
+                        // actionable string in a failed campaign.
+                        local.error =
+                            "unhandled exception of type " +
+                            currentExceptionTypeName();
+                        local.errorCategory = ErrorCategory::Unknown;
+                    }
+
+                    const bool wantRetry =
+                        !local.ok && attempt < opts_.retries;
+                    expected = JobTrack::Running;
+                    if (!track.state.compare_exchange_strong(
+                            expected,
+                            wantRetry ? JobTrack::Pending
+                                      : JobTrack::Done,
+                            std::memory_order_acq_rel))
+                        return; // lost to the watchdog: discard
+                    if (!wantRetry)
+                        break;
+                    ++attempt;
+                    // While backing off, state is Pending: the budget
+                    // clock only measures attempts, not the sleeps
+                    // between them.
+                    sleepSeconds(backoffDelaySeconds(
+                        opts_.backoffSeed, i, attempt,
+                        opts_.backoffBaseSeconds,
+                        opts_.backoffCapSeconds));
                 }
-                slot.wallSeconds = secondsSince(jobStart);
-                done.fetch_add(1, std::memory_order_relaxed);
+                local.wallSeconds = secondsSince(jobStart);
+                commit(i, std::move(local));
             });
         }
         pool.wait();
     }
 
+    if (watchdog) {
+        telemetry_.timedOutJobs = watchdog->timedOutJobs();
+        watchdog.reset();
+    }
     reporter.reset();
     telemetry_.wallSeconds = secondsSince(sweepStart);
     for (const JobResult &r : results)

@@ -3,21 +3,26 @@
  * Parallel sweep engine: executes (SystemConfig, TraceParams,
  * ExperimentOptions) jobs across a thread pool and aggregates results
  * deterministically by job index, so a parallel sweep's output is
- * bit-identical to the serial one. Layers observability on top:
- * per-job wall-clock timing, a periodic progress reporter, and
- * per-worker exception capture so one failing job reports its
- * configuration and error instead of crashing the whole campaign.
- * See docs/sweep_engine.md.
+ * bit-identical to the serial one. Layers observability and fault
+ * tolerance on top: per-job wall-clock timing, a periodic progress
+ * reporter, per-worker exception capture with a structured error
+ * category, retry with deterministic exponential backoff, a watchdog
+ * that classifies over-budget jobs as timeouts, and a crash-safe
+ * journal enabling --resume after a mid-campaign kill.
+ * See docs/sweep_engine.md and docs/robustness.md.
  */
 
 #ifndef BVC_RUNNER_SWEEP_HH_
 #define BVC_RUNNER_SWEEP_HH_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 
 namespace bvc
 {
@@ -46,6 +51,10 @@ struct JobResult
     std::string trace;
     bool ok = false;
     std::string error;       //!< what() of the captured failure, if !ok
+    /** Structured failure kind (None when ok). */
+    ErrorCategory errorCategory = ErrorCategory::None;
+    /** Attempts executed (1 = succeeded/failed without retrying). */
+    unsigned attempts = 0;
     double wallSeconds = 0.0;
     RunResult result;        //!< valid only when ok
 };
@@ -58,6 +67,32 @@ struct SweepOptions
     /** Periodic jobs-done/ETA reporter on stderr. */
     bool progress = false;
     double progressIntervalSeconds = 2.0;
+
+    /** Extra attempts after a failed one (0 = no retry). Timeouts are
+     *  terminal and never retried: the attempt is still occupying its
+     *  worker thread. */
+    unsigned retries = 0;
+    /** Backoff before retry r (1-based) sleeps
+     *  min(cap, base * 2^(r-1)) * (0.5 + 0.5 * u) seconds, with u
+     *  drawn deterministically from (backoffSeed, job, r). */
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 2.0;
+    std::uint64_t backoffSeed = 0xb5c0ffee;
+
+    /** Per-attempt wall-clock budget; <= 0 disables the watchdog. */
+    double jobTimeoutSeconds = 0.0;
+
+    /** Injected faults; when empty, FaultPlan::fromEnv() (BVC_FAULT)
+     *  is consulted at run() so chaos CI reaches every tool. */
+    FaultPlan faults;
+
+    /** Append-only crash-safe journal; "" disables journaling. */
+    std::string journalPath;
+    /** Resume: read journalPath first, skip already-completed jobs and
+     *  append the remainder. The journal must match this campaign. */
+    bool resume = false;
+    /** Producing binary, recorded in the journal header. */
+    std::string tool = "sweep";
 };
 
 /** Aggregate timing of the engine's most recent run. */
@@ -68,6 +103,10 @@ struct SweepTelemetry
     double wallSeconds = 0.0;
     /** Sum of per-job wall times (= serial-equivalent duration). */
     double jobSeconds = 0.0;
+    /** Jobs imported from the journal instead of executed. */
+    std::size_t resumedJobs = 0;
+    /** Jobs the watchdog classified as timed out. */
+    std::size_t timedOutJobs = 0;
 
     double jobsPerSecond() const
     {
@@ -84,9 +123,10 @@ class SweepEngine
 
     /**
      * Execute every job and return results in submission order,
-     * regardless of worker interleaving. Failures are captured into
-     * JobResult::error, never thrown; use failOnJobErrors() for the
-     * fail-the-sweep-cleanly policy.
+     * regardless of worker interleaving. Job failures are captured
+     * into JobResult::error, never thrown; use failOnJobErrors() for
+     * the fail-the-sweep-cleanly policy. Harness-level failures —
+     * an unreadable or mismatched resume journal — throw BvcError.
      */
     std::vector<JobResult> run(const std::vector<SweepJob> &jobs);
 
@@ -100,6 +140,16 @@ class SweepEngine
     unsigned threads_;
     SweepTelemetry telemetry_;
 };
+
+/**
+ * Deterministic backoff delay before retry `retry` (1-based) of job
+ * `job`: min(cap, base * 2^(retry-1)), jittered into [50%, 100%] of
+ * itself by a PRNG seeded from (seed, job, retry) only — equal inputs
+ * give equal delays on every host (docs/robustness.md).
+ */
+double backoffDelaySeconds(std::uint64_t seed, std::size_t job,
+                           unsigned retry, double baseSeconds,
+                           double capSeconds);
 
 /**
  * fatal() describing every failed job (label, trace, error) if any

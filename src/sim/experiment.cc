@@ -5,6 +5,7 @@
 
 #include "runner/sweep.hh"
 #include "util/env.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace bvc
@@ -28,8 +29,24 @@ RunResult
 runTrace(const SystemConfig &cfg, const TraceParams &trace,
          const ExperimentOptions &opts)
 {
-    System system(cfg, trace);
-    return system.run(opts.warmup, opts.measure);
+    if (trace.name.empty())
+        throw BvcError(ErrorCategory::Trace, "trace has no name");
+    if (opts.measure == 0)
+        throw BvcError(ErrorCategory::Config,
+                       "measurement window is empty (measure = 0)")
+            .withContext("running trace " + trace.name);
+    try {
+        System system(cfg, trace);
+        return system.run(opts.warmup, opts.measure);
+    } catch (BvcError &e) {
+        throw e.withContext("running trace " + trace.name);
+    } catch (const std::exception &e) {
+        // Anything the model throws gets the structured wrapper, so a
+        // failed sweep job reports its category and which trace it was
+        // simulating (docs/robustness.md).
+        throw BvcError(ErrorCategory::Model, e.what())
+            .withContext("running trace " + trace.name);
+    }
 }
 
 std::vector<TraceRatio>

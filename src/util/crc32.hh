@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used to frame
+ * sweep-journal records (src/runner/journal.hh) so a torn or corrupted
+ * write is detected on resume instead of silently re-importing garbage.
+ * Header-only; the table is built once at first use.
+ */
+
+#ifndef BVC_UTIL_CRC32_HH_
+#define BVC_UTIL_CRC32_HH_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bvc
+{
+
+namespace detail
+{
+
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32 of `len` bytes; chain calls by passing the previous result. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t crc = 0)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &table = detail::crc32Table();
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+inline std::uint32_t
+crc32(const std::string &text)
+{
+    return crc32(text.data(), text.size());
+}
+
+} // namespace bvc
+
+#endif // BVC_UTIL_CRC32_HH_

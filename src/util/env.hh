@@ -40,6 +40,27 @@ parsePositiveUint(const std::string &what, const char *text)
     return static_cast<std::uint64_t>(value);
 }
 
+/**
+ * Parse `text` as a strictly positive finite decimal (seconds-style
+ * budgets such as --job-timeout); fatal() naming `what` on empty
+ * input, trailing junk, non-finite values, or anything <= 0.
+ */
+inline double
+parsePositiveDouble(const std::string &what, const char *text)
+{
+    const bool startsWithDigit =
+        (text[0] >= '0' && text[0] <= '9') || text[0] == '.';
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (!startsWithDigit || end == text || *end != '\0' ||
+        errno == ERANGE || !(value > 0.0) ||
+        value > 1e18 /* rejects inf without needing <cmath> */)
+        fatal(what + " must be a positive number, got '" +
+              std::string(text) + "'");
+    return value;
+}
+
 } // namespace bvc
 
 #endif // BVC_UTIL_ENV_HH_

@@ -1,0 +1,113 @@
+#include "util/error.hh"
+
+#include <cstdlib>
+#include <cxxabi.h>
+#include <memory>
+#include <typeinfo>
+
+namespace bvc
+{
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::None: return "";
+      case ErrorCategory::Config: return "config";
+      case ErrorCategory::Trace: return "trace";
+      case ErrorCategory::Model: return "model";
+      case ErrorCategory::Io: return "io";
+      case ErrorCategory::Timeout: return "timeout";
+      case ErrorCategory::Injected: return "injected";
+      case ErrorCategory::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+ErrorCategory
+parseErrorCategory(const std::string &name)
+{
+    if (name.empty())
+        return ErrorCategory::None;
+    if (name == "config")
+        return ErrorCategory::Config;
+    if (name == "trace")
+        return ErrorCategory::Trace;
+    if (name == "model")
+        return ErrorCategory::Model;
+    if (name == "io")
+        return ErrorCategory::Io;
+    if (name == "timeout")
+        return ErrorCategory::Timeout;
+    if (name == "injected")
+        return ErrorCategory::Injected;
+    return ErrorCategory::Unknown;
+}
+
+BvcError::BvcError(ErrorCategory category, std::string message)
+    : category_(category), message_(std::move(message))
+{
+    render();
+}
+
+BvcError &
+BvcError::withContext(std::string frame)
+{
+    context_.push_back(std::move(frame));
+    render();
+    return *this;
+}
+
+BvcError &
+BvcError::withJob(std::size_t index, std::string label,
+                  std::string trace, unsigned attempt)
+{
+    hasJob_ = true;
+    jobIndex_ = index;
+    jobLabel_ = std::move(label);
+    jobTrace_ = std::move(trace);
+    jobAttempt_ = attempt;
+    render();
+    return *this;
+}
+
+void
+BvcError::render()
+{
+    // what() must be noexcept, so the string is built eagerly on every
+    // mutation instead of lazily at throw-report time.
+    what_ = "[";
+    what_ += errorCategoryName(category_);
+    what_ += "] ";
+    what_ += message_;
+    if (!context_.empty()) {
+        what_ += " (";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i > 0)
+                what_ += "; ";
+            what_ += "while ";
+            what_ += context_[i];
+        }
+        what_ += ")";
+    }
+    if (hasJob_) {
+        what_ += " [job #" + std::to_string(jobIndex_) + " (" +
+                 jobLabel_ + ", trace " + jobTrace_ + ", attempt " +
+                 std::to_string(jobAttempt_ + 1) + ")]";
+    }
+}
+
+std::string
+currentExceptionTypeName()
+{
+    const std::type_info *type = abi::__cxa_current_exception_type();
+    if (type == nullptr)
+        return "unknown exception";
+    int status = 0;
+    const std::unique_ptr<char, void (*)(void *)> demangled(
+        abi::__cxa_demangle(type->name(), nullptr, nullptr, &status),
+        std::free);
+    return (status == 0 && demangled) ? demangled.get() : type->name();
+}
+
+} // namespace bvc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured error taxonomy for the experiment harness
+ * (docs/robustness.md). A BvcError carries a category (what kind of
+ * thing went wrong), a context chain (what the code was doing when it
+ * went wrong) and optional job provenance (which sweep job, which
+ * attempt), so a failed campaign reports "[timeout] job #17
+ * (base-victim, trace SPECFP/milc.0, attempt 2)" instead of an
+ * anonymous what() string. Recoverable harness failures throw this;
+ * panic()/fatal() stay reserved for internal bugs and unusable user
+ * configuration at process scope.
+ */
+
+#ifndef BVC_UTIL_ERROR_HH_
+#define BVC_UTIL_ERROR_HH_
+
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/** What kind of failure a BvcError describes. */
+enum class ErrorCategory
+{
+    None,    //!< no error (default state of a JobResult)
+    Config,  //!< bad configuration (grid, flags, BVC_FAULT spec, ...)
+    Trace,   //!< workload/trace selection or generation failure
+    Model,   //!< the simulation itself threw
+    Io,      //!< file/journal/report read or write failure
+    Timeout, //!< job exceeded its wall-clock budget (watchdog)
+    Injected, //!< deterministic fault injected via BVC_FAULT
+    Unknown, //!< exception of a type the harness does not model
+};
+
+/** Stable lower-case name ("config", "timeout", ...); "" for None. */
+const char *errorCategoryName(ErrorCategory category);
+
+/** Inverse of errorCategoryName; unrecognized names map to Unknown. */
+ErrorCategory parseErrorCategory(const std::string &name);
+
+/**
+ * The harness exception. what() renders as
+ *
+ *   [category] message (while ctx1; while ctx2)
+ *   [job #index (label, trace NAME, attempt N)]
+ *
+ * withContext()/withJob() return *this so throw sites can chain:
+ *
+ *   throw BvcError(ErrorCategory::Io, "CRC mismatch")
+ *       .withContext("reading journal " + path);
+ */
+class BvcError : public std::exception
+{
+  public:
+    BvcError(ErrorCategory category, std::string message);
+
+    /** Append a "while ..." frame (outermost frame added last). */
+    BvcError &withContext(std::string frame);
+
+    /** Attach sweep-job provenance. */
+    BvcError &withJob(std::size_t index, std::string label,
+                      std::string trace, unsigned attempt);
+
+    ErrorCategory category() const { return category_; }
+    const std::string &message() const { return message_; }
+    const std::vector<std::string> &context() const { return context_; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    void render();
+
+    ErrorCategory category_;
+    std::string message_;
+    std::vector<std::string> context_;
+    bool hasJob_ = false;
+    std::size_t jobIndex_ = 0;
+    std::string jobLabel_;
+    std::string jobTrace_;
+    unsigned jobAttempt_ = 0;
+    std::string what_;
+};
+
+/**
+ * Demangled type name of the exception currently being handled —
+ * callable from a catch(...) block, where the static type is erased.
+ * Returns "unknown exception" when no exception is active or the
+ * demangler fails, so the caller can report it verbatim.
+ */
+std::string currentExceptionTypeName();
+
+} // namespace bvc
+
+#endif // BVC_UTIL_ERROR_HH_

@@ -1,0 +1,182 @@
+#include "util/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw BvcError(ErrorCategory::Config,
+                   "bad fault spec '" + spec + "': " + why)
+        .withContext("parsing BVC_FAULT");
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t pos = text.find(sep, start);
+        const std::string item = text.substr(
+            start,
+            pos == std::string::npos ? std::string::npos : pos - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseFieldUint(const std::string &spec, const std::string &value)
+{
+    if (value.empty() || value[0] < '0' || value[0] > '9')
+        badSpec(spec, "'" + value + "' is not an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (*end != '\0' || errno == ERANGE)
+        badSpec(spec, "'" + value + "' is not an unsigned integer");
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &ruleText : split(spec, ';')) {
+        const std::vector<std::string> fields = split(ruleText, ':');
+        if (fields.empty())
+            continue;
+        FaultRule rule;
+        if (fields[0] == "throw")
+            rule.kind = FaultKind::Throw;
+        else if (fields[0] == "stall")
+            rule.kind = FaultKind::Stall;
+        else if (fields[0] == "die")
+            rule.kind = FaultKind::Die;
+        else
+            badSpec(spec, "unknown action '" + fields[0] +
+                              "' (throw | stall | die)");
+
+        bool haveJob = false;
+        bool haveAttempt = false;
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+            const std::size_t eq = fields[i].find('=');
+            if (eq == std::string::npos)
+                badSpec(spec, "field '" + fields[i] +
+                                  "' is not key=value");
+            const std::string key = fields[i].substr(0, eq);
+            const std::string value = fields[i].substr(eq + 1);
+            if (key == "job") {
+                rule.job = static_cast<std::size_t>(
+                    parseFieldUint(spec, value));
+                haveJob = true;
+            } else if (key == "attempt") {
+                rule.attempt = static_cast<unsigned>(
+                    parseFieldUint(spec, value));
+                haveAttempt = true;
+            } else if (key == "ms") {
+                if (rule.kind != FaultKind::Stall)
+                    badSpec(spec, "ms= only applies to stall");
+                rule.stallMs = static_cast<unsigned>(
+                    parseFieldUint(spec, value));
+            } else {
+                badSpec(spec, "unknown field '" + key +
+                                  "' (job | attempt | ms)");
+            }
+        }
+        if (!haveJob)
+            badSpec(spec, "rule '" + ruleText + "' is missing job=N");
+        if (rule.kind == FaultKind::Die && haveAttempt)
+            badSpec(spec, "die fires at the checkpoint boundary; "
+                          "attempt= does not apply");
+        plan.rules_.push_back(rule);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("BVC_FAULT");
+    if (env == nullptr || env[0] == '\0')
+        return {};
+    try {
+        return parse(env);
+    } catch (const BvcError &e) {
+        fatal(e.what());
+    }
+}
+
+FaultKind
+FaultPlan::preAttempt(std::size_t job, unsigned attempt,
+                      unsigned &stallMs) const
+{
+    for (const FaultRule &rule : rules_) {
+        if (rule.job != job || rule.attempt != attempt)
+            continue;
+        if (rule.kind == FaultKind::Throw)
+            return FaultKind::Throw;
+        if (rule.kind == FaultKind::Stall) {
+            stallMs = rule.stallMs;
+            return FaultKind::Stall;
+        }
+    }
+    return FaultKind::None;
+}
+
+bool
+FaultPlan::dieAtBoundary(std::size_t job) const
+{
+    for (const FaultRule &rule : rules_)
+        if (rule.kind == FaultKind::Die && rule.job == job)
+            return true;
+    return false;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (rules_.empty())
+        return "no injected faults";
+    std::string out;
+    for (const FaultRule &rule : rules_) {
+        if (!out.empty())
+            out += "; ";
+        switch (rule.kind) {
+          case FaultKind::None:
+            break;
+          case FaultKind::Throw:
+            out += "throw@job" + std::to_string(rule.job) +
+                   ".attempt" + std::to_string(rule.attempt);
+            break;
+          case FaultKind::Stall:
+            out += "stall@job" + std::to_string(rule.job) +
+                   ".attempt" + std::to_string(rule.attempt) + "(" +
+                   std::to_string(rule.stallMs) + "ms)";
+            break;
+          case FaultKind::Die:
+            out += "die@job" + std::to_string(rule.job);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace bvc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic fault injection for sweep campaigns
+ * (docs/robustness.md). A FaultPlan is parsed from the BVC_FAULT
+ * environment variable and tells the sweep engine to make selected
+ * jobs misbehave on selected attempt numbers, so every recovery path
+ * (retry, watchdog timeout, crash-safe resume) is exercised by tests
+ * and CI instead of trusted on faith.
+ *
+ * Grammar (rules separated by ';', fields by ':'):
+ *
+ *   BVC_FAULT = rule (';' rule)*
+ *   rule      = action ':' field (':' field)*
+ *   action    = 'throw' | 'stall' | 'die'
+ *   field     = 'job=' N | 'attempt=' N | 'ms=' N
+ *
+ *   throw  job=N [attempt=A]          throw BvcError{injected} before
+ *                                     attempt A (default 0) of job N
+ *   stall  job=N [attempt=A] [ms=M]   sleep M ms (default 100) before
+ *                                     attempt A of job N — with a
+ *                                     watchdog budget below M the job
+ *                                     is classified as timeout
+ *   die    job=N                      _Exit(kFaultDieExitCode) at the
+ *                                     checkpoint boundary, right after
+ *                                     job N's journal record has been
+ *                                     fsync'd — simulates a mid-
+ *                                     campaign kill for resume tests
+ *
+ * Example: BVC_FAULT="throw:job=2:attempt=0;stall:job=5:ms=300;die:job=7"
+ */
+
+#ifndef BVC_UTIL_FAULT_HH_
+#define BVC_UTIL_FAULT_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bvc
+{
+
+/** Exit code of a die-at-checkpoint-boundary fault (distinctive on
+ *  purpose, so tests and the chaos script can assert the process died
+ *  from the injected fault and not from something real). */
+constexpr int kFaultDieExitCode = 86;
+
+enum class FaultKind
+{
+    None,
+    Throw,
+    Stall,
+    Die,
+};
+
+/** One parsed rule; see the grammar above. */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::None;
+    std::size_t job = 0;
+    unsigned attempt = 0;  //!< throw/stall only; die fires on completion
+    unsigned stallMs = 100;
+};
+
+/** A parsed BVC_FAULT spec; empty() plans inject nothing. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Parse a spec; throws BvcError{Config} on bad grammar. */
+    static FaultPlan parse(const std::string &spec);
+
+    /**
+     * Plan from BVC_FAULT, or an empty plan when unset. A malformed
+     * spec is fatal() — it is a user configuration error and silently
+     * running the campaign un-faulted would defeat the chaos test.
+     */
+    static FaultPlan fromEnv();
+
+    bool empty() const { return rules_.size() == 0; }
+
+    /**
+     * Fault to apply before attempt `attempt` of job `job`: Throw,
+     * Stall (with `stallMs` filled in) or None. First matching rule
+     * wins.
+     */
+    FaultKind preAttempt(std::size_t job, unsigned attempt,
+                         unsigned &stallMs) const;
+
+    /** True if the process should die after job `job` is journaled. */
+    bool dieAtBoundary(std::size_t job) const;
+
+    /** Human-readable one-line summary for logs. */
+    std::string describe() const;
+
+    const std::vector<FaultRule> &rules() const { return rules_; }
+
+  private:
+    std::vector<FaultRule> rules_;
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_FAULT_HH_

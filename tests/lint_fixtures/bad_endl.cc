@@ -1,0 +1,8 @@
+// bvlint fixture: trips exactly BV006 (std::endl flush in output).
+#include <iostream>
+
+void
+printSummary(unsigned hits)
+{
+    std::cout << "hits " << hits << std::endl;
+}

@@ -1,6 +1,8 @@
-// bvlint fixture: violates BV001-BV004, every one waived -> clean.
+// bvlint fixture: violates BV001-BV004 and BV006, every one waived
+// -> clean.
 #include <cassert>
 #include <cstdlib>
+#include <iostream>
 
 struct StatGroup
 {
@@ -19,6 +21,7 @@ struct Model
         // bvlint-allow(BV002)
         (void)rand();
         assert(true); // bvlint-allow(BV004)
+        std::cout << "touched" << std::endl; // bvlint-allow(BV006)
     }
 };
 

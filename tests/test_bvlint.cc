@@ -52,16 +52,16 @@ rulesTripped(const std::string &name, std::size_t &count)
     return rules;
 }
 
-TEST(BvlintRules, TableListsFiveUniqueIds)
+TEST(BvlintRules, TableListsSixUniqueIds)
 {
     const auto &rules = bvlint::ruleTable();
-    ASSERT_EQ(rules.size(), 5u);
+    ASSERT_EQ(rules.size(), 6u);
     std::set<std::string> ids;
     for (const auto &rule : rules)
         ids.insert(rule.id);
     EXPECT_EQ(ids.size(), rules.size());
     EXPECT_TRUE(ids.count("BV001"));
-    EXPECT_TRUE(ids.count("BV005"));
+    EXPECT_TRUE(ids.count("BV006"));
 }
 
 TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
@@ -72,6 +72,7 @@ TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
         {"bad_default.cc", "BV003"},
         {"bad_assert.cc", "BV004"},
         {"bad_include_guard.hh", "BV005"},
+        {"bad_endl.cc", "BV006"},
     };
     for (const auto &[fixture, rule] : cases) {
         std::size_t count = 0;

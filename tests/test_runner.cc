@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "runner/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "trace/workload_suite.hh"
+#include "util/error.hh"
 
 using namespace bvc;
 
@@ -414,4 +416,96 @@ TEST(Report, CsvHasHeaderAndOneRowPerRecord)
               std::string::npos);
     EXPECT_NE(csv.find("\"contains, comma and \"\"quote\"\"\""),
               std::string::npos);
+}
+
+TEST(Report, ErrorCategoryAndAttemptsRoundTrip)
+{
+    SweepReport report;
+    report.tool = "test";
+    RunRecord rec;
+    rec.ok = false;
+    rec.error = "job exceeded its wall-clock budget";
+    rec.errorCategory = ErrorCategory::Timeout;
+    rec.attempts = 3;
+    report.records = {rec};
+
+    const std::string json = toJson(report);
+    EXPECT_NE(json.find("\"error_category\": \"timeout\""),
+              std::string::npos);
+    const SweepReport parsed = parseJsonReport(json);
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].errorCategory, ErrorCategory::Timeout);
+    EXPECT_EQ(parsed.records[0].attempts, 3u);
+}
+
+TEST(Report, TruncatedJsonIsRejectedWithByteOffset)
+{
+    SweepReport report;
+    report.tool = "test";
+    report.records = {RunRecord{}};
+    const std::string json = toJson(report);
+
+    try {
+        parseJsonReport(json.substr(0, json.size() / 2));
+        FAIL() << "truncated JSON was accepted";
+    } catch (const BvcError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Io);
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos);
+    }
+}
+
+TEST(Report, TrailingGarbageIsRejected)
+{
+    SweepReport report;
+    report.tool = "test";
+    const std::string json = toJson(report);
+    EXPECT_THROW(parseJsonReport(json + " {\"extra\": 1}"), BvcError);
+}
+
+TEST(Report, WrongSchemaIsRejected)
+{
+    SweepReport report;
+    report.tool = "test";
+    std::string json = toJson(report);
+    const std::size_t pos = json.find("bvc-sweep-v1");
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, 12, "bvc-sweep-v9");
+    try {
+        parseJsonReport(json);
+        FAIL() << "wrong schema was accepted";
+    } catch (const BvcError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Io);
+        EXPECT_NE(std::string(e.what()).find("bvc-sweep-v9"),
+                  std::string::npos);
+    }
+}
+
+TEST(Report, ZeroTimingsNormalizesEveryWallClockField)
+{
+    SweepReport report;
+    report.wallSeconds = 12.5;
+    report.jobsPerSecond = 3.5;
+    RunRecord rec;
+    rec.wallSeconds = 0.25;
+    report.records = {rec, rec};
+
+    zeroTimings(report);
+    EXPECT_EQ(report.wallSeconds, 0.0);
+    EXPECT_EQ(report.jobsPerSecond, 0.0);
+    for (const RunRecord &r : report.records)
+        EXPECT_EQ(r.wallSeconds, 0.0);
+}
+
+TEST(Report, WriteFileAtomicReplacesContentWithoutDroppings)
+{
+    const std::string path =
+        ::testing::TempDir() + "bvc_atomic_write.txt";
+    writeFileAtomic(path, "first");
+    EXPECT_EQ(readFile(path), "first");
+    writeFileAtomic(path, "second");
+    EXPECT_EQ(readFile(path), "second");
+    // The staging file must not survive a successful rename.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
 }

@@ -11,13 +11,21 @@
  *   bvfuzz --smoke                    # fixed tuples, every model, CI
  *   bvfuzz [--seed S] [--tuples N] [--accesses N]
  *   bvfuzz --tuple-seed X [--accesses N]   # replay one reproducer
+ *   bvfuzz --replay-last              # re-run the last-attempted tuple
+ *
+ * Before each tuple executes, its identity is persisted to a sidecar
+ * file (--sidecar, default bvfuzz.last), so a tuple that crashes or
+ * wedges the process — where no reproducer line ever reaches stderr —
+ * is still recoverable with --replay-last.
  */
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,7 +38,9 @@
 #include "core/uncompressed_llc.hh"
 #include "core/vsc_cache.hh"
 #include "replacement/factory.hh"
+#include "runner/report.hh"
 #include "trace/data_patterns.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace
@@ -260,14 +270,95 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--smoke] [--seed S] [--tuples N] [--accesses N]\n"
-        "          [--tuple-seed X] [--quiet]\n"
+        "          [--tuple-seed X] [--quiet] [--sidecar FILE]\n"
+        "          [--replay-last]\n"
         "  --smoke       fixed tuple per model variant (CI gate)\n"
         "  --seed S      master seed for random tuples (default 1)\n"
         "  --tuples N    number of random tuples (default 24)\n"
         "  --accesses N  checked accesses per tuple (default 4000)\n"
-        "  --tuple-seed X  replay exactly one tuple (reproducers)\n",
+        "  --tuple-seed X  replay exactly one tuple (reproducers)\n"
+        "  --sidecar FILE  where to persist each tuple before running\n"
+        "                  it (default bvfuzz.last)\n"
+        "  --replay-last   re-run the tuple recorded in the sidecar\n",
         argv0);
     return 2;
+}
+
+/**
+ * Identity of the tuple about to run, persisted before execution:
+ * enough to rebuild it (a seed, or a smoke-list index — smoke tuples
+ * are hand-built, not seed-derived) plus the access count.
+ */
+struct SidecarRecord
+{
+    bool smoke = false;
+    std::size_t smokeIndex = 0;
+    std::uint64_t tupleSeed = 0;
+    std::uint64_t accesses = 0;
+};
+
+void
+writeSidecar(const std::string &path, const SidecarRecord &rec,
+             const FuzzTuple &t)
+{
+    std::ostringstream out;
+    out << "# bvfuzz sidecar: written before the tuple below ran;\n"
+        << "# replay with --replay-last if it never finished\n"
+        << "mode " << (rec.smoke ? "smoke" : "seed") << "\n";
+    if (rec.smoke) {
+        out << "smoke_index " << rec.smokeIndex << "\n";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(rec.tupleSeed));
+        out << "tuple_seed " << buf << "\n";
+    }
+    out << "accesses " << rec.accesses << "\n"
+        << "# " << t.describe() << "\n";
+    // Atomic tmp+rename write: a crash mid-update leaves the previous
+    // sidecar intact instead of a torn one.
+    writeFileAtomic(path, out.str());
+}
+
+SidecarRecord
+readSidecar(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("--replay-last: cannot open sidecar '" + path +
+              "' (did a previous bvfuzz run write one?)");
+    SidecarRecord rec;
+    bool haveMode = false, haveId = false, haveAccesses = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string key, value;
+        fields >> key >> value;
+        if (key == "mode") {
+            rec.smoke = value == "smoke";
+            if (!rec.smoke && value != "seed")
+                fatal("sidecar '" + path + "': unknown mode '" +
+                      value + "'");
+            haveMode = true;
+        } else if (key == "smoke_index") {
+            rec.smokeIndex = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 0));
+            haveId = true;
+        } else if (key == "tuple_seed") {
+            rec.tupleSeed = std::strtoull(value.c_str(), nullptr, 0);
+            haveId = true;
+        } else if (key == "accesses") {
+            rec.accesses = std::strtoull(value.c_str(), nullptr, 0);
+            haveAccesses = true;
+        } else {
+            fatal("sidecar '" + path + "': unknown key '" + key + "'");
+        }
+    }
+    if (!haveMode || !haveId || !haveAccesses)
+        fatal("sidecar '" + path + "' is incomplete");
+    return rec;
 }
 
 } // namespace
@@ -282,6 +373,8 @@ main(int argc, char **argv)
     std::uint64_t accesses = 4000;
     std::uint64_t tupleSeed = 0;
     bool haveTupleSeed = false;
+    std::string sidecar = "bvfuzz.last";
+    bool replayLast = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -304,16 +397,41 @@ main(int argc, char **argv)
         } else if (arg == "--tuple-seed") {
             tupleSeed = std::strtoull(value(), nullptr, 0);
             haveTupleSeed = true;
+        } else if (arg == "--sidecar") {
+            sidecar = value();
+        } else if (arg == "--replay-last") {
+            replayLast = true;
         } else {
             return usage(argv[0]);
         }
     }
 
+    // Offset of cases[0] in the smoke list, so a replayed smoke tuple
+    // re-records its original index instead of 0.
+    std::size_t smokeIndexBase = 0;
+    if (replayLast) {
+        const SidecarRecord rec = readSidecar(sidecar);
+        smoke = rec.smoke;
+        haveTupleSeed = !rec.smoke;
+        tupleSeed = rec.tupleSeed;
+        accesses = rec.accesses;
+        smokeIndexBase = rec.smokeIndex;
+        std::fprintf(stderr, "bvfuzz: replaying last tuple from %s\n",
+                     sidecar.c_str());
+    }
+
     std::vector<FuzzTuple> cases;
     if (smoke) {
         cases = smokeTuples();
-        if (accesses < 500)
+        if (replayLast) {
+            if (smokeIndexBase >= cases.size())
+                fatal("sidecar '" + sidecar + "': smoke_index " +
+                      std::to_string(smokeIndexBase) +
+                      " out of range");
+            cases = {cases[smokeIndexBase]};
+        } else if (accesses < 500) {
             accesses = 500;
+        }
     } else if (haveTupleSeed) {
         cases.push_back(makeTuple(tupleSeed));
     } else {
@@ -323,7 +441,17 @@ main(int argc, char **argv)
     }
 
     std::uint64_t checked = 0;
-    for (const FuzzTuple &t : cases) {
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+        const FuzzTuple &t = cases[c];
+        // Persist the tuple BEFORE running it: if it crashes or hangs
+        // the process, the reproducer survives for --replay-last even
+        // though no divergence line was ever printed.
+        SidecarRecord rec;
+        rec.smoke = smoke;
+        rec.smokeIndex = smokeIndexBase + c;
+        rec.tupleSeed = t.seed;
+        rec.accesses = accesses;
+        writeSidecar(sidecar, rec, t);
         try {
             runTuple(t, accesses, !quiet);
             checked += accesses;

@@ -277,6 +277,28 @@ lintBareAssert(std::vector<Finding> &out, const SourceFile &src,
     }
 }
 
+// ---------------------------------------------------------------- BV006
+
+const std::regex kStdEndl(R"(\bstd\s*::\s*endl\b)");
+
+/**
+ * std::endl is '\n' plus a stream flush; in per-access or per-job
+ * output paths the hidden flush turns buffered I/O into a syscall per
+ * line. The project writes '\n' and flushes explicitly where a flush
+ * is actually wanted.
+ */
+void
+lintStdEndl(std::vector<Finding> &out, const SourceFile &src,
+            const FileView &view)
+{
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        if (std::regex_search(view.code[i], kStdEndl))
+            report(out, view, src.path, i + 1, "BV006",
+                   "std::endl flushes the stream on every line; "
+                   "write '\\n' (and flush explicitly if needed)");
+    }
+}
+
 // ---------------------------------------------------------------- BV005
 
 const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+))");
@@ -354,6 +376,9 @@ ruleTable()
         {"BV005", "include-guard",
          "Header guards must be BVC_<PATH>_HH_ derived from the file "
          "path."},
+        {"BV006", "endl-flush",
+         "No std::endl; write '\\n' and flush explicitly where a "
+         "flush is intended."},
     };
     return kRules;
 }
@@ -421,6 +446,7 @@ lintFiles(const std::vector<SourceFile> &files)
         lintEnumSwitchDefault(findings, files[i], views[i], enums);
         lintBareAssert(findings, files[i], views[i]);
         lintIncludeGuard(findings, files[i], views[i]);
+        lintStdEndl(findings, files[i], views[i]);
     }
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -47,6 +47,8 @@ struct Options
     std::uint64_t instr = 400'000;
     unsigned segmentQuantum = 4;
     unsigned threads = 0; //!< sweep workers; 0 = auto
+    unsigned retries = 0;
+    double jobTimeout = 0.0; //!< seconds; 0 = no watchdog
     std::string jsonPath;
     bool inclusive = true;
     bool compare = false;
@@ -83,6 +85,9 @@ usage()
         "  --compare                also run the uncompressed baseline\n"
         "  --threads N              sweep worker threads (default:\n"
         "                           BVC_THREADS or hardware cores)\n"
+        "  --retries N              retry failed runs up to N times\n"
+        "  --job-timeout S          per-run wall-clock budget in "
+        "seconds\n"
         "  --json FILE              write a bvc-sweep-v1 JSON report\n"
         "                           (single-trace runs only)\n");
     std::exit(1);
@@ -187,6 +192,12 @@ parseArgs(int argc, char **argv)
         else if (arg == "--threads")
             opts.threads = static_cast<unsigned>(
                 parsePositiveUint("--threads", next(i)));
+        else if (arg == "--retries")
+            opts.retries = static_cast<unsigned>(
+                parsePositiveUint("--retries", next(i)));
+        else if (arg == "--job-timeout")
+            opts.jobTimeout =
+                parsePositiveDouble("--job-timeout", next(i));
         else if (arg == "--json")
             opts.jsonPath = next(i);
         else
@@ -312,8 +323,16 @@ main(int argc, char **argv)
 
     SweepOptions sweepOpts;
     sweepOpts.threads = opts.threads;
+    sweepOpts.retries = opts.retries;
+    sweepOpts.jobTimeoutSeconds = opts.jobTimeout;
+    sweepOpts.tool = "bvsim";
     SweepEngine engine(sweepOpts);
-    const std::vector<JobResult> results = engine.run(jobs);
+    std::vector<JobResult> results;
+    try {
+        results = engine.run(jobs);
+    } catch (const BvcError &e) {
+        fatal(e.what());
+    }
     failOnJobErrors(results);
 
     const RunResult &r = results[0].result;

@@ -45,6 +45,11 @@ struct Options
     std::size_t llcKb = 512;
     std::size_t ways = 16;
     bool quiet = false;
+    unsigned retries = 0;
+    double jobTimeout = 0.0;   //!< seconds; 0 = no watchdog
+    std::string journalPath;
+    bool resume = false;
+    bool stableJson = false;
 };
 
 [[noreturn]] void
@@ -68,7 +73,19 @@ usage()
         "  --instr N         measured instructions per run\n"
         "  --llc-kb N        LLC capacity in KB (default 512)\n"
         "  --ways N          LLC associativity (default 16)\n"
-        "  --quiet           suppress the stderr progress reporter\n");
+        "  --quiet           suppress the stderr progress reporter\n"
+        "  --retries N       retry failed jobs up to N times with\n"
+        "                    deterministic exponential backoff\n"
+        "  --job-timeout S   per-attempt wall-clock budget in seconds;\n"
+        "                    over-budget jobs are classified as\n"
+        "                    timeouts and the campaign continues\n"
+        "  --journal FILE    append a crash-safe fsync'd record per\n"
+        "                    completed job to FILE\n"
+        "  --resume FILE     resume a killed campaign from its\n"
+        "                    journal: completed jobs are imported, the\n"
+        "                    rest run and append to the same FILE\n"
+        "  --stable-json     zero wall-clock fields in reports so two\n"
+        "                    runs of one campaign compare bytewise\n");
     std::exit(1);
 }
 
@@ -150,6 +167,20 @@ parseArgs(int argc, char **argv)
             opts.ways = parsePositiveUint("--ways", next(i));
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                parsePositiveUint("--retries", next(i)));
+        } else if (arg == "--job-timeout") {
+            opts.jobTimeout =
+                parsePositiveDouble("--job-timeout", next(i));
+        } else if (arg == "--journal") {
+            opts.journalPath = next(i);
+            opts.resume = false;
+        } else if (arg == "--resume") {
+            opts.journalPath = next(i);
+            opts.resume = true;
+        } else if (arg == "--stable-json") {
+            opts.stableJson = true;
         } else {
             usage();
         }
@@ -221,19 +252,36 @@ main(int argc, char **argv)
     SweepOptions sweepOpts;
     sweepOpts.threads = opts.threads;
     sweepOpts.progress = !opts.quiet;
+    sweepOpts.retries = opts.retries;
+    sweepOpts.jobTimeoutSeconds = opts.jobTimeout;
+    sweepOpts.journalPath = opts.journalPath;
+    sweepOpts.resume = opts.resume;
+    sweepOpts.tool = "bvsweep";
     SweepEngine engine(sweepOpts);
-    const std::vector<JobResult> results = engine.run(jobs);
-    failOnJobErrors(results);
+    std::vector<JobResult> results;
+    try {
+        results = engine.run(jobs);
+    } catch (const BvcError &e) {
+        // Harness-level failure (unreadable or mismatched resume
+        // journal) — a structured user-facing error, not a bug.
+        fatal(e.what());
+    }
     const SweepTelemetry &telemetry = engine.lastTelemetry();
 
     // Fill ratios vs each trace's paired baseline into the report.
+    // Ratios are only defined where both runs of a pair succeeded;
+    // failed jobs keep has_ratios = false so the report of a partly
+    // failed campaign is still exportable below.
     SweepReport report =
         buildReport("bvsweep", telemetry, jobs, results);
     for (std::size_t t = 0; t < indices.size(); ++t) {
         const WorkloadInfo &info = suite.all()[indices[t]];
-        const RunResult &base = results[t * stride].result;
+        const JobResult &baseJob = results[t * stride];
+        const RunResult &base = baseJob.result;
         for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
             RunRecord &rec = report.records[t * stride + 1 + a];
+            if (!baseJob.ok || !rec.ok)
+                continue;
             const RunResult &test = rec.result;
             panicIf(base.ipc <= 0.0, "baseline IPC must be positive");
             rec.hasRatios = true;
@@ -248,6 +296,22 @@ main(int argc, char **argv)
                 info.compressionFriendly ? "compression-friendly"
                                          : "low-compressibility";
     }
+
+    if (opts.stableJson)
+        zeroTimings(report);
+
+    // Export before the failure-policy check: a failed campaign still
+    // leaves a machine-readable post-mortem (written atomically, so a
+    // fatal() below cannot leave a torn report either).
+    if (!opts.jsonPath.empty()) {
+        writeFile(opts.jsonPath, toJson(report));
+        std::fprintf(stderr, "wrote %s\n", opts.jsonPath.c_str());
+    }
+    if (!opts.csvPath.empty()) {
+        writeFile(opts.csvPath, toCsv(report));
+        std::fprintf(stderr, "wrote %s\n", opts.csvPath.c_str());
+    }
+    failOnJobErrors(results);
 
     std::printf("bvsweep: %zu traces x %zu arch(s), llc %zuKB "
                 "%zu-way, warmup %llu, instr %llu\n",
@@ -281,18 +345,9 @@ main(int argc, char **argv)
     // byte-identical across thread counts and machines).
     std::fprintf(stderr,
                  "sweep done: %zu jobs in %.2f s (%.2f jobs/s, "
-                 "%u threads, %.2f job-seconds)\n",
+                 "%u threads, %.2f job-seconds, %zu resumed)\n",
                  telemetry.jobs, telemetry.wallSeconds,
                  telemetry.jobsPerSecond(), telemetry.threads,
-                 telemetry.jobSeconds);
-
-    if (!opts.jsonPath.empty()) {
-        writeFile(opts.jsonPath, toJson(report));
-        std::fprintf(stderr, "wrote %s\n", opts.jsonPath.c_str());
-    }
-    if (!opts.csvPath.empty()) {
-        writeFile(opts.csvPath, toCsv(report));
-        std::fprintf(stderr, "wrote %s\n", opts.csvPath.c_str());
-    }
+                 telemetry.jobSeconds, telemetry.resumedJobs);
     return 0;
 }
