@@ -160,6 +160,68 @@ parsePayload(const std::string &payload, std::size_t lineOffset,
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Fold every simulation-relevant SystemConfig field into `crc`. Labels
+ * are often bare arch names ("base-victim"), so the configuration
+ * itself must be part of the campaign identity or a resume under a
+ * different --llc-kb/--ways would silently import foreign results.
+ */
+std::uint32_t
+crcConfig(const SystemConfig &c, std::uint32_t crc)
+{
+    const HierarchyConfig &h = c.hier;
+    const CoreConfig &core = c.core;
+    const DramTiming &t = c.dramTiming;
+    const DramGeometry &g = c.dramGeometry;
+    const std::uint64_t words[] = {
+        h.l1iBytes, h.l1iWays, h.l1dBytes, h.l1dWays,
+        h.l2Bytes, h.l2Ways,
+        h.l1Latency, h.l2Latency, h.llcLatency,
+        h.prefetch, h.llcInclusive,
+        static_cast<std::uint64_t>(h.l1Repl),
+        static_cast<std::uint64_t>(h.l2Repl),
+        core.fetchWidth, core.robSize, core.nonMemLatency,
+        core.modelIfetch,
+        t.tCl, t.tRcd, t.tRp, t.tRas, t.tBurst,
+        t.coreClockMultiplier,
+        g.channels, g.banksPerChannel, g.columnShift,
+        c.llcBytes, c.llcWays,
+        static_cast<std::uint64_t>(c.arch),
+        static_cast<std::uint64_t>(c.llcRepl),
+        static_cast<std::uint64_t>(c.victimRepl),
+        static_cast<std::uint64_t>(c.compressor),
+        c.segmentQuantum, c.llcInclusive,
+    };
+    return crc32(words, sizeof(words), crc);
+}
+
+/**
+ * Fold the full trace definition into `crc`: the name is only a tag,
+ * the generated access stream is determined by these parameters.
+ */
+std::uint32_t
+crcTrace(const TraceParams &t, std::uint32_t crc)
+{
+    crc = crc32(t.name.data(), t.name.size() + 1, crc);
+    const double fracs[] = {t.loadFrac, t.storeFrac, t.streamFrac,
+                            t.chaseFrac, t.hotFrac, t.residentFrac};
+    crc = crc32(fracs, sizeof(fracs), crc);
+    const std::uint64_t words[] = {
+        static_cast<std::uint64_t>(t.category), t.seed,
+        t.wsBytes, t.hotBytes, t.residentBytes,
+        t.streamBytes, t.chaseBytes,
+        static_cast<std::uint64_t>(t.pattern),
+        t.cacheSensitive, t.pcCount, t.streamCursors,
+        t.addressOffset,
+    };
+    return crc32(words, sizeof(words), crc);
+}
+
+} // namespace
+
 std::string
 campaignSignature(const std::vector<SweepJob> &jobs)
 {
@@ -168,8 +230,8 @@ campaignSignature(const std::vector<SweepJob> &jobs)
     crc = crc32(&count, sizeof(count), crc);
     for (const SweepJob &job : jobs) {
         crc = crc32(job.label.data(), job.label.size() + 1, crc);
-        crc = crc32(job.trace.name.data(), job.trace.name.size() + 1,
-                    crc);
+        crc = crcConfig(job.config, crc);
+        crc = crcTrace(job.trace, crc);
         const std::uint64_t windows[2] = {job.opts.warmup,
                                           job.opts.measure};
         crc = crc32(windows, sizeof(windows), crc);
@@ -247,6 +309,10 @@ readJournal(const std::string &path)
         throw BvcError(ErrorCategory::Io,
                        "journal has no complete header record")
             .withContext("reading journal " + path);
+    // `pos` stops at the start of a torn record (or end of file), i.e.
+    // one past the last complete record — the offset resume must
+    // truncate to before appending.
+    data.validBytes = pos;
     return data;
 }
 
@@ -282,11 +348,20 @@ JournalWriter::JournalWriter(const std::string &path,
     appendPayload(headerPayload(tool, signature, jobCount));
 }
 
-JournalWriter::JournalWriter(const std::string &path) : path_(path)
+JournalWriter::JournalWriter(const std::string &path,
+                             std::size_t validBytes)
+    : path_(path)
 {
     fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
     if (fd_ < 0)
         fatal("cannot reopen journal '" + path + "': " +
+              std::strerror(errno));
+    // Drop the torn tail readJournal() skipped: appending after it
+    // would glue the next record onto the torn bytes, forming a frame
+    // whose CRC can never match and poisoning the next resume.
+    if (::ftruncate(fd_, static_cast<off_t>(validBytes)) != 0)
+        fatal("cannot truncate journal '" + path + "' to " +
+              std::to_string(validBytes) + " bytes: " +
               std::strerror(errno));
 }
 

@@ -28,10 +28,12 @@ namespace bvc
 {
 
 /**
- * Identity of a campaign, hashed from each job's label, trace name and
- * measurement windows. Resume refuses a journal whose signature does
- * not match the jobs being run: importing results for different work
- * would silently corrupt the report.
+ * Identity of a campaign, hashed from each job's label, full
+ * SystemConfig (cache geometry, architecture, compressor, DRAM
+ * model), trace parameters and measurement windows. Resume refuses a
+ * journal whose signature does not match the jobs being run: importing
+ * results simulated under a different configuration would silently
+ * corrupt the report.
  */
 std::string campaignSignature(const std::vector<SweepJob> &jobs);
 
@@ -43,6 +45,12 @@ struct JournalData
     std::size_t jobCount = 0;
     /** Completed jobs in append (not index) order. */
     std::vector<JobResult> results;
+    /**
+     * Offset one past the last complete record: the length a resume
+     * writer truncates the file to, so new records never append onto
+     * a torn tail.
+     */
+    std::size_t validBytes = 0;
 };
 
 /**
@@ -75,8 +83,12 @@ class JournalWriter
     JournalWriter(const std::string &path, const std::string &tool,
                   const std::string &signature, std::size_t jobCount);
 
-    /** Re-open an existing journal for appending (resume). */
-    explicit JournalWriter(const std::string &path);
+    /**
+     * Re-open an existing journal for appending (resume), first
+     * truncating it to `validBytes` (JournalData::validBytes) so a
+     * torn final record cannot corrupt the frame appended after it.
+     */
+    JournalWriter(const std::string &path, std::size_t validBytes);
 
     ~JournalWriter();
 

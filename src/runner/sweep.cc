@@ -48,19 +48,36 @@ sleepSeconds(double seconds)
 
 /**
  * Per-job attempt state shared between its worker and the watchdog.
- * Ownership of the result slot is decided by a single CAS on `state`:
- * whoever moves a job out of Running (worker -> Done/Pending, watchdog
- * -> TimedOut) wins; the loser discards its write. That keeps slot
- * writes single-writer without a lock on the hot path.
+ * `state` packs (attempt << 2) | State into one word; ownership of the
+ * result slot is decided by a single CAS on it: whoever moves a job
+ * out of Running (worker -> Done/Pending, watchdog -> TimedOut) wins;
+ * the loser discards its write. Carrying the attempt number in the
+ * same word makes the watchdog's CAS attempt-aware: a timeout verdict
+ * can only land on the exact attempt whose start time the watchdog
+ * observed, never on a fresh attempt the worker started in between —
+ * and since attempt numbers only grow, the packed word cannot ABA.
  */
 struct JobTrack
 {
-    enum State : int { Pending = 0, Running = 1, Done = 2,
-                       TimedOut = 3 };
+    enum State : unsigned { Pending = 0, Running = 1, Done = 2,
+                            TimedOut = 3 };
 
-    std::atomic<int> state{Pending};
+    std::atomic<std::uint64_t> state{0}; // pack(0, Pending)
     std::atomic<std::int64_t> attemptStartNs{0};
-    std::atomic<unsigned> attempt{0};
+
+    static std::uint64_t pack(unsigned attempt, State s)
+    {
+        return (static_cast<std::uint64_t>(attempt) << 2) |
+               static_cast<std::uint64_t>(s);
+    }
+    static State stateOf(std::uint64_t packed)
+    {
+        return static_cast<State>(packed & 3u);
+    }
+    static unsigned attemptOf(std::uint64_t packed)
+    {
+        return static_cast<unsigned>(packed >> 2);
+    }
 };
 
 /**
@@ -186,20 +203,26 @@ class Watchdog
         const std::int64_t now = nowNs();
         for (std::size_t i = 0; i < jobs_.size(); ++i) {
             JobTrack &track = tracks_[i];
-            if (track.state.load(std::memory_order_acquire) !=
-                JobTrack::Running)
+            const std::uint64_t packed =
+                track.state.load(std::memory_order_acquire);
+            if (JobTrack::stateOf(packed) != JobTrack::Running)
                 continue;
             const std::int64_t started =
                 track.attemptStartNs.load(std::memory_order_acquire);
             if (now - started <= budgetNs_)
                 continue;
-            int expected = JobTrack::Running;
+            // CAS against the exact (attempt, Running) word observed
+            // above: if the worker finished that attempt and started
+            // another in between, the attempt bits differ and the CAS
+            // fails instead of timing out the fresh attempt with a
+            // stale start time.
+            const unsigned attempt = JobTrack::attemptOf(packed);
+            std::uint64_t expected = packed;
             if (!track.state.compare_exchange_strong(
-                    expected, JobTrack::TimedOut,
+                    expected,
+                    JobTrack::pack(attempt, JobTrack::TimedOut),
                     std::memory_order_acq_rel))
-                continue; // the worker finished first
-            const unsigned attempt =
-                track.attempt.load(std::memory_order_acquire);
+                continue; // the worker moved on first
             JobResult r;
             r.index = i;
             r.label = jobs_[i].label;
@@ -300,8 +323,8 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
                    "': " + std::to_string(telemetry_.resumedJobs) +
                    "/" + std::to_string(jobs.size()) +
                    " jobs already complete");
-            journal =
-                std::make_unique<JournalWriter>(opts_.journalPath);
+            journal = std::make_unique<JournalWriter>(
+                opts_.journalPath, data.validBytes);
         } else {
             journal = std::make_unique<JournalWriter>(
                 opts_.journalPath, opts_.tool, signature, jobs.size());
@@ -356,13 +379,13 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
                 const auto jobStart = Clock::now();
                 unsigned attempt = 0;
                 for (;;) {
-                    track.attempt.store(attempt,
-                                        std::memory_order_release);
                     track.attemptStartNs.store(
                         nowNs(), std::memory_order_release);
-                    int expected = JobTrack::Pending;
+                    std::uint64_t expected =
+                        JobTrack::pack(attempt, JobTrack::Pending);
                     if (!track.state.compare_exchange_strong(
-                            expected, JobTrack::Running,
+                            expected,
+                            JobTrack::pack(attempt, JobTrack::Running),
                             std::memory_order_acq_rel))
                         return; // timed out; result already committed
 
@@ -405,11 +428,15 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
 
                     const bool wantRetry =
                         !local.ok && attempt < opts_.retries;
-                    expected = JobTrack::Running;
+                    expected =
+                        JobTrack::pack(attempt, JobTrack::Running);
                     if (!track.state.compare_exchange_strong(
                             expected,
-                            wantRetry ? JobTrack::Pending
-                                      : JobTrack::Done,
+                            wantRetry
+                                ? JobTrack::pack(attempt + 1,
+                                                 JobTrack::Pending)
+                                : JobTrack::pack(attempt,
+                                                 JobTrack::Done),
                             std::memory_order_acq_rel))
                         return; // lost to the watchdog: discard
                     if (!wantRetry)

@@ -138,6 +138,14 @@ class JsonReader
                   case 'u': {
                     if (pos_ + 4 > text_.size())
                         fail("truncated \\u escape");
+                    // Validate each digit explicitly: strtoul would
+                    // accept leading whitespace or a sign and decode
+                    // "\u +12" or "\uZZZZ" to garbage instead of
+                    // failing the parse.
+                    for (std::size_t i = 0; i < 4; ++i)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            fail("bad \\u escape");
                     const unsigned code = static_cast<unsigned>(
                         std::strtoul(text_.substr(pos_, 4).c_str(),
                                      nullptr, 16));

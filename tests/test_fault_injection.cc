@@ -172,6 +172,62 @@ TEST(FaultInjectionDeathTest, ResumedCampaignMatchesUninterruptedRun)
     EXPECT_EQ(stableJson("unit", resEngine, jobs, resResults), refJson);
 }
 
+/**
+ * A kill that lands mid-write (not at the fsync boundary) leaves a
+ * torn final record. Resume must drop it, re-run that job, and leave
+ * a journal that parses cleanly — i.e. a second resume works too.
+ */
+TEST(FaultInjectionDeathTest, ResumeAfterTornFinalRecordReRunsTornJob)
+{
+    const std::string path = tempPath("torn_resume.journal");
+    std::atomic<std::size_t> executed{0};
+    const std::vector<SweepJob> jobs = campaign(&executed);
+
+    SweepOptions refOpts;
+    refOpts.threads = 1;
+    SweepEngine refEngine(refOpts);
+    const std::vector<JobResult> refResults = refEngine.run(jobs);
+    const std::string refJson =
+        stableJson("unit", refEngine, jobs, refResults);
+    executed.store(0);
+
+    EXPECT_EXIT(
+        {
+            SweepOptions opts;
+            opts.threads = 1;
+            opts.journalPath = path;
+            opts.tool = "unit";
+            opts.faults = FaultPlan::parse("die:job=2");
+            SweepEngine engine(opts);
+            engine.run(jobs);
+        },
+        ::testing::ExitedWithCode(kFaultDieExitCode), "");
+
+    // Turn the boundary kill into a mid-write one: tear job 2's
+    // record off the tail.
+    const std::string content = readFile(path);
+    writeFile(path, content.substr(0, content.size() - 5));
+
+    SweepOptions resOpts;
+    resOpts.threads = 1;
+    resOpts.journalPath = path;
+    resOpts.resume = true;
+    resOpts.tool = "unit";
+    SweepEngine resEngine(resOpts);
+    const std::vector<JobResult> resResults = resEngine.run(jobs);
+
+    // Jobs 0..1 came from the journal; torn job 2 re-ran with 3..5.
+    EXPECT_EQ(resEngine.lastTelemetry().resumedJobs, 2u);
+    EXPECT_EQ(executed.load(), 4u);
+    EXPECT_EQ(stableJson("unit", resEngine, jobs, resResults), refJson);
+
+    // The truncated-then-appended journal reads back whole: no CRC
+    // mismatch where the torn bytes used to be.
+    const JournalData data = readJournal(path);
+    EXPECT_EQ(data.results.size(), jobs.size());
+    EXPECT_EQ(data.validBytes, readFile(path).size());
+}
+
 TEST(FaultPlan, ParsesFullGrammar)
 {
     const FaultPlan plan = FaultPlan::parse(
@@ -503,6 +559,46 @@ TEST(Journal, TornFinalRecordIsTolerated)
     EXPECT_EQ(data.results[0].index, 0u);
 }
 
+TEST(Journal, ResumeTruncatesTornTailBeforeAppending)
+{
+    const std::string path = tempPath("torn_append.journal");
+    JobResult r;
+    r.label = "base";
+    r.ok = true;
+    r.attempts = 1;
+    {
+        JournalWriter writer(path, "unit", "deadbeef", 2);
+        r.index = 0;
+        writer.append(r);
+        r.index = 1;
+        writer.append(r);
+    }
+
+    // Tear the final record, as a crash mid-write would.
+    const std::string content = readFile(path);
+    writeFile(path, content.substr(0, content.size() - 5));
+    const JournalData torn = readJournal(path);
+    ASSERT_EQ(torn.results.size(), 1u);
+
+    // The resume writer must truncate the torn bytes away before
+    // appending; otherwise the new record is glued onto them, forming
+    // a frame whose CRC can never match and poisoning the journal for
+    // any further resume.
+    {
+        JournalWriter writer(path, torn.validBytes);
+        r.index = 1;
+        r.label = "redo";
+        writer.append(r);
+    }
+
+    const JournalData data = readJournal(path);
+    EXPECT_EQ(data.validBytes, readFile(path).size());
+    ASSERT_EQ(data.results.size(), 2u);
+    EXPECT_EQ(data.results[0].index, 0u);
+    EXPECT_EQ(data.results[1].index, 1u);
+    EXPECT_EQ(data.results[1].label, "redo");
+}
+
 TEST(Journal, ResumeRefusesAForeignCampaign)
 {
     JournalData data;
@@ -540,6 +636,35 @@ TEST(Journal, CampaignSignatureCoversJobIdentity)
     std::vector<SweepJob> rewindowed = campaign();
     rewindowed[5].opts.measure += 1;
     EXPECT_NE(campaignSignature(rewindowed), sig);
+
+    // Labels are often bare arch names, so the configuration itself
+    // must be part of the identity: a resume under a different
+    // --llc-kb/--ways/--arch must be refused, not silently imported.
+    std::vector<SweepJob> resized = campaign();
+    resized[1].config.llcBytes *= 2;
+    EXPECT_NE(campaignSignature(resized), sig);
+
+    std::vector<SweepJob> rewayed = campaign();
+    rewayed[1].config.llcWays /= 2;
+    EXPECT_NE(campaignSignature(rewayed), sig);
+
+    std::vector<SweepJob> rearched = campaign();
+    rearched[2].config.arch = LlcArch::BaseVictim;
+    EXPECT_NE(campaignSignature(rearched), sig);
+
+    std::vector<SweepJob> recompressed = campaign();
+    recompressed[2].config.compressor = CompressorKind::Fpc;
+    EXPECT_NE(campaignSignature(recompressed), sig);
+
+    // The trace name is only a tag; the generated stream is defined
+    // by the parameters, so those count too.
+    std::vector<SweepJob> reseeded = campaign();
+    reseeded[0].trace.seed += 1;
+    EXPECT_NE(campaignSignature(reseeded), sig);
+
+    std::vector<SweepJob> repatterned = campaign();
+    repatterned[0].trace.pattern = DataPatternKind::Zeros;
+    EXPECT_NE(campaignSignature(repatterned), sig);
 }
 
 TEST(Journal, ResumeOfCompleteJournalExecutesNothing)

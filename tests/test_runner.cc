@@ -26,6 +26,7 @@
 #include "sim/experiment.hh"
 #include "trace/workload_suite.hh"
 #include "util/error.hh"
+#include "util/json.hh"
 
 using namespace bvc;
 
@@ -461,6 +462,21 @@ TEST(Report, TrailingGarbageIsRejected)
     report.tool = "test";
     const std::string json = toJson(report);
     EXPECT_THROW(parseJsonReport(json + " {\"extra\": 1}"), BvcError);
+}
+
+TEST(Json, BadUnicodeEscapeIsRejected)
+{
+    // strtoul alone would decode "\uZZZZ" to 0 and embed a NUL; every
+    // one of the four characters must be a hex digit.
+    for (const std::string bad :
+         {"\"\\uZZZZ\"", "\"\\u12G4\"", "\"\\u +12\"", "\"\\u-123\"",
+          "\"\\u123\""}) {
+        JsonReader reader(bad);
+        EXPECT_THROW(reader.parseString(), BvcError) << bad;
+    }
+
+    JsonReader good("\"\\u0041\\u0009\"");
+    EXPECT_EQ(good.parseString(), "A\t");
 }
 
 TEST(Report, WrongSchemaIsRejected)
