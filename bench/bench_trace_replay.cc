@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Trace-replay throughput harness for the .bvt subsystem
+ * (docs/trace_format.md): streams the same workload through the
+ * synthetic generator, the file-backed replayer with the decode-ahead
+ * thread, and the single-threaded fallback, and reports accesses/sec
+ * for each; then repeats the comparison under a full System run so the
+ * decode thread's effect on end-to-end simulation rate is visible.
+ *
+ * Besides the human-readable table, the results are written as JSON
+ * (default BENCH_6.json, override with argv[1]) so CI and regression
+ * tooling can track replay throughput across commits.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "runner/report.hh"
+#include "tracefile/bvt_writer.hh"
+#include "tracefile/file_trace_source.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Drain `count` records; returns records/second. */
+double
+streamRate(TraceSource &source, std::uint64_t count)
+{
+    TraceRecord record;
+    // Checksum defeats dead-code elimination of the drain loop.
+    std::uint64_t checksum = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!source.next(record))
+            break;
+        checksum += record.pc + record.addr;
+    }
+    const double seconds = secondsSince(start);
+    if (checksum == 0xdead)
+        std::printf("~\n"); // never taken; keeps checksum observable
+    return static_cast<double>(count) / (seconds > 0.0 ? seconds : 1e-9);
+}
+
+/** One measured replay configuration. */
+struct Sample
+{
+    std::string label;
+    double streamRate = 0.0; //!< raw next() records/sec
+    double simRate = 0.0;    //!< System run instructions/sec
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Context ctx;
+    bench::printHeader(
+        "Trace replay throughput: synthetic vs .bvt file, decode-ahead "
+        "on/off",
+        "infrastructure bench (no paper figure); docs/trace_format.md",
+        ctx);
+    const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_6.json";
+
+    const TraceParams params = ctx.suite.all().front().params;
+    const std::uint64_t streamCount = 2'000'000;
+    const std::uint64_t simWarmup = ctx.opts.warmup;
+    const std::uint64_t simMeasure = ctx.opts.measure;
+
+    // Export enough records that the System runs below never run dry.
+    const std::string path =
+        std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR")
+                                          : "/tmp") +
+        "/bench_trace_replay.bvt";
+    {
+        SyntheticTrace trace(params);
+        BvtTraceMeta meta;
+        meta.name = params.name;
+        meta.category = params.category;
+        meta.pattern = trace.dataPattern().kind();
+        meta.patternSeed = trace.dataPattern().seed();
+        meta.traceSeed = params.seed;
+        writeBvt(path, trace, std::max(streamCount,
+                                       simWarmup + simMeasure),
+                 meta);
+    }
+
+    std::vector<Sample> samples(3);
+    samples[0].label = "synthetic";
+    samples[1].label = "file-sync";
+    samples[2].label = "file-decode-ahead";
+
+    {
+        SyntheticTrace trace(params);
+        samples[0].streamRate = streamRate(trace, streamCount);
+    }
+    {
+        FileTraceOptions opts;
+        opts.decodeAhead = false;
+        FileTraceSource trace(path, opts);
+        samples[1].streamRate = streamRate(trace, streamCount);
+    }
+    {
+        FileTraceOptions opts;
+        opts.decodeAhead = true;
+        FileTraceSource trace(path, opts);
+        samples[2].streamRate = streamRate(trace, streamCount);
+    }
+
+    // End-to-end: the same window simulated from each source.
+    SystemConfig cfg = ctx.baseline;
+    cfg.arch = LlcArch::BaseVictim;
+    for (Sample &sample : samples) {
+        TraceParams runParams = params;
+        ExperimentOptions runOpts = ctx.opts;
+        if (sample.label != "synthetic") {
+            runParams = traceParamsFromBvt(path);
+            runOpts.decodeAhead = sample.label == "file-decode-ahead";
+        }
+        const auto start = std::chrono::steady_clock::now();
+        const RunResult r = runTrace(cfg, runParams, runOpts);
+        const double seconds = secondsSince(start);
+        sample.simRate = static_cast<double>(r.instructions) /
+                         (seconds > 0.0 ? seconds : 1e-9);
+    }
+
+    Table table({"source", "stream Maccess/s", "sim Minstr/s"});
+    for (const Sample &sample : samples)
+        table.addRow({sample.label,
+                      Table::num(sample.streamRate / 1e6, 2),
+                      Table::num(sample.simRate / 1e6, 2)});
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\n[replay cost] file-sync streams %.2fx the "
+                "generator's rate; decode-ahead recovers to %.2fx\n",
+                samples[1].streamRate / samples[0].streamRate,
+                samples[2].streamRate / samples[0].streamRate);
+
+    // Machine-readable export for CI trend tracking.
+    std::string json = "{\n  \"bench\": \"trace_replay\",\n";
+    json += "  \"stream_records\": " + std::to_string(streamCount) +
+            ",\n";
+    json += "  \"sim_warmup\": " + std::to_string(simWarmup) + ",\n";
+    json += "  \"sim_measure\": " + std::to_string(simMeasure) + ",\n";
+    json += "  \"trace\": \"" + jsonEscape(params.name) + "\",\n";
+    json += "  \"samples\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"source\": \"%s\", "
+                      "\"stream_accesses_per_sec\": %.0f, "
+                      "\"sim_instructions_per_sec\": %.0f}%s\n",
+                      samples[i].label.c_str(), samples[i].streamRate,
+                      samples[i].simRate,
+                      i + 1 < samples.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+    writeFile(jsonPath, json);
+    std::printf("wrote %s\n", jsonPath.c_str());
+    std::remove(path.c_str());
+    return 0;
+}

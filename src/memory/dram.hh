@@ -67,7 +67,7 @@ class Dram
      * @param cycle core cycle at which the request reaches memory
      * @return core cycle at which the critical word is available
      */
-    Cycle read(Addr blk, Cycle cycle);
+    [[nodiscard]] Cycle read(Addr blk, Cycle cycle);
 
     /**
      * Issue a writeback. Writes are posted (the requester does not

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tracefile/bvt_reader.hh"
 #include "util/crc32.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -217,7 +218,20 @@ crcTrace(const TraceParams &t, std::uint32_t crc)
         t.cacheSensitive, t.pcCount, t.streamCursors,
         t.addressOffset,
     };
-    return crc32(words, sizeof(words), crc);
+    crc = crc32(words, sizeof(words), crc);
+    if (!t.filePath.empty()) {
+        // File-backed trace: the stream comes from the .bvt body, so
+        // fold the path AND the file's header CRC (which covers the
+        // record/block counts and metadata) into the signature — a
+        // resume against a swapped or regenerated trace file must be
+        // refused, exactly like a changed generator parameter.
+        // t.decodeAhead is deliberately NOT hashed: it never changes
+        // the record stream.
+        crc = crc32(t.filePath.data(), t.filePath.size() + 1, crc);
+        const std::uint32_t headerCrc = readBvtHeader(t.filePath).headerCrc;
+        crc = crc32(&headerCrc, sizeof(headerCrc), crc);
+    }
+    return crc;
 }
 
 } // namespace

@@ -58,7 +58,7 @@ struct JournalData
  * header, bad framing or CRC mismatch (naming the byte offset);
  * tolerates a torn final record.
  */
-JournalData readJournal(const std::string &path);
+[[nodiscard]] JournalData readJournal(const std::string &path);
 
 /**
  * Throws BvcError{Config} unless `data` was produced by a campaign

@@ -77,7 +77,7 @@ std::string toCsv(const SweepReport &report);
  * throws BvcError{Io} naming the byte offset — a damaged report is
  * rejected outright, never partially imported.
  */
-SweepReport parseJsonReport(const std::string &json);
+[[nodiscard]] SweepReport parseJsonReport(const std::string &json);
 
 /**
  * Zero every wall-clock field (report-level wall_seconds and
@@ -101,7 +101,7 @@ void writeFileAtomic(const std::string &path,
 void writeFile(const std::string &path, const std::string &content);
 
 /** Read an entire file; fatal() on I/O failure. */
-std::string readFile(const std::string &path);
+[[nodiscard]] std::string readFile(const std::string &path);
 
 } // namespace bvc
 

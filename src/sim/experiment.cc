@@ -22,6 +22,8 @@ ExperimentOptions::fromEnv()
     if (const char *env = std::getenv("BVC_THREADS"))
         opts.threads = static_cast<unsigned>(
             parsePositiveUint("BVC_THREADS", env));
+    if (const char *env = std::getenv("BVC_DECODE_AHEAD"))
+        opts.decodeAhead = parseBool01("BVC_DECODE_AHEAD", env);
     return opts;
 }
 
@@ -36,7 +38,9 @@ runTrace(const SystemConfig &cfg, const TraceParams &trace,
                        "measurement window is empty (measure = 0)")
             .withContext("running trace " + trace.name);
     try {
-        System system(cfg, trace);
+        TraceParams params = trace;
+        params.decodeAhead = opts.decodeAhead;
+        System system(cfg, params);
         return system.run(opts.warmup, opts.measure);
     } catch (BvcError &e) {
         throw e.withContext("running trace " + trace.name);

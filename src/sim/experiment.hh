@@ -31,6 +31,13 @@ struct ExperimentOptions
     std::uint64_t measure = 400'000;
     /** Sweep worker threads; 0 = auto (BVC_THREADS or core count). */
     unsigned threads = 0;
+    /**
+     * File-backed traces only: decode .bvt blocks on a background
+     * thread ahead of the core model (BVC_DECODE_AHEAD=0 forces the
+     * single-threaded fallback). The record stream is identical either
+     * way; this only moves decode latency off the critical path.
+     */
+    bool decodeAhead = true;
 
     /** Read overrides from the environment. */
     static ExperimentOptions fromEnv();

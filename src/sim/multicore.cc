@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tracefile/file_trace_source.hh"
 #include "util/logging.hh"
 
 namespace bvc
@@ -33,10 +34,12 @@ MultiCoreSystem::MultiCoreSystem(
         // Disjoint 4TB address-space slices per thread: the threads
         // contend for LLC sets but never share lines.
         params.addressOffset = static_cast<Addr>(i + 1) << 42;
-        traces_[i] = std::make_unique<SyntheticTrace>(params);
+        // loopReplay: a finite file trace must keep running after its
+        // last record so early finishers keep contending (Section V).
+        OpenedTrace opened = openTrace(params, /*loopReplay=*/true);
+        traces_[i] = std::move(opened.source);
         mems_[i] = std::make_unique<FunctionalMemory>(
-            [pattern = traces_[i]->dataPattern()](Addr blk,
-                                                  std::uint8_t *out) {
+            [pattern = opened.pattern](Addr blk, std::uint8_t *out) {
                 pattern.fillLine(blk, out);
             });
         hiers_[i] = std::make_unique<Hierarchy>(cfg_.hier, *llc_, dram_,
@@ -73,7 +76,9 @@ MultiCoreSystem::stepOne()
     }
     panicIf(pick == kThreads, "stepOne: all threads done");
     const bool more = cores_[pick]->step(*traces_[pick]);
-    panicIf(!more, "synthetic traces never exhaust");
+    // Generators never exhaust and file traces loop (openTrace passes
+    // loopReplay), so the only way to run dry is an empty trace file.
+    panicIf(!more, "multicore trace ran dry (empty trace file?)");
     return CoreId{pick};
 }
 

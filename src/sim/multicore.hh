@@ -83,7 +83,7 @@ class MultiCoreSystem
     std::unique_ptr<Compressor> compressor_;
     std::unique_ptr<Llc> llc_;
     Dram dram_;
-    std::array<std::unique_ptr<SyntheticTrace>, kThreads> traces_;
+    std::array<std::unique_ptr<TraceSource>, kThreads> traces_;
     std::array<std::unique_ptr<FunctionalMemory>, kThreads> mems_;
     std::array<std::unique_ptr<Hierarchy>, kThreads> hiers_;
     std::array<std::unique_ptr<OooCore>, kThreads> cores_;

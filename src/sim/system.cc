@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "check/shadow_checker.hh"
+#include "tracefile/file_trace_source.hh"
 #include "core/dcc_cache.hh"
 #include "core/two_tag_array.hh"
 #include "core/uncompressed_llc.hh"
@@ -129,9 +130,13 @@ System::System(const SystemConfig &cfg, const TraceParams &trace)
 {
     cfg_.hier.llcInclusive = cfg.llcInclusive;
     llc_ = makeLlc(cfg, *compressor_);
-    trace_ = std::make_unique<SyntheticTrace>(trace);
+    // openTrace picks synthetic generation or .bvt file replay from
+    // the params, and hands back the DataPattern bound to the trace
+    // (for file replay, the pattern captured in the file's header).
+    OpenedTrace opened = openTrace(trace);
+    trace_ = std::move(opened.source);
     mem_ = FunctionalMemory(
-        [pattern = trace_->dataPattern()](Addr blk, std::uint8_t *out) {
+        [pattern = opened.pattern](Addr blk, std::uint8_t *out) {
             pattern.fillLine(blk, out);
         });
     hier_ = std::make_unique<Hierarchy>(cfg_.hier, *llc_, dram_, mem_);

@@ -126,7 +126,7 @@ class System
     Dram &dram() { return dram_; }
     Hierarchy &hierarchy() { return *hier_; }
     OooCore &core() { return *core_; }
-    SyntheticTrace &trace() { return *trace_; }
+    TraceSource &trace() { return *trace_; }
 
     /** Snapshot the RunResult counters from current statistics. */
     RunResult snapshot() const;
@@ -136,7 +136,7 @@ class System
     std::unique_ptr<Compressor> compressor_;
     std::unique_ptr<Llc> llc_;
     Dram dram_;
-    std::unique_ptr<SyntheticTrace> trace_;
+    std::unique_ptr<TraceSource> trace_;
     FunctionalMemory mem_;
     std::unique_ptr<Hierarchy> hier_;
     std::unique_ptr<OooCore> core_;

@@ -51,6 +51,7 @@ class DataPattern
     std::uint64_t storeValue(Addr addr, std::uint64_t salt) const;
 
     DataPatternKind kind() const { return kind_; }
+    std::uint64_t seed() const { return seed_; }
 
     static std::string kindName(DataPatternKind kind);
 

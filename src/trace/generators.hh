@@ -86,6 +86,18 @@ struct TraceParams
 
     /** Per-core address-space offset (multi-program isolation). */
     Addr addressOffset = 0;
+
+    /**
+     * Replay the .bvt trace file at this path instead of generating
+     * synthetically (src/tracefile/). When set, the generator knobs
+     * above are ignored — the file's records and header metadata
+     * govern — and the path (plus the file's header CRC) is folded
+     * into campaign signatures so --resume detects a swapped file.
+     */
+    std::string filePath;
+    /** File replay only: decode blocks on a background thread. Does
+     *  not change the record stream, so it is never hashed. */
+    bool decodeAhead = true;
 };
 
 /** Deterministic streaming trace generator. */

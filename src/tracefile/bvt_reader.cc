@@ -1,0 +1,300 @@
+#include "tracefile/bvt_reader.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+[[noreturn]] void
+corrupt(const std::string &path, std::uint64_t offset,
+        const std::string &what)
+{
+    throw BvcError(ErrorCategory::Io,
+                   what + " at byte " + std::to_string(offset))
+        .withContext("reading trace file " + path);
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+/**
+ * Parse and validate a header from the first `bytes` of `data`.
+ * Factored out so readBvtHeader (buffered read) and BvtReader (mmap)
+ * reject identical inputs identically.
+ */
+BvtHeader
+parseHeader(const std::string &path, const std::uint8_t *data,
+            std::uint64_t bytes)
+{
+    if (bytes < kBvtFixedHeaderBytes)
+        corrupt(path, bytes, "truncated header (file has " +
+                                 std::to_string(bytes) + " bytes)");
+    if (std::memcmp(data, kBvtMagic, 4) != 0)
+        corrupt(path, 0, "bad magic (not a .bvt trace file)");
+
+    BvtHeader h;
+    h.version = getU32(data + 4);
+    // Future versions are rejected up front: guessing at an unknown
+    // layout would decode garbage with a valid-looking header.
+    if (h.version == 0 || h.version > kBvtVersion)
+        corrupt(path, 4, "unsupported version " +
+                             std::to_string(h.version) +
+                             " (this reader understands <= " +
+                             std::to_string(kBvtVersion) + ")");
+    h.flags = getU32(data + 8);
+    if (h.flags != 0)
+        corrupt(path, 8, "unknown flags " +
+                             std::to_string(h.flags));
+    h.headerBytes = getU32(data + 12);
+    h.recordCount = getU64(data + 16);
+    h.blockCount = getU64(data + 24);
+    h.recordsPerBlock = getU32(data + 32);
+    const std::uint32_t category = getU32(data + 36);
+    const std::uint32_t pattern = getU32(data + 40);
+    const std::uint32_t reserved = getU32(data + 44);
+    if (reserved != 0)
+        corrupt(path, 44, "nonzero reserved field");
+    h.patternSeed = getU64(data + 48);
+    h.traceSeed = getU64(data + 56);
+    const std::uint16_t nameLen = getU16(data + 64);
+
+    const std::uint64_t expectBytes =
+        kBvtFixedHeaderBytes + nameLen + 4;
+    if (h.headerBytes != expectBytes)
+        corrupt(path, 12, "headerBytes " +
+                              std::to_string(h.headerBytes) +
+                              " does not match name length " +
+                              std::to_string(nameLen));
+    if (bytes < expectBytes)
+        corrupt(path, bytes, "truncated header (name/CRC cut short)");
+
+    const std::uint32_t stored =
+        getU32(data + kBvtFixedHeaderBytes + nameLen);
+    const std::uint32_t computed =
+        crc32(data, kBvtFixedHeaderBytes + nameLen);
+    if (stored != computed)
+        corrupt(path, kBvtFixedHeaderBytes + nameLen,
+                "header CRC mismatch");
+
+    if (h.recordsPerBlock == 0)
+        corrupt(path, 32, "recordsPerBlock is zero");
+    if (category > static_cast<std::uint32_t>(
+            WorkloadCategory::Client))
+        corrupt(path, 36, "unknown workload category " +
+                              std::to_string(category));
+    if (pattern > static_cast<std::uint32_t>(
+            DataPatternKind::MixedPoor))
+        corrupt(path, 40, "unknown data pattern " +
+                              std::to_string(pattern));
+    h.category = static_cast<WorkloadCategory>(category);
+    h.pattern = static_cast<DataPatternKind>(pattern);
+    h.name.assign(reinterpret_cast<const char *>(
+                      data + kBvtFixedHeaderBytes),
+                  nameLen);
+    h.headerCrc = stored;
+    return h;
+}
+
+} // namespace
+
+BvtHeader
+readBvtHeader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw BvcError(ErrorCategory::Io,
+                       "cannot open trace file '" + path + "': " +
+                           std::strerror(errno));
+    // The header is tiny (fixed fields + a <=64KB name + CRC); one
+    // bounded read covers any valid header.
+    std::vector<std::uint8_t> buf(kBvtFixedHeaderBytes + 0xFFFF + 4);
+    const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    return parseHeader(path, buf.data(), got);
+}
+
+BvtReader::BvtReader(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw BvcError(ErrorCategory::Io,
+                       "cannot open trace file '" + path + "': " +
+                           std::strerror(errno));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw BvcError(ErrorCategory::Io,
+                       "cannot stat trace file '" + path + "': " +
+                           std::strerror(err));
+    }
+    bytes_ = static_cast<std::uint64_t>(st.st_size);
+    if (bytes_ > 0) {
+        void *map = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE,
+                           fd, 0);
+        if (map == MAP_FAILED) {
+            const int err = errno;
+            ::close(fd);
+            throw BvcError(ErrorCategory::Io,
+                           "cannot mmap trace file '" + path + "': " +
+                               std::strerror(err));
+        }
+        data_ = static_cast<const std::uint8_t *>(map);
+    }
+    ::close(fd); // the mapping outlives the descriptor
+
+    try {
+        header_ = parseHeader(path_, data_, bytes_);
+    } catch (...) {
+        if (data_ != nullptr)
+            ::munmap(const_cast<std::uint8_t *>(data_), bytes_);
+        throw;
+    }
+}
+
+BvtReader::~BvtReader()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), bytes_);
+}
+
+std::uint64_t
+BvtReader::readBlock(std::uint64_t offset,
+                     std::vector<TraceRecord> &out) const
+{
+    out.clear();
+    if (offset == bytes_)
+        return 0; // clean end of trace
+    panicIf(offset > bytes_ || offset < header_.headerBytes,
+            "BvtReader::readBlock: offset out of range");
+
+    if (bytes_ - offset < kBvtBlockFrameBytes)
+        corrupt(path_, offset, "torn block frame (only " +
+                                   std::to_string(bytes_ - offset) +
+                                   " bytes left)");
+    const std::uint8_t *frame = data_ + offset;
+    const std::uint32_t payloadBytes = getU32(frame);
+    const std::uint32_t records = getU32(frame + 4);
+    const std::uint32_t storedCrc = getU32(frame + 8);
+    if (records == 0 || records > header_.recordsPerBlock)
+        corrupt(path_, offset + 4,
+                "block record count " + std::to_string(records) +
+                    " outside (0, " +
+                    std::to_string(header_.recordsPerBlock) + "]");
+    if (bytes_ - offset - kBvtBlockFrameBytes < payloadBytes)
+        corrupt(path_, offset, "torn block payload (frame claims " +
+                                   std::to_string(payloadBytes) +
+                                   " bytes)");
+
+    const std::uint8_t *payload = frame + kBvtBlockFrameBytes;
+    if (crc32(payload, payloadBytes) != storedCrc)
+        corrupt(path_, offset, "block CRC mismatch");
+
+    out.reserve(records);
+    const std::uint8_t *p = payload;
+    const std::uint8_t *end = payload + payloadBytes;
+    Addr prevPc = 0;
+    Addr prevAddr = 0;
+    for (std::uint32_t i = 0; i < records; ++i) {
+        const std::uint64_t at =
+            offset + kBvtBlockFrameBytes +
+            static_cast<std::uint64_t>(p - payload);
+        if (p >= end)
+            corrupt(path_, at, "block payload ends mid-record");
+        const std::uint8_t flags = *p++;
+        if ((flags & 0x3) == 0x3 || (flags & ~std::uint8_t{0x7}) != 0)
+            corrupt(path_, at, "bad record flags");
+
+        TraceRecord r;
+        r.kind = static_cast<InstrKind>(flags & 0x3);
+        r.dependsOnPrevLoad = (flags & 0x4) != 0;
+
+        std::uint64_t v = 0;
+        p = bvt::readVarint(p, end, v);
+        if (p == nullptr)
+            corrupt(path_, at, "bad pc varint");
+        r.pc = prevPc + static_cast<Addr>(bvt::zigzagDecode(v));
+        prevPc = r.pc;
+        if (r.kind != InstrKind::NonMem) {
+            p = bvt::readVarint(p, end, v);
+            if (p == nullptr)
+                corrupt(path_, at, "bad addr varint");
+            r.addr =
+                prevAddr + static_cast<Addr>(bvt::zigzagDecode(v));
+            prevAddr = r.addr;
+        }
+        if (r.kind == InstrKind::Store) {
+            p = bvt::readVarint(p, end, v);
+            if (p == nullptr)
+                corrupt(path_, at, "bad value varint");
+            r.value = v;
+        }
+        out.push_back(r);
+    }
+    if (p != end)
+        corrupt(path_, offset + kBvtBlockFrameBytes +
+                           static_cast<std::uint64_t>(p - payload),
+                "trailing bytes after the block's last record");
+    return offset + kBvtBlockFrameBytes + payloadBytes;
+}
+
+BvtVerifyStats
+verifyBvt(const std::string &path)
+{
+    const BvtReader reader(path);
+    BvtVerifyStats stats;
+    std::vector<TraceRecord> block;
+    std::uint64_t offset = reader.bodyOffset();
+    while ((offset = reader.readBlock(offset, block)) != 0) {
+        stats.records += block.size();
+        ++stats.blocks;
+    }
+    stats.bodyBytes =
+        reader.fileBytes() - reader.header().headerBytes;
+    const BvtHeader &h = reader.header();
+    if (stats.records != h.recordCount || stats.blocks != h.blockCount)
+        throw BvcError(
+            ErrorCategory::Io,
+            "body totals (" + std::to_string(stats.records) +
+                " records, " + std::to_string(stats.blocks) +
+                " blocks) do not match the header (" +
+                std::to_string(h.recordCount) + ", " +
+                std::to_string(h.blockCount) +
+                ") at byte " + std::to_string(reader.fileBytes()))
+            .withContext("reading trace file " + path);
+    return stats;
+}
+
+} // namespace bvc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory-mapped .bvt reader: header parsing/validation, sequential
+ * block decode, and whole-file verification. Every corruption class —
+ * truncated header, torn final block, bit-flipped payload, a version
+ * from the future — throws BvcError{Io} naming the byte offset, the
+ * same contract the sweep journal reader gives resume
+ * (src/runner/journal.hh); callers never see a crash or a silent
+ * short stream.
+ */
+
+#ifndef BVC_TRACEFILE_BVT_READER_HH_
+#define BVC_TRACEFILE_BVT_READER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "tracefile/format.hh"
+
+namespace bvc
+{
+
+/**
+ * Parse and validate the header of a .bvt file without touching the
+ * body (campaign signatures and `bvtrace info` only need this).
+ */
+[[nodiscard]] BvtHeader readBvtHeader(const std::string &path);
+
+/**
+ * One open .bvt file, memory-mapped read-only. Blocks are decoded on
+ * demand; decode state is per-call, so const methods are safe to call
+ * from any single thread and distinct readers never share state.
+ */
+class BvtReader
+{
+  public:
+    explicit BvtReader(const std::string &path);
+    ~BvtReader();
+
+    BvtReader(const BvtReader &) = delete;
+    BvtReader &operator=(const BvtReader &) = delete;
+
+    const BvtHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Decode the block starting at byte `offset` (headerBytes for the
+     * first) into `out`, replacing its contents. Returns the offset of
+     * the next block, or 0 when `offset` is one past the last byte
+     * (end of trace). Throws BvcError{Io} on torn frames, CRC
+     * mismatches or malformed payloads, naming the byte offset.
+     */
+    [[nodiscard]] std::uint64_t
+    readBlock(std::uint64_t offset, std::vector<TraceRecord> &out) const;
+
+    /** Body start: the offset to pass to the first readBlock(). */
+    std::uint64_t bodyOffset() const { return header_.headerBytes; }
+
+    std::uint64_t fileBytes() const { return bytes_; }
+
+  private:
+    std::string path_;
+    BvtHeader header_;
+    const std::uint8_t *data_ = nullptr;
+    std::uint64_t bytes_ = 0;
+};
+
+/** Outcome of a full-file verification walk. */
+struct BvtVerifyStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t bodyBytes = 0;
+};
+
+/**
+ * Walk every block of `path`, checking frame bounds, CRCs and payload
+ * encoding, and that the body totals match the header counts. Throws
+ * BvcError{Io} on the first defect (naming the byte offset).
+ */
+[[nodiscard]] BvtVerifyStats verifyBvt(const std::string &path);
+
+} // namespace bvc
+
+#endif // BVC_TRACEFILE_BVT_READER_HH_

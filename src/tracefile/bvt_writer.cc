@@ -1,0 +1,185 @@
+#include "tracefile/bvt_writer.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+[[noreturn]] void
+throwIo(const std::string &path, const std::string &what)
+{
+    throw BvcError(ErrorCategory::Io, what + ": " +
+                                          std::strerror(errno))
+        .withContext("writing trace file " + path);
+}
+
+} // namespace
+
+BvtWriter::BvtWriter(const std::string &path, const BvtTraceMeta &meta,
+                     std::uint32_t recordsPerBlock)
+    : path_(path), meta_(meta), recordsPerBlock_(recordsPerBlock)
+{
+    panicIf(recordsPerBlock_ == 0,
+            "BvtWriter: recordsPerBlock must be positive");
+    panicIf(meta_.name.size() > 0xFFFF,
+            "BvtWriter: trace name exceeds 65535 bytes");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        throwIo(path_, "cannot create '" + path + "'");
+    pending_.reserve(recordsPerBlock_);
+    writeHeader();
+}
+
+BvtWriter::~BvtWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+BvtWriter::writeHeader()
+{
+    std::vector<std::uint8_t> header;
+    header.reserve(kBvtFixedHeaderBytes + meta_.name.size() + 4);
+    header.insert(header.end(), kBvtMagic, kBvtMagic + 4);
+    putU32(header, kBvtVersion);
+    putU32(header, 0); // flags
+    const std::uint32_t headerBytes = static_cast<std::uint32_t>(
+        kBvtFixedHeaderBytes + meta_.name.size() + 4);
+    putU32(header, headerBytes);
+    putU64(header, recordCount_);
+    putU64(header, blockCount_);
+    putU32(header, recordsPerBlock_);
+    putU32(header, static_cast<std::uint32_t>(meta_.category));
+    putU32(header, static_cast<std::uint32_t>(meta_.pattern));
+    putU32(header, 0); // reserved
+    putU64(header, meta_.patternSeed);
+    putU64(header, meta_.traceSeed);
+    putU16(header, static_cast<std::uint16_t>(meta_.name.size()));
+    header.insert(header.end(), meta_.name.begin(), meta_.name.end());
+    putU32(header, crc32(header.data(), header.size()));
+
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        throwIo(path_, "cannot seek to header");
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+        header.size())
+        throwIo(path_, "cannot write header");
+}
+
+void
+BvtWriter::append(const TraceRecord &record)
+{
+    panicIf(finished_, "BvtWriter: append after finish()");
+    pending_.push_back(record);
+    ++recordCount_;
+    if (pending_.size() >= recordsPerBlock_)
+        flushBlock();
+}
+
+void
+BvtWriter::flushBlock()
+{
+    if (pending_.empty())
+        return;
+
+    payload_.clear();
+    // Delta state restarts per block so every block decodes
+    // independently of its predecessors (format.hh).
+    Addr prevPc = 0;
+    Addr prevAddr = 0;
+    for (const TraceRecord &r : pending_) {
+        std::uint8_t flags = 0;
+        switch (r.kind) {
+          case InstrKind::NonMem: flags = 0; break;
+          case InstrKind::Load: flags = 1; break;
+          case InstrKind::Store: flags = 2; break;
+        }
+        if (r.dependsOnPrevLoad)
+            flags |= 0x4;
+        payload_.push_back(flags);
+        bvt::putVarint(payload_, bvt::zigzagEncode(
+            static_cast<std::int64_t>(r.pc - prevPc)));
+        prevPc = r.pc;
+        if (r.kind != InstrKind::NonMem) {
+            bvt::putVarint(payload_, bvt::zigzagEncode(
+                static_cast<std::int64_t>(r.addr - prevAddr)));
+            prevAddr = r.addr;
+        }
+        if (r.kind == InstrKind::Store)
+            bvt::putVarint(payload_, r.value);
+    }
+
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kBvtBlockFrameBytes);
+    putU32(frame, static_cast<std::uint32_t>(payload_.size()));
+    putU32(frame, static_cast<std::uint32_t>(pending_.size()));
+    putU32(frame, crc32(payload_.data(), payload_.size()));
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) !=
+        frame.size())
+        throwIo(path_, "cannot write block frame");
+    if (std::fwrite(payload_.data(), 1, payload_.size(), file_) !=
+        payload_.size())
+        throwIo(path_, "cannot write block payload");
+
+    ++blockCount_;
+    pending_.clear();
+}
+
+void
+BvtWriter::finish()
+{
+    panicIf(finished_, "BvtWriter: finish() called twice");
+    flushBlock();
+    writeHeader(); // patch the final counts (and their CRC) in
+    if (std::fflush(file_) != 0)
+        throwIo(path_, "cannot flush");
+    finished_ = true;
+}
+
+std::uint64_t
+writeBvt(const std::string &path, TraceSource &source,
+         std::uint64_t count, const BvtTraceMeta &meta,
+         std::uint32_t recordsPerBlock)
+{
+    BvtWriter writer(path, meta, recordsPerBlock);
+    TraceRecord record;
+    std::uint64_t written = 0;
+    for (; written < count; ++written) {
+        if (!source.next(record))
+            break;
+        writer.append(record);
+    }
+    writer.finish();
+    return written;
+}
+
+} // namespace bvc

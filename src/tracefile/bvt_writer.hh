@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Streaming .bvt writer: appends TraceRecords, packs them into
+ * CRC-framed delta-encoded blocks (src/tracefile/format.hh), and
+ * patches the record/block counts into the header on finish(). Used by
+ * the `bvtrace` capture/convert tool and by tests; the simulator side
+ * only ever reads.
+ */
+
+#ifndef BVC_TRACEFILE_BVT_WRITER_HH_
+#define BVC_TRACEFILE_BVT_WRITER_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "tracefile/format.hh"
+
+namespace bvc
+{
+
+/** Identity metadata stamped into a .bvt header at creation. */
+struct BvtTraceMeta
+{
+    std::string name = "trace";
+    WorkloadCategory category = WorkloadCategory::SpecFp;
+    DataPatternKind pattern = DataPatternKind::MixedGood;
+    /** Seed for the DataPattern the replayer binds to functional
+     *  memory; must match the capture source for value-exact replay. */
+    std::uint64_t patternSeed = 0;
+    /** Provenance only (generator seed; 0 for converted traces). */
+    std::uint64_t traceSeed = 0;
+};
+
+/**
+ * Append-oriented .bvt writer. Typical use:
+ *
+ *   BvtWriter writer(path, meta);
+ *   for (...) writer.append(record);
+ *   writer.finish();
+ *
+ * finish() flushes the final partial block and rewrites the header
+ * with the true counts (and their CRC); a file abandoned before
+ * finish() keeps recordCount 0 and is rejected by readers whose body
+ * is non-empty, so a crashed capture cannot masquerade as complete.
+ * Destruction without finish() closes the file as-is. I/O failures
+ * throw BvcError{Io}.
+ */
+class BvtWriter
+{
+  public:
+    BvtWriter(const std::string &path, const BvtTraceMeta &meta,
+              std::uint32_t recordsPerBlock = kBvtDefaultRecordsPerBlock);
+    ~BvtWriter();
+
+    BvtWriter(const BvtWriter &) = delete;
+    BvtWriter &operator=(const BvtWriter &) = delete;
+
+    /** Buffer one record; flushes a full block automatically. */
+    void append(const TraceRecord &record);
+
+    /** Flush the tail block and patch counts into the header. */
+    void finish();
+
+    std::uint64_t recordCount() const { return recordCount_; }
+    std::uint64_t blockCount() const { return blockCount_; }
+
+  private:
+    void flushBlock();
+    void writeHeader();
+
+    std::string path_;
+    BvtTraceMeta meta_;
+    std::uint32_t recordsPerBlock_;
+    std::FILE *file_ = nullptr;
+    bool finished_ = false;
+
+    std::vector<TraceRecord> pending_;
+    std::vector<std::uint8_t> payload_; //!< reused encode buffer
+    std::uint64_t recordCount_ = 0;
+    std::uint64_t blockCount_ = 0;
+};
+
+/**
+ * Capture `count` records from `source` into `path` and finish() the
+ * file. Returns the number of records written (== count unless the
+ * source exhausts first).
+ */
+std::uint64_t writeBvt(const std::string &path, TraceSource &source,
+                       std::uint64_t count, const BvtTraceMeta &meta,
+                       std::uint32_t recordsPerBlock =
+                           kBvtDefaultRecordsPerBlock);
+
+} // namespace bvc
+
+#endif // BVC_TRACEFILE_BVT_WRITER_HH_

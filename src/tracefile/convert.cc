@@ -1,0 +1,148 @@
+#include "tracefile/convert.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+[[noreturn]] void
+badLine(std::uint64_t lineNo, const std::string &what)
+{
+    throw BvcError(ErrorCategory::Trace,
+                   what + " at line " + std::to_string(lineNo));
+}
+
+/** Split on whitespace and commas; `#` ends the line. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) {
+                tokens.push_back(cur);
+                cur.clear();
+            }
+            continue;
+        }
+        cur.push_back(c);
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+    return tokens;
+}
+
+std::uint64_t
+parseNumber(const std::string &token, std::uint64_t lineNo,
+            const char *field)
+{
+    if (token.empty() || token[0] == '-')
+        badLine(lineNo, std::string("bad ") + field + " '" + token + "'");
+    errno = 0;
+    char *end = nullptr;
+    // Base 0: decimal or 0x-prefixed hex, matching the grammar.
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 0);
+    if (errno != 0 || end == token.c_str() || *end != '\0')
+        badLine(lineNo, std::string("bad ") + field + " '" + token + "'");
+    return v;
+}
+
+std::string
+upper(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+bool
+parseTraceLine(const std::string &line, std::uint64_t lineNo,
+               TraceRecord &record)
+{
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty())
+        return false;
+    if (tokens.size() < 2)
+        badLine(lineNo, "expected '<pc> <op> ...', got '" + tokens[0] +
+                            "' alone");
+
+    record = TraceRecord{};
+    record.pc = parseNumber(tokens[0], lineNo, "pc");
+
+    const std::string op = upper(tokens[1]);
+    std::size_t expect = 2;
+    if (op == "N" || op == "NONMEM") {
+        record.kind = InstrKind::NonMem;
+    } else if (op == "L" || op == "LOAD" || op == "LD" ||
+               op == "CHASE") {
+        record.kind = InstrKind::Load;
+        record.dependsOnPrevLoad = (op == "LD" || op == "CHASE");
+        expect = 3;
+    } else if (op == "S" || op == "STORE") {
+        record.kind = InstrKind::Store;
+        expect = 3; // value is optional
+    } else {
+        badLine(lineNo, "unknown op '" + tokens[1] + "'");
+    }
+
+    if (record.kind != InstrKind::NonMem) {
+        if (tokens.size() < 3)
+            badLine(lineNo, "op '" + tokens[1] +
+                                "' needs an address");
+        record.addr = parseNumber(tokens[2], lineNo, "address");
+    }
+    if (record.kind == InstrKind::Store && tokens.size() >= 4) {
+        record.value = parseNumber(tokens[3], lineNo, "value");
+        expect = 4;
+    }
+    if (tokens.size() > expect)
+        badLine(lineNo, "trailing field '" + tokens[expect] + "'");
+    return true;
+}
+
+ConvertStats
+convertTextTrace(const std::string &inPath, const std::string &outPath,
+                 const BvtTraceMeta &meta,
+                 std::uint32_t recordsPerBlock)
+{
+    std::ifstream in(inPath);
+    if (!in.is_open())
+        throw BvcError(ErrorCategory::Io,
+                       "cannot open text trace '" + inPath + "': " +
+                           std::strerror(errno));
+
+    BvtWriter writer(outPath, meta, recordsPerBlock);
+    ConvertStats stats;
+    std::string line;
+    TraceRecord record;
+    while (std::getline(in, line)) {
+        ++stats.lines;
+        if (!parseTraceLine(line, stats.lines, record))
+            continue;
+        writer.append(record);
+        ++stats.records;
+    }
+    if (in.bad())
+        throw BvcError(ErrorCategory::Io,
+                       "read failure on text trace '" + inPath + "'");
+    writer.finish();
+    return stats;
+}
+
+} // namespace bvc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Text-trace ingestion: parse a ChampSim-style line-oriented trace
+ * (one instruction per line, whitespace- or comma-separated fields)
+ * into a .bvt file via BvtWriter. This is the capture path for traces
+ * produced outside the simulator; `bvtrace convert` is its CLI.
+ *
+ * Line grammar (docs/trace_format.md):
+ *
+ *   <pc> N                    non-memory instruction
+ *   <pc> L  <addr>            load
+ *   <pc> LD <addr>            load whose address depends on the
+ *                             previous load (pointer chase)
+ *   <pc> S  <addr> [<value>]  store (value defaults to 0)
+ *
+ * Numbers are decimal or 0x-prefixed hex; `#` starts a comment; blank
+ * lines are skipped. Malformed input throws BvcError{Trace} naming
+ * the line number — a conversion never silently drops records.
+ */
+
+#ifndef BVC_TRACEFILE_CONVERT_HH_
+#define BVC_TRACEFILE_CONVERT_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "tracefile/bvt_writer.hh"
+
+namespace bvc
+{
+
+/** Outcome of one text-to-.bvt conversion. */
+struct ConvertStats
+{
+    std::uint64_t lines = 0;   //!< input lines read (incl. blank/comment)
+    std::uint64_t records = 0; //!< records written to the .bvt body
+};
+
+/**
+ * Convert the text trace at `inPath` into a .bvt file at `outPath`,
+ * stamped with `meta`. Throws BvcError{Trace} (with the input line
+ * number) on malformed input and BvcError{Io} on file failures.
+ */
+[[nodiscard]] ConvertStats
+convertTextTrace(const std::string &inPath, const std::string &outPath,
+                 const BvtTraceMeta &meta,
+                 std::uint32_t recordsPerBlock =
+                     kBvtDefaultRecordsPerBlock);
+
+/**
+ * Parse one trace line (comment already allowed inline) into `record`.
+ * Returns false for blank/comment-only lines. Exposed for tests;
+ * `lineNo` is only used in error messages.
+ */
+[[nodiscard]] bool parseTraceLine(const std::string &line,
+                                  std::uint64_t lineNo,
+                                  TraceRecord &record);
+
+} // namespace bvc
+
+#endif // BVC_TRACEFILE_CONVERT_HH_

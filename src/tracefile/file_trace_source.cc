@@ -1,0 +1,192 @@
+#include "tracefile/file_trace_source.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 const FileTraceOptions &opts)
+    : reader_(path), opts_(opts)
+{
+    panicIf(opts_.aheadBlocks == 0,
+            "FileTraceSource: aheadBlocks must be positive");
+    syncOffset_ = reader_.bodyOffset();
+    if (opts_.decodeAhead)
+        startProducer();
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    stopProducer();
+}
+
+DataPattern
+FileTraceSource::dataPattern() const
+{
+    return DataPattern(reader_.header().pattern,
+                       reader_.header().patternSeed);
+}
+
+bool
+FileTraceSource::decodeNext(std::uint64_t &offset,
+                            std::vector<TraceRecord> &out) const
+{
+    std::uint64_t next = reader_.readBlock(offset, out);
+    if (next == 0) {
+        // End of file. Looping replay restarts from the first block
+        // (unless the body is empty, which would spin forever).
+        if (!opts_.loopReplay || reader_.header().recordCount == 0)
+            return false;
+        next = reader_.readBlock(reader_.bodyOffset(), out);
+        if (next == 0)
+            return false;
+    }
+    offset = next;
+    return true;
+}
+
+void
+FileTraceSource::startProducer()
+{
+    producerDone_ = false;
+    stopRequested_ = false;
+    producerError_ = nullptr;
+    thread_ = std::thread([this] { producerLoop(); });
+}
+
+void
+FileTraceSource::stopProducer()
+{
+    if (thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopRequested_ = true;
+        }
+        canProduce_.notify_all();
+        thread_.join();
+    }
+    queue_.clear();
+    producerDone_ = false;
+    stopRequested_ = false;
+    producerError_ = nullptr;
+}
+
+void
+FileTraceSource::producerLoop()
+{
+    std::uint64_t offset = reader_.bodyOffset();
+    std::vector<TraceRecord> block;
+    while (true) {
+        bool more = false;
+        try {
+            // Decode outside the lock: the consumer drains the queue
+            // while the next block is being decoded — that overlap is
+            // the whole point of the thread.
+            more = decodeNext(offset, block);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            producerError_ = std::current_exception();
+            producerDone_ = true;
+            canConsume_.notify_all();
+            return;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!more) {
+            producerDone_ = true;
+            canConsume_.notify_all();
+            return;
+        }
+        canProduce_.wait(lock, [this] {
+            return stopRequested_ || queue_.size() < opts_.aheadBlocks;
+        });
+        if (stopRequested_)
+            return;
+        queue_.push_back(std::move(block));
+        block = std::vector<TraceRecord>();
+        canConsume_.notify_one();
+    }
+}
+
+bool
+FileTraceSource::refill()
+{
+    cursor_ = 0;
+    if (!opts_.decodeAhead)
+        return decodeNext(syncOffset_, current_);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    canConsume_.wait(lock, [this] {
+        return !queue_.empty() || producerDone_;
+    });
+    if (!queue_.empty()) {
+        current_ = std::move(queue_.front());
+        queue_.pop_front();
+        canProduce_.notify_one();
+        return true;
+    }
+    // Producer finished (or failed) with nothing queued: surface the
+    // decode error on the consumer thread, or report a clean end.
+    if (producerError_ != nullptr)
+        std::rethrow_exception(producerError_);
+    current_.clear();
+    return false;
+}
+
+bool
+FileTraceSource::next(TraceRecord &record)
+{
+    if (cursor_ >= current_.size() && !refill())
+        return false;
+    record = current_[cursor_++];
+    if (opts_.addressOffset != 0) {
+        record.pc += opts_.addressOffset;
+        if (record.kind != InstrKind::NonMem)
+            record.addr += opts_.addressOffset;
+    }
+    return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    stopProducer();
+    current_.clear();
+    cursor_ = 0;
+    syncOffset_ = reader_.bodyOffset();
+    if (opts_.decodeAhead)
+        startProducer();
+}
+
+OpenedTrace
+openTrace(const TraceParams &params, bool loopReplay)
+{
+    if (params.filePath.empty()) {
+        auto trace = std::make_unique<SyntheticTrace>(params);
+        const DataPattern pattern = trace->dataPattern();
+        return {std::move(trace), pattern};
+    }
+    FileTraceOptions opts;
+    opts.decodeAhead = params.decodeAhead;
+    opts.loopReplay = loopReplay;
+    opts.addressOffset = params.addressOffset;
+    auto trace =
+        std::make_unique<FileTraceSource>(params.filePath, opts);
+    const DataPattern pattern = trace->dataPattern();
+    return {std::move(trace), pattern};
+}
+
+TraceParams
+traceParamsFromBvt(const std::string &path)
+{
+    const BvtHeader header = readBvtHeader(path);
+    TraceParams params;
+    params.name = header.name;
+    params.category = header.category;
+    params.pattern = header.pattern;
+    params.seed = header.traceSeed;
+    params.filePath = path;
+    return params;
+}
+
+} // namespace bvc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * File-backed trace replay: a TraceSource streaming TraceRecords out
+ * of a .bvt file (src/tracefile/format.hh), optionally decoded ahead
+ * of the core model by a background thread, plus the openTrace()
+ * factory System/MultiCoreSystem use to pick between synthetic
+ * generation and file replay from one TraceParams.
+ *
+ * Threading contract (docs/trace_format.md): with decodeAhead on, ONE
+ * producer thread owns the BvtReader and decodes blocks into a bounded
+ * queue; the consumer (the simulation thread) pops whole blocks. The
+ * record stream is byte-identical to the single-threaded fallback —
+ * the thread only moves decode latency off the core model's critical
+ * path. next()/reset()/name() remain single-consumer, exactly like
+ * every other TraceSource; destruction and reset() join the producer
+ * first, so no thread outlives the object or a restart.
+ */
+
+#ifndef BVC_TRACEFILE_FILE_TRACE_SOURCE_HH_
+#define BVC_TRACEFILE_FILE_TRACE_SOURCE_HH_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "trace/generators.hh"
+#include "tracefile/bvt_reader.hh"
+
+namespace bvc
+{
+
+/** Replay knobs (none of them change the record stream). */
+struct FileTraceOptions
+{
+    /** Decode blocks on a background thread, ahead of the consumer. */
+    bool decodeAhead = true;
+    /** Bound on decoded-but-unconsumed blocks the producer may hold. */
+    unsigned aheadBlocks = 4;
+    /**
+     * Restart from the first block when the file exhausts instead of
+     * ending the trace — multi-program mixes keep early finishers
+     * executing (Section V), so their sources must not run dry.
+     */
+    bool loopReplay = false;
+    /** Added to every pc/address (multi-core address-space slicing). */
+    Addr addressOffset = 0;
+};
+
+/** Streaming replayer for one .bvt file. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path,
+                             const FileTraceOptions &opts = {});
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+    std::string name() const override { return reader_.header().name; }
+
+    const BvtHeader &header() const { return reader_.header(); }
+
+    /** The value behaviour captured with the trace; bind to
+     *  FunctionalMemory line initialization (as System does). */
+    DataPattern dataPattern() const;
+
+  private:
+    /** Pull the next decoded block into current_; false at end. */
+    bool refill();
+    /** Decode the block at *offset inline, advancing/looping it. */
+    bool decodeNext(std::uint64_t &offset,
+                    std::vector<TraceRecord> &out) const;
+
+    void startProducer();
+    void stopProducer();
+    void producerLoop();
+
+    BvtReader reader_;
+    FileTraceOptions opts_;
+
+    /** Consumer-side cursor into the current decoded block. */
+    std::vector<TraceRecord> current_;
+    std::size_t cursor_ = 0;
+
+    /** Synchronous-fallback decode cursor (byte offset). */
+    std::uint64_t syncOffset_ = 0;
+
+    // Producer state (guarded by mutex_, except thread_ itself which
+    // is only touched by the consumer thread).
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable canProduce_;
+    std::condition_variable canConsume_;
+    std::deque<std::vector<TraceRecord>> queue_;
+    bool producerDone_ = false;
+    bool stopRequested_ = false;
+    std::exception_ptr producerError_;
+};
+
+/** A constructed trace source plus the DataPattern bound to it. */
+struct OpenedTrace
+{
+    std::unique_ptr<TraceSource> source;
+    DataPattern pattern;
+};
+
+/**
+ * Build the trace source a TraceParams describes: a SyntheticTrace
+ * for generator-backed params, a FileTraceSource when
+ * params.filePath names a .bvt file (params.decodeAhead and
+ * params.addressOffset are honored; the file's own name/category/
+ * pattern metadata governs). `loopReplay` keeps a finite file trace
+ * running after exhaustion (multi-core mixes).
+ */
+[[nodiscard]] OpenedTrace openTrace(const TraceParams &params,
+                                    bool loopReplay = false);
+
+/**
+ * TraceParams referring to a .bvt file: name, category and pattern
+ * are read from the header, filePath is set to `path`. Feed the
+ * result to System, SweepJob or bvsim/bvsweep exactly like a
+ * synthetic trace's params. Throws BvcError{Io} on a missing or
+ * corrupt header.
+ */
+[[nodiscard]] TraceParams traceParamsFromBvt(const std::string &path);
+
+} // namespace bvc
+
+#endif // BVC_TRACEFILE_FILE_TRACE_SOURCE_HH_

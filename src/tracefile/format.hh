@@ -1,0 +1,164 @@
+/**
+ * @file
+ * On-disk layout of the `.bvt` binary trace format
+ * (docs/trace_format.md): a versioned little-endian header followed by
+ * CRC32-framed blocks of delta/varint-encoded TraceRecords. The format
+ * replaces "re-generate the synthetic stream every run" with "replay a
+ * captured stream from disk", which is what real (SPEC-like, server,
+ * client) traces require — their access and value behaviour cannot be
+ * re-synthesized.
+ *
+ * Layout:
+ *
+ *   [header]                  fixed fields + name + header CRC32
+ *   [block 0] [block 1] ...   each: 12-byte frame + payload
+ *
+ * Header (offsets in bytes, all integers little-endian):
+ *
+ *   0   4  magic "BVT1"
+ *   4   4  version (currently kBvtVersion = 1)
+ *   8   4  flags (reserved, must be 0)
+ *   12  4  headerBytes: total header size including name and CRC
+ *   16  8  recordCount: TraceRecords in the body
+ *   24  8  blockCount: blocks in the body
+ *   32  4  recordsPerBlock: records per block (last block may be short)
+ *   36  4  category (WorkloadCategory as u32)
+ *   40  4  patternKind (DataPatternKind as u32)
+ *   44  4  reserved (must be 0)
+ *   48  8  patternSeed: seed of the DataPattern bound to the trace
+ *   56  8  traceSeed: provenance (generator seed; 0 for converted)
+ *   64  2  nameLen
+ *   66  N  name (not NUL-terminated)
+ *   66+N 4 headerCrc: CRC32 of bytes [0, 66+N)
+ *
+ * Block frame (reusing the CRC-framing idiom of the sweep journal,
+ * src/runner/journal.hh, in binary form):
+ *
+ *   0   4  payloadBytes
+ *   4   4  recordsInBlock
+ *   8   4  payloadCrc: CRC32 of the payload bytes
+ *   12  .. payload
+ *
+ * Each block's payload is self-contained (delta state restarts per
+ * block), so blocks can be decoded independently — the property the
+ * decode-ahead replayer and any future parallel scan rely on. Per
+ * record the payload holds:
+ *
+ *   1 byte   bits 0-1: InstrKind; bit 2: dependsOnPrevLoad
+ *   varint   zigzag(pc - prevPc)
+ *   varint   zigzag(addr - prevAddr)   (Load/Store only)
+ *   varint   value                     (Store only)
+ *
+ * Truncation or corruption anywhere surfaces as BvcError{Io} naming
+ * the byte offset, exactly like journal reads; a reader must never
+ * crash or silently return a short stream.
+ */
+
+#ifndef BVC_TRACEFILE_FORMAT_HH_
+#define BVC_TRACEFILE_FORMAT_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/data_patterns.hh"
+#include "trace/generators.hh"
+
+namespace bvc
+{
+
+/** First four bytes of every .bvt file. */
+constexpr char kBvtMagic[4] = {'B', 'V', 'T', '1'};
+
+/** Current format version; readers reject anything newer. */
+constexpr std::uint32_t kBvtVersion = 1;
+
+/** Fixed header bytes before the name (see the layout above). */
+constexpr std::size_t kBvtFixedHeaderBytes = 66;
+
+/** Bytes of a block frame preceding its payload. */
+constexpr std::size_t kBvtBlockFrameBytes = 12;
+
+/** Default records per block: big enough to amortize the frame and
+ *  CRC, small enough that a decoded block stays cache-friendly. */
+constexpr std::uint32_t kBvtDefaultRecordsPerBlock = 4096;
+
+/** Parsed .bvt header (every field validated on read). */
+struct BvtHeader
+{
+    std::uint32_t version = kBvtVersion;
+    std::uint32_t flags = 0;
+    std::uint32_t headerBytes = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t blockCount = 0;
+    std::uint32_t recordsPerBlock = kBvtDefaultRecordsPerBlock;
+    WorkloadCategory category = WorkloadCategory::SpecFp;
+    DataPatternKind pattern = DataPatternKind::MixedGood;
+    std::uint64_t patternSeed = 0;
+    std::uint64_t traceSeed = 0;
+    std::string name;
+    /** CRC stored in the file; doubles as the trace's identity in
+     *  campaign signatures (src/runner/journal.cc). */
+    std::uint32_t headerCrc = 0;
+};
+
+namespace bvt
+{
+
+/** Map [-2^63, 2^63) to unsigned so small deltas stay short varints. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Append `v` as a LEB128 varint (7 bits per byte, high bit = more). */
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Decode a varint from [p, end). Returns the advanced pointer, or
+ * nullptr if the input ends mid-varint or the value overflows 64 bits
+ * (the caller turns that into a BvcError{Io} with the byte offset).
+ */
+[[nodiscard]] inline const std::uint8_t *
+readVarint(const std::uint8_t *p, const std::uint8_t *end,
+           std::uint64_t &value)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (p < end) {
+        const std::uint8_t byte = *p++;
+        if (shift == 63 && (byte & ~std::uint8_t{1}) != 0)
+            return nullptr; // 10th byte may only contribute bit 63
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            value = v;
+            return p;
+        }
+        shift += 7;
+    }
+    return nullptr;
+}
+
+} // namespace bvt
+
+} // namespace bvc
+
+#endif // BVC_TRACEFILE_FORMAT_HH_

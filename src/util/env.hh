@@ -24,7 +24,7 @@ namespace bvc
  * configuration error, not an internal bug) naming `what` on anything
  * else: empty input, trailing junk, overflow, or zero.
  */
-inline std::uint64_t
+[[nodiscard]] inline std::uint64_t
 parsePositiveUint(const std::string &what, const char *text)
 {
     // strtoull accepts whitespace and a sign — and wraps "-3" to a
@@ -45,7 +45,7 @@ parsePositiveUint(const std::string &what, const char *text)
  * budgets such as --job-timeout); fatal() naming `what` on empty
  * input, trailing junk, non-finite values, or anything <= 0.
  */
-inline double
+[[nodiscard]] inline double
 parsePositiveDouble(const std::string &what, const char *text)
 {
     const bool startsWithDigit =
@@ -59,6 +59,22 @@ parsePositiveDouble(const std::string &what, const char *text)
         fatal(what + " must be a positive number, got '" +
               std::string(text) + "'");
     return value;
+}
+
+/**
+ * Parse `text` as a boolean switch: exactly "0" or "1". Anything else
+ * is a user configuration error -> fatal() naming `what`.
+ */
+[[nodiscard]] inline bool
+parseBool01(const std::string &what, const char *text)
+{
+    if (text[0] != '\0' && text[1] == '\0') {
+        if (text[0] == '0')
+            return false;
+        if (text[0] == '1')
+            return true;
+    }
+    fatal(what + " must be 0 or 1, got '" + std::string(text) + "'");
 }
 
 } // namespace bvc

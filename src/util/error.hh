@@ -38,7 +38,7 @@ enum class ErrorCategory
 const char *errorCategoryName(ErrorCategory category);
 
 /** Inverse of errorCategoryName; unrecognized names map to Unknown. */
-ErrorCategory parseErrorCategory(const std::string &name);
+[[nodiscard]] ErrorCategory parseErrorCategory(const std::string &name);
 
 /**
  * The harness exception. what() renders as

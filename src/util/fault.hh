@@ -68,7 +68,7 @@ class FaultPlan
     FaultPlan() = default;
 
     /** Parse a spec; throws BvcError{Config} on bad grammar. */
-    static FaultPlan parse(const std::string &spec);
+    [[nodiscard]] static FaultPlan parse(const std::string &spec);
 
     /**
      * Plan from BVC_FAULT, or an empty plan when unset. A malformed

@@ -118,7 +118,7 @@ class JsonReader
 
     std::size_t offset() const { return pos_; }
 
-    std::string parseString()
+    [[nodiscard]] std::string parseString()
     {
         expect('"');
         std::string out;
@@ -165,7 +165,7 @@ class JsonReader
         return out;
     }
 
-    double parseNumber()
+    [[nodiscard]] double parseNumber()
     {
         peek();
         const char *start = text_.c_str() + pos_;
@@ -181,7 +181,7 @@ class JsonReader
      * Double-valued metric field: accepts null (the writer's encoding
      * of non-finite values) as quiet NaN.
      */
-    double parseNumberOrNull()
+    [[nodiscard]] double parseNumberOrNull()
     {
         if (peek() == 'n') {
             if (text_.compare(pos_, 4, "null") != 0)
@@ -197,7 +197,7 @@ class JsonReader
      * through parseNumber()'s double would corrupt every value above
      * 2^53 (doubles have 53 bits of mantissa).
      */
-    std::uint64_t parseU64()
+    [[nodiscard]] std::uint64_t parseU64()
     {
         peek();
         if (pos_ < text_.size() && text_[pos_] == '-') {
@@ -214,7 +214,7 @@ class JsonReader
         return v;
     }
 
-    bool parseBool()
+    [[nodiscard]] bool parseBool()
     {
         peek(); // position past whitespace
         if (text_.compare(pos_, 4, "true") == 0) {
@@ -233,12 +233,12 @@ class JsonReader
     {
         const char c = peek();
         if (c == '"') {
-            parseString();
+            (void)parseString();
         } else if (c == '{') {
             ++pos_;
             if (!consume('}')) {
                 do {
-                    parseString();
+                    (void)parseString();
                     expect(':');
                     skipValue();
                 } while (consume(','));
@@ -253,13 +253,13 @@ class JsonReader
                 expect(']');
             }
         } else if (c == 't' || c == 'f') {
-            parseBool();
+            (void)parseBool();
         } else if (c == 'n') {
             if (text_.compare(pos_, 4, "null") != 0)
                 fail("expected null");
             pos_ += 4;
         } else {
-            parseNumber();
+            (void)parseNumber();
         }
     }
 

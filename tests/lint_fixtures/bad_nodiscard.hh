@@ -1,0 +1,42 @@
+// bvlint fixture: trips exactly BV007 (value-returning parse/read/
+// verify functions declared without [[nodiscard]]).
+#ifndef BVC_TESTS_LINT_FIXTURES_BAD_NODISCARD_HH_
+#define BVC_TESTS_LINT_FIXTURES_BAD_NODISCARD_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace fixture
+{
+
+// One-line declaration style: flagged.
+bool parseHeaderLine(const std::string &line, std::uint64_t &value);
+
+// Two-line style with the return type above the name: flagged.
+inline std::uint64_t
+readMagic(const std::uint8_t *bytes)
+{
+    return bytes[0];
+}
+
+struct Blob
+{
+    // Member declaration: flagged.
+    bool verifyChecksum() const;
+
+    // void return: nothing to discard, stays clean.
+    void readInto(std::string &out);
+};
+
+// Annotated declarations stay clean, in both styles.
+[[nodiscard]] bool parseFlag(const std::string &text);
+
+[[nodiscard]] inline std::uint64_t
+readTag(const std::uint8_t *bytes)
+{
+    return bytes[1];
+}
+
+} // namespace fixture
+
+#endif // BVC_TESTS_LINT_FIXTURES_BAD_NODISCARD_HH_

@@ -52,16 +52,16 @@ rulesTripped(const std::string &name, std::size_t &count)
     return rules;
 }
 
-TEST(BvlintRules, TableListsSixUniqueIds)
+TEST(BvlintRules, TableListsSevenUniqueIds)
 {
     const auto &rules = bvlint::ruleTable();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     std::set<std::string> ids;
     for (const auto &rule : rules)
         ids.insert(rule.id);
     EXPECT_EQ(ids.size(), rules.size());
     EXPECT_TRUE(ids.count("BV001"));
-    EXPECT_TRUE(ids.count("BV006"));
+    EXPECT_TRUE(ids.count("BV007"));
 }
 
 TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
@@ -73,6 +73,7 @@ TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
         {"bad_assert.cc", "BV004"},
         {"bad_include_guard.hh", "BV005"},
         {"bad_endl.cc", "BV006"},
+        {"bad_nodiscard.hh", "BV007"},
     };
     for (const auto &[fixture, rule] : cases) {
         std::size_t count = 0;
@@ -165,6 +166,68 @@ TEST(BvlintAssert, StaticAssertAndCommentsAreNotFlagged)
                          "static_assert(sizeof(int) == 4);\n"
                          "const char *s = \"assert(x)\";\n"};
     EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintNodiscard, CallSitesAreNotDeclarations)
+{
+    // Call sites of parse/read/verify functions — including the
+    // wrapped form that puts the callee at the start of a line — must
+    // not be mistaken for declarations.
+    const SourceFile src{"src/util/demo.hh",
+                         "#ifndef BVC_UTIL_DEMO_HH_\n"
+                         "#define BVC_UTIL_DEMO_HH_\n"
+                         "[[nodiscard]] bool readFlag(int fd);\n"
+                         "inline bool check(int fd) {\n"
+                         "    if (!readFlag(fd))\n"
+                         "        return false;\n"
+                         "    const bool other =\n"
+                         "        readFlag(fd + 1);\n"
+                         "    return other && readFlag(fd + 2);\n"
+                         "}\n"
+                         "#endif // BVC_UTIL_DEMO_HH_\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintNodiscard, VoidReturnsAndSourceFilesStayClean)
+{
+    // void-returning readers have nothing to discard, and .cc files
+    // are out of scope (the declaration in the header carries the
+    // attribute for both).
+    const SourceFile header{"src/util/clean.hh",
+                            "#ifndef BVC_UTIL_CLEAN_HH_\n"
+                            "#define BVC_UTIL_CLEAN_HH_\n"
+                            "void readAll(int fd, char *out);\n"
+                            "#endif // BVC_UTIL_CLEAN_HH_\n"};
+    const SourceFile source{"src/util/clean.cc",
+                            "bool\n"
+                            "parseLine(const char *text)\n"
+                            "{\n"
+                            "    return text != nullptr;\n"
+                            "}\n"};
+    EXPECT_TRUE(bvlint::lintFiles({header, source}).empty());
+}
+
+TEST(BvlintNodiscard, TwoLineDeclarationIsFlaggedAndSuppressible)
+{
+    const std::string body = "#ifndef BVC_UTIL_TWO_HH_\n"
+                             "#define BVC_UTIL_TWO_HH_\n"
+                             "inline unsigned long\n"
+                             "parseCount(const char *text)\n"
+                             "{\n"
+                             "    return text ? 1 : 0;\n"
+                             "}\n"
+                             "#endif // BVC_UTIL_TWO_HH_\n";
+    const SourceFile bad{"src/util/two.hh", body};
+    const auto findings = bvlint::lintFiles({bad});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "BV007");
+    EXPECT_EQ(findings[0].line, 4u);
+
+    std::string waived = body;
+    waived.insert(waived.find("inline unsigned long"),
+                  "// bvlint-allow(BV007)\n");
+    EXPECT_TRUE(bvlint::lintFiles({{"src/util/two.hh", waived}})
+                    .empty());
 }
 
 TEST(BvlintGuard, ExpectedGuardMatchesRepoConvention)

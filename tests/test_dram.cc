@@ -44,7 +44,7 @@ TEST(Dram, FirstAccessPaysActivatePlusCas)
 TEST(Dram, RowHitIsFasterThanRowMiss)
 {
     Dram dram;
-    dram.read(0, 0);
+    (void)dram.read(0, 0);
     // Re-read the same row much later (no queueing).
     const Cycle hitStart = 100000;
     const Cycle hitDone = dram.read(2 * kLineBytes, hitStart);
@@ -56,7 +56,7 @@ TEST(Dram, RowHitIsFasterThanRowMiss)
 TEST(Dram, RowConflictPaysPrechargeAndRespectsTras)
 {
     Dram dram;
-    dram.read(0, 0);
+    (void)dram.read(0, 0);
     // Same channel + bank, different row: conflict.
     const Addr conflicting = 1ULL << 30;
     ASSERT_EQ(dram.channelOf(0), dram.channelOf(conflicting));
@@ -127,7 +127,7 @@ TEST(Dram, WritesOccupyBanks)
 TEST(Dram, PrefetchReadsDoNotBlockDemands)
 {
     Dram dram;
-    dram.read(0, 0);
+    (void)dram.read(0, 0);
     dram.prefetchRead(1ULL << 30, 10); // conflicting row, same bank
     EXPECT_EQ(dram.stats().get("prefetch_reads"), 1u);
     EXPECT_EQ(dram.stats().get("reads"), 2u);

@@ -261,7 +261,7 @@ TEST(FaultPlan, RejectsBadSpecs)
     };
     for (const std::string &spec : bad) {
         try {
-            FaultPlan::parse(spec);
+            (void)FaultPlan::parse(spec);
             FAIL() << "accepted bad spec: " << spec;
         } catch (const BvcError &e) {
             EXPECT_EQ(e.category(), ErrorCategory::Config) << spec;
@@ -513,7 +513,7 @@ TEST(Journal, CrcCorruptionIsRejectedWithByteOffset)
     writeFile(path, content);
 
     try {
-        readJournal(path);
+        (void)readJournal(path);
         FAIL() << "corrupted journal was accepted";
     } catch (const BvcError &e) {
         EXPECT_EQ(e.category(), ErrorCategory::Io);
@@ -527,7 +527,7 @@ TEST(Journal, MalformedFramingIsRejected)
     const std::string path = tempPath("framing.journal");
     writeFile(path, "NOTAJOURNAL hello\n");
     try {
-        readJournal(path);
+        (void)readJournal(path);
         FAIL() << "malformed journal was accepted";
     } catch (const BvcError &e) {
         EXPECT_EQ(e.category(), ErrorCategory::Io);

@@ -447,7 +447,7 @@ TEST(Report, TruncatedJsonIsRejectedWithByteOffset)
     const std::string json = toJson(report);
 
     try {
-        parseJsonReport(json.substr(0, json.size() / 2));
+        (void)parseJsonReport(json.substr(0, json.size() / 2));
         FAIL() << "truncated JSON was accepted";
     } catch (const BvcError &e) {
         EXPECT_EQ(e.category(), ErrorCategory::Io);
@@ -488,7 +488,7 @@ TEST(Report, WrongSchemaIsRejected)
     ASSERT_NE(pos, std::string::npos);
     json.replace(pos, 12, "bvc-sweep-v9");
     try {
-        parseJsonReport(json);
+        (void)parseJsonReport(json);
         FAIL() << "wrong schema was accepted";
     } catch (const BvcError &e) {
         EXPECT_EQ(e.category(), ErrorCategory::Io);

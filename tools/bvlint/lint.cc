@@ -350,6 +350,114 @@ lintIncludeGuard(std::vector<Finding> &out, const SourceFile &src,
                "')");
 }
 
+// ---------------------------------------------------------------- BV007
+
+const std::regex kValueFnCandidate(
+    R"((?:^|[^\w])((?:parse|read|verify)\w*)\s*\()");
+const std::regex kVoidReturn(R"(\bvoid\b(?!\s*[*&]))");
+
+std::string
+rtrimmed(const std::string &s)
+{
+    const std::size_t end = s.find_last_not_of(" \t");
+    return end == std::string::npos ? std::string()
+                                    : s.substr(0, end + 1);
+}
+
+/**
+ * True when `text` plausibly ends a declaration's return type: it ends
+ * in an identifier, template close, pointer or reference — not in an
+ * operator or a keyword that introduces an expression, so call sites
+ * like `return readFoo(x)` or `ok && readFoo(x)` stay clean.
+ */
+bool
+endsLikeReturnType(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    const std::size_t first = text.find_first_not_of(" \t");
+    if (first != std::string::npos && text[first] == '#')
+        return false;
+    const char last = text.back();
+    const bool typeChar =
+        std::isalnum(static_cast<unsigned char>(last)) != 0 ||
+        last == '_' || last == '>' || last == '&' || last == '*';
+    if (!typeChar)
+        return false;
+    if (endsWith(text, "&&") || endsWith(text, "||") ||
+        endsWith(text, "->"))
+        return false;
+    std::size_t wordBegin = text.size();
+    while (wordBegin > 0 &&
+           (std::isalnum(static_cast<unsigned char>(
+                text[wordBegin - 1])) != 0 ||
+            text[wordBegin - 1] == '_'))
+        --wordBegin;
+    static const std::unordered_set<std::string> kExprKeywords = {
+        "return", "co_return", "co_yield", "co_await", "throw",
+        "case",   "goto",      "new",      "delete",   "else",
+        "do",     "and",       "or",       "not",      "operator"};
+    return kExprKeywords.count(text.substr(wordBegin)) == 0;
+}
+
+/**
+ * Value-returning parse/read/verify functions declared in a header
+ * without [[nodiscard]]. These functions report failure — or the
+ * parsed value itself — through their return, so a discarded result
+ * is almost always a missed error check. Headers only: the .cc
+ * definition inherits the attribute from the declaration. Handles
+ * both the one-line form (`bool parseFoo(...)`) and the project's
+ * two-line form with the return type on the line above the name.
+ */
+void
+lintMissingNodiscard(std::vector<Finding> &out, const SourceFile &src,
+                     const FileView &view)
+{
+    if (!endsWith(src.path, ".hh"))
+        return;
+    const auto hasNodiscard = [&](std::size_t idx) {
+        return idx < view.code.size() &&
+               view.code[idx].find("[[nodiscard]]") !=
+                   std::string::npos;
+    };
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          kValueFnCandidate);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string prefix =
+                rtrimmed(line.substr(
+                    0, static_cast<std::size_t>(it->position(1))));
+            std::size_t typeLine = i;
+            if (prefix.empty()) {
+                // Two-line style: the return type sits directly above.
+                if (i == 0)
+                    continue;
+                typeLine = i - 1;
+                const std::string ret = rtrimmed(view.code[typeLine]);
+                if (!endsLikeReturnType(ret) ||
+                    std::regex_search(ret, kVoidReturn))
+                    continue;
+            } else {
+                if (!endsLikeReturnType(prefix) ||
+                    std::regex_search(prefix, kVoidReturn))
+                    continue;
+            }
+            if (hasNodiscard(i) || hasNodiscard(typeLine) ||
+                (typeLine > 0 && hasNodiscard(typeLine - 1)))
+                continue;
+            // The waiver may sit above the whole declaration, i.e.
+            // above the return-type line of the two-line form.
+            if (suppressed(view, typeLine + 1, "BV007"))
+                continue;
+            report(out, view, src.path, i + 1, "BV007",
+                   "value-returning '" + (*it)[1].str() +
+                       "' is not [[nodiscard]]; a discarded result "
+                       "drops an error or a parsed value");
+        }
+    }
+}
+
 bool
 lintableSource(const std::string &path)
 {
@@ -379,6 +487,9 @@ ruleTable()
         {"BV006", "endl-flush",
          "No std::endl; write '\\n' and flush explicitly where a "
          "flush is intended."},
+        {"BV007", "missing-nodiscard",
+         "Value-returning parse*/read*/verify* functions declared in "
+         "headers must be [[nodiscard]]."},
     };
     return kRules;
 }
@@ -447,6 +558,7 @@ lintFiles(const std::vector<SourceFile> &files)
         lintBareAssert(findings, files[i], views[i]);
         lintIncludeGuard(findings, files[i], views[i]);
         lintStdEndl(findings, files[i], views[i]);
+        lintMissingNodiscard(findings, files[i], views[i]);
     }
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -9,7 +9,11 @@
  *   BV003  `default:` label in a switch over a project enum class
  *   BV004  bare assert() in model code (use panic/panicIf)
  *   BV005  include-guard name does not match the header path
+ *   BV006  std::endl flush (write '\n', flush explicitly if wanted)
+ *   BV007  value-returning parse/read/verify function declared in a
+ *          header without [[nodiscard]]
  *
+
  * Any finding can be waived with a `// bvlint-allow(BVxxx)` comment on
  * the offending line or the line directly above it.
  */

@@ -24,6 +24,7 @@
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "trace/workload_suite.hh"
+#include "tracefile/file_trace_source.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -36,6 +37,8 @@ namespace
 struct Options
 {
     std::string trace;
+    std::string traceFile;
+    bool decodeAhead = true;
     int mix = -1;
     LlcArch arch = LlcArch::BaseVictim;
     std::string repl = "nru";
@@ -64,6 +67,10 @@ usage()
         "bvsim — Base-Victim compression simulator driver\n\n"
         "  --list-traces            list the 100-trace workload suite\n"
         "  --trace NAME             run one trace (see --list-traces)\n"
+        "  --trace-file FILE        run a captured .bvt trace file\n"
+        "                           (see bvtrace; docs/trace_format.md)\n"
+        "  --no-decode-ahead        decode .bvt blocks inline instead\n"
+        "                           of on a background thread\n"
         "  --mix N                  run 4-way multi-program mix N "
         "(0..19)\n"
         "  --arch A                 uncompressed | two-tag-naive |\n"
@@ -160,6 +167,10 @@ parseArgs(int argc, char **argv)
             opts.listTraces = true;
         else if (arg == "--trace")
             opts.trace = next(i);
+        else if (arg == "--trace-file")
+            opts.traceFile = next(i);
+        else if (arg == "--no-decode-ahead")
+            opts.decodeAhead = false;
         else if (arg == "--mix")
             opts.mix = std::atoi(next(i));
         else if (arg == "--arch")
@@ -228,7 +239,12 @@ main(int argc, char **argv)
     const WorkloadSuite suite(opts.paperScale ? 2048 * 1024
                                               : 512 * 1024);
 
-    if (opts.listTraces || (opts.trace.empty() && opts.mix < 0)) {
+    if (!opts.trace.empty() && !opts.traceFile.empty())
+        fatal("--trace and --trace-file are mutually exclusive");
+
+    if (opts.listTraces ||
+        (opts.trace.empty() && opts.traceFile.empty() &&
+         opts.mix < 0)) {
         Table table({"name", "category", "sensitive", "friendly"});
         for (const WorkloadInfo &info : suite.all())
             table.addRow({info.params.name,
@@ -295,25 +311,41 @@ main(int argc, char **argv)
         return 0;
     }
 
+    WorkloadInfo fileInfo;
     const WorkloadInfo *info = nullptr;
-    for (const WorkloadInfo &candidate : suite.all())
-        if (candidate.params.name == opts.trace)
-            info = &candidate;
-    if (info == nullptr)
-        fatal("unknown trace '" + opts.trace +
-              "' (use --list-traces)");
+    if (!opts.traceFile.empty()) {
+        // File-backed run: name/category/pattern come from the .bvt
+        // header; the suite is bypassed entirely.
+        try {
+            fileInfo.params = traceParamsFromBvt(opts.traceFile);
+        } catch (const BvcError &e) {
+            fatal(e.what());
+        }
+        info = &fileInfo;
+    } else {
+        for (const WorkloadInfo &candidate : suite.all())
+            if (candidate.params.name == opts.trace)
+                info = &candidate;
+        if (info == nullptr)
+            fatal("unknown trace '" + opts.trace +
+                  "' (use --list-traces)");
+    }
 
     std::printf("trace %s  arch %s  llc %zuKB %zu-way\n",
-                opts.trace.c_str(), llcArchName(cfg.arch), opts.llcKb,
-                opts.ways);
+                info->params.name.c_str(), llcArchName(cfg.arch),
+                opts.llcKb, opts.ways);
 
     // Run through the sweep engine: with --compare the test and
     // baseline runs execute concurrently (given --threads >= 2), and
     // the JSON report falls out of the same path bvsweep uses.
-    ExperimentOptions runOpts;
+    ExperimentOptions runOpts = ExperimentOptions::fromEnv();
     runOpts.warmup = opts.warmup;
     runOpts.measure = opts.instr;
     runOpts.threads = opts.threads;
+    // --no-decode-ahead forces the synchronous reader; otherwise the
+    // BVC_DECODE_AHEAD environment default (on) applies.
+    if (!opts.decodeAhead)
+        runOpts.decodeAhead = false;
     std::vector<SweepJob> jobs;
     jobs.push_back({cfg, info->params, runOpts,
                     llcArchName(cfg.arch), {}});

@@ -23,6 +23,7 @@
 #include "runner/sweep.hh"
 #include "sim/experiment.hh"
 #include "trace/workload_suite.hh"
+#include "tracefile/file_trace_source.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -36,6 +37,7 @@ struct Options
 {
     std::vector<std::string> archNames{"base-victim"};
     std::string traces = "sensitive";
+    std::vector<std::string> traceFiles;
     std::size_t limit = 0; //!< 0 = no limit
     unsigned threads = 0;  //!< 0 = auto
     std::string jsonPath;
@@ -62,8 +64,11 @@ usage()
         "                    two-tag-naive | two-tag-modified |\n"
         "                    base-victim | vsc | dcc, or 'all'\n"
         "                    (default base-victim)\n"
-        "  --traces SEL      sensitive | friendly | unfriendly | all\n"
-        "                    (default sensitive)\n"
+        "  --traces SEL      sensitive | friendly | unfriendly | all |\n"
+        "                    none (default sensitive)\n"
+        "  --trace-file FILE add a captured .bvt trace file to the\n"
+        "                    selection (repeatable; mixes freely with\n"
+        "                    synthetic traces, see docs/trace_format.md)\n"
         "  --limit N         only the first N traces of the selection\n"
         "  --threads N       worker threads (default: BVC_THREADS or\n"
         "                    hardware concurrency)\n"
@@ -148,6 +153,8 @@ parseArgs(int argc, char **argv)
                 fatal("--arch needs at least one architecture");
         } else if (arg == "--traces") {
             opts.traces = next(i);
+        } else if (arg == "--trace-file") {
+            opts.traceFiles.push_back(next(i));
         } else if (arg == "--limit") {
             opts.limit = parsePositiveUint("--limit", next(i));
         } else if (arg == "--threads") {
@@ -201,6 +208,8 @@ selectTraces(const WorkloadSuite &suite, const Options &opts)
     } else if (opts.traces == "all") {
         for (std::size_t i = 0; i < suite.all().size(); ++i)
             indices.push_back(i);
+    } else if (opts.traces == "none") {
+        // File-only campaigns: --traces none --trace-file a.bvt ...
     } else {
         fatal("unknown --traces selection: " + opts.traces);
     }
@@ -217,7 +226,24 @@ main(int argc, char **argv)
     const Options opts = parseArgs(argc, argv);
     const WorkloadSuite suite(512 * 1024);
     const std::vector<std::size_t> indices = selectTraces(suite, opts);
-    if (indices.empty())
+
+    // The campaign's workload list: the synthetic suite selection
+    // followed by any file-backed traces, one unified vector so the
+    // job layout below treats both identically.
+    std::vector<WorkloadInfo> workloads;
+    workloads.reserve(indices.size() + opts.traceFiles.size());
+    for (const std::size_t idx : indices)
+        workloads.push_back(suite.all()[idx]);
+    for (const std::string &path : opts.traceFiles) {
+        WorkloadInfo info;
+        try {
+            info.params = traceParamsFromBvt(path);
+        } catch (const BvcError &e) {
+            fatal(e.what());
+        }
+        workloads.push_back(std::move(info));
+    }
+    if (workloads.empty())
         fatal("trace selection is empty");
 
     ExperimentOptions runOpts = ExperimentOptions::fromEnv();
@@ -237,9 +263,8 @@ main(int argc, char **argv)
     // by index so output is identical for every thread count.
     const std::size_t stride = 1 + opts.archNames.size();
     std::vector<SweepJob> jobs;
-    jobs.reserve(indices.size() * stride);
-    for (const std::size_t idx : indices) {
-        const WorkloadInfo &info = suite.all()[idx];
+    jobs.reserve(workloads.size() * stride);
+    for (const WorkloadInfo &info : workloads) {
         jobs.push_back({baseCfg, info.params, runOpts, "uncompressed",
                         {}});
         for (const std::string &archName : opts.archNames) {
@@ -274,8 +299,8 @@ main(int argc, char **argv)
     // failed campaign is still exportable below.
     SweepReport report =
         buildReport("bvsweep", telemetry, jobs, results);
-    for (std::size_t t = 0; t < indices.size(); ++t) {
-        const WorkloadInfo &info = suite.all()[indices[t]];
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+        const WorkloadInfo &info = workloads[t];
         const JobResult &baseJob = results[t * stride];
         const RunResult &base = baseJob.result;
         for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
@@ -293,8 +318,9 @@ main(int argc, char **argv)
         }
         for (std::size_t j = 0; j < stride; ++j)
             report.records[t * stride + j].bucket =
-                info.compressionFriendly ? "compression-friendly"
-                                         : "low-compressibility";
+                !info.params.filePath.empty() ? "file-backed"
+                : info.compressionFriendly   ? "compression-friendly"
+                                             : "low-compressibility";
     }
 
     if (opts.stableJson)
@@ -315,7 +341,7 @@ main(int argc, char **argv)
 
     std::printf("bvsweep: %zu traces x %zu arch(s), llc %zuKB "
                 "%zu-way, warmup %llu, instr %llu\n",
-                indices.size(), opts.archNames.size(), opts.llcKb,
+                workloads.size(), opts.archNames.size(), opts.llcKb,
                 opts.ways,
                 static_cast<unsigned long long>(runOpts.warmup),
                 static_cast<unsigned long long>(runOpts.measure));
@@ -324,7 +350,7 @@ main(int argc, char **argv)
         Table table({"trace", "bucket", "IPC ratio",
                      "DRAM read ratio"});
         std::vector<double> ipcRatios, dramRatios;
-        for (std::size_t t = 0; t < indices.size(); ++t) {
+        for (std::size_t t = 0; t < workloads.size(); ++t) {
             const RunRecord &rec =
                 report.records[t * stride + 1 + a];
             table.addRow({rec.trace, rec.bucket,

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * bvtrace — capture, convert and inspect .bvt binary trace files
+ * (docs/trace_format.md):
+ *
+ *   bvtrace synth --trace SPECFP/milc.0 --count 500000 --out milc.bvt
+ *   bvtrace convert --in champsim.txt --out app.bvt --name myapp
+ *   bvtrace info app.bvt
+ *   bvtrace verify app.bvt
+ *
+ * `synth` exports a suite trace's exact record stream (same seed, same
+ * DataPattern) so `bvsim --trace-file` reproduces the in-memory run
+ * bit for bit; `convert` ingests ChampSim-style text traces.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/workload_suite.hh"
+#include "tracefile/bvt_reader.hh"
+#include "tracefile/bvt_writer.hh"
+#include "tracefile/convert.hh"
+#include "util/env.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "bvtrace — .bvt trace capture/convert/inspect tool\n\n"
+        "  bvtrace synth --trace NAME --out FILE\n"
+        "      [--count N]            records to capture (default "
+        "600000)\n"
+        "      [--records-per-block N] block granularity (default "
+        "4096)\n"
+        "      export a workload-suite trace (see bvsim "
+        "--list-traces)\n\n"
+        "  bvtrace convert --in FILE --out FILE\n"
+        "      [--name NAME]          trace name (default: input "
+        "stem)\n"
+        "      [--category C]         SPECFP | SPECINT | Productivity "
+        "| Client\n"
+        "      [--pattern P]          zeros | small-ints | "
+        "pointer-heap |\n"
+        "                             narrow-ints | floats | random |\n"
+        "                             mixed-good | mixed-poor\n"
+        "      [--pattern-seed N]     DataPattern seed (default 1)\n"
+        "      [--records-per-block N]\n"
+        "      ingest a ChampSim-style text trace "
+        "(docs/trace_format.md)\n\n"
+        "  bvtrace info FILE          print the header\n"
+        "  bvtrace verify FILE        walk every block, check CRCs "
+        "and counts\n");
+    std::exit(1);
+}
+
+WorkloadCategory
+parseCategory(const std::string &name)
+{
+    if (name == "SPECFP") return WorkloadCategory::SpecFp;
+    if (name == "SPECINT") return WorkloadCategory::SpecInt;
+    if (name == "Productivity") return WorkloadCategory::Productivity;
+    if (name == "Client") return WorkloadCategory::Client;
+    fatal("unknown --category: " + name);
+}
+
+DataPatternKind
+parsePattern(const std::string &name)
+{
+    if (name == "zeros") return DataPatternKind::Zeros;
+    if (name == "small-ints") return DataPatternKind::SmallInts;
+    if (name == "pointer-heap") return DataPatternKind::PointerHeap;
+    if (name == "narrow-ints") return DataPatternKind::NarrowInts;
+    if (name == "floats") return DataPatternKind::Floats;
+    if (name == "random") return DataPatternKind::Random;
+    if (name == "mixed-good") return DataPatternKind::MixedGood;
+    if (name == "mixed-poor") return DataPatternKind::MixedPoor;
+    fatal("unknown --pattern: " + name);
+}
+
+/** "dir/app.trace.txt" -> "app.trace" (CLI default for --name). */
+std::string
+stemOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t start =
+        slash == std::string::npos ? 0 : slash + 1;
+    const std::size_t dot = path.find_last_of('.');
+    const std::size_t len = (dot != std::string::npos && dot > start)
+        ? dot - start
+        : std::string::npos;
+    return path.substr(start, len);
+}
+
+int
+cmdSynth(int argc, char **argv)
+{
+    std::string traceName, outPath;
+    std::uint64_t count = 600'000;
+    std::uint32_t recordsPerBlock = kBvtDefaultRecordsPerBlock;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace")
+            traceName = next(i);
+        else if (arg == "--out")
+            outPath = next(i);
+        else if (arg == "--count")
+            count = parsePositiveUint("--count", next(i));
+        else if (arg == "--records-per-block")
+            recordsPerBlock = static_cast<std::uint32_t>(
+                parsePositiveUint("--records-per-block", next(i)));
+        else
+            usage();
+    }
+    if (traceName.empty() || outPath.empty())
+        usage();
+
+    const WorkloadSuite suite(512 * 1024);
+    const WorkloadInfo *info = nullptr;
+    for (const WorkloadInfo &candidate : suite.all())
+        if (candidate.params.name == traceName)
+            info = &candidate;
+    if (info == nullptr)
+        fatal("unknown trace '" + traceName +
+              "' (use bvsim --list-traces)");
+
+    SyntheticTrace trace(info->params);
+    BvtTraceMeta meta;
+    meta.name = info->params.name;
+    meta.category = info->params.category;
+    meta.pattern = trace.dataPattern().kind();
+    // The pattern's EXACT seed (the generator derives it from the
+    // trace seed): replay binds the identical DataPattern to
+    // functional memory, so values — not just addresses — match.
+    meta.patternSeed = trace.dataPattern().seed();
+    meta.traceSeed = info->params.seed;
+    const std::uint64_t written =
+        writeBvt(outPath, trace, count, meta, recordsPerBlock);
+    std::printf("wrote %s: %" PRIu64 " records of %s\n",
+                outPath.c_str(), written, traceName.c_str());
+    return 0;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    std::string inPath, outPath, name;
+    BvtTraceMeta meta;
+    meta.patternSeed = 1;
+    std::uint32_t recordsPerBlock = kBvtDefaultRecordsPerBlock;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--in")
+            inPath = next(i);
+        else if (arg == "--out")
+            outPath = next(i);
+        else if (arg == "--name")
+            name = next(i);
+        else if (arg == "--category")
+            meta.category = parseCategory(next(i));
+        else if (arg == "--pattern")
+            meta.pattern = parsePattern(next(i));
+        else if (arg == "--pattern-seed")
+            meta.patternSeed =
+                parsePositiveUint("--pattern-seed", next(i));
+        else if (arg == "--records-per-block")
+            recordsPerBlock = static_cast<std::uint32_t>(
+                parsePositiveUint("--records-per-block", next(i)));
+        else
+            usage();
+    }
+    if (inPath.empty() || outPath.empty())
+        usage();
+    meta.name = name.empty() ? stemOf(inPath) : name;
+
+    const ConvertStats stats =
+        convertTextTrace(inPath, outPath, meta, recordsPerBlock);
+    std::printf("converted %s -> %s: %" PRIu64 " records from %" PRIu64
+                " lines\n",
+                inPath.c_str(), outPath.c_str(), stats.records,
+                stats.lines);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 1)
+        usage();
+    const BvtHeader h = readBvtHeader(argv[0]);
+    std::printf("file            %s\n", argv[0]);
+    std::printf("name            %s\n", h.name.c_str());
+    std::printf("version         %u\n", h.version);
+    std::printf("category        %s\n", categoryName(h.category));
+    std::printf("pattern         %s (seed %" PRIu64 ")\n",
+                DataPattern::kindName(h.pattern).c_str(),
+                h.patternSeed);
+    std::printf("trace seed      %" PRIu64 "\n", h.traceSeed);
+    std::printf("records         %" PRIu64 "\n", h.recordCount);
+    std::printf("blocks          %" PRIu64 " (%u records/block)\n",
+                h.blockCount, h.recordsPerBlock);
+    std::printf("header          %u bytes, crc %08x\n", h.headerBytes,
+                h.headerCrc);
+    return 0;
+}
+
+int
+cmdVerify(int argc, char **argv)
+{
+    if (argc != 1)
+        usage();
+    const BvtVerifyStats stats = verifyBvt(argv[0]);
+    std::printf("ok: %" PRIu64 " records in %" PRIu64
+                " blocks (%" PRIu64 " body bytes)\n",
+                stats.records, stats.blocks, stats.bodyBytes);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "synth")
+            return cmdSynth(argc - 2, argv + 2);
+        if (cmd == "convert")
+            return cmdConvert(argc - 2, argv + 2);
+        if (cmd == "info")
+            return cmdInfo(argc - 2, argv + 2);
+        if (cmd == "verify")
+            return cmdVerify(argc - 2, argv + 2);
+    } catch (const BvcError &e) {
+        std::fprintf(stderr, "bvtrace: %s\n", e.what());
+        return 1;
+    }
+    usage();
+}
