@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Simulator-throughput harness for the SoA hot path: runs the same
+ * measured window through every LLC organization and reports model
+ * accesses/sec, simulated instructions/sec, and sweep jobs/sec, plus a
+ * BDI size-only compression microrate. Emits machine-readable JSON
+ * (default BENCH_7.json; --out <path> overrides) so CI and regression
+ * tooling can track simulation throughput across commits — see
+ * docs/performance.md for the schema and the tracked trajectory.
+ *
+ * --smoke shrinks every window so the CI perf-smoke job can validate
+ * the emitted schema in seconds without timing noise mattering.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "compress/bdi.hh"
+#include "runner/report.hh"
+#include "sim/experiment.hh"
+#include "trace/data_patterns.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+using namespace bvc;
+
+namespace
+{
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+perSecond(double count, double seconds)
+{
+    return count / (seconds > 0.0 ? seconds : 1e-9);
+}
+
+/** One measured LLC organization. */
+struct ModelSample
+{
+    LlcArch arch;
+    double accessesPerSec = 0.0;     //!< LLC model accesses/sec
+    double instructionsPerSec = 0.0; //!< simulated instructions/sec
+    double jobsPerSec = 0.0;         //!< full runTrace jobs/sec
+};
+
+constexpr LlcArch kArches[] = {
+    LlcArch::Uncompressed, LlcArch::TwoTagNaive, LlcArch::TwoTagModified,
+    LlcArch::BaseVictim,   LlcArch::Vsc,         LlcArch::Dcc,
+};
+
+/**
+ * BDI size-only validation rate over pattern-filled lines — the exact
+ * kernel every compressed model runs per LLC fill and writeback.
+ */
+double
+compressSizeRate(std::uint64_t lines)
+{
+    const BdiCompressor bdi;
+    const DataPattern pattern(DataPatternKind::MixedGood, 7);
+    std::uint8_t line[kLineBytes];
+    // Checksum defeats dead-code elimination of the sizing loop.
+    std::uint64_t checksum = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        pattern.fillLine(i * kLineBytes, line);
+        checksum += bdi.compressedBytes(line);
+    }
+    const double seconds = secondsSince(start);
+    if (checksum == 0xdead)
+        std::printf("~\n"); // never taken; keeps checksum observable
+    return perSecond(static_cast<double>(lines), seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string jsonPath = "BENCH_7.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else
+            jsonPath = argv[i];
+    }
+
+    bench::Context ctx;
+    bench::printHeader(
+        "Simulator throughput: accesses/sec and jobs/sec per LLC model",
+        "infrastructure bench (no paper figure); docs/performance.md",
+        ctx);
+
+    const TraceParams params = ctx.suite.all().front().params;
+    const std::uint64_t warmup = smoke ? 2'000 : ctx.opts.warmup;
+    const std::uint64_t measure = smoke ? 5'000 : ctx.opts.measure;
+    const std::uint64_t jobs = smoke ? 2 : 4;
+    const std::uint64_t compressLines = smoke ? 20'000 : 2'000'000;
+
+    std::vector<ModelSample> samples;
+    for (const LlcArch arch : kArches) {
+        ModelSample sample;
+        sample.arch = arch;
+
+        SystemConfig cfg = ctx.baseline;
+        cfg.arch = arch;
+
+        // Direct window: the timed region is exactly the measured run,
+        // so the rate reflects the probe/metadata hot path.
+        {
+            System system(cfg, params);
+            const auto start = std::chrono::steady_clock::now();
+            const RunResult r = system.run(warmup, measure);
+            const double seconds = secondsSince(start);
+            sample.accessesPerSec =
+                perSecond(static_cast<double>(r.llcAccesses), seconds);
+            sample.instructionsPerSec =
+                perSecond(static_cast<double>(r.instructions), seconds);
+        }
+
+        // Sweep-shaped work: whole runTrace jobs, construction included,
+        // the unit the campaign runner schedules.
+        {
+            ExperimentOptions jobOpts = ctx.opts;
+            jobOpts.warmup = warmup;
+            jobOpts.measure = measure;
+            const auto start = std::chrono::steady_clock::now();
+            for (std::uint64_t j = 0; j < jobs; ++j)
+                runTrace(cfg, params, jobOpts);
+            const double seconds = secondsSince(start);
+            sample.jobsPerSec =
+                perSecond(static_cast<double>(jobs), seconds);
+        }
+        samples.push_back(sample);
+    }
+
+    const double compressLinesPerSec = compressSizeRate(compressLines);
+
+    Table table({"model", "Maccess/s", "Minstr/s", "jobs/s"});
+    for (const ModelSample &sample : samples)
+        table.addRow({llcArchName(sample.arch),
+                      Table::num(sample.accessesPerSec / 1e6, 2),
+                      Table::num(sample.instructionsPerSec / 1e6, 2),
+                      Table::num(sample.jobsPerSec, 2)});
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\n[compress-size] BDI size-only validation: %.2f "
+                "Mlines/s over %llu mixed lines\n",
+                compressLinesPerSec / 1e6,
+                static_cast<unsigned long long>(compressLines));
+
+    // Machine-readable export for CI trend tracking (schema documented
+    // in docs/performance.md; validated by scripts/check_bench_json.py).
+    std::string json = "{\n  \"bench\": \"throughput\",\n";
+    json += "  \"schema_version\": 1,\n";
+    json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") +
+            ",\n";
+    json += "  \"trace\": \"" + jsonEscape(params.name) + "\",\n";
+    json += "  \"warmup\": " + std::to_string(warmup) + ",\n";
+    json += "  \"measure\": " + std::to_string(measure) + ",\n";
+    json += "  \"jobs_per_model\": " + std::to_string(jobs) + ",\n";
+    json += "  \"models\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"model\": \"%s\", "
+                      "\"accesses_per_sec\": %.0f, "
+                      "\"instructions_per_sec\": %.0f, "
+                      "\"jobs_per_sec\": %.3f}%s\n",
+                      llcArchName(samples[i].arch),
+                      samples[i].accessesPerSec,
+                      samples[i].instructionsPerSec,
+                      samples[i].jobsPerSec,
+                      i + 1 < samples.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ],\n";
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"compress_size\": {\"lines\": %llu, "
+                      "\"lines_per_sec\": %.0f}\n",
+                      static_cast<unsigned long long>(compressLines),
+                      compressLinesPerSec);
+        json += buf;
+    }
+    json += "}\n";
+    writeFile(jsonPath, json);
+    std::printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

@@ -13,8 +13,13 @@ namespace bvc::bench
 namespace
 {
 
-/** Start-of-process anchor for the harness wall-clock footer. */
-const std::chrono::steady_clock::time_point kProcessStart =
+/**
+ * Anchor for the harness wall-clock footer. Re-armed after every
+ * series summary so a binary that prints several series reports each
+ * one's own elapsed time — a process-start anchor made the second
+ * series inherit the first's wall-clock and deflated its jobs/s.
+ */
+std::chrono::steady_clock::time_point seriesAnchor =
     std::chrono::steady_clock::now();
 
 } // namespace
@@ -87,6 +92,13 @@ void
 printSeriesSummary(const std::string &label,
                    const std::vector<TraceRatio> &ratios)
 {
+    if (ratios.empty()) {
+        std::printf("\n[%s] traces: 0 — no jobs ran; nothing to "
+                    "summarize\n",
+                    label.c_str());
+        seriesAnchor = std::chrono::steady_clock::now();
+        return;
+    }
     std::printf("\n[%s] traces: %zu\n", label.c_str(), ratios.size());
     std::printf("  geomean IPC ratio        : %.4f\n",
                 overallIpcGeomean(ratios));
@@ -110,22 +122,38 @@ printSeriesSummary(const std::string &label,
                 worstName.c_str());
     // Back-invalidation traffic ratio (Section VI.A notes the modified
     // two-tag scheme "causes more back-invalidations than baseline").
+    // Add-one smoothing keeps traces where the test model eliminated
+    // every back-invalidation in the aggregate (a raw test/base ratio
+    // of 0 cannot enter a geomean, and dropping those traces biased
+    // the printed ratio upward — they are exactly the best cases).
+    // Traces with no baseline back-invalidations carry no signal and
+    // are excluded but counted.
     std::vector<double> backInvalRatios;
+    std::size_t eliminatedAll = 0;
+    std::size_t noBaseline = 0;
     for (const TraceRatio &r : ratios) {
-        if (r.base.backInvalidations > 0 && r.test.backInvalidations > 0)
-            backInvalRatios.push_back(
-                static_cast<double>(r.test.backInvalidations) /
-                static_cast<double>(r.base.backInvalidations));
+        if (r.base.backInvalidations == 0) {
+            ++noBaseline;
+            continue;
+        }
+        if (r.test.backInvalidations == 0)
+            ++eliminatedAll;
+        backInvalRatios.push_back(
+            (static_cast<double>(r.test.backInvalidations) + 1.0) /
+            (static_cast<double>(r.base.backInvalidations) + 1.0));
     }
-    std::printf("  geomean back-inval ratio : %.4f\n",
-                geomean(backInvalRatios));
+    std::printf("  geomean back-inval ratio : %.4f (+1-smoothed over "
+                "%zu traces; %zu eliminated all, %zu without baseline "
+                "back-invals excluded)\n",
+                geomean(backInvalRatios), backInvalRatios.size(),
+                eliminatedAll, noBaseline);
     // Harness-throughput footer: lets the BENCH_*.json trajectories
     // track sweep speed across PRs, not just model quality.
     double jobSeconds = 0.0;
     for (const TraceRatio &r : ratios)
         jobSeconds += r.baseSeconds + r.testSeconds;
     const double wallSeconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - kProcessStart).count();
+        std::chrono::steady_clock::now() - seriesAnchor).count();
     const std::size_t jobs = ratios.size() * 2;
     std::printf("  sweep wall-clock         : %.2f s (%zu jobs, "
                 "%.2f jobs/s, %u threads)\n",
@@ -137,6 +165,7 @@ printSeriesSummary(const std::string &label,
                 "utilization)\n",
                 jobSeconds,
                 wallSeconds > 0.0 ? jobSeconds / wallSeconds : 0.0);
+    seriesAnchor = std::chrono::steady_clock::now();
 }
 
 void

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_<n>.json throughput artifact (docs/performance.md).
+
+Usage:
+
+    ./scripts/check_bench_json.py BENCH_7.json
+
+Checks the schema emitted by ``bench_throughput``: the expected
+top-level keys are present, every LLC architecture appears exactly once
+in ``models``, and every reported rate is a finite positive number.
+Exits nonzero with a message per violation, so CI's perf-smoke job
+fails loudly on a malformed or truncated artifact.
+"""
+
+import json
+import math
+import sys
+
+
+EXPECTED_TOP_KEYS = {
+    "bench", "schema_version", "smoke", "trace", "warmup", "measure",
+    "jobs_per_model", "models", "compress_size",
+}
+
+# Must match llcArchName() in src/sim/system.cc.
+EXPECTED_MODELS = {
+    "Uncompressed", "TwoTagNaive", "TwoTagModified", "BaseVictim",
+    "VSC-2X", "DCC",
+}
+
+MODEL_RATE_KEYS = (
+    "accesses_per_sec", "instructions_per_sec", "jobs_per_sec",
+)
+
+
+def positive_finite(value) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value) and value > 0)
+
+
+def check(report: dict) -> list:
+    errors = []
+
+    missing = EXPECTED_TOP_KEYS - report.keys()
+    if missing:
+        errors.append(f"missing top-level keys: {sorted(missing)}")
+    if report.get("bench") != "throughput":
+        errors.append(f"bench is {report.get('bench')!r}, "
+                      "expected 'throughput'")
+    if report.get("schema_version") != 1:
+        errors.append(f"schema_version is "
+                      f"{report.get('schema_version')!r}, expected 1")
+
+    models = report.get("models", [])
+    names = [m.get("model") for m in models]
+    if sorted(names) != sorted(EXPECTED_MODELS):
+        errors.append(f"models are {sorted(filter(None, names))}, "
+                      f"expected {sorted(EXPECTED_MODELS)}")
+    for model in models:
+        name = model.get("model", "<unnamed>")
+        for key in MODEL_RATE_KEYS:
+            if not positive_finite(model.get(key)):
+                errors.append(f"{name}.{key} is {model.get(key)!r}, "
+                              "expected a finite positive number")
+
+    compress = report.get("compress_size", {})
+    if not positive_finite(compress.get("lines_per_sec")):
+        errors.append(f"compress_size.lines_per_sec is "
+                      f"{compress.get('lines_per_sec')!r}, "
+                      "expected a finite positive number")
+    if not positive_finite(compress.get("lines")):
+        errors.append(f"compress_size.lines is "
+                      f"{compress.get('lines')!r}, "
+                      "expected a positive integer")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 1
+
+    errors = check(report)
+    for message in errors:
+        print(f"error: {path}: {message}", file=sys.stderr)
+    if not errors:
+        models = len(report.get("models", []))
+        print(f"{path}: ok ({models} models, "
+              f"smoke={report.get('smoke')})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

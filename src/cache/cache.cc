@@ -20,15 +20,13 @@ Cache::HotCounters::HotCounters(StatGroup &stats)
 
 Cache::Cache(std::string name, std::size_t sizeBytes, std::size_t ways,
              ReplacementKind repl, unsigned latency)
-    : sets_(sizeBytes / kLineBytes / ways),
+    : sets_(cacheSetCount(sizeBytes, ways, "cache")),
       ways_(ways),
       latency_(latency),
-      lines_(sets_ * ways_),
+      tags_(sets_, ways_),
       stats_(std::move(name)),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "cache set count must be a nonzero power of two");
     panicIf(sets_ * ways_ * kLineBytes != sizeBytes,
             "cache size not divisible into sets*ways*64B");
     repl_ = makeReplacement(repl, sets_, ways_);
@@ -40,24 +38,6 @@ Cache::setIndex(Addr blk) const
     return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
-CacheLine *
-Cache::findLine(Addr blk)
-{
-    const SetIdx set = setIndex(blk);
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        CacheLine &candidate = line(set, w);
-        if (candidate.valid && candidate.tag == blk)
-            return &candidate;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-Cache::findLine(Addr blk) const
-{
-    return const_cast<Cache *>(this)->findLine(blk);
-}
-
 bool
 Cache::access(Addr blk, bool write, std::optional<Eviction> &evicted)
 {
@@ -65,38 +45,35 @@ Cache::access(Addr blk, bool write, std::optional<Eviction> &evicted)
     ++ctr_.accesses;
     const SetIdx set = setIndex(blk);
 
-    if (CacheLine *hit = findLine(blk)) {
+    if (const std::optional<WayIdx> hit = tags_.find(set, blk)) {
         ++(write ? ctr_.writeHits : ctr_.readHits);
-        hit->dirty = hit->dirty || write;
-        repl_->onHit(set, wayOf(set, hit));
+        if (write)
+            tags_.setDirty(set, *hit, true);
+        repl_->onHit(set, *hit);
         return true;
     }
 
     ++(write ? ctr_.writeMisses : ctr_.readMisses);
 
     // Prefer an invalid way; otherwise consult the replacement policy.
-    std::optional<WayIdx> victimWay;
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        if (!line(set, w).valid) {
-            victimWay = w;
-            break;
-        }
-    }
+    std::optional<WayIdx> victimWay = tags_.firstInvalid(set);
     if (!victimWay)
         victimWay = repl_->victim(set);
 
-    CacheLine &fill = line(set, *victimWay);
-    if (fill.valid) {
+    if (tags_.valid(set, *victimWay)) {
         ++ctr_.evictions;
-        if (fill.dirty)
+        const bool wasDirty = tags_.dirty(set, *victimWay);
+        if (wasDirty)
             ++ctr_.dirtyEvictions;
-        evicted = Eviction{fill.tag, fill.dirty};
+        evicted = Eviction{tags_.tag(set, *victimWay), wasDirty};
     }
 
+    CacheLine fill;
     fill.tag = blk;
     fill.valid = true;
     fill.dirty = write;
     fill.segments = kFullLineSegments;
+    tags_.install(set, *victimWay, fill);
     repl_->onFill(set, *victimWay);
     return false;
 }
@@ -104,27 +81,26 @@ Cache::access(Addr blk, bool write, std::optional<Eviction> &evicted)
 bool
 Cache::probe(Addr blk) const
 {
-    return findLine(blk) != nullptr;
+    return findWay(blk).has_value();
 }
 
 bool
 Cache::probeDirty(Addr blk) const
 {
-    const CacheLine *line = findLine(blk);
-    return line != nullptr && line->dirty;
+    const std::optional<WayIdx> way = findWay(blk);
+    return way && tags_.dirty(setIndex(blk), *way);
 }
 
 std::optional<bool>
 Cache::invalidate(Addr blk)
 {
-    CacheLine *line = findLine(blk);
-    if (line == nullptr)
+    const std::optional<WayIdx> way = findWay(blk);
+    if (!way)
         return std::nullopt;
-    const bool wasDirty = line->dirty;
     const SetIdx set = setIndex(blk);
-    const WayIdx way = wayOf(set, line);
-    line->invalidate();
-    repl_->onInvalidate(set, way);
+    const bool wasDirty = tags_.dirty(set, *way);
+    tags_.invalidate(set, *way);
+    repl_->onInvalidate(set, *way);
     ++ctr_.backInvalidations;
     if (wasDirty)
         ++ctr_.dirtyBackInvalidations;
@@ -135,9 +111,10 @@ void
 Cache::forEachLine(
     const std::function<void(const CacheLine &)> &fn) const
 {
-    for (const CacheLine &line : lines_)
-        if (line.valid)
-            fn(line);
+    for (const SetIdx set : indexRange<SetIdx>(sets_))
+        for (const WayIdx way : indexRange<WayIdx>(ways_))
+            if (tags_.valid(set, way))
+                fn(tags_.line(set, way));
 }
 
 void
@@ -145,9 +122,8 @@ Cache::flush()
 {
     for (const SetIdx set : indexRange<SetIdx>(sets_)) {
         for (const WayIdx way : indexRange<WayIdx>(ways_)) {
-            CacheLine &entry = line(set, way);
-            if (entry.valid) {
-                entry.invalidate();
+            if (tags_.valid(set, way)) {
+                tags_.invalidate(set, way);
                 repl_->onInvalidate(set, way);
             }
         }

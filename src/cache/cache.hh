@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/cache_line.hh"
+#include "cache/tag_array.hh"
 #include "replacement/factory.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
@@ -87,19 +88,10 @@ class Cache
         const std::function<void(const CacheLine &)> &fn) const;
 
   private:
-    CacheLine *findLine(Addr blk);
-    const CacheLine *findLine(Addr blk) const;
-
-    [[nodiscard]] CacheLine &line(SetIdx set, WayIdx way)
+    /** Probe for `blk`; the hot contiguous-tag scan. */
+    [[nodiscard]] std::optional<WayIdx> findWay(Addr blk) const
     {
-        return lines_[set.get() * ways_ + way.get()];
-    }
-
-    /** Recover the way index of a line found via pointer arithmetic. */
-    [[nodiscard]] WayIdx wayOf(SetIdx set, const CacheLine *line) const
-    {
-        return WayIdx{
-            static_cast<std::size_t>(line - &lines_[set.get() * ways_])};
+        return tags_.find(setIndex(blk), blk);
     }
 
     /** Per-access counters resolved once (no string lookups per hit). */
@@ -116,7 +108,7 @@ class Cache
     std::size_t sets_;
     std::size_t ways_;
     unsigned latency_;
-    std::vector<CacheLine> lines_; // sets_ x ways_, row-major
+    TagArray tags_; // SoA: contiguous tags + packed metadata
     std::unique_ptr<ReplacementPolicy> repl_;
     StatGroup stats_;
     HotCounters ctr_; //!< must follow stats_ initialization

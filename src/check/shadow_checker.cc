@@ -146,10 +146,9 @@ ShadowChecker::checkMirror(Addr blk, const LlcResult &got,
     // uncompressed fill rule: invalid-way-first, then policy victim.
     const SetIdx set = shadow_->setIndex(blk);
     for (const WayIdx w : indexRange<WayIdx>(shadow_->numWays())) {
-        const CacheLine &ref = shadow_->lineAt(set, w);
-        const CacheLine &base =
-            bv_ != nullptr ? bv_->baseLineAt(set, w)
-                           : unc_->lineAt(set, w);
+        const CacheLine ref = shadow_->lineAt(set, w);
+        const CacheLine base = bv_ != nullptr ? bv_->baseLineAt(set, w)
+                                              : unc_->lineAt(set, w);
         if (ref.valid != base.valid)
             fail("valid-bit mismatch in set " +
                  std::to_string(set.get()) + " way " +

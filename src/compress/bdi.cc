@@ -1,5 +1,6 @@
 #include "compress/bdi.hh"
 
+#include <bit>
 #include <cstring>
 
 #include "compress/bitstream.hh"
@@ -30,10 +31,11 @@ storeElem(std::uint8_t *line, unsigned width, unsigned i, std::uint64_t v)
 bool
 allZero(const std::uint8_t *line)
 {
-    for (std::size_t i = 0; i < kLineBytes; ++i)
-        if (line[i] != 0)
-            return false;
-    return true;
+    // OR-accumulate whole words; no per-element early-exit branch.
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < kLineBytes / 8; ++i)
+        acc |= loadElem(line, 8, i);
+    return acc == 0;
 }
 
 bool
@@ -41,10 +43,71 @@ repeated8(const std::uint8_t *line)
 {
     std::uint64_t first = 0;
     std::memcpy(&first, line, 8);
+    std::uint64_t diff = 0;
     for (unsigned i = 1; i < kLineBytes / 8; ++i)
-        if (loadElem(line, 8, i) != first)
-            return false;
-    return true;
+        diff |= loadElem(line, 8, i) ^ first;
+    return diff == 0;
+}
+
+/**
+ * Width-specialized base-delta validation over fixed-count word lanes.
+ * Two straight-line passes with no data-dependent branches inside the
+ * loops (SIMD-friendly: every lane computes a predicate that folds
+ * into a mask or an AND-accumulator):
+ *
+ *   pass 1: lane i sets zeroMask bit i when the element fits the
+ *           delta range around the implicit zero base;
+ *   the base is the first element NOT covered by zeroMask (its lane
+ *   index is countr_zero of the complement — no scan loop);
+ *   pass 2: lane i checks raw[i] - base against the delta range,
+ *           accepted when the lane already fit the zero base.
+ *
+ * Outputs (base, maskBits, validity) are exactly those of the old
+ * sequential early-exit scan: the base element's own delta is zero,
+ * so re-checking it in pass 2 never changes the verdict.
+ */
+template <unsigned BaseBytes, unsigned DeltaBits>
+bool
+analyzeConfig(const std::uint8_t *line, std::uint64_t &base,
+              std::uint64_t &maskBits)
+{
+    constexpr unsigned kElems =
+        static_cast<unsigned>(kLineBytes) / BaseBytes;
+    constexpr unsigned kWidthBits = BaseBytes * 8;
+    constexpr std::uint64_t kAllElems =
+        kElems >= 64 ? ~0ULL : (1ULL << kElems) - 1;
+
+    std::uint64_t raw[kElems];
+    for (unsigned i = 0; i < kElems; ++i) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, line + static_cast<std::size_t>(i) * BaseBytes,
+                    BaseBytes);
+        raw[i] = v;
+    }
+
+    std::uint64_t zeroMask = 0;
+    for (unsigned i = 0; i < kElems; ++i) {
+        const bool zfits =
+            fitsSigned(signExtend(raw[i], kWidthBits), DeltaBits);
+        zeroMask |= static_cast<std::uint64_t>(zfits) << i;
+    }
+
+    maskBits = ~zeroMask & kAllElems; // bit i set => element uses base
+    if (maskBits == 0) {
+        base = 0;
+        return true;
+    }
+    base = raw[std::countr_zero(maskBits)];
+
+    bool ok = true;
+    for (unsigned i = 0; i < kElems; ++i) {
+        // Subtract in unsigned (wraps, no overflow UB), then compare
+        // in the element's own width to handle wraparound.
+        const bool dfits =
+            fitsSigned(signExtend(raw[i] - base, kWidthBits), DeltaBits);
+        ok &= dfits || ((zeroMask >> i) & 1) != 0;
+    }
+    return ok;
 }
 
 /**
@@ -89,35 +152,22 @@ BdiCompressor::analyzeBaseDelta(const std::uint8_t *line,
                                 std::uint64_t &base,
                                 std::uint64_t &maskBits)
 {
-    const unsigned elems = static_cast<unsigned>(kLineBytes) / baseBytes;
-    const unsigned deltaBits = deltaBytes * 8;
-
-    // Validation pass: find the base (first element that is not within
-    // delta range of zero) and verify every element is within range of
-    // either zero or the base.
-    bool haveBase = false;
-    base = 0;
-    maskBits = 0; // bit i set => element i uses the base
-
-    for (unsigned i = 0; i < elems; ++i) {
-        const std::uint64_t raw = loadElem(line, baseBytes, i);
-        const auto val = signExtend(raw, baseBytes * 8);
-        if (fitsSigned(val, deltaBits))
-            continue; // immediate: delta from the implicit zero base
-        if (!haveBase) {
-            haveBase = true;
-            base = raw;
-            maskBits |= 1ULL << i;
-            continue;
-        }
-        // Subtract in unsigned (wraps, no overflow UB), then compare
-        // in the element's own width to handle wraparound.
-        const auto deltaNarrow = signExtend(raw - base, baseBytes * 8);
-        if (!fitsSigned(deltaNarrow, deltaBits))
-            return false;
-        maskBits |= 1ULL << i;
-    }
-    return true;
+    // Dispatch to the width-specialized lane kernels (the hot path is
+    // the size-only validation in compressedBytes, which runs this for
+    // every LLC fill and writeback).
+    if (baseBytes == 8 && deltaBytes == 1)
+        return analyzeConfig<8, 8>(line, base, maskBits);
+    if (baseBytes == 8 && deltaBytes == 2)
+        return analyzeConfig<8, 16>(line, base, maskBits);
+    if (baseBytes == 8 && deltaBytes == 4)
+        return analyzeConfig<8, 32>(line, base, maskBits);
+    if (baseBytes == 4 && deltaBytes == 1)
+        return analyzeConfig<4, 8>(line, base, maskBits);
+    if (baseBytes == 4 && deltaBytes == 2)
+        return analyzeConfig<4, 16>(line, base, maskBits);
+    if (baseBytes == 2 && deltaBytes == 1)
+        return analyzeConfig<2, 8>(line, base, maskBits);
+    panic("BDI: unsupported base/delta configuration");
 }
 
 bool

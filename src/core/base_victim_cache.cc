@@ -58,17 +58,15 @@ BaseVictimLlc::BaseVictimLlc(std::size_t sizeBytes, std::size_t physWays,
                              const Compressor &comp, bool inclusive,
                              unsigned segmentQuantumBytes)
     : Llc("llc"),
-      sets_(sizeBytes / kLineBytes / physWays),
+      sets_(cacheSetCount(sizeBytes, physWays, "Base-Victim LLC")),
       ways_(physWays),
-      base_(sets_ * physWays),
-      victim_(sets_ * physWays),
+      base_(sets_, physWays),
+      victim_(sets_, physWays),
       comp_(comp),
       inclusive_(inclusive),
       quantumSegments_(segmentQuantumBytes / kSegmentBytes),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "Base-Victim LLC set count must be a nonzero power of two");
     panicIf(quantumSegments_ == 0 ||
                 kSegmentsPerLine % quantumSegments_ != 0,
             "segment quantum must divide the line size");
@@ -80,52 +78,6 @@ SetIdx
 BaseVictimLlc::setIndex(Addr blk) const
 {
     return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
-}
-
-CacheLine &
-BaseVictimLlc::baseLine(SetIdx set, WayIdx way)
-{
-    return base_[set.get() * ways_ + way.get()];
-}
-
-const CacheLine &
-BaseVictimLlc::baseLine(SetIdx set, WayIdx way) const
-{
-    return base_[set.get() * ways_ + way.get()];
-}
-
-CacheLine &
-BaseVictimLlc::victimLine(SetIdx set, WayIdx way)
-{
-    return victim_[set.get() * ways_ + way.get()];
-}
-
-const CacheLine &
-BaseVictimLlc::victimLine(SetIdx set, WayIdx way) const
-{
-    return victim_[set.get() * ways_ + way.get()];
-}
-
-std::optional<WayIdx>
-BaseVictimLlc::findBase(SetIdx set, Addr blk) const
-{
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &line = baseLine(set, w);
-        if (line.valid && line.tag == blk)
-            return w;
-    }
-    return std::nullopt;
-}
-
-std::optional<WayIdx>
-BaseVictimLlc::findVictim(SetIdx set, Addr blk) const
-{
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &line = victimLine(set, w);
-        if (line.valid && line.tag == blk)
-            return w;
-    }
-    return std::nullopt;
 }
 
 SegCount
@@ -143,9 +95,8 @@ BaseVictimLlc::chooseBaseWay(SetIdx set)
 {
     // Must match UncompressedLlc exactly: invalid way first, then the
     // policy's victim (this is what makes the mirror invariant hold).
-    for (const WayIdx w : indexRange<WayIdx>(ways_))
-        if (!baseLine(set, w).valid)
-            return w;
+    if (const std::optional<WayIdx> w = base_.firstInvalid(set))
+        return *w;
     return baseRepl_->victim(set);
 }
 
@@ -154,20 +105,20 @@ BaseVictimLlc::silentEvictVictim(SetIdx set, WayIdx way,
                                  VictimEvictReason reason,
                                  LlcResult &result)
 {
-    CacheLine &line = victimLine(set, way);
-    if (!line.valid)
+    if (!victim_.valid(set, way))
         return;
+    const bool wasDirty = victim_.dirty(set, way);
     if (inclusive_) {
-        panicIf(line.dirty,
+        panicIf(wasDirty,
                 "Base-Victim: dirty line in the inclusive Victim Cache");
-    } else if (line.dirty) {
+    } else if (wasDirty) {
         // Non-inclusive mode keeps dirty victims (Section IV.B.3);
         // dropping one costs a memory writeback.
-        result.memWritebacks.push_back(line.tag);
+        result.memWritebacks.push_back(victim_.tag(set, way));
         ++ctr_.memWritebacks;
         ++ctr_.dirtyVictimEvictions;
     }
-    line.invalidate();
+    victim_.invalidate(set, way);
     ++ctr_.silentEvictions(reason);
     ++ctr_.victimSilentEvictions;
 }
@@ -179,14 +130,14 @@ BaseVictimLlc::tryInsertVictim(SetIdx set, const CacheLine &line,
     // Collect every way where the victim fits beside the base line.
     std::vector<VictimCandidate> candidates;
     for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &base = baseLine(set, w);
-        const SegCount baseSegs =
-            base.valid ? base.segments : kZeroLineSegments;
+        const SegCount baseSegs = base_.valid(set, w)
+                                      ? base_.segments(set, w)
+                                      : kZeroLineSegments;
         if (baseSegs + line.segments > kFullLineSegments)
             continue;
-        const CacheLine &resident = victimLine(set, w);
-        candidates.push_back(VictimCandidate{
-            w, baseSegs, resident.valid, resident.segments});
+        candidates.push_back(VictimCandidate{w, baseSegs,
+                                             victim_.valid(set, w),
+                                             victim_.segments(set, w)});
     }
 
     if (candidates.empty()) {
@@ -199,10 +150,10 @@ BaseVictimLlc::tryInsertVictim(SetIdx set, const CacheLine &line,
     const WayIdx way = victimRepl_->choose(set, candidates);
     silentEvictVictim(set, way, VictimEvictReason::Displaced, result);
 
-    CacheLine &slot = victimLine(set, way);
-    slot = line;
+    CacheLine parked = line;
     if (inclusive_)
-        slot.dirty = false; // written back on insertion (Section IV.A)
+        parked.dirty = false; // written back on insertion (Section IV.A)
+    victim_.install(set, way, parked);
     victimRepl_->onInsert(set, way);
     ++ctr_.victimInserts;
     // Migrating the line between physical ways costs one data-array
@@ -215,7 +166,7 @@ void
 BaseVictimLlc::installBase(SetIdx set, WayIdx way,
                            const CacheLine &incoming, LlcResult &result)
 {
-    CacheLine replaced = baseLine(set, way);
+    CacheLine replaced = base_.line(set, way);
 
     if (replaced.valid) {
         ++ctr_.baseEvictions;
@@ -235,13 +186,13 @@ BaseVictimLlc::installBase(SetIdx set, WayIdx way,
 
     // Displace the victim partner if the incoming line no longer fits
     // with it in the same physical way.
-    const CacheLine &partner = victimLine(set, way);
-    if (partner.valid &&
-        incoming.segments + partner.segments > kFullLineSegments) {
+    if (victim_.valid(set, way) &&
+        incoming.segments + victim_.segments(set, way) >
+            kFullLineSegments) {
         silentEvictVictim(set, way, VictimEvictReason::Partner, result);
     }
 
-    baseLine(set, way) = incoming;
+    base_.install(set, way, incoming);
     baseRepl_->onFill(set, way);
     ++ctr_.fills;
 
@@ -274,30 +225,30 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     // --- Hit in the Baseline Cache (Sections IV.B.4 / IV.B.5) ---
     if (const std::optional<WayIdx> bway = findBase(set, blk)) {
         result.hit = true;
-        CacheLine &line = baseLine(set, *bway);
         // A writeback overwrites the whole line, so the stored copy is
         // never decompressed: no latency charge, no counter bump.
         if (type != AccessType::Writeback) {
+            const SegCount storedSegs = base_.segments(set, *bway);
             result.extraLatency +=
-                decompressLatencyFor(comp_, line.segments);
-            if (needsDecompression(line.segments))
+                decompressLatencyFor(comp_, storedSegs);
+            if (needsDecompression(storedSegs))
                 ++ctr_.decompressions;
         }
 
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
-            line.dirty = true;
+            base_.setDirty(set, *bway, true);
             const SegCount newSegs = quantizedSegments(data);
             ++ctr_.compressions;
-            const CacheLine &partner = victimLine(set, *bway);
-            if (partner.valid &&
-                newSegs + partner.segments > kFullLineSegments) {
+            if (victim_.valid(set, *bway) &&
+                newSegs + victim_.segments(set, *bway) >
+                    kFullLineSegments) {
                 // Write hit grows the base line: silently evict the
                 // victim partner even if it was recently used (IV.B.5).
                 silentEvictVictim(set, *bway,
                                   VictimEvictReason::WriteGrowth, result);
             }
-            line.segments = newSegs;
+            base_.setSegments(set, *bway, newSegs);
         } else if (demand) {
             ++ctr_.demandHits;
             ++ctr_.baseHits;
@@ -326,7 +277,7 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
             ++ctr_.victimWriteHits;
         }
 
-        CacheLine promoted = victimLine(set, *vway);
+        CacheLine promoted = victim_.line(set, *vway);
         // Writebacks overwrite the whole line; only reads/prefetches
         // decompress the stored victim copy.
         if (type != AccessType::Writeback) {
@@ -350,7 +301,7 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         // slot stays eligible for the displaced base line (see
         // installBase()).
         victimRepl_->onHit(set, *vway);
-        victimLine(set, *vway).invalidate();
+        victim_.invalidate(set, *vway);
         ++ctr_.promotions;
         ctr_.dataMovements += 1;
 
@@ -411,14 +362,7 @@ BaseVictimLlc::downgradeHint(Addr blk)
 std::size_t
 BaseVictimLlc::validLines() const
 {
-    std::size_t count = 0;
-    for (const CacheLine &line : base_)
-        if (line.valid)
-            ++count;
-    for (const CacheLine &line : victim_)
-        if (line.valid)
-            ++count;
-    return count;
+    return base_.validCount() + victim_.validCount();
 }
 
 std::vector<Addr>
@@ -426,9 +370,8 @@ BaseVictimLlc::baseSetContents(SetIdx set) const
 {
     std::vector<Addr> contents;
     for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &line = baseLine(set, w);
-        if (line.valid)
-            contents.push_back(line.tag);
+        if (base_.valid(set, w))
+            contents.push_back(base_.tag(set, w));
     }
     std::sort(contents.begin(), contents.end());
     return contents;
@@ -438,8 +381,8 @@ std::string
 BaseVictimLlc::checkSetInvariants(SetIdx set) const
 {
     for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &base = baseLine(set, w);
-        const CacheLine &vict = victimLine(set, w);
+        const CacheLine base = base_.line(set, w);
+        const CacheLine vict = victim_.line(set, w);
         if (base.valid && base.segments > kFullLineSegments)
             return "base line exceeds 16 segments in way " +
                 std::to_string(w.get());
@@ -461,7 +404,7 @@ BaseVictimLlc::checkSetInvariants(SetIdx set) const
             return "tag in both B and V sections (way " +
                 std::to_string(w.get()) + ")";
         for (WayIdx other{w.get() + 1}; other.get() < ways_; ++other) {
-            const CacheLine &dup = victimLine(set, other);
+            const CacheLine dup = victim_.line(set, other);
             if (dup.valid && dup.tag == vict.tag)
                 return "duplicate tag in the Victim Cache (ways " +
                     std::to_string(w.get()) + " and " +

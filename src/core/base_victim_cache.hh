@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "cache/cache_line.hh"
+#include "cache/tag_array.hh"
 #include "core/llc_interface.hh"
 #include "core/victim_replacement.hh"
 #include "replacement/factory.hh"
@@ -95,28 +96,31 @@ class BaseVictimLlc : public Llc
     /** True in the paper's inclusive configuration (Section IV.B.3). */
     [[nodiscard]] bool inclusive() const { return inclusive_; }
 
-    /** Raw Baseline-Cache line (lockstep mirror check). */
-    [[nodiscard]] const CacheLine &baseLineAt(SetIdx set,
-                                              WayIdx way) const
+    /** Baseline-Cache line by value (lockstep mirror check). */
+    [[nodiscard]] CacheLine baseLineAt(SetIdx set, WayIdx way) const
     {
-        return baseLine(set, way);
+        return base_.line(set, way);
     }
 
-    /** Raw Victim-Cache line (structural checks, tests). */
-    [[nodiscard]] const CacheLine &victimLineAt(SetIdx set,
-                                                WayIdx way) const
+    /** Victim-Cache line by value (structural checks, tests). */
+    [[nodiscard]] CacheLine victimLineAt(SetIdx set, WayIdx way) const
     {
-        return victimLine(set, way);
+        return victim_.line(set, way);
     }
 
     /**
-     * Mutable Victim-Cache line, for tests ONLY: lets the checker's
-     * death tests force a corrupted state (dirty inclusive victim,
-     * duplicated tag) that no legal access sequence can produce.
+     * Force-write a Victim-Cache slot, for tests ONLY: lets the
+     * checker's death tests install a corrupted state (dirty inclusive
+     * victim, duplicated tag) that no legal access sequence can
+     * produce. An invalid `line` clears the slot.
      */
-    [[nodiscard]] CacheLine &debugVictimLineAt(SetIdx set, WayIdx way)
+    void debugSetVictimLine(SetIdx set, WayIdx way,
+                            const CacheLine &line)
     {
-        return victimLine(set, way);
+        if (line.valid)
+            victim_.install(set, way, line);
+        else
+            victim_.invalidate(set, way);
     }
 
     /** Baseline replacement state words for `set` (lockstep check). */
@@ -160,15 +164,16 @@ class BaseVictimLlc : public Llc
         Counter &silentEvictions(VictimEvictReason reason);
     };
 
-    CacheLine &baseLine(SetIdx set, WayIdx way);
-    const CacheLine &baseLine(SetIdx set, WayIdx way) const;
-    CacheLine &victimLine(SetIdx set, WayIdx way);
-    const CacheLine &victimLine(SetIdx set, WayIdx way) const;
-
     [[nodiscard]] std::optional<WayIdx> findBase(SetIdx set,
-                                                 Addr blk) const;
+                                                 Addr blk) const
+    {
+        return base_.find(set, blk);
+    }
     [[nodiscard]] std::optional<WayIdx> findVictim(SetIdx set,
-                                                   Addr blk) const;
+                                                   Addr blk) const
+    {
+        return victim_.find(set, blk);
+    }
 
     /** Baseline victim way: invalid-first, then the base policy. */
     [[nodiscard]] WayIdx chooseBaseWay(SetIdx set);
@@ -209,8 +214,8 @@ class BaseVictimLlc : public Llc
 
     std::size_t sets_;
     std::size_t ways_;
-    std::vector<CacheLine> base_;    // sets_ x ways_
-    std::vector<CacheLine> victim_;  // sets_ x ways_
+    TagArray base_;   // SoA Baseline-Cache section
+    TagArray victim_; // SoA Victim-Cache section
     std::unique_ptr<ReplacementPolicy> baseRepl_;
     std::unique_ptr<VictimReplacement> victimRepl_;
     const Compressor &comp_;

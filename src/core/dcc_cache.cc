@@ -25,14 +25,13 @@ DccLlc::HotCounters::HotCounters(StatGroup &stats)
 DccLlc::DccLlc(std::size_t sizeBytes, std::size_t physWays,
                const Compressor &comp)
     : Llc("llc"),
-      sets_(sizeBytes / kLineBytes / physWays),
+      sets_(cacheSetCount(sizeBytes, physWays, "DCC")),
       physWays_(physWays),
-      blocks_(sets_ * physWays),
+      tags_(sets_ * physWays, kInvalidTag),
+      subMeta_(sets_ * physWays * kSubBlocks, 0),
       comp_(comp),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "DCC set count must be a nonzero power of two");
     repl_ = std::make_unique<LruPolicy>(sets_, physWays_);
 }
 
@@ -56,35 +55,27 @@ DccLlc::setIndex(Addr blk) const
     return SetIdx{(blk >> (kLineShift + 2)) & (sets_ - 1)};
 }
 
-DccLlc::SuperBlock &
-DccLlc::sb(SetIdx set, WayIdx way)
-{
-    return blocks_[set.get() * physWays_ + way.get()];
-}
-
-const DccLlc::SuperBlock &
-DccLlc::sb(SetIdx set, WayIdx way) const
-{
-    return blocks_[set.get() * physWays_ + way.get()];
-}
-
 std::optional<WayIdx>
 DccLlc::findWay(SetIdx set, Addr blk) const
 {
+    // Branchless last-match scan over the contiguous tag row; the
+    // sentinel makes a validity test unnecessary and the no-duplicate
+    // invariant makes last-match equivalent to only-match.
     const Addr tag = superTag(blk);
-    for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
-        const SuperBlock &block = sb(set, w);
-        if (block.valid && block.tag == tag)
-            return w;
-    }
-    return std::nullopt;
+    const Addr *row = tags_.data() + set.get() * physWays_;
+    std::optional<WayIdx> hit;
+    for (std::size_t w = 0; w < physWays_; ++w)
+        hit = row[w] == tag ? std::optional<WayIdx>{WayIdx{
+                                  static_cast<std::uint32_t>(w)}}
+                            : hit;
+    return hit;
 }
 
 std::optional<WayIdx>
 DccLlc::freeWay(SetIdx set) const
 {
     for (const WayIdx w : indexRange<WayIdx>(physWays_))
-        if (!sb(set, w).valid)
+        if (!sbValid(set, w))
             return w;
     return std::nullopt;
 }
@@ -94,12 +85,11 @@ DccLlc::usedSegments(SetIdx set) const
 {
     SegCount used{0};
     for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
-        const SuperBlock &block = sb(set, w);
-        if (!block.valid)
+        if (!sbValid(set, w))
             continue;
         for (unsigned s = 0; s < kSubBlocks; ++s)
-            if (block.present[s])
-                used += block.segments[s];
+            if (present(set, w, s))
+                used += subSegments(set, w, s);
     }
     return used;
 }
@@ -107,13 +97,13 @@ DccLlc::usedSegments(SetIdx set) const
 void
 DccLlc::evictSuperBlock(SetIdx set, WayIdx way, LlcResult &result)
 {
-    SuperBlock &block = sb(set, way);
-    panicIf(!block.valid, "DCC: evicting invalid super-block");
+    panicIf(!sbValid(set, way), "DCC: evicting invalid super-block");
+    const Addr base = sbTag(set, way);
     for (unsigned s = 0; s < kSubBlocks; ++s) {
-        if (!block.present[s])
+        if (!present(set, way, s))
             continue;
-        const Addr addr = block.tag + s * kLineBytes;
-        if (block.dirty[s]) {
+        const Addr addr = base + s * kLineBytes;
+        if (subDirty(set, way, s)) {
             result.memWritebacks.push_back(addr);
             ++ctr_.memWritebacks;
         }
@@ -121,7 +111,7 @@ DccLlc::evictSuperBlock(SetIdx set, WayIdx way, LlcResult &result)
         ++ctr_.backInvalidations;
         ++ctr_.evictions;
     }
-    block = SuperBlock{};
+    clearSuperBlock(set, way);
     repl_->onInvalidate(set, way);
     ++ctr_.superblockEvictions;
 }
@@ -135,7 +125,7 @@ DccLlc::makeRoom(SetIdx set, SegCount segments, bool needTag,
     while (usedSegments(set) + segments > capacity || !haveTag) {
         std::optional<WayIdx> victim;
         for (const WayIdx cand : repl_->rank(set)) {
-            if (sb(set, cand).valid) {
+            if (sbValid(set, cand)) {
                 victim = cand;
                 break;
             }
@@ -159,17 +149,15 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         ++ctr_.demandAccesses;
 
     std::optional<WayIdx> way = findWay(set, blk);
-    if (way && sb(set, *way).present[sub]) {
+    if (way && present(set, *way, sub)) {
         // Sub-block hit.
         result.hit = true;
-        SuperBlock &block = sb(set, *way);
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
-            block.dirty[sub] = true;
             const SegCount newSegs = compressedSegmentsFor(comp_, data);
             // Growth may overflow the pool; DCC frees other
             // super-blocks (no re-compaction needed: indirection).
-            block.segments[sub] = SegCount{0};
+            setSubMeta(set, *way, sub, true, true, SegCount{0});
             makeRoom(set, newSegs, false, result);
             // The accessed super-block may itself have been evicted
             // while making room; re-locate it.
@@ -178,15 +166,10 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
                 // Extremely tight set: reinstall just this sub-block.
                 makeRoom(set, newSegs, true, result);
                 way = freeWay(set);
-                SuperBlock &fresh = sb(set, *way);
-                fresh.valid = true;
-                fresh.tag = superTag(blk);
+                tags_[tagIndex(set, *way)] = superTag(blk);
                 repl_->onFill(set, *way);
             }
-            SuperBlock &owner = sb(set, *way);
-            owner.present[sub] = true;
-            owner.dirty[sub] = true;
-            owner.segments[sub] = newSegs;
+            setSubMeta(set, *way, sub, true, true, newSegs);
         } else if (demand) {
             ++ctr_.demandHits;
             repl_->onHit(set, *way);
@@ -213,16 +196,11 @@ DccLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     if (!way) {
         way = freeWay(set);
         panicIf(!way, "DCC: no free tag after makeRoom");
-        SuperBlock &fresh = sb(set, *way);
-        fresh.valid = true;
-        fresh.tag = superTag(blk);
+        tags_[tagIndex(set, *way)] = superTag(blk);
         ++ctr_.superblockFills;
     }
 
-    SuperBlock &block = sb(set, *way);
-    block.present[sub] = true;
-    block.dirty[sub] = false;
-    block.segments[sub] = segments;
+    setSubMeta(set, *way, sub, true, false, segments);
     repl_->onFill(set, *way);
     ++ctr_.fills;
     return result;
@@ -233,19 +211,15 @@ DccLlc::probe(Addr blk) const
 {
     const SetIdx set = setIndex(blk);
     const std::optional<WayIdx> way = findWay(set, blk);
-    return way && sb(set, *way).present[subIndex(blk)];
+    return way && present(set, *way, subIndex(blk));
 }
 
 std::size_t
 DccLlc::validLines() const
 {
     std::size_t count = 0;
-    for (const SuperBlock &block : blocks_) {
-        if (!block.valid)
-            continue;
-        for (unsigned s = 0; s < kSubBlocks; ++s)
-            count += block.present[s];
-    }
+    for (const std::uint8_t meta : subMeta_)
+        count += linemeta::valid(meta) ? 1 : 0;
     return count;
 }
 
@@ -258,23 +232,22 @@ DccLlc::checkSetInvariants(SetIdx set) const
             std::to_string(usedSegments(set).get()) + " > " +
             std::to_string(capacity.get());
     for (const WayIdx w : indexRange<WayIdx>(physWays_)) {
-        const SuperBlock &block = sb(set, w);
-        if (!block.valid) {
+        if (!sbValid(set, w)) {
             for (unsigned s = 0; s < kSubBlocks; ++s)
-                if (block.present[s])
+                if (present(set, w, s))
                     return "present sub-block under an invalid tag "
                            "(way " + std::to_string(w.get()) + ")";
             continue;
         }
         for (unsigned s = 0; s < kSubBlocks; ++s)
-            if (block.present[s] &&
-                block.segments[s] > kFullLineSegments)
+            if (present(set, w, s) &&
+                subSegments(set, w, s) > kFullLineSegments)
                 return "sub-block exceeds 16 segments (way " +
                     std::to_string(w.get()) + ")";
         for (WayIdx other{w.get() + 1}; other.get() < physWays_;
              ++other) {
-            const SuperBlock &dup = sb(set, other);
-            if (dup.valid && dup.tag == block.tag)
+            if (sbValid(set, other) &&
+                sbTag(set, other) == sbTag(set, w))
                 return "duplicate super-block tag in ways " +
                     std::to_string(w.get()) + " and " +
                     std::to_string(other.get());

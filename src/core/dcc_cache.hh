@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 
+#include "cache/tag_array.hh"
 #include "core/llc_interface.hh"
 #include "replacement/lru.hh"
 
@@ -64,18 +65,66 @@ class DccLlc : public Llc
     [[nodiscard]] std::string checkSetInvariants(SetIdx set) const;
 
   private:
-    /** One super-block tag entry. */
-    struct SuperBlock
-    {
-        Addr tag = 0; //!< super-block base address (4-line aligned)
-        bool valid = false;
-        bool present[kSubBlocks] = {};
-        bool dirty[kSubBlocks] = {};
-        SegCount segments[kSubBlocks] = {};
-    };
+    /**
+     * Sentinel stored in tags_ for an invalid super-block slot. Real
+     * super-block tags are 256B-aligned addresses and can never equal
+     * it, so findWay scans the contiguous tag row with no valid bit.
+     */
+    static constexpr Addr kInvalidTag = ~Addr{0};
 
-    SuperBlock &sb(SetIdx set, WayIdx way);
-    const SuperBlock &sb(SetIdx set, WayIdx way) const;
+    [[nodiscard]] std::size_t tagIndex(SetIdx set, WayIdx way) const
+    {
+        return set.get() * physWays_ + way.get();
+    }
+
+    [[nodiscard]] std::size_t metaIndex(SetIdx set, WayIdx way,
+                                        unsigned sub) const
+    {
+        return tagIndex(set, way) * kSubBlocks + sub;
+    }
+
+    [[nodiscard]] bool sbValid(SetIdx set, WayIdx way) const
+    {
+        return tags_[tagIndex(set, way)] != kInvalidTag;
+    }
+
+    [[nodiscard]] Addr sbTag(SetIdx set, WayIdx way) const
+    {
+        return tags_[tagIndex(set, way)];
+    }
+
+    [[nodiscard]] bool present(SetIdx set, WayIdx way,
+                               unsigned sub) const
+    {
+        return linemeta::valid(subMeta_[metaIndex(set, way, sub)]);
+    }
+
+    [[nodiscard]] bool subDirty(SetIdx set, WayIdx way,
+                                unsigned sub) const
+    {
+        return linemeta::dirty(subMeta_[metaIndex(set, way, sub)]);
+    }
+
+    [[nodiscard]] SegCount subSegments(SetIdx set, WayIdx way,
+                                       unsigned sub) const
+    {
+        return linemeta::segments(subMeta_[metaIndex(set, way, sub)]);
+    }
+
+    void setSubMeta(SetIdx set, WayIdx way, unsigned sub,
+                    bool isPresent, bool isDirty, SegCount segments)
+    {
+        subMeta_[metaIndex(set, way, sub)] =
+            linemeta::pack(isPresent, isDirty, segments);
+    }
+
+    /** Clear one super-block slot: sentinel tag, all sub-meta zero. */
+    void clearSuperBlock(SetIdx set, WayIdx way)
+    {
+        tags_[tagIndex(set, way)] = kInvalidTag;
+        for (unsigned s = 0; s < kSubBlocks; ++s)
+            subMeta_[metaIndex(set, way, s)] = 0;
+    }
 
     [[nodiscard]] static Addr superTag(Addr blk);
     [[nodiscard]] static unsigned subIndex(Addr blk);
@@ -107,8 +156,9 @@ class DccLlc : public Llc
 
     std::size_t sets_;
     std::size_t physWays_;
-    std::vector<SuperBlock> blocks_;
-    std::unique_ptr<LruPolicy> repl_; //!< super-block granularity
+    std::vector<Addr> tags_;            // SoA: super-block tags
+    std::vector<std::uint8_t> subMeta_; // packed per-sub-block metadata
+    std::unique_ptr<LruPolicy> repl_;   //!< super-block granularity
     const Compressor &comp_;
     HotCounters ctr_;
 };

@@ -29,14 +29,12 @@ TwoTagLlc::TwoTagLlc(std::string statName, std::size_t sizeBytes,
                      std::size_t physWays, ReplacementKind repl,
                      const Compressor &comp)
     : Llc(std::move(statName)),
-      sets_(sizeBytes / kLineBytes / physWays),
+      sets_(cacheSetCount(sizeBytes, physWays, "two-tag LLC")),
       physWays_(physWays),
-      slots_(sets_ * physWays * 2),
+      tags_(sets_, physWays * 2),
       comp_(comp),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "two-tag LLC set count must be a nonzero power of two");
     repl_ = makeReplacement(repl, sets_, numSlots());
 }
 
@@ -46,51 +44,34 @@ TwoTagLlc::setIndex(Addr blk) const
     return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
 }
 
-CacheLine &
-TwoTagLlc::slot(SetIdx set, WayIdx s)
-{
-    return slots_[set.get() * numSlots() + s.get()];
-}
-
-const CacheLine &
-TwoTagLlc::slot(SetIdx set, WayIdx s) const
-{
-    return slots_[set.get() * numSlots() + s.get()];
-}
-
 std::optional<WayIdx>
 TwoTagLlc::findSlot(SetIdx set, Addr blk) const
 {
-    for (const WayIdx s : indexRange<WayIdx>(numSlots())) {
-        const CacheLine &line = slot(set, s);
-        if (line.valid && line.tag == blk)
-            return s;
-    }
-    return std::nullopt;
+    return tags_.find(set, blk);
 }
 
 bool
 TwoTagLlc::fits(SetIdx set, WayIdx s, SegCount segments) const
 {
-    const CacheLine &partner = slot(set, partnerOf(s));
-    if (!partner.valid)
+    const WayIdx partner = partnerOf(s);
+    if (!tags_.valid(set, partner))
         return true;
-    return partner.segments + segments <= kFullLineSegments;
+    return tags_.segments(set, partner) + segments <= kFullLineSegments;
 }
 
 void
 TwoTagLlc::evictSlot(SetIdx set, WayIdx s, LlcResult &result)
 {
-    CacheLine &line = slot(set, s);
-    panicIf(!line.valid, "TwoTagLlc: evicting invalid slot");
+    panicIf(!tags_.valid(set, s), "TwoTagLlc: evicting invalid slot");
+    const Addr victimTag = tags_.tag(set, s);
     ++ctr_.evictions;
-    if (line.dirty) {
-        result.memWritebacks.push_back(line.tag);
+    if (tags_.dirty(set, s)) {
+        result.memWritebacks.push_back(victimTag);
         ++ctr_.memWritebacks;
     }
-    result.backInvalidations.push_back(line.tag);
+    result.backInvalidations.push_back(victimTag);
     ++ctr_.backInvalidations;
-    line.invalidate();
+    tags_.invalidate(set, s);
     repl_->onInvalidate(set, s);
 }
 
@@ -111,29 +92,29 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 
     if (s) {
         result.hit = true;
-        CacheLine &line = slot(set, *s);
+        const SegCount storedSegs = tags_.segments(set, *s);
         // A writeback overwrites the whole line, so the stored copy is
         // never decompressed: no latency charge, no counter bump.
         if (type != AccessType::Writeback) {
             result.extraLatency +=
-                decompressLatencyFor(comp_, line.segments);
-            if (needsDecompression(line.segments))
+                decompressLatencyFor(comp_, storedSegs);
+            if (needsDecompression(storedSegs))
                 ++ctr_.decompressions;
         }
 
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
-            line.dirty = true;
+            tags_.setDirty(set, *s, true);
             const SegCount newSegs = compressedSegmentsFor(comp_, data);
             ++ctr_.compressions;
-            if (newSegs > line.segments && !fits(set, *s, newSegs) &&
-                slot(set, partnerOf(*s)).valid) {
+            if (newSegs > storedSegs && !fits(set, *s, newSegs) &&
+                tags_.valid(set, partnerOf(*s))) {
                 // The rewritten line grew past its partner: evict the
                 // partner (write hit scenario, Section IV.B.5 analog).
                 ++ctr_.partnerEvictionsOnWrite;
                 evictSlot(set, partnerOf(*s), result);
             }
-            line.segments = newSegs;
+            tags_.setSegments(set, *s, newSegs);
         } else if (demand) {
             ++ctr_.demandHits;
             repl_->onHit(set, *s);
@@ -159,7 +140,7 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     // available.
     std::optional<WayIdx> fillSlot;
     for (const WayIdx cand : indexRange<WayIdx>(numSlots())) {
-        if (!slot(set, cand).valid && fits(set, cand, segments)) {
+        if (!tags_.valid(set, cand) && fits(set, cand, segments)) {
             fillSlot = cand;
             break;
         }
@@ -167,7 +148,7 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 
     if (!fillSlot) {
         fillSlot = chooseVictimSlot(set, segments);
-        if (slot(set, *fillSlot).valid)
+        if (tags_.valid(set, *fillSlot))
             evictSlot(set, *fillSlot, result);
     }
     if (!fits(set, *fillSlot, segments)) {
@@ -176,11 +157,12 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
         evictSlot(set, partnerOf(*fillSlot), result);
     }
 
-    CacheLine &line = slot(set, *fillSlot);
-    line.tag = blk;
-    line.valid = true;
-    line.dirty = false;
-    line.segments = segments;
+    CacheLine fill;
+    fill.tag = blk;
+    fill.valid = true;
+    fill.dirty = false;
+    fill.segments = segments;
+    tags_.install(set, *fillSlot, fill);
     repl_->onFill(set, *fillSlot);
     ++ctr_.fills;
     return result;
@@ -203,11 +185,7 @@ TwoTagLlc::downgradeHint(Addr blk)
 std::size_t
 TwoTagLlc::validLines() const
 {
-    std::size_t count = 0;
-    for (const CacheLine &line : slots_)
-        if (line.valid)
-            ++count;
-    return count;
+    return tags_.validCount();
 }
 
 bool
@@ -223,13 +201,13 @@ std::string
 TwoTagLlc::checkSetInvariants(SetIdx set) const
 {
     for (const WayIdx s : indexRange<WayIdx>(numSlots())) {
-        const CacheLine &line = slot(set, s);
+        const CacheLine line = tags_.line(set, s);
         if (!line.valid)
             continue;
         if (line.segments > kFullLineSegments)
             return "line exceeds 16 segments in slot " +
                 std::to_string(s.get());
-        const CacheLine &partner = slot(set, partnerOf(s));
+        const CacheLine partner = tags_.line(set, partnerOf(s));
         if (s < partnerOf(s) && partner.valid &&
             line.segments + partner.segments > kFullLineSegments) {
             return "pair-fit violated in physical way " +
@@ -239,8 +217,8 @@ TwoTagLlc::checkSetInvariants(SetIdx set) const
         }
         for (WayIdx other{s.get() + 1}; other.get() < numSlots();
              ++other) {
-            const CacheLine &dup = slot(set, other);
-            if (dup.valid && dup.tag == line.tag)
+            if (tags_.valid(set, other) &&
+                tags_.tag(set, other) == line.tag)
                 return "duplicate tag in slots " +
                     std::to_string(s.get()) + " and " +
                     std::to_string(other.get());
@@ -283,17 +261,17 @@ TwoTagModifiedLlc::chooseVictimSlot(SetIdx set, SegCount segments)
     std::optional<WayIdx> best;
     SegCount bestSegments{0};
     for (const WayIdx cand : candidates) {
-        const CacheLine &line = slot(set, cand);
-        if (!line.valid)
+        if (!tags_.valid(set, cand))
             continue;
         // Fit check against the partner, ignoring the candidate itself
         // (it is being evicted).
-        const CacheLine &partner = slot(set, partnerOf(cand));
-        const bool ok = !partner.valid ||
-            partner.segments + segments <= kFullLineSegments;
-        if (ok && (!best || line.segments > bestSegments)) {
+        const WayIdx partner = partnerOf(cand);
+        const bool ok = !tags_.valid(set, partner) ||
+            tags_.segments(set, partner) + segments <= kFullLineSegments;
+        const SegCount candSegs = tags_.segments(set, cand);
+        if (ok && (!best || candSegs > bestSegments)) {
             best = cand;
-            bestSegments = line.segments;
+            bestSegments = candSegs;
         }
     }
     if (best)

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "cache/cache_line.hh"
+#include "cache/tag_array.hh"
 #include "core/llc_interface.hh"
 #include "replacement/factory.hh"
 
@@ -73,9 +74,6 @@ class TwoTagLlc : public Llc
   protected:
     [[nodiscard]] std::size_t numSlots() const { return physWays_ * 2; }
 
-    CacheLine &slot(SetIdx set, WayIdx s);
-    const CacheLine &slot(SetIdx set, WayIdx s) const;
-
     /** Partner slot sharing the same physical way. */
     [[nodiscard]] static WayIdx partnerOf(WayIdx s)
     {
@@ -116,7 +114,7 @@ class TwoTagLlc : public Llc
 
     std::size_t sets_;
     std::size_t physWays_;
-    std::vector<CacheLine> slots_; // sets_ x (2*physWays_)
+    TagArray tags_; // SoA: sets_ x (2*physWays_) logical slots
     std::unique_ptr<ReplacementPolicy> repl_;
     const Compressor &comp_;
     HotCounters ctr_;

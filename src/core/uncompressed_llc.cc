@@ -25,13 +25,11 @@ UncompressedLlc::HotCounters::HotCounters(StatGroup &stats)
 UncompressedLlc::UncompressedLlc(std::size_t sizeBytes, std::size_t ways,
                                  ReplacementKind repl)
     : Llc("llc"),
-      sets_(sizeBytes / kLineBytes / ways),
+      sets_(cacheSetCount(sizeBytes, ways, "LLC")),
       ways_(ways),
-      lines_(sets_ * ways_),
+      tags_(sets_, ways_),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "LLC set count must be a nonzero power of two");
     repl_ = makeReplacement(repl, sets_, ways_);
 }
 
@@ -39,17 +37,6 @@ SetIdx
 UncompressedLlc::setIndex(Addr blk) const
 {
     return SetIdx{(blk >> kLineShift) & (sets_ - 1)};
-}
-
-std::optional<WayIdx>
-UncompressedLlc::findWay(SetIdx set, Addr blk) const
-{
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &line = lineAt(set, w);
-        if (line.valid && line.tag == blk)
-            return w;
-    }
-    return std::nullopt;
 }
 
 LlcResult
@@ -67,9 +54,8 @@ UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
     if (way) {
         // Hit. Only demand accesses promote; writebacks just set dirty.
         result.hit = true;
-        CacheLine &hitLine = line(set, *way);
         if (type == AccessType::Writeback) {
-            hitLine.dirty = true;
+            tags_.setDirty(set, *way, true);
             ++ctr_.writebackHits;
         } else if (demand) {
             repl_->onHit(set, *way);
@@ -91,31 +77,27 @@ UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
         ++ctr_.prefetchMisses;
 
     // Fill: invalid way first, then the policy's victim.
-    std::optional<WayIdx> fillWay;
-    for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        if (!lineAt(set, w).valid) {
-            fillWay = w;
-            break;
-        }
-    }
+    std::optional<WayIdx> fillWay = tags_.firstInvalid(set);
     if (!fillWay)
         fillWay = repl_->victim(set);
 
-    CacheLine &fillLine = line(set, *fillWay);
-    if (fillLine.valid) {
+    if (tags_.valid(set, *fillWay)) {
+        const Addr victimTag = tags_.tag(set, *fillWay);
         ++ctr_.evictions;
-        if (fillLine.dirty) {
-            result.memWritebacks.push_back(fillLine.tag);
+        if (tags_.dirty(set, *fillWay)) {
+            result.memWritebacks.push_back(victimTag);
             ++ctr_.memWritebacks;
         }
-        result.backInvalidations.push_back(fillLine.tag);
+        result.backInvalidations.push_back(victimTag);
         ++ctr_.backInvalidations;
     }
 
-    fillLine.tag = blk;
-    fillLine.valid = true;
-    fillLine.dirty = false;
-    fillLine.segments = kFullLineSegments;
+    CacheLine fill;
+    fill.tag = blk;
+    fill.valid = true;
+    fill.dirty = false;
+    fill.segments = kFullLineSegments;
+    tags_.install(set, *fillWay, fill);
     repl_->onFill(set, *fillWay);
     ++ctr_.fills;
     return result;
@@ -138,11 +120,7 @@ UncompressedLlc::downgradeHint(Addr blk)
 std::size_t
 UncompressedLlc::validLines() const
 {
-    std::size_t count = 0;
-    for (const CacheLine &line : lines_)
-        if (line.valid)
-            ++count;
-    return count;
+    return tags_.validCount();
 }
 
 std::vector<Addr>
@@ -150,9 +128,8 @@ UncompressedLlc::setContents(SetIdx set) const
 {
     std::vector<Addr> contents;
     for (const WayIdx w : indexRange<WayIdx>(ways_)) {
-        const CacheLine &line = lineAt(set, w);
-        if (line.valid)
-            contents.push_back(line.tag);
+        if (tags_.valid(set, w))
+            contents.push_back(tags_.tag(set, w));
     }
     std::sort(contents.begin(), contents.end());
     return contents;

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "cache/cache_line.hh"
+#include "cache/tag_array.hh"
 #include "core/llc_interface.hh"
 #include "replacement/factory.hh"
 
@@ -55,10 +56,10 @@ class UncompressedLlc : public Llc
 
     [[nodiscard]] SetIdx setIndex(Addr blk) const;
 
-    /** Raw line at (set, way), including dirty state (lockstep check). */
-    [[nodiscard]] const CacheLine &lineAt(SetIdx set, WayIdx way) const
+    /** Line at (set, way), including dirty state (lockstep check). */
+    [[nodiscard]] CacheLine lineAt(SetIdx set, WayIdx way) const
     {
-        return lines_[set.get() * ways_ + way.get()];
+        return tags_.line(set, way);
     }
 
     /** Replacement-policy state words for `set` (lockstep check). */
@@ -82,16 +83,14 @@ class UncompressedLlc : public Llc
     };
 
     [[nodiscard]] std::optional<WayIdx> findWay(SetIdx set,
-                                                Addr blk) const;
-
-    [[nodiscard]] CacheLine &line(SetIdx set, WayIdx way)
+                                                Addr blk) const
     {
-        return lines_[set.get() * ways_ + way.get()];
+        return tags_.find(set, blk);
     }
 
     std::size_t sets_;
     std::size_t ways_;
-    std::vector<CacheLine> lines_;
+    TagArray tags_; // SoA: contiguous tags + packed metadata
     std::unique_ptr<ReplacementPolicy> repl_;
     HotCounters ctr_; //!< must follow stats_ initialization
 };

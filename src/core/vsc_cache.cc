@@ -25,15 +25,13 @@ VscLlc::HotCounters::HotCounters(StatGroup &stats)
 VscLlc::VscLlc(std::size_t sizeBytes, std::size_t physWays,
                const Compressor &comp)
     : Llc("llc"),
-      sets_(sizeBytes / kLineBytes / physWays),
+      sets_(cacheSetCount(sizeBytes, physWays, "VSC")),
       physWays_(physWays),
       tagsPerSet_(physWays * 2),
-      slots_(sets_ * physWays * 2),
+      tags_(sets_, physWays * 2),
       comp_(comp),
       ctr_(stats_)
 {
-    panicIf(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
-            "VSC set count must be a nonzero power of two");
     repl_ = std::make_unique<LruPolicy>(sets_, tagsPerSet_);
 }
 
@@ -46,12 +44,7 @@ VscLlc::setIndex(Addr blk) const
 std::optional<WayIdx>
 VscLlc::findSlot(SetIdx set, Addr blk) const
 {
-    for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
-        const CacheLine &line = slot(set, s);
-        if (line.valid && line.tag == blk)
-            return s;
-    }
-    return std::nullopt;
+    return tags_.find(set, blk);
 }
 
 SegCount
@@ -59,11 +52,23 @@ VscLlc::usedSegments(SetIdx set) const
 {
     SegCount used{0};
     for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
-        const CacheLine &line = slot(set, s);
-        if (line.valid)
-            used += line.segments;
+        if (tags_.valid(set, s))
+            used += tags_.segments(set, s);
     }
     return used;
+}
+
+void
+VscLlc::evictSlot(SetIdx set, WayIdx victim, LlcResult &result)
+{
+    if (tags_.dirty(set, victim)) {
+        result.memWritebacks.push_back(tags_.tag(set, victim));
+        ++ctr_.memWritebacks;
+    }
+    result.backInvalidations.push_back(tags_.tag(set, victim));
+    tags_.invalidate(set, victim);
+    repl_->onInvalidate(set, victim);
+    ++ctr_.evictions;
 }
 
 LlcResult
@@ -82,26 +87,18 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 
     if (s) {
         result.hit = true;
-        CacheLine &line = slot(set, *s);
         if (type == AccessType::Writeback) {
             ++ctr_.writebackHits;
-            line.dirty = true;
+            tags_.setDirty(set, *s, true);
             // A grown line may force evictions to stay within capacity;
             // this is VSC's re-compaction overhead (drawback 1, Sec II).
-            line.segments = compressedSegmentsFor(comp_, data);
+            tags_.setSegments(set, *s,
+                              compressedSegmentsFor(comp_, data));
             while (usedSegments(set) > capacity) {
                 for (const WayIdx victim : repl_->rank(set)) {
-                    CacheLine &vline = slot(set, victim);
-                    if (!vline.valid || victim == *s)
+                    if (!tags_.valid(set, victim) || victim == *s)
                         continue;
-                    if (vline.dirty) {
-                        result.memWritebacks.push_back(vline.tag);
-                        ++ctr_.memWritebacks;
-                    }
-                    result.backInvalidations.push_back(vline.tag);
-                    vline.invalidate();
-                    repl_->onInvalidate(set, victim);
-                    ++ctr_.evictions;
+                    evictSlot(set, victim, result);
                     break;
                 }
             }
@@ -126,13 +123,7 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     const SegCount segments = compressedSegmentsFor(comp_, data);
 
     // Find a free tag slot.
-    std::optional<WayIdx> fillSlot;
-    for (const WayIdx cand : indexRange<WayIdx>(tagsPerSet_)) {
-        if (!slot(set, cand).valid) {
-            fillSlot = cand;
-            break;
-        }
-    }
+    std::optional<WayIdx> fillSlot = tags_.firstInvalid(set);
 
     // Evict in LRU order until both a tag and enough segments free up
     // (drawback 3 of Section II: multiple evictions per fill).
@@ -140,21 +131,13 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     while (!fillSlot || usedSegments(set) + segments > capacity) {
         std::optional<WayIdx> victim;
         for (const WayIdx cand : repl_->rank(set)) {
-            if (slot(set, cand).valid) {
+            if (tags_.valid(set, cand)) {
                 victim = cand;
                 break;
             }
         }
         panicIf(!victim, "VscLlc: nothing left to evict");
-        CacheLine &vline = slot(set, *victim);
-        if (vline.dirty) {
-            result.memWritebacks.push_back(vline.tag);
-            ++ctr_.memWritebacks;
-        }
-        result.backInvalidations.push_back(vline.tag);
-        vline.invalidate();
-        repl_->onInvalidate(set, *victim);
-        ++ctr_.evictions;
+        evictSlot(set, *victim, result);
         ++lastFillEvictions_;
         if (!fillSlot)
             fillSlot = victim;
@@ -163,11 +146,12 @@ VscLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     if (lastFillEvictions_ > 1)
         ++ctr_.multiEvictFills;
 
-    CacheLine &line = slot(set, *fillSlot);
-    line.tag = blk;
-    line.valid = true;
-    line.dirty = false;
-    line.segments = segments;
+    CacheLine fill;
+    fill.tag = blk;
+    fill.valid = true;
+    fill.dirty = false;
+    fill.segments = segments;
+    tags_.install(set, *fillSlot, fill);
     repl_->onFill(set, *fillSlot);
     ++ctr_.fills;
     return result;
@@ -182,11 +166,7 @@ VscLlc::probe(Addr blk) const
 std::size_t
 VscLlc::validLines() const
 {
-    std::size_t count = 0;
-    for (const CacheLine &line : slots_)
-        if (line.valid)
-            ++count;
-    return count;
+    return tags_.validCount();
 }
 
 std::string
@@ -198,7 +178,7 @@ VscLlc::checkSetInvariants(SetIdx set) const
             std::to_string(usedSegments(set).get()) + " > " +
             std::to_string(capacity.get());
     for (const WayIdx s : indexRange<WayIdx>(tagsPerSet_)) {
-        const CacheLine &line = slot(set, s);
+        const CacheLine line = tags_.line(set, s);
         if (!line.valid)
             continue;
         if (line.segments > kFullLineSegments)
@@ -206,8 +186,8 @@ VscLlc::checkSetInvariants(SetIdx set) const
                 std::to_string(s.get());
         for (WayIdx other{s.get() + 1}; other.get() < tagsPerSet_;
              ++other) {
-            const CacheLine &dup = slot(set, other);
-            if (dup.valid && dup.tag == line.tag)
+            if (tags_.valid(set, other) &&
+                tags_.tag(set, other) == line.tag)
                 return "duplicate tag in slots " +
                     std::to_string(s.get()) + " and " +
                     std::to_string(other.get());

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "cache/cache_line.hh"
+#include "cache/tag_array.hh"
 #include "core/llc_interface.hh"
 #include "replacement/lru.hh"
 
@@ -73,15 +74,8 @@ class VscLlc : public Llc
     [[nodiscard]] std::optional<WayIdx> findSlot(SetIdx set,
                                                  Addr blk) const;
 
-    [[nodiscard]] CacheLine &slot(SetIdx set, WayIdx s)
-    {
-        return slots_[set.get() * tagsPerSet_ + s.get()];
-    }
-
-    [[nodiscard]] const CacheLine &slot(SetIdx set, WayIdx s) const
-    {
-        return slots_[set.get() * tagsPerSet_ + s.get()];
-    }
+    /** Evict the line in `victim`, with writeback accounting. */
+    void evictSlot(SetIdx set, WayIdx victim, LlcResult &result);
 
     /** Per-access counters resolved once (no string lookups per hit). */
     struct HotCounters
@@ -98,7 +92,7 @@ class VscLlc : public Llc
     std::size_t sets_;
     std::size_t physWays_;
     std::size_t tagsPerSet_;
-    std::vector<CacheLine> slots_;
+    TagArray tags_; // SoA: sets_ x (2*physWays_) decoupled tag slots
     std::unique_ptr<LruPolicy> repl_;
     const Compressor &comp_;
     unsigned lastFillEvictions_ = 0;

@@ -28,7 +28,13 @@ OooCore::step(TraceSource &source)
     TraceRecord record;
     if (!source.next(record))
         return false;
+    stepRecord(record);
+    return true;
+}
 
+void
+OooCore::stepRecord(const TraceRecord &record)
+{
     // --- Fetch: 4-wide, stalls when the ROB slot is still in flight ---
     const std::size_t slot = retired_ % rob_.size();
     Cycle fetch = fetchCycle_;
@@ -88,7 +94,6 @@ OooCore::step(TraceSource &source)
         slotInCycle_ = 0;
         ++fetchCycle_;
     }
-    return true;
 }
 
 CoreResult

@@ -61,6 +61,12 @@ class OooCore
     bool step(TraceSource &source);
 
     /**
+     * Execute one already-decoded instruction (the block-buffered
+     * System path: decode happens a block at a time upstream).
+     */
+    void stepRecord(const TraceRecord &record);
+
+    /**
      * Run `count` instructions (or to trace end) and report IPC over
      * exactly that span.
      */

@@ -9,6 +9,8 @@
 #ifndef BVC_CPU_TRACE_HH_
 #define BVC_CPU_TRACE_HH_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +58,67 @@ class TraceSource
     virtual void reset() = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Produce up to `max` records into `out`, preserving the exact
+     * stream next() would deliver. The default implementation loops
+     * next(); sources with cheaper bulk paths (synthetic generators,
+     * decoded file blocks) override it to amortize per-record virtual
+     * dispatch out of the simulation hot loop.
+     * @return the number of records produced; fewer than `max` only at
+     *         end of trace (0 means exhausted)
+     */
+    virtual std::size_t nextBlock(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+};
+
+/**
+ * Consumer-side block buffer over a TraceSource: the simulation loop
+ * pulls one record at a time while decode/generation happens a block
+ * (kBlockRecords) at a time through nextBlock(). The record stream is
+ * byte-identical to calling source.next() directly.
+ */
+class TraceBlockReader
+{
+  public:
+    /** Records fetched per refill (fits comfortably in L1D). */
+    static constexpr std::size_t kBlockRecords = 256;
+
+    TraceBlockReader() = default;
+
+    explicit TraceBlockReader(TraceSource &source) { bind(source); }
+
+    /** (Re)attach to a source and discard any buffered records. */
+    void bind(TraceSource &source)
+    {
+        source_ = &source;
+        cursor_ = 0;
+        filled_ = 0;
+    }
+
+    /** @return false when the underlying trace is exhausted */
+    bool next(TraceRecord &record)
+    {
+        if (cursor_ >= filled_) {
+            filled_ = source_->nextBlock(block_.data(), kBlockRecords);
+            cursor_ = 0;
+            if (filled_ == 0)
+                return false;
+        }
+        record = block_[cursor_++];
+        return true;
+    }
+
+  private:
+    TraceSource *source_ = nullptr;
+    std::array<TraceRecord, kBlockRecords> block_{};
+    std::size_t cursor_ = 0;
+    std::size_t filled_ = 0;
 };
 
 } // namespace bvc

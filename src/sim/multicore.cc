@@ -38,6 +38,7 @@ MultiCoreSystem::MultiCoreSystem(
         // last record so early finishers keep contending (Section V).
         OpenedTrace opened = openTrace(params, /*loopReplay=*/true);
         traces_[i] = std::move(opened.source);
+        blockReaders_[i].bind(*traces_[i]);
         mems_[i] = std::make_unique<FunctionalMemory>(
             [pattern = opened.pattern](Addr blk, std::uint8_t *out) {
                 pattern.fillLine(blk, out);
@@ -75,10 +76,12 @@ MultiCoreSystem::stepOne()
         }
     }
     panicIf(pick == kThreads, "stepOne: all threads done");
-    const bool more = cores_[pick]->step(*traces_[pick]);
+    TraceRecord record;
+    const bool more = blockReaders_[pick].next(record);
     // Generators never exhaust and file traces loop (openTrace passes
     // loopReplay), so the only way to run dry is an empty trace file.
     panicIf(!more, "multicore trace ran dry (empty trace file?)");
+    cores_[pick]->stepRecord(record);
     return CoreId{pick};
 }
 

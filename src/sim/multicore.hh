@@ -84,6 +84,8 @@ class MultiCoreSystem
     std::unique_ptr<Llc> llc_;
     Dram dram_;
     std::array<std::unique_ptr<TraceSource>, kThreads> traces_;
+    /** Per-core block-buffered decode boundary (see System). */
+    std::array<TraceBlockReader, kThreads> blockReaders_;
     std::array<std::unique_ptr<FunctionalMemory>, kThreads> mems_;
     std::array<std::unique_ptr<Hierarchy>, kThreads> hiers_;
     std::array<std::unique_ptr<OooCore>, kThreads> cores_;

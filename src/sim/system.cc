@@ -135,6 +135,7 @@ System::System(const SystemConfig &cfg, const TraceParams &trace)
     // (for file replay, the pattern captured in the file's header).
     OpenedTrace opened = openTrace(trace);
     trace_ = std::move(opened.source);
+    blockReader_.bind(*trace_);
     mem_ = FunctionalMemory(
         [pattern = opened.pattern](Addr blk, std::uint8_t *out) {
             pattern.fillLine(blk, out);
@@ -170,9 +171,11 @@ System::snapshot() const
 RunResult
 System::run(std::uint64_t warmup, std::uint64_t measure)
 {
+    TraceRecord record;
     for (std::uint64_t i = 0; i < warmup; ++i) {
-        if (!core_->step(*trace_))
+        if (!blockReader_.next(record))
             break;
+        core_->stepRecord(record);
     }
 
     // Statistics measure only the steady-state window; all cache, DRAM
@@ -184,8 +187,9 @@ System::run(std::uint64_t warmup, std::uint64_t measure)
     core_->beginMeasurement();
 
     for (std::uint64_t i = 0; i < measure; ++i) {
-        if (!core_->step(*trace_))
+        if (!blockReader_.next(record))
             break;
+        core_->stepRecord(record);
     }
     return snapshot();
 }

@@ -137,6 +137,9 @@ class System
     std::unique_ptr<Llc> llc_;
     Dram dram_;
     std::unique_ptr<TraceSource> trace_;
+    /** Block-buffered decode boundary: run() pulls records through
+     *  here so trace decode happens kBlockRecords at a time. */
+    TraceBlockReader blockReader_;
     FunctionalMemory mem_;
     std::unique_ptr<Hierarchy> hier_;
     std::unique_ptr<OooCore> core_;

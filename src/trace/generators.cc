@@ -164,8 +164,8 @@ SyntheticTrace::genMemOp(TraceRecord &record)
     }
 }
 
-bool
-SyntheticTrace::next(TraceRecord &record)
+void
+SyntheticTrace::generate(TraceRecord &record)
 {
     if (pendingNonMem_ > 0) {
         --pendingNonMem_;
@@ -176,7 +176,7 @@ SyntheticTrace::next(TraceRecord &record)
         record.pc = codeBase_ + 0x100 +
             (static_cast<Addr>(pcIdx_) * 16);
         pcIdx_ = (pcIdx_ + 1) % params_.pcCount;
-        return true;
+        return;
     }
 
     genMemOp(record);
@@ -186,7 +186,23 @@ SyntheticTrace::next(TraceRecord &record)
     const double mean = (1.0 - memFrac_) / memFrac_;
     const auto bound = static_cast<std::uint64_t>(2.0 * mean + 1.0);
     pendingNonMem_ = static_cast<unsigned>(rng_.range(bound + 1));
+}
+
+bool
+SyntheticTrace::next(TraceRecord &record)
+{
+    generate(record);
     return true;
+}
+
+std::size_t
+SyntheticTrace::nextBlock(TraceRecord *out, std::size_t max)
+{
+    // Generators never exhaust: always fill the whole block, with the
+    // per-record virtual dispatch of the default path amortized away.
+    for (std::size_t n = 0; n < max; ++n)
+        generate(out[n]);
+    return max;
 }
 
 } // namespace bvc

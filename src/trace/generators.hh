@@ -107,6 +107,7 @@ class SyntheticTrace : public TraceSource
     explicit SyntheticTrace(const TraceParams &params);
 
     bool next(TraceRecord &record) override;
+    std::size_t nextBlock(TraceRecord *out, std::size_t max) override;
     void reset() override;
     std::string name() const override { return params_.name; }
 
@@ -116,6 +117,7 @@ class SyntheticTrace : public TraceSource
     const DataPattern &dataPattern() const { return pattern_; }
 
   private:
+    void generate(TraceRecord &record);
     void genMemOp(TraceRecord &record);
     Addr pickWorkingSetAddr();
     Addr pickStreamAddr();

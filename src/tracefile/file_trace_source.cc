@@ -1,5 +1,7 @@
 #include "tracefile/file_trace_source.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace bvc
@@ -145,6 +147,32 @@ FileTraceSource::next(TraceRecord &record)
             record.addr += opts_.addressOffset;
     }
     return true;
+}
+
+std::size_t
+FileTraceSource::nextBlock(TraceRecord *out, std::size_t max)
+{
+    std::size_t produced = 0;
+    while (produced < max) {
+        if (cursor_ >= current_.size() && !refill())
+            break;
+        // Copy the largest contiguous slice of the decoded block.
+        const std::size_t take =
+            std::min(max - produced, current_.size() - cursor_);
+        std::copy_n(current_.begin() +
+                        static_cast<std::ptrdiff_t>(cursor_),
+                    take, out + produced);
+        cursor_ += take;
+        if (opts_.addressOffset != 0) {
+            for (std::size_t i = produced; i < produced + take; ++i) {
+                out[i].pc += opts_.addressOffset;
+                if (out[i].kind != InstrKind::NonMem)
+                    out[i].addr += opts_.addressOffset;
+            }
+        }
+        produced += take;
+    }
+    return produced;
 }
 
 void

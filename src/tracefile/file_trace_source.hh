@@ -63,6 +63,7 @@ class FileTraceSource : public TraceSource
     FileTraceSource &operator=(const FileTraceSource &) = delete;
 
     bool next(TraceRecord &record) override;
+    std::size_t nextBlock(TraceRecord *out, std::size_t max) override;
     void reset() override;
     std::string name() const override { return reader_.header().name; }
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Constructor-validation death tests: every cache model must reject a
+ * zero associativity BEFORE deriving its set count (the set-count
+ * division would otherwise divide by zero in the member-initializer
+ * list, crashing ahead of any panicIf), and must keep rejecting
+ * non-power-of-two set counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "compress/bdi.hh"
+#include "core/base_victim_cache.hh"
+#include "core/dcc_cache.hh"
+#include "core/two_tag_array.hh"
+#include "core/uncompressed_llc.hh"
+#include "core/vsc_cache.hh"
+
+namespace bvc
+{
+namespace
+{
+
+constexpr std::size_t kSize = 16 * 1024;
+
+TEST(CtorValidationDeathTest, CacheRejectsZeroWays)
+{
+    EXPECT_DEATH(Cache("l1d", kSize, 0, ReplacementKind::Lru, 3),
+                 "cache associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, UncompressedLlcRejectsZeroWays)
+{
+    EXPECT_DEATH(UncompressedLlc(kSize, 0, ReplacementKind::Nru),
+                 "LLC associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, BaseVictimRejectsZeroWays)
+{
+    BdiCompressor bdi;
+    EXPECT_DEATH(BaseVictimLlc(kSize, 0, ReplacementKind::Nru,
+                               VictimReplKind::Ecm, bdi),
+                 "Base-Victim LLC associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, TwoTagRejectsZeroWays)
+{
+    BdiCompressor bdi;
+    EXPECT_DEATH(TwoTagNaiveLlc(kSize, 0, ReplacementKind::Nru, bdi),
+                 "two-tag LLC associativity must be nonzero");
+    EXPECT_DEATH(TwoTagModifiedLlc(kSize, 0, ReplacementKind::Nru, bdi),
+                 "two-tag LLC associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, VscRejectsZeroWays)
+{
+    BdiCompressor bdi;
+    EXPECT_DEATH(VscLlc(kSize, 0, bdi),
+                 "VSC associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, DccRejectsZeroWays)
+{
+    BdiCompressor bdi;
+    EXPECT_DEATH(DccLlc(kSize, 0, bdi),
+                 "DCC associativity must be nonzero");
+}
+
+TEST(CtorValidationDeathTest, NonPowerOfTwoSetCountStillRejected)
+{
+    // 3 sets x 4 ways x 64B: associativity is fine, set count is not.
+    const std::size_t bad = 3 * 4 * kLineBytes;
+    BdiCompressor bdi;
+    EXPECT_DEATH(UncompressedLlc(bad, 4, ReplacementKind::Nru),
+                 "LLC set count must be a nonzero power of two");
+    EXPECT_DEATH(VscLlc(bad, 4, bdi),
+                 "VSC set count must be a nonzero power of two");
+}
+
+} // namespace
+} // namespace bvc

@@ -14,6 +14,7 @@
 #include "compress/factory.hh"
 #include "core/base_victim_cache.hh"
 #include "core/uncompressed_llc.hh"
+#include "sim/system.hh"
 #include "trace/data_patterns.hh"
 #include "util/rng.hh"
 
@@ -149,7 +150,9 @@ TEST(ShadowCheckerDeathTest, CatchesDirtyInclusiveVictim)
                 for (const WayIdx w : indexRange<WayIdx>(kWays)) {
                     if (!c.bv->victimLineAt(set, w).valid)
                         continue;
-                    c.bv->debugVictimLineAt(set, w).dirty = true;
+                    CacheLine corrupt = c.bv->victimLineAt(set, w);
+                    corrupt.dirty = true;
+                    c.bv->debugSetVictimLine(set, w, corrupt);
                     // Re-touch a base-resident line of the same set: a
                     // pure hit leaves the corrupted victim in place for
                     // the structural check (reading the victim itself
@@ -185,15 +188,44 @@ TEST(ShadowCheckerDeathTest, CatchesDuplicateTag)
             // sections (Section IV.A tag-lookup uniqueness).
             c.checker->access(set0Blk(1), AccessType::Read, line);
             c.checker->access(set0Blk(2), AccessType::Read, line);
-            CacheLine &slot =
-                c.bv->debugVictimLineAt(SetIdx{0}, WayIdx{0});
+            CacheLine slot;
             slot.valid = true;
             slot.dirty = false;
             slot.tag = set0Blk(1);
             slot.segments = kZeroLineSegments;
+            c.bv->debugSetVictimLine(SetIdx{0}, WayIdx{0}, slot);
             c.checker->access(set0Blk(2), AccessType::Read, line);
         },
         "tag in both B and V sections");
+}
+
+TEST(ShadowCheckerDeathTest, CatchesDivergenceOnBatchedDecodePath)
+{
+    EXPECT_DEATH(
+        {
+            // The checked access stream must flow through System::run's
+            // block-buffered decode boundary, proving the lockstep
+            // checker still guards the batched path.
+            setenv("BVC_CHECK", "1", 1);
+            SystemConfig cfg = SystemConfig::benchDefaults();
+            cfg.arch = LlcArch::BaseVictim;
+            TraceParams params;
+            params.name = "batched-check";
+            params.seed = 5;
+            System system(cfg, params);
+            system.run(0, 2000);
+            // Desynchronize every shadow set behind the checker's back;
+            // the next checked access (wherever it lands) must die.
+            auto &checker =
+                dynamic_cast<ShadowChecker &>(system.llc());
+            std::uint8_t line[kLineBytes] = {};
+            for (std::size_t s = 0; s < checker.shadow().numSets(); ++s)
+                checker.shadow().access(
+                    static_cast<Addr>(s) * kLineBytes,
+                    AccessType::Read, line);
+            system.run(0, 2000);
+        },
+        "shadow check failed");
 }
 
 } // namespace
