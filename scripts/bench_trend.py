@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare consecutive BENCH_<n>.json throughput artifacts.
+
+Usage:
+
+    ./scripts/bench_trend.py                 # all BENCH_*.json in CWD
+    ./scripts/bench_trend.py --dir REPO      # ... in REPO
+    ./scripts/bench_trend.py OLD.json NEW.json
+
+Prints the per-metric delta between each consecutive artifact pair
+(model throughput rates, the compress-size microrate, and the multicore
+aggregate when both sides report one).
+
+Exit status is about SCHEMA, not speed: wall-clock rates vary across
+machines, so throughput regressions are reported but never fail the
+run. A *schema regression* does fail it — the newer artifact dropping a
+top-level key, losing a model, or lowering schema_version means the
+tracked trajectory silently lost a dimension (docs/performance.md).
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+MODEL_RATE_KEYS = (
+    "accesses_per_sec", "instructions_per_sec", "jobs_per_sec",
+)
+
+
+def load(path: Path) -> dict:
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"{path}: unreadable artifact: {err}")
+    if not isinstance(report, dict):
+        sys.exit(f"{path}: top level is not a JSON object")
+    return report
+
+
+def discover(directory: Path) -> list:
+    """BENCH_<n>.json files in `directory`, sorted by n."""
+    found = []
+    for path in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def fmt_delta(old: float, new: float) -> str:
+    if not (math.isfinite(old) and old > 0):
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    return f"{pct:+.1f}%"
+
+
+def schema_regressions(old: dict, new: dict, old_name: str,
+                       new_name: str) -> list:
+    """Dimensions the newer artifact lost relative to the older one."""
+    errors = []
+    old_version = old.get("schema_version", 0)
+    new_version = new.get("schema_version", 0)
+    if isinstance(old_version, int) and isinstance(new_version, int) \
+            and new_version < old_version:
+        errors.append(f"{new_name} schema_version {new_version} < "
+                      f"{old_name} schema_version {old_version}")
+    # A version bump is an intentional redesign (BENCH_6 -> BENCH_7
+    # replaced the stream-records schema wholesale); only same-version
+    # artifacts are held to the no-dropped-keys rule.
+    if new_version == old_version:
+        lost_keys = set(old.keys()) - set(new.keys())
+        if lost_keys:
+            errors.append(f"{new_name} dropped top-level keys present "
+                          f"in {old_name}: {sorted(lost_keys)}")
+
+    old_models = {m.get("model") for m in old.get("models", [])}
+    new_models = {m.get("model") for m in new.get("models", [])}
+    lost_models = old_models - new_models
+    if lost_models:
+        errors.append(f"{new_name} lost models present in {old_name}: "
+                      f"{sorted(lost_models)}")
+
+    for model in sorted(old_models & new_models):
+        old_rec = next(m for m in old["models"]
+                       if m.get("model") == model)
+        new_rec = next(m for m in new["models"]
+                       if m.get("model") == model)
+        lost = (set(old_rec.keys()) - set(new_rec.keys()))
+        if lost:
+            errors.append(f"{new_name} model {model} dropped keys: "
+                          f"{sorted(lost)}")
+    return errors
+
+
+def compare(old_path: Path, new_path: Path) -> list:
+    old, new = load(old_path), load(new_path)
+    old_name, new_name = old_path.name, new_path.name
+    print(f"\n== {old_name} -> {new_name} ==")
+    if old.get("smoke") or new.get("smoke"):
+        print("  note: at least one side is a --smoke artifact; "
+              "rates are not comparable")
+
+    by_model_old = {m.get("model"): m for m in old.get("models", [])}
+    by_model_new = {m.get("model"): m for m in new.get("models", [])}
+    for model in sorted(by_model_old.keys() & by_model_new.keys()):
+        deltas = []
+        for key in MODEL_RATE_KEYS:
+            old_rate = by_model_old[model].get(key)
+            new_rate = by_model_new[model].get(key)
+            if old_rate is None or new_rate is None:
+                continue
+            deltas.append(f"{key} {fmt_delta(old_rate, new_rate)}")
+        print(f"  {model:16s} {'  '.join(deltas)}")
+
+    old_cs = old.get("compress_size", {})
+    new_cs = new.get("compress_size", {})
+    if "lines_per_sec" in old_cs and "lines_per_sec" in new_cs:
+        print(f"  {'compress_size':16s} lines_per_sec "
+              f"{fmt_delta(old_cs['lines_per_sec'], new_cs['lines_per_sec'])}")
+
+    old_mc = old.get("multicore")
+    new_mc = new.get("multicore")
+    if isinstance(old_mc, dict) and isinstance(new_mc, dict):
+        print(f"  {'multicore':16s} instructions_per_sec "
+              f"{fmt_delta(old_mc.get('instructions_per_sec', 0), new_mc.get('instructions_per_sec', 0))}"
+              f"  ({new_mc.get('cores')} cores, "
+              f"{new_mc.get('coherence')})")
+    elif isinstance(new_mc, dict):
+        print(f"  {'multicore':16s} new in {new_name}: "
+              f"{new_mc.get('cores')} cores "
+              f"{new_mc.get('coherence')} "
+              f"{new_mc.get('instructions_per_sec'):.0f} instr/s")
+
+    return schema_regressions(old, new, old_name, new_name)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare consecutive BENCH_<n>.json artifacts")
+    parser.add_argument("artifacts", nargs="*",
+                        help="explicit artifact paths, oldest first "
+                             "(default: discover BENCH_<n>.json)")
+    parser.add_argument("--dir", default=".",
+                        help="directory to discover artifacts in")
+    args = parser.parse_args()
+
+    if args.artifacts:
+        paths = [Path(p) for p in args.artifacts]
+    else:
+        paths = discover(Path(args.dir))
+    if len(paths) < 2:
+        sys.exit("bench_trend: need at least two artifacts to compare")
+
+    errors = []
+    for old_path, new_path in zip(paths, paths[1:]):
+        errors.extend(compare(old_path, new_path))
+
+    print()
+    if errors:
+        for err in errors:
+            print(f"SCHEMA REGRESSION: {err}", file=sys.stderr)
+        return 1
+    print(f"bench_trend: {len(paths)} artifacts, "
+          f"{len(paths) - 1} comparison(s), no schema regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ Cache::HotCounters::HotCounters(StatGroup &stats)
       evictions(stats.counter("evictions")),
       dirtyEvictions(stats.counter("dirty_evictions")),
       backInvalidations(stats.counter("back_invalidations")),
-      dirtyBackInvalidations(stats.counter("dirty_back_invalidations"))
+      dirtyBackInvalidations(stats.counter("dirty_back_invalidations")),
+      downgrades(stats.counter("downgrades"))
 {
 }
 
@@ -104,6 +105,19 @@ Cache::invalidate(Addr blk)
     ++ctr_.backInvalidations;
     if (wasDirty)
         ++ctr_.dirtyBackInvalidations;
+    return wasDirty;
+}
+
+std::optional<bool>
+Cache::downgrade(Addr blk)
+{
+    const std::optional<WayIdx> way = findWay(blk);
+    if (!way)
+        return std::nullopt;
+    const SetIdx set = setIndex(blk);
+    const bool wasDirty = tags_.dirty(set, *way);
+    tags_.setDirty(set, *way, false);
+    ++ctr_.downgrades;
     return wasDirty;
 }
 

@@ -70,6 +70,14 @@ class Cache
      */
     std::optional<bool> invalidate(Addr blk);
 
+    /**
+     * Coherence downgrade (MSI M->S on a remote read): clear the dirty
+     * bit but keep the line resident — the caller writes the data back
+     * to the shared level when the prior dirtiness says so.
+     * @return the line's prior dirtiness if it was present
+     */
+    std::optional<bool> downgrade(Addr blk);
+
     /** Invalidate every line (e.g., between benchmark phases). */
     void flush();
 
@@ -103,6 +111,7 @@ class Cache
         Counter &readMisses, &writeMisses;
         Counter &evictions, &dirtyEvictions;
         Counter &backInvalidations, &dirtyBackInvalidations;
+        Counter &downgrades;
     };
 
     std::size_t sets_;

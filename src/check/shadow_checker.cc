@@ -105,8 +105,9 @@ ShadowChecker::fail(const std::string &why) const
 {
     const std::string msg = "shadow check failed [" + inner_->name() +
         ", access #" + std::to_string(accesses_) + ", " +
-        accessTypeName(lastType_) + " blk " + std::to_string(lastBlk_) +
-        "]: " + why;
+        (lastWasInval_ ? "CoherenceInval"
+                       : accessTypeName(lastType_)) +
+        " blk " + std::to_string(lastBlk_) + "]: " + why;
     if (onFail_) {
         onFail_(msg);
         return;
@@ -217,12 +218,41 @@ ShadowChecker::checkAccessedSet()
 }
 
 LlcResult
+ShadowChecker::coherenceInvalidate(Addr blk)
+{
+    ++accesses_;
+    lastBlk_ = blk;
+    lastWasInval_ = true;
+
+    if (mirror_) {
+        // A baseline copy must leave both caches with identical traffic
+        // (writeback iff dirty, one back-invalidation); a victim-only
+        // copy exists in neither the shadow nor the baseline content,
+        // so both results are empty and the mirror is untouched.
+        const LlcResult want = shadow_->coherenceInvalidate(blk);
+        const LlcResult got = inner_->coherenceInvalidate(blk);
+        checkMirror(blk, got, want);
+        checkAccessedSet();
+        return got;
+    }
+
+    // Divergent models: keep the informational shadow's content in sync
+    // with the external invalidation stream, then re-check structure.
+    if (shadow_ != nullptr)
+        shadow_->coherenceInvalidate(blk);
+    const LlcResult got = inner_->coherenceInvalidate(blk);
+    checkAccessedSet();
+    return got;
+}
+
+LlcResult
 ShadowChecker::access(Addr blk, AccessType type,
                       const std::uint8_t *data)
 {
     ++accesses_;
     lastBlk_ = blk;
     lastType_ = type;
+    lastWasInval_ = false;
 
     if (mirror_) {
         if (type == AccessType::Writeback && !shadow_->probe(blk)) {

@@ -89,6 +89,16 @@ class ShadowChecker : public Llc
         return inner_->probeBase(blk);
     }
     void downgradeHint(Addr blk) override;
+    /**
+     * Lockstep-checked snoop invalidation: the shadow and the inner
+     * cache drop the block together, then the mirror, traffic and
+     * structural invariants are re-asserted. A clean Victim-Cache copy
+     * must drop silently with the Baseline mirror intact — the
+     * never-worse-under-invalidations argument (docs/coherence.md).
+     */
+    LlcResult coherenceInvalidate(Addr blk) override;
+    /** Transparent: resets the wrapped model's (reported) counters. */
+    void resetStats() override { inner_->resetStats(); }
     std::size_t validLines() const override
     {
         return inner_->validLines();
@@ -144,6 +154,7 @@ class ShadowChecker : public Llc
     bool mirror_ = false; //!< full lockstep (inclusive BV, baseline)
     Addr lastBlk_ = 0;
     AccessType lastType_ = AccessType::Read;
+    bool lastWasInval_ = false; //!< last op was a coherence invalidation
     std::uint64_t accesses_ = 0;
     std::uint64_t shadowDemandHits_ = 0;
     std::uint64_t extraDemandHits_ = 0;

@@ -1,0 +1,117 @@
+#include "core/banked_llc.hh"
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+BankedLlc::BankedLlc(std::vector<std::unique_ptr<Llc>> banks,
+                     unsigned bankShift)
+    : Llc("llc"),
+      banks_(std::move(banks)),
+      locks_(banks_.size()),
+      bankShift_(bankShift),
+      aggregate_("llc")
+{
+    panicIf(banks_.empty() ||
+                (banks_.size() & (banks_.size() - 1)) != 0,
+            "BankedLlc: bank count must be a nonzero power of two");
+    for (const auto &bank : banks_)
+        panicIf(bank == nullptr, "BankedLlc: null bank");
+}
+
+BankedLlc::~BankedLlc() = default;
+
+LlcResult
+BankedLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
+{
+    const std::size_t b = bankOf(blk);
+    std::lock_guard<std::mutex> lock(locks_[b]);
+    return banks_[b]->access(blk, type, data);
+}
+
+bool
+BankedLlc::probe(Addr blk) const
+{
+    const std::size_t b = bankOf(blk);
+    std::lock_guard<std::mutex> lock(locks_[b]);
+    return banks_[b]->probe(blk);
+}
+
+bool
+BankedLlc::probeBase(Addr blk) const
+{
+    const std::size_t b = bankOf(blk);
+    std::lock_guard<std::mutex> lock(locks_[b]);
+    return banks_[b]->probeBase(blk);
+}
+
+void
+BankedLlc::downgradeHint(Addr blk)
+{
+    const std::size_t b = bankOf(blk);
+    std::lock_guard<std::mutex> lock(locks_[b]);
+    banks_[b]->downgradeHint(blk);
+}
+
+LlcResult
+BankedLlc::coherenceInvalidate(Addr blk)
+{
+    const std::size_t b = bankOf(blk);
+    std::lock_guard<std::mutex> lock(locks_[b]);
+    return banks_[b]->coherenceInvalidate(blk);
+}
+
+void
+BankedLlc::resetStats()
+{
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        std::lock_guard<std::mutex> lock(locks_[b]);
+        banks_[b]->resetStats();
+    }
+    aggregate_.resetAll();
+}
+
+std::size_t
+BankedLlc::validLines() const
+{
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        std::lock_guard<std::mutex> lock(locks_[b]);
+        total += banks_[b]->validLines();
+    }
+    return total;
+}
+
+std::string
+BankedLlc::name() const
+{
+    return banks_.front()->name();
+}
+
+void
+BankedLlc::rebuildAggregate() const
+{
+    aggregate_.resetAll();
+    for (const auto &bank : banks_) {
+        const StatGroup &bs = bank->stats();
+        for (const std::string &n : bs.names())
+            aggregate_.counter(n) += bs.get(n);
+    }
+}
+
+StatGroup &
+BankedLlc::stats()
+{
+    rebuildAggregate();
+    return aggregate_;
+}
+
+const StatGroup &
+BankedLlc::stats() const
+{
+    rebuildAggregate();
+    return aggregate_;
+}
+
+} // namespace bvc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Address-hashed sharded LLC: N independently-locked banks, each a
+ * complete Llc of 1/N capacity, composing into one Llc so every model
+ * (and the lockstep ShadowChecker wrapped around each bank) works
+ * unchanged at any core count.
+ *
+ * Bank selection uses the address bits immediately ABOVE each bank's
+ * local set-index bits. An unbanked cache of S sets indexes with
+ * [bankBits | localBits]; a banked cache of N banks with S/N sets each
+ * indexes the identical partition — bank b, local set l hold exactly
+ * the lines unbanked set (b << log2(S/N)) | l would. Banking is
+ * therefore content- and stats-transparent for the mirror-checked
+ * models (asserted in tests/test_coherence.cc), and the paper's
+ * never-worse guarantee composes bank by bank.
+ *
+ * Locking contract (docs/coherence.md): each bank carries its own
+ * mutex, taken for the duration of one access / snoop / hint, so
+ * distinct host threads may drive disjoint banks concurrently with no
+ * shared state between them. Aggregate statistics (stats(),
+ * validLines()) are measurement-boundary operations and follow the
+ * usual one-host-thread contract — never call them while another
+ * thread is inside an access.
+ */
+
+#ifndef BVC_CORE_BANKED_LLC_HH_
+#define BVC_CORE_BANKED_LLC_HH_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/llc_interface.hh"
+
+namespace bvc
+{
+
+/** N-bank composite LLC; banks are complete Llc instances. */
+class BankedLlc : public Llc
+{
+  public:
+    /**
+     * @param banks     one Llc per bank (power-of-two count), each
+     *                  built at 1/N of the total capacity; ownership
+     *                  transferred
+     * @param bankShift address right-shift whose low log2(N) bits
+     *                  select the bank — kLineShift plus the bank's
+     *                  set-index bits (plus the super-block bits for
+     *                  DCC), so banking partitions the unbanked sets
+     */
+    BankedLlc(std::vector<std::unique_ptr<Llc>> banks,
+              unsigned bankShift);
+    ~BankedLlc() override;
+
+    LlcResult access(Addr blk, AccessType type,
+                     const std::uint8_t *data) override;
+    [[nodiscard]] bool probe(Addr blk) const override;
+    [[nodiscard]] bool probeBase(Addr blk) const override;
+    void downgradeHint(Addr blk) override;
+    LlcResult coherenceInvalidate(Addr blk) override;
+    void resetStats() override;
+    [[nodiscard]] std::size_t validLines() const override;
+    /** Transparent: callers see the bank model's name. */
+    [[nodiscard]] std::string name() const override;
+
+    /**
+     * Aggregate statistics: every counter summed over the banks,
+     * rebuilt on each call (snapshot-time only, not per access).
+     */
+    StatGroup &stats() override;
+    const StatGroup &stats() const override;
+
+    [[nodiscard]] std::size_t numBanks() const { return banks_.size(); }
+    /** Direct bank access (tests, fail-handler installation). */
+    Llc &bank(std::size_t i) { return *banks_[i]; }
+    /** Bank index serving `blk` (tests). */
+    [[nodiscard]] std::size_t bankOf(Addr blk) const
+    {
+        return (blk >> bankShift_) & (banks_.size() - 1);
+    }
+
+  private:
+    void rebuildAggregate() const;
+
+    std::vector<std::unique_ptr<Llc>> banks_;
+    /** One lock per bank; mutable so const probes can take them. */
+    mutable std::vector<std::mutex> locks_;
+    unsigned bankShift_;
+    /** Summed view handed out by stats(); rebuilt on demand. */
+    mutable StatGroup aggregate_;
+};
+
+} // namespace bvc
+
+#endif // BVC_CORE_BANKED_LLC_HH_

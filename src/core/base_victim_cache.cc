@@ -37,7 +37,10 @@ BaseVictimLlc::HotCounters::HotCounters(StatGroup &stats)
       victimSilentPartner(
           stats.counter("victim_silent_evictions_partner")),
       victimSilentWriteGrowth(
-          stats.counter("victim_silent_evictions_write_growth"))
+          stats.counter("victim_silent_evictions_write_growth")),
+      coherenceInvalidations(stats.counter("coherence_invalidations")),
+      victimCoherenceInvalidations(
+          stats.counter("victim_coherence_invalidations"))
 {
 }
 
@@ -328,6 +331,44 @@ BaseVictimLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     ++ctr_.compressions;
 
     installBase(set, chooseBaseWay(set), incoming, result);
+    return result;
+}
+
+LlcResult
+BaseVictimLlc::coherenceInvalidate(Addr blk)
+{
+    LlcResult result;
+    const SetIdx set = setIndex(blk);
+
+    if (const std::optional<WayIdx> bway = findBase(set, blk)) {
+        // Baseline copy: drop it exactly as the uncompressed reference
+        // does, so the mirror and replacement state stay in lockstep.
+        if (base_.dirty(set, *bway)) {
+            result.memWritebacks.push_back(blk);
+            ++ctr_.memWritebacks;
+        }
+        result.backInvalidations.push_back(blk);
+        ++ctr_.backInvalidations;
+        base_.invalidate(set, *bway);
+        baseRepl_->onInvalidate(set, *bway);
+        ++ctr_.coherenceInvalidations;
+        return result;
+    }
+
+    if (const std::optional<WayIdx> vway = findVictim(set, blk)) {
+        // Victim copies are opportunistic extras the baseline never
+        // held: upper levels cannot cache them (no back-invalidation)
+        // and inclusive victims are clean (no writeback) — the drop is
+        // silent, so the hit rate stays >= the baseline's.
+        if (!inclusive_ && victim_.dirty(set, *vway)) {
+            result.memWritebacks.push_back(blk);
+            ++ctr_.memWritebacks;
+            ++ctr_.dirtyVictimEvictions;
+        }
+        victim_.invalidate(set, *vway);
+        ++ctr_.coherenceInvalidations;
+        ++ctr_.victimCoherenceInvalidations;
+    }
     return result;
 }
 

@@ -66,6 +66,16 @@ class BaseVictimLlc : public Llc
     [[nodiscard]] bool probe(Addr blk) const override;
     [[nodiscard]] bool probeBase(Addr blk) const override;
     void downgradeHint(Addr blk) override;
+    /**
+     * Snoop invalidation. A base copy drops exactly as the uncompressed
+     * cache would (writeback if dirty, back-invalidation, replacement
+     * onInvalidate), so the mirror invariant is preserved. A victim
+     * copy is not baseline content: it drops silently (clean when
+     * inclusive) with no traffic — which is precisely why the
+     * never-worse guarantee survives coherence invalidations
+     * (docs/coherence.md).
+     */
+    LlcResult coherenceInvalidate(Addr blk) override;
     [[nodiscard]] std::size_t validLines() const override;
     [[nodiscard]] std::string name() const override
     {
@@ -160,6 +170,7 @@ class BaseVictimLlc : public Llc
         Counter &dirtyVictimEvictions, &victimSilentEvictions;
         Counter &victimSilentDisplaced, &victimSilentPartner;
         Counter &victimSilentWriteGrowth;
+        Counter &coherenceInvalidations, &victimCoherenceInvalidations;
 
         Counter &silentEvictions(VictimEvictReason reason);
     };

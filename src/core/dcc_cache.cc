@@ -18,7 +18,8 @@ DccLlc::HotCounters::HotCounters(StatGroup &stats)
       memWritebacks(stats.counter("mem_writebacks")),
       backInvalidations(stats.counter("back_invalidations")),
       superblockEvictions(stats.counter("superblock_evictions")),
-      superblockFills(stats.counter("superblock_fills"))
+      superblockFills(stats.counter("superblock_fills")),
+      coherenceInvalidations(stats.counter("coherence_invalidations"))
 {
 }
 
@@ -134,6 +135,37 @@ DccLlc::makeRoom(SetIdx set, SegCount segments, bool needTag,
         evictSuperBlock(set, *victim, result);
         haveTag = true;
     }
+}
+
+LlcResult
+DccLlc::coherenceInvalidate(Addr blk)
+{
+    LlcResult result;
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> way = findWay(set, blk);
+    if (!way)
+        return result;
+    const unsigned sub = subIndex(blk);
+    if (!present(set, *way, sub))
+        return result;
+    if (subDirty(set, *way, sub)) {
+        result.memWritebacks.push_back(blk);
+        ++ctr_.memWritebacks;
+    }
+    result.backInvalidations.push_back(blk);
+    ++ctr_.backInvalidations;
+    setSubMeta(set, *way, sub, false, false, kZeroLineSegments);
+    ++ctr_.evictions;
+    ++ctr_.coherenceInvalidations;
+    // Free the tag when the last sub-block leaves the super-block.
+    bool any = false;
+    for (unsigned s = 0; s < kSubBlocks && !any; ++s)
+        any = present(set, *way, s);
+    if (!any) {
+        clearSuperBlock(set, *way);
+        repl_->onInvalidate(set, *way);
+    }
+    return result;
 }
 
 LlcResult

@@ -47,6 +47,12 @@ class DccLlc : public Llc
     {
         return probe(blk);
     }
+    /**
+     * Snoop invalidation at line granularity: clears only the one
+     * sub-block's presence; the super-block tag is freed when its last
+     * sub-block goes.
+     */
+    LlcResult coherenceInvalidate(Addr blk) override;
     [[nodiscard]] std::size_t validLines() const override;
     [[nodiscard]] std::string name() const override { return "DCC"; }
 
@@ -152,6 +158,7 @@ class DccLlc : public Llc
         Counter &demandMisses, &prefetchMisses, &fills;
         Counter &evictions, &memWritebacks, &backInvalidations;
         Counter &superblockEvictions, &superblockFills;
+        Counter &coherenceInvalidations;
     };
 
     std::size_t sets_;

@@ -86,6 +86,24 @@ class Llc
     /** CHAR-style downgrade hint from an L2 eviction; default ignored. */
     virtual void downgradeHint(Addr) {}
 
+    /**
+     * Coherence (snoop) invalidation: remove every copy of `blk` from
+     * the cache — base and victim sections alike. Used by the MSI/MESI
+     * layer (src/coherence/) for external-agent writes and by the
+     * differential fuzzer. The result carries a memory writeback if a
+     * dirty copy was dropped and a back-invalidation if the block was
+     * baseline content (upper levels may hold copies only of baseline
+     * content). A miss is a no-op with an empty result.
+     */
+    virtual LlcResult coherenceInvalidate(Addr blk) = 0;
+
+    /**
+     * Reset every statistics counter. Virtual so composite caches (the
+     * banked LLC) can reset their per-bank groups too; callers must use
+     * this instead of stats().resetAll() at measurement boundaries.
+     */
+    virtual void resetStats() { stats_.resetAll(); }
+
     /** Count of valid logical lines (capacity studies). */
     [[nodiscard]] virtual std::size_t validLines() const = 0;
 

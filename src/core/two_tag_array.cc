@@ -21,7 +21,8 @@ TwoTagLlc::HotCounters::HotCounters(StatGroup &stats)
       backInvalidations(stats.counter("back_invalidations")),
       partnerEvictionsOnWrite(
           stats.counter("partner_evictions_on_write")),
-      partnerEvictionsOnFill(stats.counter("partner_evictions_on_fill"))
+      partnerEvictionsOnFill(stats.counter("partner_evictions_on_fill")),
+      coherenceInvalidations(stats.counter("coherence_invalidations"))
 {
 }
 
@@ -165,6 +166,18 @@ TwoTagLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
     tags_.install(set, *fillSlot, fill);
     repl_->onFill(set, *fillSlot);
     ++ctr_.fills;
+    return result;
+}
+
+LlcResult
+TwoTagLlc::coherenceInvalidate(Addr blk)
+{
+    LlcResult result;
+    const SetIdx set = setIndex(blk);
+    if (const std::optional<WayIdx> s = findSlot(set, blk)) {
+        evictSlot(set, *s, result);
+        ++ctr_.coherenceInvalidations;
+    }
     return result;
 }
 

@@ -55,6 +55,7 @@ class TwoTagLlc : public Llc
         return probe(blk);
     }
     void downgradeHint(Addr blk) override;
+    LlcResult coherenceInvalidate(Addr blk) override;
     [[nodiscard]] std::size_t validLines() const override;
 
     [[nodiscard]] std::size_t numSets() const { return sets_; }
@@ -110,6 +111,7 @@ class TwoTagLlc : public Llc
         Counter &demandMisses, &prefetchMisses, &fills;
         Counter &evictions, &memWritebacks, &backInvalidations;
         Counter &partnerEvictionsOnWrite, &partnerEvictionsOnFill;
+        Counter &coherenceInvalidations;
     };
 
     std::size_t sets_;

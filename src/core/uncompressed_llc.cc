@@ -18,7 +18,8 @@ UncompressedLlc::HotCounters::HotCounters(StatGroup &stats)
       evictions(stats.counter("evictions")),
       memWritebacks(stats.counter("mem_writebacks")),
       backInvalidations(stats.counter("back_invalidations")),
-      fills(stats.counter("fills"))
+      fills(stats.counter("fills")),
+      coherenceInvalidations(stats.counter("coherence_invalidations"))
 {
 }
 
@@ -100,6 +101,26 @@ UncompressedLlc::access(Addr blk, AccessType type, const std::uint8_t *)
     tags_.install(set, *fillWay, fill);
     repl_->onFill(set, *fillWay);
     ++ctr_.fills;
+    return result;
+}
+
+LlcResult
+UncompressedLlc::coherenceInvalidate(Addr blk)
+{
+    LlcResult result;
+    const SetIdx set = setIndex(blk);
+    const std::optional<WayIdx> way = findWay(set, blk);
+    if (!way)
+        return result;
+    if (tags_.dirty(set, *way)) {
+        result.memWritebacks.push_back(blk);
+        ++ctr_.memWritebacks;
+    }
+    result.backInvalidations.push_back(blk);
+    ++ctr_.backInvalidations;
+    tags_.invalidate(set, *way);
+    repl_->onInvalidate(set, *way);
+    ++ctr_.coherenceInvalidations;
     return result;
 }
 

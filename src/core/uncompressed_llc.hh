@@ -42,6 +42,7 @@ class UncompressedLlc : public Llc
         return probe(blk);
     }
     void downgradeHint(Addr blk) override;
+    LlcResult coherenceInvalidate(Addr blk) override;
     [[nodiscard]] std::size_t validLines() const override;
     [[nodiscard]] std::string name() const override
     {
@@ -79,7 +80,7 @@ class UncompressedLlc : public Llc
         Counter &writebackHits, &demandHits, &prefetchHits;
         Counter &demandMisses, &prefetchMisses;
         Counter &evictions, &memWritebacks, &backInvalidations;
-        Counter &fills;
+        Counter &fills, &coherenceInvalidations;
     };
 
     [[nodiscard]] std::optional<WayIdx> findWay(SetIdx set,

@@ -18,7 +18,8 @@ VscLlc::HotCounters::HotCounters(StatGroup &stats)
       memWritebacks(stats.counter("mem_writebacks")),
       recompactions(stats.counter("recompactions")),
       fillEvictions(stats.counter("fill_evictions")),
-      multiEvictFills(stats.counter("multi_evict_fills"))
+      multiEvictFills(stats.counter("multi_evict_fills")),
+      coherenceInvalidations(stats.counter("coherence_invalidations"))
 {
 }
 
@@ -69,6 +70,18 @@ VscLlc::evictSlot(SetIdx set, WayIdx victim, LlcResult &result)
     tags_.invalidate(set, victim);
     repl_->onInvalidate(set, victim);
     ++ctr_.evictions;
+}
+
+LlcResult
+VscLlc::coherenceInvalidate(Addr blk)
+{
+    LlcResult result;
+    const SetIdx set = setIndex(blk);
+    if (const std::optional<WayIdx> s = findSlot(set, blk)) {
+        evictSlot(set, *s, result);
+        ++ctr_.coherenceInvalidations;
+    }
+    return result;
 }
 
 LlcResult

@@ -48,6 +48,7 @@ class VscLlc : public Llc
     {
         return probe(blk);
     }
+    LlcResult coherenceInvalidate(Addr blk) override;
     [[nodiscard]] std::size_t validLines() const override;
     [[nodiscard]] std::string name() const override { return "VSC-2X"; }
 
@@ -87,6 +88,7 @@ class VscLlc : public Llc
         Counter &demandMisses, &prefetchMisses, &fills;
         Counter &evictions, &memWritebacks, &recompactions;
         Counter &fillEvictions, &multiEvictFills;
+        Counter &coherenceInvalidations;
     };
 
     std::size_t sets_;

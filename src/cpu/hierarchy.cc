@@ -17,7 +17,9 @@ Hierarchy::HotCounters::HotCounters(StatGroup &stats)
       l2Writebacks(stats.counter("l2_writebacks")),
       dramDemandReads(stats.counter("dram_demand_reads")),
       dramPrefetchReads(stats.counter("dram_prefetch_reads")),
-      l2PrefetchFills(stats.counter("l2_prefetch_fills"))
+      l2PrefetchFills(stats.counter("l2_prefetch_fills")),
+      llcDemandAccesses(stats.counter("llc_demand_accesses")),
+      llcDemandHits(stats.counter("llc_demand_hits"))
 {
 }
 
@@ -44,6 +46,26 @@ void
 Hierarchy::setBackInvalidateFn(std::function<bool(Addr)> fn)
 {
     backInvalidate_ = std::move(fn);
+}
+
+void
+Hierarchy::setCoherenceTouchFn(
+    std::function<void(Addr, bool, Cycle)> fn)
+{
+    coherenceTouch_ = std::move(fn);
+}
+
+bool
+Hierarchy::downgradeUpper(Addr blk)
+{
+    bool dirty = false;
+    if (auto d = l1i_.downgrade(blk))
+        dirty = dirty || *d;
+    if (auto d = l1d_.downgrade(blk))
+        dirty = dirty || *d;
+    if (auto d = l2_.downgrade(blk))
+        dirty = dirty || *d;
+    return dirty;
 }
 
 bool
@@ -132,6 +154,11 @@ Hierarchy::prefetchLine(Addr blk, Cycle cycle, bool intoL2)
     if (intoL2 && l2_.probe(blk))
         return;
 
+    // A prefetch that fills the private L2 makes this core a sharer;
+    // LLC-only prefetches fill no private cache and need no touch.
+    if (intoL2 && coherenceTouch_)
+        coherenceTouch_(blk, /*isWrite=*/false, cycle);
+
     if (!llc_.probeBase(blk)) {
         // Victim-cache prefetch hits promote the line for free; real
         // misses fetch from memory in the background.
@@ -154,8 +181,15 @@ Hierarchy::prefetchLine(Addr blk, Cycle cycle, bool intoL2)
 }
 
 unsigned
-Hierarchy::accessBelowL1(Addr pc, Addr blk, Cycle cycle)
+Hierarchy::accessBelowL1(Addr pc, Addr blk, Cycle cycle, bool touched)
 {
+    // Gaining a private copy below the L1: register this core as a
+    // sharer (and downgrade any remote modified owner) first. An L1
+    // hit needs no read touch — a prior fill already registered us and
+    // only an invalidation (which removes the L1 copy too) unregisters.
+    if (coherenceTouch_ && !touched)
+        coherenceTouch_(blk, /*isWrite=*/false, cycle);
+
     std::optional<Eviction> evicted;
     const bool l2Hit = l2_.access(blk, false, evicted);
     if (evicted)
@@ -174,6 +208,11 @@ Hierarchy::accessBelowL1(Addr pc, Addr blk, Cycle cycle)
     const LlcResult result =
         llc_.access(blk, AccessType::Read, mem_.line(blk));
     handleLlcResult(result, cycle);
+    // Per-core LLC demand view (the shared LLC's own counters cannot
+    // attribute hits to cores; the never-worse acceptance test can).
+    ++ctr_.llcDemandAccesses;
+    if (result.hit)
+        ++ctr_.llcDemandHits;
 
     if (cfg_.prefetch) {
         prefetchScratch_.clear();
@@ -234,6 +273,12 @@ Hierarchy::store(Addr pc, Addr addr, std::uint64_t value, Cycle cycle)
     const Addr blk = blockAddr(addr);
     ++ctr_.stores;
 
+    // Write permission must be acquired even on an L1 hit: a Shared
+    // copy hits the L1 but other cores' copies must drop first (MSI
+    // S->M upgrade).
+    if (coherenceTouch_)
+        coherenceTouch_(blk, /*isWrite=*/true, cycle);
+
     std::optional<Eviction> evicted;
     const bool hit = l1d_.access(blk, true, evicted);
     if (evicted)
@@ -241,8 +286,9 @@ Hierarchy::store(Addr pc, Addr addr, std::uint64_t value, Cycle cycle)
 
     if (hit)
         return cfg_.l1Latency;
-    // Write-allocate: fetch the line (read-for-ownership) from below.
-    return accessBelowL1(pc, blk, cycle);
+    // Write-allocate: fetch the line (read-for-ownership) from below;
+    // the store's touch above already covers the coherence side.
+    return accessBelowL1(pc, blk, cycle, /*touched=*/true);
 }
 
 unsigned

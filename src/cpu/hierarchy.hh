@@ -85,11 +85,30 @@ class Hierarchy
     bool invalidateUpper(Addr blk);
 
     /**
+     * Coherence downgrade: clear the dirty bits of any L1/L2 copies of
+     * `blk` but keep them resident (MSI M->S on a remote read).
+     * @return true if a dirty copy existed above (its data must be
+     *         written back to the shared LLC by the caller)
+     */
+    bool downgradeUpper(Addr blk);
+
+    /**
      * Handler invoked for every LLC back-invalidation. The single-core
      * system points it at this hierarchy; the multi-core system fans it
      * out to every core (the LLC is shared).
      */
     void setBackInvalidateFn(std::function<bool(Addr)> fn);
+
+    /**
+     * Coherence hook, invoked before this hierarchy gains (or writes) a
+     * private copy of a block: every store (even on an L1 hit — a
+     * Shared line needs write permission), every demand access that
+     * goes below the L1, and every prefetch that fills the private L2.
+     * The multi-core system points it at the CoherenceDirectory; unset
+     * (the default, and all single-core runs) means no coherence layer.
+     */
+    void setCoherenceTouchFn(
+        std::function<void(Addr, bool isWrite, Cycle)> fn);
 
     /** Route an LlcResult's side effects (writebacks, back-invals). */
     void handleLlcResult(const LlcResult &result, Cycle cycle);
@@ -103,8 +122,14 @@ class Hierarchy
     bool checkInclusion() const;
 
   private:
-    /** Shared L2-and-below path; returns load-to-use latency. */
-    unsigned accessBelowL1(Addr pc, Addr blk, Cycle cycle);
+    /**
+     * Shared L2-and-below path; returns load-to-use latency.
+     * @param touched true if the caller already issued the coherence
+     *                touch for this access (stores touch for write
+     *                permission before the L1)
+     */
+    unsigned accessBelowL1(Addr pc, Addr blk, Cycle cycle,
+                           bool touched = false);
 
     /** Per-access counters resolved once (no string lookups per access). */
     struct HotCounters
@@ -115,6 +140,7 @@ class Hierarchy
         Counter &llcWritebacks, &backInvalWritebacks;
         Counter &l1Writebacks, &l2Writebacks;
         Counter &dramDemandReads, &dramPrefetchReads, &l2PrefetchFills;
+        Counter &llcDemandAccesses, &llcDemandHits;
     };
 
     /** Process an L2 eviction: writeback or downgrade hint to the LLC. */
@@ -137,6 +163,7 @@ class Hierarchy
     StreamPrefetcher l2Prefetcher_;
     StreamPrefetcher llcPrefetcher_;
     std::function<bool(Addr)> backInvalidate_;
+    std::function<void(Addr, bool, Cycle)> coherenceTouch_;
     std::vector<Addr> prefetchScratch_;
     StatGroup stats_;
     HotCounters ctr_; //!< must follow stats_ initialization

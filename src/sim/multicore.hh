@@ -1,19 +1,25 @@
 /**
  * @file
- * Four-core multi-programmed system (Section V / VI.C): private L1/L2
+ * N-core multi-programmed system (Section V / VI.C): private L1/L2
  * hierarchies over one shared LLC and DRAM, one single-threaded trace
- * per core in a disjoint address-space slice. Threads that finish their
- * measured window keep running so shared-LLC contention stays realistic
- * ("If a thread finishes its performance simulation phase early, it
- * continues executing...").
+ * per core. By default each trace runs in a disjoint address-space
+ * slice (the paper's multiprogram methodology); sharedAddressSpace
+ * mode keeps all cores in one address space with an MSI/MESI directory
+ * (src/coherence/) keeping the private caches coherent. Threads that
+ * finish their measured window keep running so shared-LLC contention
+ * stays realistic ("If a thread finishes its performance simulation
+ * phase early, it continues executing...").
  */
 
 #ifndef BVC_SIM_MULTICORE_HH_
 #define BVC_SIM_MULTICORE_HH_
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "coherence/coherence.hh"
 #include "sim/system.hh"
 
 namespace bvc
@@ -22,8 +28,8 @@ namespace bvc
 /** Per-thread and aggregate results of one mix run. */
 struct MultiRunResult
 {
-    std::array<double, 4> ipc{};
-    std::array<std::uint64_t, 4> instructions{};
+    std::vector<double> ipc;
+    std::vector<std::uint64_t> instructions;
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
     std::uint64_t llcDemandHits = 0;
@@ -33,29 +39,58 @@ struct MultiRunResult
     /**
      * Normalized weighted speedup vs a baseline run of the same mix:
      * mean over threads of ipc[i]/base.ipc[i] (Section VI.C metric).
+     * Panics if `base` ran a different core count.
      */
     double weightedSpeedup(const MultiRunResult &base) const;
 };
 
+/** Multi-core knobs beyond the shared SystemConfig. */
+struct MultiCoreConfig
+{
+    /**
+     * Coherence protocol for the private hierarchies. None (the
+     * default, and the only option for disjoint address spaces) keeps
+     * the historical behavior: LLC back-invalidations broadcast to
+     * every core and no directory exists.
+     */
+    CoherenceKind coherence = CoherenceKind::None;
+    /**
+     * False (default): each core's trace runs in a disjoint 4TB
+     * address-space slice (cores contend for LLC sets, never share
+     * lines). True: all cores run in one address space backed by one
+     * functional memory — lines are genuinely shared and a coherence
+     * protocol should be enabled.
+     */
+    bool sharedAddressSpace = false;
+};
+
 /**
- * Four cores sharing one LLC and DRAM.
+ * N cores sharing one LLC and DRAM.
  *
  * Thread-safety: same contract as System (see sim/system.hh) — the
- * four simulated cores are stepped by ONE host thread; a
- * MultiCoreSystem owns all its components and distinct instances may
- * run concurrently on different host threads, but one instance must
- * not be shared across threads.
+ * simulated cores are stepped by ONE host thread; a MultiCoreSystem
+ * owns all its components and distinct instances may run concurrently
+ * on different host threads, but one instance must not be shared
+ * across threads.
  */
 class MultiCoreSystem
 {
   public:
+    /** Core count of the historical fixed-size constructor. */
     static constexpr std::size_t kThreads = 4;
 
     /**
      * @param cfg    shared system configuration (LLC arch under test)
-     * @param traces the four single-threaded traces of the mix; each
-     *               gets a disjoint address-space slice automatically
+     * @param traces one single-threaded trace per core; the core count
+     *               is traces.size() (1..64 with a directory, any
+     *               nonzero count without)
+     * @param mc     coherence / address-space configuration
      */
+    MultiCoreSystem(const SystemConfig &cfg,
+                    std::vector<TraceParams> traces,
+                    const MultiCoreConfig &mc = {});
+
+    /** Historical four-core constructor (disjoint slices, no MSI). */
     MultiCoreSystem(const SystemConfig &cfg,
                     const std::array<TraceParams, kThreads> &traces);
 
@@ -67,10 +102,21 @@ class MultiCoreSystem
      */
     MultiRunResult run(std::uint64_t warmup, std::uint64_t measure);
 
+    /**
+     * External-agent (DMA / remote-node) snoop: drop every cached copy
+     * of `blk` — LLC base and victim sections and all private caches —
+     * writing dirty data back to memory. Deterministic driver for the
+     * coherence-invalidation paths (tests, bvfuzz).
+     */
+    void snoopInvalidate(Addr blk);
+
     Llc &llc() { return *llc_; }
     Dram &dram() { return dram_; }
     Hierarchy &hierarchy(CoreId i) { return *hiers_[i.get()]; }
     OooCore &core(CoreId i) { return *cores_[i.get()]; }
+    [[nodiscard]] std::size_t numCores() const { return hiers_.size(); }
+    /** The MSI/MESI directory; null when coherence == None. */
+    CoherenceDirectory *directory() { return directory_.get(); }
 
   private:
     /** Step the lagging core (smallest local clock) once. */
@@ -79,17 +125,26 @@ class MultiCoreSystem
     /** Run every thread to at least `target` retired instructions. */
     void runAllTo(std::uint64_t target);
 
+    /** Invalidate/downgrade remote private copies per the directory. */
+    void applyCoherenceAction(const CoherenceAction &action, Addr blk,
+                              Cycle cycle);
+
+    /** Flush core `i`'s dirty upper-level data into the shared LLC. */
+    void flushToLlc(std::size_t i, Addr blk, Cycle cycle);
+
     SystemConfig cfg_;
+    MultiCoreConfig mc_;
     std::unique_ptr<Compressor> compressor_;
     std::unique_ptr<Llc> llc_;
     Dram dram_;
-    std::array<std::unique_ptr<TraceSource>, kThreads> traces_;
+    std::unique_ptr<CoherenceDirectory> directory_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
     /** Per-core block-buffered decode boundary (see System). */
-    std::array<TraceBlockReader, kThreads> blockReaders_;
-    std::array<std::unique_ptr<FunctionalMemory>, kThreads> mems_;
-    std::array<std::unique_ptr<Hierarchy>, kThreads> hiers_;
-    std::array<std::unique_ptr<OooCore>, kThreads> cores_;
-    std::array<bool, kThreads> done_{};
+    std::vector<TraceBlockReader> blockReaders_;
+    std::vector<std::unique_ptr<FunctionalMemory>> mems_;
+    std::vector<std::unique_ptr<Hierarchy>> hiers_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    std::vector<std::uint8_t> done_;
 };
 
 } // namespace bvc

@@ -1,8 +1,10 @@
 #include "sim/system.hh"
 
+#include <bit>
 #include <cmath>
 
 #include "check/shadow_checker.hh"
+#include "core/banked_llc.hh"
 #include "tracefile/file_trace_source.hh"
 #include "core/dcc_cache.hh"
 #include "core/two_tag_array.hh"
@@ -76,51 +78,85 @@ SystemConfig::withLlcScale(double factor) const
     return out;
 }
 
+namespace
+{
+
+/** One monolithic LLC of `sizeBytes` (a whole cache or one bank). */
+std::unique_ptr<Llc>
+makeUnbankedLlc(const SystemConfig &cfg, const Compressor &comp,
+                std::size_t sizeBytes)
+{
+    std::unique_ptr<Llc> llc;
+    switch (cfg.arch) {
+      case LlcArch::Uncompressed:
+        llc = std::make_unique<UncompressedLlc>(sizeBytes, cfg.llcWays,
+                                                cfg.llcRepl);
+        break;
+      case LlcArch::TwoTagNaive:
+        llc = std::make_unique<TwoTagNaiveLlc>(sizeBytes, cfg.llcWays,
+                                               cfg.llcRepl, comp);
+        break;
+      case LlcArch::TwoTagModified:
+        llc = std::make_unique<TwoTagModifiedLlc>(sizeBytes,
+                                                  cfg.llcWays,
+                                                  cfg.llcRepl, comp);
+        break;
+      case LlcArch::BaseVictim:
+        llc = std::make_unique<BaseVictimLlc>(
+            sizeBytes, cfg.llcWays, cfg.llcRepl, cfg.victimRepl,
+            comp, cfg.llcInclusive, cfg.segmentQuantum);
+        break;
+      case LlcArch::Vsc:
+        llc = std::make_unique<VscLlc>(sizeBytes, cfg.llcWays, comp);
+        break;
+      case LlcArch::Dcc:
+        llc = std::make_unique<DccLlc>(sizeBytes, cfg.llcWays, comp);
+        break;
+    }
+    panicIf(llc == nullptr, "makeLlc: unknown arch");
+    // BVC_CHECK=1: every System/MultiCoreSystem run drives the LLC
+    // through the lockstep shadow checker (transparent to callers:
+    // name() and stats() forward to the wrapped model). Banked caches
+    // wrap each bank, so the mirror is asserted per bank.
+    if (shadowCheckEnabled())
+        return wrapWithShadowChecker(std::move(llc), sizeBytes,
+                                     cfg.llcWays, cfg.llcRepl);
+    return llc;
+}
+
+} // namespace
+
 std::unique_ptr<Llc>
 makeLlc(const SystemConfig &cfg, const Compressor &comp)
 {
     if (!cfg.llcInclusive && cfg.arch != LlcArch::BaseVictim)
         fatal("non-inclusive operation is only implemented for the "
               "Base-Victim LLC (Section IV.B.3)");
-    std::unique_ptr<Llc> llc;
-    switch (cfg.arch) {
-      case LlcArch::Uncompressed:
-        llc = std::make_unique<UncompressedLlc>(cfg.llcBytes,
-                                                cfg.llcWays,
-                                                cfg.llcRepl);
-        break;
-      case LlcArch::TwoTagNaive:
-        llc = std::make_unique<TwoTagNaiveLlc>(cfg.llcBytes,
-                                               cfg.llcWays,
-                                               cfg.llcRepl, comp);
-        break;
-      case LlcArch::TwoTagModified:
-        llc = std::make_unique<TwoTagModifiedLlc>(cfg.llcBytes,
-                                                  cfg.llcWays,
-                                                  cfg.llcRepl, comp);
-        break;
-      case LlcArch::BaseVictim:
-        llc = std::make_unique<BaseVictimLlc>(
-            cfg.llcBytes, cfg.llcWays, cfg.llcRepl, cfg.victimRepl,
-            comp, cfg.llcInclusive, cfg.segmentQuantum);
-        break;
-      case LlcArch::Vsc:
-        llc = std::make_unique<VscLlc>(cfg.llcBytes, cfg.llcWays,
-                                       comp);
-        break;
-      case LlcArch::Dcc:
-        llc = std::make_unique<DccLlc>(cfg.llcBytes, cfg.llcWays,
-                                       comp);
-        break;
-    }
-    panicIf(llc == nullptr, "makeLlc: unknown arch");
-    // BVC_CHECK=1: every System/MultiCoreSystem run drives the LLC
-    // through the lockstep shadow checker (transparent to callers:
-    // name() and stats() forward to the wrapped model).
-    if (shadowCheckEnabled())
-        return wrapWithShadowChecker(std::move(llc), cfg.llcBytes,
-                                     cfg.llcWays, cfg.llcRepl);
-    return llc;
+    if (cfg.llcBanks <= 1)
+        return makeUnbankedLlc(cfg, comp, cfg.llcBytes);
+
+    panicIf((cfg.llcBanks & (cfg.llcBanks - 1)) != 0,
+            "llcBanks must be a power of two");
+    panicIf(cfg.llcBytes % cfg.llcBanks != 0,
+            "llcBytes must divide evenly across llcBanks");
+    const std::size_t bankBytes = cfg.llcBytes / cfg.llcBanks;
+    std::vector<std::unique_ptr<Llc>> banks;
+    banks.reserve(cfg.llcBanks);
+    for (std::size_t b = 0; b < cfg.llcBanks; ++b)
+        banks.push_back(makeUnbankedLlc(cfg, comp, bankBytes));
+
+    // Bank on the bits immediately above each bank's local set-index
+    // bits so banking partitions the unbanked sets exactly (see
+    // core/banked_llc.hh). Every model derives its set count with
+    // cacheSetCount (sizeBytes / line / ways); DCC indexes sets at
+    // super-block (4-line) granularity, so its set bits start 2 higher.
+    const std::size_t setsPerBank =
+        bankBytes / kLineBytes / cfg.llcWays;
+    unsigned bankShift = kLineShift +
+        static_cast<unsigned>(std::countr_zero(setsPerBank));
+    if (cfg.arch == LlcArch::Dcc)
+        bankShift += 2;
+    return std::make_unique<BankedLlc>(std::move(banks), bankShift);
 }
 
 System::System(const SystemConfig &cfg, const TraceParams &trace)
@@ -180,7 +216,7 @@ System::run(std::uint64_t warmup, std::uint64_t measure)
 
     // Statistics measure only the steady-state window; all cache, DRAM
     // and core *state* persists across the boundary.
-    llc_->stats().resetAll();
+    llc_->resetStats();
     dram_.stats().resetAll();
     hier_->stats().resetAll();
     core_->stats().resetAll();

@@ -60,6 +60,15 @@ struct SystemConfig
     bool llcInclusive = true;
 
     /**
+     * Independently-locked, address-hashed LLC banks (power of two).
+     * 1 keeps the historical monolithic cache. Banking partitions the
+     * unbanked sets exactly (see core/banked_llc.hh), so contents and
+     * aggregate statistics are identical at any bank count; >1 exists
+     * for many-core scaling (per-bank locking).
+     */
+    std::size_t llcBanks = 1;
+
+    /**
      * Fast configuration used by the benches: every capacity is the
      * paper's divided by 4 (2MB -> 512KB LLC), preserving all capacity
      * ratios; see DESIGN.md §4.

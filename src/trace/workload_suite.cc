@@ -374,4 +374,35 @@ WorkloadSuite::mixes(std::size_t count) const
     return out;
 }
 
+std::vector<std::vector<std::size_t>>
+WorkloadSuite::mixesN(std::size_t cores, std::size_t count) const
+{
+    const auto sensitive = sensitiveIndices();
+    panicIf(cores == 0, "mixesN: zero-core mix requested");
+    panicIf(sensitive.empty(), "no sensitive traces to mix");
+
+    std::vector<std::vector<std::size_t>> out;
+    Rng rng(0x4d49584e); // "MIXN": fixed seed, reproducible mixes
+    out.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) {
+        std::vector<std::size_t> mix(cores);
+        for (std::size_t t = 0; t < cores; ++t) {
+            std::size_t pick;
+            bool duplicate;
+            do {
+                pick = sensitive[rng.range(sensitive.size())];
+                duplicate = false;
+                // Distinct draws while the pool allows; beyond that,
+                // repeats are fine (disjoint slices decouple them).
+                if (cores <= sensitive.size())
+                    for (std::size_t k = 0; k < t; ++k)
+                        duplicate = duplicate || mix[k] == pick;
+            } while (duplicate);
+            mix[t] = pick;
+        }
+        out.push_back(std::move(mix));
+    }
+    return out;
+}
+
 } // namespace bvc

@@ -66,6 +66,18 @@ class WorkloadSuite
     std::vector<std::array<std::size_t, 4>>
     mixes(std::size_t count = 20) const;
 
+    /**
+     * N-way multi-programmed mixes for the many-core harness: `count`
+     * deterministic draws of `cores` cache-sensitive traces each.
+     * Draws are distinct within a mix while the sensitive pool allows
+     * it; with more cores than sensitive traces, repeats are permitted
+     * (the disjoint address slices keep repeated traces independent).
+     * A separate seed from mixes() keeps the historical 4-way mix
+     * tables stable.
+     */
+    std::vector<std::vector<std::size_t>>
+    mixesN(std::size_t cores, std::size_t count) const;
+
     std::uint64_t llcRefBytes() const { return llcRefBytes_; }
 
   private:

@@ -1,0 +1,24 @@
+// bvlint fixture: raw smart-pointer unwraps through .get() (BV008).
+#include <memory>
+
+struct Box
+{
+    int value = 0;
+};
+
+int
+deref(const std::unique_ptr<int> &p)
+{
+    int total = *p.get();
+    if (p.get() != nullptr)
+        total += *p.get();
+    return total;
+}
+
+int
+arrow(const std::shared_ptr<Box> &b)
+{
+    if (b.get() == nullptr)
+        return 0;
+    return b.get()->value;
+}

@@ -1,8 +1,9 @@
-// bvlint fixture: violates BV001-BV004 and BV006, every one waived
-// -> clean.
+// bvlint fixture: violates BV001-BV004, BV006 and BV008, every one
+// waived -> clean.
 #include <cassert>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 struct StatGroup
 {
@@ -24,6 +25,12 @@ struct Model
         std::cout << "touched" << std::endl; // bvlint-allow(BV006)
     }
 };
+
+int
+unwrap(const std::unique_ptr<int> &p)
+{
+    return *p.get(); // bvlint-allow(BV008)
+}
 
 int
 pick(Kind kind)

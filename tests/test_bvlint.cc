@@ -52,16 +52,16 @@ rulesTripped(const std::string &name, std::size_t &count)
     return rules;
 }
 
-TEST(BvlintRules, TableListsSevenUniqueIds)
+TEST(BvlintRules, TableListsEightUniqueIds)
 {
     const auto &rules = bvlint::ruleTable();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     std::set<std::string> ids;
     for (const auto &rule : rules)
         ids.insert(rule.id);
     EXPECT_EQ(ids.size(), rules.size());
     EXPECT_TRUE(ids.count("BV001"));
-    EXPECT_TRUE(ids.count("BV007"));
+    EXPECT_TRUE(ids.count("BV008"));
 }
 
 TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
@@ -74,6 +74,7 @@ TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
         {"bad_include_guard.hh", "BV005"},
         {"bad_endl.cc", "BV006"},
         {"bad_nodiscard.hh", "BV007"},
+        {"bad_get_unwrap.cc", "BV008"},
     };
     for (const auto &[fixture, rule] : cases) {
         std::size_t count = 0;
@@ -228,6 +229,36 @@ TEST(BvlintNodiscard, TwoLineDeclarationIsFlaggedAndSuppressible)
                   "// bvlint-allow(BV007)\n");
     EXPECT_TRUE(bvlint::lintFiles({{"src/util/two.hh", waived}})
                     .empty());
+}
+
+TEST(BvlintGetUnwrap, FlagsEveryRawUnwrapShape)
+{
+    std::size_t count = 0;
+    const std::set<std::string> tripped =
+        rulesTripped("bad_get_unwrap.cc", count);
+    EXPECT_EQ(tripped, std::set<std::string>{"BV008"});
+    // Two derefs, two nullptr compares, one arrow — one finding per
+    // offending line.
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(BvlintGetUnwrap, StrongTypeAndDynamicCastGetsStayClean)
+{
+    // Strong-type .get() at the array-index boundary (the
+    // util/strong_types.hh idiom, including multiplication) and the
+    // raw-handle escape into dynamic_cast are the two blessed .get()
+    // classes.
+    const SourceFile src{
+        "src/cache/demo.cc",
+        "int pick(SetIdx set, WayIdx way) {\n"
+        "    return base_[set.get() * ways_ + way.get()];\n"
+        "}\n"
+        "int scale(SegCount segs) { return ways_ * segs.get(); }\n"
+        "BaseVictimLlc *downcast(std::unique_ptr<Llc> &p) {\n"
+        "    return dynamic_cast<BaseVictimLlc *>(p.get());\n"
+        "}\n"
+        "void pass(std::unique_ptr<Tracker> &t) { use(t.get()); }\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
 }
 
 TEST(BvlintGuard, ExpectedGuardMatchesRepoConvention)

@@ -1,7 +1,10 @@
-/** @file Tests for the 4-core shared-LLC system (Section VI.C). */
+/** @file Tests for the N-core shared-LLC system (Section VI.C). */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "core/uncompressed_llc.hh"
 #include "sim/multicore.hh"
 #include "trace/workload_suite.hh"
 
@@ -17,6 +20,19 @@ quickMix()
     const auto mix = suite.mixes(1).front();
     return {suite.all()[mix[0]].params, suite.all()[mix[1]].params,
             suite.all()[mix[2]].params, suite.all()[mix[3]].params};
+}
+
+/** One N-way mix of cache-sensitive traces from the suite. */
+std::vector<TraceParams>
+quickMixN(std::size_t cores)
+{
+    const WorkloadSuite suite;
+    const auto mix = suite.mixesN(cores, 1).front();
+    std::vector<TraceParams> out;
+    out.reserve(cores);
+    for (const std::size_t idx : mix)
+        out.push_back(suite.all()[idx].params);
+    return out;
 }
 
 TEST(MultiCore, AllThreadsRetireTheirWindow)
@@ -120,6 +136,164 @@ TEST(MultiCore, ThreadsUseDisjointAddressSlices)
             });
         EXPECT_TRUE(sawOwnSlice);
     }
+}
+
+TEST(MultiCoreDeathTest, WeightedSpeedupRejectsCoreCountMismatch)
+{
+    // The satellite-1 bugfix: comparing runs of different core counts
+    // used to walk base.ipc out of bounds; it must panic instead.
+    MultiRunResult two;
+    two.ipc = {1.0, 1.0};
+    MultiRunResult one;
+    one.ipc = {1.0};
+    EXPECT_DEATH(two.weightedSpeedup(one), "core-count mismatch");
+}
+
+TEST(MultiCore, BackInvalidationWritesBackOncePerLine)
+{
+    // Pins the fan-out accounting the coherence layer builds on: when
+    // an LLC eviction back-invalidates a line that is dirty in SEVERAL
+    // private hierarchies, exactly one memory write happens — the
+    // fan-out ORs per-hierarchy dirtiness into one bool, it does not
+    // emit one writeback per hierarchy.
+    UncompressedLlc llc(512, 2, ReplacementKind::Lru); // 4 sets x 2 ways
+    Dram dram;
+    FunctionalMemory mem0;
+    FunctionalMemory mem1;
+    HierarchyConfig tiny;
+    tiny.l1iBytes = tiny.l1dBytes = tiny.l2Bytes = 256; // 2 sets x 2 ways
+    tiny.l1iWays = tiny.l1dWays = tiny.l2Ways = 2;
+    tiny.prefetch = false;
+    Hierarchy h0(tiny, llc, dram, mem0);
+    Hierarchy h1(tiny, llc, dram, mem1);
+    for (Hierarchy *h : {&h0, &h1}) {
+        h->setBackInvalidateFn([&](Addr blk) {
+            bool dirty = h0.invalidateUpper(blk);
+            dirty = h1.invalidateUpper(blk) || dirty;
+            return dirty;
+        });
+    }
+
+    // Both cores dirty line 0 in their private caches.
+    h0.store(0x100, 0, 1, 1);
+    h1.store(0x100, 0, 2, 2);
+    ASSERT_EQ(dram.stats().get("writes"), 0u);
+
+    // Two more lines in LLC set 0 (4-set LLC: stride 256) evict line 0
+    // from the 2-way set; the back-invalidation finds dirty copies in
+    // both hierarchies.
+    h0.load(0x100, 256, 3);
+    h0.load(0x100, 512, 4);
+    EXPECT_FALSE(llc.probe(0));
+    EXPECT_EQ(dram.stats().get("writes"), 1u)
+        << "a multi-hierarchy dirty back-invalidation must cost one "
+           "memory write, not one per hierarchy";
+    EXPECT_EQ(h0.stats().get("back_inval_writebacks") +
+                  h1.stats().get("back_inval_writebacks"),
+              1u);
+}
+
+TEST(MultiCore, MsiInvalidatesRemoteCopiesOnSharedWrites)
+{
+    // Two cores in ONE address space under MSI: overlapping footprints
+    // with a store fraction must generate real directory traffic.
+    SystemConfig cfg = SystemConfig::benchDefaults();
+    MultiCoreConfig mc;
+    mc.coherence = CoherenceKind::Msi;
+    mc.sharedAddressSpace = true;
+    MultiCoreSystem system(cfg, quickMixN(2), mc);
+    ASSERT_NE(system.directory(), nullptr);
+    system.run(2000, 10000);
+
+    const StatGroup &ds = system.directory()->stats();
+    EXPECT_GT(ds.get("reads"), 0u);
+    EXPECT_GT(ds.get("writes"), 0u);
+    EXPECT_GT(ds.get("invalidations_sent"), 0u)
+        << "shared-space mixes must actually contend for lines";
+    // Coherence keeps inclusion intact in every private hierarchy.
+    for (std::size_t i = 0; i < system.numCores(); ++i)
+        EXPECT_TRUE(system.hierarchy(CoreId{i}).checkInclusion());
+}
+
+TEST(MultiCore, MesiGrantsExclusiveOnPrivateData)
+{
+    // Disjoint-slice traces under MESI: every first read is the sole
+    // reader, so exclusive grants dominate and silent E->M upgrades
+    // replace invalidation traffic entirely.
+    SystemConfig cfg = SystemConfig::benchDefaults();
+    MultiCoreConfig mc;
+    mc.coherence = CoherenceKind::Mesi;
+    MultiCoreSystem system(cfg, quickMixN(4), mc);
+    system.run(2000, 10000);
+
+    const StatGroup &ds = system.directory()->stats();
+    EXPECT_GT(ds.get("exclusive_grants"), 0u);
+    EXPECT_GT(ds.get("silent_upgrades"), 0u);
+    EXPECT_EQ(ds.get("invalidations_sent"), 0u)
+        << "disjoint slices share no lines, so MESI must never "
+           "invalidate";
+}
+
+TEST(MultiCore, SixteenCoreCoherentRunCompletesUnderCheck)
+{
+    // The acceptance run: 16 coherent cores in a shared address space
+    // over a 4-bank Base-Victim LLC, every bank wrapped by the lockstep
+    // shadow checker (BVC_CHECK=1). The default fail handler aborts on
+    // any divergence, so completing the run IS the zero-divergence
+    // assertion — including under an external snoop storm.
+    const char *prev = std::getenv("BVC_CHECK");
+    const std::string saved = prev ? prev : "";
+    setenv("BVC_CHECK", "1", 1);
+
+    SystemConfig cfg = SystemConfig::benchDefaults();
+    cfg.arch = LlcArch::BaseVictim;
+    cfg.llcBanks = 4;
+    MultiCoreConfig mc;
+    mc.coherence = CoherenceKind::Msi;
+    mc.sharedAddressSpace = true;
+    {
+        MultiCoreSystem system(cfg, quickMixN(16), mc);
+        const MultiRunResult result = system.run(1000, 3000);
+        for (std::size_t i = 0; i < 16; ++i)
+            EXPECT_GT(result.ipc[i], 0.0) << "core " << i;
+
+        // Snoop every line core 0's L1D holds: inclusive LLC, so each
+        // must hit the checked coherenceInvalidate path.
+        std::vector<Addr> resident;
+        system.hierarchy(CoreId{0}).l1d().forEachLine(
+            [&](const CacheLine &line) { resident.push_back(line.tag); });
+        ASSERT_FALSE(resident.empty());
+        for (const Addr blk : resident)
+            system.snoopInvalidate(blk);
+        EXPECT_GE(system.llc().stats().get("coherence_invalidations"),
+                  resident.size());
+        for (const Addr blk : resident)
+            EXPECT_FALSE(system.llc().probe(blk));
+        for (std::size_t i = 0; i < 16; ++i)
+            EXPECT_TRUE(system.hierarchy(CoreId{i}).checkInclusion());
+    }
+
+    if (prev)
+        setenv("BVC_CHECK", saved.c_str(), 1);
+    else
+        unsetenv("BVC_CHECK");
+}
+
+TEST(MultiCore, SixtyFourCoreRunCompletes)
+{
+    // The directory's one-word sharer mask tops out at 64 cores; the
+    // largest configuration must construct and run end to end.
+    SystemConfig cfg = SystemConfig::benchDefaults();
+    cfg.llcBanks = 8;
+    MultiCoreConfig mc;
+    mc.coherence = CoherenceKind::Msi;
+    mc.sharedAddressSpace = true;
+    MultiCoreSystem system(cfg, quickMixN(64), mc);
+    EXPECT_EQ(system.numCores(), 64u);
+    const MultiRunResult result = system.run(200, 500);
+    EXPECT_EQ(result.ipc.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_GT(result.ipc[i], 0.0) << "core " << i;
 }
 
 } // namespace

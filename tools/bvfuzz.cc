@@ -90,6 +90,13 @@ struct FuzzTuple
     unsigned quantum = 4;
     std::size_t ways = 8;
     std::size_t sets = 64;
+    /**
+     * Simulated core count attributing the accesses. cores > 1 biases
+     * each access toward a per-core region (shared + private mix, like
+     * a coherent heap) and injects external snoop invalidations
+     * (Llc::coherenceInvalidate) into the checked stream.
+     */
+    std::size_t cores = 1;
     std::uint64_t seed = 0;
 
     std::size_t sizeBytes() const { return sets * ways * kLineBytes; }
@@ -101,7 +108,8 @@ struct FuzzTuple
             " vrepl=" + victimReplName(victimRepl) + " pattern=" +
             DataPattern::kindName(pattern) + " quantum=" +
             std::to_string(quantum) + " geometry=" +
-            std::to_string(sets) + "x" + std::to_string(ways);
+            std::to_string(sets) + "x" + std::to_string(ways) +
+            " cores=" + std::to_string(cores);
     }
 };
 
@@ -138,6 +146,10 @@ makeTuple(std::uint64_t tupleSeed)
     t.ways = waysChoices[rng.range(3)];
     const std::size_t setChoices[] = {16, 64, 256};
     t.sets = setChoices[rng.range(3)];
+    // New dimensions draw strictly AFTER the historical ones so old
+    // reproducer seeds keep deriving the same historical fields.
+    const std::size_t coreChoices[] = {1, 4, 16, 64};
+    t.cores = coreChoices[rng.range(4)];
     return t;
 }
 
@@ -198,7 +210,24 @@ runTuple(const FuzzTuple &t, std::uint64_t accesses, bool verbose)
     std::uint8_t line[kLineBytes];
 
     for (std::uint64_t i = 0; i < accesses; ++i) {
-        const Addr blk = rng.range(footprint) * kLineBytes;
+        Addr blk = rng.range(footprint) * kLineBytes;
+        // cores > 1: attribute the access to a core and bias half the
+        // stream toward that core's private region (shared + private
+        // mix); inject external snoops through the checked
+        // coherenceInvalidate path. Single-core tuples consume exactly
+        // the historical draw sequence.
+        if (t.cores > 1) {
+            const std::uint64_t core = rng.range(t.cores);
+            if (rng.chance(0.5)) {
+                const std::uint64_t slice = footprint / t.cores;
+                blk = (core * slice + rng.range(slice > 0 ? slice : 1)) *
+                    kLineBytes;
+            }
+            if (rng.chance(0.03)) {
+                checker.coherenceInvalidate(blk);
+                continue;
+            }
+        }
         pattern.fillLine(blk, line);
 
         AccessType type = AccessType::Read;
@@ -261,6 +290,18 @@ smokeTuples()
     bv.pattern = DataPatternKind::Zeros;
     bv.seed = 0xb5d0;
     out.push_back(bv);
+    // 16-core rounds (appended so historical smoke_index values stay
+    // stable): coherence snoop invalidations under the checker for the
+    // inclusive BV mirror proof, the non-inclusive variant, and DCC's
+    // sub-block invalidation path.
+    for (const Model m : {Model::BaseVictim,
+                          Model::BaseVictimNonInclusive, Model::Dcc}) {
+        FuzzTuple t;
+        t.model = m;
+        t.cores = 16;
+        t.seed = 0xb5e0 + static_cast<std::uint64_t>(m);
+        out.push_back(t);
+    }
     return out;
 }
 

@@ -458,6 +458,92 @@ lintMissingNodiscard(std::vector<Finding> &out, const SourceFile &src,
     }
 }
 
+// ---------------------------------------------------------------- BV008
+
+const std::regex kGetArrow(R"(\.\s*get\s*\(\s*\)\s*->)");
+const std::regex kGetNullCompare(
+    R"(\.\s*get\s*\(\s*\)\s*[=!]=\s*nullptr|nullptr\s*[=!]=\s*[\w.>\[\]:-]+\.\s*get\s*\(\s*\))");
+const std::regex kGetDeref(
+    R"(\*\s*[A-Za-z_][\w.]*(?:->[\w.]*)*\.\s*get\s*\(\s*\))");
+
+/**
+ * True when the `*` at `starPos` reads as a dereference rather than a
+ * multiplication: nothing before it on the line, an
+ * expression-introducing character (`(`, `=`, `,`, ...), or an
+ * expression keyword like `return`. Strong-type arithmetic such as
+ * `ways_ * way.get()` has an operand before the star and stays clean.
+ */
+bool
+starIsDeref(const std::string &line, std::size_t starPos)
+{
+    std::size_t i = starPos;
+    while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t'))
+        --i;
+    if (i == 0)
+        return true;
+    const char prev = line[i - 1];
+    if (std::isalnum(static_cast<unsigned char>(prev)) != 0 ||
+        prev == '_') {
+        std::size_t b = i;
+        while (b > 0 &&
+               (std::isalnum(static_cast<unsigned char>(
+                    line[b - 1])) != 0 ||
+                line[b - 1] == '_'))
+            --b;
+        static const std::unordered_set<std::string> kDerefKeywords = {
+            "return", "co_return", "co_yield", "co_await", "throw",
+            "case",   "else",      "do",       "and",      "or",
+            "not"};
+        return kDerefKeywords.count(line.substr(b, i - b)) != 0;
+    }
+    // `)` and `]` also end operands (`f(x) * y.get()`); every other
+    // punctuator introduces an expression, so the star dereferences.
+    return prev != ')' && prev != ']';
+}
+
+/**
+ * Raw `.get()` unwraps of a smart pointer: `*p.get()`, `p.get()->`,
+ * and `p.get() ==/!= nullptr` all have a direct form on the pointer
+ * itself (`*p`, `p->`, `p != nullptr`). Only those three shapes are
+ * flagged, so the two legitimate `.get()` classes stay clean by
+ * construction: strong-type unwraps at array-index boundaries
+ * (`row[way.get()]`, `set.get() * ways_` — util/strong_types.hh) and
+ * raw-handle escapes like `dynamic_cast<T *>(p.get())`.
+ */
+void
+lintGetUnwrap(std::vector<Finding> &out, const SourceFile &src,
+              const FileView &view)
+{
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        if (line.find("get") == std::string::npos)
+            continue;
+        if (std::regex_search(line, kGetArrow)) {
+            report(out, view, src.path, i + 1, "BV008",
+                   "'.get()->' unwraps the smart pointer; call "
+                   "through its own operator-> instead");
+            continue;
+        }
+        if (std::regex_search(line, kGetNullCompare)) {
+            report(out, view, src.path, i + 1, "BV008",
+                   "'.get()' nullptr compare; test the smart pointer "
+                   "directly, it converts to bool");
+            continue;
+        }
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          kGetDeref);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            if (!starIsDeref(line,
+                             static_cast<std::size_t>(it->position(0))))
+                continue;
+            report(out, view, src.path, i + 1, "BV008",
+                   "'*p.get()' dereferences through .get(); "
+                   "dereference the smart pointer itself");
+            break;
+        }
+    }
+}
+
 bool
 lintableSource(const std::string &path)
 {
@@ -490,6 +576,10 @@ ruleTable()
         {"BV007", "missing-nodiscard",
          "Value-returning parse*/read*/verify* functions declared in "
          "headers must be [[nodiscard]]."},
+        {"BV008", "get-unwrap",
+         "No *p.get(), p.get()->, or p.get() ==/!= nullptr; use the "
+         "smart pointer directly. Strong-type .get() and "
+         "dynamic_cast<T *>(p.get()) are fine."},
     };
     return kRules;
 }
@@ -559,6 +649,7 @@ lintFiles(const std::vector<SourceFile> &files)
         lintIncludeGuard(findings, files[i], views[i]);
         lintStdEndl(findings, files[i], views[i]);
         lintMissingNodiscard(findings, files[i], views[i]);
+        lintGetUnwrap(findings, files[i], views[i]);
     }
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -12,6 +12,9 @@
  *   BV006  std::endl flush (write '\n', flush explicitly if wanted)
  *   BV007  value-returning parse/read/verify function declared in a
  *          header without [[nodiscard]]
+ *   BV008  raw `.get()` unwrap of a smart pointer (`*p.get()`,
+ *          `p.get()->`, `p.get() == nullptr`); strong-type `.get()`
+ *          and `dynamic_cast<T *>(p.get())` stay clean
  *
 
  * Any finding can be waived with a `// bvlint-allow(BVxxx)` comment on

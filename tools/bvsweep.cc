@@ -22,6 +22,7 @@
 #include "runner/report.hh"
 #include "runner/sweep.hh"
 #include "sim/experiment.hh"
+#include "sim/multicore.hh"
 #include "trace/workload_suite.hh"
 #include "tracefile/file_trace_source.hh"
 #include "util/env.hh"
@@ -44,6 +45,8 @@ struct Options
     std::string csvPath;
     std::uint64_t warmup = 0;  //!< 0 = ExperimentOptions default
     std::uint64_t instr = 0;
+    std::size_t mixes = 0;     //!< multiprogram mixes per arch (0 = off)
+    std::size_t mixCores = 4;  //!< cores per mix (mixesN draws)
     std::size_t llcKb = 512;
     std::size_t ways = 16;
     bool quiet = false;
@@ -76,6 +79,10 @@ usage()
         "  --csv FILE        write the CSV report\n"
         "  --warmup N        warmup instructions per run\n"
         "  --instr N         measured instructions per run\n"
+        "  --mixes N         also run N multiprogram mixes per arch\n"
+        "                    (weighted speedup vs the uncompressed\n"
+        "                    baseline, Section VI.C)\n"
+        "  --mix-cores N     cores per mix, 1..64 (default 4)\n"
         "  --llc-kb N        LLC capacity in KB (default 512)\n"
         "  --ways N          LLC associativity (default 16)\n"
         "  --quiet           suppress the stderr progress reporter\n"
@@ -168,6 +175,13 @@ parseArgs(int argc, char **argv)
             opts.warmup = parsePositiveUint("--warmup", next(i));
         } else if (arg == "--instr") {
             opts.instr = parsePositiveUint("--instr", next(i));
+        } else if (arg == "--mixes") {
+            opts.mixes = parsePositiveUint("--mixes", next(i));
+        } else if (arg == "--mix-cores") {
+            opts.mixCores = parsePositiveUint("--mix-cores", next(i));
+            if (opts.mixCores > 64)
+                fatal("--mix-cores: at most 64 cores (one-word "
+                      "coherence sharer masks)");
         } else if (arg == "--llc-kb") {
             opts.llcKb = parsePositiveUint("--llc-kb", next(i));
         } else if (arg == "--ways") {
@@ -243,7 +257,7 @@ main(int argc, char **argv)
         }
         workloads.push_back(std::move(info));
     }
-    if (workloads.empty())
+    if (workloads.empty() && opts.mixes == 0)
         fatal("trace selection is empty");
 
     ExperimentOptions runOpts = ExperimentOptions::fromEnv();
@@ -271,6 +285,57 @@ main(int argc, char **argv)
             SystemConfig cfg = baseCfg;
             cfg.arch = parseArch(archName);
             jobs.push_back({cfg, info.params, runOpts, archName, {}});
+        }
+    }
+
+    // Multiprogram mixes (Section VI.C), appended after the per-trace
+    // grid: one job per (mix, arch). Each job runs the uncompressed
+    // baseline and the arch over the SAME N-core mix and reports the
+    // weighted speedup in RunResult::ipc (the DRAM fields come from
+    // the arch run). Jobs stay self-contained so the thread pool can
+    // schedule them freely.
+    const std::size_t mixJobsBase = jobs.size();
+    std::vector<std::vector<TraceParams>> mixTraces;
+    if (opts.mixes > 0) {
+        const auto drawn = suite.mixesN(opts.mixCores, opts.mixes);
+        for (std::size_t m = 0; m < drawn.size(); ++m) {
+            std::vector<TraceParams> params;
+            params.reserve(opts.mixCores);
+            for (const std::size_t idx : drawn[m])
+                params.push_back(suite.all()[idx].params);
+            mixTraces.push_back(std::move(params));
+        }
+        for (std::size_t m = 0; m < mixTraces.size(); ++m) {
+            for (const std::string &archName : opts.archNames) {
+                SystemConfig cfg = baseCfg;
+                cfg.arch = parseArch(archName);
+                SweepJob job;
+                job.config = cfg;
+                job.trace.name = "mix" + std::to_string(m) + "-" +
+                    std::to_string(opts.mixCores) + "core";
+                job.opts = runOpts;
+                job.label = archName;
+                job.fn = [baseCfg, cfg, params = mixTraces[m],
+                          runOpts]() {
+                    MultiCoreSystem baseSys(baseCfg, params);
+                    const MultiRunResult base =
+                        baseSys.run(runOpts.warmup, runOpts.measure);
+                    MultiCoreSystem testSys(cfg, params);
+                    const MultiRunResult test =
+                        testSys.run(runOpts.warmup, runOpts.measure);
+                    RunResult out;
+                    out.ipc = test.weightedSpeedup(base);
+                    for (const std::uint64_t n : test.instructions)
+                        out.instructions += n;
+                    out.dramReads = test.dramReads;
+                    out.dramWrites = test.dramWrites;
+                    out.llcDemandHits = test.llcDemandHits;
+                    out.llcDemandMisses = test.llcDemandMisses;
+                    out.llcVictimHits = test.llcVictimHits;
+                    return out;
+                };
+                jobs.push_back(std::move(job));
+            }
         }
     }
 
@@ -322,6 +387,17 @@ main(int argc, char **argv)
                 : info.compressionFriendly   ? "compression-friendly"
                                              : "low-compressibility";
     }
+    // Mix records: RunResult::ipc already is the weighted speedup vs
+    // the in-job baseline, so expose it as the ratio directly.
+    for (std::size_t j = mixJobsBase; j < report.records.size(); ++j) {
+        RunRecord &rec = report.records[j];
+        rec.bucket = "multiprogram-mix";
+        if (!rec.ok)
+            continue;
+        rec.hasRatios = true;
+        rec.ipcRatio = rec.result.ipc;
+        rec.dramReadRatio = 1.0;
+    }
 
     if (opts.stableJson)
         zeroTimings(report);
@@ -346,7 +422,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(runOpts.warmup),
                 static_cast<unsigned long long>(runOpts.measure));
 
-    for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
+    for (std::size_t a = 0;
+         !workloads.empty() && a < opts.archNames.size(); ++a) {
         Table table({"trace", "bucket", "IPC ratio",
                      "DRAM read ratio"});
         std::vector<double> ipcRatios, dramRatios;
@@ -365,6 +442,24 @@ main(int argc, char **argv)
         std::printf("geomean IPC ratio %.4f  geomean DRAM read ratio "
                     "%.4f\n",
                     geomean(ipcRatios), geomean(dramRatios));
+    }
+
+    if (!mixTraces.empty()) {
+        for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
+            Table table({"mix", "weighted speedup"});
+            std::vector<double> speedups;
+            for (std::size_t m = 0; m < mixTraces.size(); ++m) {
+                const RunRecord &rec = report.records
+                    [mixJobsBase + m * opts.archNames.size() + a];
+                table.addRow({rec.trace, Table::num(rec.ipcRatio)});
+                speedups.push_back(rec.ipcRatio);
+            }
+            std::printf("\n[%s %zu-core mixes vs uncompressed]\n%s",
+                        opts.archNames[a].c_str(), opts.mixCores,
+                        table.render().c_str());
+            std::printf("geomean weighted speedup %.4f\n",
+                        geomean(speedups));
+        }
     }
 
     // Throughput footer (wall-clock stats go to stderr so stdout stays
