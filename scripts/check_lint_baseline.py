@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Ratchet bvlint findings against a committed baseline.
+
+Usage:
+
+    bvlint --json src tools examples > findings.json
+    ./scripts/check_lint_baseline.py findings.json lint_baseline.json
+    ./scripts/check_lint_baseline.py --update findings.json lint_baseline.json
+
+The baseline records the tree's accepted debt as ``(file, rule) ->
+count``. The check fails in BOTH directions:
+
+* a (file, rule) pair whose count exceeds the baseline is a NEW
+  finding — fix it or waive it with an inline ``bvlint-allow`` /
+  suppression-config entry, never by editing the baseline upward;
+* a pair whose count dropped below the baseline (or vanished) is FIXED
+  debt — re-run with ``--update`` so the ratchet only turns one way.
+
+Counts, not line numbers: unrelated edits shift lines constantly, and
+a moved finding is not a new one. ``--update`` rewrites the baseline
+from the findings and always exits 0.
+"""
+
+import json
+import sys
+from collections import Counter
+
+# Path components that anchor a repo-relative path. Findings may carry
+# absolute paths (compile_commands TUs); the baseline must compare
+# equal across checkouts, so everything is normalized to start at one
+# of these roots.
+ROOTS = ("src", "tools", "tests", "bench", "examples", "scripts")
+
+
+def normalize(path: str) -> str:
+    parts = path.replace("\\", "/").split("/")
+    for i, part in enumerate(parts):
+        if part in ROOTS:
+            return "/".join(parts[i:])
+    return "/".join(parts)
+
+
+def load_findings(path: str) -> Counter:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise SystemExit(f"{path}: not a bvlint --json document")
+    counts: Counter = Counter()
+    for finding in doc["findings"]:
+        counts[(normalize(finding["file"]), finding["rule"])] += 1
+    return counts
+
+
+def load_baseline(path: str) -> Counter:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "baseline" not in doc:
+        raise SystemExit(f"{path}: not a lint baseline document")
+    counts: Counter = Counter()
+    for entry in doc["baseline"]:
+        key = (normalize(entry["file"]), entry["rule"])
+        if counts[key]:
+            raise SystemExit(
+                f"{path}: duplicate baseline entry for {key}")
+        counts[key] = int(entry["count"])
+    return counts
+
+
+def write_baseline(path: str, counts: Counter) -> None:
+    entries = [
+        {"file": file, "rule": rule, "count": count}
+        for (file, rule), count in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"baseline": entries}, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv) -> int:
+    update = "--update" in argv
+    args = [a for a in argv if a != "--update"]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings_path, baseline_path = args
+
+    findings = load_findings(findings_path)
+    if update:
+        write_baseline(baseline_path, findings)
+        print(f"{baseline_path}: rewritten with "
+              f"{sum(findings.values())} finding(s) across "
+              f"{len(findings)} (file, rule) pair(s)")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    failed = False
+    for key in sorted(findings.keys() | baseline.keys()):
+        have, allowed = findings[key], baseline[key]
+        file, rule = key
+        if have > allowed:
+            print(f"NEW: {file}: {rule}: {have} finding(s), "
+                  f"baseline allows {allowed} — fix or waive them, "
+                  f"do not grow the baseline")
+            failed = True
+        elif have < allowed:
+            print(f"STALE: {file}: {rule}: baseline records "
+                  f"{allowed} finding(s) but only {have} remain — "
+                  f"re-run with --update to lock in the fix")
+            failed = True
+    if failed:
+        return 1
+    print(f"lint baseline OK: {sum(findings.values())} finding(s) "
+          f"match {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

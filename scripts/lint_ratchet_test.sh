@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-way ratchet test for scripts/check_lint_baseline.py: a baseline
+# captured from a known-bad file must pass against itself, FAIL when a
+# new finding appears (NEW direction), and FAIL when a recorded
+# finding is fixed without updating the baseline (STALE direction).
+#
+# Usage: lint_ratchet_test.sh <bvlint-binary> <check_lint_baseline.py>
+set -u
+
+bvlint=$1
+checker=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp" || exit 1
+
+fail() {
+    echo "lint_ratchet_test: $*" >&2
+    exit 1
+}
+
+# One deliberate BV002 finding (time() is nondeterministic).
+mkdir tree
+cat > tree/victim.cc <<'EOF'
+long stamp() { return time(nullptr); }
+EOF
+
+run_lint() {
+    "$bvlint" --json tree > findings.json
+    [ $? -le 1 ] || fail "bvlint errored"
+}
+
+run_lint
+python3 "$checker" --update findings.json baseline.json ||
+    fail "--update failed"
+python3 "$checker" findings.json baseline.json ||
+    fail "identical findings should pass the baseline"
+
+# NEW direction: a second nondeterministic call appears.
+cat >> tree/victim.cc <<'EOF'
+long stamp2() { return time(nullptr); }
+EOF
+run_lint
+python3 "$checker" findings.json baseline.json &&
+    fail "a new finding must fail the baseline check"
+
+# STALE direction: every finding fixed, baseline left untouched.
+cat > tree/victim.cc <<'EOF'
+long stamp() { return 42; }
+EOF
+run_lint
+python3 "$checker" findings.json baseline.json &&
+    fail "a fixed finding still in the baseline must fail the check"
+
+echo "lint_ratchet_test: OK"
+exit 0

@@ -7,17 +7,17 @@ namespace bvc
 
 BankedLlc::BankedLlc(std::vector<std::unique_ptr<Llc>> banks,
                      unsigned bankShift)
-    : Llc("llc"),
-      banks_(std::move(banks)),
-      locks_(banks_.size()),
-      bankShift_(bankShift),
-      aggregate_("llc")
+    : Llc("llc"), bankShift_(bankShift), aggregate_("llc")
 {
-    panicIf(banks_.empty() ||
-                (banks_.size() & (banks_.size() - 1)) != 0,
+    panicIf(banks.empty() || (banks.size() & (banks.size() - 1)) != 0,
             "BankedLlc: bank count must be a nonzero power of two");
-    for (const auto &bank : banks_)
+    banks_.reserve(banks.size());
+    for (auto &bank : banks) {
         panicIf(bank == nullptr, "BankedLlc: null bank");
+        auto slot = std::make_unique<Bank>();
+        slot->llc = std::move(bank);
+        banks_.push_back(std::move(slot));
+    }
 }
 
 BankedLlc::~BankedLlc() = default;
@@ -25,49 +25,50 @@ BankedLlc::~BankedLlc() = default;
 LlcResult
 BankedLlc::access(Addr blk, AccessType type, const std::uint8_t *data)
 {
-    const std::size_t b = bankOf(blk);
-    std::lock_guard<std::mutex> lock(locks_[b]);
-    return banks_[b]->access(blk, type, data);
+    Bank &bank = *banks_[bankOf(blk)];
+    MutexLock lock(bank.mutex);
+    return lockedBank(bank).access(blk, type, data);
 }
 
 bool
 BankedLlc::probe(Addr blk) const
 {
-    const std::size_t b = bankOf(blk);
-    std::lock_guard<std::mutex> lock(locks_[b]);
-    return banks_[b]->probe(blk);
+    const Bank &bank = *banks_[bankOf(blk)];
+    MutexLock lock(bank.mutex);
+    return lockedBank(bank).probe(blk);
 }
 
 bool
 BankedLlc::probeBase(Addr blk) const
 {
-    const std::size_t b = bankOf(blk);
-    std::lock_guard<std::mutex> lock(locks_[b]);
-    return banks_[b]->probeBase(blk);
+    const Bank &bank = *banks_[bankOf(blk)];
+    MutexLock lock(bank.mutex);
+    return lockedBank(bank).probeBase(blk);
 }
 
 void
 BankedLlc::downgradeHint(Addr blk)
 {
-    const std::size_t b = bankOf(blk);
-    std::lock_guard<std::mutex> lock(locks_[b]);
-    banks_[b]->downgradeHint(blk);
+    Bank &bank = *banks_[bankOf(blk)];
+    MutexLock lock(bank.mutex);
+    lockedBank(bank).downgradeHint(blk);
 }
 
 LlcResult
 BankedLlc::coherenceInvalidate(Addr blk)
 {
-    const std::size_t b = bankOf(blk);
-    std::lock_guard<std::mutex> lock(locks_[b]);
-    return banks_[b]->coherenceInvalidate(blk);
+    Bank &bank = *banks_[bankOf(blk)];
+    MutexLock lock(bank.mutex);
+    return lockedBank(bank).coherenceInvalidate(blk);
 }
 
 void
 BankedLlc::resetStats()
 {
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        std::lock_guard<std::mutex> lock(locks_[b]);
-        banks_[b]->resetStats();
+    for (const auto &slot : banks_) {
+        Bank &bank = *slot;
+        MutexLock lock(bank.mutex);
+        lockedBank(bank).resetStats();
     }
     aggregate_.resetAll();
 }
@@ -76,9 +77,10 @@ std::size_t
 BankedLlc::validLines() const
 {
     std::size_t total = 0;
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        std::lock_guard<std::mutex> lock(locks_[b]);
-        total += banks_[b]->validLines();
+    for (const auto &slot : banks_) {
+        const Bank &bank = *slot;
+        MutexLock lock(bank.mutex);
+        total += lockedBank(bank).validLines();
     }
     return total;
 }
@@ -86,15 +88,27 @@ BankedLlc::validLines() const
 std::string
 BankedLlc::name() const
 {
-    return banks_.front()->name();
+    // Lock the bank even for this metadata read: name() may be called
+    // while another thread is mid-access in bank 0, and the contract
+    // says every dereference of a bank holds its capability.
+    const Bank &bank = *banks_.front();
+    MutexLock lock(bank.mutex);
+    return lockedBank(bank).name();
 }
 
 void
 BankedLlc::rebuildAggregate() const
 {
     aggregate_.resetAll();
-    for (const auto &bank : banks_) {
-        const StatGroup &bs = bank->stats();
+    for (const auto &slot : banks_) {
+        // Per-bank lock: summing a bank's counters while another
+        // thread is mid-access in it would read half-updated stats
+        // (and trips TSan). Each bank's slice is consistent; the
+        // cross-bank cut is only a snapshot under the one-host-thread
+        // measurement contract (header comment).
+        const Bank &bank = *slot;
+        MutexLock lock(bank.mutex);
+        const StatGroup &bs = lockedBank(bank).stats();
         for (const std::string &n : bs.names())
             aggregate_.counter(n) += bs.get(n);
     }

@@ -15,22 +15,27 @@
  * never-worse guarantee composes bank by bank.
  *
  * Locking contract (docs/coherence.md): each bank carries its own
- * mutex, taken for the duration of one access / snoop / hint, so
- * distinct host threads may drive disjoint banks concurrently with no
- * shared state between them. Aggregate statistics (stats(),
- * validLines()) are measurement-boundary operations and follow the
- * usual one-host-thread contract — never call them while another
- * thread is inside an access.
+ * mutex as a named Clang thread-safety capability (Bank::mutex), taken
+ * for the duration of one access / snoop / hint, so distinct host
+ * threads may drive disjoint banks concurrently with no shared state
+ * between them. The contract is compile-checked under
+ * BVC_THREAD_SAFETY: the bank's Llc pointer is BVC_PT_GUARDED_BY its
+ * mutex and every path to it goes through lockedBank(), which
+ * BVC_REQUIRES the capability. Aggregate statistics (stats(),
+ * validLines()) remain measurement-boundary operations — they take
+ * each bank lock in turn, so they are safe against in-flight accesses,
+ * but the summed snapshot is only a consistent cut if the caller
+ * follows the one-host-thread measurement contract.
  */
 
 #ifndef BVC_CORE_BANKED_LLC_HH_
 #define BVC_CORE_BANKED_LLC_HH_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/llc_interface.hh"
+#include "util/thread_annotations.hh"
 
 namespace bvc
 {
@@ -39,6 +44,20 @@ namespace bvc
 class BankedLlc : public Llc
 {
   public:
+    /**
+     * One bank: a complete Llc model plus the capability protecting
+     * it. Public so the thread-safety fixture tests (tests/ts_fixtures)
+     * can reproduce the accessor contract; heap-allocated because
+     * AnnotatedMutex is immovable.
+     */
+    struct Bank
+    {
+        /** The bank capability; mutable so const probes can lock. */
+        mutable AnnotatedMutex mutex;
+        /** The bank model; every dereference needs `mutex`. */
+        std::unique_ptr<Llc> llc BVC_PT_GUARDED_BY(mutex);
+    };
+
     /**
      * @param banks     one Llc per bank (power-of-two count), each
      *                  built at 1/N of the total capacity; ownership
@@ -71,8 +90,19 @@ class BankedLlc : public Llc
     const StatGroup &stats() const override;
 
     [[nodiscard]] std::size_t numBanks() const { return banks_.size(); }
-    /** Direct bank access (tests, fail-handler installation). */
-    Llc &bank(std::size_t i) { return *banks_[i]; }
+
+    /**
+     * Direct bank access (tests, fail-handler installation). Analysis
+     * opt-out is deliberate: callers are single-threaded test/setup
+     * code poking one bank with no concurrent driver, so there is no
+     * capability to hold — taking the lock here would only let a
+     * test deadlock against itself through the locked public API.
+     */
+    Llc &bank(std::size_t i) BVC_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return *banks_[i]->llc;
+    }
+
     /** Bank index serving `blk` (tests). */
     [[nodiscard]] std::size_t bankOf(Addr blk) const
     {
@@ -80,11 +110,25 @@ class BankedLlc : public Llc
     }
 
   private:
+    /** The bank model; callable only while holding the bank's lock. */
+    static Llc &lockedBank(Bank &bank) BVC_REQUIRES(bank.mutex)
+    {
+        return *bank.llc;
+    }
+
+    static const Llc &lockedBank(const Bank &bank)
+        BVC_REQUIRES(bank.mutex)
+    {
+        return *bank.llc;
+    }
+
     void rebuildAggregate() const;
 
-    std::vector<std::unique_ptr<Llc>> banks_;
-    /** One lock per bank; mutable so const probes can take them. */
-    mutable std::vector<std::mutex> locks_;
+    /**
+     * The bank array itself is immutable after construction (only the
+     * pointees are guarded), so bankOf()/numBanks() need no lock.
+     */
+    std::vector<std::unique_ptr<Bank>> banks_;
     unsigned bankShift_;
     /** Summed view handed out by stats(); rebuilt on demand. */
     mutable StatGroup aggregate_;

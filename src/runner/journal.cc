@@ -397,7 +397,7 @@ JournalWriter::appendPayload(const std::string &payload)
     const std::string line = std::string(kMagic) + " " +
                              crcHex(crc32(payload)) + " " + payload +
                              "\n";
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t written = 0;
     while (written < line.size()) {
         const ssize_t n = ::write(fd_, line.data() + written,

@@ -18,11 +18,11 @@
 #ifndef BVC_RUNNER_JOURNAL_HH_
 #define BVC_RUNNER_JOURNAL_HH_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "runner/sweep.hh"
+#include "util/thread_annotations.hh"
 
 namespace bvc
 {
@@ -40,9 +40,9 @@ std::string campaignSignature(const std::vector<SweepJob> &jobs);
 /** Everything recovered from a journal file. */
 struct JournalData
 {
-    std::string tool;
-    std::string signature;
-    std::size_t jobCount = 0;
+    std::string tool;         //!< producing tool, from the header
+    std::string signature;    //!< campaignSignature() at write time
+    std::size_t jobCount = 0; //!< total jobs in the campaign
     /** Completed jobs in append (not index) order. */
     std::vector<JobResult> results;
     /**
@@ -95,14 +95,18 @@ class JournalWriter
     JournalWriter(const JournalWriter &) = delete;
     JournalWriter &operator=(const JournalWriter &) = delete;
 
-    void append(const JobResult &result);
+    void append(const JobResult &result) BVC_EXCLUDES(mutex_);
 
   private:
-    void appendPayload(const std::string &payload);
+    void appendPayload(const std::string &payload) BVC_EXCLUDES(mutex_);
 
     std::string path_;
-    int fd_ = -1;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
+    /**
+     * Written by the (single-threaded) ctor/dtor, which the analysis
+     * exempts; every cross-thread touch is the locked appendPayload.
+     */
+    int fd_ BVC_GUARDED_BY(mutex_) = -1;
 };
 
 } // namespace bvc

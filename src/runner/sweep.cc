@@ -15,6 +15,7 @@
 #include "runner/thread_pool.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_annotations.hh"
 
 namespace bvc
 {
@@ -97,7 +98,7 @@ class ProgressReporter
     ~ProgressReporter()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             finished_ = true;
         }
         wake_.notify_all();
@@ -105,14 +106,19 @@ class ProgressReporter
     }
 
   private:
-    void loop(double intervalSeconds)
+    void loop(double intervalSeconds) BVC_EXCLUDES(mutex_)
     {
         const auto interval = std::chrono::duration<double>(
             intervalSeconds > 0.0 ? intervalSeconds : 2.0);
-        std::unique_lock<std::mutex> lock(mutex_);
-        while (!wake_.wait_for(lock, interval,
-                               [this] { return finished_; }))
-            print();
+        MutexLock lock(mutex_);
+        // Explicit predicate loop (not a wait_for lambda) so the
+        // analysis sees the finished_ reads under mutex_; a spurious
+        // wakeup re-checks and re-arms without printing.
+        while (!finished_) {
+            if (wake_.wait_for(lock.native(), interval) ==
+                std::cv_status::timeout)
+                print();
+        }
     }
 
     void print() const
@@ -137,9 +143,9 @@ class ProgressReporter
     const std::atomic<std::size_t> &done_;
     const std::size_t total_;
     const Clock::time_point start_;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable wake_;
-    bool finished_ = false;
+    bool finished_ BVC_GUARDED_BY(mutex_) = false;
     std::thread thread_;
 };
 
@@ -170,7 +176,7 @@ class Watchdog
     ~Watchdog()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             finished_ = true;
         }
         wake_.notify_all();
@@ -183,7 +189,7 @@ class Watchdog
     }
 
   private:
-    void loop()
+    void loop() BVC_EXCLUDES(mutex_)
     {
         // Poll at a quarter of the budget, clamped to [1ms, 50ms]:
         // fine enough that tests with tens-of-ms budgets classify
@@ -192,10 +198,14 @@ class Watchdog
             0.05, std::max(0.001, budgetSeconds_ / 4.0));
         const auto interval =
             std::chrono::duration<double>(pollSeconds);
-        std::unique_lock<std::mutex> lock(mutex_);
-        while (!wake_.wait_for(lock, interval,
-                               [this] { return finished_; }))
-            scan();
+        MutexLock lock(mutex_);
+        // Explicit predicate loop, for the same analysis-visibility
+        // reason as ProgressReporter::loop.
+        while (!finished_) {
+            if (wake_.wait_for(lock.native(), interval) ==
+                std::cv_status::timeout)
+                scan();
+        }
     }
 
     void scan()
@@ -248,9 +258,9 @@ class Watchdog
     JobTrack *const tracks_;
     const Commit commit_;
     std::atomic<std::size_t> timedOut_{0};
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable wake_;
-    bool finished_ = false;
+    bool finished_ BVC_GUARDED_BY(mutex_) = false;
     std::thread thread_;
 };
 

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     taskReady_.notify_all();
@@ -42,7 +42,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         panicIf(stopping_, "ThreadPool::submit after shutdown began");
         queue_.push_back(std::move(task));
         ++inFlight_;
@@ -53,8 +53,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    MutexLock lock(mutex_);
+    while (inFlight_ != 0)
+        allDone_.wait(lock.native());
 }
 
 void
@@ -63,10 +64,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            taskReady_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                taskReady_.wait(lock.native());
             if (queue_.empty())
                 return; // stopping_ and no work left
             task = std::move(queue_.front());
@@ -79,7 +79,7 @@ ThreadPool::workerLoop()
                   "must capture their own failures");
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --inFlight_;
             if (inFlight_ == 0)
                 allDone_.notify_all();

@@ -14,9 +14,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace bvc
 {
@@ -47,10 +48,10 @@ class ThreadPool
      * each job in its own try/catch; a task that does leak an exception
      * panics (aborting beats std::terminate with no message).
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) BVC_EXCLUDES(mutex_);
 
     /** Block until every task submitted so far has finished running. */
-    void wait();
+    void wait() BVC_EXCLUDES(mutex_);
 
     unsigned threadCount() const
     {
@@ -60,12 +61,14 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
-    std::deque<std::function<void()>> queue_;
-    std::size_t inFlight_ = 0; //!< queued + currently running tasks
-    bool stopping_ = false;
+    std::deque<std::function<void()>> queue_ BVC_GUARDED_BY(mutex_);
+    /** Queued + currently running tasks. */
+    std::size_t inFlight_ BVC_GUARDED_BY(mutex_) = 0;
+    bool stopping_ BVC_GUARDED_BY(mutex_) = false;
+    /** Worker handles; touched only by the owning (ctor/dtor) thread. */
     std::vector<std::thread> threads_;
 };
 

@@ -51,9 +51,15 @@ FileTraceSource::decodeNext(std::uint64_t &offset,
 void
 FileTraceSource::startProducer()
 {
-    producerDone_ = false;
-    stopRequested_ = false;
-    producerError_ = nullptr;
+    {
+        // No producer is running here (ctor, or reset() after a join),
+        // so the lock is uncontended — taken anyway to keep the
+        // guarded-state writes visibly under their capability.
+        MutexLock lock(mutex_);
+        producerDone_ = false;
+        stopRequested_ = false;
+        producerError_ = nullptr;
+    }
     thread_ = std::thread([this] { producerLoop(); });
 }
 
@@ -62,12 +68,14 @@ FileTraceSource::stopProducer()
 {
     if (thread_.joinable()) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stopRequested_ = true;
         }
         canProduce_.notify_all();
         thread_.join();
     }
+    // Producer joined (or never started): uncontended, as above.
+    MutexLock lock(mutex_);
     queue_.clear();
     producerDone_ = false;
     stopRequested_ = false;
@@ -87,21 +95,22 @@ FileTraceSource::producerLoop()
             // the whole point of the thread.
             more = decodeNext(offset, block);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             producerError_ = std::current_exception();
             producerDone_ = true;
             canConsume_.notify_all();
             return;
         }
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!more) {
             producerDone_ = true;
             canConsume_.notify_all();
             return;
         }
-        canProduce_.wait(lock, [this] {
-            return stopRequested_ || queue_.size() < opts_.aheadBlocks;
-        });
+        // Explicit predicate loop so the analysis sees the guarded
+        // reads under mutex_ (a wait lambda is analyzed as unlocked).
+        while (!stopRequested_ && queue_.size() >= opts_.aheadBlocks)
+            canProduce_.wait(lock.native());
         if (stopRequested_)
             return;
         queue_.push_back(std::move(block));
@@ -117,10 +126,9 @@ FileTraceSource::refill()
     if (!opts_.decodeAhead)
         return decodeNext(syncOffset_, current_);
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    canConsume_.wait(lock, [this] {
-        return !queue_.empty() || producerDone_;
-    });
+    MutexLock lock(mutex_);
+    while (queue_.empty() && !producerDone_)
+        canConsume_.wait(lock.native());
     if (!queue_.empty()) {
         current_ = std::move(queue_.front());
         queue_.pop_front();

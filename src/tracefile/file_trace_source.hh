@@ -23,13 +23,13 @@
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cpu/trace.hh"
 #include "trace/generators.hh"
 #include "tracefile/bvt_reader.hh"
+#include "util/thread_annotations.hh"
 
 namespace bvc
 {
@@ -75,14 +75,14 @@ class FileTraceSource : public TraceSource
 
   private:
     /** Pull the next decoded block into current_; false at end. */
-    bool refill();
+    bool refill() BVC_EXCLUDES(mutex_);
     /** Decode the block at *offset inline, advancing/looping it. */
     bool decodeNext(std::uint64_t &offset,
                     std::vector<TraceRecord> &out) const;
 
-    void startProducer();
-    void stopProducer();
-    void producerLoop();
+    void startProducer() BVC_EXCLUDES(mutex_);
+    void stopProducer() BVC_EXCLUDES(mutex_);
+    void producerLoop() BVC_EXCLUDES(mutex_);
 
     BvtReader reader_;
     FileTraceOptions opts_;
@@ -97,20 +97,20 @@ class FileTraceSource : public TraceSource
     // Producer state (guarded by mutex_, except thread_ itself which
     // is only touched by the consumer thread).
     std::thread thread_;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable canProduce_;
     std::condition_variable canConsume_;
-    std::deque<std::vector<TraceRecord>> queue_;
-    bool producerDone_ = false;
-    bool stopRequested_ = false;
-    std::exception_ptr producerError_;
+    std::deque<std::vector<TraceRecord>> queue_ BVC_GUARDED_BY(mutex_);
+    bool producerDone_ BVC_GUARDED_BY(mutex_) = false;
+    bool stopRequested_ BVC_GUARDED_BY(mutex_) = false;
+    std::exception_ptr producerError_ BVC_GUARDED_BY(mutex_);
 };
 
 /** A constructed trace source plus the DataPattern bound to it. */
 struct OpenedTrace
 {
-    std::unique_ptr<TraceSource> source;
-    DataPattern pattern;
+    std::unique_ptr<TraceSource> source; //!< replayer or generator
+    DataPattern pattern;                 //!< line-fill value behaviour
 };
 
 /**

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis macros plus the annotated
+ * mutex wrappers every concurrent subsystem uses
+ * (docs/static_analysis.md, "Layer 4"). Under Clang with
+ * `-Wthread-safety` (the BVC_THREAD_SAFETY CMake option) the locking
+ * contracts written with these macros are checked at compile time:
+ * touching a BVC_GUARDED_BY member without its mutex, or calling a
+ * BVC_REQUIRES function without the capability, is a hard error in
+ * the thread-safety CI job. Under GCC/MSVC every macro expands to
+ * nothing, so the annotations cost nothing where the analysis does
+ * not exist.
+ *
+ * Conventions:
+ *  - mutex members are `AnnotatedMutex`, never raw `std::mutex`
+ *    (enforced by bvlint rule BV009);
+ *  - critical sections use the scoped `MutexLock`, whose `native()`
+ *    accessor feeds `std::condition_variable::wait*`;
+ *  - condition-variable predicates are written as explicit
+ *    `while (...) cv.wait(lock.native());` loops inside the locked
+ *    scope, so the analysis sees every guarded read under its
+ *    capability (lambda predicates are analyzed as unlocked
+ *    functions);
+ *  - `BVC_NO_THREAD_SAFETY_ANALYSIS` is reserved for single-threaded
+ *    escape hatches (test-only accessors) and must carry a comment
+ *    justifying why the analysis is wrong there.
+ */
+
+#ifndef BVC_UTIL_THREAD_ANNOTATIONS_HH_
+#define BVC_UTIL_THREAD_ANNOTATIONS_HH_
+
+#include <mutex>
+
+#if defined(__clang__)
+#define BVC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define BVC_THREAD_ANNOTATION_(x)
+#endif
+
+/** Marks a class as a lockable capability (mutex-like). */
+#define BVC_CAPABILITY(name) BVC_THREAD_ANNOTATION_(capability(name))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define BVC_SCOPED_CAPABILITY BVC_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define BVC_GUARDED_BY(...) BVC_THREAD_ANNOTATION_(guarded_by(__VA_ARGS__))
+
+/** Pointer member whose POINTEE is protected by the capability. */
+#define BVC_PT_GUARDED_BY(...) \
+    BVC_THREAD_ANNOTATION_(pt_guarded_by(__VA_ARGS__))
+
+/** Function callable only while holding the capabilities. */
+#define BVC_REQUIRES(...) \
+    BVC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capabilities (not released on return). */
+#define BVC_ACQUIRE(...) \
+    BVC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function that attempts acquisition; first arg is the success value. */
+#define BVC_TRY_ACQUIRE(...) \
+    BVC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capabilities. */
+#define BVC_RELEASE(...) \
+    BVC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function that must NOT be called while holding the capabilities. */
+#define BVC_EXCLUDES(...) BVC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the calling thread holds the capability. */
+#define BVC_ASSERT_CAPABILITY(...) \
+    BVC_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+
+/** Function returning a reference to the named capability. */
+#define BVC_RETURN_CAPABILITY(x) BVC_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Opt a function out of the analysis entirely. Every use must carry a
+ * comment justifying why the analysis is wrong there (typically: the
+ * caller is single-threaded by contract, e.g. test-only accessors).
+ */
+#define BVC_NO_THREAD_SAFETY_ANALYSIS \
+    BVC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace bvc
+{
+
+/**
+ * std::mutex wrapped as a Clang thread-safety capability. Same cost
+ * and semantics as the raw mutex; the wrapper exists so BVC_GUARDED_BY
+ * / BVC_REQUIRES annotations have a capability to name.
+ */
+class BVC_CAPABILITY("mutex") AnnotatedMutex
+{
+  public:
+    AnnotatedMutex() = default;
+    AnnotatedMutex(const AnnotatedMutex &) = delete;
+    AnnotatedMutex &operator=(const AnnotatedMutex &) = delete;
+
+    void lock() BVC_ACQUIRE() { mu_.lock(); }
+    void unlock() BVC_RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool tryLock() BVC_TRY_ACQUIRE(true)
+    {
+        return mu_.try_lock();
+    }
+
+  private:
+    friend class MutexLock;
+
+    std::mutex mu_; // bvlint-allow(BV009): the annotated wrapper itself
+
+};
+
+/**
+ * Scoped lock over an AnnotatedMutex: acquires on construction,
+ * releases on destruction, and the analysis tracks the capability for
+ * the enclosing scope. `native()` exposes the underlying
+ * std::unique_lock for std::condition_variable::wait*, which needs
+ * one; the capability is held again by the time wait() returns, so
+ * the analysis stays sound across the wait.
+ */
+class BVC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(AnnotatedMutex &mu) BVC_ACQUIRE(mu)
+        : lock_(mu.mu_)
+    {
+    }
+
+    ~MutexLock() BVC_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** The underlying lock, for condition-variable waits only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace bvc
+
+#endif // BVC_UTIL_THREAD_ANNOTATIONS_HH_

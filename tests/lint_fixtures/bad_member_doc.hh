@@ -1,0 +1,37 @@
+// bvlint fixture: trips exactly BV010 (undocumented public members).
+
+#ifndef BVC_TESTS_LINT_FIXTURES_BAD_MEMBER_DOC_HH_
+#define BVC_TESTS_LINT_FIXTURES_BAD_MEMBER_DOC_HH_
+
+#include <cstddef>
+#include <string>
+
+struct Config
+{
+    std::size_t ways = 8;
+    std::string label;        //!< documented: trailing note
+    /** Documented: block comment above. */
+    std::size_t sets = 64;
+    // Documented: plain comment above.
+    bool inclusive = true;
+    double undocumented = 0.0;
+};
+
+class Model
+{
+  public:
+    std::size_t visible = 0;
+
+    void reset(); // functions are BV010-exempt
+
+  private:
+    std::size_t hidden = 0; // private members are BV010-exempt
+};
+
+enum class Kind
+{
+    A, // enumerators are not data members
+    B,
+};
+
+#endif // BVC_TESTS_LINT_FIXTURES_BAD_MEMBER_DOC_HH_

@@ -1,0 +1,19 @@
+// bvlint fixture: trips exactly BV009 (raw mutex declarations that
+// should be bvc::AnnotatedMutex). Lock holders stay clean.
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+struct Pool
+{
+    std::mutex mutex_;
+    std::shared_mutex tableLock_;
+    std::vector<std::mutex> bankLocks_;
+
+    void touch()
+    {
+        // Holder templates are the legitimate std::mutex spelling.
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::shared_mutex> writer(tableLock_);
+    }
+};

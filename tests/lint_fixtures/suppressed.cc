@@ -1,13 +1,19 @@
-// bvlint fixture: violates BV001-BV004, BV006 and BV008, every one
-// waived -> clean.
+// bvlint fixture: violates BV001-BV004, BV006, BV008 and BV009, every
+// one waived -> clean. (BV010 is header-only, so it cannot trip here.)
 #include <cassert>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
 
 struct StatGroup
 {
     long &counter(const char *name);
+};
+
+struct Locked
+{
+    std::mutex mutex_; // bvlint-allow(BV009)
 };
 
 enum class Kind { A, B };

@@ -52,16 +52,17 @@ rulesTripped(const std::string &name, std::size_t &count)
     return rules;
 }
 
-TEST(BvlintRules, TableListsEightUniqueIds)
+TEST(BvlintRules, TableListsTenUniqueIds)
 {
     const auto &rules = bvlint::ruleTable();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 10u);
     std::set<std::string> ids;
     for (const auto &rule : rules)
         ids.insert(rule.id);
     EXPECT_EQ(ids.size(), rules.size());
     EXPECT_TRUE(ids.count("BV001"));
-    EXPECT_TRUE(ids.count("BV008"));
+    EXPECT_TRUE(ids.count("BV009"));
+    EXPECT_TRUE(ids.count("BV010"));
 }
 
 TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
@@ -75,6 +76,8 @@ TEST(BvlintFixtures, EachBadFixtureTripsExactlyItsRule)
         {"bad_endl.cc", "BV006"},
         {"bad_nodiscard.hh", "BV007"},
         {"bad_get_unwrap.cc", "BV008"},
+        {"bad_raw_mutex.cc", "BV009"},
+        {"bad_member_doc.hh", "BV010"},
     };
     for (const auto &[fixture, rule] : cases) {
         std::size_t count = 0;
@@ -286,6 +289,188 @@ TEST(BvlintGuard, MissingGuardAndSuppressionOnIfndefLine)
         "#define LEGACY_GUARD_\n"
         "#endif\n"};
     EXPECT_TRUE(bvlint::lintFiles({waived}).empty());
+}
+
+TEST(BvlintRawMutex, HoldersAndAnnotatedMutexStayClean)
+{
+    // The AnnotatedMutex member is the rule's target replacement, and
+    // lock-holder templates are the one legitimate raw spelling.
+    const SourceFile src{
+        "src/util/demo.cc",
+        "struct Pool {\n"
+        "    bvc::AnnotatedMutex mutex_;\n"
+        "    void drain() {\n"
+        "        std::unique_lock<std::mutex> lock(raw_);\n"
+        "        std::lock_guard<std::shared_mutex> g(rw_);\n"
+        "    }\n"
+        "};\n"};
+    EXPECT_TRUE(bvlint::lintFiles({src}).empty());
+}
+
+TEST(BvlintRawMutex, VectorOfMutexesIsStillFlagged)
+{
+    const SourceFile src{"src/core/demo.hh",
+                         "#ifndef BVC_CORE_DEMO_HH_\n"
+                         "#define BVC_CORE_DEMO_HH_\n"
+                         "struct Banks {\n"
+                         "    /** One lock per bank. */\n"
+                         "    mutable std::vector<std::mutex> locks_;\n"
+                         "};\n"
+                         "#endif // BVC_CORE_DEMO_HH_\n"};
+    const auto findings = bvlint::lintFiles({src});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "BV009");
+    EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(BvlintMemberDoc, TrailingAndAboveCommentsBothCount)
+{
+    std::size_t count = 0;
+    const std::set<std::string> tripped =
+        rulesTripped("bad_member_doc.hh", count);
+    EXPECT_EQ(tripped, std::set<std::string>{"BV010"});
+    // Exactly the three undocumented members; the documented ones,
+    // the function, the private member and the enumerators are clean.
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(BvlintMemberDoc, MacroAnnotatedMembersAndSourcesAreExempt)
+{
+    // Parenthesized annotation macros read as function-ish and are
+    // deliberately skipped, and .cc files are out of scope entirely.
+    const SourceFile header{
+        "src/util/demo.hh",
+        "#ifndef BVC_UTIL_DEMO_HH_\n"
+        "#define BVC_UTIL_DEMO_HH_\n"
+        "struct State {\n"
+        "    std::size_t inFlight BVC_GUARDED_BY(mutex_) = 0;\n"
+        "};\n"
+        "#endif // BVC_UTIL_DEMO_HH_\n"};
+    const SourceFile source{"src/util/demo.cc",
+                            "struct Local {\n"
+                            "    int scratch = 0;\n"
+                            "};\n"};
+    EXPECT_TRUE(bvlint::lintFiles({header, source}).empty());
+}
+
+TEST(BvlintSuppressions, ConfigWaivesMatchingFilesOnly)
+{
+    const std::string body = "long stamp() { return time(nullptr); }\n";
+    const SourceFile gen{"src/gen/schema_gen.cc", body};
+    const SourceFile handWritten{"src/util/clock.cc", body};
+
+    bvlint::LintOptions options;
+    std::string error;
+    ASSERT_TRUE(bvlint::parseSuppressionConfig(
+        "# generated code is exempt\n"
+        "src/gen/* BV002\n",
+        options.suppressions, error))
+        << error;
+
+    const auto findings =
+        bvlint::lintFiles({gen, handWritten}, options);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/util/clock.cc");
+    EXPECT_EQ(findings[0].rule, "BV002");
+}
+
+TEST(BvlintSuppressions, StarRuleWaivesEverythingAndBadLinesError)
+{
+    bvlint::LintOptions options;
+    std::string error;
+    ASSERT_TRUE(bvlint::parseSuppressionConfig(
+        "legacy/* *\n", options.suppressions, error));
+    const SourceFile legacy{"legacy/old.cc",
+                            "void f() { (void)rand(); }\n"};
+    EXPECT_TRUE(bvlint::lintFiles({legacy}, options).empty());
+
+    std::vector<bvlint::FileSuppression> bad;
+    EXPECT_FALSE(
+        bvlint::parseSuppressionConfig("pattern-without-rules\n", bad,
+                                       error));
+    EXPECT_FALSE(
+        bvlint::parseSuppressionConfig("src/* NOTARULE\n", bad,
+                                       error));
+}
+
+TEST(BvlintSuppressions, PatternMatchingSemantics)
+{
+    EXPECT_TRUE(bvlint::matchesPattern("src/gen/*",
+                                       "src/gen/deep/file.cc"));
+    EXPECT_TRUE(bvlint::matchesPattern("*/format.hh",
+                                       "src/tracefile/format.hh"));
+    EXPECT_TRUE(bvlint::matchesPattern("src/a.cc", "src/a.cc"));
+    EXPECT_FALSE(bvlint::matchesPattern("src/gen/*", "src/util/a.cc"));
+    EXPECT_FALSE(bvlint::matchesPattern("src/a.cc", "src/a.cc.bak"));
+}
+
+TEST(BvlintJson, FindingsRoundTripThroughJson)
+{
+    const SourceFile src{"src/util/demo.cc",
+                         "void f() { (void)rand(); }\n"
+                         "const char *quote = \"he said \\\"hi\\\"\";\n"
+                         "void g() { (void)rand(); }\n"};
+    const auto findings = bvlint::lintFiles({src});
+    ASSERT_EQ(findings.size(), 2u);
+    const std::string doc = bvlint::findingsToJson(findings);
+
+    // The document must be parseable by the same minimal scanner the
+    // compile_commands reader uses — "file" keys extract cleanly.
+    std::vector<std::string> files;
+    std::string error;
+    std::string asArray = "[" + doc + "]";
+    ASSERT_TRUE(bvlint::parseCompileCommands(asArray, files, error))
+        << error;
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], "src/util/demo.cc");
+
+    // Structure and content spot checks.
+    EXPECT_NE(doc.find("\"findings\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"rule\": \"BV002\""), std::string::npos);
+    EXPECT_NE(doc.find("\"line\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"line\": 3"), std::string::npos);
+
+    EXPECT_EQ(bvlint::findingsToJson({}), "{\"findings\": []}\n");
+}
+
+TEST(BvlintJson, EscapesEmbeddedQuotesAndBackslashes)
+{
+    const bvlint::Finding f{"src/we\\ird\".cc", 7, "BV002", "msg"};
+    const std::string doc = bvlint::findingsToJson({f});
+    EXPECT_NE(doc.find(R"(src/we\\ird\".cc)"), std::string::npos);
+}
+
+TEST(BvlintCompileCommands, ExtractsFileEntries)
+{
+    const std::string db = R"([
+      {
+        "directory": "/root/repo/build",
+        "command": "g++ -c ../src/cache/cache.cc -o cache.o",
+        "file": "/root/repo/src/cache/cache.cc"
+      },
+      {
+        "directory": "/root/repo/build",
+        "command": "g++ -DNAME=\"file\" -c ../tools/bvsim.cc",
+        "file": "/root/repo/tools/bvsim.cc"
+      }
+    ])";
+    std::vector<std::string> files;
+    std::string error;
+    ASSERT_TRUE(bvlint::parseCompileCommands(db, files, error))
+        << error;
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], "/root/repo/src/cache/cache.cc");
+    EXPECT_EQ(files[1], "/root/repo/tools/bvsim.cc");
+}
+
+TEST(BvlintCompileCommands, RejectsNonArrayInput)
+{
+    std::vector<std::string> files;
+    std::string error;
+    EXPECT_FALSE(
+        bvlint::parseCompileCommands("{\"file\": \"x.cc\"}", files,
+                                     error));
+    EXPECT_FALSE(error.empty());
 }
 
 } // namespace

@@ -1,0 +1,44 @@
+// Thread-safety fixture: good_bank_accessor.cc with the locking
+// contract broken. Compiling this with -Wthread-safety
+// -Werror=thread-safety must FAIL twice over: `bankModel` (the
+// accessor with its BVC_REQUIRES stripped) dereferences the
+// BVC_PT_GUARDED_BY bank pointer without the capability, and
+// `probeOneBank` calls the still-annotated `bankModelLocked` without
+// holding the bank lock. tests/CMakeLists.txt registers this as a
+// WILL_FAIL compile test, so the analysis losing both detections
+// breaks the suite.
+
+#include "core/banked_llc.hh"
+
+namespace
+{
+
+// The accessor, minus its BVC_REQUIRES(bank.mutex).
+bvc::Llc &
+bankModel(bvc::BankedLlc::Bank &bank)
+{
+    return *bank.llc;
+}
+
+bvc::Llc &
+bankModelLocked(bvc::BankedLlc::Bank &bank) BVC_REQUIRES(bank.mutex)
+{
+    return *bank.llc;
+}
+
+bool
+probeOneBank(bvc::BankedLlc::Bank &bank, bvc::Addr blk)
+{
+    // No MutexLock: both calls below violate the contract.
+    return bankModel(bank).probe(blk) ||
+           bankModelLocked(bank).probe(blk);
+}
+
+} // namespace
+
+int
+main()
+{
+    (void)&probeOneBank;
+    return 0;
+}

@@ -1,0 +1,36 @@
+// Thread-safety fixture (compiled with -fsyntax-only -Wthread-safety
+// -Werror=thread-safety under BVC_THREAD_SAFETY): the annotated
+// BankedLlc bank-accessor contract, stated the way the private
+// BankedLlc::lockedBank accessor states it. Must compile CLEAN — the
+// BVC_REQUIRES names the per-bank capability and the caller holds it
+// via MutexLock for the duration of the dereference.
+//
+// Its twin bad_bank_accessor.cc is this file with the BVC_REQUIRES
+// removed, and must FAIL (tests/CMakeLists.txt, WILL_FAIL).
+
+#include "core/banked_llc.hh"
+
+namespace
+{
+
+bvc::Llc &
+bankModel(bvc::BankedLlc::Bank &bank) BVC_REQUIRES(bank.mutex)
+{
+    return *bank.llc;
+}
+
+bool
+probeOneBank(bvc::BankedLlc::Bank &bank, bvc::Addr blk)
+{
+    bvc::MutexLock lock(bank.mutex);
+    return bankModel(bank).probe(blk);
+}
+
+} // namespace
+
+int
+main()
+{
+    (void)&probeOneBank;
+    return 0;
+}

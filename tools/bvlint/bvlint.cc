@@ -2,14 +2,18 @@
  * @file
  * bvlint CLI: lint the given files and directories against the project
  * rules (docs/static_analysis.md) and print findings as
- * `file:line: BVxxx: message`.
+ * `file:line: BVxxx: message` (or a JSON document with --json, for
+ * scripts/check_lint_baseline.py).
  *
  * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
  *
  * Directories are walked recursively for .cc/.hh files; directories
  * named `lint_fixtures` or `build` and hidden directories are skipped
  * (the fixtures are known-bad by design — lint them by naming the file
- * explicitly).
+ * explicitly). With --compile-commands, .cc translation units come
+ * from the compilation database instead of the walk (filtered to the
+ * given roots, so generated or out-of-build sources are never
+ * scanned); headers are still walked, since they are not TUs.
  */
 
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bvlint/lint.hh"
@@ -56,8 +61,33 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: bvlint [--list-rules] <file-or-dir>...\n");
+                 "usage: bvlint [--list-rules] [--json]\n"
+                 "              [--suppress <config>]\n"
+                 "              [--compile-commands <db.json>]\n"
+                 "              <file-or-dir>...\n");
     return 2;
+}
+
+/** True when `path` is lexically inside (or is) one of `roots`. */
+bool
+underAnyRoot(const fs::path &path, const std::vector<fs::path> &roots)
+{
+    std::error_code ec;
+    const fs::path norm =
+        fs::weakly_canonical(path, ec).lexically_normal();
+    if (ec)
+        return false;
+    for (const fs::path &root : roots) {
+        const fs::path rootNorm =
+            fs::weakly_canonical(root, ec).lexically_normal();
+        if (ec)
+            continue;
+        auto mismatch = std::mismatch(rootNorm.begin(), rootNorm.end(),
+                                      norm.begin(), norm.end());
+        if (mismatch.first == rootNorm.end())
+            return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -66,6 +96,9 @@ int
 main(int argc, char **argv)
 {
     std::vector<fs::path> roots;
+    bool json = false;
+    std::string suppressPath;
+    std::string dbPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
@@ -74,6 +107,16 @@ main(int argc, char **argv)
                             rule.description);
             return 0;
         }
+        if (arg == "--json") {
+            json = true;
+            continue;
+        }
+        if (arg == "--suppress" || arg == "--compile-commands") {
+            if (i + 1 >= argc)
+                return usage();
+            (arg == "--suppress" ? suppressPath : dbPath) = argv[++i];
+            continue;
+        }
         if (arg == "--help" || arg == "-h" || arg[0] == '-')
             return usage();
         roots.emplace_back(arg);
@@ -81,7 +124,57 @@ main(int argc, char **argv)
     if (roots.empty())
         return usage();
 
+    bvlint::LintOptions options;
+    if (!suppressPath.empty()) {
+        std::string text;
+        if (!readFile(suppressPath, text)) {
+            std::fprintf(stderr, "bvlint: cannot read %s\n",
+                         suppressPath.c_str());
+            return 2;
+        }
+        std::string error;
+        if (!bvlint::parseSuppressionConfig(text, options.suppressions,
+                                            error)) {
+            std::fprintf(stderr, "bvlint: %s: %s\n",
+                         suppressPath.c_str(), error.c_str());
+            return 2;
+        }
+    }
+
+    // With a compilation database, it is the source of truth for .cc
+    // translation units; the walk below then only contributes headers.
     std::vector<bvlint::SourceFile> files;
+    const bool dbMode = !dbPath.empty();
+    if (dbMode) {
+        std::string text;
+        if (!readFile(dbPath, text)) {
+            std::fprintf(stderr, "bvlint: cannot read %s\n",
+                         dbPath.c_str());
+            return 2;
+        }
+        std::vector<std::string> tus;
+        std::string error;
+        if (!bvlint::parseCompileCommands(text, tus, error)) {
+            std::fprintf(stderr, "bvlint: %s: %s\n", dbPath.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        std::unordered_set<std::string> seen;
+        for (const std::string &tu : tus) {
+            const fs::path p(tu);
+            if (p.extension() != ".cc" || !underAnyRoot(p, roots))
+                continue;
+            // Present database TUs root-relative, matching the walk:
+            // the baseline must not depend on the checkout directory.
+            std::error_code ec;
+            const fs::path rel = fs::proximate(p, ec);
+            const std::string display =
+                ec ? p.generic_string() : rel.generic_string();
+            if (seen.insert(display).second)
+                files.push_back({display, {}});
+        }
+    }
+
     for (const fs::path &root : roots) {
         std::error_code ec;
         if (fs::is_directory(root, ec)) {
@@ -103,10 +196,12 @@ main(int argc, char **argv)
                     it.disable_recursion_pending();
                     continue;
                 }
-                if (it->is_regular_file() &&
-                    lintableExtension(it->path()))
-                    files.push_back(
-                        {it->path().generic_string(), {}});
+                if (!it->is_regular_file() ||
+                    !lintableExtension(it->path()))
+                    continue;
+                if (dbMode && it->path().extension() == ".cc")
+                    continue;
+                files.push_back({it->path().generic_string(), {}});
             }
         } else if (fs::is_regular_file(root, ec)) {
             files.push_back({root.generic_string(), {}});
@@ -127,10 +222,15 @@ main(int argc, char **argv)
     }
 
     const std::vector<bvlint::Finding> findings =
-        bvlint::lintFiles(files);
-    for (const bvlint::Finding &f : findings)
-        std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line,
-                    f.rule.c_str(), f.message.c_str());
+        bvlint::lintFiles(files, options);
+    if (json) {
+        const std::string doc = bvlint::findingsToJson(findings);
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+        for (const bvlint::Finding &f : findings)
+            std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+    }
     if (!findings.empty()) {
         std::fprintf(stderr,
                      "bvlint: %zu finding(s) across %zu file(s)\n",

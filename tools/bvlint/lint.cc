@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <regex>
 #include <unordered_set>
 
@@ -544,6 +545,247 @@ lintGetUnwrap(std::vector<Finding> &out, const SourceFile &src,
     }
 }
 
+// ---------------------------------------------------------------- BV009
+
+const std::regex kRawMutexType(R"(\bstd\s*::\s*(?:shared_)?mutex\b)");
+
+/**
+ * Identifier immediately before the `<` that encloses position `pos`,
+ * or "" when `pos` is not directly inside a template argument list.
+ * Only looks one level back — enough to tell `unique_lock<std::mutex>`
+ * (a lock holder, fine) from `vector<std::mutex>` (a raw mutex array,
+ * flagged).
+ */
+std::string
+templateHolder(const std::string &line, std::size_t pos)
+{
+    std::size_t i = pos;
+    while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t'))
+        --i;
+    if (i == 0 || line[i - 1] != '<')
+        return {};
+    --i;
+    std::size_t end = i;
+    while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t'))
+        --end;
+    std::size_t begin = end;
+    while (begin > 0 &&
+           (std::isalnum(static_cast<unsigned char>(line[begin - 1])) !=
+                0 ||
+            line[begin - 1] == '_'))
+        --begin;
+    return line.substr(begin, end - begin);
+}
+
+/**
+ * Raw std::mutex / std::shared_mutex declarations. Lock-holder
+ * template uses (`std::unique_lock<std::mutex>` and friends) are the
+ * ONLY pass: a mutex inside any other template (`std::vector<
+ * std::mutex>`) is still an unannotated lock array. Only declaration
+ * lines (carrying a `;`) are flagged, so mentions in comments/strings
+ * are already gone and expressions never name the type.
+ */
+void
+lintRawMutex(std::vector<Finding> &out, const SourceFile &src,
+             const FileView &view)
+{
+    static const std::unordered_set<std::string> kLockHolders = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        const std::string &line = view.code[i];
+        if (line.find("mutex") == std::string::npos ||
+            line.find(';') == std::string::npos)
+            continue;
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          kRawMutexType);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string holder = templateHolder(
+                line, static_cast<std::size_t>(it->position(0)));
+            if (kLockHolders.count(holder) != 0)
+                continue;
+            report(out, view, src.path, i + 1, "BV009",
+                   "raw '" + it->str() + "' declaration; use "
+                   "bvc::AnnotatedMutex (util/thread_annotations.hh) "
+                   "so -Wthread-safety can check the locking contract");
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- BV010
+
+const std::regex kRecordKeyword(R"(\b(class|struct|union)\b)");
+const std::regex kEnumOpen(R"(\benum\b)");
+const std::regex kAccessLabel(R"(^\s*(public|private|protected)\s*:)");
+const std::regex kTemplateIntro(R"(\btemplate\s*<[^<>]*>)");
+
+/** Leading keyword of a trimmed code line ("" when none). */
+std::string
+leadingWord(const std::string &line)
+{
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos)
+        return {};
+    std::size_t j = i;
+    while (j < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[j])) != 0 ||
+            line[j] == '_'))
+        ++j;
+    return line.substr(i, j - i);
+}
+
+/** True when the raw line above `line` carries any comment text. */
+bool
+documentedAbove(const FileView &view, std::size_t lineIdx)
+{
+    if (lineIdx == 0)
+        return false;
+    const std::string &above = view.raw[lineIdx - 1];
+    const std::size_t first = above.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return false;
+    // `//` and `/*` starts, `*/` ends, and the ` * ` continuation
+    // lines of a block comment all count.
+    if (above.compare(first, 2, "//") == 0 ||
+        above.compare(first, 2, "/*") == 0 || above[first] == '*')
+        return true;
+    return above.find("*/") != std::string::npos;
+}
+
+/**
+ * Public data members in headers must carry a doc comment: either a
+ * trailing `//!<` on the declaration line or a comment line directly
+ * above. Tracks class/struct/enum/union nesting with access labels
+ * (struct/union default public, class private); function declarations
+ * and macro-annotated members are recognized by their parentheses and
+ * skipped — the annotation macros all take arguments, so annotated
+ * members are documented at the API-comment level instead.
+ */
+void
+lintMemberDocs(std::vector<Finding> &out, const SourceFile &src,
+               const FileView &view)
+{
+    if (!endsWith(src.path, ".hh"))
+        return;
+
+    struct Scope
+    {
+        enum class Kind { Record, Enum, Other };
+        Kind kind = Kind::Other;
+        bool publicAccess = false;
+    };
+    std::vector<Scope> stack;
+    bool pendingRecord = false;
+    bool pendingPublic = false;
+    bool pendingEnum = false;
+
+    static const std::unordered_set<std::string> kNonMemberIntro = {
+        "using",  "typedef", "friend",  "static_assert", "public",
+        "private", "protected", "template", "namespace", "return",
+        "if",     "else",    "for",     "while",         "switch",
+        "case",   "default", "goto",    "extern",        "operator"};
+
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+        // Template parameter lists contain the `class` keyword without
+        // opening a record scope; drop them before keyword detection.
+        const std::string line =
+            std::regex_replace(view.code[i], kTemplateIntro, "");
+
+        std::smatch access;
+        if (!stack.empty() &&
+            stack.back().kind == Scope::Kind::Record &&
+            std::regex_search(line, access, kAccessLabel))
+            stack.back().publicAccess = access[1].str() == "public";
+
+        const bool inPublicRecord =
+            !stack.empty() && stack.back().kind == Scope::Kind::Record &&
+            stack.back().publicAccess;
+        const bool scopeKeyword =
+            std::regex_search(line, kRecordKeyword) ||
+            std::regex_search(line, kEnumOpen);
+
+        if (inPublicRecord && !scopeKeyword &&
+            line.find('{') == std::string::npos &&
+            line.find('}') == std::string::npos) {
+            const std::string trimmed = rtrimmed(line);
+            const std::string intro = leadingWord(line);
+            if (!trimmed.empty() && trimmed.back() == ';' &&
+                !intro.empty() && intro != "BVC" &&
+                kNonMemberIntro.count(intro) == 0 &&
+                line.find('(') == std::string::npos) {
+                // Two identifiers minimum (type + name) so stray `;`
+                // and label-like lines stay clean.
+                static const std::regex kTwoTokens(
+                    R"([A-Za-z_]\w*[\s>&*\]]+[A-Za-z_]\w*\s*[;={[])");
+                if (std::regex_search(line, kTwoTokens) &&
+                    view.raw[i].find("//!<") == std::string::npos &&
+                    !documentedAbove(view, i))
+                    report(out, view, src.path, i + 1, "BV010",
+                           "public data member without a doc comment; "
+                           "add a trailing //!< note or a comment line "
+                           "above");
+            }
+        }
+
+        // Scope bookkeeping after the member check: a positional
+        // sweep where a record/enum keyword arms the NEXT `{`, a `;`
+        // before that brace disarms it (forward declaration), and
+        // braces push/pop for the following lines.
+        struct Marker
+        {
+            std::size_t pos;
+            bool isEnum;
+            bool defaultPublic;
+        };
+        std::vector<Marker> markers;
+        auto records = std::sregex_iterator(line.begin(), line.end(),
+                                            kRecordKeyword);
+        for (auto it = records; it != std::sregex_iterator(); ++it)
+            markers.push_back({static_cast<std::size_t>(it->position(0)),
+                               false, (*it)[1].str() != "class"});
+        auto enums = std::sregex_iterator(line.begin(), line.end(),
+                                          kEnumOpen);
+        for (auto it = enums; it != std::sregex_iterator(); ++it)
+            markers.push_back(
+                {static_cast<std::size_t>(it->position(0)), true,
+                 false});
+        std::sort(markers.begin(), markers.end(),
+                  [](const Marker &a, const Marker &b) {
+                      return a.pos < b.pos;
+                  });
+        std::size_t nextMarker = 0;
+        for (std::size_t p = 0; p < line.size(); ++p) {
+            while (nextMarker < markers.size() &&
+                   markers[nextMarker].pos == p) {
+                // `enum class` arms enum (it matches both regexes).
+                if (!pendingEnum) {
+                    pendingEnum = markers[nextMarker].isEnum;
+                    pendingRecord = !markers[nextMarker].isEnum;
+                    pendingPublic = markers[nextMarker].defaultPublic;
+                }
+                ++nextMarker;
+            }
+            const char c = line[p];
+            if (c == ';') {
+                pendingRecord = pendingPublic = pendingEnum = false;
+            } else if (c == '{') {
+                Scope scope;
+                if (pendingEnum) {
+                    scope.kind = Scope::Kind::Enum;
+                } else if (pendingRecord) {
+                    scope.kind = Scope::Kind::Record;
+                    scope.publicAccess = pendingPublic;
+                }
+                stack.push_back(scope);
+                pendingRecord = pendingPublic = pendingEnum = false;
+            } else if (c == '}') {
+                if (!stack.empty())
+                    stack.pop_back();
+            }
+        }
+    }
+}
+
 bool
 lintableSource(const std::string &path)
 {
@@ -580,6 +822,14 @@ ruleTable()
          "No *p.get(), p.get()->, or p.get() ==/!= nullptr; use the "
          "smart pointer directly. Strong-type .get() and "
          "dynamic_cast<T *>(p.get()) are fine."},
+        {"BV009", "raw-mutex",
+         "No raw std::mutex/std::shared_mutex declarations; use "
+         "bvc::AnnotatedMutex so -Wthread-safety checks the locking "
+         "contract. Lock holders (std::unique_lock<std::mutex>) are "
+         "fine."},
+        {"BV010", "member-doc",
+         "Public data members in headers need a doc comment: a "
+         "trailing //!< note or a comment line directly above."},
     };
     return kRules;
 }
@@ -629,6 +879,13 @@ expectedGuard(const std::string &path)
 std::vector<Finding>
 lintFiles(const std::vector<SourceFile> &files)
 {
+    return lintFiles(files, LintOptions{});
+}
+
+std::vector<Finding>
+lintFiles(const std::vector<SourceFile> &files,
+          const LintOptions &options)
+{
     std::vector<FileView> views;
     views.reserve(files.size());
     std::unordered_set<std::string> enums;
@@ -650,7 +907,26 @@ lintFiles(const std::vector<SourceFile> &files)
         lintStdEndl(findings, files[i], views[i]);
         lintMissingNodiscard(findings, files[i], views[i]);
         lintGetUnwrap(findings, files[i], views[i]);
+        lintRawMutex(findings, files[i], views[i]);
+        lintMemberDocs(findings, files[i], views[i]);
     }
+
+    if (!options.suppressions.empty()) {
+        const auto waived = [&](const Finding &f) {
+            for (const FileSuppression &s : options.suppressions) {
+                if (!matchesPattern(s.pattern, f.file))
+                    continue;
+                for (const std::string &rule : s.rules)
+                    if (rule == "*" || rule == f.rule)
+                        return true;
+            }
+            return false;
+        };
+        findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                      waived),
+                       findings.end());
+    }
+
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
@@ -660,6 +936,231 @@ lintFiles(const std::vector<SourceFile> &files)
                   return a.rule < b.rule;
               });
     return findings;
+}
+
+bool
+matchesPattern(const std::string &pattern, const std::string &path)
+{
+    // Iterative wildcard match: `*` matches any run (incl. '/').
+    std::size_t p = 0, s = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (s < path.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == path[s] || pattern[p] == '?')) {
+            ++p;
+            ++s;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+bool
+parseSuppressionConfig(const std::string &text,
+                       std::vector<FileSuppression> &out,
+                       std::string &error)
+{
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, eol == std::string::npos ? std::string::npos
+                                          : eol - pos);
+        ++lineNo;
+        pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        // Tokenize on whitespace and commas.
+        std::vector<std::string> tokens;
+        std::string token;
+        for (const char c : line + " ") {
+            if (c == ' ' || c == '\t' || c == ',' || c == '\r') {
+                if (!token.empty())
+                    tokens.push_back(token);
+                token.clear();
+            } else {
+                token += c;
+            }
+        }
+        if (tokens.empty())
+            continue;
+        if (tokens.size() < 2) {
+            error = "suppression line " + std::to_string(lineNo) +
+                    ": expected '<pattern> <rule>[,<rule>...]'";
+            return false;
+        }
+        FileSuppression entry;
+        entry.pattern = tokens.front();
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const std::string &rule = tokens[i];
+            const bool id = rule.size() == 5 &&
+                            rule.compare(0, 2, "BV") == 0 &&
+                            std::isdigit(static_cast<unsigned char>(
+                                rule[2])) != 0 &&
+                            std::isdigit(static_cast<unsigned char>(
+                                rule[3])) != 0 &&
+                            std::isdigit(static_cast<unsigned char>(
+                                rule[4])) != 0;
+            if (!id && rule != "*") {
+                error = "suppression line " + std::to_string(lineNo) +
+                        ": '" + rule +
+                        "' is not a BVxxx rule id or '*'";
+                return false;
+            }
+            entry.rules.push_back(rule);
+        }
+        out.push_back(std::move(entry));
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Parse the JSON string whose opening quote is at `pos`; advances
+ *  `pos` past the closing quote. */
+bool
+parseJsonString(const std::string &text, std::size_t &pos,
+                std::string &out)
+{
+    out.clear();
+    if (pos >= text.size() || text[pos] != '"')
+        return false;
+    ++pos;
+    while (pos < text.size()) {
+        const char c = text[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c == '\\') {
+            if (pos + 1 >= text.size())
+                return false;
+            const char esc = text[pos + 1];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              default:
+                // \uXXXX never appears in compile_commands paths this
+                // project generates; refuse rather than mis-decode.
+                return false;
+            }
+            pos += 2;
+            continue;
+        }
+        out += c;
+        ++pos;
+    }
+    return false;
+}
+
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+parseCompileCommands(const std::string &text,
+                     std::vector<std::string> &out, std::string &error)
+{
+    const std::size_t first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos || text[first] != '[') {
+        error = "compile_commands: not a JSON array";
+        return false;
+    }
+    // Minimal scan: walk every string; one followed by ':' is a key,
+    // and a "file" key's value string is a TU path. Nothing else in
+    // the database matters to TU selection.
+    std::size_t pos = first + 1;
+    while (pos < text.size()) {
+        const char c = text[pos];
+        if (c != '"') {
+            ++pos;
+            continue;
+        }
+        std::string key;
+        if (!parseJsonString(text, pos, key)) {
+            error = "compile_commands: malformed string at byte " +
+                    std::to_string(pos);
+            return false;
+        }
+        std::size_t after = text.find_first_not_of(" \t\r\n", pos);
+        if (after == std::string::npos || text[after] != ':')
+            continue; // a value string, not a key
+        if (key != "file") {
+            pos = after + 1;
+            continue;
+        }
+        pos = text.find_first_not_of(" \t\r\n", after + 1);
+        if (pos == std::string::npos || text[pos] != '"') {
+            error = "compile_commands: \"file\" value is not a string";
+            return false;
+        }
+        std::string value;
+        if (!parseJsonString(text, pos, value)) {
+            error = "compile_commands: malformed string at byte " +
+                    std::to_string(pos);
+            return false;
+        }
+        out.push_back(std::move(value));
+    }
+    return true;
+}
+
+std::string
+findingsToJson(const std::vector<Finding> &findings)
+{
+    std::string out = "{\"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i > 0)
+            out += ',';
+        out += "\n  {\"file\": \"" + jsonEscaped(f.file) +
+               "\", \"line\": " + std::to_string(f.line) +
+               ", \"rule\": \"" + jsonEscaped(f.rule) +
+               "\", \"message\": \"" + jsonEscaped(f.message) + "\"}";
+    }
+    out += findings.empty() ? "]}\n" : "\n]}\n";
+    return out;
 }
 
 } // namespace bvlint
