@@ -4,16 +4,20 @@
  * measured window through every LLC organization and reports model
  * accesses/sec, simulated instructions/sec, and sweep jobs/sec, plus a
  * BDI size-only compression microrate. Emits machine-readable JSON
- * (default BENCH_7.json; --out <path> overrides) so CI and regression
+ * (default BENCH_10.json; --out <path> overrides) so CI and regression
  * tooling can track simulation throughput across commits — see
  * docs/performance.md for the schema and the tracked trajectory.
  *
  * --smoke shrinks every window so the CI perf-smoke job can validate
  * the emitted schema in seconds without timing noise mattering.
+ * --bvsweep <path> additionally times a sharded campaign through the
+ * real bvsweep binary (single process vs --workers 4) and emits the
+ * "sharded_campaign" section.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -83,18 +87,82 @@ compressSizeRate(std::uint64_t lines)
     return perSecond(static_cast<double>(lines), seconds);
 }
 
+/** Timed rates of the --bvsweep sharded-campaign comparison. */
+struct ShardedSample
+{
+    std::uint64_t jobs = 0;    //!< campaign size (traces x arches)
+    std::uint64_t workers = 0; //!< worker processes in the sharded leg
+    double singleJobsPerSec = 0.0;  //!< one process, one thread
+    double shardedJobsPerSec = 0.0; //!< supervised worker fleet
+};
+
+/**
+ * Campaign-level throughput through the real bvsweep binary: the same
+ * grid once single-process and once under `--workers N` with per-shard
+ * journals, so the tracked artifact records what process-level
+ * sharding buys (and costs — fork/exec, journal fsync, merge) on this
+ * machine. Exits fatally if either invocation fails: a benchmark that
+ * silently times a crashed campaign would report garbage.
+ */
+ShardedSample
+shardedCampaignRate(const std::string &bvsweep, bool smoke)
+{
+    ShardedSample sample;
+    sample.workers = 4;
+    // 2 arches x 4 traces = 8 jobs: enough to give every worker two,
+    // small enough that the full bench stays minutes, not hours.
+    const std::uint64_t traces = 4;
+    sample.jobs = 2 * traces;
+    const std::string grid =
+        "--arch base-victim,vsc --traces sensitive --limit " +
+        std::to_string(traces) +
+        (smoke ? " --warmup 2000 --instr 5000" :
+                 " --warmup 50000 --instr 100000") +
+        " --threads 1 --quiet";
+    const std::string dir = "bench_throughput_shards";
+
+    const auto timed = [](const std::string &command) {
+        const auto start = std::chrono::steady_clock::now();
+        const int rc = std::system(command.c_str());
+        if (rc != 0) {
+            std::fprintf(stderr, "bench: '%s' exited %d\n",
+                         command.c_str(), rc);
+            std::exit(1);
+        }
+        return secondsSince(start);
+    };
+
+    const double singleSeconds =
+        timed(bvsweep + " " + grid + " >/dev/null");
+    (void)std::system(("rm -rf " + dir).c_str());
+    const double shardedSeconds = timed(
+        bvsweep + " " + grid + " --workers " +
+        std::to_string(sample.workers) + " --journal-dir " + dir +
+        " >/dev/null");
+    (void)std::system(("rm -rf " + dir).c_str());
+
+    sample.singleJobsPerSec =
+        perSecond(static_cast<double>(sample.jobs), singleSeconds);
+    sample.shardedJobsPerSec =
+        perSecond(static_cast<double>(sample.jobs), shardedSeconds);
+    return sample;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    std::string jsonPath = "BENCH_8.json";
+    std::string jsonPath = "BENCH_10.json";
+    std::string bvsweepPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--bvsweep") == 0 && i + 1 < argc)
+            bvsweepPath = argv[++i];
         else
             jsonPath = argv[i];
     }
@@ -183,6 +251,10 @@ main(int argc, char **argv)
             perSecond(static_cast<double>(mcInstructions), seconds);
     }
 
+    ShardedSample sharded;
+    if (!bvsweepPath.empty())
+        sharded = shardedCampaignRate(bvsweepPath, smoke);
+
     Table table({"model", "Maccess/s", "Minstr/s", "jobs/s"});
     for (const ModelSample &sample : samples)
         table.addRow({llcArchName(sample.arch),
@@ -198,6 +270,16 @@ main(int argc, char **argv)
                 "%.2f Minstr/s aggregate (%llu instructions)\n",
                 kMcCores, kMcBanks, mcInstructionsPerSec / 1e6,
                 static_cast<unsigned long long>(mcInstructions));
+    if (!bvsweepPath.empty())
+        std::printf("[sharded] %llu-job campaign: %.3f jobs/s single "
+                    "process, %.3f jobs/s with %llu workers (%.2fx)\n",
+                    static_cast<unsigned long long>(sharded.jobs),
+                    sharded.singleJobsPerSec, sharded.shardedJobsPerSec,
+                    static_cast<unsigned long long>(sharded.workers),
+                    sharded.shardedJobsPerSec /
+                        (sharded.singleJobsPerSec > 0.0
+                             ? sharded.singleJobsPerSec
+                             : 1e-9));
 
     // Machine-readable export for CI trend tracking (schema documented
     // in docs/performance.md; validated by scripts/check_bench_json.py).
@@ -241,9 +323,25 @@ main(int argc, char **argv)
         char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "  \"compress_size\": {\"lines\": %llu, "
-                      "\"lines_per_sec\": %.0f}\n",
+                      "\"lines_per_sec\": %.0f}%s\n",
                       static_cast<unsigned long long>(compressLines),
-                      compressLinesPerSec);
+                      compressLinesPerSec,
+                      bvsweepPath.empty() ? "" : ",");
+        json += buf;
+    }
+    // Present only when --bvsweep names the campaign binary; older
+    // artifacts (and runs without it) simply lack the section.
+    if (!bvsweepPath.empty()) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"sharded_campaign\": {\"jobs\": %llu, "
+                      "\"workers\": %llu, "
+                      "\"single_jobs_per_sec\": %.3f, "
+                      "\"sharded_jobs_per_sec\": %.3f}\n",
+                      static_cast<unsigned long long>(sharded.jobs),
+                      static_cast<unsigned long long>(sharded.workers),
+                      sharded.singleJobsPerSec,
+                      sharded.shardedJobsPerSec);
         json += buf;
     }
     json += "}\n";

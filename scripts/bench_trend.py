@@ -8,8 +8,9 @@ Usage:
     ./scripts/bench_trend.py OLD.json NEW.json
 
 Prints the per-metric delta between each consecutive artifact pair
-(model throughput rates, the compress-size microrate, and the multicore
-aggregate when both sides report one).
+(model throughput rates, the compress-size microrate, and the
+multicore and sharded-campaign aggregates when both sides report
+them).
 
 Exit status is about SCHEMA, not speed: wall-clock rates vary across
 machines, so throughput regressions are reported but never fail the
@@ -121,6 +122,22 @@ def compare(old_path: Path, new_path: Path) -> list:
     if "lines_per_sec" in old_cs and "lines_per_sec" in new_cs:
         print(f"  {'compress_size':16s} lines_per_sec "
               f"{fmt_delta(old_cs['lines_per_sec'], new_cs['lines_per_sec'])}")
+
+    old_sc = old.get("sharded_campaign")
+    new_sc = new.get("sharded_campaign")
+    if isinstance(old_sc, dict) and isinstance(new_sc, dict):
+        print(f"  {'sharded':16s} sharded_jobs_per_sec "
+              f"{fmt_delta(old_sc.get('sharded_jobs_per_sec', 0), new_sc.get('sharded_jobs_per_sec', 0))}"
+              f"  ({new_sc.get('workers')} workers, "
+              f"{new_sc.get('jobs')} jobs)")
+    elif isinstance(new_sc, dict):
+        single = new_sc.get("single_jobs_per_sec") or 0
+        sharded_rate = new_sc.get("sharded_jobs_per_sec") or 0
+        speedup = sharded_rate / single if single else float("nan")
+        print(f"  {'sharded':16s} new in {new_name}: "
+              f"{new_sc.get('workers')} workers "
+              f"{sharded_rate:.3f} jobs/s "
+              f"({speedup:.2f}x vs single process)")
 
     old_mc = old.get("multicore")
     new_mc = new.get("multicore")

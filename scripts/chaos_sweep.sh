@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Chaos smoke for the fault-tolerant sweep harness
 # (docs/robustness.md). Exercises every recovery path end to end with
-# the real bvsweep binary and deterministic BVC_FAULT injection:
+# the real bvsweep binary and deterministic BVC_FAULT injection.
+#
+# basic legs (ctest: bvsweep_chaos):
 #
 #   1. reference       uninterrupted run, timings normalized
 #   2. retry           an injected throw is absorbed by --retries
@@ -9,12 +11,25 @@
 #   4. resume          --resume finishes the killed campaign
 #   5. byte-diff       resumed report == uninterrupted report
 #
-# Usage: chaos_sweep.sh /path/to/bvsweep
-# CI runs it under ASan (the `chaos` job); ctest wires it up as the
-# bvsweep_chaos test.
+# sharded legs (ctest: bvsweep_chaos_sharded):
+#
+#   6. reference       uninterrupted single-process run
+#   7. workers         supervised 4-worker campaign == reference
+#   8. worker deaths   die:shard kills two workers; both restarted,
+#                      report still byte-identical
+#   9. SIGKILL         a random worker is SIGKILLed mid-run; the
+#                      supervisor restarts it from its shard journal
+#  10. merge           standalone --merge of the surviving journals
+#                      reproduces the same report
+#  11. corpses         --merge refuses a foreign-campaign journal and
+#                      a duplicated shard, naming the shard
+#
+# Usage: chaos_sweep.sh /path/to/bvsweep [basic|sharded|all]
+# CI runs both modes under ASan (the `chaos` job).
 set -euo pipefail
 
-bvsweep=${1:?usage: chaos_sweep.sh /path/to/bvsweep}
+bvsweep=${1:?usage: chaos_sweep.sh /path/to/bvsweep [basic|sharded|all]}
+mode=${2:-all}
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
@@ -23,32 +38,133 @@ trap 'rm -rf "$workdir"' EXIT
 common=(--arch base-victim --traces sensitive --limit 2
         --warmup 3000 --instr 10000 --threads 2 --quiet)
 
-echo "chaos: reference run"
-"$bvsweep" "${common[@]}" --stable-json --json "$workdir/ref.json"
+run_basic() {
+    echo "chaos: reference run"
+    "$bvsweep" "${common[@]}" --stable-json --json "$workdir/ref.json"
 
-echo "chaos: retry absorbs an injected throw"
-BVC_FAULT="throw:job=1:attempt=0" \
-    "$bvsweep" "${common[@]}" --retries 2 --json "$workdir/retry.json"
-if grep -q '"ok": false' "$workdir/retry.json"; then
-    echo "chaos: FAIL: a job stayed failed despite --retries" >&2
-    exit 1
-fi
+    echo "chaos: retry absorbs an injected throw"
+    BVC_FAULT="throw:job=1:attempt=0" \
+        "$bvsweep" "${common[@]}" --retries 2 --json "$workdir/retry.json"
+    if grep -q '"ok": false' "$workdir/retry.json"; then
+        echo "chaos: FAIL: a job stayed failed despite --retries" >&2
+        exit 1
+    fi
 
-echo "chaos: kill at the job-2 checkpoint boundary"
-rc=0
-BVC_FAULT="die:job=2" "$bvsweep" "${common[@]}" \
-    --journal "$workdir/kill.journal" || rc=$?
-if [ "$rc" -ne 86 ]; then
-    echo "chaos: FAIL: expected the die fault's exit code 86," \
-         "got $rc" >&2
-    exit 1
-fi
+    echo "chaos: kill at the job-2 checkpoint boundary"
+    rc=0
+    BVC_FAULT="die:job=2" "$bvsweep" "${common[@]}" \
+        --journal "$workdir/kill.journal" || rc=$?
+    if [ "$rc" -ne 86 ]; then
+        echo "chaos: FAIL: expected the die fault's exit code 86," \
+             "got $rc" >&2
+        exit 1
+    fi
 
-echo "chaos: resume the killed campaign"
-"$bvsweep" "${common[@]}" --resume "$workdir/kill.journal" \
-    --stable-json --json "$workdir/resumed.json"
+    echo "chaos: resume the killed campaign"
+    "$bvsweep" "${common[@]}" --resume "$workdir/kill.journal" \
+        --stable-json --json "$workdir/resumed.json"
 
-echo "chaos: resumed report must equal the uninterrupted one"
-diff "$workdir/ref.json" "$workdir/resumed.json"
+    echo "chaos: resumed report must equal the uninterrupted one"
+    diff "$workdir/ref.json" "$workdir/resumed.json"
+}
+
+run_sharded() {
+    echo "chaos: sharded reference run (single process)"
+    "$bvsweep" "${common[@]}" --stable-json --json "$workdir/sref.json"
+
+    echo "chaos: healthy 4-worker campaign must equal the reference"
+    "$bvsweep" "${common[@]}" --workers 4 \
+        --journal-dir "$workdir/clean" \
+        --stable-json --json "$workdir/sclean.json"
+    diff "$workdir/sref.json" "$workdir/sclean.json"
+
+    echo "chaos: two workers die at start; supervisor restarts both"
+    BVC_FAULT="die:shard=1;die:shard=2" \
+        "$bvsweep" "${common[@]}" --workers 4 \
+        --journal-dir "$workdir/die" \
+        --stable-json --json "$workdir/sdie.json"
+    diff "$workdir/sref.json" "$workdir/sdie.json"
+
+    echo "chaos: SIGKILL a random worker mid-campaign"
+    victim=$((RANDOM % 4))
+    echo "chaos: victim is shard $victim"
+    # Stall the victim at worker start so there is a window to shoot
+    # it in; its restart (process attempt 1) does not match the
+    # attempt-0 stall rule and runs straight through.
+    BVC_FAULT="stall:shard=$victim:ms=10000" \
+        "$bvsweep" "${common[@]}" --workers 4 \
+        --journal-dir "$workdir/skill" \
+        --stable-json --json "$workdir/skill.json" &
+    super=$!
+    wpid=
+    for _ in $(seq 1 200); do
+        wpid=$(pgrep -f "skill/shard-$victim.journal" | head -n1 || true)
+        [ -n "$wpid" ] && break
+        sleep 0.05
+    done
+    if [ -z "$wpid" ]; then
+        echo "chaos: FAIL: never saw a worker for shard $victim" >&2
+        kill "$super" 2>/dev/null || true
+        exit 1
+    fi
+    kill -9 "$wpid"
+    wait "$super"
+    diff "$workdir/sref.json" "$workdir/skill.json"
+
+    echo "chaos: standalone merge reproduces the supervised report"
+    "$bvsweep" "${common[@]}" --merge --journal-dir "$workdir/skill" \
+        --stable-json --json "$workdir/smerge.json"
+    diff "$workdir/sref.json" "$workdir/smerge.json"
+
+    echo "chaos: merge refuses a foreign campaign's shard journal"
+    mkdir -p "$workdir/mixed"
+    "$bvsweep" "${common[@]}" --shard 0/2 \
+        --journal "$workdir/mixed/shard-0.journal"
+    # Shard 1 simulated under a different measurement window: a
+    # different campaign signature.
+    "$bvsweep" --arch base-victim --traces sensitive --limit 2 \
+        --warmup 3000 --instr 8000 --threads 2 --quiet --shard 1/2 \
+        --journal "$workdir/mixed/shard-1.journal"
+    rc=0
+    out=$("$bvsweep" "${common[@]}" --merge \
+        --journal-dir "$workdir/mixed" 2>&1) || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "chaos: FAIL: merge accepted a foreign journal" >&2
+        exit 1
+    fi
+    case "$out" in
+      *"foreign campaign signature"*"shard 1/2"*) ;;
+      *) echo "chaos: FAIL: refusal did not name the foreign" \
+              "signature and shard: $out" >&2
+         exit 1 ;;
+    esac
+
+    echo "chaos: merge refuses a duplicated shard journal"
+    mkdir -p "$workdir/dup"
+    "$bvsweep" "${common[@]}" --shard 0/2 \
+        --journal "$workdir/dup/shard-0.journal"
+    cp "$workdir/dup/shard-0.journal" "$workdir/dup/shard-1.journal"
+    rc=0
+    out=$("$bvsweep" "${common[@]}" --merge \
+        --journal-dir "$workdir/dup" 2>&1) || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "chaos: FAIL: merge accepted a duplicated shard" >&2
+        exit 1
+    fi
+    case "$out" in
+      *"duplicate shard"*"shard 0/2"*) ;;
+      *) echo "chaos: FAIL: refusal did not name the duplicate" \
+              "shard: $out" >&2
+         exit 1 ;;
+    esac
+}
+
+case "$mode" in
+  basic)   run_basic ;;
+  sharded) run_sharded ;;
+  all)     run_basic; run_sharded ;;
+  *) echo "chaos: unknown mode '$mode' (basic|sharded|all)" >&2
+     exit 2 ;;
+esac
 
 echo "chaos: OK"

@@ -73,6 +73,18 @@ def check(report: dict) -> list:
         errors.append(f"compress_size.lines is "
                       f"{compress.get('lines')!r}, "
                       "expected a positive integer")
+
+    # Optional: only runs that passed --bvsweep to bench_throughput
+    # carry the sharded-campaign comparison, but when present it must
+    # be complete and sane.
+    sharded = report.get("sharded_campaign")
+    if sharded is not None:
+        for key in ("jobs", "workers", "single_jobs_per_sec",
+                    "sharded_jobs_per_sec"):
+            if not positive_finite(sharded.get(key)):
+                errors.append(f"sharded_campaign.{key} is "
+                              f"{sharded.get(key)!r}, "
+                              "expected a finite positive number")
     return errors
 
 

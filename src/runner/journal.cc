@@ -8,6 +8,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "runner/report.hh"
 #include "tracefile/bvt_reader.hh"
 #include "util/crc32.hh"
 #include "util/json.hh"
@@ -31,12 +32,15 @@ crcHex(std::uint32_t crc)
 
 std::string
 headerPayload(const std::string &tool, const std::string &signature,
-              std::size_t jobCount)
+              std::size_t jobCount, std::size_t shardIndex,
+              std::size_t shardCount)
 {
     std::ostringstream out;
     out << "{\"kind\": \"header\", \"tool\": \"" << jsonEscape(tool)
         << "\", \"signature\": \"" << jsonEscape(signature)
-        << "\", \"jobs\": " << jobCount << "}";
+        << "\", \"jobs\": " << jobCount
+        << ", \"shard\": " << shardIndex
+        << ", \"shards\": " << shardCount << "}";
     return out.str();
 }
 
@@ -91,6 +95,10 @@ parsePayload(const std::string &payload, std::size_t lineOffset,
             data.signature = reader.parseString();
         } else if (key == "jobs") {
             data.jobCount = reader.parseU64();
+        } else if (key == "shard") {
+            data.shardIndex = reader.parseU64();
+        } else if (key == "shards") {
+            data.shardCount = reader.parseU64();
         } else if (key == "index") {
             job.index = reader.parseU64();
         } else if (key == "label") {
@@ -156,6 +164,7 @@ parsePayload(const std::string &payload, std::size_t lineOffset,
                                std::to_string(lineOffset) +
                                " has unknown kind '" + kind + "'");
         data.results.push_back(std::move(job));
+        data.recordOffsets.push_back(lineOffset);
     }
 }
 
@@ -283,6 +292,7 @@ readJournal(const std::string &path)
             // completed, so drop it and let resume re-run that job.
             warn("journal '" + path + "': ignoring torn record at "
                  "byte " + std::to_string(pos));
+            data.tornTail = true;
             break;
         }
         const std::string line = text.substr(pos, eol - pos);
@@ -333,7 +343,8 @@ readJournal(const std::string &path)
 void
 checkResumeCompatible(const JournalData &data, const std::string &path,
                       const std::string &signature,
-                      std::size_t jobCount)
+                      std::size_t jobCount, std::size_t shardIndex,
+                      std::size_t shardCount)
 {
     if (data.signature != signature)
         throw BvcError(ErrorCategory::Config,
@@ -347,19 +358,35 @@ checkResumeCompatible(const JournalData &data, const std::string &path,
                            std::to_string(data.jobCount) +
                            " jobs, campaign has " +
                            std::to_string(jobCount));
+    if (data.shardIndex != shardIndex || data.shardCount != shardCount)
+        throw BvcError(ErrorCategory::Config,
+                       "journal '" + path + "' belongs to shard " +
+                           std::to_string(data.shardIndex) + "/" +
+                           std::to_string(data.shardCount) +
+                           ", this worker owns shard " +
+                           std::to_string(shardIndex) + "/" +
+                           std::to_string(shardCount));
 }
 
 JournalWriter::JournalWriter(const std::string &path,
                              const std::string &tool,
                              const std::string &signature,
-                             std::size_t jobCount)
+                             std::size_t jobCount,
+                             std::size_t shardIndex,
+                             std::size_t shardCount)
     : path_(path)
 {
     fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd_ < 0)
         fatal("cannot create journal '" + path + "': " +
               std::strerror(errno));
-    appendPayload(headerPayload(tool, signature, jobCount));
+    // Persist the new directory entry too: a freshly created journal
+    // that disappears from its directory on power loss would break the
+    // resume promise just as surely as an unsynced record.
+    fsyncParentDir(path);
+    appendPayload(
+        headerPayload(tool, signature, jobCount, shardIndex,
+                      shardCount));
 }
 
 JournalWriter::JournalWriter(const std::string &path,

@@ -8,7 +8,8 @@
  *   BVCJ1 <crc32:8 hex> <payload JSON>\n
  *
  * where the CRC covers the payload bytes. The first record is a header
- * naming the producing tool, the campaign signature and the job count;
+ * naming the producing tool, the campaign signature, the job count and
+ * the shard coordinates (shard i of N; 0/1 for an unsharded campaign);
  * each subsequent record is one JobResult. A truncated final record
  * (no trailing newline) is the expected artifact of a crash mid-write
  * and is ignored with a warning; a CRC mismatch or malformed *framed*
@@ -43,14 +44,27 @@ struct JournalData
     std::string tool;         //!< producing tool, from the header
     std::string signature;    //!< campaignSignature() at write time
     std::size_t jobCount = 0; //!< total jobs in the campaign
+    /** Shard coordinates from the header: this journal holds the jobs
+     *  with `index % shardCount == shardIndex`. Journals written
+     *  before sharding existed carry no shard fields and read back as
+     *  the whole-campaign shard 0/1. */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1; //!< worker count of the campaign
     /** Completed jobs in append (not index) order. */
     std::vector<JobResult> results;
+    /** Byte offset of each record in `results` (parallel vector), so
+     *  validation errors can name the exact offending frame. */
+    std::vector<std::size_t> recordOffsets;
     /**
      * Offset one past the last complete record: the length a resume
      * writer truncates the file to, so new records never append onto
      * a torn tail.
      */
     std::size_t validBytes = 0;
+    /** True when the file ended in a torn (newline-less) record that
+     *  was dropped. Resume tolerates this; strict merge refuses it
+     *  unless the shard is covered by error provenance. */
+    bool tornTail = false;
 };
 
 /**
@@ -62,12 +76,17 @@ struct JournalData
 
 /**
  * Throws BvcError{Config} unless `data` was produced by a campaign
- * with this signature and job count.
+ * with this signature and job count, AND by the shard at these
+ * coordinates — a worker handed the wrong shard's journal must refuse
+ * it, or two workers would double-run (and double-append) a slice.
+ * The defaults describe the unsharded single-process campaign.
  */
 void checkResumeCompatible(const JournalData &data,
                            const std::string &path,
                            const std::string &signature,
-                           std::size_t jobCount);
+                           std::size_t jobCount,
+                           std::size_t shardIndex = 0,
+                           std::size_t shardCount = 1);
 
 /**
  * Append-only journal writer. Thread-safe; every append is written
@@ -79,9 +98,17 @@ void checkResumeCompatible(const JournalData &data,
 class JournalWriter
 {
   public:
-    /** Create/truncate `path` and write the header record. */
+    /**
+     * Create/truncate `path` and write the header record (stamped
+     * with the shard coordinates; the defaults are the unsharded
+     * campaign). The new file's parent directory is fsync'd so the
+     * journal cannot vanish from the directory after a power loss.
+     */
     JournalWriter(const std::string &path, const std::string &tool,
-                  const std::string &signature, std::size_t jobCount);
+                  const std::string &signature, std::size_t jobCount,
+                  std::size_t shardIndex = 0,
+                  // 0/1 (the defaults) = the unsharded campaign
+                  std::size_t shardCount = 1);
 
     /**
      * Re-open an existing journal for appending (resume), first

@@ -1,0 +1,185 @@
+#include "runner/merge.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace bvc
+{
+
+namespace
+{
+
+[[noreturn]] void
+mergeError(const std::string &path, std::size_t shardIndex,
+           std::size_t shardCount, const std::string &why)
+{
+    throw BvcError(ErrorCategory::Io,
+                   "shard journal '" + path + "': " + why)
+        .withShard(shardIndex, shardCount)
+        .withContext("merging shard journals");
+}
+
+const ShardError *
+findProvenance(const std::vector<ShardError> &shardErrors,
+               std::size_t shardIndex)
+{
+    for (const ShardError &e : shardErrors)
+        if (e.shardIndex == shardIndex)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+MergeResult
+mergeShardJournals(const std::vector<std::string> &paths,
+                   const std::vector<SweepJob> &jobs,
+                   const std::vector<ShardError> &shardErrors)
+{
+    if (paths.empty())
+        throw BvcError(ErrorCategory::Io,
+                       "no shard journals to merge");
+    const std::string signature = campaignSignature(jobs);
+
+    MergeResult merged;
+    merged.results.resize(jobs.size());
+    std::vector<char> have(jobs.size(), 0);
+    // Which shard supplied each job, for duplicate diagnostics.
+    std::vector<std::size_t> supplier(jobs.size(), 0);
+    std::vector<char> shardSeen;
+
+    for (const std::string &path : paths) {
+        const JournalData data = readJournal(path);
+        // Identity checks first: a journal from another campaign (or
+        // another sharding of this one) must not contribute a single
+        // record. The header is the first frame, at byte 0.
+        if (data.signature != signature)
+            mergeError(path, data.shardIndex, data.shardCount,
+                       "foreign campaign signature " + data.signature +
+                           " (expected " + signature +
+                           ") in header at byte 0");
+        if (data.jobCount != jobs.size())
+            mergeError(path, data.shardIndex, data.shardCount,
+                       "header at byte 0 records " +
+                           std::to_string(data.jobCount) +
+                           " jobs, campaign has " +
+                           std::to_string(jobs.size()));
+        if (merged.shardCount == 0) {
+            merged.shardCount = data.shardCount;
+            shardSeen.assign(merged.shardCount, 0);
+        } else if (data.shardCount != merged.shardCount) {
+            mergeError(path, data.shardIndex, data.shardCount,
+                       "header at byte 0 declares " +
+                           std::to_string(data.shardCount) +
+                           " shards, previous journals declared " +
+                           std::to_string(merged.shardCount));
+        }
+        if (data.shardIndex >= merged.shardCount)
+            mergeError(path, data.shardIndex, merged.shardCount,
+                       "header at byte 0 claims shard " +
+                           std::to_string(data.shardIndex) +
+                           " of only " +
+                           std::to_string(merged.shardCount));
+        if (shardSeen[data.shardIndex])
+            mergeError(path, data.shardIndex, merged.shardCount,
+                       "duplicate shard: another journal already "
+                       "supplied shard " +
+                           std::to_string(data.shardIndex));
+        shardSeen[data.shardIndex] = 1;
+
+        const ShardError *provenance =
+            findProvenance(shardErrors, data.shardIndex);
+        if (data.tornTail && provenance == nullptr)
+            mergeError(path, data.shardIndex, merged.shardCount,
+                       "torn record at byte " +
+                           std::to_string(data.validBytes) +
+                           " (shard has no failure provenance; "
+                           "resume the worker or re-run the shard)");
+
+        for (std::size_t r = 0; r < data.results.size(); ++r) {
+            const JobResult &rec = data.results[r];
+            const std::size_t offset = data.recordOffsets[r];
+            if (rec.index >= jobs.size())
+                mergeError(path, data.shardIndex, merged.shardCount,
+                           "record at byte " + std::to_string(offset) +
+                               " holds out-of-range job " +
+                               std::to_string(rec.index));
+            // The slicing contract: shard s owns exactly the jobs
+            // with index % shardCount == s. Anything else means two
+            // differently-sliced campaigns are being mixed.
+            if (rec.index % merged.shardCount != data.shardIndex)
+                mergeError(path, data.shardIndex, merged.shardCount,
+                           "overlapping slice: record at byte " +
+                               std::to_string(offset) +
+                               " holds job " +
+                               std::to_string(rec.index) +
+                               ", owned by shard " +
+                               std::to_string(rec.index %
+                                              merged.shardCount));
+            if (have[rec.index])
+                mergeError(path, data.shardIndex, merged.shardCount,
+                           "duplicate job: record at byte " +
+                               std::to_string(offset) + " holds job " +
+                               std::to_string(rec.index) +
+                               ", already supplied by shard " +
+                               std::to_string(supplier[rec.index]));
+            merged.results[rec.index] = rec;
+            have[rec.index] = 1;
+            supplier[rec.index] = data.shardIndex;
+            ++merged.mergedRecords;
+        }
+    }
+
+    // Shard-set completeness: every shard must be accounted for,
+    // either by a journal or by explicit failure provenance.
+    for (std::size_t s = 0; s < merged.shardCount; ++s) {
+        if (shardSeen[s] || findProvenance(shardErrors, s) != nullptr)
+            continue;
+        throw BvcError(ErrorCategory::Io,
+                       "missing shard: no journal supplied shard " +
+                           std::to_string(s) + " of " +
+                           std::to_string(merged.shardCount))
+            .withShard(s, merged.shardCount)
+            .withContext("merging shard journals");
+    }
+
+    // Job completeness / gap filling.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (have[i])
+            continue;
+        const std::size_t owner = i % merged.shardCount;
+        const ShardError *provenance =
+            findProvenance(shardErrors, owner);
+        if (provenance == nullptr)
+            throw BvcError(ErrorCategory::Io,
+                           "incomplete shard: job " +
+                               std::to_string(i) +
+                               " has no journal record and shard " +
+                               std::to_string(owner) +
+                               " has no failure provenance")
+                .withShard(owner, merged.shardCount)
+                .withContext("merging shard journals");
+        // Degraded merge: stamp the job with the shard's terminal
+        // failure so the partial report says exactly why the number
+        // is missing.
+        JobResult &r = merged.results[i];
+        r.index = i;
+        r.label = jobs[i].label;
+        r.trace = jobs[i].trace.name;
+        r.ok = false;
+        r.errorCategory = provenance->category;
+        r.attempts = provenance->attempts;
+        r.error = BvcError(provenance->category, provenance->message)
+                      .withShard(owner, merged.shardCount)
+                      .what();
+        ++merged.gapFilledJobs;
+    }
+    if (merged.gapFilledJobs > 0)
+        warn("merge: " + std::to_string(merged.gapFilledJobs) +
+             " jobs gap-filled from shard failure provenance; the "
+             "report is partial");
+    return merged;
+}
+
+} // namespace bvc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shard-journal merge for sharded sweep campaigns
+ * (docs/robustness.md). Each worker process of a sharded campaign
+ * writes an independent CRC-framed journal holding its deterministic
+ * slice of the job grid; mergeShardJournals() validates the full set —
+ * campaign signature, shard-set completeness, slice membership of
+ * every record, duplicates, torn tails — and reassembles the results
+ * in global job-index order, so the aggregate report built from them
+ * is byte-identical to the uninterrupted single-process run.
+ *
+ * Every validation corpse (missing shard, duplicate shard,
+ * overlapping slice, foreign signature, torn tail) throws a
+ * BvcError{Io} naming the offending shard and, where a specific frame
+ * is at fault, its byte offset. A shard listed in the caller's
+ * ShardError provenance is exempt from the completeness checks: its
+ * missing jobs are gap-filled with explicit per-shard failure records
+ * instead (partial-result semantics for a shard that exhausted its
+ * restart budget).
+ */
+
+#ifndef BVC_RUNNER_MERGE_HH_
+#define BVC_RUNNER_MERGE_HH_
+
+#include <string>
+#include <vector>
+
+#include "runner/journal.hh"
+#include "runner/sweep.hh"
+
+namespace bvc
+{
+
+/**
+ * Terminal failure provenance for one shard: why the supervisor gave
+ * up on it. Jobs the shard never journaled are gap-filled in the
+ * merged results with this category/message instead of failing the
+ * whole merge.
+ */
+struct ShardError
+{
+    std::size_t shardIndex = 0; //!< which shard's worker failed
+    /** Terminal failure kind from the supervisor's exit taxonomy. */
+    ErrorCategory category = ErrorCategory::Unknown;
+    std::string message;  //!< human-readable terminal failure
+    unsigned attempts = 0; //!< process attempts the supervisor spent
+};
+
+/** What mergeShardJournals() reassembled. */
+struct MergeResult
+{
+    /** One result per campaign job, in global index order — the same
+     *  shape SweepEngine::run returns for the unsharded campaign. */
+    std::vector<JobResult> results;
+    std::size_t shardCount = 0;    //!< shard count of the campaign
+    std::size_t mergedRecords = 0; //!< job records imported
+    /** Jobs gap-filled from ShardError provenance (0 for a fully
+     *  healthy campaign). */
+    std::size_t gapFilledJobs = 0;
+};
+
+/**
+ * Read, validate and merge the shard journals at `paths` for the
+ * campaign described by `jobs`. Validation (all BvcError{Io}, naming
+ * the shard and byte offset where one frame is at fault):
+ *
+ *  - every journal's campaign signature and job count must match
+ *    campaignSignature(jobs) / jobs.size();
+ *  - all journals must agree on the shard count, and together supply
+ *    every shard 0..N-1 exactly once (missing or duplicate shards are
+ *    refused — unless the missing shard appears in `shardErrors`);
+ *  - every record must hold a job its shard owns under the slicing
+ *    contract `index % shardCount == shardIndex` (an overlapping or
+ *    foreign slice is refused) and no job may appear twice;
+ *  - a torn tail is refused unless the shard appears in `shardErrors`
+ *    (a crashed worker the supervisor gave up on);
+ *  - every job of a healthy (no-provenance) shard must be present.
+ *
+ * Jobs owned by a shard in `shardErrors` that have no journal record
+ * are gap-filled as failed results carrying the shard's provenance.
+ * A single unsharded journal (shard 0/1) merges fine: the result is
+ * the whole campaign, which makes `bvsweep --merge` double as a
+ * journal-to-report reconstruction tool.
+ */
+[[nodiscard]] MergeResult
+mergeShardJournals(const std::vector<std::string> &paths,
+                   const std::vector<SweepJob> &jobs,
+                   const std::vector<ShardError> &shardErrors = {});
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_MERGE_HH_

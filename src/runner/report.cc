@@ -257,6 +257,24 @@ zeroTimings(SweepReport &report)
 }
 
 void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        fatal("cannot open directory '" + dir + "' for fsync: " +
+              std::strerror(errno));
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("fsync on directory '" + dir + "' failed: " +
+              std::strerror(errno));
+    }
+    ::close(fd);
+}
+
+void
 writeFileAtomic(const std::string &path, const std::string &content)
 {
     const std::string tmp = path + ".tmp";
@@ -292,6 +310,10 @@ writeFileAtomic(const std::string &path, const std::string &content)
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         fatal("rename of '" + tmp + "' to '" + path + "' failed: " +
               std::strerror(errno));
+    // The rename only becomes durable once the directory is synced;
+    // without this a power loss can roll the name back to the old
+    // file — or to nothing at all for a first-time report.
+    fsyncParentDir(path);
 }
 
 void

@@ -21,37 +21,37 @@ namespace bvc
 /** One exported sweep row: a job's identity, outcome and metrics. */
 struct RunRecord
 {
-    std::size_t index = 0;
+    std::size_t index = 0; //!< global job index within the campaign
     std::string arch;     //!< job label (usually the LLC architecture)
-    std::string trace;
+    std::string trace;    //!< workload/trace name the job simulated
     std::string category; //!< workload category name ("SPECFP", ...)
     std::string bucket;   //!< e.g. "compression-friendly"; free-form
-    bool ok = true;
-    std::string error;
+    bool ok = true;       //!< job completed without error
+    std::string error;    //!< failure message ("" when ok)
     /** Structured failure kind (None when ok); see util/error.hh. */
     ErrorCategory errorCategory = ErrorCategory::None;
     /** Attempts the engine executed for this job (0 in pre-retry
      *  reports that lack the field). */
     unsigned attempts = 0;
-    double wallSeconds = 0.0;
-    std::uint64_t warmup = 0;
-    std::uint64_t measure = 0;
-    RunResult result;
+    double wallSeconds = 0.0;   //!< job wall-clock (0 after zeroTimings)
+    std::uint64_t warmup = 0;   //!< warm-up instructions per core
+    std::uint64_t measure = 0;  //!< measured instructions per core
+    RunResult result;           //!< raw simulator metrics
     /** Set when the record was paired with an uncompressed baseline. */
     bool hasRatios = false;
-    double ipcRatio = 1.0;
-    double dramReadRatio = 1.0;
+    double ipcRatio = 1.0;      //!< IPC vs paired baseline record
+    double dramReadRatio = 1.0; //!< DRAM reads vs paired baseline
 };
 
 /** A whole sweep: engine telemetry plus one record per job. */
 struct SweepReport
 {
-    std::string schema = "bvc-sweep-v1";
+    std::string schema = "bvc-sweep-v1"; //!< schema tag, for readers
     std::string tool;     //!< producing binary ("bvsweep", "bvsim")
-    unsigned threads = 1;
-    double wallSeconds = 0.0;
-    double jobsPerSecond = 0.0;
-    std::vector<RunRecord> records;
+    unsigned threads = 1; //!< worker threads the sweep engine used
+    double wallSeconds = 0.0;   //!< campaign wall-clock (0 if zeroed)
+    double jobsPerSecond = 0.0; //!< campaign throughput (0 if zeroed)
+    std::vector<RunRecord> records; //!< one row per job, index order
 };
 
 /**
@@ -90,9 +90,19 @@ std::string toCsv(const SweepReport &report);
 void zeroTimings(SweepReport &report);
 
 /**
- * Write `content` to `path` atomically: staged to `path`.tmp, fsync'd,
- * then rename()d into place — readers see the old file or the new one,
- * never a torn write. fatal() on I/O failure.
+ * fsync the directory containing `path`, so a just-created or
+ * just-renamed directory entry survives power loss. fatal() on I/O
+ * failure.
+ */
+void fsyncParentDir(const std::string &path);
+
+/**
+ * Write `content` to `path` atomically and durably: staged to
+ * `path`.tmp, fsync'd, rename()d into place, then the parent
+ * directory is fsync'd — readers see the old file or the new one,
+ * never a torn write, and the new name survives power loss (without
+ * the directory fsync the rename itself can be lost, leaving a
+ * zero-length or stale report). fatal() on I/O failure.
  */
 void writeFileAtomic(const std::string &path,
                      const std::string &content);

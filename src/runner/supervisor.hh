@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Worker-process supervisor for sharded sweep campaigns
+ * (docs/robustness.md). The supervisor fork/execs one worker per
+ * shard, then runs a single-threaded event loop that reaps exits,
+ * classifies them through the exit-code taxonomy, SIGKILLs workers
+ * that exceed the per-shard wall-clock budget, and restarts failed
+ * workers with capped deterministic backoff — each restart resumes
+ * from the shard's crash-safe journal, so already-completed jobs are
+ * never recomputed. A shard that exhausts its restart budget becomes
+ * a terminal ShardOutcome carrying error provenance; the campaign
+ * degrades to a partial merged report instead of aborting.
+ *
+ * Unlike the in-process watchdog (whose timeouts are terminal because
+ * the stuck attempt still owns its worker thread), a process-level
+ * timeout IS restartable: SIGKILL reclaims the whole worker, and the
+ * journal bounds the lost work to the in-flight jobs.
+ */
+
+#ifndef BVC_RUNNER_SUPERVISOR_HH_
+#define BVC_RUNNER_SUPERVISOR_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace bvc
+{
+
+/**
+ * Environment variable the supervisor sets in each worker to its
+ * process-attempt number (0 = first launch, 1 = first restart, ...).
+ * Shard-scoped BVC_FAULT rules select on it, so "die on the first
+ * attempt, succeed on the restart" is expressible.
+ */
+constexpr const char *kWorkerAttemptEnv = "BVC_WORKER_ATTEMPT";
+
+/** How to launch (and relaunch) the worker owning one shard. */
+struct WorkerSpec
+{
+    std::size_t shardIndex = 0;  //!< shard this worker owns
+    /** The shard's journal; restarts resume from it when it exists. */
+    std::string journalPath;
+    /** argv for the first launch (creates the shard journal);
+     *  argv[0] is the executable path. */
+    std::vector<std::string> freshArgv;
+    /** argv for restarts (resumes the shard journal). Used only when
+     *  journalPath exists — a worker that died before creating its
+     *  journal is relaunched fresh. */
+    std::vector<std::string> resumeArgv;
+};
+
+/** Supervisor knobs. */
+struct SupervisorOptions
+{
+    /** Restarts allowed per shard after the first launch (so a shard
+     *  gets at most restarts+1 process attempts). */
+    unsigned restarts = 3;
+    /** Deterministic backoff before restart r of shard s sleeps
+     *  backoffDelaySeconds(backoffSeed, s, r, base, cap) — the same
+     *  schedule contract as per-job retry (docs/robustness.md). */
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 2.0; //!< restart backoff ceiling (s)
+    std::uint64_t backoffSeed = 0x5afe5eedULL; //!< backoff jitter seed
+    /** Per-process-attempt wall-clock budget; a worker over it is
+     *  SIGKILLed, classified Timeout and restarted. <= 0 disables. */
+    double shardTimeoutSeconds = 0.0;
+    /** Event-loop poll period between waitpid sweeps. */
+    double pollIntervalSeconds = 0.02;
+};
+
+/** Terminal state of one shard after the supervisor finishes. */
+struct ShardOutcome
+{
+    std::size_t shardIndex = 0; //!< which shard this outcome is for
+    bool ok = false;            //!< worker exited 0 within budget
+    /** Process attempts executed (1 = first launch sufficed). */
+    unsigned attempts = 0;
+    /** Category of the final failure (None when ok); Timeout when the
+     *  last attempt was killed by the supervisor's budget. */
+    ErrorCategory category = ErrorCategory::None;
+    std::string message; //!< final failure description ("" when ok)
+};
+
+/**
+ * Map a waitpid() status to the failure taxonomy: exit 0 -> None,
+ * exit kFaultDieExitCode -> Injected, any other exit -> Config (the
+ * worker refused the work), death by signal -> Unknown (crash or
+ * external kill). `message` receives the human-readable description.
+ * Exposed for direct testing.
+ */
+ErrorCategory classifyWorkerExit(int waitStatus, std::string &message);
+
+/**
+ * Run one worker process per WorkerSpec and supervise them to
+ * completion. Returns one ShardOutcome per spec, in spec order.
+ * fatal() only on supervisor-internal failures (fork/waitpid); worker
+ * failures — crashes, kills, timeouts, nonzero exits — are per-shard
+ * outcomes, never exceptions.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions opts = {});
+
+    /** Supervise every worker; blocks until all shards are terminal. */
+    [[nodiscard]] std::vector<ShardOutcome>
+    run(const std::vector<WorkerSpec> &workers);
+
+  private:
+    SupervisorOptions opts_;
+};
+
+} // namespace bvc
+
+#endif // BVC_RUNNER_SUPERVISOR_HH_

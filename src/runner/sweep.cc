@@ -294,12 +294,25 @@ SweepEngine::SweepEngine(SweepOptions opts)
 std::vector<JobResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
+    if (opts_.shardCount == 0 || opts_.shardIndex >= opts_.shardCount)
+        throw BvcError(ErrorCategory::Config,
+                       "invalid shard coordinates " +
+                           std::to_string(opts_.shardIndex) + "/" +
+                           std::to_string(opts_.shardCount));
+    const auto owned = [this](std::size_t i) {
+        return i % opts_.shardCount == opts_.shardIndex;
+    };
+
     // Results are slotted by submission index: worker interleaving
     // cannot affect ordering, which is the determinism guarantee.
+    // In a sharded run, slots for jobs other shards own stay
+    // default-constructed.
     std::vector<JobResult> results(jobs.size());
     telemetry_ = SweepTelemetry{};
     telemetry_.jobs = jobs.size();
     telemetry_.threads = threads_;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        telemetry_.ownedJobs += owned(i) ? 1 : 0;
 
     const FaultPlan faults =
         opts_.faults.empty() ? FaultPlan::fromEnv() : opts_.faults;
@@ -315,31 +328,72 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
         if (opts_.resume) {
             const JournalData data = readJournal(opts_.journalPath);
             checkResumeCompatible(data, opts_.journalPath, signature,
-                                  jobs.size());
-            for (const JobResult &r : data.results) {
-                if (r.index >= jobs.size())
+                                  jobs.size(), opts_.shardIndex,
+                                  opts_.shardCount);
+            for (std::size_t r = 0; r < data.results.size(); ++r) {
+                const JobResult &rec = data.results[r];
+                if (rec.index >= jobs.size())
                     throw BvcError(ErrorCategory::Io,
                                    "journal record index " +
-                                       std::to_string(r.index) +
+                                       std::to_string(rec.index) +
                                        " out of range")
                         .withContext("reading journal " +
                                      opts_.journalPath);
-                results[r.index] = r;
-                skip[r.index] = 1;
+                // A record outside this shard's slice means the file
+                // was produced by a differently-sharded run (or was
+                // tampered with); importing it would let two workers
+                // both claim the job.
+                if (!owned(rec.index))
+                    throw BvcError(ErrorCategory::Io,
+                                   "journal record at byte " +
+                                       std::to_string(
+                                           data.recordOffsets[r]) +
+                                       " holds job " +
+                                       std::to_string(rec.index) +
+                                       ", which shard " +
+                                       std::to_string(
+                                           opts_.shardIndex) +
+                                       "/" +
+                                       std::to_string(
+                                           opts_.shardCount) +
+                                       " does not own")
+                        .withContext("reading journal " +
+                                     opts_.journalPath);
+                results[rec.index] = rec;
+                skip[rec.index] = 1;
             }
             for (const char s : skip)
                 telemetry_.resumedJobs += s ? 1 : 0;
             inform("sweep: resuming from '" + opts_.journalPath +
                    "': " + std::to_string(telemetry_.resumedJobs) +
-                   "/" + std::to_string(jobs.size()) +
+                   "/" + std::to_string(telemetry_.ownedJobs) +
                    " jobs already complete");
             journal = std::make_unique<JournalWriter>(
                 opts_.journalPath, data.validBytes);
         } else {
             journal = std::make_unique<JournalWriter>(
-                opts_.journalPath, opts_.tool, signature, jobs.size());
+                opts_.journalPath, opts_.tool, signature, jobs.size(),
+                opts_.shardIndex, opts_.shardCount);
         }
     }
+
+    // Worker-start faults fire here: the shard journal is open (so a
+    // restarted worker can resume past this point's death), but no job
+    // has run yet.
+    {
+        unsigned stallMs = 0;
+        const FaultKind fault = faults.workerStart(
+            opts_.shardIndex, opts_.workerAttempt, stallMs);
+        if (fault == FaultKind::Die) {
+            inform("sweep: injected worker death at start of shard " +
+                   std::to_string(opts_.shardIndex) + " attempt " +
+                   std::to_string(opts_.workerAttempt));
+            std::_Exit(kFaultDieExitCode);
+        }
+        if (fault == FaultKind::Stall)
+            sleepSeconds(stallMs / 1e3);
+    }
+
     if (jobs.empty())
         return results;
 
@@ -348,7 +402,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     std::unique_ptr<ProgressReporter> reporter;
     if (opts_.progress)
         reporter = std::make_unique<ProgressReporter>(
-            done, jobs.size(), opts_.progressIntervalSeconds);
+            done, telemetry_.ownedJobs, opts_.progressIntervalSeconds);
 
     const auto tracks = std::make_unique<JobTrack[]>(jobs.size());
 
@@ -377,7 +431,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
             std::min<std::size_t>(threads_, jobs.size()));
         ThreadPool pool(poolSize);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            if (skip[i])
+            if (skip[i] || !owned(i))
                 continue;
             pool.submit([&, i] {
                 const SweepJob &job = jobs[i];

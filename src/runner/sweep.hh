@@ -8,7 +8,10 @@
  * reporter, per-worker exception capture with a structured error
  * category, retry with deterministic exponential backoff, a watchdog
  * that classifies over-budget jobs as timeouts, and a crash-safe
- * journal enabling --resume after a mid-campaign kill.
+ * journal enabling --resume after a mid-campaign kill. A campaign can
+ * also be sharded across worker processes: SweepOptions::shardIndex/
+ * shardCount restrict the engine to its deterministic slice of the
+ * grid, with the shard journal stamped and validated accordingly.
  * See docs/sweep_engine.md and docs/robustness.md.
  */
 
@@ -30,9 +33,9 @@ namespace bvc
 /** One unit of sweep work: run `trace` under `config`. */
 struct SweepJob
 {
-    SystemConfig config;
-    TraceParams trace;
-    ExperimentOptions opts;
+    SystemConfig config;    //!< full system/cache configuration
+    TraceParams trace;      //!< workload definition to simulate
+    ExperimentOptions opts; //!< warm-up/measurement windows etc.
     /** Free-form tag carried into the JobResult (e.g. "base-victim"). */
     std::string label;
     /**
@@ -46,16 +49,16 @@ struct SweepJob
 /** Outcome of one job; `index` is the submission position. */
 struct JobResult
 {
-    std::size_t index = 0;
-    std::string label;
-    std::string trace;
-    bool ok = false;
+    std::size_t index = 0; //!< global job index (submission position)
+    std::string label;     //!< SweepJob::label of the job
+    std::string trace;     //!< trace name the job simulated
+    bool ok = false;       //!< job completed without error
     std::string error;       //!< what() of the captured failure, if !ok
     /** Structured failure kind (None when ok). */
     ErrorCategory errorCategory = ErrorCategory::None;
     /** Attempts executed (1 = succeeded/failed without retrying). */
     unsigned attempts = 0;
-    double wallSeconds = 0.0;
+    double wallSeconds = 0.0; //!< wall-clock across all attempts
     RunResult result;        //!< valid only when ok
 };
 
@@ -66,7 +69,7 @@ struct SweepOptions
     unsigned threads = 0;
     /** Periodic jobs-done/ETA reporter on stderr. */
     bool progress = false;
-    double progressIntervalSeconds = 2.0;
+    double progressIntervalSeconds = 2.0; //!< reporter period (s)
 
     /** Extra attempts after a failed one (0 = no retry). Timeouts are
      *  terminal and never retried: the attempt is still occupying its
@@ -76,8 +79,8 @@ struct SweepOptions
      *  min(cap, base * 2^(r-1)) * (0.5 + 0.5 * u) seconds, with u
      *  drawn deterministically from (backoffSeed, job, r). */
     double backoffBaseSeconds = 0.05;
-    double backoffCapSeconds = 2.0;
-    std::uint64_t backoffSeed = 0xb5c0ffee;
+    double backoffCapSeconds = 2.0; //!< backoff ceiling per retry (s)
+    std::uint64_t backoffSeed = 0xb5c0ffee; //!< jitter PRNG seed
 
     /** Per-attempt wall-clock budget; <= 0 disables the watchdog. */
     double jobTimeoutSeconds = 0.0;
@@ -89,20 +92,40 @@ struct SweepOptions
     /** Append-only crash-safe journal; "" disables journaling. */
     std::string journalPath;
     /** Resume: read journalPath first, skip already-completed jobs and
-     *  append the remainder. The journal must match this campaign. */
+     *  append the remainder. The journal must match this campaign
+     *  (signature, job count and shard coordinates). */
     bool resume = false;
     /** Producing binary, recorded in the journal header. */
     std::string tool = "sweep";
+
+    /**
+     * Shard coordinates: this engine runs only the jobs it owns under
+     * the deterministic slicing contract `index % shardCount ==
+     * shardIndex` (docs/robustness.md). Results for foreign jobs stay
+     * default-constructed; the journal holds only owned jobs, and a
+     * resume journal whose records violate the slice is refused. The
+     * defaults describe the unsharded whole-campaign run.
+     */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1; //!< total shards in the campaign
+    /**
+     * Process attempt of this worker (the supervisor's restart number,
+     * from BVC_WORKER_ATTEMPT), consulted by shard-scoped BVC_FAULT
+     * rules at worker start. 0 for a first/unsupervised run.
+     */
+    unsigned workerAttempt = 0;
 };
 
 /** Aggregate timing of the engine's most recent run. */
 struct SweepTelemetry
 {
-    std::size_t jobs = 0;
-    unsigned threads = 1;
-    double wallSeconds = 0.0;
+    std::size_t jobs = 0;     //!< total campaign jobs (all shards)
+    unsigned threads = 1;     //!< resolved worker thread count
+    double wallSeconds = 0.0; //!< wall-clock of the whole run()
     /** Sum of per-job wall times (= serial-equivalent duration). */
     double jobSeconds = 0.0;
+    /** Jobs this shard owns (== jobs for an unsharded run). */
+    std::size_t ownedJobs = 0;
     /** Jobs imported from the journal instead of executed. */
     std::size_t resumedJobs = 0;
     /** Jobs the watchdog classified as timed out. */

@@ -41,6 +41,26 @@ parsePositiveUint(const std::string &what, const char *text)
 }
 
 /**
+ * Parse `text` as a non-negative decimal integer — zero allowed, for
+ * values that are indices rather than counts (shard coordinates,
+ * worker process-attempt numbers); fatal() naming `what` on empty
+ * input, sign characters, trailing junk, or overflow.
+ */
+[[nodiscard]] inline std::uint64_t
+parseNonNegativeUint(const std::string &what, const char *text)
+{
+    const bool startsWithDigit = text[0] >= '0' && text[0] <= '9';
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (!startsWithDigit || end == text || *end != '\0' ||
+        errno == ERANGE)
+        fatal(what + " must be a non-negative integer, got '" +
+              std::string(text) + "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+/**
  * Parse `text` as a strictly positive finite decimal (seconds-style
  * budgets such as --job-timeout); fatal() naming `what` on empty
  * input, trailing junk, non-finite values, or anything <= 0.

@@ -71,6 +71,16 @@ BvcError::withJob(std::size_t index, std::string label,
     return *this;
 }
 
+BvcError &
+BvcError::withShard(std::size_t shardIndex, std::size_t shardCount)
+{
+    hasShard_ = true;
+    shardIndex_ = shardIndex;
+    shardCount_ = shardCount;
+    render();
+    return *this;
+}
+
 void
 BvcError::render()
 {
@@ -94,6 +104,10 @@ BvcError::render()
         what_ += " [job #" + std::to_string(jobIndex_) + " (" +
                  jobLabel_ + ", trace " + jobTrace_ + ", attempt " +
                  std::to_string(jobAttempt_ + 1) + ")]";
+    }
+    if (hasShard_) {
+        what_ += " [shard " + std::to_string(shardIndex_) + "/" +
+                 std::to_string(shardCount_) + "]";
     }
 }
 

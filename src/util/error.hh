@@ -63,6 +63,10 @@ class BvcError : public std::exception
     BvcError &withJob(std::size_t index, std::string label,
                       std::string trace, unsigned attempt);
 
+    /** Attach shard provenance ("[shard 2/4]") — which worker's slice
+     *  of a sharded campaign the failure belongs to. */
+    BvcError &withShard(std::size_t shardIndex, std::size_t shardCount);
+
     ErrorCategory category() const { return category_; }
     const std::string &message() const { return message_; }
     const std::vector<std::string> &context() const { return context_; }
@@ -80,6 +84,9 @@ class BvcError : public std::exception
     std::string jobLabel_;
     std::string jobTrace_;
     unsigned jobAttempt_ = 0;
+    bool hasShard_ = false;
+    std::size_t shardIndex_ = 0;
+    std::size_t shardCount_ = 0;
     std::string what_;
 };
 

@@ -75,6 +75,7 @@ FaultPlan::parse(const std::string &spec)
                               "' (throw | stall | die)");
 
         bool haveJob = false;
+        bool haveShard = false;
         bool haveAttempt = false;
         for (std::size_t i = 1; i < fields.size(); ++i) {
             const std::size_t eq = fields[i].find('=');
@@ -87,6 +88,11 @@ FaultPlan::parse(const std::string &spec)
                 rule.job = static_cast<std::size_t>(
                     parseFieldUint(spec, value));
                 haveJob = true;
+            } else if (key == "shard") {
+                rule.shard = static_cast<std::size_t>(
+                    parseFieldUint(spec, value));
+                rule.shardScoped = true;
+                haveShard = true;
             } else if (key == "attempt") {
                 rule.attempt = static_cast<unsigned>(
                     parseFieldUint(spec, value));
@@ -98,13 +104,23 @@ FaultPlan::parse(const std::string &spec)
                     parseFieldUint(spec, value));
             } else {
                 badSpec(spec, "unknown field '" + key +
-                                  "' (job | attempt | ms)");
+                                  "' (job | shard | attempt | ms)");
             }
         }
-        if (!haveJob)
-            badSpec(spec, "rule '" + ruleText + "' is missing job=N");
-        if (rule.kind == FaultKind::Die && haveAttempt)
-            badSpec(spec, "die fires at the checkpoint boundary; "
+        if (haveJob && haveShard)
+            badSpec(spec, "rule '" + ruleText + "' mixes job= and "
+                          "shard=; a rule is either job-scoped or "
+                          "shard-scoped");
+        if (!haveJob && !haveShard)
+            badSpec(spec, "rule '" + ruleText +
+                              "' is missing job=N or shard=I");
+        if (rule.shardScoped && rule.kind == FaultKind::Throw)
+            badSpec(spec, "throw has no shard-scoped form: there is "
+                          "no job to attach the error to at worker "
+                          "start");
+        if (!rule.shardScoped && rule.kind == FaultKind::Die &&
+            haveAttempt)
+            badSpec(spec, "die:job fires at the checkpoint boundary; "
                           "attempt= does not apply");
         plan.rules_.push_back(rule);
     }
@@ -129,7 +145,8 @@ FaultPlan::preAttempt(std::size_t job, unsigned attempt,
                       unsigned &stallMs) const
 {
     for (const FaultRule &rule : rules_) {
-        if (rule.job != job || rule.attempt != attempt)
+        if (rule.shardScoped || rule.job != job ||
+            rule.attempt != attempt)
             continue;
         if (rule.kind == FaultKind::Throw)
             return FaultKind::Throw;
@@ -145,9 +162,28 @@ bool
 FaultPlan::dieAtBoundary(std::size_t job) const
 {
     for (const FaultRule &rule : rules_)
-        if (rule.kind == FaultKind::Die && rule.job == job)
+        if (!rule.shardScoped && rule.kind == FaultKind::Die &&
+            rule.job == job)
             return true;
     return false;
+}
+
+FaultKind
+FaultPlan::workerStart(std::size_t shard, unsigned processAttempt,
+                       unsigned &stallMs) const
+{
+    for (const FaultRule &rule : rules_) {
+        if (!rule.shardScoped || rule.shard != shard ||
+            rule.attempt != processAttempt)
+            continue;
+        if (rule.kind == FaultKind::Die)
+            return FaultKind::Die;
+        if (rule.kind == FaultKind::Stall) {
+            stallMs = rule.stallMs;
+            return FaultKind::Stall;
+        }
+    }
+    return FaultKind::None;
 }
 
 std::string
@@ -159,20 +195,25 @@ FaultPlan::describe() const
     for (const FaultRule &rule : rules_) {
         if (!out.empty())
             out += "; ";
+        const std::string target =
+            rule.shardScoped ? "shard" + std::to_string(rule.shard)
+                             : "job" + std::to_string(rule.job);
         switch (rule.kind) {
           case FaultKind::None:
             break;
           case FaultKind::Throw:
-            out += "throw@job" + std::to_string(rule.job) +
-                   ".attempt" + std::to_string(rule.attempt);
+            out += "throw@" + target + ".attempt" +
+                   std::to_string(rule.attempt);
             break;
           case FaultKind::Stall:
-            out += "stall@job" + std::to_string(rule.job) +
-                   ".attempt" + std::to_string(rule.attempt) + "(" +
+            out += "stall@" + target + ".attempt" +
+                   std::to_string(rule.attempt) + "(" +
                    std::to_string(rule.stallMs) + "ms)";
             break;
           case FaultKind::Die:
-            out += "die@job" + std::to_string(rule.job);
+            out += "die@" + target;
+            if (rule.shardScoped)
+                out += ".attempt" + std::to_string(rule.attempt);
             break;
         }
     }

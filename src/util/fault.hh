@@ -3,16 +3,20 @@
  * Deterministic fault injection for sweep campaigns
  * (docs/robustness.md). A FaultPlan is parsed from the BVC_FAULT
  * environment variable and tells the sweep engine to make selected
- * jobs misbehave on selected attempt numbers, so every recovery path
- * (retry, watchdog timeout, crash-safe resume) is exercised by tests
- * and CI instead of trusted on faith.
+ * jobs — or, in a sharded campaign, selected worker processes —
+ * misbehave deterministically, so every recovery path (retry, watchdog
+ * timeout, crash-safe resume, supervisor kill/restart) is exercised by
+ * tests and CI instead of trusted on faith.
  *
  * Grammar (rules separated by ';', fields by ':'):
  *
  *   BVC_FAULT = rule (';' rule)*
  *   rule      = action ':' field (':' field)*
  *   action    = 'throw' | 'stall' | 'die'
- *   field     = 'job=' N | 'attempt=' N | 'ms=' N
+ *   field     = 'job=' N | 'shard=' I | 'attempt=' N | 'ms=' N
+ *
+ * Job-scoped rules (field job=N) fire inside whichever process runs
+ * job N:
  *
  *   throw  job=N [attempt=A]          throw BvcError{injected} before
  *                                     attempt A (default 0) of job N
@@ -26,7 +30,30 @@
  *                                     fsync'd — simulates a mid-
  *                                     campaign kill for resume tests
  *
- * Example: BVC_FAULT="throw:job=2:attempt=0;stall:job=5:ms=300;die:job=7"
+ * Shard-scoped rules (field shard=I) are the process-level verbs for
+ * supervised campaigns (`bvsweep --workers N`): they fire at *worker
+ * start* — after the shard journal has been opened, before any job
+ * runs — and attempt= selects the worker's process attempt (the
+ * supervisor exports restart number R as BVC_WORKER_ATTEMPT=R):
+ *
+ *   die    shard=I [attempt=A]        the worker owning shard I exits
+ *                                     kFaultDieExitCode at startup of
+ *                                     its process attempt A (default
+ *                                     0); the supervisor must observe
+ *                                     the death, restart the worker
+ *                                     and resume its shard journal
+ *   stall  shard=I [attempt=A] [ms=M] the worker sleeps M ms at
+ *                                     startup — with a supervisor
+ *                                     shard budget below M this is a
+ *                                     supervisor-visible stall: the
+ *                                     worker is SIGKILLed, classified
+ *                                     as timeout and restarted
+ *
+ * `throw` has no shard-scoped form: there is no job to attach the
+ * error to at worker start, so the parser rejects it.
+ *
+ * Example:
+ *   BVC_FAULT="throw:job=2:attempt=0;die:job=7;stall:shard=1:ms=500"
  */
 
 #ifndef BVC_UTIL_FAULT_HH_
@@ -39,26 +66,33 @@
 namespace bvc
 {
 
-/** Exit code of a die-at-checkpoint-boundary fault (distinctive on
- *  purpose, so tests and the chaos script can assert the process died
+/** Exit code of a die fault (distinctive on purpose, so tests, the
+ *  chaos script and the worker supervisor can assert the process died
  *  from the injected fault and not from something real). */
 constexpr int kFaultDieExitCode = 86;
 
+/** What a matched fault rule injects. */
 enum class FaultKind
 {
-    None,
-    Throw,
-    Stall,
-    Die,
+    None,  //!< no fault applies
+    Throw, //!< throw BvcError{injected} before the attempt
+    Stall, //!< sleep for FaultRule::stallMs before proceeding
+    Die,   //!< _Exit(kFaultDieExitCode) at the rule's trigger point
 };
 
 /** One parsed rule; see the grammar above. */
 struct FaultRule
 {
-    FaultKind kind = FaultKind::None;
-    std::size_t job = 0;
-    unsigned attempt = 0;  //!< throw/stall only; die fires on completion
-    unsigned stallMs = 100;
+    FaultKind kind = FaultKind::None; //!< action verb of the rule
+    /** True for shard= rules (process-level, fire at worker start);
+     *  false for job= rules (fire around one job's attempts). */
+    bool shardScoped = false;
+    std::size_t job = 0;   //!< target job index (job-scoped rules)
+    std::size_t shard = 0; //!< target shard index (shard-scoped rules)
+    /** Job attempt for job-scoped throw/stall; *process* attempt for
+     *  shard-scoped die/stall. Job-scoped die ignores it (boundary). */
+    unsigned attempt = 0;
+    unsigned stallMs = 100; //!< stall duration (stall rules only)
 };
 
 /** A parsed BVC_FAULT spec; empty() plans inject nothing. */
@@ -77,12 +111,13 @@ class FaultPlan
      */
     static FaultPlan fromEnv();
 
+    /** True when no rules were parsed (nothing will be injected). */
     bool empty() const { return rules_.size() == 0; }
 
     /**
-     * Fault to apply before attempt `attempt` of job `job`: Throw,
-     * Stall (with `stallMs` filled in) or None. First matching rule
-     * wins.
+     * Job-scoped fault to apply before attempt `attempt` of job
+     * `job`: Throw, Stall (with `stallMs` filled in) or None. First
+     * matching rule wins; shard-scoped rules never match here.
      */
     FaultKind preAttempt(std::size_t job, unsigned attempt,
                          unsigned &stallMs) const;
@@ -90,9 +125,20 @@ class FaultPlan
     /** True if the process should die after job `job` is journaled. */
     bool dieAtBoundary(std::size_t job) const;
 
+    /**
+     * Shard-scoped fault to apply at worker start (shard journal open,
+     * no job run yet) for the worker owning shard `shard` on process
+     * attempt `processAttempt`: Die, Stall (with `stallMs` filled in)
+     * or None. First matching rule wins; job-scoped rules never match
+     * here.
+     */
+    FaultKind workerStart(std::size_t shard, unsigned processAttempt,
+                          unsigned &stallMs) const;
+
     /** Human-readable one-line summary for logs. */
     std::string describe() const;
 
+    /** All parsed rules, in spec order. */
     const std::vector<FaultRule> &rules() const { return rules_; }
 
   private:

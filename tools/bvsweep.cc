@@ -9,18 +9,38 @@
  *   bvsweep --arch base-victim,vsc,dcc --traces friendly --limit 10
  *   bvsweep --arch all --json sweep.json --csv sweep.csv
  *
+ * Sharded campaign modes (docs/robustness.md, "Sharded campaigns"):
+ *
+ *   bvsweep ... --workers 4 --journal-dir DIR     supervised campaign:
+ *       fork/exec one worker per shard, restart crashed/stalled ones
+ *       from their journals, merge and report
+ *   bvsweep ... --shard 1/4 --journal FILE        run one shard's
+ *       slice of the grid (what the supervisor execs)
+ *   bvsweep ... --merge --journal-dir DIR         validate + merge the
+ *       shard journals in DIR into the aggregate report
+ *
  * Determinism guarantee: stdout (and the JSON/CSV ratio fields) are
- * byte-identical for every --threads value; progress goes to stderr.
+ * byte-identical for every --threads value; with --stable-json the
+ * merged report of a sharded campaign is byte-identical to the
+ * uninterrupted single-process run. Progress goes to stderr.
  */
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "runner/merge.hh"
 #include "runner/report.hh"
+#include "runner/supervisor.hh"
 #include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "trace/workload_suite.hh"
@@ -55,6 +75,14 @@ struct Options
     std::string journalPath;
     bool resume = false;
     bool stableJson = false;
+
+    std::size_t shardIndex = 0; //!< this worker's shard (--shard i/N)
+    std::size_t shardCount = 0; //!< >0 = worker mode
+    unsigned workers = 0;       //!< >0 = supervisor mode (--workers N)
+    std::string journalDir;     //!< shard journal directory
+    bool merge = false;         //!< merge mode (--merge)
+    unsigned workerRestarts = 3; //!< supervisor restart budget/shard
+    double shardTimeout = 0.0;  //!< per-process-attempt budget (s)
 };
 
 [[noreturn]] void
@@ -97,7 +125,25 @@ usage()
         "                    journal: completed jobs are imported, the\n"
         "                    rest run and append to the same FILE\n"
         "  --stable-json     zero wall-clock fields in reports so two\n"
-        "                    runs of one campaign compare bytewise\n");
+        "                    runs of one campaign compare bytewise\n"
+        "\nSharded campaigns (docs/robustness.md):\n"
+        "  --workers N       supervise N worker processes, one per\n"
+        "                    shard of the job grid; crashed, killed or\n"
+        "                    stalled workers are restarted from their\n"
+        "                    shard journals, and the shard journals\n"
+        "                    are merged into the aggregate report\n"
+        "  --journal-dir DIR directory for shard journals (required\n"
+        "                    with --workers / --merge)\n"
+        "  --worker-restarts N  restarts allowed per shard (default 3)\n"
+        "  --shard-timeout S    per-process-attempt wall-clock budget;\n"
+        "                    an over-budget worker is SIGKILLed and\n"
+        "                    restarted\n"
+        "  --shard I/N       run only shard I of N (what --workers\n"
+        "                    execs; requires --journal or --resume)\n"
+        "  --merge           merge the shard journals in --journal-dir\n"
+        "                    into the aggregate report, validating\n"
+        "                    signatures, shard-set completeness,\n"
+        "                    slice membership and torn tails\n");
     std::exit(1);
 }
 
@@ -202,10 +248,51 @@ parseArgs(int argc, char **argv)
             opts.resume = true;
         } else if (arg == "--stable-json") {
             opts.stableJson = true;
+        } else if (arg == "--shard") {
+            const std::string value = next(i);
+            const std::size_t slash = value.find('/');
+            if (slash == std::string::npos)
+                fatal("--shard expects I/N (e.g. 1/4)");
+            opts.shardIndex = parseNonNegativeUint(
+                "--shard index", value.substr(0, slash).c_str());
+            opts.shardCount = parsePositiveUint(
+                "--shard count", value.substr(slash + 1).c_str());
+            if (opts.shardIndex >= opts.shardCount)
+                fatal("--shard: index " +
+                      std::to_string(opts.shardIndex) +
+                      " out of range for " +
+                      std::to_string(opts.shardCount) + " shards");
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<unsigned>(
+                parsePositiveUint("--workers", next(i)));
+        } else if (arg == "--journal-dir") {
+            opts.journalDir = next(i);
+        } else if (arg == "--worker-restarts") {
+            opts.workerRestarts = static_cast<unsigned>(
+                parseNonNegativeUint("--worker-restarts", next(i)));
+        } else if (arg == "--shard-timeout") {
+            opts.shardTimeout =
+                parsePositiveDouble("--shard-timeout", next(i));
+        } else if (arg == "--merge") {
+            opts.merge = true;
         } else {
             usage();
         }
     }
+    const int modes = (opts.shardCount > 0 ? 1 : 0) +
+                      (opts.workers > 0 ? 1 : 0) +
+                      (opts.merge ? 1 : 0);
+    if (modes > 1)
+        fatal("--shard, --workers and --merge are mutually exclusive "
+              "modes");
+    if (opts.shardCount > 0 && opts.journalPath.empty())
+        fatal("--shard requires --journal FILE or --resume FILE: a "
+              "worker without a journal cannot be restarted safely");
+    if ((opts.workers > 0 || opts.merge) && opts.journalDir.empty())
+        fatal("--workers/--merge require --journal-dir DIR");
+    if ((opts.workers > 0 || opts.merge) && !opts.journalPath.empty())
+        fatal("--journal/--resume apply to single-process and worker "
+              "runs; use --journal-dir for sharded campaigns");
     return opts;
 }
 
@@ -232,22 +319,36 @@ selectTraces(const WorkloadSuite &suite, const Options &opts)
     return indices;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/**
+ * The fully-expanded campaign: workloads, the job grid and its layout
+ * facts. Built identically in every mode (run, worker, supervisor,
+ * merge) from the same Options, which is what makes shard slices and
+ * merged reports line up with the single-process run byte-for-byte.
+ */
+struct CampaignPlan
 {
-    const Options opts = parseArgs(argc, argv);
+    std::vector<WorkloadInfo> workloads; //!< selected workloads
+    std::vector<SweepJob> jobs;          //!< the full job grid
+    /** Jobs per workload: 1 baseline + one per swept arch. */
+    std::size_t stride = 0;
+    std::size_t mixJobsBase = 0; //!< index of the first mix job
+    std::size_t mixCount = 0;    //!< multiprogram mixes in the grid
+    ExperimentOptions runOpts;   //!< resolved windows/threads
+};
+
+CampaignPlan
+buildCampaign(const Options &opts)
+{
+    CampaignPlan plan;
     const WorkloadSuite suite(512 * 1024);
     const std::vector<std::size_t> indices = selectTraces(suite, opts);
 
     // The campaign's workload list: the synthetic suite selection
     // followed by any file-backed traces, one unified vector so the
     // job layout below treats both identically.
-    std::vector<WorkloadInfo> workloads;
-    workloads.reserve(indices.size() + opts.traceFiles.size());
+    plan.workloads.reserve(indices.size() + opts.traceFiles.size());
     for (const std::size_t idx : indices)
-        workloads.push_back(suite.all()[idx]);
+        plan.workloads.push_back(suite.all()[idx]);
     for (const std::string &path : opts.traceFiles) {
         WorkloadInfo info;
         try {
@@ -255,9 +356,9 @@ main(int argc, char **argv)
         } catch (const BvcError &e) {
             fatal(e.what());
         }
-        workloads.push_back(std::move(info));
+        plan.workloads.push_back(std::move(info));
     }
-    if (workloads.empty() && opts.mixes == 0)
+    if (plan.workloads.empty() && opts.mixes == 0)
         fatal("trace selection is empty");
 
     ExperimentOptions runOpts = ExperimentOptions::fromEnv();
@@ -266,6 +367,7 @@ main(int argc, char **argv)
     if (opts.instr > 0)
         runOpts.measure = opts.instr;
     runOpts.threads = opts.threads;
+    plan.runOpts = runOpts;
 
     SystemConfig baseCfg = SystemConfig::benchDefaults();
     baseCfg.arch = LlcArch::Uncompressed;
@@ -275,16 +377,16 @@ main(int argc, char **argv)
     // Job layout: per trace, one baseline run followed by one run per
     // swept architecture — (1 + archs) * traces jobs total, aggregated
     // by index so output is identical for every thread count.
-    const std::size_t stride = 1 + opts.archNames.size();
-    std::vector<SweepJob> jobs;
-    jobs.reserve(workloads.size() * stride);
-    for (const WorkloadInfo &info : workloads) {
-        jobs.push_back({baseCfg, info.params, runOpts, "uncompressed",
-                        {}});
+    plan.stride = 1 + opts.archNames.size();
+    plan.jobs.reserve(plan.workloads.size() * plan.stride);
+    for (const WorkloadInfo &info : plan.workloads) {
+        plan.jobs.push_back({baseCfg, info.params, runOpts,
+                             "uncompressed", {}});
         for (const std::string &archName : opts.archNames) {
             SystemConfig cfg = baseCfg;
             cfg.arch = parseArch(archName);
-            jobs.push_back({cfg, info.params, runOpts, archName, {}});
+            plan.jobs.push_back({cfg, info.params, runOpts, archName,
+                                 {}});
         }
     }
 
@@ -294,10 +396,10 @@ main(int argc, char **argv)
     // weighted speedup in RunResult::ipc (the DRAM fields come from
     // the arch run). Jobs stay self-contained so the thread pool can
     // schedule them freely.
-    const std::size_t mixJobsBase = jobs.size();
-    std::vector<std::vector<TraceParams>> mixTraces;
+    plan.mixJobsBase = plan.jobs.size();
     if (opts.mixes > 0) {
         const auto drawn = suite.mixesN(opts.mixCores, opts.mixes);
+        std::vector<std::vector<TraceParams>> mixTraces;
         for (std::size_t m = 0; m < drawn.size(); ++m) {
             std::vector<TraceParams> params;
             params.reserve(opts.mixCores);
@@ -305,6 +407,7 @@ main(int argc, char **argv)
                 params.push_back(suite.all()[idx].params);
             mixTraces.push_back(std::move(params));
         }
+        plan.mixCount = mixTraces.size();
         for (std::size_t m = 0; m < mixTraces.size(); ++m) {
             for (const std::string &archName : opts.archNames) {
                 SystemConfig cfg = baseCfg;
@@ -334,38 +437,35 @@ main(int argc, char **argv)
                     out.llcVictimHits = test.llcVictimHits;
                     return out;
                 };
-                jobs.push_back(std::move(job));
+                plan.jobs.push_back(std::move(job));
             }
         }
     }
+    return plan;
+}
 
-    SweepOptions sweepOpts;
-    sweepOpts.threads = opts.threads;
-    sweepOpts.progress = !opts.quiet;
-    sweepOpts.retries = opts.retries;
-    sweepOpts.jobTimeoutSeconds = opts.jobTimeout;
-    sweepOpts.journalPath = opts.journalPath;
-    sweepOpts.resume = opts.resume;
-    sweepOpts.tool = "bvsweep";
-    SweepEngine engine(sweepOpts);
-    std::vector<JobResult> results;
-    try {
-        results = engine.run(jobs);
-    } catch (const BvcError &e) {
-        // Harness-level failure (unreadable or mismatched resume
-        // journal) — a structured user-facing error, not a bug.
-        fatal(e.what());
-    }
-    const SweepTelemetry &telemetry = engine.lastTelemetry();
-
+/**
+ * Build the report from `results`, fill ratios/buckets, export
+ * JSON/CSV, apply the job-failure policy, and print the stdout
+ * tables. Shared verbatim between the single-process run and the
+ * supervisor/merge paths — the byte-identity guarantee of a merged
+ * sharded campaign rests on all modes funneling through this one
+ * function.
+ */
+void
+emitCampaignReport(const Options &opts, const CampaignPlan &plan,
+                   const SweepTelemetry &telemetry,
+                   const std::vector<JobResult> &results)
+{
     // Fill ratios vs each trace's paired baseline into the report.
     // Ratios are only defined where both runs of a pair succeeded;
     // failed jobs keep has_ratios = false so the report of a partly
     // failed campaign is still exportable below.
     SweepReport report =
-        buildReport("bvsweep", telemetry, jobs, results);
-    for (std::size_t t = 0; t < workloads.size(); ++t) {
-        const WorkloadInfo &info = workloads[t];
+        buildReport("bvsweep", telemetry, plan.jobs, results);
+    const std::size_t stride = plan.stride;
+    for (std::size_t t = 0; t < plan.workloads.size(); ++t) {
+        const WorkloadInfo &info = plan.workloads[t];
         const JobResult &baseJob = results[t * stride];
         const RunResult &base = baseJob.result;
         for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
@@ -389,7 +489,8 @@ main(int argc, char **argv)
     }
     // Mix records: RunResult::ipc already is the weighted speedup vs
     // the in-job baseline, so expose it as the ratio directly.
-    for (std::size_t j = mixJobsBase; j < report.records.size(); ++j) {
+    for (std::size_t j = plan.mixJobsBase; j < report.records.size();
+         ++j) {
         RunRecord &rec = report.records[j];
         rec.bucket = "multiprogram-mix";
         if (!rec.ok)
@@ -417,17 +518,17 @@ main(int argc, char **argv)
 
     std::printf("bvsweep: %zu traces x %zu arch(s), llc %zuKB "
                 "%zu-way, warmup %llu, instr %llu\n",
-                workloads.size(), opts.archNames.size(), opts.llcKb,
-                opts.ways,
-                static_cast<unsigned long long>(runOpts.warmup),
-                static_cast<unsigned long long>(runOpts.measure));
+                plan.workloads.size(), opts.archNames.size(),
+                opts.llcKb, opts.ways,
+                static_cast<unsigned long long>(plan.runOpts.warmup),
+                static_cast<unsigned long long>(plan.runOpts.measure));
 
     for (std::size_t a = 0;
-         !workloads.empty() && a < opts.archNames.size(); ++a) {
+         !plan.workloads.empty() && a < opts.archNames.size(); ++a) {
         Table table({"trace", "bucket", "IPC ratio",
                      "DRAM read ratio"});
         std::vector<double> ipcRatios, dramRatios;
-        for (std::size_t t = 0; t < workloads.size(); ++t) {
+        for (std::size_t t = 0; t < plan.workloads.size(); ++t) {
             const RunRecord &rec =
                 report.records[t * stride + 1 + a];
             table.addRow({rec.trace, rec.bucket,
@@ -444,13 +545,13 @@ main(int argc, char **argv)
                     geomean(ipcRatios), geomean(dramRatios));
     }
 
-    if (!mixTraces.empty()) {
+    if (plan.mixCount > 0) {
         for (std::size_t a = 0; a < opts.archNames.size(); ++a) {
             Table table({"mix", "weighted speedup"});
             std::vector<double> speedups;
-            for (std::size_t m = 0; m < mixTraces.size(); ++m) {
+            for (std::size_t m = 0; m < plan.mixCount; ++m) {
                 const RunRecord &rec = report.records
-                    [mixJobsBase + m * opts.archNames.size() + a];
+                    [plan.mixJobsBase + m * opts.archNames.size() + a];
                 table.addRow({rec.trace, Table::num(rec.ipcRatio)});
                 speedups.push_back(rec.ipcRatio);
             }
@@ -461,6 +562,250 @@ main(int argc, char **argv)
                         geomean(speedups));
         }
     }
+}
+
+std::string
+shardJournalPath(const std::string &dir, std::size_t shard)
+{
+    return dir + "/shard-" + std::to_string(shard) + ".journal";
+}
+
+/** All "*.journal" files in `dir`, sorted for deterministic order. */
+std::vector<std::string>
+listJournals(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        fatal("cannot open journal directory '" + dir + "': " +
+              std::strerror(errno));
+    std::vector<std::string> paths;
+    const std::string suffix = ".journal";
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            paths.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+/** This binary's path, for re-exec'ing workers. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/**
+ * The grid/engine flags to pass through to workers: the original argv
+ * minus orchestration flags (mode selectors, report outputs, journal
+ * paths — the supervisor appends per-worker versions of those).
+ */
+std::vector<std::string>
+workerPassthroughArgv(int argc, char **argv)
+{
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers" || arg == "--journal-dir" ||
+            arg == "--json" || arg == "--csv" || arg == "--journal" ||
+            arg == "--resume" || arg == "--shard" ||
+            arg == "--worker-restarts" || arg == "--shard-timeout") {
+            ++i; // skip the flag's value too
+            continue;
+        }
+        if (arg == "--merge" || arg == "--stable-json" ||
+            arg == "--quiet")
+            continue;
+        out.push_back(arg);
+    }
+    return out;
+}
+
+/** Worker mode: run this shard's slice, journal it, and exit 0 —
+ *  job failures live in the journal for the supervisor/merge to
+ *  judge; a nonzero exit is reserved for harness failures. */
+int
+runWorker(const Options &opts, const CampaignPlan &plan)
+{
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    sweepOpts.progress = !opts.quiet;
+    sweepOpts.retries = opts.retries;
+    sweepOpts.jobTimeoutSeconds = opts.jobTimeout;
+    sweepOpts.journalPath = opts.journalPath;
+    sweepOpts.resume = opts.resume;
+    sweepOpts.tool = "bvsweep";
+    sweepOpts.shardIndex = opts.shardIndex;
+    sweepOpts.shardCount = opts.shardCount;
+    if (const char *attempt = std::getenv(kWorkerAttemptEnv))
+        if (attempt[0] != '\0')
+            sweepOpts.workerAttempt = static_cast<unsigned>(
+                parseNonNegativeUint(kWorkerAttemptEnv, attempt));
+    SweepEngine engine(sweepOpts);
+    try {
+        (void)engine.run(plan.jobs);
+    } catch (const BvcError &e) {
+        fatal(e.what());
+    }
+    const SweepTelemetry &telemetry = engine.lastTelemetry();
+    std::fprintf(stderr,
+                 "shard %zu/%zu done: %zu/%zu jobs in %.2f s "
+                 "(%zu resumed)\n",
+                 opts.shardIndex, opts.shardCount,
+                 telemetry.ownedJobs, telemetry.jobs,
+                 telemetry.wallSeconds, telemetry.resumedJobs);
+    return 0;
+}
+
+/** Supervisor mode: fork/exec one worker per shard, restart failures
+ *  from their journals, then merge and report. */
+int
+runSupervisor(const Options &opts, const CampaignPlan &plan, int argc,
+              char **argv)
+{
+    if (::mkdir(opts.journalDir.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+        fatal("cannot create journal directory '" + opts.journalDir +
+              "': " + std::strerror(errno));
+
+    const std::string exe = selfExePath(argv[0]);
+    const std::vector<std::string> grid =
+        workerPassthroughArgv(argc, argv);
+    std::vector<WorkerSpec> specs;
+    specs.reserve(opts.workers);
+    for (unsigned w = 0; w < opts.workers; ++w) {
+        WorkerSpec spec;
+        spec.shardIndex = w;
+        spec.journalPath = shardJournalPath(opts.journalDir, w);
+        const std::string shardArg =
+            std::to_string(w) + "/" + std::to_string(opts.workers);
+        spec.freshArgv.push_back(exe);
+        spec.freshArgv.insert(spec.freshArgv.end(), grid.begin(),
+                              grid.end());
+        spec.freshArgv.insert(spec.freshArgv.end(),
+                              {"--quiet", "--shard", shardArg});
+        spec.resumeArgv = spec.freshArgv;
+        spec.freshArgv.insert(spec.freshArgv.end(),
+                              {"--journal", spec.journalPath});
+        spec.resumeArgv.insert(spec.resumeArgv.end(),
+                               {"--resume", spec.journalPath});
+        specs.push_back(std::move(spec));
+    }
+
+    SupervisorOptions supOpts;
+    supOpts.restarts = opts.workerRestarts;
+    supOpts.shardTimeoutSeconds = opts.shardTimeout;
+    Supervisor supervisor(supOpts);
+    const std::vector<ShardOutcome> outcomes = supervisor.run(specs);
+
+    // Failed shards become merge provenance: their missing jobs are
+    // gap-filled as explicit failures instead of aborting the report.
+    std::vector<ShardError> provenance;
+    unsigned totalAttempts = 0;
+    for (const ShardOutcome &o : outcomes) {
+        totalAttempts += o.attempts;
+        if (!o.ok)
+            provenance.push_back({o.shardIndex, o.category, o.message,
+                                  o.attempts});
+    }
+    std::vector<std::string> paths;
+    for (const WorkerSpec &spec : specs)
+        if (::access(spec.journalPath.c_str(), F_OK) == 0)
+            paths.push_back(spec.journalPath);
+
+    MergeResult merged;
+    try {
+        merged = mergeShardJournals(paths, plan.jobs, provenance);
+    } catch (const BvcError &e) {
+        fatal(e.what());
+    }
+    std::fprintf(stderr,
+                 "supervised campaign: %u shards, %u process "
+                 "attempts, %zu failed shards, %zu jobs merged, "
+                 "%zu gap-filled\n",
+                 opts.workers, totalAttempts, provenance.size(),
+                 merged.mergedRecords, merged.gapFilledJobs);
+
+    SweepTelemetry telemetry;
+    telemetry.jobs = plan.jobs.size();
+    telemetry.ownedJobs = plan.jobs.size();
+    telemetry.threads = resolveThreadCount(opts.threads);
+    emitCampaignReport(opts, plan, telemetry, merged.results);
+    return 0;
+}
+
+/** Merge mode: strict validation of the shard journals in
+ *  --journal-dir, then the aggregate report. */
+int
+runMerge(const Options &opts, const CampaignPlan &plan)
+{
+    const std::vector<std::string> paths =
+        listJournals(opts.journalDir);
+    if (paths.empty())
+        fatal("no shard journals (*.journal) in '" + opts.journalDir +
+              "'");
+    MergeResult merged;
+    try {
+        merged = mergeShardJournals(paths, plan.jobs);
+    } catch (const BvcError &e) {
+        fatal(e.what());
+    }
+    std::fprintf(stderr,
+                 "merged %zu shard journals: %zu jobs\n",
+                 paths.size(), merged.mergedRecords);
+    SweepTelemetry telemetry;
+    telemetry.jobs = plan.jobs.size();
+    telemetry.ownedJobs = plan.jobs.size();
+    telemetry.threads = resolveThreadCount(opts.threads);
+    emitCampaignReport(opts, plan, telemetry, merged.results);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const CampaignPlan plan = buildCampaign(opts);
+
+    if (opts.shardCount > 0)
+        return runWorker(opts, plan);
+    if (opts.workers > 0)
+        return runSupervisor(opts, plan, argc, argv);
+    if (opts.merge)
+        return runMerge(opts, plan);
+
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    sweepOpts.progress = !opts.quiet;
+    sweepOpts.retries = opts.retries;
+    sweepOpts.jobTimeoutSeconds = opts.jobTimeout;
+    sweepOpts.journalPath = opts.journalPath;
+    sweepOpts.resume = opts.resume;
+    sweepOpts.tool = "bvsweep";
+    SweepEngine engine(sweepOpts);
+    std::vector<JobResult> results;
+    try {
+        results = engine.run(plan.jobs);
+    } catch (const BvcError &e) {
+        // Harness-level failure (unreadable or mismatched resume
+        // journal) — a structured user-facing error, not a bug.
+        fatal(e.what());
+    }
+    const SweepTelemetry &telemetry = engine.lastTelemetry();
+    emitCampaignReport(opts, plan, telemetry, results);
 
     // Throughput footer (wall-clock stats go to stderr so stdout stays
     // byte-identical across thread counts and machines).
